@@ -1,0 +1,236 @@
+//! Unstructured-grid interpolation: inverse-distance weighting over the
+//! k nearest scattered sample locations, with a bucket-grid spatial index so
+//! rendering the paper-scale 262k-pixel domain stays fast.
+
+use crate::anen::data::Domain;
+
+/// Scattered-point interpolator (IDW, k-nearest).
+pub struct ScatterInterpolator {
+    points: Vec<(f64, f64)>,
+    values: Vec<f64>,
+    /// Bucket grid over [0,1]²: `buckets[by * side + bx]` lists point ids.
+    buckets: Vec<Vec<u32>>,
+    side: usize,
+    /// Neighbors used per query.
+    k: usize,
+}
+
+impl ScatterInterpolator {
+    /// Build from unit-square coordinates and values. `k` neighbors per
+    /// query (clamped to the point count).
+    pub fn new(points: Vec<(f64, f64)>, values: Vec<f64>, k: usize) -> Self {
+        assert_eq!(points.len(), values.len());
+        assert!(!points.is_empty(), "interpolator needs at least one point");
+        let side = ((points.len() as f64).sqrt().ceil() as usize).clamp(1, 512);
+        let mut buckets = vec![Vec::new(); side * side];
+        for (i, &(x, y)) in points.iter().enumerate() {
+            let bx = ((x * side as f64) as usize).min(side - 1);
+            let by = ((y * side as f64) as usize).min(side - 1);
+            buckets[by * side + bx].push(i as u32);
+        }
+        let k = k.clamp(1, points.len());
+        ScatterInterpolator {
+            points,
+            values,
+            buckets,
+            side,
+            k,
+        }
+    }
+
+    /// The k nearest sample ids to (x, y), by expanding ring search.
+    /// `exclude` skips one point id (leave-one-out queries).
+    pub fn nearest(&self, x: f64, y: f64, exclude: Option<usize>) -> Vec<(usize, f64)> {
+        let side = self.side;
+        let bx = ((x * side as f64) as usize).min(side - 1) as isize;
+        let by = ((y * side as f64) as usize).min(side - 1) as isize;
+        let mut best: Vec<(usize, f64)> = Vec::with_capacity(self.k + 1);
+        let mut ring = 0isize;
+        loop {
+            // Scan the cells on ring `ring` around (bx, by).
+            let mut scanned_any = false;
+            for cy in (by - ring)..=(by + ring) {
+                if cy < 0 || cy >= side as isize {
+                    continue;
+                }
+                for cx in (bx - ring)..=(bx + ring) {
+                    if cx < 0 || cx >= side as isize {
+                        continue;
+                    }
+                    // Only the ring boundary (inner cells were scanned).
+                    if ring > 0
+                        && (cx - bx).abs() != ring
+                        && (cy - by).abs() != ring
+                    {
+                        continue;
+                    }
+                    scanned_any = true;
+                    for &id in &self.buckets[cy as usize * side + cx as usize] {
+                        let id = id as usize;
+                        if exclude == Some(id) {
+                            continue;
+                        }
+                        let (px, py) = self.points[id];
+                        let d2 = (px - x) * (px - x) + (py - y) * (py - y);
+                        insert_best(&mut best, (id, d2), self.k);
+                    }
+                }
+            }
+            // Termination: once we have k candidates and the next ring can
+            // only contain farther points, stop. The closest possible point
+            // in ring r+1 is at distance r * cell_size from the query cell.
+            let cell = 1.0 / side as f64;
+            let have_k = best.len() >= self.k;
+            let ring_min_dist = (ring as f64) * cell;
+            let worst = best.last().map_or(f64::INFINITY, |&(_, d2)| d2.sqrt());
+            if have_k && ring_min_dist > worst {
+                break;
+            }
+            if !scanned_any && ring as usize > 2 * side {
+                break; // degenerate safety stop
+            }
+            ring += 1;
+        }
+        best
+    }
+
+    /// IDW interpolation at (x, y) in the unit square.
+    pub fn interpolate(&self, x: f64, y: f64) -> f64 {
+        self.interpolate_excluding(x, y, None)
+    }
+
+    /// IDW interpolation skipping one sample — the leave-one-out estimate
+    /// the AUA error model uses.
+    pub fn interpolate_excluding(&self, x: f64, y: f64, exclude: Option<usize>) -> f64 {
+        let neighbors = self.nearest(x, y, exclude);
+        assert!(!neighbors.is_empty(), "no neighbors");
+        let mut wsum = 0.0;
+        let mut acc = 0.0;
+        for (id, d2) in neighbors {
+            if d2 < 1e-18 {
+                return self.values[id]; // exact hit
+            }
+            let w = 1.0 / d2; // IDW power 2
+            wsum += w;
+            acc += w * self.values[id];
+        }
+        acc / wsum
+    }
+
+    /// Render the full domain (Fig. 11(b)/(c) maps).
+    pub fn render(&self, domain: Domain) -> Vec<f64> {
+        let mut out = Vec::with_capacity(domain.len());
+        for y in 0..domain.height {
+            for x in 0..domain.width {
+                let (u, v) = domain.unit(x, y);
+                out.push(self.interpolate(u, v));
+            }
+        }
+        out
+    }
+
+    /// Number of sample points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// Keep `best` sorted ascending by distance², bounded to `k` entries.
+fn insert_best(best: &mut Vec<(usize, f64)>, cand: (usize, f64), k: usize) {
+    let pos = best
+        .binary_search_by(|probe| probe.1.total_cmp(&cand.1))
+        .unwrap_or_else(|p| p);
+    if pos < k {
+        best.insert(pos, cand);
+        best.truncate(k);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_hit_returns_sample_value() {
+        let interp = ScatterInterpolator::new(
+            vec![(0.25, 0.25), (0.75, 0.75)],
+            vec![1.0, 5.0],
+            2,
+        );
+        assert_eq!(interp.interpolate(0.25, 0.25), 1.0);
+        assert_eq!(interp.interpolate(0.75, 0.75), 5.0);
+    }
+
+    #[test]
+    fn midpoint_is_weighted_average() {
+        let interp = ScatterInterpolator::new(
+            vec![(0.0, 0.5), (1.0, 0.5)],
+            vec![0.0, 10.0],
+            2,
+        );
+        let mid = interp.interpolate(0.5, 0.5);
+        assert!((mid - 5.0).abs() < 1e-9, "mid = {mid}");
+        // Closer to the left point → below the midpoint value.
+        assert!(interp.interpolate(0.25, 0.5) < 5.0);
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let points: Vec<(f64, f64)> = (0..300)
+            .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
+        let values = vec![0.0; points.len()];
+        let interp = ScatterInterpolator::new(points.clone(), values, 8);
+        for _ in 0..50 {
+            let (qx, qy) = (rng.gen::<f64>(), rng.gen::<f64>());
+            let got: Vec<usize> = interp.nearest(qx, qy, None).iter().map(|p| p.0).collect();
+            let mut brute: Vec<(usize, f64)> = points
+                .iter()
+                .enumerate()
+                .map(|(i, &(px, py))| (i, (px - qx).powi(2) + (py - qy).powi(2)))
+                .collect();
+            brute.sort_by(|a, b| a.1.total_cmp(&b.1));
+            let expected: Vec<usize> = brute[..8].iter().map(|p| p.0).collect();
+            assert_eq!(got, expected, "query ({qx},{qy})");
+        }
+    }
+
+    #[test]
+    fn exclusion_removes_the_point() {
+        let interp = ScatterInterpolator::new(
+            vec![(0.5, 0.5), (0.9, 0.9)],
+            vec![100.0, 1.0],
+            1,
+        );
+        assert_eq!(interp.interpolate(0.5, 0.5), 100.0);
+        let loo = interp.interpolate_excluding(0.5, 0.5, Some(0));
+        assert_eq!(loo, 1.0, "excluding the exact point leaves the other");
+    }
+
+    #[test]
+    fn render_covers_domain() {
+        let interp =
+            ScatterInterpolator::new(vec![(0.5, 0.5)], vec![3.25], 1);
+        let d = Domain {
+            width: 8,
+            height: 6,
+        };
+        let img = interp.render(d);
+        assert_eq!(img.len(), 48);
+        // IDW of a single sample returns its value up to rounding.
+        assert!(img.iter().all(|&v| (v - 3.25).abs() < 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_interpolator_panics() {
+        let _ = ScatterInterpolator::new(vec![], vec![], 4);
+    }
+}

@@ -1,0 +1,228 @@
+//! The Delle Monache analog similarity metric and the analog search.
+//!
+//! For a current forecast at time t* and a candidate past time t', the
+//! metric is
+//!
+//! ```text
+//! ‖F(t*), F(t')‖ = Σ_v (w_v / σ_v) · sqrt( Σ_{j=-w..w} (F_v(t*+j) − F_v(t'+j))² )
+//! ```
+//!
+//! (Delle Monache et al. 2013, used by the paper's Canalogs code \[13\]):
+//! a time-windowed, per-variable-normalized distance. The `k` most similar
+//! past days are the *analogs*; the prediction is the mean of their
+//! observations.
+
+use crate::anen::data::AnenDataset;
+
+/// Similarity/search parameters.
+#[derive(Debug, Clone)]
+pub struct SimilarityConfig {
+    /// Half-width of the time window (`w` above).
+    pub window: usize,
+    /// Number of analogs (`k`).
+    pub analogs: usize,
+    /// Per-variable weights (`w_v`); uniform if empty.
+    pub weights: Vec<f64>,
+}
+
+impl Default for SimilarityConfig {
+    fn default() -> Self {
+        SimilarityConfig {
+            window: 1,
+            analogs: 20,
+            weights: Vec::new(),
+        }
+    }
+}
+
+/// Analog-ensemble predictor bound to a dataset and a location-independent
+/// normalization.
+pub struct AnenPredictor<'a> {
+    dataset: &'a AnenDataset,
+    config: SimilarityConfig,
+    sigmas: Vec<f64>,
+}
+
+impl<'a> AnenPredictor<'a> {
+    /// Build a predictor (computes per-variable σ once).
+    pub fn new(dataset: &'a AnenDataset, config: SimilarityConfig) -> Self {
+        let sigmas = dataset.variable_sigmas();
+        AnenPredictor {
+            dataset,
+            config,
+            sigmas,
+        }
+    }
+
+    /// The distance between the test-day forecast and past day `t'` at one
+    /// location.
+    pub fn distance(&self, x: usize, y: usize, t_past: usize) -> f64 {
+        let ds = self.dataset;
+        let t_star = ds.test_day();
+        let w = self.config.window as isize;
+        let mut total = 0.0;
+        for v in 0..ds.config.variables {
+            let weight = self.config.weights.get(v).copied().unwrap_or(1.0);
+            let mut sq = 0.0;
+            for j in -w..=w {
+                // Window indices: the archive has margin days so t+j is
+                // valid for every t in [w, train_days).
+                let a = (t_star as isize + j).max(0) as usize;
+                let b = (t_past as isize + j).max(0) as usize;
+                let diff = ds.forecast(v, a, x, y) - ds.forecast(v, b, x, y);
+                sq += diff * diff;
+            }
+            total += weight / self.sigmas[v] * sq.sqrt();
+        }
+        total
+    }
+
+    /// Indices of the `k` most similar past days, most similar first.
+    pub fn find_analogs(&self, x: usize, y: usize) -> Vec<usize> {
+        let ds = self.dataset;
+        let w = self.config.window;
+        let lo = w; // keep the window in range on the left
+        let hi = ds.config.train_days;
+        let mut scored: Vec<(f64, usize)> = (lo..hi)
+            .map(|t| (self.distance(x, y, t), t))
+            .collect();
+        let k = self.config.analogs.min(scored.len());
+        scored.select_nth_unstable_by(k.saturating_sub(1), |a, b| a.0.total_cmp(&b.0));
+        let mut top: Vec<(f64, usize)> = scored[..k].to_vec();
+        top.sort_by(|a, b| a.0.total_cmp(&b.0));
+        top.into_iter().map(|(_, t)| t).collect()
+    }
+
+    /// The AnEn point prediction: mean observation over the analogs.
+    pub fn predict(&self, x: usize, y: usize) -> f64 {
+        let analogs = self.find_analogs(x, y);
+        assert!(!analogs.is_empty(), "archive too small for any analog");
+        let ds = self.dataset;
+        analogs
+            .iter()
+            .map(|&t| ds.observation(t, x, y))
+            .sum::<f64>()
+            / analogs.len() as f64
+    }
+
+    /// The analog *ensemble* (the probabilistic forecast): the analogs'
+    /// observations, most-similar first.
+    pub fn predict_ensemble(&self, x: usize, y: usize) -> Vec<f64> {
+        self.find_analogs(x, y)
+            .into_iter()
+            .map(|t| self.dataset.observation(t, x, y))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anen::data::{DatasetConfig, Domain};
+
+    fn dataset() -> AnenDataset {
+        AnenDataset::generate(DatasetConfig {
+            domain: Domain {
+                width: 24,
+                height: 24,
+            },
+            train_days: 120,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn distance_to_self_window_is_smallest_for_similar_days() {
+        let ds = dataset();
+        let p = AnenPredictor::new(&ds, SimilarityConfig::default());
+        // The most similar day should have a smaller distance than the
+        // median day.
+        let mut dists: Vec<f64> = (1..ds.config.train_days)
+            .map(|t| p.distance(5, 5, t))
+            .collect();
+        dists.sort_by(f64::total_cmp);
+        assert!(dists[0] < dists[dists.len() / 2] * 0.8);
+    }
+
+    #[test]
+    fn analogs_sorted_by_similarity() {
+        let ds = dataset();
+        let p = AnenPredictor::new(&ds, SimilarityConfig::default());
+        let analogs = p.find_analogs(10, 10);
+        assert_eq!(analogs.len(), 20);
+        for w in analogs.windows(2) {
+            assert!(p.distance(10, 10, w[0]) <= p.distance(10, 10, w[1]) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn prediction_close_to_analysis() {
+        // The whole point of AnEn: the prediction approximates the test
+        // day's analysis value far better than climatology.
+        let ds = dataset();
+        let p = AnenPredictor::new(&ds, SimilarityConfig::default());
+        let t_star = ds.test_day();
+        let mut anen_err = 0.0;
+        let mut clim_err = 0.0;
+        let mut n = 0.0;
+        for &(x, y) in &[(3usize, 3usize), (12, 7), (20, 20), (6, 18)] {
+            let analysis = ds.weather(t_star, x, y);
+            let pred = p.predict(x, y);
+            let clim: f64 = (0..ds.config.train_days)
+                .map(|t| ds.observation(t, x, y))
+                .sum::<f64>()
+                / ds.config.train_days as f64;
+            anen_err += (pred - analysis).abs();
+            clim_err += (clim - analysis).abs();
+            n += 1.0;
+        }
+        assert!(
+            anen_err / n < clim_err / n,
+            "AnEn ({}) must beat climatology ({})",
+            anen_err / n,
+            clim_err / n
+        );
+    }
+
+    #[test]
+    fn ensemble_size_matches_k() {
+        let ds = dataset();
+        let p = AnenPredictor::new(
+            &ds,
+            SimilarityConfig {
+                analogs: 7,
+                ..Default::default()
+            },
+        );
+        assert_eq!(p.predict_ensemble(4, 4).len(), 7);
+    }
+
+    #[test]
+    fn weights_change_the_metric() {
+        let ds = dataset();
+        let uniform = AnenPredictor::new(&ds, SimilarityConfig::default());
+        let weighted = AnenPredictor::new(
+            &ds,
+            SimilarityConfig {
+                weights: vec![10.0, 0.0, 0.0, 0.0, 0.0],
+                ..Default::default()
+            },
+        );
+        let d_u = uniform.distance(5, 5, 30);
+        let d_w = weighted.distance(5, 5, 30);
+        assert_ne!(d_u, d_w);
+    }
+
+    #[test]
+    fn window_zero_works() {
+        let ds = dataset();
+        let p = AnenPredictor::new(
+            &ds,
+            SimilarityConfig {
+                window: 0,
+                ..Default::default()
+            },
+        );
+        let _ = p.predict(1, 1);
+    }
+}

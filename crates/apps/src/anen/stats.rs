@@ -1,0 +1,223 @@
+//! Error metrics and box-plot statistics for the Fig. 11 comparison.
+
+/// Five-number summary for a box plot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoxStats {
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Mean (the paper's plots also show it).
+    pub mean: f64,
+}
+
+impl BoxStats {
+    /// Compute from samples. Panics on empty input.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "box stats need samples");
+        let mut v: Vec<f64> = samples.to_vec();
+        v.sort_by(f64::total_cmp);
+        let q = |p: f64| -> f64 {
+            // Linear interpolation between closest ranks.
+            let rank = p * (v.len() - 1) as f64;
+            let lo = rank.floor() as usize;
+            let hi = rank.ceil() as usize;
+            let frac = rank - lo as f64;
+            v[lo] * (1.0 - frac) + v[hi] * frac
+        };
+        BoxStats {
+            min: v[0],
+            q1: q(0.25),
+            median: q(0.5),
+            q3: q(0.75),
+            max: v[v.len() - 1],
+            mean: v.iter().sum::<f64>() / v.len() as f64,
+        }
+    }
+}
+
+impl std::fmt::Display for BoxStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "min {:.4}  q1 {:.4}  med {:.4}  q3 {:.4}  max {:.4}  mean {:.4}",
+            self.min, self.q1, self.median, self.q3, self.max, self.mean
+        )
+    }
+}
+
+/// Mean absolute error between two equal-length fields.
+pub fn mean_absolute_error(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    assert!(!a.is_empty());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .sum::<f64>()
+        / a.len() as f64
+}
+
+/// Continuous Ranked Probability Score of an ensemble forecast against one
+/// observation — the standard verification metric for the probabilistic
+/// forecasts AnEn produces (lower is better; reduces to absolute error for
+/// a single-member ensemble).
+///
+/// Uses the fair estimator
+/// `CRPS = mean|xᵢ − y| − Σᵢⱼ|xᵢ − xⱼ| / (2 n²)`.
+pub fn crps(ensemble: &[f64], observation: f64) -> f64 {
+    assert!(!ensemble.is_empty(), "CRPS needs ensemble members");
+    let n = ensemble.len() as f64;
+    let accuracy: f64 = ensemble.iter().map(|x| (x - observation).abs()).sum::<f64>() / n;
+    let mut spread = 0.0;
+    for xi in ensemble {
+        for xj in ensemble {
+            spread += (xi - xj).abs();
+        }
+    }
+    accuracy - spread / (2.0 * n * n)
+}
+
+/// Root-mean-square error between two equal-length fields.
+pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    assert!(!a.is_empty());
+    (a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        / a.len() as f64)
+        .sqrt()
+}
+
+/// Write a field as a binary-free ASCII PGM image (for the Fig. 11 maps).
+pub fn write_pgm(
+    path: &std::path::Path,
+    width: usize,
+    height: usize,
+    field: &[f64],
+) -> std::io::Result<()> {
+    use std::io::Write;
+    assert_eq!(field.len(), width * height);
+    let (lo, hi) = field.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |acc, &v| {
+        (acc.0.min(v), acc.1.max(v))
+    });
+    let span = (hi - lo).max(1e-12);
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "P2\n{width} {height}\n255")?;
+    for row in field.chunks(width) {
+        let line: Vec<String> = row
+            .iter()
+            .map(|&v| (((v - lo) / span) * 255.0).round().to_string())
+            .collect();
+        writeln!(f, "{}", line.join(" "))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_stats_of_known_sequence() {
+        let s = BoxStats::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.mean, 3.0);
+    }
+
+    #[test]
+    fn box_stats_single_sample() {
+        let s = BoxStats::from_samples(&[2.5]);
+        assert_eq!(s.min, 2.5);
+        assert_eq!(s.q3, 2.5);
+    }
+
+    #[test]
+    fn mae_and_rmse() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 2.0, 1.0];
+        assert!((mean_absolute_error(&a, &b) - 1.0).abs() < 1e-12);
+        let r = rmse(&a, &b);
+        assert!((r - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crps_single_member_is_absolute_error() {
+        assert!((crps(&[3.0], 5.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crps_rewards_calibrated_spread() {
+        // A sharp ensemble exactly on the observation is perfect.
+        assert!(crps(&[2.0, 2.0, 2.0], 2.0).abs() < 1e-12);
+        // A spread ensemble centered on the observation beats a sharp but
+        // biased one.
+        let spread = crps(&[1.0, 2.0, 3.0], 2.0);
+        let biased = crps(&[3.5, 3.5, 3.5], 2.0);
+        assert!(spread < biased, "{spread} vs {biased}");
+    }
+
+    #[test]
+    fn crps_is_nonnegative() {
+        for obs in [-3.0, 0.0, 2.5, 10.0] {
+            let v = crps(&[0.0, 1.0, 2.0, 5.0], obs);
+            assert!(v >= -1e-12, "CRPS must be ≥ 0, got {v}");
+        }
+    }
+
+    #[test]
+    fn anen_ensemble_crps_beats_climatology() {
+        // End-to-end: the analog ensemble is a sharper, better-calibrated
+        // probabilistic forecast than the climatological ensemble.
+        use crate::anen::data::{AnenDataset, DatasetConfig, Domain};
+        use crate::anen::similarity::{AnenPredictor, SimilarityConfig};
+        let ds = AnenDataset::generate(DatasetConfig {
+            domain: Domain {
+                width: 24,
+                height: 24,
+            },
+            train_days: 120,
+            ..Default::default()
+        });
+        let p = AnenPredictor::new(&ds, SimilarityConfig::default());
+        let t_star = ds.test_day();
+        let mut anen_total = 0.0;
+        let mut clim_total = 0.0;
+        let points = [(4usize, 4usize), (12, 18), (20, 9), (7, 15)];
+        for &(x, y) in &points {
+            let obs = ds.weather(t_star, x, y);
+            let ensemble = p.predict_ensemble(x, y);
+            let clim: Vec<f64> = (0..ds.config.train_days)
+                .step_by(5)
+                .map(|t| ds.observation(t, x, y))
+                .collect();
+            anen_total += crps(&ensemble, obs);
+            clim_total += crps(&clim, obs);
+        }
+        assert!(
+            anen_total < clim_total,
+            "AnEn CRPS {anen_total} must beat climatology {clim_total}"
+        );
+    }
+
+    #[test]
+    fn pgm_roundtrip_header() {
+        let mut p = std::env::temp_dir();
+        p.push(format!("entk-anen-{}.pgm", std::process::id()));
+        write_pgm(&p, 4, 2, &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]).unwrap();
+        let text = std::fs::read_to_string(&p).unwrap();
+        assert!(text.starts_with("P2\n4 2\n255\n"));
+        assert!(text.trim().ends_with("255"));
+        std::fs::remove_file(&p).unwrap();
+    }
+}

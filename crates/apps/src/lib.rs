@@ -1,0 +1,27 @@
+//! # entk-apps — the paper's use-case applications
+//!
+//! Two scientific applications drove EnTK's design (paper §III) and are
+//! reproduced here on top of `entk-core`:
+//!
+//! * [`seismic`] — the seismic-inversion workflow: the full tomography
+//!   pipeline (Fig. 4) encoded in the PST model, plus the at-scale
+//!   forward-simulation campaign of Fig. 10 whose heavy shared-filesystem
+//!   I/O induces failures at high concurrency.
+//! * [`anen`] — the Analog Ensemble / Adaptive Unstructured Analog (AUA)
+//!   use case (Fig. 5, Fig. 11). Unlike the timing experiments, this is a
+//!   *real* computation: a synthetic NAM-like forecast archive is searched
+//!   with the Delle Monache similarity metric, analog predictions are
+//!   interpolated over an unstructured set of locations, and the adaptive
+//!   location-selection algorithm is compared against random selection.
+//! * [`synthetic`] — the sleep/mdrun workload generators of Experiments
+//!   1–4 and the scaling studies (Table I).
+//! * [`patterns`] — the canonical ensemble execution patterns of the
+//!   paper's motivation (§I): bags of tasks, simulation–analysis loops
+//!   (fixed and adaptive) and synchronous replica exchange.
+
+#![warn(missing_docs)]
+
+pub mod anen;
+pub mod patterns;
+pub mod seismic;
+pub mod synthetic;

@@ -1,0 +1,241 @@
+//! Canonical ensemble execution patterns.
+//!
+//! The paper's opening motivation is biomolecular: "due to the end of
+//! Dennard scaling, and thus limited strong scaling of individual MD tasks,
+//! there has been a shift from running single long running tasks towards
+//! multiple shorter running tasks, as evidenced by a proliferation of
+//! ensemble-based algorithms" (§I). Tasks "might have global (synchronous)
+//! or local (asynchronous) exchanges". EnTK's predecessor work (ref. [32])
+//! shipped these shapes as reusable *execution patterns*; this module
+//! provides them as PST builders:
+//!
+//! * [`bag_of_tasks`] — uncoupled high-throughput ensembles;
+//! * [`simulation_analysis_loop`] — the MSM-style iterate pattern: a stage
+//!   of concurrent simulations followed by an analysis stage, repeated;
+//! * [`adaptive_simulation_analysis`] — the same, but the analysis decides
+//!   at runtime whether another iteration is needed (`post_exec` growth);
+//! * [`replica_exchange`] — synchronous-exchange ensembles: replicas run
+//!   concurrently, then a global exchange step, repeated.
+
+use entk_core::{Pipeline, Stage, Task, Workflow};
+use std::sync::Arc;
+
+/// A bag of uncoupled tasks: one pipeline, one stage, `n` tasks.
+pub fn bag_of_tasks(
+    name: &str,
+    n: usize,
+    make_task: impl Fn(usize) -> Task,
+) -> Workflow {
+    let mut stage = Stage::new(format!("{name}-bag"));
+    for i in 0..n {
+        stage.add_task(make_task(i));
+    }
+    Workflow::new().with_pipeline(Pipeline::new(name).with_stage(stage))
+}
+
+/// The simulation–analysis loop with a fixed iteration count: `iterations`
+/// rounds of (`n_sims` concurrent simulations → one analysis task).
+pub fn simulation_analysis_loop(
+    name: &str,
+    iterations: usize,
+    n_sims: usize,
+    make_sim: impl Fn(usize, usize) -> Task,
+    make_analysis: impl Fn(usize) -> Task,
+) -> Workflow {
+    assert!(iterations >= 1 && n_sims >= 1);
+    let mut pipeline = Pipeline::new(name);
+    for it in 0..iterations {
+        let mut sims = Stage::new(format!("{name}-sim-{it}"));
+        for s in 0..n_sims {
+            sims.add_task(make_sim(it, s));
+        }
+        pipeline.add_stage(sims);
+        pipeline.add_stage(
+            Stage::new(format!("{name}-analysis-{it}")).with_task(make_analysis(it)),
+        );
+    }
+    Workflow::new().with_pipeline(pipeline)
+}
+
+/// Factory callbacks for [`adaptive_simulation_analysis`], shared across
+/// iterations (the iteration count is unknown at description time).
+pub struct AdaptiveLoop {
+    /// Build simulation task `s` of iteration `it`.
+    pub make_sim: Arc<dyn Fn(usize, usize) -> Task + Send + Sync>,
+    /// Build the analysis task of iteration `it`.
+    pub make_analysis: Arc<dyn Fn(usize) -> Task + Send + Sync>,
+    /// Decide after iteration `it`'s analysis whether to run another
+    /// iteration — the converged/continue branch of the MSM workflows.
+    pub continue_after: Arc<dyn Fn(usize) -> bool + Send + Sync>,
+    /// Concurrent simulations per iteration.
+    pub n_sims: usize,
+}
+
+/// The adaptive simulation–analysis loop: iterations are appended at
+/// runtime by `post_exec` hooks until `continue_after` says stop — "the
+/// evaluation required by the steering can be implemented as a task and
+/// iterations do not wait in the HPC queue, even if their number is unknown
+/// before execution" (§IV-C2).
+pub fn adaptive_simulation_analysis(name: &str, spec: AdaptiveLoop) -> Workflow {
+    assert!(spec.n_sims >= 1);
+    let mut pipeline = Pipeline::new(name);
+    push_iteration(&mut pipeline, name.to_string(), 0, spec);
+    Workflow::new().with_pipeline(pipeline)
+}
+
+fn push_iteration(pipeline: &mut Pipeline, name: String, it: usize, spec: AdaptiveLoop) {
+    let mut sims = Stage::new(format!("{name}-sim-{it}"));
+    for s in 0..spec.n_sims {
+        sims.add_task((spec.make_sim)(it, s));
+    }
+    pipeline.add_stage(sims);
+
+    let analysis_task = (spec.make_analysis)(it);
+    let hook_name = name.clone();
+    let analysis = Stage::new(format!("{name}-analysis-{it}"))
+        .with_task(analysis_task)
+        .with_post_exec(move |p: &mut Pipeline| {
+            if (spec.continue_after)(it) {
+                push_iteration(
+                    p,
+                    hook_name.clone(),
+                    it + 1,
+                    AdaptiveLoop {
+                        make_sim: Arc::clone(&spec.make_sim),
+                        make_analysis: Arc::clone(&spec.make_analysis),
+                        continue_after: Arc::clone(&spec.continue_after),
+                        n_sims: spec.n_sims,
+                    },
+                );
+            }
+        });
+    pipeline.add_stage(analysis);
+}
+
+/// Synchronous replica exchange: `exchanges` rounds of `n_replicas`
+/// concurrent replica segments followed by one global exchange task — the
+/// "global (synchronous) exchanges" coupling of §I.
+pub fn replica_exchange(
+    name: &str,
+    n_replicas: usize,
+    exchanges: usize,
+    make_replica: impl Fn(usize, usize) -> Task,
+    make_exchange: impl Fn(usize) -> Task,
+) -> Workflow {
+    assert!(n_replicas >= 2, "exchange needs at least two replicas");
+    let mut pipeline = Pipeline::new(name);
+    for round in 0..exchanges {
+        let mut replicas = Stage::new(format!("{name}-replicas-{round}"));
+        for r in 0..n_replicas {
+            replicas.add_task(make_replica(round, r));
+        }
+        pipeline.add_stage(replicas);
+        pipeline.add_stage(
+            Stage::new(format!("{name}-exchange-{round}")).with_task(make_exchange(round)),
+        );
+    }
+    Workflow::new().with_pipeline(pipeline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entk_core::{AppManager, AppManagerConfig, Executable, ResourceDescription};
+    use hpc_sim::PlatformId;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    fn sleep_task(name: String, secs: f64) -> Task {
+        Task::new(name, Executable::Sleep { secs })
+    }
+
+    #[test]
+    fn bag_shape() {
+        let wf = bag_of_tasks("bag", 12, |i| sleep_task(format!("b{i}"), 10.0));
+        assert!(wf.validate().is_ok());
+        assert_eq!(wf.task_count(), 12);
+        assert_eq!(wf.pipelines()[0].stages().len(), 1);
+    }
+
+    #[test]
+    fn simulation_analysis_shape_and_run() {
+        let wf = simulation_analysis_loop(
+            "msm",
+            2,
+            4,
+            |it, s| sleep_task(format!("sim-{it}-{s}"), 100.0),
+            |it| sleep_task(format!("ana-{it}"), 20.0),
+        );
+        assert!(wf.validate().is_ok());
+        assert_eq!(wf.pipelines()[0].stages().len(), 4);
+        assert_eq!(wf.task_count(), 10);
+        let mut amgr = AppManager::new(
+            AppManagerConfig::new(ResourceDescription::sim(PlatformId::TestRig, 1, 7200))
+                .with_run_timeout(Duration::from_secs(300)),
+        );
+        let report = amgr.run(wf).expect("run completes");
+        assert!(report.succeeded);
+        // 2 × (100 s sims + 20 s analysis) strictly sequenced.
+        assert!(report.rts_profile.exec_makespan_secs >= 240.0 - 1.0);
+    }
+
+    #[test]
+    fn adaptive_loop_runs_until_converged() {
+        let iterations_run = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&iterations_run);
+        let spec = AdaptiveLoop {
+            make_sim: Arc::new(|it, s| {
+                Task::new(format!("asim-{it}-{s}"), Executable::Noop)
+            }),
+            make_analysis: {
+                let counter = Arc::clone(&counter);
+                Arc::new(move |it| {
+                    let counter = Arc::clone(&counter);
+                    Task::new(
+                        format!("aana-{it}"),
+                        Executable::compute(1.0, move || {
+                            counter.fetch_add(1, Ordering::SeqCst);
+                            Ok(())
+                        }),
+                    )
+                })
+            },
+            // "Converge" after the third analysis.
+            continue_after: Arc::new(move |it| it < 2),
+            n_sims: 3,
+        };
+        let wf = adaptive_simulation_analysis("adaptive-msm", spec);
+        assert!(wf.validate().is_ok());
+        let mut amgr = AppManager::new(
+            AppManagerConfig::new(ResourceDescription::local(3))
+                .with_run_timeout(Duration::from_secs(300)),
+        );
+        let report = amgr.run(wf).expect("run completes");
+        assert!(report.succeeded);
+        assert_eq!(iterations_run.load(Ordering::SeqCst), 3);
+        // 3 iterations × 2 stages grown at runtime.
+        assert_eq!(report.workflow.pipelines()[0].stages().len(), 6);
+    }
+
+    #[test]
+    fn replica_exchange_synchronizes_rounds() {
+        let wf = replica_exchange(
+            "remd",
+            4,
+            2,
+            |round, r| sleep_task(format!("rep-{round}-{r}"), 50.0),
+            |round| sleep_task(format!("exch-{round}"), 5.0),
+        );
+        assert!(wf.validate().is_ok());
+        let mut amgr = AppManager::new(
+            AppManagerConfig::new(ResourceDescription::sim(PlatformId::TestRig, 1, 7200))
+                .with_run_timeout(Duration::from_secs(300)),
+        );
+        let report = amgr.run(wf).expect("run completes");
+        assert!(report.succeeded);
+        // Replicas within a round are concurrent; rounds are synchronized by
+        // the exchange barrier: makespan ≈ 2 × (50 + 5).
+        assert!(report.rts_profile.exec_makespan_secs >= 110.0 - 1.0);
+        assert!(report.rts_profile.exec_makespan_secs < 140.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! The Fig. 10 forward-simulation campaign.
+//!
+//! "We characterize the scalability of forward simulations with EnTK by
+//! running experiments with a varying number of tasks, where each task uses
+//! 384 nodes/6,144 cores to forward simulate one earthquake." Concurrency is
+//! controlled through the pilot size: a pilot of `384 × c` nodes runs `c`
+//! simulations at a time and serializes the rest — "EnTK and RP utilize
+//! pilots to sequentialize a subset of the simulations ... without having to
+//! go through Titan's queue multiple times."
+
+use entk_core::{
+    AppManager, AppManagerConfig, Executable, Pipeline, ResourceDescription, Stage, StagingSpec,
+    Task, Workflow,
+};
+use hpc_sim::{PlatformId, StageUnit};
+use std::time::Duration;
+
+/// Nodes per forward simulation (paper: 384 nodes / 6,144 cores on Titan).
+pub const NODES_PER_SIM: u32 = 384;
+/// Cores per forward simulation.
+pub const CORES_PER_SIM: u32 = NODES_PER_SIM * 16;
+/// Input data per earthquake (paper: 40 MB).
+pub const INPUT_BYTES: u64 = 40_000_000;
+/// Nominal forward-simulation runtime at the Fig. 10 floor (≈180 s).
+pub const NOMINAL_SECS: f64 = 180.0;
+/// Sustained shared-filesystem demand per running simulation. Calibrated
+/// with the Titan profile so ≤16 concurrent simulations never fail and 32
+/// concurrent ones fail ~50% of the time.
+pub const IO_DEMAND_BPS: f64 = 2e9;
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Earthquakes to simulate (Fig. 10 sweeps concurrency with a matching
+    /// number of tasks: `tasks = concurrency`).
+    pub earthquakes: usize,
+    /// Concurrent simulations (pilot = `384 × concurrency` nodes).
+    pub concurrency: usize,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Retry budget per task (`None` = resubmit until success, the paper's
+    /// behaviour: "EnTK automatically resubmitted failed tasks until they
+    /// were successfully executed").
+    pub retries: Option<u32>,
+}
+
+impl CampaignConfig {
+    /// The Fig. 10 point at a given concurrency: as in the paper, the task
+    /// count equals the concurrency level (2^0 … 2^5), executed on a pilot
+    /// of `384 × concurrency` nodes.
+    pub fn fig10(concurrency: usize, seed: u64) -> Self {
+        CampaignConfig {
+            earthquakes: concurrency,
+            concurrency,
+            seed,
+            retries: None,
+        }
+    }
+}
+
+/// Results of one campaign run.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Concurrency level.
+    pub concurrency: usize,
+    /// Earthquakes simulated.
+    pub earthquakes: usize,
+    /// Task Execution Time: makespan of the execution phase, virtual
+    /// seconds.
+    pub task_execution_secs: f64,
+    /// Failed attempts observed (0 expected at ≤16 concurrent).
+    pub failed_attempts: u64,
+    /// Total attempts (earthquakes + resubmissions).
+    pub total_attempts: u64,
+    /// Data staging total, virtual seconds.
+    pub staging_secs: f64,
+}
+
+/// Build the forward-simulation workflow: one pipeline, one stage, one task
+/// per earthquake.
+pub fn forward_workflow(cfg: &CampaignConfig) -> Workflow {
+    let mut stage = Stage::new("forward-simulations");
+    for q in 0..cfg.earthquakes {
+        stage.add_task(
+            Task::new(
+                format!("forward-eq{q:04}"),
+                Executable::SpecfemForward {
+                    nominal_secs: NOMINAL_SECS,
+                    io_demand_bps: IO_DEMAND_BPS,
+                },
+            )
+            .with_cpus(CORES_PER_SIM)
+            .with_gpus(NODES_PER_SIM)
+            .with_staging(StagingSpec::input(StageUnit::single_file(INPUT_BYTES)))
+            .with_max_retries(cfg.retries),
+        );
+    }
+    Workflow::new().with_pipeline(Pipeline::new("seismic-forward").with_stage(stage))
+}
+
+/// Resource description for the campaign: a Titan pilot sized to the
+/// requested concurrency.
+pub fn campaign_resource(cfg: &CampaignConfig) -> ResourceDescription {
+    ResourceDescription::sim(
+        PlatformId::Titan,
+        NODES_PER_SIM * cfg.concurrency as u32,
+        24 * 3600,
+    )
+    .with_seed(cfg.seed)
+}
+
+/// Run one campaign through EnTK on the simulated Titan.
+pub fn forward_campaign(cfg: &CampaignConfig) -> CampaignReport {
+    let workflow = forward_workflow(cfg);
+    let mut amgr = AppManager::new(
+        AppManagerConfig::new(campaign_resource(cfg))
+            .with_task_retries(cfg.retries)
+            .with_run_timeout(Duration::from_secs(300)),
+    );
+    let report = amgr.run(workflow).expect("campaign completes");
+    assert!(
+        report.succeeded,
+        "with unlimited resubmission the campaign must finish"
+    );
+    let (done, failed) = (
+        report.overheads.tasks_done,
+        report.overheads.failed_attempts,
+    );
+    CampaignReport {
+        concurrency: cfg.concurrency,
+        earthquakes: cfg.earthquakes,
+        task_execution_secs: report.rts_profile.exec_makespan_secs,
+        failed_attempts: failed,
+        total_attempts: done + failed,
+        staging_secs: report.rts_profile.staging_total_secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workflow_shape_matches_paper() {
+        let wf = forward_workflow(&CampaignConfig::fig10(4, 0));
+        assert_eq!(wf.pipelines().len(), 1);
+        assert_eq!(wf.pipelines()[0].stages().len(), 1);
+        let tasks = wf.pipelines()[0].stages()[0].tasks();
+        assert_eq!(tasks.len(), 4);
+        assert_eq!(tasks[0].cpu_reqs, 6_144);
+        assert_eq!(tasks[0].gpu_reqs, 384);
+        assert_eq!(
+            tasks[0]
+                .staging
+                .stage_in
+                .as_ref()
+                .unwrap()
+                .total_bytes(),
+            INPUT_BYTES
+        );
+    }
+
+    #[test]
+    fn low_concurrency_runs_without_failures() {
+        // 2 simulations on a 2-slot pilot: aggregate I/O 4 GB/s ≪ capacity.
+        let report = forward_campaign(&CampaignConfig::fig10(2, 1));
+        assert_eq!(report.failed_attempts, 0);
+        assert_eq!(report.total_attempts, 2);
+        // Concurrent: makespan ≈ one simulation.
+        assert!(
+            report.task_execution_secs < 1.6 * NOMINAL_SECS,
+            "exec {}",
+            report.task_execution_secs
+        );
+    }
+
+    #[test]
+    fn serialization_halves_concurrency_doubles_time() {
+        // 4 earthquakes on a 2-slot pilot: two generations.
+        let cfg = CampaignConfig {
+            earthquakes: 4,
+            concurrency: 2,
+            seed: 1,
+            retries: None,
+        };
+        let report = forward_campaign(&cfg);
+        assert_eq!(report.failed_attempts, 0);
+        assert!(
+            report.task_execution_secs >= 2.0 * NOMINAL_SECS * 0.8,
+            "exec {}",
+            report.task_execution_secs
+        );
+    }
+}

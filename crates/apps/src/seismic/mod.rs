@@ -1,0 +1,15 @@
+//! The seismic-inversion use case (paper §III-A, §IV-C1).
+//!
+//! Full-waveform seismic tomography iteratively minimizes the misfit between
+//! observed and synthetic seismograms. Its workflow (Fig. 4) interleaves
+//! large forward/adjoint Specfem simulations (384 GPU nodes each) with data
+//! processing and optimization steps. The forward simulations account for
+//! more than 90% of the compute time and, run concurrently, place heavy I/O
+//! on the shared filesystem — at high concurrency they crash (Fig. 10), and
+//! EnTK's automatic resubmission is what makes the campaign practical.
+
+pub mod campaign;
+pub mod tomography;
+
+pub use campaign::{forward_campaign, CampaignConfig, CampaignReport};
+pub use tomography::tomography_pipeline;

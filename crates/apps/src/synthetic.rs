@@ -1,0 +1,89 @@
+//! Synthetic workload generators: the sleep / Gromacs `mdrun` applications
+//! of Table I (Experiments 1–4) and the weak/strong scaling studies.
+
+use entk_core::{Executable, StagingSpec, Task, Workflow};
+use entk_core::workflow::uniform_workflow;
+use hpc_sim::StageUnit;
+
+/// `pipelines × stages × tasks` of `sleep <secs>` — the workload of
+/// Experiments 2–4.
+pub fn sleep_workflow(pipelines: usize, stages: usize, tasks: usize, secs: f64) -> Workflow {
+    uniform_workflow(pipelines, stages, tasks, |p, s, t| {
+        Task::new(
+            format!("sleep-p{p}-s{s}-t{t}"),
+            Executable::Sleep { secs },
+        )
+    })
+}
+
+/// `pipelines × stages × tasks` of Gromacs `mdrun` — Experiment 1 and the
+/// scaling studies. Each task is 1-core with the weak-scaling staging unit
+/// (3 soft links + one 550 KB input file) when `staged` is set.
+pub fn mdrun_workflow(
+    pipelines: usize,
+    stages: usize,
+    tasks: usize,
+    nominal_secs: f64,
+    staged: bool,
+) -> Workflow {
+    uniform_workflow(pipelines, stages, tasks, |p, s, t| {
+        let mut task = Task::new(
+            format!("mdrun-p{p}-s{s}-t{t}"),
+            Executable::GromacsMdrun { nominal_secs },
+        );
+        if staged {
+            task = task.with_staging(StagingSpec::input(StageUnit::weak_scaling_unit()));
+        }
+        task
+    })
+}
+
+/// The weak-scaling application (§IV-B1): 1 pipeline, 1 stage, `tasks`
+/// 1-core ~600 s `mdrun` tasks, each with 3 soft links + one 550 KB file.
+pub fn weak_scaling_workflow(tasks: usize) -> Workflow {
+    mdrun_workflow(1, 1, tasks, 600.0, true)
+}
+
+/// The strong-scaling application (§IV-B2): 1 pipeline, 1 stage, 8,192
+/// 1-core ~600 s `mdrun` tasks (cores vary through the pilot size).
+pub fn strong_scaling_workflow(tasks: usize) -> Workflow {
+    mdrun_workflow(1, 1, tasks, 600.0, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entk_core::TaskState;
+
+    #[test]
+    fn sleep_workflow_shapes() {
+        for (p, s, t) in [(16usize, 1usize, 1usize), (1, 16, 1), (1, 1, 16)] {
+            let wf = sleep_workflow(p, s, t, 100.0);
+            assert!(wf.validate().is_ok());
+            assert_eq!(wf.task_count(), 16);
+            assert_eq!(wf.pipelines().len(), p);
+            assert_eq!(wf.pipelines()[0].stages().len(), s);
+        }
+    }
+
+    #[test]
+    fn weak_scaling_tasks_have_staging() {
+        let wf = weak_scaling_workflow(8);
+        let stage = &wf.pipelines()[0].stages()[0];
+        for task in stage.tasks() {
+            let unit = task.staging.stage_in.as_ref().expect("staged");
+            assert_eq!(unit.metadata_ops, 4);
+            assert_eq!(unit.total_bytes(), 550_000);
+            assert_eq!(task.cpu_reqs, 1);
+            assert_eq!(task.state(), TaskState::Described);
+        }
+    }
+
+    #[test]
+    fn strong_scaling_shape() {
+        let wf = strong_scaling_workflow(64);
+        assert_eq!(wf.task_count(), 64);
+        assert_eq!(wf.pipelines().len(), 1);
+        assert_eq!(wf.pipelines()[0].stages().len(), 1);
+    }
+}

@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks for the AnEn kernels: similarity search per
+//! location and unstructured-grid interpolation — the hot loops of the
+//! Fig. 11 use case.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use entk_apps::anen::similarity::AnenPredictor;
+use entk_apps::anen::{
+    AnenDataset, DatasetConfig, Domain, ScatterInterpolator, SimilarityConfig,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn dataset() -> AnenDataset {
+    AnenDataset::generate(DatasetConfig {
+        domain: Domain {
+            width: 128,
+            height: 128,
+        },
+        train_days: 365,
+        ..Default::default()
+    })
+}
+
+fn bench_analog_search(c: &mut Criterion) {
+    let ds = dataset();
+    let predictor = AnenPredictor::new(&ds, SimilarityConfig::default());
+    let mut group = c.benchmark_group("anen/analog_search");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("predict_one_location_365d_5v", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let x = (i * 13) % 128;
+            let y = (i * 29) % 128;
+            i += 1;
+            predictor.predict(x, y)
+        });
+    });
+    group.finish();
+}
+
+fn bench_idw_interpolation(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut group = c.benchmark_group("anen/idw_query");
+    for &n in &[400usize, 1800] {
+        let points: Vec<(f64, f64)> =
+            (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+        let values: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+        let interp = ScatterInterpolator::new(points, values, 8);
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = (i as f64 * 0.618) % 1.0;
+                i += 1;
+                interp.interpolate(q, (q * 2.0) % 1.0)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analog_search, bench_idw_interpolation);
+criterion_main!(benches);

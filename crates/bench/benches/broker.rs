@@ -1,0 +1,89 @@
+//! Criterion micro-benchmarks for the message broker — the core of the
+//! Fig. 6 prototype: publish/consume/ack cycles, fan-out over queues, and
+//! durable (journaled) publishing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use entk_mq::{Broker, BrokerConfig, Message, QueueConfig};
+
+fn bench_publish_consume(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broker/publish_consume_ack");
+    for &payload in &[64usize, 512, 4096] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{payload}B")),
+            &payload,
+            |b, &payload| {
+                let broker = Broker::new();
+                broker.declare_queue("bench", QueueConfig::default()).unwrap();
+                let body = vec![0u8; payload];
+                b.iter(|| {
+                    broker
+                        .publish("bench", Message::new(body.clone()))
+                        .unwrap();
+                    let d = broker.get("bench").unwrap().unwrap();
+                    broker.ack("bench", d.tag).unwrap();
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_queue_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broker/fanout");
+    for &queues in &[1usize, 4, 16] {
+        group.throughput(Throughput::Elements(1024));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{queues}q")),
+            &queues,
+            |b, &queues| {
+                let broker = Broker::new();
+                for q in 0..queues {
+                    broker
+                        .declare_queue(&format!("q{q}"), QueueConfig::default())
+                        .unwrap();
+                }
+                b.iter(|| {
+                    for i in 0..1024usize {
+                        let q = format!("q{}", i % queues);
+                        broker.publish(&q, Message::new("task")).unwrap();
+                    }
+                    for i in 0..1024usize {
+                        let q = format!("q{}", i % queues);
+                        let d = broker.get(&q).unwrap().unwrap();
+                        broker.ack(&q, d.tag).unwrap();
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_durable_publish(c: &mut Criterion) {
+    let path = std::env::temp_dir().join(format!("entk-bench-{}.journal", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let broker = Broker::with_config(BrokerConfig {
+        journal_path: Some(path.clone()),
+    })
+    .unwrap();
+    broker.declare_queue("durable", QueueConfig::durable()).unwrap();
+    c.bench_function("broker/durable_publish_ack", |b| {
+        b.iter(|| {
+            broker
+                .publish("durable", Message::persistent("state-update"))
+                .unwrap();
+            let d = broker.get("durable").unwrap().unwrap();
+            broker.ack("durable", d.tag).unwrap();
+        });
+    });
+    let _ = std::fs::remove_file(&path);
+}
+
+criterion_group!(
+    benches,
+    bench_publish_consume,
+    bench_queue_fanout,
+    bench_durable_publish
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion micro-benchmarks for the PST data model: uid-indexed task
+//! lookup, schedulable-task scans and state-machine transitions — the
+//! per-task costs behind EnTK's management overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use entk_core::workflow::uniform_workflow;
+use entk_core::{Executable, Task, TaskState};
+
+fn make_workflow(tasks: usize) -> entk_core::Workflow {
+    uniform_workflow(1, 1, tasks, |p, s, t| {
+        Task::new(format!("t-{p}-{s}-{t}"), Executable::Noop)
+    })
+}
+
+fn bench_schedulable_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pst/schedulable_scan");
+    for &tasks in &[256usize, 4096] {
+        group.throughput(Throughput::Elements(tasks as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(tasks),
+            &tasks,
+            |b, &tasks| {
+                let wf = make_workflow(tasks);
+                b.iter(|| {
+                    let ready = wf.schedulable_tasks();
+                    assert_eq!(ready.len(), tasks);
+                    ready
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_task_lookup(c: &mut Criterion) {
+    let wf = make_workflow(4096);
+    let uids: Vec<String> = wf.schedulable_tasks();
+    c.bench_function("pst/uid_lookup_4096", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let uid = &uids[i % uids.len()];
+            i += 1;
+            wf.task(uid).expect("indexed")
+        });
+    });
+}
+
+fn bench_state_transitions(c: &mut Criterion) {
+    c.bench_function("pst/full_task_lifecycle", |b| {
+        b.iter(|| {
+            let mut t = Task::new("bench", Executable::Noop);
+            for s in [
+                TaskState::Scheduling,
+                TaskState::Scheduled,
+                TaskState::Submitting,
+                TaskState::Submitted,
+                TaskState::Executed,
+                TaskState::Done,
+            ] {
+                t.advance(s).unwrap();
+            }
+            t
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_schedulable_scan,
+    bench_task_lookup,
+    bench_state_transitions
+);
+criterion_main!(benches);

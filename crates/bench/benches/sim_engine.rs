@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks for the discrete-event simulation engine:
+//! how fast virtual task executions flow through the engine — the substrate
+//! cost under every timing experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hpc_sim::{
+    JobDescription, Platform, PlatformId, SimConfig, SimEvent, Simulation, TaskDesc,
+};
+
+fn bench_task_round_trips(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/task_round_trip");
+    group.sample_size(20);
+    for &batch in &[16usize, 128] {
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(batch),
+            &batch,
+            |b, &batch| {
+                b.iter(|| {
+                    let h = Simulation::start(
+                        SimConfig::new(Platform::catalog(PlatformId::TestRig)).with_seed(1),
+                    );
+                    let job = h.submit_job(JobDescription::small());
+                    for _ in 0..batch {
+                        h.launch_task(job, TaskDesc::fixed_secs(10));
+                    }
+                    let mut ended = 0;
+                    while ended < batch {
+                        if let Ok(ev) = h.events().recv() {
+                            if matches!(ev, SimEvent::TaskEnded { .. }) {
+                                ended += 1;
+                            }
+                        }
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_staging_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/staging");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(256));
+    group.bench_function("256_units_1_worker", |b| {
+        b.iter(|| {
+            let h = Simulation::start(
+                SimConfig::new(Platform::catalog(PlatformId::Titan)).with_seed(1),
+            );
+            let units = vec![hpc_sim::StageUnit::weak_scaling_unit(); 256];
+            h.stage(units, 1);
+            loop {
+                if let Ok(SimEvent::StageEnded { .. }) = h.events().recv() {
+                    break;
+                }
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_task_round_trips, bench_staging_ops);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Fig. 6: "Execution time and memory consumed by EnTK prototype with
+//! multiple producers and consumers and 10^6 tasks."
+//!
+//! Sweeps (producers, consumers, queues) over {1, 2, 4, 8}³ diagonally, as
+//! in the paper, pushing `--tasks` (default 10^6) task messages through the
+//! broker into an empty RTS sink. Reports producer/consumer/aggregate time
+//! and base/peak RSS.
+//!
+//! Usage: `fig06_prototype [--tasks N] [--quick] [--uneven]`
+
+use entk_bench::{argv, flag_num, has_flag};
+use entk_mq::proto::{run_prototype, PrototypeConfig};
+use std::time::Duration;
+
+fn main() {
+    let args = argv();
+    let tasks = if has_flag(&args, "--quick") {
+        50_000
+    } else {
+        flag_num(&args, "--tasks", 1_000_000usize)
+    };
+
+    println!("Fig. 6 — EnTK prototype benchmark, {tasks} tasks");
+    println!(
+        "{:<22} {:>12} {:>12} {:>12} {:>12} {:>12} {:>14}",
+        "(prod, cons, queues)",
+        "producer s",
+        "consumer s",
+        "aggregate s",
+        "base MB",
+        "peak MB",
+        "tasks/s"
+    );
+
+    let mut configs: Vec<(usize, usize, usize)> =
+        vec![(1, 1, 1), (2, 2, 2), (4, 4, 4), (8, 8, 8)];
+    if has_flag(&args, "--uneven") {
+        // The paper notes: "uneven distributions of producers and consumers
+        // resulted in lower efficiencies than when using even distributions."
+        configs.push((8, 2, 2));
+        configs.push((2, 8, 2));
+    }
+
+    for (p, c, q) in configs {
+        let report = run_prototype(&PrototypeConfig {
+            tasks,
+            producers: p,
+            consumers: c,
+            queues: q,
+            payload_bytes: 512,
+            memory_sample_interval: Some(Duration::from_millis(10)),
+        });
+        let mb = |b: Option<usize>| {
+            b.map(|v| format!("{:.0}", v as f64 / 1e6))
+                .unwrap_or_else(|| "-".into())
+        };
+        println!(
+            "{:<22} {:>12.2} {:>12.2} {:>12.2} {:>12} {:>12} {:>14.0}",
+            format!("({p}, {c}, {q})"),
+            report.producer_secs,
+            report.consumer_secs,
+            report.aggregate_secs,
+            mb(report.base_rss_bytes),
+            mb(report.peak_rss_bytes),
+            report.tasks_per_sec
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Fig. 7: overheads and Task Execution Time as a function of (a) task
+//! executable, (b) task duration, (c) computing infrastructure and (d)
+//! application structure — Experiments 1–4 of Table I.
+//!
+//! Usage: `fig07_overheads [exp1|exp2|exp3|exp4|all] [--seed N]`
+
+use entk_apps::synthetic::{mdrun_workflow, sleep_workflow};
+use entk_bench::{argv, flag_num, print_overheads, run_on_sim};
+use hpc_sim::PlatformId;
+use std::time::Duration;
+
+const NODES: u32 = 2; // 16 1-core tasks fit on one SuperMIC node; use 2
+const WALLTIME: u64 = 4 * 3600;
+const TIMEOUT: Duration = Duration::from_secs(300);
+
+fn exp1(seed: u64) {
+    println!("# Experiment 1 — task executable (SuperMIC, (1,1,16), 300 s)");
+    for (label, wf) in [
+        ("mdrun", mdrun_workflow(1, 1, 16, 300.0, true)),
+        ("sleep", sleep_workflow(1, 1, 16, 300.0)),
+    ] {
+        let report = run_on_sim(wf, PlatformId::SuperMic, NODES, WALLTIME, seed, TIMEOUT);
+        print_overheads(
+            &format!("executable = {label}"),
+            &report.overheads,
+            report.emulated.as_ref(),
+        );
+    }
+}
+
+fn exp2(seed: u64) {
+    println!("# Experiment 2 — task duration (SuperMIC, (1,1,16), sleep)");
+    for secs in [1.0, 10.0, 100.0, 1000.0] {
+        let wf = sleep_workflow(1, 1, 16, secs);
+        let report = run_on_sim(wf, PlatformId::SuperMic, NODES, WALLTIME, seed, TIMEOUT);
+        print_overheads(
+            &format!("duration = {secs} s"),
+            &report.overheads,
+            report.emulated.as_ref(),
+        );
+    }
+}
+
+fn exp3(seed: u64) {
+    println!("# Experiment 3 — computing infrastructure ((1,1,16), sleep 100 s)");
+    for platform in PlatformId::paper_platforms() {
+        let wf = sleep_workflow(1, 1, 16, 100.0);
+        let report = run_on_sim(wf, platform, NODES, WALLTIME, seed, TIMEOUT);
+        print_overheads(
+            &format!("CI = {}", platform.name()),
+            &report.overheads,
+            report.emulated.as_ref(),
+        );
+    }
+}
+
+fn exp4(seed: u64) {
+    println!("# Experiment 4 — application structure (SuperMIC, sleep 100 s)");
+    for (p, s, t) in [(16usize, 1usize, 1usize), (1, 16, 1), (1, 1, 16)] {
+        let wf = sleep_workflow(p, s, t, 100.0);
+        let report = run_on_sim(wf, PlatformId::SuperMic, NODES, WALLTIME, seed, TIMEOUT);
+        print_overheads(
+            &format!("structure = P-{p}, S-{s}, T-{t}"),
+            &report.overheads,
+            report.emulated.as_ref(),
+        );
+    }
+}
+
+fn main() {
+    let args = argv();
+    let seed = flag_num(&args, "--seed", 17u64);
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".into());
+    match which.as_str() {
+        "exp1" => exp1(seed),
+        "exp2" => exp2(seed),
+        "exp3" => exp3(seed),
+        "exp4" => exp4(seed),
+        "all" => {
+            exp1(seed);
+            exp2(seed);
+            exp3(seed);
+            exp4(seed);
+        }
+        other => {
+            eprintln!("unknown experiment '{other}': use exp1|exp2|exp3|exp4|all");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Run every figure/table harness at reduced scale — a smoke target that
+//! regenerates the whole evaluation quickly. Pass `--full` for paper-scale
+//! runs (several minutes).
+
+use std::process::Command;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let quick: &[&str] = if full { &[] } else { &["--quick"] };
+    let bins = [
+        "table1_params",
+        "fig06_prototype",
+        "fig07_overheads",
+        "fig08_weak_scaling",
+        "fig09_strong_scaling",
+        "fig10_seismic",
+        "fig11_anen",
+    ];
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    for bin in bins {
+        println!("================ {bin} ================");
+        let status = Command::new(exe_dir.join(bin))
+            .args(quick)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+    println!("all figure harnesses completed");
+}

@@ -1,0 +1,39 @@
+//! Table I: parameters of the experiments plotted in Figure 7.
+
+fn main() {
+    println!("Table I: Parameters of the experiments plotted in Figure 7");
+    println!(
+        "{:<3} {:<38} {:<22} {:<14} {:<22} {:<6}",
+        "ID", "Computing Infrastructure (CI)", "Pipeline, Stage, Task", "Executable", "Task Duration", "Data"
+    );
+    let rows = [
+        (
+            "1",
+            "SuperMIC",
+            "(1,1,16)",
+            "mdrun, sleep",
+            "300s",
+            "staged",
+        ),
+        ("2", "SuperMIC", "(1,1,16)", "sleep", "1s, 10s, 100s, 1,000s", "None"),
+        (
+            "3",
+            "SuperMIC, Stampede, Comet, Titan",
+            "(1,1,16)",
+            "sleep",
+            "100s",
+            "None",
+        ),
+        (
+            "4",
+            "SuperMIC",
+            "(16,1,1), (1,16,1), (1,1,16)",
+            "sleep",
+            "100s",
+            "None",
+        ),
+    ];
+    for (id, ci, pst, exe, dur, data) in rows {
+        println!("{id:<3} {ci:<38} {pst:<22} {exe:<14} {dur:<22} {data:<6}");
+    }
+}

@@ -1,0 +1,902 @@
+//! The AppManager: EnTK's master component.
+//!
+//! "Users describe an application via the API, instantiate the AppManager
+//! component with information about the available CIs and then pass the
+//! application description to AppManager for execution. AppManager holds
+//! these descriptions and, upon initialization, creates all the queues,
+//! spawns the Synchronizer, and instantiates the WFProcessor and
+//! ExecManager." (§II-B3)
+
+use crate::execmanager::{self, RtsPools, RtsSlot};
+use crate::messages::{self, component};
+use crate::profiler::{OverheadReport, Profiler, PythonEmulation};
+use crate::states::TaskState;
+use crate::statestore::StateStore;
+use crate::synchronizer;
+use crate::wfprocessor;
+use crate::workflow::Workflow;
+use crate::{EntkError, EntkResult};
+use entk_mq::{Broker, BrokerConfig, QueueConfig};
+use hpc_sim::{Platform, PlatformId};
+use parking_lot::Mutex;
+use rp_rts::{
+    BackendConfig, LocalConfig, PilotDescription, RtsConfig, RtsProfile, UnitRecord,
+};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which execution backend the resource description targets.
+#[derive(Debug, Clone)]
+pub enum ResourceBackend {
+    /// A simulated CI from the platform catalogue (all timing experiments).
+    Sim {
+        /// The machine.
+        platform: PlatformId,
+    },
+    /// A simulated CI with a custom profile.
+    SimCustom {
+        /// The profile.
+        platform: Platform,
+    },
+    /// The local machine: real compute on a thread pool.
+    Local {
+        /// Worker threads.
+        workers: usize,
+        /// Real seconds per nominal second for time-based executables.
+        time_scale: f64,
+    },
+}
+
+/// Description of the resources to acquire — what the user gives AppManager
+/// about "the available CIs".
+#[derive(Debug, Clone)]
+pub struct ResourceDescription {
+    /// Pool name tasks can target via [`crate::Task::with_resource_pool`].
+    pub name: String,
+    /// Backend / CI selection.
+    pub backend: ResourceBackend,
+    /// Nodes for the pilot.
+    pub nodes: u32,
+    /// Pilot walltime, seconds.
+    pub walltime_secs: u64,
+    /// Pilot agent bootstrap time, seconds.
+    pub bootstrap_secs: f64,
+    /// RTS staging workers.
+    pub stagers: usize,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Per-operation latency of the RTS's remote DB (MongoDB stand-in).
+    pub db_op_latency: Duration,
+}
+
+impl ResourceDescription {
+    /// A pilot of `nodes` nodes on a simulated CI.
+    pub fn sim(platform: PlatformId, nodes: u32, walltime_secs: u64) -> Self {
+        ResourceDescription {
+            name: "default".into(),
+            backend: ResourceBackend::Sim { platform },
+            nodes,
+            walltime_secs,
+            bootstrap_secs: 0.0,
+            stagers: 1,
+            seed: 0,
+            db_op_latency: Duration::ZERO,
+        }
+    }
+
+    /// The local machine with `workers` concurrent slots.
+    pub fn local(workers: usize) -> Self {
+        ResourceDescription {
+            name: "default".into(),
+            backend: ResourceBackend::Local {
+                workers,
+                time_scale: 0.0,
+            },
+            nodes: 1,
+            walltime_secs: u64::MAX / 4,
+            bootstrap_secs: 0.0,
+            stagers: 1,
+            seed: 0,
+            db_op_latency: Duration::ZERO,
+        }
+    }
+
+    /// Builder: pool name (multi-resource executions).
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Builder: simulation seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: staging workers.
+    pub fn with_stagers(mut self, stagers: usize) -> Self {
+        self.stagers = stagers;
+        self
+    }
+
+    /// Builder: remote-DB per-operation latency.
+    pub fn with_db_latency(mut self, latency: Duration) -> Self {
+        self.db_op_latency = latency;
+        self
+    }
+
+    fn rts_config(&self) -> RtsConfig {
+        let backend = match &self.backend {
+            ResourceBackend::Sim { platform } => BackendConfig::Sim {
+                platform: *platform,
+            },
+            ResourceBackend::SimCustom { platform } => BackendConfig::SimCustom {
+                platform: platform.clone(),
+            },
+            ResourceBackend::Local {
+                workers,
+                time_scale,
+            } => BackendConfig::Local(LocalConfig {
+                workers: *workers,
+                time_scale: *time_scale,
+            }),
+        };
+        RtsConfig {
+            backend,
+            stagers: self.stagers,
+            db: rp_rts::db::DbConfig {
+                op_latency: self.db_op_latency,
+            },
+            seed: self.seed,
+        }
+    }
+
+    fn pilot_desc(&self) -> PilotDescription {
+        let platform = match &self.backend {
+            ResourceBackend::Sim { platform } => *platform,
+            ResourceBackend::SimCustom { platform } => platform.id,
+            ResourceBackend::Local { .. } => PlatformId::TestRig,
+        };
+        PilotDescription {
+            platform,
+            nodes: self.nodes,
+            walltime_secs: self.walltime_secs,
+            bootstrap_secs: self.bootstrap_secs,
+        }
+    }
+
+    /// Total concurrent task slots this resource provides (for the
+    /// interpreter-emulation strain model).
+    pub fn total_cores(&self) -> usize {
+        match &self.backend {
+            ResourceBackend::Sim { platform } => {
+                let p = Platform::catalog(*platform);
+                self.nodes as usize * p.cores_per_node as usize
+            }
+            ResourceBackend::SimCustom { platform } => {
+                self.nodes as usize * platform.cores_per_node as usize
+            }
+            ResourceBackend::Local { workers, .. } => *workers,
+        }
+    }
+}
+
+/// How the toolkit paces task submission — the paper's future-work
+/// "adaptive execution strategies to enable optimal resource utilization"
+/// (§VI), motivated by Fig. 10: on Titan, forward simulations are best
+/// executed with at most 24 concurrent tasks because higher concurrency
+/// overloads the shared filesystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionStrategy {
+    /// Submit everything as soon as it is schedulable (EnTK's default).
+    Eager,
+    /// Never allow more than this many tasks in flight.
+    FixedConcurrency(usize),
+    /// AIMD throttling: start at `initial` concurrent tasks, halve the cap
+    /// on every failed attempt (down to `min`), add one back per success.
+    AdaptiveConcurrency {
+        /// Starting (and maximum) cap.
+        initial: usize,
+        /// Floor the cap never drops below.
+        min: usize,
+    },
+}
+
+impl ExecutionStrategy {
+    fn initial_cap(self) -> usize {
+        match self {
+            ExecutionStrategy::Eager => usize::MAX,
+            ExecutionStrategy::FixedConcurrency(n) => n.max(1),
+            ExecutionStrategy::AdaptiveConcurrency { initial, .. } => initial.max(1),
+        }
+    }
+}
+
+/// AppManager configuration.
+#[derive(Debug, Clone)]
+pub struct AppManagerConfig {
+    /// Resource description (required).
+    pub resource: ResourceDescription,
+    /// Default task resubmission budget (`None` = unlimited).
+    pub default_task_retries: Option<u32>,
+    /// How many times the RTS/pilot may be restarted (§II-B4: "users can
+    /// configure the number of times a RTS is restarted").
+    pub max_rts_restarts: u32,
+    /// Heartbeat check interval.
+    pub heartbeat_interval: Duration,
+    /// State journal path (enables recovery across runs).
+    pub journal_path: Option<PathBuf>,
+    /// Broker durability journal path (message recovery).
+    pub broker_journal_path: Option<PathBuf>,
+    /// Wall-clock limit for one `run` call.
+    pub run_timeout: Duration,
+    /// Report paper-scale overheads next to measured ones.
+    pub python_emulation: Option<PythonEmulation>,
+    /// Fault injection: kill the RTS abruptly once, this long after the run
+    /// starts (exercises the Heartbeat's tear-down-and-restart path).
+    pub chaos_rts_kill_after: Option<Duration>,
+    /// Task submission pacing.
+    pub execution_strategy: ExecutionStrategy,
+    /// Additional named resources; tasks select them with
+    /// [`crate::Task::with_resource_pool`].
+    pub extra_resources: Vec<ResourceDescription>,
+}
+
+impl AppManagerConfig {
+    /// Defaults around a resource description.
+    pub fn new(resource: ResourceDescription) -> Self {
+        AppManagerConfig {
+            resource,
+            default_task_retries: Some(3),
+            max_rts_restarts: 3,
+            heartbeat_interval: Duration::from_millis(25),
+            journal_path: None,
+            broker_journal_path: None,
+            run_timeout: Duration::from_secs(600),
+            python_emulation: None,
+            chaos_rts_kill_after: None,
+            execution_strategy: ExecutionStrategy::Eager,
+            extra_resources: Vec::new(),
+        }
+    }
+
+    /// Builder: task retry budget.
+    pub fn with_task_retries(mut self, retries: Option<u32>) -> Self {
+        self.default_task_retries = retries;
+        self
+    }
+
+    /// Builder: state journal.
+    pub fn with_journal(mut self, path: impl Into<PathBuf>) -> Self {
+        self.journal_path = Some(path.into());
+        self
+    }
+
+    /// Builder: python-emulation reporting.
+    pub fn with_python_emulation(mut self, em: PythonEmulation) -> Self {
+        self.python_emulation = Some(em);
+        self
+    }
+
+    /// Builder: wall-clock run limit.
+    pub fn with_run_timeout(mut self, timeout: Duration) -> Self {
+        self.run_timeout = timeout;
+        self
+    }
+
+    /// Builder: RTS restart budget.
+    pub fn with_max_rts_restarts(mut self, n: u32) -> Self {
+        self.max_rts_restarts = n;
+        self
+    }
+
+    /// Builder: fault injection — kill the RTS once after `delay`.
+    pub fn with_chaos_rts_kill(mut self, delay: Duration) -> Self {
+        self.chaos_rts_kill_after = Some(delay);
+        self
+    }
+
+    /// Builder: execution strategy.
+    pub fn with_execution_strategy(mut self, strategy: ExecutionStrategy) -> Self {
+        self.execution_strategy = strategy;
+        self
+    }
+
+    /// Builder: add a named resource pool.
+    pub fn with_extra_resource(mut self, resource: ResourceDescription) -> Self {
+        self.extra_resources.push(resource);
+        self
+    }
+}
+
+/// Shared context for all EnTK components.
+pub(crate) struct Ctx {
+    /// The message broker (the communication infrastructure of §II-C).
+    pub broker: Broker,
+    /// The application's global state — AppManager is the only stateful
+    /// component; everyone else references objects by uid.
+    pub workflow: Mutex<Workflow>,
+    /// Overhead accounting.
+    pub profiler: Profiler,
+    /// Transactional state journal.
+    pub store: Option<StateStore>,
+    /// Global run flag; components exit when cleared.
+    pub running: AtomicBool,
+    /// Default task retry budget.
+    pub default_retries: Option<u32>,
+    /// Fatal error raised by a component (stops the run).
+    pub fatal: Mutex<Option<String>>,
+    /// Tasks currently in flight (Scheduling → Executed); maintained by the
+    /// Synchronizer, read by Enqueue's throttle.
+    pub in_flight: std::sync::atomic::AtomicUsize,
+    /// Current concurrency cap (see [`ExecutionStrategy`]).
+    pub concurrency_cap: std::sync::atomic::AtomicUsize,
+    /// The configured strategy (Dequeue adapts the cap when AIMD).
+    pub strategy: ExecutionStrategy,
+    /// Unit tests bypass the queues and apply transitions inline.
+    inline_sync: bool,
+}
+
+impl Ctx {
+    fn new(
+        broker: Broker,
+        workflow: Workflow,
+        store: Option<StateStore>,
+        default_retries: Option<u32>,
+        strategy: ExecutionStrategy,
+    ) -> Arc<Self> {
+        Arc::new(Ctx {
+            broker,
+            workflow: Mutex::new(workflow),
+            profiler: Profiler::new(),
+            store,
+            running: AtomicBool::new(true),
+            default_retries,
+            fatal: Mutex::new(None),
+            in_flight: std::sync::atomic::AtomicUsize::new(0),
+            concurrency_cap: std::sync::atomic::AtomicUsize::new(strategy.initial_cap()),
+            strategy,
+            inline_sync: false,
+        })
+    }
+
+    /// Test-only context: no component threads; transitions apply inline.
+    #[cfg(test)]
+    pub(crate) fn for_tests(workflow: Workflow) -> Arc<Self> {
+        Self::for_tests_with_retries(workflow, None)
+    }
+
+    /// Test-only context with an explicit retry budget.
+    #[cfg(test)]
+    pub(crate) fn for_tests_with_retries(
+        workflow: Workflow,
+        retries: Option<u32>,
+    ) -> Arc<Self> {
+        let broker = Broker::new();
+        declare_queues(&broker).expect("fresh broker");
+        Arc::new(Ctx {
+            broker,
+            workflow: Mutex::new(workflow),
+            profiler: Profiler::new(),
+            store: None,
+            running: AtomicBool::new(true),
+            default_retries: retries,
+            fatal: Mutex::new(None),
+            in_flight: std::sync::atomic::AtomicUsize::new(0),
+            concurrency_cap: std::sync::atomic::AtomicUsize::new(usize::MAX),
+            strategy: ExecutionStrategy::Eager,
+            inline_sync: true,
+        })
+    }
+
+    /// Journal one applied transition (no-op without a state store).
+    pub(crate) fn journal(&self, kind: &str, uid: &str, name: &str, state: &str) {
+        if let Some(store) = &self.store {
+            let _ = store.record(kind, uid, name, state);
+        }
+    }
+
+    /// Request a task transition through the Synchronizer and wait for the
+    /// acknowledgement (arrows 6–7). Returns whether it was applied.
+    pub(crate) fn sync_task(&self, comp: &str, uid: &str, state: TaskState) -> bool {
+        if self.inline_sync {
+            return synchronizer::apply_task(self, uid, state);
+        }
+        if self
+            .broker
+            .publish(
+                messages::SYNC,
+                messages::sync_message(comp, crate::uid::Kind::Task, uid, state.name()),
+            )
+            .is_err()
+        {
+            return false;
+        }
+        let ack_queue = messages::ack_queue(comp);
+        loop {
+            match self.broker.get_timeout(&ack_queue, Duration::from_millis(100)) {
+                Ok(Some(d)) => {
+                    let _ = self.broker.ack(&ack_queue, d.tag);
+                    let (acked_uid, ok) = messages::parse_ack(&d.message);
+                    debug_assert_eq!(acked_uid, uid, "ack routing is per-component");
+                    return ok;
+                }
+                Ok(None) => {
+                    if !self.running.load(Ordering::Acquire) {
+                        return false;
+                    }
+                }
+                Err(_) => return false,
+            }
+        }
+    }
+
+    /// Record a fatal condition and stop the run.
+    pub(crate) fn fail_fatal(&self, reason: String) {
+        *self.fatal.lock() = Some(reason);
+        self.running.store(false, Ordering::Release);
+    }
+}
+
+fn declare_queues(broker: &Broker) -> EntkResult<()> {
+    broker.declare_queue(messages::PENDING, QueueConfig::default())?;
+    broker.declare_queue(messages::DONE, QueueConfig::default())?;
+    broker.declare_queue(messages::SYNC, QueueConfig::default())?;
+    for comp in component::ALL {
+        broker.declare_queue(&messages::ack_queue(comp), QueueConfig::default())?;
+    }
+    Ok(())
+}
+
+/// Result of one `run` call.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Measured overhead decomposition (real Rust implementation).
+    pub overheads: OverheadReport,
+    /// Paper-scale overheads (measured + interpreter emulation), when
+    /// configured.
+    pub emulated: Option<OverheadReport>,
+    /// Aggregate RTS profile across incarnations (virtual seconds on the
+    /// simulated backend).
+    pub rts_profile: RtsProfile,
+    /// Per-unit timelines across all pools and incarnations — the raw data
+    /// behind the profile, kept for postmortem analysis (§II-B4: "failures
+    /// are logged and reported to the user ... for live or postmortem
+    /// analysis").
+    pub unit_records: Vec<UnitRecord>,
+    /// RTS/pilot restarts performed.
+    pub rts_restarts: u32,
+    /// Total wall time of the run.
+    pub wall_secs: f64,
+    /// Final workflow snapshot.
+    pub workflow: Workflow,
+    /// Whether every pipeline finished Done.
+    pub succeeded: bool,
+}
+
+impl RunReport {
+    /// Write the per-task timeline as CSV (one row per attempt record) for
+    /// postmortem analysis: tag, submit/stage/start/end timestamps on the
+    /// backend timeline and the outcome.
+    pub fn write_task_csv(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        use std::io::Write;
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(
+            f,
+            "tag,submitted_s,stage_in_done_s,stage_in_duration_s,started_s,ended_s,outcome"
+        )?;
+        let opt = |v: Option<f64>| v.map(|x| format!("{x:.6}")).unwrap_or_default();
+        for r in &self.unit_records {
+            let outcome = match &r.outcome {
+                Some(rp_rts::UnitOutcome::Done) => "done".to_string(),
+                Some(rp_rts::UnitOutcome::Failed(e)) => {
+                    format!("failed:{}", e.replace([',', '\n'], " "))
+                }
+                Some(rp_rts::UnitOutcome::Canceled) => "canceled".to_string(),
+                None => String::new(),
+            };
+            writeln!(
+                f,
+                "{},{:.6},{},{:.6},{},{},{outcome}",
+                r.tag.replace(',', " "),
+                r.submitted_secs,
+                opt(r.stage_in_done_secs),
+                r.stage_in_duration_secs,
+                opt(r.started_secs),
+                opt(r.ended_secs),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// EnTK's master component and user entry point.
+pub struct AppManager {
+    config: AppManagerConfig,
+}
+
+impl AppManager {
+    /// Create an AppManager for a resource.
+    pub fn new(config: AppManagerConfig) -> Self {
+        AppManager { config }
+    }
+
+    /// Check every task's resource-pool tag against the configured pools.
+    fn validate_pools(&self, workflow: &Workflow) -> EntkResult<()> {
+        let mut names: Vec<&str> = vec![self.config.resource.name.as_str()];
+        for r in &self.config.extra_resources {
+            if names.contains(&r.name.as_str()) {
+                return Err(EntkError::InvalidResource(format!(
+                    "duplicate resource pool name '{}'",
+                    r.name
+                )));
+            }
+            names.push(r.name.as_str());
+        }
+        for p in workflow.pipelines() {
+            for s in p.stages() {
+                for t in s.tasks() {
+                    if let Some(pool) = &t.resource_pool {
+                        if !names.contains(&pool.as_str()) {
+                            return Err(EntkError::InvalidResource(format!(
+                                "task {} targets unknown resource pool '{pool}'",
+                                t.uid()
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute an application to completion.
+    pub fn run(&mut self, mut workflow: Workflow) -> EntkResult<RunReport> {
+        let run_start = Instant::now();
+
+        // ---- Setup phase (measured as EnTK Setup Overhead) -------------
+        let setup_start = Instant::now();
+        workflow.validate()?;
+        self.validate_pools(&workflow)?;
+
+        // Recovery: skip tasks recorded Done in a previous attempt's journal.
+        if let Some(path) = &self.config.journal_path {
+            let completed = StateStore::completed_task_names(path)?;
+            if !completed.is_empty() {
+                recover_completed(&mut workflow, &completed);
+            }
+        }
+
+        let broker = match &self.config.broker_journal_path {
+            Some(p) => Broker::with_config(BrokerConfig {
+                journal_path: Some(p.clone()),
+            })?,
+            None => Broker::new(),
+        };
+        declare_queues(&broker)?;
+        let store = match &self.config.journal_path {
+            Some(p) => Some(StateStore::open(p)?),
+            None => None,
+        };
+        let total_tasks_initial = workflow.task_count();
+        let ctx = Ctx::new(
+            broker,
+            workflow,
+            store,
+            self.config.default_task_retries,
+            self.config.execution_strategy,
+        );
+
+        // Spawn Synchronizer and WFProcessor.
+        let mut handles = vec![
+            synchronizer::spawn(Arc::clone(&ctx)),
+            wfprocessor::spawn_enqueue(Arc::clone(&ctx)),
+            wfprocessor::spawn_dequeue(Arc::clone(&ctx)),
+        ];
+        let setup = setup_start.elapsed();
+        ctx.profiler.set_setup(setup);
+
+        // ---- Rmgr: acquire resources (one RTS + pilot per pool) ---------
+        let rmgr_start = Instant::now();
+        let mut slots = Vec::with_capacity(1 + self.config.extra_resources.len());
+        for resource in std::iter::once(&self.config.resource)
+            .chain(self.config.extra_resources.iter())
+        {
+            slots.push(Arc::new(RtsSlot::acquire(
+                resource.name.clone(),
+                resource.rts_config(),
+                resource.pilot_desc(),
+                self.config.max_rts_restarts,
+            )));
+        }
+        let pools = Arc::new(RtsPools { pools: slots });
+        let rmgr_wall = rmgr_start.elapsed();
+
+        handles.push(execmanager::spawn_emgr(Arc::clone(&ctx), Arc::clone(&pools)));
+        handles.extend(execmanager::spawn_callbacks(&ctx, &pools));
+        handles.extend(execmanager::spawn_heartbeats(
+            &ctx,
+            &pools,
+            self.config.heartbeat_interval,
+        ));
+
+        // Fault injection: one abrupt RTS death (the primary pool's),
+        // §II-B4's failure scenario.
+        if let Some(delay) = self.config.chaos_rts_kill_after {
+            let slot = Arc::clone(&pools.pools[0]);
+            let ctx_chaos = Arc::clone(&ctx);
+            handles.push(
+                std::thread::Builder::new()
+                    .name("entk-chaos".into())
+                    .spawn(move || {
+                        let deadline = Instant::now() + delay;
+                        while Instant::now() < deadline {
+                            if !ctx_chaos.running.load(Ordering::Acquire) {
+                                return;
+                            }
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        slot.slot.read().0.kill();
+                    })
+                    .expect("spawn chaos thread"),
+            );
+        }
+
+        // ---- Main wait loop --------------------------------------------
+        let deadline = run_start + self.config.run_timeout;
+        let mut timed_out = false;
+        loop {
+            if ctx.workflow.lock().is_complete() {
+                break;
+            }
+            if !ctx.running.load(Ordering::Acquire) {
+                break; // a component raised a fatal error
+            }
+            if Instant::now() > deadline {
+                timed_out = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+
+        // ---- Tear-down (measured as EnTK Tear-Down Overhead) ------------
+        let teardown_start = Instant::now();
+        ctx.running.store(false, Ordering::Release);
+        for h in handles {
+            let _ = h.join();
+        }
+        let mut records = Vec::new();
+        let mut rts_teardown = Duration::ZERO;
+        for slot in &pools.pools {
+            records.extend(slot.all_records());
+            rts_teardown += slot.final_teardown();
+        }
+        ctx.profiler.set_rts_teardown(rts_teardown);
+        ctx.broker.close();
+        ctx.profiler.set_teardown(teardown_start.elapsed());
+
+        // ---- Report ------------------------------------------------------
+        let fatal = ctx.fatal.lock().clone();
+        if let Some(reason) = fatal {
+            return Err(EntkError::InvalidResource(reason));
+        }
+        if timed_out {
+            return Err(EntkError::Timeout);
+        }
+
+        records.sort_by(|a, b| a.submitted_secs.total_cmp(&b.submitted_secs));
+        let rts_profile = RtsProfile::from_records(&records);
+        let (done, failed) = ctx.profiler.attempts();
+        let overheads = OverheadReport {
+            entk_setup_secs: ctx.profiler.setup_secs(),
+            entk_management_secs: ctx.profiler.management_secs(),
+            entk_teardown_secs: ctx.profiler.teardown_secs(),
+            // RTS overhead: real client-side acquisition plus the virtual
+            // submission→first-start span on the CI.
+            rts_overhead_secs: rmgr_wall.as_secs_f64() + rts_profile.submit_to_first_start_secs,
+            rts_teardown_secs: ctx.profiler.rts_teardown_secs(),
+            data_staging_secs: rts_profile.staging_total_secs,
+            task_execution_secs: rts_profile.exec_makespan_secs,
+            tasks_done: done,
+            failed_attempts: failed,
+            transitions: ctx.profiler.transitions(),
+        };
+        let emulated = self.config.python_emulation.as_ref().map(|em| {
+            let total_tasks = total_tasks_initial.max(1);
+            let concurrent = total_tasks.min(self.config.resource.total_cores());
+            em.emulate(&overheads, total_tasks, concurrent)
+        });
+
+        let final_workflow = ctx.workflow.lock().clone();
+        let succeeded = final_workflow
+            .pipelines()
+            .iter()
+            .all(|p| p.state() == crate::states::PipelineState::Done);
+        Ok(RunReport {
+            overheads,
+            emulated,
+            rts_profile,
+            unit_records: records,
+            rts_restarts: pools
+                .pools
+                .iter()
+                .map(|s| s.restarts.load(Ordering::SeqCst))
+                .sum(),
+            wall_secs: run_start.elapsed().as_secs_f64(),
+            workflow: final_workflow,
+            succeeded,
+        })
+    }
+}
+
+/// Mark journal-recovered tasks Done and settle fully-recovered stages and
+/// pipelines so they are not re-executed.
+fn recover_completed(workflow: &mut Workflow, completed: &std::collections::HashSet<String>) {
+    for p in workflow.pipelines_mut() {
+        let mut all_stages_done = true;
+        let mut advance_to = 0usize;
+        let stage_count = p.stages().len();
+        for (si, stage) in p.stages_mut().iter_mut().enumerate() {
+            let mut all_done = true;
+            for t in stage.tasks_mut() {
+                if completed.contains(&t.name) {
+                    t.force_state(TaskState::Done);
+                } else {
+                    all_done = false;
+                }
+            }
+            if all_done {
+                stage.force_state(crate::states::StageState::Done);
+                if advance_to == si {
+                    advance_to = si + 1;
+                }
+            } else {
+                all_stages_done = false;
+            }
+        }
+        // Skip fully recovered leading stages.
+        for _ in 0..advance_to.min(stage_count.saturating_sub(1)) {
+            p.advance_stage();
+        }
+        if all_stages_done {
+            // Everything already done: pipeline completes immediately.
+            if advance_to >= stage_count {
+                p.force_state(crate::states::PipelineState::Done);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Pipeline;
+    use crate::stage::Stage;
+    use crate::task::Task;
+    use rp_rts::Executable;
+
+    #[test]
+    fn resource_description_cores() {
+        let r = ResourceDescription::sim(PlatformId::Titan, 256, 3600);
+        assert_eq!(r.total_cores(), 256 * 16);
+        let r = ResourceDescription::local(8);
+        assert_eq!(r.total_cores(), 8);
+    }
+
+    #[test]
+    fn config_builders() {
+        let cfg = AppManagerConfig::new(ResourceDescription::local(2))
+            .with_task_retries(None)
+            .with_max_rts_restarts(7)
+            .with_run_timeout(Duration::from_secs(5));
+        assert_eq!(cfg.default_task_retries, None);
+        assert_eq!(cfg.max_rts_restarts, 7);
+        assert_eq!(cfg.run_timeout, Duration::from_secs(5));
+    }
+
+    fn wf(names: &[&str]) -> Workflow {
+        let mut stage = Stage::new("s");
+        for n in names {
+            stage.add_task(Task::new(*n, Executable::Noop));
+        }
+        Workflow::new().with_pipeline(Pipeline::new("p").with_stage(stage))
+    }
+
+    #[test]
+    fn recovery_marks_done_and_settles() {
+        let mut workflow = wf(&["a", "b"]);
+        let completed: std::collections::HashSet<String> =
+            ["a", "b"].iter().map(|s| s.to_string()).collect();
+        recover_completed(&mut workflow, &completed);
+        assert!(workflow.is_complete());
+        assert_eq!(workflow.count_in(TaskState::Done), 2);
+    }
+
+    #[test]
+    fn partial_recovery_leaves_rest_schedulable() {
+        let mut workflow = wf(&["a", "b"]);
+        let completed: std::collections::HashSet<String> =
+            ["a"].iter().map(|s| s.to_string()).collect();
+        recover_completed(&mut workflow, &completed);
+        assert!(!workflow.is_complete());
+        let sched = workflow.schedulable_tasks();
+        assert_eq!(sched.len(), 1);
+        assert_eq!(workflow.task(&sched[0]).unwrap().name, "b");
+    }
+
+    #[test]
+    fn recovery_skips_leading_done_stages() {
+        let mut workflow = Workflow::new().with_pipeline(
+            Pipeline::new("p")
+                .with_stage(Stage::new("s0").with_task(Task::new("a", Executable::Noop)))
+                .with_stage(Stage::new("s1").with_task(Task::new("b", Executable::Noop))),
+        );
+        let completed: std::collections::HashSet<String> =
+            ["a"].iter().map(|s| s.to_string()).collect();
+        recover_completed(&mut workflow, &completed);
+        assert_eq!(workflow.pipelines()[0].current_stage(), 1);
+        let sched = workflow.schedulable_tasks();
+        assert_eq!(workflow.task(&sched[0]).unwrap().name, "b");
+    }
+
+    #[test]
+    fn end_to_end_local_backend() {
+        use std::sync::atomic::AtomicUsize;
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut stage = Stage::new("compute");
+        for i in 0..6 {
+            let c = Arc::clone(&counter);
+            stage.add_task(Task::new(
+                format!("c{i}"),
+                Executable::compute(1.0, move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                    Ok(())
+                }),
+            ));
+        }
+        let workflow =
+            Workflow::new().with_pipeline(Pipeline::new("p").with_stage(stage));
+        let mut amgr = AppManager::new(
+            AppManagerConfig::new(ResourceDescription::local(3))
+                .with_run_timeout(Duration::from_secs(30)),
+        );
+        let report = amgr.run(workflow).expect("run succeeds");
+        assert!(report.succeeded);
+        assert_eq!(counter.load(Ordering::SeqCst), 6);
+        assert_eq!(report.overheads.tasks_done, 6);
+        assert_eq!(report.rts_restarts, 0);
+        assert!(report.overheads.entk_setup_secs > 0.0);
+    }
+
+    #[test]
+    fn end_to_end_sim_backend_two_stages() {
+        let workflow = Workflow::new().with_pipeline(
+            Pipeline::new("p")
+                .with_stage(
+                    Stage::new("s0")
+                        .with_task(Task::new("t0", Executable::Sleep { secs: 100.0 }))
+                        .with_task(Task::new("t1", Executable::Sleep { secs: 100.0 })),
+                )
+                .with_stage(
+                    Stage::new("s1").with_task(Task::new("t2", Executable::Sleep { secs: 50.0 })),
+                ),
+        );
+        let mut amgr = AppManager::new(
+            AppManagerConfig::new(ResourceDescription::sim(PlatformId::TestRig, 2, 7200))
+                .with_run_timeout(Duration::from_secs(60)),
+        );
+        let report = amgr.run(workflow).expect("run succeeds");
+        assert!(report.succeeded);
+        assert_eq!(report.overheads.tasks_done, 3);
+        // Virtual execution spans both stages: ≥150 virtual seconds.
+        assert!(
+            report.rts_profile.exec_makespan_secs >= 150.0,
+            "makespan {}",
+            report.rts_profile.exec_makespan_secs
+        );
+        // ...but takes far less wall time.
+        assert!(report.wall_secs < 30.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! EnTK error types.
+
+use crate::states::{PipelineState, StageState, TaskState};
+use std::fmt;
+
+/// Result alias.
+pub type EntkResult<T> = Result<T, EntkError>;
+
+/// Errors raised by EnTK.
+#[derive(Debug)]
+pub enum EntkError {
+    /// The application description failed validation.
+    InvalidWorkflow(String),
+    /// An illegal state transition was attempted on a task.
+    BadTaskTransition {
+        /// Task uid.
+        uid: String,
+        /// Current state.
+        from: TaskState,
+        /// Requested state.
+        to: TaskState,
+    },
+    /// An illegal state transition was attempted on a stage.
+    BadStageTransition {
+        /// Stage uid.
+        uid: String,
+        /// Current state.
+        from: StageState,
+        /// Requested state.
+        to: StageState,
+    },
+    /// An illegal state transition was attempted on a pipeline.
+    BadPipelineTransition {
+        /// Pipeline uid.
+        uid: String,
+        /// Current state.
+        from: PipelineState,
+        /// Requested state.
+        to: PipelineState,
+    },
+    /// A uid was not found in the workflow.
+    UnknownUid(String),
+    /// The resource description is missing or inconsistent.
+    InvalidResource(String),
+    /// The messaging layer failed.
+    Mq(entk_mq::MqError),
+    /// The runtime system failed beyond the configured restart budget.
+    RtsExhausted {
+        /// Restarts attempted.
+        restarts: u32,
+    },
+    /// The run did not finish within the configured wall limit.
+    Timeout,
+    /// State journal I/O failure.
+    Journal(std::io::Error),
+}
+
+impl fmt::Display for EntkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EntkError::InvalidWorkflow(m) => write!(f, "invalid workflow: {m}"),
+            EntkError::BadTaskTransition { uid, from, to } => {
+                write!(f, "illegal task transition {uid}: {from} -> {to}")
+            }
+            EntkError::BadStageTransition { uid, from, to } => {
+                write!(f, "illegal stage transition {uid}: {from} -> {to}")
+            }
+            EntkError::BadPipelineTransition { uid, from, to } => {
+                write!(f, "illegal pipeline transition {uid}: {from} -> {to}")
+            }
+            EntkError::UnknownUid(uid) => write!(f, "unknown uid: {uid}"),
+            EntkError::InvalidResource(m) => write!(f, "invalid resource description: {m}"),
+            EntkError::Mq(e) => write!(f, "messaging failure: {e}"),
+            EntkError::RtsExhausted { restarts } => {
+                write!(f, "RTS failed after {restarts} restart(s)")
+            }
+            EntkError::Timeout => write!(f, "run timed out"),
+            EntkError::Journal(e) => write!(f, "state journal failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EntkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EntkError::Mq(e) => Some(e),
+            EntkError::Journal(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<entk_mq::MqError> for EntkError {
+    fn from(e: entk_mq::MqError) -> Self {
+        EntkError::Mq(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_uids_and_states() {
+        let e = EntkError::BadTaskTransition {
+            uid: "task.0001".into(),
+            from: TaskState::Described,
+            to: TaskState::Done,
+        };
+        let s = e.to_string();
+        assert!(s.contains("task.0001") && s.contains("described") && s.contains("done"));
+    }
+
+    #[test]
+    fn mq_errors_convert() {
+        let e: EntkError = entk_mq::MqError::Timeout.into();
+        assert!(matches!(e, EntkError::Mq(_)));
+    }
+}

@@ -1,0 +1,389 @@
+//! The ExecManager: Rmgr, Emgr, RTS Callback and Heartbeat subcomponents.
+//!
+//! * **Rmgr** acquires resources: it starts one RTS per configured resource
+//!   pool and submits each pool's pilot. Multiple pools realize the seismic
+//!   use case's need to "interleave simulation tasks with data-processing
+//!   tasks, each requiring respectively leadership-scale systems and
+//!   moderately sized clusters" (§III-A).
+//! * **Emgr** "pulls tasks from the Pending queue (arrow 2) and executes
+//!   them using a RTS (arrow 3)", routing each task to its resource pool.
+//! * **RTS Callback** "pushes tasks that have completed execution to the
+//!   Done queue (arrow 4)" — one callback thread per pool.
+//! * **Heartbeat** watches each black-box RTS; "when the RTS fails or
+//!   becomes unresponsive, EnTK can tear it down and bring it back, loosing
+//!   only those tasks that were in execution at the time of the RTS failure"
+//!   (§II-B2). It also re-acquires a pilot when the CI ends it (walltime,
+//!   CI failure) while work remains.
+
+use crate::appmanager::Ctx;
+use crate::messages::{self, component, AttemptOutcome};
+use crate::states::TaskState;
+use crossbeam::channel::RecvTimeoutError;
+use parking_lot::{Mutex, RwLock};
+use rp_rts::{
+    PilotDescription, PilotId, PilotState, RtsConfig, RuntimeSystem, UnitDescription, UnitOutcome,
+    UnitRecord,
+};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shared handle to one resource pool's RTS incarnation plus restart
+/// bookkeeping.
+pub(crate) struct RtsSlot {
+    /// Pool name (tasks select it via `Task::with_resource_pool`).
+    pub name: String,
+    /// Current (RTS, pilot). Write-locked during restart so the Emgr cannot
+    /// submit while the Heartbeat sweeps lost tasks.
+    pub slot: RwLock<(Arc<RuntimeSystem>, PilotId)>,
+    /// Restart budget consumed.
+    pub restarts: AtomicU32,
+    /// Unit records of dead incarnations (for the final profile).
+    pub archived: Mutex<Vec<UnitRecord>>,
+    /// Config used to build replacement RTS instances.
+    pub rts_config: RtsConfig,
+    /// Pilot description used for re-acquisition.
+    pub pilot_desc: PilotDescription,
+    /// Maximum RTS/pilot restarts.
+    pub max_restarts: u32,
+    /// Cumulative RTS teardown wall time across incarnations.
+    pub teardown_wall: Mutex<Duration>,
+}
+
+impl RtsSlot {
+    /// Rmgr: start the first RTS incarnation and acquire the pilot.
+    pub(crate) fn acquire(
+        name: String,
+        rts_config: RtsConfig,
+        pilot_desc: PilotDescription,
+        max_restarts: u32,
+    ) -> Self {
+        let rts = Arc::new(RuntimeSystem::start(rts_config.clone()));
+        let pilot = rts.submit_pilot(&pilot_desc);
+        rts.wait_pilot_ready(pilot, Duration::from_secs(30));
+        RtsSlot {
+            name,
+            slot: RwLock::new((rts, pilot)),
+            restarts: AtomicU32::new(0),
+            archived: Mutex::new(Vec::new()),
+            rts_config,
+            pilot_desc,
+            max_restarts,
+            teardown_wall: Mutex::new(Duration::ZERO),
+        }
+    }
+
+    /// All unit records across incarnations (archived + current).
+    pub(crate) fn all_records(&self) -> Vec<UnitRecord> {
+        let mut records = self.archived.lock().clone();
+        records.extend(self.slot.read().0.records());
+        records
+    }
+
+    /// Tear down the current incarnation, recording the wall time. Returns
+    /// the cumulative teardown time across incarnations.
+    pub(crate) fn final_teardown(&self) -> Duration {
+        let rts = self.slot.read().0.clone();
+        let d = rts.teardown();
+        *self.teardown_wall.lock() += d;
+        *self.teardown_wall.lock()
+    }
+}
+
+/// The full set of resource pools; index 0 is the primary (default) pool.
+pub(crate) struct RtsPools {
+    pub pools: Vec<Arc<RtsSlot>>,
+}
+
+impl RtsPools {
+    /// The slot a task's pool tag routes to; `None` ⇒ the primary pool.
+    /// Unknown names also fall back to the primary pool (validation rejects
+    /// them before the run starts, so this is belt-and-braces).
+    pub(crate) fn slot_for(&self, pool: Option<&str>) -> &Arc<RtsSlot> {
+        match pool {
+            Some(name) => self
+                .pools
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or(&self.pools[0]),
+            None => &self.pools[0],
+        }
+    }
+
+}
+
+/// Spawn the Emgr thread (one; it routes to every pool).
+pub(crate) fn spawn_emgr(ctx: Arc<Ctx>, pools: Arc<RtsPools>) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("entk-emgr".into())
+        .spawn(move || emgr_loop(ctx, pools))
+        .expect("spawn emgr")
+}
+
+/// Spawn one RTS Callback thread per pool.
+pub(crate) fn spawn_callbacks(
+    ctx: &Arc<Ctx>,
+    pools: &Arc<RtsPools>,
+) -> Vec<std::thread::JoinHandle<()>> {
+    pools
+        .pools
+        .iter()
+        .map(|slot| {
+            let ctx = Arc::clone(ctx);
+            let slot = Arc::clone(slot);
+            std::thread::Builder::new()
+                .name(format!("entk-rts-callback-{}", slot.name))
+                .spawn(move || callback_loop(ctx, slot))
+                .expect("spawn rts callback")
+        })
+        .collect()
+}
+
+/// Spawn one Heartbeat thread per pool.
+pub(crate) fn spawn_heartbeats(
+    ctx: &Arc<Ctx>,
+    pools: &Arc<RtsPools>,
+    interval: Duration,
+) -> Vec<std::thread::JoinHandle<()>> {
+    pools
+        .pools
+        .iter()
+        .enumerate()
+        .map(|(idx, slot)| {
+            let ctx = Arc::clone(ctx);
+            let slot = Arc::clone(slot);
+            let is_primary = idx == 0;
+            std::thread::Builder::new()
+                .name(format!("entk-heartbeat-{}", slot.name))
+                .spawn(move || heartbeat_loop(ctx, slot, is_primary, interval))
+                .expect("spawn heartbeat")
+        })
+        .collect()
+}
+
+const EMGR_BATCH: usize = 256;
+
+struct PoolBatch {
+    units: Vec<UnitDescription>,
+    submitted: Vec<(u64, String)>,
+}
+
+fn emgr_loop(ctx: Arc<Ctx>, pools: Arc<RtsPools>) {
+    while ctx.running.load(Ordering::Acquire) {
+        // Collect a batch from the Pending queue.
+        let first = match ctx
+            .broker
+            .get_timeout(messages::PENDING, Duration::from_millis(20))
+        {
+            Ok(Some(d)) => d,
+            Ok(None) => continue,
+            Err(_) => break,
+        };
+        let mut batch = vec![first];
+        while batch.len() < EMGR_BATCH {
+            match ctx.broker.get(messages::PENDING) {
+                Ok(Some(d)) => batch.push(d),
+                _ => break,
+            }
+        }
+        let t0 = Instant::now();
+
+        // Translate tasks to units, grouped by resource pool.
+        let mut groups: HashMap<String, PoolBatch> = HashMap::new();
+        for d in &batch {
+            let uid = messages::parse_pending(&d.message);
+            let (state, unit, pool) = {
+                let wf = ctx.workflow.lock();
+                match wf.task(&uid) {
+                    Some(t) => (
+                        Some(t.state()),
+                        Some(t.to_unit()),
+                        t.resource_pool.clone(),
+                    ),
+                    None => (None, None, None),
+                }
+            };
+            match state {
+                Some(TaskState::Scheduled) => {
+                    if !ctx.sync_task(component::EMGR, &uid, TaskState::Submitting) {
+                        let _ = ctx.broker.ack(messages::PENDING, d.tag);
+                        continue;
+                    }
+                }
+                // Redelivered after a failed submit: already Submitting.
+                Some(TaskState::Submitting) => {}
+                // Stale message (task moved on or was canceled): drop it.
+                _ => {
+                    let _ = ctx.broker.ack(messages::PENDING, d.tag);
+                    continue;
+                }
+            }
+            let slot_name = pools.slot_for(pool.as_deref()).name.clone();
+            let entry = groups.entry(slot_name).or_insert_with(|| PoolBatch {
+                units: Vec::new(),
+                submitted: Vec::new(),
+            });
+            entry.units.push(unit.expect("task found above"));
+            entry.submitted.push((d.tag, uid));
+        }
+
+        for (pool_name, group) in groups {
+            let slot = pools.slot_for(Some(&pool_name));
+            let guard = slot.slot.read();
+            let (rts, pilot) = (&guard.0, guard.1);
+
+            // If the pool's pilot is not serving, requeue its tasks and let
+            // the Heartbeat re-acquire resources.
+            let pilot_ready = rts.is_alive()
+                && matches!(
+                    rts.pilot_state(pilot),
+                    Some(PilotState::Ready | PilotState::Queued | PilotState::Active)
+                );
+            if !pilot_ready {
+                for (tag, _) in group.submitted {
+                    let _ = ctx.broker.nack(messages::PENDING, tag);
+                }
+                continue;
+            }
+
+            match rts.submit_units(pilot, group.units) {
+                Ok(_) => {
+                    for (tag, uid) in group.submitted {
+                        let _ = ctx.broker.ack(messages::PENDING, tag);
+                        ctx.sync_task(component::EMGR, &uid, TaskState::Submitted);
+                    }
+                }
+                Err(_) => {
+                    // RTS died mid-batch. Ack the messages (they must not be
+                    // redelivered: the Heartbeat sweep will re-describe these
+                    // Submitting tasks exactly once).
+                    for (tag, _) in group.submitted {
+                        let _ = ctx.broker.ack(messages::PENDING, tag);
+                    }
+                }
+            }
+        }
+        ctx.profiler.add_management(t0.elapsed());
+    }
+}
+
+fn callback_loop(ctx: Arc<Ctx>, slot: Arc<RtsSlot>) {
+    while ctx.running.load(Ordering::Acquire) {
+        let rts = slot.slot.read().0.clone();
+        match rts.callbacks().recv_timeout(Duration::from_millis(20)) {
+            Ok(cb) => {
+                if !cb.state.is_terminal() {
+                    continue;
+                }
+                let t0 = Instant::now();
+                let outcome = match cb.outcome {
+                    Some(UnitOutcome::Done) => AttemptOutcome::Done,
+                    Some(UnitOutcome::Failed(r)) => AttemptOutcome::Failed(r),
+                    Some(UnitOutcome::Canceled) | None => AttemptOutcome::Canceled,
+                };
+                // Mark the attempt Executed, then notify Dequeue.
+                if ctx.sync_task(component::CALLBACK, &cb.tag, TaskState::Executed) {
+                    let _ = ctx
+                        .broker
+                        .publish(messages::DONE, messages::done_message(&cb.tag, &outcome));
+                }
+                ctx.profiler.add_management(t0.elapsed());
+            }
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => {
+                // The RTS died; wait for the Heartbeat to install a new one.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+fn heartbeat_loop(ctx: Arc<Ctx>, slot: Arc<RtsSlot>, is_primary: bool, interval: Duration) {
+    while ctx.running.load(Ordering::Acquire) {
+        std::thread::sleep(interval);
+        if ctx.workflow.lock().is_complete() {
+            continue;
+        }
+        let needs_recovery = {
+            let guard = slot.slot.read();
+            let (rts, pilot) = (&guard.0, guard.1);
+            !rts.is_alive() || matches!(rts.pilot_state(pilot), Some(PilotState::Done) | None)
+        };
+        if !needs_recovery {
+            continue;
+        }
+
+        // --- Recovery: exclusive access so the Emgr cannot submit while we
+        // swap incarnations and sweep lost tasks. ---
+        let mut guard = slot.slot.write();
+        let (rts, pilot) = (&guard.0, guard.1);
+        let still_broken =
+            !rts.is_alive() || matches!(rts.pilot_state(pilot), Some(PilotState::Done) | None);
+        if !still_broken {
+            continue;
+        }
+        let restarts = slot.restarts.fetch_add(1, Ordering::SeqCst) + 1;
+        if restarts > slot.max_restarts {
+            ctx.fail_fatal(format!(
+                "RTS for pool '{}' failed and restart budget ({}) is exhausted",
+                slot.name, slot.max_restarts
+            ));
+            return;
+        }
+
+        if rts.is_alive() && rts.pilot_state(pilot).is_some() {
+            // RTS alive but pilot gone (walltime/CI failure): re-acquire a
+            // pilot on the same RTS incarnation.
+            let new_pilot = rts.submit_pilot(&slot.pilot_desc);
+            rts.wait_pilot_ready(new_pilot, Duration::from_secs(30));
+            guard.1 = new_pilot;
+        } else {
+            // Full RTS failure: purge the dead incarnation and start a new
+            // one (§II-B4).
+            slot.archived.lock().extend(rts.records());
+            let t0 = Instant::now();
+            rts.teardown();
+            *slot.teardown_wall.lock() += t0.elapsed();
+            let new_rts = Arc::new(RuntimeSystem::start(slot.rts_config.clone()));
+            let new_pilot = new_rts.submit_pilot(&slot.pilot_desc);
+            new_rts.wait_pilot_ready(new_pilot, Duration::from_secs(30));
+            *guard = (new_rts, new_pilot);
+        }
+
+        // Sweep: every task that was in flight on the dead incarnation is
+        // lost; notify Dequeue so they are re-executed without consuming
+        // retry budget. Only tasks routed to *this* pool are swept — other
+        // pools' RTS instances are healthy.
+        let lost: Vec<String> = {
+            let wf = ctx.workflow.lock();
+            let mut lost = Vec::new();
+            for p in wf.pipelines() {
+                for s in p.stages() {
+                    for t in s.tasks() {
+                        let owned = match &t.resource_pool {
+                            Some(pool) => *pool == slot.name,
+                            None => is_primary,
+                        };
+                        if owned
+                            && matches!(
+                                t.state(),
+                                TaskState::Submitting | TaskState::Submitted
+                            )
+                        {
+                            lost.push(t.uid().to_string());
+                        }
+                    }
+                }
+            }
+            lost
+        };
+        for uid in lost {
+            let _ = ctx.broker.publish(
+                messages::DONE,
+                messages::done_message(&uid, &AttemptOutcome::Lost),
+            );
+        }
+        drop(guard);
+    }
+}

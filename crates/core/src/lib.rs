@@ -1,0 +1,70 @@
+//! # entk-core — the Ensemble Toolkit
+//!
+//! Rust reimplementation of EnTK (Balasubramanian et al., IPDPS 2018):
+//! a toolkit that promotes *ensembles* to a high-level programming
+//! abstraction and executes them at scale on high-performance computing
+//! infrastructures through a pilot-based runtime system.
+//!
+//! ## The PST application model (§II-B1)
+//!
+//! * [`Task`] — a stand-alone process with an executable, resource
+//!   requirements and data dependences;
+//! * [`Stage`] — a set of tasks without mutual dependences, executed
+//!   concurrently;
+//! * [`Pipeline`] — a list of stages executed sequentially.
+//!
+//! A [`Workflow`] is a set of pipelines, all free to execute concurrently.
+//! Branching is expressed with `post_exec` hooks that edit the pipeline when
+//! a stage completes (the paper's "branching events" — e.g. the adaptive
+//! analog algorithm appends iterations until its error threshold is met).
+//!
+//! ## Architecture (§II-B2, Fig. 2)
+//!
+//! [`AppManager`] is the master component and the only stateful one. It owns
+//! the message broker ([`entk_mq`]), the transactional [`statestore`], and
+//! spawns:
+//!
+//! * the **Synchronizer**, which applies every state transition pushed by
+//!   the other components through dedicated queues and acknowledges it;
+//! * the **WFProcessor** with its *Enqueue* (tags ready tasks, pushes them
+//!   to the Pending queue) and *Dequeue* (pulls the Done queue, advances
+//!   stages/pipelines, fires `post_exec`, resubmits failed tasks)
+//!   subcomponents;
+//! * the **ExecManager** with its *Rmgr* (acquires resources via the RTS),
+//!   *Emgr* (pulls Pending, translates tasks to RTS units, submits), *RTS
+//!   Callback* (pushes completed units to the Done queue) and *Heartbeat*
+//!   (watches the RTS, tears it down and restarts it on failure)
+//!   subcomponents.
+//!
+//! The runtime system ([`rp_rts`]) is a black box behind the ExecManager;
+//! EnTK survives its failure by restarting it and re-executing only the
+//! tasks that were in flight (§II-B4).
+
+#![warn(missing_docs)]
+
+pub mod appmanager;
+pub mod errors;
+pub mod execmanager;
+pub mod messages;
+pub mod pipeline;
+pub mod profiler;
+pub mod stage;
+pub mod states;
+pub mod statestore;
+pub mod synchronizer;
+pub mod task;
+pub mod uid;
+pub mod wfprocessor;
+pub mod workflow;
+
+pub use appmanager::{AppManager, AppManagerConfig, ExecutionStrategy, ResourceDescription, RunReport};
+pub use errors::{EntkError, EntkResult};
+pub use pipeline::Pipeline;
+pub use profiler::{OverheadReport, PythonEmulation};
+pub use stage::Stage;
+pub use states::{PipelineState, StageState, TaskState};
+pub use task::Task;
+pub use workflow::Workflow;
+
+// Re-export the pieces users need to describe tasks.
+pub use rp_rts::{Executable, StagingSpec};

@@ -1,0 +1,211 @@
+//! Queue names and message formats used by EnTK components.
+//!
+//! Queues (Fig. 2): the Pending queue (arrows 1–2), the Done queue (arrows
+//! 4–5), the synchronization queue from every component to AppManager's
+//! Synchronizer (arrow 6) and one acknowledgement queue per subcomponent
+//! (arrow 7). Messages carry uids in the payload and metadata in headers —
+//! PST objects themselves live in the AppManager, the only stateful
+//! component.
+
+use crate::uid::Kind;
+use entk_mq::Message;
+
+/// The Pending queue: tasks tagged for execution.
+pub const PENDING: &str = "entk-pending";
+/// The Done queue: tasks whose RTS attempt reached a terminal state.
+pub const DONE: &str = "entk-done";
+/// The synchronization queue into AppManager.
+pub const SYNC: &str = "entk-sync";
+
+/// Acknowledgement queue for a subcomponent.
+pub fn ack_queue(component: &str) -> String {
+    format!("entk-ack-{component}")
+}
+
+/// Subcomponent names (used for ack-queue routing and profiling).
+pub mod component {
+    /// WFProcessor's Enqueue.
+    pub const ENQUEUE: &str = "enqueue";
+    /// WFProcessor's Dequeue.
+    pub const DEQUEUE: &str = "dequeue";
+    /// ExecManager's Emgr.
+    pub const EMGR: &str = "emgr";
+    /// ExecManager's RTS Callback.
+    pub const CALLBACK: &str = "callback";
+    /// ExecManager's Heartbeat.
+    pub const HEARTBEAT: &str = "heartbeat";
+
+    /// All subcomponents that own an ack queue.
+    pub const ALL: [&str; 5] = [ENQUEUE, DEQUEUE, EMGR, CALLBACK, HEARTBEAT];
+}
+
+/// Outcome of an RTS attempt, as carried on the Done queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttemptOutcome {
+    /// The unit completed successfully.
+    Done,
+    /// The unit failed with a diagnostic.
+    Failed(String),
+    /// The unit was canceled by the CI/pilot.
+    Canceled,
+    /// The unit was lost to an RTS failure (does not consume retry budget).
+    Lost,
+}
+
+impl AttemptOutcome {
+    fn tag(&self) -> &'static str {
+        match self {
+            AttemptOutcome::Done => "done",
+            AttemptOutcome::Failed(_) => "failed",
+            AttemptOutcome::Canceled => "canceled",
+            AttemptOutcome::Lost => "lost",
+        }
+    }
+}
+
+/// A task queued for execution (Pending queue message).
+pub fn pending_message(task_uid: &str) -> Message {
+    Message::new(task_uid.as_bytes().to_vec())
+}
+
+/// Extract the task uid from a Pending message.
+pub fn parse_pending(msg: &Message) -> String {
+    msg.payload_str().into_owned()
+}
+
+/// A completed-attempt notification (Done queue message).
+pub fn done_message(task_uid: &str, outcome: &AttemptOutcome) -> Message {
+    let mut m = Message::new(task_uid.as_bytes().to_vec()).with_header("outcome", outcome.tag());
+    if let AttemptOutcome::Failed(reason) = outcome {
+        m = m.with_header("reason", reason.clone());
+    }
+    m
+}
+
+/// Parse a Done message into (uid, outcome).
+pub fn parse_done(msg: &Message) -> (String, AttemptOutcome) {
+    let uid = msg.payload_str().into_owned();
+    let outcome = match msg.headers.get("outcome").map(String::as_str) {
+        Some("done") => AttemptOutcome::Done,
+        Some("failed") => AttemptOutcome::Failed(
+            msg.headers
+                .get("reason")
+                .cloned()
+                .unwrap_or_else(|| "unknown".into()),
+        ),
+        Some("canceled") => AttemptOutcome::Canceled,
+        Some("lost") => AttemptOutcome::Lost,
+        other => AttemptOutcome::Failed(format!("malformed outcome header: {other:?}")),
+    };
+    (uid, outcome)
+}
+
+/// A state-transition request pushed to the Synchronizer (arrow 6).
+pub fn sync_message(component: &str, kind: Kind, uid: &str, state: &str) -> Message {
+    Message::new(uid.as_bytes().to_vec())
+        .with_header("component", component)
+        .with_header("kind", kind.name())
+        .with_header("state", state)
+}
+
+/// Parsed synchronization request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncRequest {
+    /// Requesting subcomponent (ack routing).
+    pub component: String,
+    /// Object kind.
+    pub kind: Kind,
+    /// Object uid.
+    pub uid: String,
+    /// Requested state name.
+    pub state: String,
+}
+
+/// Parse a sync message; `None` if malformed.
+pub fn parse_sync(msg: &Message) -> Option<SyncRequest> {
+    Some(SyncRequest {
+        component: msg.headers.get("component")?.clone(),
+        kind: Kind::parse(msg.headers.get("kind")?)?,
+        uid: msg.payload_str().into_owned(),
+        state: msg.headers.get("state")?.clone(),
+    })
+}
+
+/// Acknowledgement of a sync request (arrow 7). The payload is the uid; the
+/// `ok` header reports whether the transition was applied.
+pub fn ack_message(uid: &str, ok: bool) -> Message {
+    Message::new(uid.as_bytes().to_vec()).with_header("ok", if ok { "1" } else { "0" })
+}
+
+/// Parse an ack into (uid, ok).
+pub fn parse_ack(msg: &Message) -> (String, bool) {
+    (
+        msg.payload_str().into_owned(),
+        msg.headers.get("ok").map(String::as_str) == Some("1"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pending_roundtrip() {
+        let m = pending_message("task.0042");
+        assert_eq!(parse_pending(&m), "task.0042");
+    }
+
+    #[test]
+    fn done_roundtrip_all_outcomes() {
+        for outcome in [
+            AttemptOutcome::Done,
+            AttemptOutcome::Failed("oom".into()),
+            AttemptOutcome::Canceled,
+            AttemptOutcome::Lost,
+        ] {
+            let m = done_message("task.7", &outcome);
+            let (uid, parsed) = parse_done(&m);
+            assert_eq!(uid, "task.7");
+            assert_eq!(parsed, outcome);
+        }
+    }
+
+    #[test]
+    fn malformed_done_becomes_failed() {
+        let m = Message::new("task.1");
+        let (_, outcome) = parse_done(&m);
+        assert!(matches!(outcome, AttemptOutcome::Failed(_)));
+    }
+
+    #[test]
+    fn sync_roundtrip() {
+        let m = sync_message(component::ENQUEUE, Kind::Task, "task.3", "scheduling");
+        let req = parse_sync(&m).unwrap();
+        assert_eq!(req.component, "enqueue");
+        assert_eq!(req.kind, Kind::Task);
+        assert_eq!(req.uid, "task.3");
+        assert_eq!(req.state, "scheduling");
+    }
+
+    #[test]
+    fn sync_missing_headers_is_none() {
+        assert!(parse_sync(&Message::new("task.3")).is_none());
+    }
+
+    #[test]
+    fn ack_roundtrip() {
+        let (uid, ok) = parse_ack(&ack_message("task.5", true));
+        assert_eq!(uid, "task.5");
+        assert!(ok);
+        let (_, ok) = parse_ack(&ack_message("task.5", false));
+        assert!(!ok);
+    }
+
+    #[test]
+    fn ack_queue_names_unique() {
+        let mut names: Vec<String> = component::ALL.iter().map(|c| ack_queue(c)).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), component::ALL.len());
+    }
+}

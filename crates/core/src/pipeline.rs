@@ -1,0 +1,177 @@
+//! The Pipeline construct: "a list of stages where any stage i can be
+//! executed only after stage i−1 has been executed" (§II-B1).
+
+use crate::stage::Stage;
+use crate::states::PipelineState;
+use crate::uid::{next_uid, Kind};
+use std::fmt;
+
+/// A sequence of stages.
+#[derive(Clone)]
+pub struct Pipeline {
+    uid: String,
+    /// User-facing name.
+    pub name: String,
+    stages: Vec<Stage>,
+    /// Index of the stage currently eligible for execution.
+    current: usize,
+    state: PipelineState,
+    /// Uids of pipelines that must finish (Done) before this one may start —
+    /// the paper's PST extension: "dependencies among groups of pipelines in
+    /// terms of lists of sets of pipelines" (§II-B1).
+    after: Vec<String>,
+}
+
+impl Pipeline {
+    /// A new, empty pipeline in `Described` state.
+    pub fn new(name: impl Into<String>) -> Self {
+        Pipeline {
+            uid: next_uid(Kind::Pipeline),
+            name: name.into(),
+            stages: Vec::new(),
+            current: 0,
+            state: PipelineState::Described,
+            after: Vec::new(),
+        }
+    }
+
+    /// Declare that this pipeline may start only after `other` finished
+    /// successfully. Failed or canceled dependencies cancel this pipeline.
+    pub fn after(mut self, other: &Pipeline) -> Self {
+        self.after.push(other.uid().to_string());
+        self
+    }
+
+    /// Declare a dependency by uid (for pipelines built in separate scopes).
+    pub fn after_uid(mut self, uid: impl Into<String>) -> Self {
+        self.after.push(uid.into());
+        self
+    }
+
+    /// The dependency uids.
+    pub fn dependencies(&self) -> &[String] {
+        &self.after
+    }
+
+    /// Append a stage. Legal at description time and from `post_exec` hooks
+    /// at runtime (adaptive workflows grow their own pipelines).
+    pub fn add_stage(&mut self, stage: Stage) {
+        self.stages.push(stage);
+    }
+
+    /// Builder-style stage addition.
+    pub fn with_stage(mut self, stage: Stage) -> Self {
+        self.add_stage(stage);
+        self
+    }
+
+    /// The pipeline uid.
+    pub fn uid(&self) -> &str {
+        &self.uid
+    }
+
+    /// Current state.
+    pub fn state(&self) -> PipelineState {
+        self.state
+    }
+
+    /// All stages.
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// Mutable stages (workflow store internals).
+    pub(crate) fn stages_mut(&mut self) -> &mut Vec<Stage> {
+        &mut self.stages
+    }
+
+    /// Index of the currently eligible stage.
+    pub fn current_stage(&self) -> usize {
+        self.current
+    }
+
+    /// Move to the next stage; returns false when the pipeline is exhausted.
+    pub(crate) fn advance_stage(&mut self) -> bool {
+        self.current += 1;
+        self.current < self.stages.len()
+    }
+
+    /// Validated state transition.
+    pub fn advance(&mut self, next: PipelineState) -> Result<(), crate::EntkError> {
+        if !self.state.can_transition_to(next) {
+            return Err(crate::EntkError::BadPipelineTransition {
+                uid: self.uid.clone(),
+                from: self.state,
+                to: next,
+            });
+        }
+        self.state = next;
+        Ok(())
+    }
+
+    /// Force a state without validation (recovery only).
+    pub(crate) fn force_state(&mut self, state: PipelineState) {
+        self.state = state;
+    }
+
+    /// Total number of tasks across all stages.
+    pub fn task_count(&self) -> usize {
+        self.stages.iter().map(|s| s.tasks().len()).sum()
+    }
+}
+
+impl fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("uid", &self.uid)
+            .field("name", &self.name)
+            .field("stages", &self.stages.len())
+            .field("current", &self.current)
+            .field("state", &self.state)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::Task;
+    use rp_rts::Executable;
+
+    #[test]
+    fn pipeline_sequences_stages() {
+        let p = Pipeline::new("p")
+            .with_stage(Stage::new("s1").with_task(Task::new("t", Executable::Noop)))
+            .with_stage(Stage::new("s2"));
+        assert_eq!(p.stages().len(), 2);
+        assert_eq!(p.current_stage(), 0);
+        assert_eq!(p.task_count(), 1);
+    }
+
+    #[test]
+    fn advance_stage_reports_exhaustion() {
+        let mut p = Pipeline::new("p")
+            .with_stage(Stage::new("s1"))
+            .with_stage(Stage::new("s2"));
+        assert!(p.advance_stage());
+        assert_eq!(p.current_stage(), 1);
+        assert!(!p.advance_stage());
+    }
+
+    #[test]
+    fn state_transitions_validated() {
+        let mut p = Pipeline::new("p");
+        assert!(p.advance(PipelineState::Done).is_err());
+        p.advance(PipelineState::Scheduling).unwrap();
+        p.advance(PipelineState::Done).unwrap();
+        assert!(p.advance(PipelineState::Scheduling).is_err());
+    }
+
+    #[test]
+    fn stages_can_grow_at_runtime() {
+        let mut p = Pipeline::new("adaptive").with_stage(Stage::new("s1"));
+        p.advance(PipelineState::Scheduling).unwrap();
+        p.add_stage(Stage::new("s2"));
+        assert_eq!(p.stages().len(), 2);
+    }
+}

@@ -1,0 +1,329 @@
+//! State machines for tasks, stages and pipelines.
+//!
+//! "Throughout the execution of the application, tasks, stages and pipelines
+//! undergo multiple state transitions in both WFProcessor and ExecManager"
+//! (§II-B3). Transitions are validated against explicit tables; an invalid
+//! transition is a programming error surfaced as [`crate::EntkError`].
+
+use std::fmt;
+
+/// Task lifecycle (EnTK's DESCRIBED → … → DONE/FAILED/CANCELED).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskState {
+    /// Described by the user; not yet considered for execution.
+    Described,
+    /// Tagged for execution by WFProcessor's Enqueue.
+    Scheduling,
+    /// Pushed to the Pending queue.
+    Scheduled,
+    /// Pulled by Emgr, being translated to an RTS unit.
+    Submitting,
+    /// Submitted to the RTS.
+    Submitted,
+    /// The RTS reported a terminal attempt; Dequeue decides the final state.
+    Executed,
+    /// Completed successfully. Terminal.
+    Done,
+    /// Failed (after exhausting resubmissions). Terminal.
+    Failed,
+    /// Canceled. Terminal.
+    Canceled,
+}
+
+impl TaskState {
+    /// All states, in lifecycle order.
+    pub const ALL: [TaskState; 9] = [
+        TaskState::Described,
+        TaskState::Scheduling,
+        TaskState::Scheduled,
+        TaskState::Submitting,
+        TaskState::Submitted,
+        TaskState::Executed,
+        TaskState::Done,
+        TaskState::Failed,
+        TaskState::Canceled,
+    ];
+
+    /// Whether the state is terminal.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            TaskState::Done | TaskState::Failed | TaskState::Canceled
+        )
+    }
+
+    /// Whether `self → next` is a legal transition.
+    ///
+    /// The extra `Executed → Described` edge implements resubmission of a
+    /// failed or lost attempt without a dedicated state: the task rejoins
+    /// the schedulable pool (§II-A "resubmission of failed tasks, without
+    /// application checkpointing").
+    pub fn can_transition_to(self, next: TaskState) -> bool {
+        use TaskState::*;
+        if self == next {
+            return false;
+        }
+        match self {
+            Described => matches!(next, Scheduling | Canceled),
+            Scheduling => matches!(next, Scheduled | Canceled),
+            Scheduled => matches!(next, Submitting | Canceled),
+            Submitting => matches!(next, Submitted | Canceled | Described),
+            Submitted => matches!(next, Executed | Canceled | Described),
+            Executed => matches!(next, Done | Failed | Canceled | Described),
+            Done | Failed | Canceled => false,
+        }
+    }
+
+    /// Canonical lowercase name (used in messages and the state journal).
+    pub fn name(self) -> &'static str {
+        match self {
+            TaskState::Described => "described",
+            TaskState::Scheduling => "scheduling",
+            TaskState::Scheduled => "scheduled",
+            TaskState::Submitting => "submitting",
+            TaskState::Submitted => "submitted",
+            TaskState::Executed => "executed",
+            TaskState::Done => "done",
+            TaskState::Failed => "failed",
+            TaskState::Canceled => "canceled",
+        }
+    }
+
+    /// Parse a state name.
+    pub fn parse(s: &str) -> Option<TaskState> {
+        TaskState::ALL.into_iter().find(|st| st.name() == s)
+    }
+}
+
+impl fmt::Display for TaskState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Stage lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageState {
+    /// Described by the user.
+    Described,
+    /// Some tasks tagged for execution.
+    Scheduling,
+    /// All tasks pushed for execution.
+    Scheduled,
+    /// All tasks Done. Terminal.
+    Done,
+    /// At least one task Failed terminally. Terminal.
+    Failed,
+    /// Canceled. Terminal.
+    Canceled,
+}
+
+impl StageState {
+    /// All states.
+    pub const ALL: [StageState; 6] = [
+        StageState::Described,
+        StageState::Scheduling,
+        StageState::Scheduled,
+        StageState::Done,
+        StageState::Failed,
+        StageState::Canceled,
+    ];
+
+    /// Whether the state is terminal.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            StageState::Done | StageState::Failed | StageState::Canceled
+        )
+    }
+
+    /// Whether `self → next` is legal.
+    pub fn can_transition_to(self, next: StageState) -> bool {
+        use StageState::*;
+        if self == next {
+            return false;
+        }
+        match self {
+            Described => matches!(next, Scheduling | Canceled),
+            Scheduling => matches!(next, Scheduled | Failed | Canceled),
+            Scheduled => matches!(next, Done | Failed | Canceled | Scheduling),
+            Done | Failed | Canceled => false,
+        }
+    }
+
+    /// Canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StageState::Described => "described",
+            StageState::Scheduling => "scheduling",
+            StageState::Scheduled => "scheduled",
+            StageState::Done => "done",
+            StageState::Failed => "failed",
+            StageState::Canceled => "canceled",
+        }
+    }
+
+    /// Parse a state name.
+    pub fn parse(s: &str) -> Option<StageState> {
+        StageState::ALL.into_iter().find(|st| st.name() == s)
+    }
+}
+
+impl fmt::Display for StageState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Pipeline lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PipelineState {
+    /// Described by the user.
+    Described,
+    /// Stages executing.
+    Scheduling,
+    /// All stages Done. Terminal.
+    Done,
+    /// A stage failed. Terminal.
+    Failed,
+    /// Canceled. Terminal.
+    Canceled,
+}
+
+impl PipelineState {
+    /// All states.
+    pub const ALL: [PipelineState; 5] = [
+        PipelineState::Described,
+        PipelineState::Scheduling,
+        PipelineState::Done,
+        PipelineState::Failed,
+        PipelineState::Canceled,
+    ];
+
+    /// Whether the state is terminal.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            PipelineState::Done | PipelineState::Failed | PipelineState::Canceled
+        )
+    }
+
+    /// Whether `self → next` is legal.
+    pub fn can_transition_to(self, next: PipelineState) -> bool {
+        use PipelineState::*;
+        if self == next {
+            return false;
+        }
+        match self {
+            Described => matches!(next, Scheduling | Canceled),
+            Scheduling => matches!(next, Done | Failed | Canceled),
+            Done | Failed | Canceled => false,
+        }
+    }
+
+    /// Canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PipelineState::Described => "described",
+            PipelineState::Scheduling => "scheduling",
+            PipelineState::Done => "done",
+            PipelineState::Failed => "failed",
+            PipelineState::Canceled => "canceled",
+        }
+    }
+
+    /// Parse a state name.
+    pub fn parse(s: &str) -> Option<PipelineState> {
+        PipelineState::ALL.into_iter().find(|st| st.name() == s)
+    }
+}
+
+impl fmt::Display for PipelineState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_happy_path_is_legal() {
+        use TaskState::*;
+        let path = [
+            Described, Scheduling, Scheduled, Submitting, Submitted, Executed, Done,
+        ];
+        for w in path.windows(2) {
+            assert!(w[0].can_transition_to(w[1]), "{} -> {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn task_terminal_states_are_absorbing() {
+        for term in [TaskState::Done, TaskState::Failed, TaskState::Canceled] {
+            for next in TaskState::ALL {
+                assert!(!term.can_transition_to(next), "{term} -> {next} allowed");
+            }
+        }
+    }
+
+    #[test]
+    fn task_resubmission_edges() {
+        // Executed → Described is the resubmission edge; Submitted →
+        // Described recovers tasks lost to an RTS failure.
+        assert!(TaskState::Executed.can_transition_to(TaskState::Described));
+        assert!(TaskState::Submitted.can_transition_to(TaskState::Described));
+        assert!(!TaskState::Done.can_transition_to(TaskState::Described));
+    }
+
+    #[test]
+    fn task_no_skipping_forward() {
+        assert!(!TaskState::Described.can_transition_to(TaskState::Submitted));
+        assert!(!TaskState::Scheduled.can_transition_to(TaskState::Executed));
+        assert!(!TaskState::Described.can_transition_to(TaskState::Done));
+    }
+
+    #[test]
+    fn self_transitions_rejected() {
+        for s in TaskState::ALL {
+            assert!(!s.can_transition_to(s));
+        }
+        for s in StageState::ALL {
+            assert!(!s.can_transition_to(s));
+        }
+        for s in PipelineState::ALL {
+            assert!(!s.can_transition_to(s));
+        }
+    }
+
+    #[test]
+    fn stage_rescheduling_for_resubmission() {
+        // A Scheduled stage may go back to Scheduling when a failed task is
+        // resubmitted.
+        assert!(StageState::Scheduled.can_transition_to(StageState::Scheduling));
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for s in TaskState::ALL {
+            assert_eq!(TaskState::parse(s.name()), Some(s));
+        }
+        for s in StageState::ALL {
+            assert_eq!(StageState::parse(s.name()), Some(s));
+        }
+        for s in PipelineState::ALL {
+            assert_eq!(PipelineState::parse(s.name()), Some(s));
+        }
+        assert_eq!(TaskState::parse("bogus"), None);
+    }
+
+    #[test]
+    fn pipeline_happy_path() {
+        use PipelineState::*;
+        assert!(Described.can_transition_to(Scheduling));
+        assert!(Scheduling.can_transition_to(Done));
+        assert!(Scheduling.can_transition_to(Failed));
+        assert!(!Done.can_transition_to(Scheduling));
+    }
+}

@@ -1,0 +1,196 @@
+//! The Task construct: "an abstraction of a computational task that contains
+//! information regarding an executable, its software environment and its
+//! data dependences" (§II-B1).
+
+use crate::states::TaskState;
+use crate::uid::{next_uid, Kind};
+use rp_rts::{Executable, StagingSpec, UnitDescription};
+
+/// A computational task.
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// Unique id (`task.NNNN`), assigned at construction.
+    uid: String,
+    /// User-facing name; used as the recovery key across runs, so it should
+    /// be unique within a workflow if recovery is used.
+    pub name: String,
+    /// What to run.
+    pub executable: Executable,
+    /// Cores required.
+    pub cpu_reqs: u32,
+    /// GPUs required.
+    pub gpu_reqs: u32,
+    /// Data staging directives.
+    pub staging: StagingSpec,
+    /// Which named resource pool executes this task; `None` uses the
+    /// primary resource. The seismic use case interleaves simulation tasks
+    /// on a leadership-scale system with data-processing tasks on a
+    /// moderately sized cluster (paper §III-A).
+    pub resource_pool: Option<String>,
+    /// Per-task resubmission budget; `None` inherits the AppManager default.
+    pub max_retries: Option<Option<u32>>,
+    /// Current state.
+    state: TaskState,
+    /// Execution attempts so far.
+    attempts: u32,
+    /// Diagnostic from the last failed attempt.
+    pub last_error: Option<String>,
+}
+
+impl Task {
+    /// A new task in `Described` state.
+    pub fn new(name: impl Into<String>, executable: Executable) -> Self {
+        Task {
+            uid: next_uid(Kind::Task),
+            name: name.into(),
+            executable,
+            cpu_reqs: 1,
+            gpu_reqs: 0,
+            staging: StagingSpec::none(),
+            resource_pool: None,
+            max_retries: None,
+            state: TaskState::Described,
+            attempts: 0,
+            last_error: None,
+        }
+    }
+
+    /// Builder: cores.
+    pub fn with_cpus(mut self, cores: u32) -> Self {
+        self.cpu_reqs = cores;
+        self
+    }
+
+    /// Builder: gpus.
+    pub fn with_gpus(mut self, gpus: u32) -> Self {
+        self.gpu_reqs = gpus;
+        self
+    }
+
+    /// Builder: staging directives.
+    pub fn with_staging(mut self, staging: StagingSpec) -> Self {
+        self.staging = staging;
+        self
+    }
+
+    /// Builder: per-task retry budget (`Some(None)` = unlimited).
+    pub fn with_max_retries(mut self, retries: Option<u32>) -> Self {
+        self.max_retries = Some(retries);
+        self
+    }
+
+    /// Builder: route this task to a named resource pool.
+    pub fn with_resource_pool(mut self, pool: impl Into<String>) -> Self {
+        self.resource_pool = Some(pool.into());
+        self
+    }
+
+    /// The task uid.
+    pub fn uid(&self) -> &str {
+        &self.uid
+    }
+
+    /// Current state.
+    pub fn state(&self) -> TaskState {
+        self.state
+    }
+
+    /// Attempts so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// Validated state transition.
+    pub fn advance(&mut self, next: TaskState) -> Result<(), crate::EntkError> {
+        if !self.state.can_transition_to(next) {
+            return Err(crate::EntkError::BadTaskTransition {
+                uid: self.uid.clone(),
+                from: self.state,
+                to: next,
+            });
+        }
+        if next == TaskState::Submitted {
+            self.attempts += 1;
+        }
+        self.state = next;
+        Ok(())
+    }
+
+    /// Force a state without validation — used only by recovery, which
+    /// replays journal facts rather than live transitions.
+    pub(crate) fn force_state(&mut self, state: TaskState) {
+        self.state = state;
+    }
+
+    /// Translate to the RTS unit description (Emgr's job: "translate tasks
+    /// from and to RTS-specific objects").
+    pub fn to_unit(&self) -> UnitDescription {
+        UnitDescription {
+            tag: self.uid.clone(),
+            executable: self.executable.clone(),
+            cores: self.cpu_reqs,
+            gpus: self.gpu_reqs,
+            staging: self.staging.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_task_is_described() {
+        let t = Task::new("sim", Executable::Sleep { secs: 1.0 });
+        assert_eq!(t.state(), TaskState::Described);
+        assert_eq!(t.attempts(), 0);
+        assert!(t.uid().starts_with("task."));
+    }
+
+    #[test]
+    fn advance_validates() {
+        let mut t = Task::new("t", Executable::Noop);
+        assert!(t.advance(TaskState::Done).is_err());
+        t.advance(TaskState::Scheduling).unwrap();
+        t.advance(TaskState::Scheduled).unwrap();
+        t.advance(TaskState::Submitting).unwrap();
+        t.advance(TaskState::Submitted).unwrap();
+        assert_eq!(t.attempts(), 1);
+        t.advance(TaskState::Executed).unwrap();
+        t.advance(TaskState::Done).unwrap();
+        assert!(t.advance(TaskState::Described).is_err());
+    }
+
+    #[test]
+    fn resubmission_counts_attempts() {
+        let mut t = Task::new("t", Executable::Noop);
+        for _ in 0..3 {
+            t.advance(TaskState::Scheduling).unwrap();
+            t.advance(TaskState::Scheduled).unwrap();
+            t.advance(TaskState::Submitting).unwrap();
+            t.advance(TaskState::Submitted).unwrap();
+            t.advance(TaskState::Executed).unwrap();
+            t.advance(TaskState::Described).unwrap(); // resubmit
+        }
+        assert_eq!(t.attempts(), 3);
+    }
+
+    #[test]
+    fn to_unit_carries_uid_and_reqs() {
+        let t = Task::new("md", Executable::GromacsMdrun { nominal_secs: 600.0 })
+            .with_cpus(16)
+            .with_gpus(1);
+        let u = t.to_unit();
+        assert_eq!(u.tag, t.uid());
+        assert_eq!(u.cores, 16);
+        assert_eq!(u.gpus, 1);
+    }
+
+    #[test]
+    fn builders_set_fields() {
+        let t = Task::new("x", Executable::Noop).with_max_retries(Some(5));
+        assert_eq!(t.max_retries, Some(Some(5)));
+        let t = Task::new("y", Executable::Noop).with_max_retries(None);
+        assert_eq!(t.max_retries, Some(None));
+    }
+}

@@ -1,0 +1,283 @@
+//! The WFProcessor: Enqueue and Dequeue subcomponents (Fig. 2).
+//!
+//! *Enqueue* "initiates the execution by ... tagging tasks for execution"
+//! and "pushes these tasks to the Pending queue" (arrow 1). *Dequeue* "pulls
+//! completed tasks (arrow 5) and tags them as done, failed or canceled,
+//! depending on the return code from the RTS" — and, per the fault-tolerance
+//! requirements (§II-A), resubmits failed tasks within their retry budget.
+
+use crate::appmanager::{Ctx, ExecutionStrategy};
+use crate::messages::{self, component, AttemptOutcome};
+use crate::states::TaskState;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Spawn the Enqueue thread.
+pub(crate) fn spawn_enqueue(ctx: Arc<Ctx>) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("entk-enqueue".into())
+        .spawn(move || enqueue_loop(ctx))
+        .expect("spawn enqueue")
+}
+
+/// Spawn the Dequeue thread.
+pub(crate) fn spawn_dequeue(ctx: Arc<Ctx>) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("entk-dequeue".into())
+        .spawn(move || dequeue_loop(ctx))
+        .expect("spawn dequeue")
+}
+
+fn enqueue_loop(ctx: Arc<Ctx>) {
+    while ctx.running.load(Ordering::Acquire) {
+        let ready = ctx.workflow.lock().schedulable_tasks();
+        if ready.is_empty() {
+            std::thread::sleep(Duration::from_millis(2));
+            continue;
+        }
+        let t0 = Instant::now();
+        for uid in ready {
+            if !ctx.running.load(Ordering::Acquire) {
+                return;
+            }
+            // Execution-strategy throttle: hold the task back while the
+            // in-flight count sits at the concurrency cap.
+            while ctx.in_flight.load(Ordering::Relaxed)
+                >= ctx.concurrency_cap.load(Ordering::Relaxed)
+            {
+                if !ctx.running.load(Ordering::Acquire) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            // Tag for execution, then make visible to the Emgr. `Scheduled`
+            // is synchronized *before* the publish so the Emgr can never see
+            // a task that is still mid-transition.
+            if !ctx.sync_task(component::ENQUEUE, &uid, TaskState::Scheduling) {
+                continue;
+            }
+            if !ctx.sync_task(component::ENQUEUE, &uid, TaskState::Scheduled) {
+                continue;
+            }
+            let _ = ctx
+                .broker
+                .publish(messages::PENDING, messages::pending_message(&uid));
+        }
+        ctx.profiler.add_management(t0.elapsed());
+    }
+}
+
+fn dequeue_loop(ctx: Arc<Ctx>) {
+    while ctx.running.load(Ordering::Acquire) {
+        let delivery = match ctx.broker.get_timeout(messages::DONE, Duration::from_millis(20)) {
+            Ok(Some(d)) => d,
+            Ok(None) => continue,
+            Err(_) => break,
+        };
+        let t0 = Instant::now();
+        let (uid, outcome) = messages::parse_done(&delivery.message);
+        handle_outcome(&ctx, &uid, outcome);
+        let _ = ctx.broker.ack(messages::DONE, delivery.tag);
+        ctx.profiler.add_management(t0.elapsed());
+    }
+}
+
+/// AIMD adaptation of the concurrency cap (AdaptiveConcurrency strategy):
+/// halve on failure, add one back per success.
+fn adapt_cap(ctx: &Ctx, success: bool) {
+    let ExecutionStrategy::AdaptiveConcurrency { initial, min } = ctx.strategy else {
+        return;
+    };
+    let _ = ctx
+        .concurrency_cap
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cap| {
+            Some(if success {
+                (cap + 1).min(initial.max(1))
+            } else {
+                (cap / 2).max(min.max(1))
+            })
+        });
+}
+
+/// Decide a task's fate from its attempt outcome.
+fn handle_outcome(ctx: &Ctx, uid: &str, outcome: AttemptOutcome) {
+    match outcome {
+        AttemptOutcome::Done => {
+            ctx.profiler.count_attempt_done();
+            adapt_cap(ctx, true);
+            ctx.sync_task(component::DEQUEUE, uid, TaskState::Done);
+        }
+        AttemptOutcome::Failed(reason) => {
+            ctx.profiler.count_attempt_failed();
+            adapt_cap(ctx, false);
+            let (attempts, budget) = {
+                let mut wf = ctx.workflow.lock();
+                match wf.task_mut(uid) {
+                    Some((_, task)) => {
+                        task.last_error = Some(reason.clone());
+                        (
+                            task.attempts(),
+                            task.max_retries.unwrap_or(ctx.default_retries),
+                        )
+                    }
+                    None => return,
+                }
+            };
+            // `attempts` counts executions so far; a budget of N retries
+            // allows N+1 executions in total. `None` = unlimited.
+            let may_retry = budget.is_none_or(|n| attempts <= n);
+            if may_retry {
+                ctx.sync_task(component::DEQUEUE, uid, TaskState::Described);
+            } else {
+                ctx.sync_task(component::DEQUEUE, uid, TaskState::Failed);
+            }
+        }
+        AttemptOutcome::Canceled => {
+            // A canceled attempt usually means the pilot died under the
+            // task (walltime, CI failure). Treat it like a failed attempt:
+            // retry within budget, cancel terminally otherwise.
+            ctx.profiler.count_attempt_failed();
+            let (attempts, budget) = {
+                let wf = ctx.workflow.lock();
+                match wf.task(uid) {
+                    Some(task) => (
+                        task.attempts(),
+                        task.max_retries.unwrap_or(ctx.default_retries),
+                    ),
+                    None => return,
+                }
+            };
+            let may_retry = budget.is_none_or(|n| attempts <= n);
+            if may_retry {
+                ctx.sync_task(component::DEQUEUE, uid, TaskState::Described);
+            } else {
+                ctx.sync_task(component::DEQUEUE, uid, TaskState::Canceled);
+            }
+        }
+        AttemptOutcome::Lost => {
+            // Lost to an RTS failure: re-execute without consuming budget
+            // ("without restarting completed tasks" — only in-flight work
+            // is redone).
+            ctx.profiler.count_attempt_failed();
+            ctx.sync_task(component::DEQUEUE, uid, TaskState::Described);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Pipeline;
+    use crate::stage::Stage;
+    use crate::task::Task;
+    use crate::workflow::Workflow;
+    use rp_rts::Executable;
+
+    /// Drive a uid through the pre-execution states via the test Ctx's
+    /// in-line synchronizer.
+    fn to_executed(ctx: &Ctx, uid: &str) {
+        for s in [
+            TaskState::Scheduling,
+            TaskState::Scheduled,
+            TaskState::Submitting,
+            TaskState::Submitted,
+            TaskState::Executed,
+        ] {
+            assert!(ctx.sync_task("test", uid, s));
+        }
+    }
+
+    fn single_task_ctx(retries: Option<u32>) -> (Arc<Ctx>, String) {
+        let t = Task::new("only", Executable::Noop);
+        let uid = t.uid().to_string();
+        let wf = Workflow::new()
+            .with_pipeline(Pipeline::new("p").with_stage(Stage::new("s").with_task(t)));
+        (Ctx::for_tests_with_retries(wf, retries), uid)
+    }
+
+    #[test]
+    fn done_outcome_completes_task() {
+        let (ctx, uid) = single_task_ctx(Some(0));
+        to_executed(&ctx, &uid);
+        handle_outcome(&ctx, &uid, AttemptOutcome::Done);
+        assert_eq!(
+            ctx.workflow.lock().task(&uid).unwrap().state(),
+            TaskState::Done
+        );
+    }
+
+    #[test]
+    fn failed_within_budget_resubmits() {
+        let (ctx, uid) = single_task_ctx(Some(1));
+        to_executed(&ctx, &uid);
+        handle_outcome(&ctx, &uid, AttemptOutcome::Failed("crash".into()));
+        let wf = ctx.workflow.lock();
+        let task = wf.task(&uid).unwrap();
+        assert_eq!(task.state(), TaskState::Described, "must rejoin the pool");
+        assert_eq!(task.last_error.as_deref(), Some("crash"));
+    }
+
+    #[test]
+    fn failed_beyond_budget_is_terminal() {
+        let (ctx, uid) = single_task_ctx(Some(0));
+        to_executed(&ctx, &uid); // attempts = 1 > budget 0
+        handle_outcome(&ctx, &uid, AttemptOutcome::Failed("crash".into()));
+        assert_eq!(
+            ctx.workflow.lock().task(&uid).unwrap().state(),
+            TaskState::Failed
+        );
+    }
+
+    #[test]
+    fn unlimited_budget_always_resubmits() {
+        let (ctx, uid) = single_task_ctx(None);
+        for _ in 0..5 {
+            to_executed(&ctx, &uid);
+            handle_outcome(&ctx, &uid, AttemptOutcome::Failed("x".into()));
+            assert_eq!(
+                ctx.workflow.lock().task(&uid).unwrap().state(),
+                TaskState::Described
+            );
+        }
+        assert_eq!(ctx.workflow.lock().task(&uid).unwrap().attempts(), 5);
+    }
+
+    #[test]
+    fn lost_outcome_resubmits_from_submitted() {
+        let (ctx, uid) = single_task_ctx(Some(0));
+        for s in [
+            TaskState::Scheduling,
+            TaskState::Scheduled,
+            TaskState::Submitting,
+            TaskState::Submitted,
+        ] {
+            assert!(ctx.sync_task("test", uid.as_str(), s));
+        }
+        handle_outcome(&ctx, &uid, AttemptOutcome::Lost);
+        // Lost does not consume the (zero) retry budget.
+        assert_eq!(
+            ctx.workflow.lock().task(&uid).unwrap().state(),
+            TaskState::Described
+        );
+    }
+
+    #[test]
+    fn canceled_beyond_budget_terminal() {
+        let (ctx, uid) = single_task_ctx(Some(0));
+        to_executed(&ctx, &uid);
+        handle_outcome(&ctx, &uid, AttemptOutcome::Canceled);
+        assert_eq!(
+            ctx.workflow.lock().task(&uid).unwrap().state(),
+            TaskState::Canceled
+        );
+    }
+
+    #[test]
+    fn unknown_uid_is_ignored() {
+        let (ctx, _) = single_task_ctx(Some(0));
+        handle_outcome(&ctx, "task.424242", AttemptOutcome::Done);
+        // No panic, no state change.
+        assert_eq!(ctx.workflow.lock().count_in(TaskState::Described), 1);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for entk-core: state-machine soundness under random
+//! transition sequences, and end-to-end completion of randomly shaped PST
+//! applications.
+
+use entk_core::{
+    AppManager, AppManagerConfig, Executable, Pipeline, ResourceDescription, Stage, Task,
+    TaskState, Workflow,
+};
+use hpc_sim::PlatformId;
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn task_state_strategy() -> impl Strategy<Value = TaskState> {
+    proptest::sample::select(TaskState::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random transition sequences: a task only accepts legal edges, never
+    /// leaves a terminal state, and its attempt counter equals the number of
+    /// accepted Submitted transitions.
+    #[test]
+    fn task_state_machine_soundness(seq in proptest::collection::vec(task_state_strategy(), 1..60)) {
+        let mut task = Task::new("prop", Executable::Noop);
+        let mut submitted = 0u32;
+        let mut terminal_since: Option<TaskState> = None;
+        for next in seq {
+            let before = task.state();
+            let legal = before.can_transition_to(next);
+            let result = task.advance(next);
+            prop_assert_eq!(result.is_ok(), legal, "{} -> {}", before, next);
+            if result.is_ok() {
+                prop_assert_eq!(task.state(), next);
+                if next == TaskState::Submitted {
+                    submitted += 1;
+                }
+                if next.is_terminal() {
+                    terminal_since = Some(next);
+                }
+            } else {
+                prop_assert_eq!(task.state(), before, "failed advance must not mutate");
+            }
+            if let Some(t) = terminal_since {
+                prop_assert_eq!(task.state(), t, "terminal states are absorbing");
+            }
+        }
+        prop_assert_eq!(task.attempts(), submitted);
+    }
+
+    /// Any randomly shaped PST application of Noop/short-sleep tasks runs to
+    /// full completion on the simulated backend.
+    #[test]
+    fn random_pst_shapes_complete(
+        shape in proptest::collection::vec(
+            proptest::collection::vec(1usize..5, 1..4), // stages per pipeline, tasks per stage
+            1..4                                        // pipelines
+        ),
+        seed in 0u64..100,
+    ) {
+        let mut wf = Workflow::new();
+        let mut total = 0usize;
+        for (pi, stages) in shape.iter().enumerate() {
+            let mut pipeline = Pipeline::new(format!("p{pi}"));
+            for (si, &tasks) in stages.iter().enumerate() {
+                let mut stage = Stage::new(format!("p{pi}s{si}"));
+                for ti in 0..tasks {
+                    total += 1;
+                    stage.add_task(Task::new(
+                        format!("p{pi}s{si}t{ti}"),
+                        Executable::Sleep { secs: 10.0 },
+                    ));
+                }
+                pipeline.add_stage(stage);
+            }
+            wf.add_pipeline(pipeline);
+        }
+        let mut amgr = AppManager::new(
+            AppManagerConfig::new(
+                ResourceDescription::sim(PlatformId::TestRig, 4, 1_000_000).with_seed(seed),
+            )
+            .with_run_timeout(Duration::from_secs(60)),
+        );
+        let report = amgr.run(wf).expect("run completes");
+        prop_assert!(report.succeeded);
+        prop_assert_eq!(report.overheads.tasks_done as usize, total);
+        prop_assert_eq!(report.workflow.count_in(TaskState::Done), total);
+    }
+}

@@ -1,0 +1,172 @@
+//! A consumer handle with an AMQP-style prefetch window.
+//!
+//! RabbitMQ consumers bound their unacknowledged deliveries with a prefetch
+//! count so a slow consumer cannot hoard messages. EnTK's Emgr uses this to
+//! batch task submission without starving a second Emgr instance.
+
+use crate::broker::Broker;
+use crate::error::{MqError, MqResult};
+use crate::message::Delivery;
+use std::collections::HashSet;
+use std::time::Duration;
+
+/// A per-consumer view of one queue with a prefetch limit.
+pub struct Consumer {
+    broker: Broker,
+    queue: String,
+    prefetch: usize,
+    outstanding: HashSet<u64>,
+}
+
+impl Consumer {
+    pub(crate) fn new(broker: Broker, queue: String, prefetch: usize) -> Self {
+        Consumer {
+            broker,
+            queue,
+            prefetch: prefetch.max(1),
+            outstanding: HashSet::new(),
+        }
+    }
+
+    /// The queue this consumer reads.
+    pub fn queue(&self) -> &str {
+        &self.queue
+    }
+
+    /// Unacked deliveries currently held.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Fetch the next message, blocking up to `timeout`. Returns
+    /// [`MqError::PrefetchExceeded`] when the prefetch window is full —
+    /// acknowledge something first.
+    pub fn next(&mut self, timeout: Duration) -> MqResult<Option<Delivery>> {
+        if self.outstanding.len() >= self.prefetch {
+            return Err(MqError::PrefetchExceeded {
+                prefetch: self.prefetch,
+            });
+        }
+        match self.broker.get_timeout(&self.queue, timeout)? {
+            Some(d) => {
+                self.outstanding.insert(d.tag);
+                Ok(Some(d))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Acknowledge one of this consumer's deliveries.
+    pub fn ack(&mut self, tag: u64) -> MqResult<()> {
+        if !self.outstanding.remove(&tag) {
+            return Err(MqError::UnknownDeliveryTag(tag));
+        }
+        self.broker.ack(&self.queue, tag)
+    }
+
+    /// Negative-acknowledge (requeue) one of this consumer's deliveries.
+    pub fn nack(&mut self, tag: u64) -> MqResult<()> {
+        if !self.outstanding.remove(&tag) {
+            return Err(MqError::UnknownDeliveryTag(tag));
+        }
+        self.broker.nack(&self.queue, tag)
+    }
+
+    /// Requeue everything this consumer holds (consumer crash recovery).
+    pub fn recover(&mut self) -> MqResult<usize> {
+        let tags: Vec<u64> = self.outstanding.drain().collect();
+        for tag in &tags {
+            self.broker.nack(&self.queue, *tag)?;
+        }
+        Ok(tags.len())
+    }
+}
+
+impl Drop for Consumer {
+    fn drop(&mut self) {
+        // Never strand messages: anything unacked goes back to the queue.
+        let _ = self.recover();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Message;
+    use crate::queue::QueueConfig;
+
+    fn setup(n: usize) -> Broker {
+        let b = Broker::new();
+        b.declare_queue("q", QueueConfig::default()).unwrap();
+        for i in 0..n {
+            b.publish("q", Message::new(format!("m{i}"))).unwrap();
+        }
+        b
+    }
+
+    #[test]
+    fn prefetch_window_enforced() {
+        let b = setup(5);
+        let mut c = b.consumer("q", 2);
+        let d1 = c.next(Duration::ZERO).unwrap().unwrap();
+        let _d2 = c.next(Duration::ZERO).unwrap().unwrap();
+        assert!(matches!(
+            c.next(Duration::ZERO),
+            Err(MqError::PrefetchExceeded { prefetch: 2 })
+        ));
+        c.ack(d1.tag).unwrap();
+        assert!(c.next(Duration::ZERO).unwrap().is_some());
+        assert_eq!(c.outstanding(), 2);
+    }
+
+    #[test]
+    fn ack_of_foreign_tag_rejected() {
+        let b = setup(1);
+        let mut c = b.consumer("q", 4);
+        assert!(matches!(c.ack(999), Err(MqError::UnknownDeliveryTag(999))));
+        let d = c.next(Duration::ZERO).unwrap().unwrap();
+        c.ack(d.tag).unwrap();
+        assert!(matches!(
+            c.ack(d.tag),
+            Err(MqError::UnknownDeliveryTag(_))
+        ));
+    }
+
+    #[test]
+    fn nack_requeues_for_other_consumers() {
+        let b = setup(1);
+        let mut c1 = b.consumer("q", 1);
+        let d = c1.next(Duration::ZERO).unwrap().unwrap();
+        c1.nack(d.tag).unwrap();
+        let mut c2 = b.consumer("q", 1);
+        let d2 = c2.next(Duration::ZERO).unwrap().unwrap();
+        assert!(d2.redelivered);
+        assert_eq!(&d2.message.payload[..], b"m0");
+    }
+
+    #[test]
+    fn drop_returns_outstanding_messages() {
+        let b = setup(3);
+        {
+            let mut c = b.consumer("q", 3);
+            for _ in 0..3 {
+                c.next(Duration::ZERO).unwrap().unwrap();
+            }
+            assert_eq!(b.depth("q").unwrap(), 0);
+            // Consumer "crashes" here.
+        }
+        assert_eq!(b.depth("q").unwrap(), 3, "messages must be recovered");
+        assert_eq!(b.unacked("q").unwrap(), 0);
+    }
+
+    #[test]
+    fn recover_explicitly() {
+        let b = setup(2);
+        let mut c = b.consumer("q", 2);
+        c.next(Duration::ZERO).unwrap().unwrap();
+        c.next(Duration::ZERO).unwrap().unwrap();
+        assert_eq!(c.recover().unwrap(), 2);
+        assert_eq!(c.outstanding(), 0);
+        assert_eq!(b.depth("q").unwrap(), 2);
+    }
+}

@@ -1,0 +1,441 @@
+//! Append-only durability journal.
+//!
+//! RabbitMQ offers "methods to increase the durability of messages in transit
+//! and of the queues" (paper §II-C); EnTK uses this so that "messages are
+//! stored in the server and can be recovered upon failure of EnTK
+//! components". This journal provides the same guarantee for our in-process
+//! broker: every persistent publish to a durable queue appends a record, and
+//! every ack appends a tombstone. Replaying the journal reconstructs the set
+//! of messages that were published but never acknowledged.
+//!
+//! The on-disk format is a sequence of length-delimited binary records:
+//!
+//! ```text
+//! record   := kind:u8 body
+//! publish  := 0x01 qlen:u32 queue tag:u64 hlen:u32 headers plen:u32 payload
+//! ack      := 0x02 qlen:u32 queue tag:u64
+//! declare  := 0x03 qlen:u32 queue
+//! headers  := (klen:u32 key vlen:u32 value)*   // count prefixed
+//! ```
+//!
+//! All integers are little-endian. A truncated trailing record (crash during
+//! write) is tolerated and ignored on replay; corruption elsewhere is an
+//! error.
+
+use crate::error::{MqError, MqResult};
+use crate::message::Message;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Replay result: declared durable queues plus, per queue, the unacked
+/// messages in publish order with their original delivery tags.
+pub type ReplayState = (Vec<String>, BTreeMap<String, Vec<(u64, Message)>>);
+
+const KIND_PUBLISH: u8 = 0x01;
+const KIND_ACK: u8 = 0x02;
+const KIND_DECLARE: u8 = 0x03;
+
+/// A single journal record, as written or replayed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalRecord {
+    /// A persistent message published to a durable queue.
+    Publish {
+        /// Target queue name.
+        queue: String,
+        /// Delivery tag assigned by the queue.
+        tag: u64,
+        /// Message headers.
+        headers: BTreeMap<String, String>,
+        /// Message payload.
+        payload: Bytes,
+    },
+    /// Acknowledgement of a previously journaled message.
+    Ack {
+        /// Queue name.
+        queue: String,
+        /// Acked delivery tag.
+        tag: u64,
+    },
+    /// Durable queue declaration (so empty durable queues survive restart).
+    Declare {
+        /// Queue name.
+        queue: String,
+    },
+}
+
+/// Append-only journal bound to a file path.
+pub struct Journal {
+    path: PathBuf,
+    writer: Mutex<BufWriter<File>>,
+}
+
+fn write_u32(w: &mut impl Write, v: u32) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_u64(w: &mut impl Write, v: u64) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_bytes(w: &mut impl Write, b: &[u8]) -> std::io::Result<()> {
+    write_u32(w, b.len() as u32)?;
+    w.write_all(b)
+}
+
+/// Incremental reader that distinguishes clean EOF, truncated tail, and
+/// corruption.
+struct RecordReader<R: Read> {
+    inner: R,
+}
+
+enum ReadOutcome {
+    Record(JournalRecord),
+    CleanEof,
+    TruncatedTail,
+}
+
+impl<R: Read> RecordReader<R> {
+    fn read_exact_or_eof(&mut self, buf: &mut [u8], first: bool) -> MqResult<Option<()>> {
+        let mut filled = 0;
+        while filled < buf.len() {
+            let n = self.inner.read(&mut buf[filled..])?;
+            if n == 0 {
+                if filled == 0 && first {
+                    return Ok(None); // clean EOF at a record boundary
+                }
+                return Err(MqError::CorruptJournal(
+                    "unexpected EOF inside record".into(),
+                ));
+            }
+            filled += n;
+        }
+        Ok(Some(()))
+    }
+
+    fn read_u32(&mut self) -> MqResult<u32> {
+        let mut b = [0u8; 4];
+        self.read_exact_or_eof(&mut b, false)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn read_u64(&mut self) -> MqResult<u64> {
+        let mut b = [0u8; 8];
+        self.read_exact_or_eof(&mut b, false)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn read_vec(&mut self) -> MqResult<Vec<u8>> {
+        let len = self.read_u32()? as usize;
+        if len > 1 << 30 {
+            return Err(MqError::CorruptJournal(format!(
+                "implausible length {len}"
+            )));
+        }
+        let mut v = vec![0u8; len];
+        self.read_exact_or_eof(&mut v, false)?;
+        Ok(v)
+    }
+
+    fn read_string(&mut self) -> MqResult<String> {
+        String::from_utf8(self.read_vec()?)
+            .map_err(|_| MqError::CorruptJournal("non-UTF-8 string".into()))
+    }
+
+    fn next(&mut self) -> MqResult<ReadOutcome> {
+        let mut kind = [0u8; 1];
+        if self.read_exact_or_eof(&mut kind, true)?.is_none() {
+            return Ok(ReadOutcome::CleanEof);
+        }
+        let res = (|| -> MqResult<JournalRecord> {
+            match kind[0] {
+                KIND_PUBLISH => {
+                    let queue = self.read_string()?;
+                    let tag = self.read_u64()?;
+                    let nheaders = self.read_u32()?;
+                    let mut headers = BTreeMap::new();
+                    for _ in 0..nheaders {
+                        let k = self.read_string()?;
+                        let v = self.read_string()?;
+                        headers.insert(k, v);
+                    }
+                    let payload = Bytes::from(self.read_vec()?);
+                    Ok(JournalRecord::Publish {
+                        queue,
+                        tag,
+                        headers,
+                        payload,
+                    })
+                }
+                KIND_ACK => {
+                    let queue = self.read_string()?;
+                    let tag = self.read_u64()?;
+                    Ok(JournalRecord::Ack { queue, tag })
+                }
+                KIND_DECLARE => {
+                    let queue = self.read_string()?;
+                    Ok(JournalRecord::Declare { queue })
+                }
+                k => Err(MqError::CorruptJournal(format!("unknown record kind {k}"))),
+            }
+        })();
+        match res {
+            Ok(r) => Ok(ReadOutcome::Record(r)),
+            // A truncated *tail* (crash mid-append) is tolerated; we signal it
+            // so the caller can stop replay at the last complete record.
+            Err(MqError::CorruptJournal(ref m)) if m.contains("unexpected EOF") => {
+                Ok(ReadOutcome::TruncatedTail)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl Journal {
+    /// Open (or create) a journal at `path` for appending.
+    pub fn open(path: impl AsRef<Path>) -> MqResult<Self> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Journal {
+            path,
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    /// The path this journal writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append a record and flush it to the OS.
+    pub fn append(&self, rec: &JournalRecord) -> MqResult<()> {
+        let mut w = self.writer.lock();
+        match rec {
+            JournalRecord::Publish {
+                queue,
+                tag,
+                headers,
+                payload,
+            } => {
+                w.write_all(&[KIND_PUBLISH])?;
+                write_bytes(&mut *w, queue.as_bytes())?;
+                write_u64(&mut *w, *tag)?;
+                write_u32(&mut *w, headers.len() as u32)?;
+                for (k, v) in headers {
+                    write_bytes(&mut *w, k.as_bytes())?;
+                    write_bytes(&mut *w, v.as_bytes())?;
+                }
+                write_bytes(&mut *w, payload)?;
+            }
+            JournalRecord::Ack { queue, tag } => {
+                w.write_all(&[KIND_ACK])?;
+                write_bytes(&mut *w, queue.as_bytes())?;
+                write_u64(&mut *w, *tag)?;
+            }
+            JournalRecord::Declare { queue } => {
+                w.write_all(&[KIND_DECLARE])?;
+                write_bytes(&mut *w, queue.as_bytes())?;
+            }
+        }
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Replay a journal file, returning for each durable queue the messages
+    /// that were published but never acknowledged, in publish order, plus
+    /// the set of declared durable queues.
+    pub fn replay(path: impl AsRef<Path>) -> MqResult<ReplayState> {
+        let file = match File::open(path.as_ref()) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok((Vec::new(), BTreeMap::new()))
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let mut reader = RecordReader {
+            inner: BufReader::new(file),
+        };
+        let mut declared: Vec<String> = Vec::new();
+        let mut live: BTreeMap<String, Vec<(u64, Message)>> = BTreeMap::new();
+        loop {
+            match reader.next()? {
+                ReadOutcome::CleanEof | ReadOutcome::TruncatedTail => break,
+                ReadOutcome::Record(JournalRecord::Declare { queue }) => {
+                    if !declared.contains(&queue) {
+                        declared.push(queue);
+                    }
+                }
+                ReadOutcome::Record(JournalRecord::Publish {
+                    queue,
+                    tag,
+                    headers,
+                    payload,
+                }) => {
+                    let mut msg = Message::persistent(payload);
+                    msg.headers = headers;
+                    live.entry(queue).or_default().push((tag, msg));
+                }
+                ReadOutcome::Record(JournalRecord::Ack { queue, tag }) => {
+                    if let Some(msgs) = live.get_mut(&queue) {
+                        msgs.retain(|(t, _)| *t != tag);
+                    }
+                }
+            }
+        }
+        Ok((declared, live))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "entk-mq-journal-{name}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn publish_rec(queue: &str, tag: u64, payload: &str) -> JournalRecord {
+        JournalRecord::Publish {
+            queue: queue.into(),
+            tag,
+            headers: BTreeMap::new(),
+            payload: Bytes::copy_from_slice(payload.as_bytes()),
+        }
+    }
+
+    #[test]
+    fn roundtrip_publish_ack() {
+        let p = tmp("roundtrip");
+        let j = Journal::open(&p).unwrap();
+        j.append(&JournalRecord::Declare {
+            queue: "pending".into(),
+        })
+        .unwrap();
+        j.append(&publish_rec("pending", 1, "task-1")).unwrap();
+        j.append(&publish_rec("pending", 2, "task-2")).unwrap();
+        j.append(&JournalRecord::Ack {
+            queue: "pending".into(),
+            tag: 1,
+        })
+        .unwrap();
+        drop(j);
+
+        let (declared, live) = Journal::replay(&p).unwrap();
+        assert_eq!(declared, vec!["pending".to_string()]);
+        let msgs = &live["pending"];
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].0, 2);
+        assert_eq!(&msgs[0].1.payload[..], b"task-2");
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn replay_missing_file_is_empty() {
+        let (declared, live) = Journal::replay("/nonexistent/journal.bin").unwrap();
+        assert!(declared.is_empty());
+        assert!(live.is_empty());
+    }
+
+    #[test]
+    fn headers_survive_replay() {
+        let p = tmp("headers");
+        let j = Journal::open(&p).unwrap();
+        let mut headers = BTreeMap::new();
+        headers.insert("kind".to_string(), "task".to_string());
+        headers.insert("uid".to_string(), "task.0001".to_string());
+        j.append(&JournalRecord::Publish {
+            queue: "q".into(),
+            tag: 7,
+            headers: headers.clone(),
+            payload: Bytes::from_static(b"x"),
+        })
+        .unwrap();
+        drop(j);
+        let (_, live) = Journal::replay(&p).unwrap();
+        assert_eq!(live["q"][0].1.headers, headers);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_is_tolerated() {
+        let p = tmp("trunc");
+        let j = Journal::open(&p).unwrap();
+        j.append(&publish_rec("q", 1, "complete")).unwrap();
+        j.append(&publish_rec("q", 2, "will-be-truncated")).unwrap();
+        drop(j);
+        // Chop off the last few bytes to simulate a crash mid-append.
+        let data = std::fs::read(&p).unwrap();
+        std::fs::write(&p, &data[..data.len() - 5]).unwrap();
+
+        let (_, live) = Journal::replay(&p).unwrap();
+        let msgs = &live["q"];
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(&msgs[0].1.payload[..], b"complete");
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn unknown_kind_is_corruption() {
+        let p = tmp("corrupt");
+        std::fs::write(&p, [0xFFu8, 0, 0, 0, 0]).unwrap();
+        assert!(matches!(
+            Journal::replay(&p),
+            Err(MqError::CorruptJournal(_))
+        ));
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn acks_for_unknown_queue_ignored() {
+        let p = tmp("ackq");
+        let j = Journal::open(&p).unwrap();
+        j.append(&JournalRecord::Ack {
+            queue: "ghost".into(),
+            tag: 9,
+        })
+        .unwrap();
+        drop(j);
+        let (_, live) = Journal::replay(&p).unwrap();
+        assert!(live.is_empty());
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn concurrent_appends_do_not_interleave() {
+        use std::sync::Arc;
+        let p = tmp("concurrent");
+        let j = Arc::new(Journal::open(&p).unwrap());
+        let mut handles = vec![];
+        for t in 0..4u64 {
+            let j = Arc::clone(&j);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    j.append(&publish_rec("q", t * 1000 + i, "payload"))
+                        .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        drop(j);
+        let (_, live) = Journal::replay(&p).unwrap();
+        assert_eq!(live["q"].len(), 400);
+        std::fs::remove_file(&p).unwrap();
+    }
+}

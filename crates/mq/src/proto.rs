@@ -1,0 +1,308 @@
+//! The EnTK prototype benchmark (paper §IV-A1, Fig. 6).
+//!
+//! The paper prototypes "the most computationally expensive functionality of
+//! EnTK": multiple producers push task descriptions into broker queues and
+//! multiple consumers pull them, passing each to an empty RTS module. The
+//! benchmark sweeps the number of producers, consumers and intermediate
+//! queues with 10^6 tasks, measuring producer/consumer/aggregate time and
+//! base/peak memory consumption.
+//!
+//! This module is the faithful driver: it is library code (re-used by unit
+//! tests with small task counts and by `entk-bench --bin fig06_prototype`
+//! with the paper's 10^6).
+
+use crate::broker::Broker;
+use crate::message::Message;
+use crate::queue::QueueConfig;
+use crate::stats::process_rss_bytes;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of one prototype run.
+#[derive(Debug, Clone)]
+pub struct PrototypeConfig {
+    /// Total number of task messages pushed through the broker.
+    pub tasks: usize,
+    /// Number of producer threads.
+    pub producers: usize,
+    /// Number of consumer threads.
+    pub consumers: usize,
+    /// Number of intermediate queues (tasks are sharded round-robin).
+    pub queues: usize,
+    /// Size of each task description payload in bytes (the paper serializes
+    /// small task objects; ~512 B is representative).
+    pub payload_bytes: usize,
+    /// Sample process RSS at this interval to find the peak; `None` disables
+    /// memory sampling (unit tests).
+    pub memory_sample_interval: Option<Duration>,
+}
+
+impl Default for PrototypeConfig {
+    fn default() -> Self {
+        PrototypeConfig {
+            tasks: 1_000_000,
+            producers: 1,
+            consumers: 1,
+            queues: 1,
+            payload_bytes: 512,
+            memory_sample_interval: Some(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Measurements from one prototype run, mirroring Fig. 6's series.
+#[derive(Debug, Clone)]
+pub struct PrototypeReport {
+    /// The configuration that produced this report.
+    pub producers: usize,
+    /// Consumers used.
+    pub consumers: usize,
+    /// Queues used.
+    pub queues: usize,
+    /// Tasks pushed through.
+    pub tasks: usize,
+    /// Wall time for all producers to finish publishing.
+    pub producer_secs: f64,
+    /// Wall time for all consumers to drain everything.
+    pub consumer_secs: f64,
+    /// Wall time from first publish to last consume (the paper's
+    /// "aggregate").
+    pub aggregate_secs: f64,
+    /// Resident set size after instantiating broker/queues/threads, before
+    /// any task flows (paper's "baseline memory consumption").
+    pub base_rss_bytes: Option<usize>,
+    /// Peak resident set size observed during the run.
+    pub peak_rss_bytes: Option<usize>,
+    /// Tasks per second, aggregate.
+    pub tasks_per_sec: f64,
+}
+
+fn queue_name(i: usize) -> String {
+    format!("proto-q{i}")
+}
+
+/// Run the prototype benchmark once.
+///
+/// Producers shard tasks over queues round-robin. Consumers are assigned to
+/// queues round-robin and each hands its messages to an empty RTS sink
+/// (acknowledge + drop). Producers signal completion with one sentinel per
+/// consumer so consumers terminate exactly when their queue is drained.
+pub fn run_prototype(cfg: &PrototypeConfig) -> PrototypeReport {
+    assert!(cfg.producers > 0 && cfg.consumers > 0 && cfg.queues > 0);
+    let broker = Broker::new();
+    for q in 0..cfg.queues {
+        broker
+            .declare_queue(&queue_name(q), QueueConfig::default())
+            .expect("fresh broker");
+    }
+
+    // Memory sampler.
+    let stop_sampler = Arc::new(AtomicBool::new(false));
+    let peak = Arc::new(AtomicUsize::new(0));
+    let sampler = cfg.memory_sample_interval.map(|interval| {
+        let stop = Arc::clone(&stop_sampler);
+        let peak = Arc::clone(&peak);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                if let Some(rss) = process_rss_bytes() {
+                    peak.fetch_max(rss, Ordering::Relaxed);
+                }
+                std::thread::sleep(interval);
+            }
+        })
+    });
+
+    let base_rss = if cfg.memory_sample_interval.is_some() {
+        process_rss_bytes()
+    } else {
+        None
+    };
+
+    let payload: Vec<u8> = vec![0x5a; cfg.payload_bytes];
+    let start = Instant::now();
+
+    // Producers: split the task range evenly; task t goes to queue t % queues.
+    let mut producer_handles = Vec::with_capacity(cfg.producers);
+    for p in 0..cfg.producers {
+        let broker = broker.clone();
+        let payload = payload.clone();
+        let (lo, hi) = share(cfg.tasks, cfg.producers, p);
+        let queues = cfg.queues;
+        producer_handles.push(std::thread::spawn(move || {
+            let t0 = Instant::now();
+            for t in lo..hi {
+                let msg = Message::new(payload.clone());
+                broker
+                    .publish(&queue_name(t % queues), msg)
+                    .expect("publish");
+            }
+            t0.elapsed()
+        }));
+    }
+
+    // Consumers: consumer c serves queue c % queues; counts consumed tasks.
+    let consumed = Arc::new(AtomicUsize::new(0));
+    let mut consumer_handles = Vec::with_capacity(cfg.consumers);
+    for c in 0..cfg.consumers {
+        let broker = broker.clone();
+        let consumed = Arc::clone(&consumed);
+        let q = queue_name(c % cfg.queues);
+        consumer_handles.push(std::thread::spawn(move || {
+            let t0 = Instant::now();
+            loop {
+                match broker.get_timeout(&q, Duration::from_millis(100)) {
+                    Ok(Some(d)) => {
+                        if d.message.headers.contains_key("sentinel") {
+                            broker.ack(&q, d.tag).expect("ack sentinel");
+                            break;
+                        }
+                        // "Empty RTS module": accept the task and drop it.
+                        broker.ack(&q, d.tag).expect("ack");
+                        consumed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(None) => continue, // producers may still be running
+                    Err(e) => panic!("consumer error: {e}"),
+                }
+            }
+            t0.elapsed()
+        }));
+    }
+
+    let mut producer_secs: f64 = 0.0;
+    for h in producer_handles {
+        producer_secs = producer_secs.max(h.join().expect("producer").as_secs_f64());
+    }
+    // All producers done: send one sentinel per consumer to its queue.
+    for c in 0..cfg.consumers {
+        broker
+            .publish(
+                &queue_name(c % cfg.queues),
+                Message::new("").with_header("sentinel", "1"),
+            )
+            .expect("sentinel");
+    }
+    let mut consumer_secs: f64 = 0.0;
+    for h in consumer_handles {
+        consumer_secs = consumer_secs.max(h.join().expect("consumer").as_secs_f64());
+    }
+    let aggregate_secs = start.elapsed().as_secs_f64();
+
+    stop_sampler.store(true, Ordering::Relaxed);
+    if let Some(s) = sampler {
+        let _ = s.join();
+    }
+
+    let total = consumed.load(Ordering::Relaxed);
+    assert_eq!(total, cfg.tasks, "all tasks must flow through");
+
+    let peak_rss = peak.load(Ordering::Relaxed);
+    PrototypeReport {
+        producers: cfg.producers,
+        consumers: cfg.consumers,
+        queues: cfg.queues,
+        tasks: cfg.tasks,
+        producer_secs,
+        consumer_secs,
+        aggregate_secs,
+        base_rss_bytes: base_rss,
+        peak_rss_bytes: if peak_rss > 0 { Some(peak_rss) } else { None },
+        tasks_per_sec: total as f64 / aggregate_secs,
+    }
+}
+
+/// Split `n` items into `parts` near-even contiguous ranges; return range `i`.
+fn share(n: usize, parts: usize, i: usize) -> (usize, usize) {
+    let base = n / parts;
+    let rem = n % parts;
+    let lo = i * base + i.min(rem);
+    let hi = lo + base + usize::from(i < rem);
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn share_covers_range_exactly() {
+        for n in [0usize, 1, 7, 100, 101] {
+            for parts in [1usize, 2, 3, 8] {
+                let mut covered = 0;
+                let mut prev_hi = 0;
+                for i in 0..parts {
+                    let (lo, hi) = share(n, parts, i);
+                    assert_eq!(lo, prev_hi, "ranges must be contiguous");
+                    covered += hi - lo;
+                    prev_hi = hi;
+                }
+                assert_eq!(covered, n);
+                assert_eq!(prev_hi, n);
+            }
+        }
+    }
+
+    #[test]
+    fn prototype_small_run_all_configs() {
+        for &(p, c, q) in &[(1usize, 1usize, 1usize), (2, 2, 2), (4, 4, 4)] {
+            let cfg = PrototypeConfig {
+                tasks: 2_000,
+                producers: p,
+                consumers: c,
+                queues: q,
+                payload_bytes: 64,
+                memory_sample_interval: None,
+            };
+            let r = run_prototype(&cfg);
+            assert_eq!(r.tasks, 2_000);
+            assert!(r.aggregate_secs > 0.0);
+            assert!(r.tasks_per_sec > 0.0);
+        }
+    }
+
+    #[test]
+    fn prototype_uneven_producers_consumers() {
+        let cfg = PrototypeConfig {
+            tasks: 1_000,
+            producers: 3,
+            consumers: 2,
+            queues: 2,
+            payload_bytes: 32,
+            memory_sample_interval: None,
+        };
+        let r = run_prototype(&cfg);
+        assert_eq!(r.tasks, 1_000);
+    }
+
+    #[test]
+    fn prototype_more_consumers_than_queues() {
+        let cfg = PrototypeConfig {
+            tasks: 800,
+            producers: 2,
+            consumers: 4,
+            queues: 2,
+            payload_bytes: 32,
+            memory_sample_interval: None,
+        };
+        let r = run_prototype(&cfg);
+        assert_eq!(r.tasks, 800);
+    }
+
+    #[test]
+    fn prototype_memory_sampling_reports_rss() {
+        if !cfg!(target_os = "linux") {
+            return;
+        }
+        let cfg = PrototypeConfig {
+            tasks: 5_000,
+            producers: 2,
+            consumers: 2,
+            queues: 2,
+            payload_bytes: 256,
+            memory_sample_interval: Some(Duration::from_millis(1)),
+        };
+        let r = run_prototype(&cfg);
+        assert!(r.base_rss_bytes.unwrap() > 0);
+        assert!(r.peak_rss_bytes.unwrap() >= r.base_rss_bytes.unwrap() / 2);
+    }
+}

@@ -1,0 +1,485 @@
+//! The queue data structure behind every named broker queue.
+//!
+//! Each queue is a FIFO of ready messages plus a table of delivered-but-
+//! unacknowledged messages. Consumers receive [`Delivery`] values; until they
+//! `ack`, the broker retains the message so it can be redelivered (`nack`,
+//! consumer recovery). This is the mechanism EnTK builds its transactional
+//! state-update protocol on (Fig. 2, arrows 6 and 7).
+
+use crate::error::{MqError, MqResult};
+use crate::message::{Delivery, Message};
+use crate::stats::QueueStats;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Configuration of a queue at declaration time.
+#[derive(Debug, Clone, Default)]
+pub struct QueueConfig {
+    /// Durable queues journal persistent messages so they survive a broker
+    /// restart (see [`crate::journal`]).
+    pub durable: bool,
+    /// Maximum number of ready messages; `None` means unbounded. When full,
+    /// publishes fail with [`MqError::QueueFull`].
+    pub capacity: Option<usize>,
+}
+
+impl QueueConfig {
+    /// A durable queue (journaled persistent messages).
+    pub fn durable() -> Self {
+        QueueConfig {
+            durable: true,
+            capacity: None,
+        }
+    }
+
+    /// Bound the number of ready messages.
+    pub fn with_capacity(mut self, cap: usize) -> Self {
+        self.capacity = Some(cap);
+        self
+    }
+}
+
+/// A ready entry: delivery tag is assigned at publish time so that durable
+/// replay and redelivery keep stable identities.
+#[derive(Debug)]
+struct ReadyEntry {
+    tag: u64,
+    redelivered: bool,
+    message: Message,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    enqueued: u64,
+    delivered: u64,
+    acked: u64,
+    requeued: u64,
+    purged: u64,
+}
+
+/// Mutable queue state, always accessed under the handle's mutex.
+struct QueueState {
+    ready: VecDeque<ReadyEntry>,
+    unacked: HashMap<u64, Message>,
+    counters: Counters,
+    closed: bool,
+}
+
+/// A named queue: lock-protected state plus a condvar for blocking consumers.
+pub(crate) struct QueueHandle {
+    pub(crate) name: String,
+    pub(crate) config: QueueConfig,
+    state: Mutex<QueueState>,
+    ready_cond: Condvar,
+    next_tag: AtomicU64,
+    /// Incrementally maintained resident-size estimate (ready + unacked),
+    /// read lock-free by the stats path.
+    resident_bytes: AtomicUsize,
+}
+
+impl QueueHandle {
+    pub(crate) fn new(name: String, config: QueueConfig) -> Self {
+        QueueHandle {
+            name,
+            config,
+            state: Mutex::new(QueueState {
+                ready: VecDeque::new(),
+                unacked: HashMap::new(),
+                counters: Counters::default(),
+                closed: false,
+            }),
+            ready_cond: Condvar::new(),
+            next_tag: AtomicU64::new(1),
+            resident_bytes: AtomicUsize::new(0),
+        }
+    }
+
+    fn alloc_tag(&self) -> u64 {
+        self.next_tag.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Enqueue at the back (normal publish). Returns the assigned tag.
+    pub(crate) fn push(&self, message: Message) -> MqResult<u64> {
+        let sz = message.resident_bytes();
+        let tag = self.alloc_tag();
+        {
+            let mut st = self.state.lock();
+            if st.closed {
+                return Err(MqError::BrokerClosed);
+            }
+            if let Some(cap) = self.config.capacity {
+                if st.ready.len() >= cap {
+                    return Err(MqError::QueueFull(self.name.clone()));
+                }
+            }
+            st.ready.push_back(ReadyEntry {
+                tag,
+                redelivered: false,
+                message,
+            });
+            st.counters.enqueued += 1;
+        }
+        self.resident_bytes.fetch_add(sz, Ordering::Relaxed);
+        self.ready_cond.notify_one();
+        Ok(tag)
+    }
+
+    /// Non-blocking pop of the head message, moving it to the unacked table.
+    pub(crate) fn try_pop(&self) -> MqResult<Option<Delivery>> {
+        let mut st = self.state.lock();
+        if st.closed {
+            return Err(MqError::BrokerClosed);
+        }
+        Ok(Self::pop_locked(&mut st))
+    }
+
+    fn pop_locked(st: &mut QueueState) -> Option<Delivery> {
+        let entry = st.ready.pop_front()?;
+        st.counters.delivered += 1;
+        st.unacked.insert(entry.tag, entry.message.clone());
+        Some(Delivery {
+            tag: entry.tag,
+            redelivered: entry.redelivered,
+            message: entry.message,
+        })
+    }
+
+    /// Blocking pop with timeout. Returns `Ok(None)` on timeout so callers
+    /// can poll their own shutdown flags (EnTK components all have heartbeat
+    /// loops doing exactly this).
+    pub(crate) fn pop_timeout(&self, timeout: Duration) -> MqResult<Option<Delivery>> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock();
+        loop {
+            if st.closed {
+                return Err(MqError::BrokerClosed);
+            }
+            if let Some(d) = Self::pop_locked(&mut st) {
+                return Ok(Some(d));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            if self
+                .ready_cond
+                .wait_until(&mut st, deadline)
+                .timed_out()
+            {
+                // Re-check once after timeout: a message may have raced in.
+                if st.closed {
+                    return Err(MqError::BrokerClosed);
+                }
+                return Ok(Self::pop_locked(&mut st));
+            }
+        }
+    }
+
+    /// Acknowledge a delivered message, dropping it for good.
+    pub(crate) fn ack(&self, tag: u64) -> MqResult<()> {
+        let msg = {
+            let mut st = self.state.lock();
+            if st.closed {
+                return Err(MqError::BrokerClosed);
+            }
+            let msg = st
+                .unacked
+                .remove(&tag)
+                .ok_or(MqError::UnknownDeliveryTag(tag))?;
+            st.counters.acked += 1;
+            msg
+        };
+        self.resident_bytes
+            .fetch_sub(msg.resident_bytes(), Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Negative-acknowledge: return the message to the *front* of the queue
+    /// (so redelivery order approximates original order), flagged as
+    /// redelivered.
+    pub(crate) fn nack_requeue(&self, tag: u64) -> MqResult<()> {
+        {
+            let mut st = self.state.lock();
+            if st.closed {
+                return Err(MqError::BrokerClosed);
+            }
+            let msg = st
+                .unacked
+                .remove(&tag)
+                .ok_or(MqError::UnknownDeliveryTag(tag))?;
+            st.counters.requeued += 1;
+            st.ready.push_front(ReadyEntry {
+                tag,
+                redelivered: true,
+                message: msg,
+            });
+        }
+        self.ready_cond.notify_one();
+        Ok(())
+    }
+
+    /// Requeue *all* unacked messages, e.g. after a consuming component
+    /// crashed and is being restarted. Returns how many were requeued.
+    pub(crate) fn recover_unacked(&self) -> usize {
+        let n = {
+            let mut st = self.state.lock();
+            let tags: Vec<u64> = st.unacked.keys().copied().collect();
+            for tag in &tags {
+                let msg = st.unacked.remove(tag).expect("tag just listed");
+                st.counters.requeued += 1;
+                st.ready.push_front(ReadyEntry {
+                    tag: *tag,
+                    redelivered: true,
+                    message: msg,
+                });
+            }
+            tags.len()
+        };
+        if n > 0 {
+            self.ready_cond.notify_all();
+        }
+        n
+    }
+
+    /// Drop all ready messages. Unacked messages are unaffected (they may
+    /// still be nacked back). Returns the number purged.
+    pub(crate) fn purge(&self) -> usize {
+        let (n, bytes) = {
+            let mut st = self.state.lock();
+            let bytes: usize = st.ready.iter().map(|e| e.message.resident_bytes()).sum();
+            let n = st.ready.len();
+            st.counters.purged += n as u64;
+            st.ready.clear();
+            (n, bytes)
+        };
+        self.resident_bytes.fetch_sub(bytes, Ordering::Relaxed);
+        n
+    }
+
+    /// Close the queue: wake all blocked consumers with `BrokerClosed`.
+    pub(crate) fn close(&self) {
+        let mut st = self.state.lock();
+        st.closed = true;
+        drop(st);
+        self.ready_cond.notify_all();
+    }
+
+    /// Number of ready (deliverable) messages.
+    pub(crate) fn depth(&self) -> usize {
+        self.state.lock().ready.len()
+    }
+
+    /// Number of delivered-but-unacked messages.
+    pub(crate) fn unacked_count(&self) -> usize {
+        self.state.lock().unacked.len()
+    }
+
+    /// Snapshot statistics.
+    pub(crate) fn stats(&self) -> QueueStats {
+        let st = self.state.lock();
+        QueueStats {
+            name: self.name.clone(),
+            depth: st.ready.len(),
+            unacked: st.unacked.len(),
+            enqueued: st.counters.enqueued,
+            delivered: st.counters.delivered,
+            acked: st.counters.acked,
+            requeued: st.counters.requeued,
+            purged: st.counters.purged,
+            resident_bytes: self.resident_bytes.load(Ordering::Relaxed),
+            durable: self.config.durable,
+        }
+    }
+
+    /// Restore a message during journal replay: it goes to the back in
+    /// journal order with a pre-assigned tag.
+    pub(crate) fn restore(&self, tag: u64, message: Message) {
+        let sz = message.resident_bytes();
+        {
+            let mut st = self.state.lock();
+            st.ready.push_back(ReadyEntry {
+                tag,
+                redelivered: false,
+                message,
+            });
+            st.counters.enqueued += 1;
+        }
+        // Keep the tag allocator ahead of every restored tag.
+        self.next_tag.fetch_max(tag + 1, Ordering::Relaxed);
+        self.resident_bytes.fetch_add(sz, Ordering::Relaxed);
+        self.ready_cond.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q() -> QueueHandle {
+        QueueHandle::new("t".into(), QueueConfig::default())
+    }
+
+    #[test]
+    fn fifo_order() {
+        let h = q();
+        for i in 0..10u8 {
+            h.push(Message::new(vec![i])).unwrap();
+        }
+        for i in 0..10u8 {
+            let d = h.try_pop().unwrap().unwrap();
+            assert_eq!(d.message.payload[0], i);
+            h.ack(d.tag).unwrap();
+        }
+        assert!(h.try_pop().unwrap().is_none());
+    }
+
+    #[test]
+    fn ack_removes_unacked() {
+        let h = q();
+        h.push(Message::new("a")).unwrap();
+        let d = h.try_pop().unwrap().unwrap();
+        assert_eq!(h.unacked_count(), 1);
+        h.ack(d.tag).unwrap();
+        assert_eq!(h.unacked_count(), 0);
+    }
+
+    #[test]
+    fn double_ack_is_error() {
+        let h = q();
+        h.push(Message::new("a")).unwrap();
+        let d = h.try_pop().unwrap().unwrap();
+        h.ack(d.tag).unwrap();
+        assert!(matches!(
+            h.ack(d.tag),
+            Err(MqError::UnknownDeliveryTag(_))
+        ));
+    }
+
+    #[test]
+    fn nack_requeues_to_front_with_flag() {
+        let h = q();
+        h.push(Message::new("first")).unwrap();
+        h.push(Message::new("second")).unwrap();
+        let d = h.try_pop().unwrap().unwrap();
+        assert!(!d.redelivered);
+        h.nack_requeue(d.tag).unwrap();
+        let d2 = h.try_pop().unwrap().unwrap();
+        assert!(d2.redelivered);
+        assert_eq!(&d2.message.payload[..], b"first");
+    }
+
+    #[test]
+    fn recover_unacked_requeues_everything() {
+        let h = q();
+        for i in 0..5u8 {
+            h.push(Message::new(vec![i])).unwrap();
+        }
+        let mut tags = vec![];
+        for _ in 0..5 {
+            tags.push(h.try_pop().unwrap().unwrap().tag);
+        }
+        assert_eq!(h.depth(), 0);
+        assert_eq!(h.recover_unacked(), 5);
+        assert_eq!(h.depth(), 5);
+        assert_eq!(h.unacked_count(), 0);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let h = QueueHandle::new("c".into(), QueueConfig::default().with_capacity(2));
+        h.push(Message::new("1")).unwrap();
+        h.push(Message::new("2")).unwrap();
+        assert!(matches!(
+            h.push(Message::new("3")),
+            Err(MqError::QueueFull(_))
+        ));
+    }
+
+    #[test]
+    fn purge_drops_ready_only() {
+        let h = q();
+        h.push(Message::new("a")).unwrap();
+        h.push(Message::new("b")).unwrap();
+        let d = h.try_pop().unwrap().unwrap();
+        assert_eq!(h.purge(), 1);
+        assert_eq!(h.depth(), 0);
+        assert_eq!(h.unacked_count(), 1);
+        h.nack_requeue(d.tag).unwrap();
+        assert_eq!(h.depth(), 1);
+    }
+
+    #[test]
+    fn pop_timeout_returns_none_when_empty() {
+        let h = q();
+        let start = Instant::now();
+        let r = h.pop_timeout(Duration::from_millis(20)).unwrap();
+        assert!(r.is_none());
+        assert!(start.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn pop_timeout_wakes_on_push() {
+        use std::sync::Arc;
+        let h = Arc::new(q());
+        let h2 = Arc::clone(&h);
+        let t = std::thread::spawn(move || h2.pop_timeout(Duration::from_secs(5)).unwrap());
+        std::thread::sleep(Duration::from_millis(10));
+        h.push(Message::new("wake")).unwrap();
+        let d = t.join().unwrap().unwrap();
+        assert_eq!(&d.message.payload[..], b"wake");
+    }
+
+    #[test]
+    fn close_unblocks_consumers() {
+        use std::sync::Arc;
+        let h = Arc::new(q());
+        let h2 = Arc::clone(&h);
+        let t = std::thread::spawn(move || h2.pop_timeout(Duration::from_secs(30)));
+        std::thread::sleep(Duration::from_millis(10));
+        h.close();
+        assert!(matches!(t.join().unwrap(), Err(MqError::BrokerClosed)));
+    }
+
+    #[test]
+    fn resident_bytes_track_lifecycle() {
+        let h = q();
+        assert_eq!(h.stats().resident_bytes, 0);
+        h.push(Message::new(vec![0u8; 1000])).unwrap();
+        let after_push = h.stats().resident_bytes;
+        assert!(after_push >= 1000);
+        let d = h.try_pop().unwrap().unwrap();
+        // Still resident while unacked.
+        assert_eq!(h.stats().resident_bytes, after_push);
+        h.ack(d.tag).unwrap();
+        assert_eq!(h.stats().resident_bytes, 0);
+    }
+
+    #[test]
+    fn restore_preserves_tag_and_bumps_allocator() {
+        let h = q();
+        h.restore(100, Message::new("replayed"));
+        let d = h.try_pop().unwrap().unwrap();
+        assert_eq!(d.tag, 100);
+        // New pushes must not collide with restored tags.
+        let t = h.push(Message::new("new")).unwrap();
+        assert!(t > 100);
+    }
+
+    #[test]
+    fn stats_counters_accumulate() {
+        let h = q();
+        h.push(Message::new("a")).unwrap();
+        h.push(Message::new("b")).unwrap();
+        let d = h.try_pop().unwrap().unwrap();
+        h.nack_requeue(d.tag).unwrap();
+        let d = h.try_pop().unwrap().unwrap();
+        h.ack(d.tag).unwrap();
+        let s = h.stats();
+        assert_eq!(s.enqueued, 2);
+        assert_eq!(s.delivered, 2);
+        assert_eq!(s.acked, 1);
+        assert_eq!(s.requeued, 1);
+    }
+}

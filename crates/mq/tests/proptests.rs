@@ -1,0 +1,177 @@
+//! Property-based tests for the broker invariants EnTK depends on:
+//! per-queue FIFO, conservation of messages under arbitrary ack/nack
+//! interleavings, and journal-replay equivalence.
+
+use entk_mq::{Broker, BrokerConfig, Message, QueueConfig};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// An abstract operation applied to a single queue.
+#[derive(Debug, Clone)]
+enum Op {
+    Publish(u16),
+    /// Pop the head; with `ack == true` acknowledge it, otherwise nack it
+    /// back to the front.
+    Pop { ack: bool },
+    Purge,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => any::<u16>().prop_map(Op::Publish),
+        4 => any::<bool>().prop_map(|ack| Op::Pop { ack }),
+        1 => Just(Op::Purge),
+    ]
+}
+
+/// Reference model: a plain deque of payload values. Nack returns the popped
+/// element to the front; ack drops it. Purge clears ready entries.
+#[derive(Default)]
+struct Model {
+    ready: VecDeque<u16>,
+    acked: Vec<u16>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The broker behaves exactly like the reference deque model under any
+    /// sequence of publish / pop+ack / pop+nack / purge.
+    #[test]
+    fn broker_matches_deque_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let broker = Broker::new();
+        broker.declare_queue("q", QueueConfig::default()).unwrap();
+        let mut model = Model::default();
+
+        for op in ops {
+            match op {
+                Op::Publish(v) => {
+                    broker.publish("q", Message::new(v.to_le_bytes().to_vec())).unwrap();
+                    model.ready.push_back(v);
+                }
+                Op::Pop { ack } => {
+                    let got = broker.get("q").unwrap();
+                    let expected = if ack {
+                        model.ready.pop_front()
+                    } else {
+                        model.ready.front().copied()
+                    };
+                    match (got, expected) {
+                        (None, None) => {}
+                        (Some(d), Some(e)) => {
+                            let v = u16::from_le_bytes([d.message.payload[0], d.message.payload[1]]);
+                            prop_assert_eq!(v, e);
+                            if ack {
+                                broker.ack("q", d.tag).unwrap();
+                                model.acked.push(v);
+                            } else {
+                                broker.nack("q", d.tag).unwrap();
+                            }
+                        }
+                        (g, e) => prop_assert!(false, "divergence: broker={g:?} model={e:?}"),
+                    }
+                }
+                Op::Purge => {
+                    broker.purge("q").unwrap();
+                    model.ready.clear();
+                }
+            }
+            prop_assert_eq!(broker.depth("q").unwrap(), model.ready.len());
+            prop_assert_eq!(broker.unacked("q").unwrap(), 0);
+        }
+    }
+
+    /// Conservation: however publishes and acks interleave across threads,
+    /// every message is consumed exactly once.
+    #[test]
+    fn concurrent_conservation(
+        producers in 1usize..4,
+        consumers in 1usize..4,
+        per_producer in 1usize..100,
+    ) {
+        use std::collections::HashSet;
+        use std::sync::{Arc, Mutex};
+        use std::time::Duration;
+
+        let broker = Broker::new();
+        broker.declare_queue("w", QueueConfig::default()).unwrap();
+        let seen = Arc::new(Mutex::new(HashSet::new()));
+
+        let mut ph = vec![];
+        for p in 0..producers {
+            let b = broker.clone();
+            ph.push(std::thread::spawn(move || {
+                for i in 0..per_producer {
+                    b.publish("w", Message::new(format!("{p}:{i}"))).unwrap();
+                }
+            }));
+        }
+        let mut ch = vec![];
+        for _ in 0..consumers {
+            let b = broker.clone();
+            let seen = Arc::clone(&seen);
+            ch.push(std::thread::spawn(move || {
+                loop {
+                    match b.get_timeout("w", Duration::from_millis(50)) {
+                        Ok(Some(d)) => {
+                            let key = d.message.payload_str().to_string();
+                            assert!(seen.lock().unwrap().insert(key));
+                            b.ack("w", d.tag).unwrap();
+                        }
+                        Ok(None) => break,
+                        Err(e) => panic!("{e}"),
+                    }
+                }
+            }));
+        }
+        for h in ph { h.join().unwrap(); }
+        for h in ch { h.join().unwrap(); }
+        // A consumer may time out between producer finish and drain; drain rest.
+        while let Some(d) = broker.get("w").unwrap() {
+            let key = d.message.payload_str().to_string();
+            assert!(seen.lock().unwrap().insert(key));
+            broker.ack("w", d.tag).unwrap();
+        }
+        prop_assert_eq!(seen.lock().unwrap().len(), producers * per_producer);
+    }
+
+    /// Journal replay reconstructs exactly the unacked suffix, in order.
+    #[test]
+    fn journal_replay_equivalence(
+        values in proptest::collection::vec(any::<u16>(), 1..50),
+        ack_prefix in 0usize..50,
+    ) {
+        let path = {
+            let mut p = std::env::temp_dir();
+            p.push(format!(
+                "entk-mq-prop-{}-{:?}-{}.journal",
+                std::process::id(),
+                std::thread::current().id(),
+                values.len(),
+            ));
+            let _ = std::fs::remove_file(&p);
+            p
+        };
+        let ack_n = ack_prefix.min(values.len());
+        {
+            let b = Broker::with_config(BrokerConfig { journal_path: Some(path.clone()) }).unwrap();
+            b.declare_queue("d", QueueConfig::durable()).unwrap();
+            for v in &values {
+                b.publish("d", Message::persistent(v.to_le_bytes().to_vec())).unwrap();
+            }
+            for _ in 0..ack_n {
+                let d = b.get("d").unwrap().unwrap();
+                b.ack("d", d.tag).unwrap();
+            }
+            // drop without close: simulated crash
+        }
+        let b = Broker::recover(&path).unwrap();
+        let mut recovered = vec![];
+        while let Some(d) = b.get("d").unwrap() {
+            recovered.push(u16::from_le_bytes([d.message.payload[0], d.message.payload[1]]));
+            b.ack("d", d.tag).unwrap();
+        }
+        prop_assert_eq!(&recovered[..], &values[ack_n..]);
+        let _ = std::fs::remove_file(&path);
+    }
+}

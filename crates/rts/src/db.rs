@@ -1,0 +1,223 @@
+//! The DB module: RP's MongoDB stand-in.
+//!
+//! In RADICAL-Pilot, "the UnitManager schedules each task to an Agent via a
+//! queue on a MongoDB instance. Each Agent pulls its tasks from the DB
+//! module" (paper Fig. 3, arrows 4–5). RP's overheads are dominated in part
+//! by these remote round trips ("at runtime, RP initiates communications
+//! between the CI and a remote database"), so the store charges a
+//! configurable latency per operation.
+
+use crate::api::{UnitId, UnitState};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+/// Store configuration.
+#[derive(Debug, Clone)]
+pub struct DbConfig {
+    /// Real-time latency charged on every store operation, modeling the
+    /// network round trip to a remote MongoDB. Zero by default (tests).
+    pub op_latency: Duration,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        DbConfig {
+            op_latency: Duration::ZERO,
+        }
+    }
+}
+
+/// A unit document as persisted in the store.
+#[derive(Debug, Clone)]
+pub struct UnitDoc {
+    /// Unit id.
+    pub unit: UnitId,
+    /// Client tag.
+    pub tag: String,
+    /// Latest recorded state.
+    pub state: UnitState,
+    /// State history (state, order index).
+    pub history: Vec<UnitState>,
+}
+
+struct Store {
+    docs: HashMap<UnitId, UnitDoc>,
+    /// Per-agent unit queues (keyed by pilot index).
+    queues: HashMap<u64, VecDeque<UnitId>>,
+    ops: u64,
+}
+
+/// The document store. Thread-safe; clone-free (wrap in `Arc`).
+pub struct DocDb {
+    config: DbConfig,
+    store: Mutex<Store>,
+}
+
+impl DocDb {
+    /// Open an empty store.
+    pub fn new(config: DbConfig) -> Self {
+        DocDb {
+            config,
+            store: Mutex::new(Store {
+                docs: HashMap::new(),
+                queues: HashMap::new(),
+                ops: 0,
+            }),
+        }
+    }
+
+    fn charge(&self) {
+        if !self.config.op_latency.is_zero() {
+            std::thread::sleep(self.config.op_latency);
+        }
+    }
+
+    /// Insert a new unit document and enqueue it for an agent.
+    pub fn insert_unit(&self, agent: u64, unit: UnitId, tag: String) {
+        self.charge();
+        let mut st = self.store.lock();
+        st.ops += 1;
+        st.docs.insert(
+            unit,
+            UnitDoc {
+                unit,
+                tag,
+                state: UnitState::New,
+                history: vec![UnitState::New],
+            },
+        );
+        st.queues.entry(agent).or_default().push_back(unit);
+    }
+
+    /// Agent-side: pull up to `max` units from this agent's queue.
+    pub fn pull_units(&self, agent: u64, max: usize) -> Vec<UnitId> {
+        self.charge();
+        let mut st = self.store.lock();
+        st.ops += 1;
+        let queue = st.queues.entry(agent).or_default();
+        let n = queue.len().min(max);
+        queue.drain(..n).collect()
+    }
+
+    /// Record a state transition for a unit. Unknown units are ignored
+    /// (they may belong to a previous, failed RTS incarnation).
+    pub fn update_state(&self, unit: UnitId, state: UnitState) {
+        self.charge();
+        let mut st = self.store.lock();
+        st.ops += 1;
+        if let Some(doc) = st.docs.get_mut(&unit) {
+            doc.state = state;
+            doc.history.push(state);
+        }
+    }
+
+    /// Read one unit's document.
+    pub fn get(&self, unit: UnitId) -> Option<UnitDoc> {
+        let st = self.store.lock();
+        st.docs.get(&unit).cloned()
+    }
+
+    /// Number of operations performed (for overhead accounting).
+    pub fn op_count(&self) -> u64 {
+        self.store.lock().ops
+    }
+
+    /// Units currently queued for an agent.
+    pub fn queued_for(&self, agent: u64) -> usize {
+        self.store
+            .lock()
+            .queues
+            .get(&agent)
+            .map_or(0, VecDeque::len)
+    }
+
+    /// All unit documents in a terminal state.
+    pub fn terminal_units(&self) -> Vec<UnitDoc> {
+        self.store
+            .lock()
+            .docs
+            .values()
+            .filter(|d| d.state.is_terminal())
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_pull_roundtrip() {
+        let db = DocDb::new(DbConfig::default());
+        db.insert_unit(0, UnitId(1), "t1".into());
+        db.insert_unit(0, UnitId(2), "t2".into());
+        db.insert_unit(1, UnitId(3), "t3".into());
+        assert_eq!(db.queued_for(0), 2);
+        let pulled = db.pull_units(0, 10);
+        assert_eq!(pulled, vec![UnitId(1), UnitId(2)]);
+        assert_eq!(db.queued_for(0), 0);
+        assert_eq!(db.pull_units(1, 1), vec![UnitId(3)]);
+    }
+
+    #[test]
+    fn pull_respects_max() {
+        let db = DocDb::new(DbConfig::default());
+        for i in 0..5 {
+            db.insert_unit(0, UnitId(i), format!("t{i}"));
+        }
+        assert_eq!(db.pull_units(0, 2).len(), 2);
+        assert_eq!(db.queued_for(0), 3);
+    }
+
+    #[test]
+    fn state_history_accumulates() {
+        let db = DocDb::new(DbConfig::default());
+        db.insert_unit(0, UnitId(7), "x".into());
+        db.update_state(UnitId(7), UnitState::StagingInput);
+        db.update_state(UnitId(7), UnitState::Executing);
+        db.update_state(UnitId(7), UnitState::Done);
+        let doc = db.get(UnitId(7)).unwrap();
+        assert_eq!(doc.state, UnitState::Done);
+        assert_eq!(
+            doc.history,
+            vec![
+                UnitState::New,
+                UnitState::StagingInput,
+                UnitState::Executing,
+                UnitState::Done
+            ]
+        );
+    }
+
+    #[test]
+    fn unknown_unit_update_is_ignored() {
+        let db = DocDb::new(DbConfig::default());
+        db.update_state(UnitId(99), UnitState::Done);
+        assert!(db.get(UnitId(99)).is_none());
+    }
+
+    #[test]
+    fn terminal_units_filtered() {
+        let db = DocDb::new(DbConfig::default());
+        db.insert_unit(0, UnitId(1), "a".into());
+        db.insert_unit(0, UnitId(2), "b".into());
+        db.update_state(UnitId(1), UnitState::Done);
+        let term = db.terminal_units();
+        assert_eq!(term.len(), 1);
+        assert_eq!(term[0].unit, UnitId(1));
+    }
+
+    #[test]
+    fn op_latency_is_charged() {
+        let db = DocDb::new(DbConfig {
+            op_latency: Duration::from_millis(5),
+        });
+        let t0 = std::time::Instant::now();
+        db.insert_unit(0, UnitId(1), "a".into());
+        db.update_state(UnitId(1), UnitState::Done);
+        assert!(t0.elapsed() >= Duration::from_millis(10));
+        assert_eq!(db.op_count(), 2);
+    }
+}

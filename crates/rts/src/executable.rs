@@ -1,0 +1,219 @@
+//! The executable model.
+//!
+//! The paper's experiments use four executables — `sleep`, Gromacs `mdrun`,
+//! Specfem and Canalogs — plus the general case of arbitrary binaries. The
+//! RTS never inspects an executable; only its duration, resource and I/O
+//! behaviour matter. [`Executable`] captures exactly that, and additionally
+//! supports real Rust compute closures for the local backend (the AnEn use
+//! case computes for real).
+
+use hpc_sim::{DurationModel, FailureModel, SimDuration};
+use std::fmt;
+use std::sync::Arc;
+
+/// Result of a real compute closure.
+pub type ComputeResult = Result<(), String>;
+
+/// A real computation run by the local backend.
+pub type ComputeFn = dyn Fn() -> ComputeResult + Send + Sync;
+
+/// What a unit runs.
+#[derive(Clone)]
+pub enum Executable {
+    /// `/bin/sleep <secs>`: exact duration, never fails on its own.
+    Sleep {
+        /// Sleep duration in seconds.
+        secs: f64,
+    },
+    /// Gromacs `mdrun`: compute-bound, small run-to-run duration noise.
+    GromacsMdrun {
+        /// Nominal duration in seconds.
+        nominal_secs: f64,
+    },
+    /// Specfem3D forward solver: long-running, GPU-resident, sustained heavy
+    /// I/O on the shared filesystem (the Fig. 10 failure regime).
+    SpecfemForward {
+        /// Nominal duration in seconds.
+        nominal_secs: f64,
+        /// Sustained shared-filesystem demand in bytes/s.
+        io_demand_bps: f64,
+    },
+    /// Canalogs (AnEn) style analysis executable: compute-bound.
+    Canalogs {
+        /// Nominal duration in seconds.
+        nominal_secs: f64,
+    },
+    /// A real Rust computation (local backend only; on the sim backend it
+    /// is modeled as running for `nominal_secs`).
+    Compute {
+        /// Duration model used when executed on the simulated backend.
+        nominal_secs: f64,
+        /// The actual computation, run by the local backend.
+        func: Arc<ComputeFn>,
+    },
+    /// Does nothing, completes immediately (control/branching tasks).
+    Noop,
+}
+
+impl Executable {
+    /// A compute executable from a closure.
+    pub fn compute<F>(nominal_secs: f64, func: F) -> Self
+    where
+        F: Fn() -> ComputeResult + Send + Sync + 'static,
+    {
+        Executable::Compute {
+            nominal_secs,
+            func: Arc::new(func),
+        }
+    }
+
+    /// Nominal duration in seconds (the value reported in Table I's "Task
+    /// Duration" column).
+    pub fn nominal_secs(&self) -> f64 {
+        match self {
+            Executable::Sleep { secs } => *secs,
+            Executable::GromacsMdrun { nominal_secs }
+            | Executable::Canalogs { nominal_secs }
+            | Executable::SpecfemForward { nominal_secs, .. }
+            | Executable::Compute { nominal_secs, .. } => *nominal_secs,
+            Executable::Noop => 0.0,
+        }
+    }
+
+    /// Short name as it would appear in the paper's plots.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Executable::Sleep { .. } => "sleep",
+            Executable::GromacsMdrun { .. } => "mdrun",
+            Executable::SpecfemForward { .. } => "specfem",
+            Executable::Canalogs { .. } => "canalogs",
+            Executable::Compute { .. } => "compute",
+            Executable::Noop => "noop",
+        }
+    }
+
+    /// Duration model for the simulated backend.
+    pub fn duration_model(&self) -> DurationModel {
+        match self {
+            Executable::Sleep { secs } => {
+                DurationModel::Fixed(SimDuration::from_secs_f64(*secs))
+            }
+            Executable::GromacsMdrun { nominal_secs } => DurationModel::Normal {
+                mean: SimDuration::from_secs_f64(*nominal_secs),
+                sd: SimDuration::from_secs_f64(nominal_secs * 0.02),
+            },
+            Executable::SpecfemForward { nominal_secs, .. } => DurationModel::Normal {
+                mean: SimDuration::from_secs_f64(*nominal_secs),
+                sd: SimDuration::from_secs_f64(nominal_secs * 0.05),
+            },
+            Executable::Canalogs { nominal_secs } => DurationModel::Normal {
+                mean: SimDuration::from_secs_f64(*nominal_secs),
+                sd: SimDuration::from_secs_f64(nominal_secs * 0.05),
+            },
+            Executable::Compute { nominal_secs, .. } => {
+                DurationModel::Fixed(SimDuration::from_secs_f64(*nominal_secs))
+            }
+            Executable::Noop => DurationModel::Fixed(SimDuration::ZERO),
+        }
+    }
+
+    /// Failure model for the simulated backend.
+    pub fn failure_model(&self) -> FailureModel {
+        match self {
+            Executable::SpecfemForward { io_demand_bps, .. } => FailureModel::IoOverload {
+                demand_bps: *io_demand_bps,
+            },
+            _ => FailureModel::None,
+        }
+    }
+}
+
+impl fmt::Debug for Executable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Executable::Compute { nominal_secs, .. } => f
+                .debug_struct("Compute")
+                .field("nominal_secs", nominal_secs)
+                .finish_non_exhaustive(),
+            Executable::Sleep { secs } => {
+                f.debug_struct("Sleep").field("secs", secs).finish()
+            }
+            Executable::GromacsMdrun { nominal_secs } => f
+                .debug_struct("GromacsMdrun")
+                .field("nominal_secs", nominal_secs)
+                .finish(),
+            Executable::SpecfemForward {
+                nominal_secs,
+                io_demand_bps,
+            } => f
+                .debug_struct("SpecfemForward")
+                .field("nominal_secs", nominal_secs)
+                .field("io_demand_bps", io_demand_bps)
+                .finish(),
+            Executable::Canalogs { nominal_secs } => f
+                .debug_struct("Canalogs")
+                .field("nominal_secs", nominal_secs)
+                .finish(),
+            Executable::Noop => write!(f, "Noop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_secs_per_variant() {
+        assert_eq!(Executable::Sleep { secs: 100.0 }.nominal_secs(), 100.0);
+        assert_eq!(
+            Executable::GromacsMdrun {
+                nominal_secs: 600.0
+            }
+            .nominal_secs(),
+            600.0
+        );
+        assert_eq!(Executable::Noop.nominal_secs(), 0.0);
+    }
+
+    #[test]
+    fn sleep_maps_to_fixed_duration() {
+        let m = Executable::Sleep { secs: 10.0 }.duration_model();
+        assert_eq!(m, DurationModel::Fixed(SimDuration::from_secs(10)));
+    }
+
+    #[test]
+    fn specfem_maps_to_io_overload() {
+        let e = Executable::SpecfemForward {
+            nominal_secs: 180.0,
+            io_demand_bps: 2e9,
+        };
+        assert_eq!(e.failure_model(), FailureModel::IoOverload { demand_bps: 2e9 });
+        assert!(matches!(e.duration_model(), DurationModel::Normal { .. }));
+    }
+
+    #[test]
+    fn compute_runs_closure() {
+        let e = Executable::compute(1.0, || Ok(()));
+        match e {
+            Executable::Compute { func, .. } => assert!(func().is_ok()),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn names_match_paper_labels() {
+        assert_eq!(Executable::Sleep { secs: 1.0 }.name(), "sleep");
+        assert_eq!(
+            Executable::GromacsMdrun { nominal_secs: 1.0 }.name(),
+            "mdrun"
+        );
+    }
+
+    #[test]
+    fn debug_impl_does_not_leak_closure() {
+        let e = Executable::compute(2.5, || Ok(()));
+        let s = format!("{e:?}");
+        assert!(s.contains("Compute") && s.contains("2.5"));
+    }
+}

@@ -1,0 +1,844 @@
+//! The simulated-backend runtime: PilotManager + UnitManager + Agent wired
+//! to an [`hpc_sim`] infrastructure.
+//!
+//! Module topology follows RP (paper Fig. 3):
+//!
+//! * `submit_pilot` plays the **PilotManager**: it submits the pilot as a
+//!   batch job through the (simulated) CI's job interface.
+//! * `submit_units` plays the **UnitManager**: units are written to the
+//!   [`DocDb`] and scheduled to the pilot's agent queue.
+//! * A dispatcher thread plays the **Agent**: it pulls units from the DB
+//!   queue, runs input staging through `stagers` sequential workers (RP's
+//!   default is one), places and spawns tasks through the simulated
+//!   launcher, and on completion performs output staging and emits
+//!   callbacks.
+
+use crate::api::{
+    PilotDescription, PilotId, PilotState, RtsDown, UnitCallback, UnitDescription, UnitId,
+    UnitOutcome, UnitState,
+};
+use crate::db::{DbConfig, DocDb};
+use crate::profile::UnitRecord;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use hpc_sim::{
+    JobDescription, JobId, Platform, SimConfig, SimEvent, SimHandle, Simulation, StageId,
+    SimCommander, StageUnit, TaskDesc, TaskId, TaskOutcome,
+};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of the simulated backend.
+#[derive(Debug, Clone)]
+pub struct SimRuntimeConfig {
+    /// The CI to simulate.
+    pub platform: Platform,
+    /// RNG seed for the simulation.
+    pub seed: u64,
+    /// Number of staging workers (RP default: 1, i.e. sequential staging).
+    pub stagers: usize,
+    /// DB configuration.
+    pub db: DbConfig,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StagePhase {
+    In,
+    Out,
+}
+
+struct PilotEntry {
+    job: JobId,
+    state: PilotState,
+}
+
+struct UnitEntry {
+    pilot: PilotId,
+    desc: UnitDescription,
+    record: UnitRecord,
+    state: UnitState,
+}
+
+struct State {
+    pilots: HashMap<PilotId, PilotEntry>,
+    job_index: HashMap<JobId, PilotId>,
+    units: HashMap<UnitId, UnitEntry>,
+    task_index: HashMap<TaskId, UnitId>,
+    stage_index: HashMap<StageId, (UnitId, StagePhase, f64)>,
+    stage_queue: VecDeque<(UnitId, StageUnit, StagePhase)>,
+    stage_in_flight: usize,
+    next_pilot: u64,
+    next_unit: u64,
+}
+
+/// The simulated-backend RTS core.
+pub struct SimRuntime {
+    sim: Mutex<Option<SimHandle>>,
+    commander: SimCommander,
+    state: Arc<Mutex<State>>,
+    pilot_cond: Arc<Condvar>,
+    callbacks_rx: Receiver<UnitCallback>,
+    db: Arc<DocDb>,
+    alive: Arc<AtomicBool>,
+    stagers: usize,
+    dispatcher: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl SimRuntime {
+    /// Start the runtime: boots the simulation engine and the Agent
+    /// dispatcher thread.
+    pub fn start(config: SimRuntimeConfig) -> Self {
+        let sim = Simulation::start(SimConfig::new(config.platform).with_seed(config.seed));
+        let commander = sim.commander();
+        let events = sim.events().clone();
+        let (cb_tx, cb_rx) = unbounded();
+        let state = Arc::new(Mutex::new(State {
+            pilots: HashMap::new(),
+            job_index: HashMap::new(),
+            units: HashMap::new(),
+            task_index: HashMap::new(),
+            stage_index: HashMap::new(),
+            stage_queue: VecDeque::new(),
+            stage_in_flight: 0,
+            next_pilot: 1,
+            next_unit: 1,
+        }));
+        let db = Arc::new(DocDb::new(config.db));
+        let alive = Arc::new(AtomicBool::new(true));
+        let pilot_cond = Arc::new(Condvar::new());
+
+        let dispatcher = {
+            let state = Arc::clone(&state);
+            let db = Arc::clone(&db);
+            let alive = Arc::clone(&alive);
+            let cond = Arc::clone(&pilot_cond);
+            let commander = commander.clone();
+            let stagers = config.stagers.max(1);
+            std::thread::Builder::new()
+                .name("rp-agent".into())
+                .spawn(move || {
+                    dispatcher_loop(events, state, db, cb_tx, alive, cond, commander, stagers)
+                })
+                .expect("spawn agent dispatcher")
+        };
+
+        SimRuntime {
+            sim: Mutex::new(Some(sim)),
+            commander,
+            state,
+            pilot_cond,
+            callbacks_rx: cb_rx,
+            db,
+            alive,
+            stagers: config.stagers.max(1),
+            dispatcher: Mutex::new(Some(dispatcher)),
+        }
+    }
+
+    /// The DB module (introspection: unit documents, op counts).
+    pub fn db(&self) -> &DocDb {
+        &self.db
+    }
+
+    /// Whether the RTS is responsive (false after `kill`/`teardown`).
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    /// Callback stream (unit state transitions).
+    pub fn callbacks(&self) -> &Receiver<UnitCallback> {
+        &self.callbacks_rx
+    }
+
+    /// Current virtual time in seconds.
+    pub fn now_secs(&self) -> f64 {
+        self.commander.now().as_secs_f64()
+    }
+
+    /// PilotManager: submit a pilot as a batch job on the CI.
+    pub fn submit_pilot(&self, desc: &PilotDescription) -> PilotId {
+        assert!(self.is_alive(), "RTS is down");
+        let job = self.commander.submit_job(JobDescription {
+            nodes: desc.nodes,
+            walltime: hpc_sim::SimDuration::from_secs(desc.walltime_secs),
+            bootstrap: hpc_sim::SimDuration::from_secs_f64(desc.bootstrap_secs),
+        });
+        let mut st = self.state.lock();
+        let id = PilotId(st.next_pilot);
+        st.next_pilot += 1;
+        st.pilots.insert(
+            id,
+            PilotEntry {
+                job,
+                state: PilotState::Queued,
+            },
+        );
+        st.job_index.insert(job, id);
+        id
+    }
+
+    /// Block until the pilot is Ready (or terminal); true if Ready.
+    pub fn wait_pilot_ready(&self, pilot: PilotId, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock();
+        loop {
+            match st.pilots.get(&pilot).map(|p| p.state) {
+                Some(PilotState::Ready) => return true,
+                Some(PilotState::Done) | None => return false,
+                _ => {}
+            }
+            if !self.is_alive() {
+                return false;
+            }
+            if self.pilot_cond.wait_until(&mut st, deadline).timed_out() {
+                return matches!(
+                    st.pilots.get(&pilot).map(|p| p.state),
+                    Some(PilotState::Ready)
+                );
+            }
+        }
+    }
+
+    /// Pilot state snapshot.
+    pub fn pilot_state(&self, pilot: PilotId) -> Option<PilotState> {
+        self.state.lock().pilots.get(&pilot).map(|p| p.state)
+    }
+
+    /// UnitManager: accept units, write them to the DB, schedule them to the
+    /// pilot's agent. Returns unit ids in order.
+    pub fn submit_units(
+        &self,
+        pilot: PilotId,
+        descs: Vec<UnitDescription>,
+    ) -> Result<Vec<UnitId>, RtsDown> {
+        if !self.is_alive() {
+            return Err(RtsDown);
+        }
+        let now = self.commander.now().as_secs_f64();
+        let mut launches: Vec<(UnitId, JobId, TaskDesc)> = Vec::new();
+        let mut ids = Vec::with_capacity(descs.len());
+        {
+            let mut st = self.state.lock();
+            let job = st.pilots.get(&pilot).map(|p| p.job);
+            for desc in descs {
+                let id = UnitId(st.next_unit);
+                st.next_unit += 1;
+                ids.push(id);
+                self.db.insert_unit(pilot.0, id, desc.tag.clone());
+                let record = UnitRecord::submitted(id, desc.tag.clone(), now);
+                let stage_in = desc.staging.stage_in.clone();
+                let entry = UnitEntry {
+                    pilot,
+                    desc,
+                    record,
+                    state: UnitState::New,
+                };
+                st.units.insert(id, entry);
+                match (job, stage_in) {
+                    (None, _) => {
+                        // Unknown pilot: the unit is immediately lost.
+                        fail_unit_locked(
+                            &mut st,
+                            &self.db,
+                            id,
+                            UnitOutcome::Canceled,
+                            now,
+                            None,
+                        );
+                    }
+                    (Some(_), Some(su)) if !su.is_empty() => {
+                        set_state_locked(&mut st, &self.db, id, UnitState::StagingInput, None);
+                        st.stage_queue.push_back((id, su, StagePhase::In));
+                    }
+                    (Some(job), _) => {
+                        let task = make_task_desc(&st.units[&id].desc);
+                        set_state_locked(&mut st, &self.db, id, UnitState::AgentQueued, None);
+                        launches.push((id, job, task));
+                    }
+                }
+            }
+            dispatch_stagers_locked(&mut st, &self.commander, self.stagers);
+        }
+        // Launch outside the lock's critical path for clarity (commander
+        // calls are cheap; ordering within the burst is preserved).
+        let mut st = self.state.lock();
+        for (id, job, task) in launches {
+            let tid = self.commander.launch_task(job, task);
+            st.task_index.insert(tid, id);
+        }
+        Ok(ids)
+    }
+
+    /// Cancel one unit.
+    pub fn cancel_unit(&self, unit: UnitId) {
+        let st = self.state.lock();
+        if let Some((tid, _)) = st.task_index.iter().find(|(_, u)| **u == unit) {
+            self.commander.cancel_task(*tid);
+        }
+        // Units still in staging will be canceled when their stage finishes.
+    }
+
+    /// Cancel a pilot (tears down its units via JobEnded).
+    pub fn cancel_pilot(&self, pilot: PilotId) {
+        let job = self.state.lock().pilots.get(&pilot).map(|p| p.job);
+        if let Some(job) = job {
+            self.commander.cancel_job(job);
+        }
+    }
+
+    /// Abrupt failure: the whole RTS dies, in-flight tasks are lost, no
+    /// further callbacks are emitted. EnTK's Heartbeat observes
+    /// `is_alive() == false` and restarts the RTS.
+    pub fn kill(&self) {
+        self.alive.store(false, Ordering::Release);
+        if let Some(mut sim) = self.sim.lock().take() {
+            sim.shutdown();
+        }
+        self.pilot_cond.notify_all();
+        if let Some(d) = self.dispatcher.lock().take() {
+            let _ = d.join();
+        }
+    }
+
+    /// Graceful teardown: cancel pilots, stop the engine, join the
+    /// dispatcher. Returns the wall time it took ("RTS Tear-Down Overhead").
+    pub fn teardown(&self) -> Duration {
+        let t0 = Instant::now();
+        if self.is_alive() {
+            let pilots: Vec<PilotId> = self.state.lock().pilots.keys().copied().collect();
+            for p in pilots {
+                self.cancel_pilot(p);
+            }
+            // Let cancellations drain through the engine before shutdown.
+            let _ = self.commander.now();
+            self.alive.store(false, Ordering::Release);
+            if let Some(mut sim) = self.sim.lock().take() {
+                sim.shutdown();
+            }
+            self.pilot_cond.notify_all();
+            if let Some(d) = self.dispatcher.lock().take() {
+                let _ = d.join();
+            }
+        }
+        t0.elapsed()
+    }
+
+    /// Snapshot of all unit records.
+    pub fn records(&self) -> Vec<UnitRecord> {
+        self.state
+            .lock()
+            .units
+            .values()
+            .map(|u| u.record.clone())
+            .collect()
+    }
+}
+
+impl Drop for SimRuntime {
+    fn drop(&mut self) {
+        self.teardown();
+    }
+}
+
+fn make_task_desc(desc: &UnitDescription) -> TaskDesc {
+    TaskDesc {
+        cores: desc.cores,
+        gpus: desc.gpus,
+        duration: desc.executable.duration_model(),
+        failure: desc.executable.failure_model(),
+        skip_env_setup: matches!(desc.executable, crate::executable::Executable::Noop),
+    }
+}
+
+fn set_state_locked(
+    st: &mut State,
+    db: &DocDb,
+    unit: UnitId,
+    state: UnitState,
+    cb: Option<(&Sender<UnitCallback>, f64)>,
+) {
+    if let Some(u) = st.units.get_mut(&unit) {
+        if u.state.is_terminal() {
+            return;
+        }
+        u.state = state;
+        db.update_state(unit, state);
+        if let Some((tx, ts)) = cb {
+            let _ = tx.send(UnitCallback {
+                unit,
+                tag: u.desc.tag.clone(),
+                state,
+                outcome: None,
+                timestamp_secs: ts,
+            });
+        }
+    }
+}
+
+fn fail_unit_locked(
+    st: &mut State,
+    db: &DocDb,
+    unit: UnitId,
+    outcome: UnitOutcome,
+    at_secs: f64,
+    cb: Option<&Sender<UnitCallback>>,
+) {
+    let Some(u) = st.units.get_mut(&unit) else {
+        return;
+    };
+    if u.state.is_terminal() {
+        return;
+    }
+    let state = match &outcome {
+        UnitOutcome::Done => UnitState::Done,
+        UnitOutcome::Failed(_) => UnitState::Failed,
+        UnitOutcome::Canceled => UnitState::Canceled,
+    };
+    u.state = state;
+    u.record.ended_secs = Some(at_secs);
+    u.record.outcome = Some(outcome.clone());
+    db.update_state(unit, state);
+    if let Some(tx) = cb {
+        let _ = tx.send(UnitCallback {
+            unit,
+            tag: u.desc.tag.clone(),
+            state,
+            outcome: Some(outcome),
+            timestamp_secs: at_secs,
+        });
+    }
+}
+
+fn dispatch_stagers_locked(st: &mut State, commander: &SimCommander, stagers: usize) {
+    while st.stage_in_flight < stagers {
+        let Some((unit, su, phase)) = st.stage_queue.pop_front() else {
+            return;
+        };
+        // Skip staging for units that died while queued.
+        if st.units.get(&unit).is_none_or(|u| u.state.is_terminal()) {
+            continue;
+        }
+        let duration_est = 0.0; // filled at completion from event timestamps
+        let stage_id = commander.stage(vec![su], 1);
+        st.stage_index.insert(stage_id, (unit, phase, duration_est));
+        st.stage_in_flight += 1;
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dispatcher_loop(
+    events: Receiver<SimEvent>,
+    state: Arc<Mutex<State>>,
+    db: Arc<DocDb>,
+    cb_tx: Sender<UnitCallback>,
+    alive: Arc<AtomicBool>,
+    cond: Arc<Condvar>,
+    commander: SimCommander,
+    stagers: usize,
+) {
+    while let Ok(ev) = events.recv() {
+        if !alive.load(Ordering::Acquire) {
+            break;
+        }
+        let mut st = state.lock();
+        match ev {
+            SimEvent::JobActive { job, time: _ } => {
+                if let Some(pid) = st.job_index.get(&job).copied() {
+                    if let Some(p) = st.pilots.get_mut(&pid) {
+                        if p.state == PilotState::Queued {
+                            p.state = PilotState::Active;
+                        }
+                    }
+                    cond.notify_all();
+                }
+            }
+            SimEvent::JobReady { job, time: _ } => {
+                if let Some(pid) = st.job_index.get(&job).copied() {
+                    if let Some(p) = st.pilots.get_mut(&pid) {
+                        p.state = PilotState::Ready;
+                    }
+                    cond.notify_all();
+                }
+            }
+            SimEvent::JobEnded { job, time, .. } => {
+                if let Some(pid) = st.job_index.get(&job).copied() {
+                    if let Some(p) = st.pilots.get_mut(&pid) {
+                        p.state = PilotState::Done;
+                    }
+                    // Any unit of this pilot not yet terminal is lost. The
+                    // sim also emits per-task Canceled events; this sweep
+                    // catches units still in staging.
+                    let lost: Vec<UnitId> = st
+                        .units
+                        .iter()
+                        .filter(|(_, u)| u.pilot == pid && !u.state.is_terminal())
+                        .map(|(id, _)| *id)
+                        .collect();
+                    for id in lost {
+                        fail_unit_locked(
+                            &mut st,
+                            &db,
+                            id,
+                            UnitOutcome::Canceled,
+                            time.as_secs_f64(),
+                            Some(&cb_tx),
+                        );
+                    }
+                    cond.notify_all();
+                }
+            }
+            SimEvent::TaskStarted { task, time } => {
+                if let Some(unit) = st.task_index.get(&task).copied() {
+                    if let Some(u) = st.units.get_mut(&unit) {
+                        u.record.started_secs = Some(time.as_secs_f64());
+                    }
+                    set_state_locked(
+                        &mut st,
+                        &db,
+                        unit,
+                        UnitState::Executing,
+                        Some((&cb_tx, time.as_secs_f64())),
+                    );
+                }
+            }
+            SimEvent::TaskEnded {
+                task,
+                time,
+                outcome,
+                ..
+            } => {
+                if let Some(unit) = st.task_index.remove(&task) {
+                    let ts = time.as_secs_f64();
+                    match outcome {
+                        TaskOutcome::Completed => {
+                            let stage_out = st
+                                .units
+                                .get(&unit)
+                                .and_then(|u| u.desc.staging.stage_out.clone());
+                            match stage_out {
+                                Some(su) if !su.is_empty() => {
+                                    set_state_locked(
+                                        &mut st,
+                                        &db,
+                                        unit,
+                                        UnitState::StagingOutput,
+                                        Some((&cb_tx, ts)),
+                                    );
+                                    st.stage_queue.push_back((unit, su, StagePhase::Out));
+                                    dispatch_stagers_locked(&mut st, &commander, stagers);
+                                }
+                                _ => {
+                                    fail_unit_locked(
+                                        &mut st,
+                                        &db,
+                                        unit,
+                                        UnitOutcome::Done,
+                                        ts,
+                                        Some(&cb_tx),
+                                    );
+                                }
+                            }
+                        }
+                        TaskOutcome::Failed(reason) => {
+                            fail_unit_locked(
+                                &mut st,
+                                &db,
+                                unit,
+                                UnitOutcome::Failed(reason),
+                                ts,
+                                Some(&cb_tx),
+                            );
+                        }
+                        TaskOutcome::Canceled => {
+                            fail_unit_locked(
+                                &mut st,
+                                &db,
+                                unit,
+                                UnitOutcome::Canceled,
+                                ts,
+                                Some(&cb_tx),
+                            );
+                        }
+                    }
+                }
+            }
+            SimEvent::StageEnded {
+                stage,
+                time,
+                submitted_at,
+            } => {
+                if let Some((unit, phase, _)) = st.stage_index.remove(&stage) {
+                    st.stage_in_flight = st.stage_in_flight.saturating_sub(1);
+                    let ts = time.as_secs_f64();
+                    let dur = (time - submitted_at).as_secs_f64();
+                    match phase {
+                        StagePhase::In => {
+                            let (job, task_desc, dead) = {
+                                match st.units.get_mut(&unit) {
+                                    Some(u) if !u.state.is_terminal() => {
+                                        u.record.stage_in_done_secs = Some(ts);
+                                        u.record.stage_in_duration_secs = dur;
+                                        let pid = u.pilot;
+                                        let td = make_task_desc(&u.desc);
+                                        let job = st.pilots.get(&pid).and_then(|p| {
+                                            (p.state != PilotState::Done).then_some(p.job)
+                                        });
+                                        (job, Some(td), false)
+                                    }
+                                    _ => (None, None, true),
+                                }
+                            };
+                            if dead {
+                                // unit already terminal; nothing to do
+                            } else if let (Some(job), Some(td)) = (job, task_desc) {
+                                set_state_locked(
+                                    &mut st,
+                                    &db,
+                                    unit,
+                                    UnitState::AgentQueued,
+                                    Some((&cb_tx, ts)),
+                                );
+                                let tid = commander.launch_task(job, td);
+                                st.task_index.insert(tid, unit);
+                            } else {
+                                fail_unit_locked(
+                                    &mut st,
+                                    &db,
+                                    unit,
+                                    UnitOutcome::Canceled,
+                                    ts,
+                                    Some(&cb_tx),
+                                );
+                            }
+                            dispatch_stagers_locked(&mut st, &commander, stagers);
+                        }
+                        StagePhase::Out => {
+                            fail_unit_locked(
+                                &mut st,
+                                &db,
+                                unit,
+                                UnitOutcome::Done,
+                                ts,
+                                Some(&cb_tx),
+                            );
+                            dispatch_stagers_locked(&mut st, &commander, stagers);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executable::Executable;
+    use hpc_sim::PlatformId;
+
+    fn runtime() -> SimRuntime {
+        SimRuntime::start(SimRuntimeConfig {
+            platform: Platform::catalog(PlatformId::TestRig),
+            seed: 3,
+            stagers: 1,
+            db: DbConfig::default(),
+        })
+    }
+
+    fn ready_pilot(rt: &SimRuntime) -> PilotId {
+        let p = rt.submit_pilot(&PilotDescription::test_rig());
+        assert!(rt.wait_pilot_ready(p, Duration::from_secs(5)));
+        p
+    }
+
+    /// Drain callbacks until `n` units are terminal; returns tag → outcome.
+    fn drain_until_terminal(rt: &SimRuntime, n: usize) -> HashMap<String, UnitOutcome> {
+        let mut out = HashMap::new();
+        while out.len() < n {
+            let cb = rt
+                .callbacks()
+                .recv_timeout(Duration::from_secs(10))
+                .expect("callback");
+            if let Some(o) = cb.outcome {
+                out.insert(cb.tag, o);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn pilot_becomes_ready() {
+        let rt = runtime();
+        let p = ready_pilot(&rt);
+        assert_eq!(rt.pilot_state(p), Some(PilotState::Ready));
+    }
+
+    #[test]
+    fn unit_executes_and_completes() {
+        let rt = runtime();
+        let p = ready_pilot(&rt);
+        let units = rt.submit_units(
+            p,
+            vec![UnitDescription::new("u1", Executable::Sleep { secs: 100.0 })],
+        )
+        .unwrap();
+        assert_eq!(units.len(), 1);
+        let out = drain_until_terminal(&rt, 1);
+        assert_eq!(out["u1"], UnitOutcome::Done);
+        let recs = rt.records();
+        assert_eq!(recs.len(), 1);
+        let r = &recs[0];
+        let exec = r.exec_secs().unwrap();
+        assert!((exec - 100.0).abs() < 1e-6, "exec = {exec}");
+    }
+
+    #[test]
+    fn staging_precedes_execution() {
+        let rt = runtime();
+        let p = ready_pilot(&rt);
+        rt.submit_units(
+            p,
+            vec![UnitDescription::new("u1", Executable::Sleep { secs: 10.0 }).with_staging(
+                crate::api::StagingSpec::input(StageUnit::single_file(1_000_000_000)),
+            )],
+        )
+        .unwrap();
+        let out = drain_until_terminal(&rt, 1);
+        assert_eq!(out["u1"], UnitOutcome::Done);
+        let r = &rt.records()[0];
+        assert!(r.stage_in_duration_secs > 0.0);
+        assert!(r.stage_in_done_secs.unwrap() <= r.started_secs.unwrap());
+    }
+
+    #[test]
+    fn sequential_stager_serializes_units() {
+        let rt = runtime();
+        let p = ready_pilot(&rt);
+        // 1 GB per unit at 10 GB/s = 0.1 s staging each; 4 units with one
+        // stager must take ≥ 0.4 s of staging before the last can start.
+        let descs: Vec<UnitDescription> = (0..4)
+            .map(|i| {
+                UnitDescription::new(format!("u{i}"), Executable::Sleep { secs: 1.0 })
+                    .with_staging(crate::api::StagingSpec::input(StageUnit::single_file(
+                        1_000_000_000,
+                    )))
+            })
+            .collect();
+        rt.submit_units(p, descs).unwrap();
+        drain_until_terminal(&rt, 4);
+        let mut stage_done: Vec<f64> = rt
+            .records()
+            .iter()
+            .map(|r| r.stage_in_done_secs.unwrap())
+            .collect();
+        stage_done.sort_by(f64::total_cmp);
+        // Strictly increasing by ~0.1 s each: serialized.
+        for w in stage_done.windows(2) {
+            assert!(w[1] > w[0] + 0.05, "staging not serialized: {stage_done:?}");
+        }
+    }
+
+    #[test]
+    fn many_units_all_complete() {
+        let rt = runtime();
+        let p = ready_pilot(&rt);
+        let descs: Vec<UnitDescription> = (0..64)
+            .map(|i| UnitDescription::new(format!("u{i}"), Executable::Sleep { secs: 50.0 }))
+            .collect();
+        rt.submit_units(p, descs).unwrap();
+        let out = drain_until_terminal(&rt, 64);
+        assert!(out.values().all(|o| *o == UnitOutcome::Done));
+        // TestRig has 32 cores; 64 1-core 50 s tasks run in two generations.
+        let prof = crate::profile::RtsProfile::from_records(&rt.records());
+        assert!(prof.exec_makespan_secs >= 100.0 - 1e-6);
+        assert!(prof.exec_makespan_secs < 110.0);
+    }
+
+    #[test]
+    fn pilot_walltime_cancels_units() {
+        let rt = runtime();
+        let p = rt.submit_pilot(&PilotDescription {
+            platform: PlatformId::TestRig,
+            nodes: 1,
+            walltime_secs: 60,
+            bootstrap_secs: 0.0,
+        });
+        assert!(rt.wait_pilot_ready(p, Duration::from_secs(5)));
+        rt.submit_units(
+            p,
+            vec![UnitDescription::new(
+                "long",
+                Executable::Sleep { secs: 600.0 },
+            )],
+        )
+        .unwrap();
+        let out = drain_until_terminal(&rt, 1);
+        assert_eq!(out["long"], UnitOutcome::Canceled);
+        // The JobEnded event may trail the task's Canceled callback briefly.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while rt.pilot_state(p) != Some(PilotState::Done) {
+            assert!(Instant::now() < deadline, "pilot never reached Done");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn kill_makes_rts_unresponsive() {
+        let rt = runtime();
+        let p = ready_pilot(&rt);
+        rt.submit_units(
+            p,
+            vec![UnitDescription::new(
+                "doomed",
+                Executable::Sleep { secs: 1e6 },
+            )],
+        )
+        .unwrap();
+        assert!(rt.is_alive());
+        rt.kill();
+        assert!(!rt.is_alive());
+        // The doomed unit never reaches a terminal state: it was lost.
+        let recs = rt.records();
+        assert!(recs[0].outcome.is_none());
+    }
+
+    #[test]
+    fn teardown_is_idempotent_and_reports_time() {
+        let rt = runtime();
+        let _ = ready_pilot(&rt);
+        let d1 = rt.teardown();
+        let d2 = rt.teardown();
+        assert!(d1 >= Duration::ZERO);
+        assert!(d2 < d1 + Duration::from_millis(50));
+        assert!(!rt.is_alive());
+    }
+
+    #[test]
+    fn db_records_unit_history() {
+        let rt = runtime();
+        let p = ready_pilot(&rt);
+        let ids = rt.submit_units(
+            p,
+            vec![UnitDescription::new("u1", Executable::Sleep { secs: 5.0 })],
+        )
+        .unwrap();
+        drain_until_terminal(&rt, 1);
+        let doc = rt.db().get(ids[0]).unwrap();
+        assert_eq!(doc.state, UnitState::Done);
+        assert!(doc.history.contains(&UnitState::Executing));
+    }
+
+    #[test]
+    fn submit_to_unknown_pilot_cancels_units() {
+        let rt = runtime();
+        rt.submit_units(
+            PilotId(999),
+            vec![UnitDescription::new("ghost", Executable::Noop)],
+        )
+        .unwrap();
+        let recs = rt.records();
+        assert_eq!(recs[0].outcome, Some(UnitOutcome::Canceled));
+    }
+}

@@ -1,0 +1,426 @@
+//! The simulation engine: a dedicated thread that owns the `World`,
+//! accepts commands from real threads, and advances virtual time.
+//!
+//! Commands are stamped with the current virtual time on arrival. The engine
+//! only advances the clock when the command channel has stayed quiet for a
+//! small real-time *grace window*, so bursts of submissions from the runtime
+//! system land "at the same virtual instant" as they would on a real machine
+//! where submission latency is negligible compared to task durations.
+
+use crate::cluster::World;
+use crate::events::SimEvent;
+use crate::fs::StageUnit;
+use crate::platform::Platform;
+use crate::spec::{JobDescription, JobId, StageId, TaskDesc, TaskId};
+use crate::time::{SimDuration, SimTime};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::time::Duration;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The computing infrastructure to simulate.
+    pub platform: Platform,
+    /// RNG seed: same seed + same command sequence = same trajectory.
+    pub seed: u64,
+    /// How long the command channel must stay quiet before virtual time may
+    /// advance past pending events.
+    pub grace: Duration,
+    /// Largest idle jump of virtual time per grace window. Bounding the
+    /// jump keeps the virtual clock from leapfrogging in-flight real-time
+    /// reactions of the middleware above (e.g. racing a pilot's walltime
+    /// expiry against task submission). With the defaults (5 s per 500 µs)
+    /// virtual time advances at most 10,000× real time while idle.
+    pub max_idle_jump: SimDuration,
+}
+
+impl SimConfig {
+    /// Config for a platform with defaults (seed 0, 500 µs grace).
+    pub fn new(platform: Platform) -> Self {
+        SimConfig {
+            platform,
+            seed: 0,
+            grace: Duration::from_micros(500),
+            max_idle_jump: SimDuration::from_secs(5),
+        }
+    }
+
+    /// Builder: set the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+enum Command {
+    SubmitJob(JobDescription, Sender<JobId>),
+    CancelJob(JobId),
+    LaunchTask(JobId, TaskDesc, Sender<TaskId>),
+    CancelTask(TaskId),
+    Stage(Vec<StageUnit>, usize, Sender<StageId>),
+    QueryTime(Sender<SimTime>),
+    Shutdown,
+}
+
+/// Cheap cloneable command injector (for multi-threaded runtimes).
+#[derive(Clone)]
+pub struct SimCommander {
+    cmd_tx: Sender<Command>,
+}
+
+impl SimCommander {
+    /// Submit a pilot job to the batch queue; returns its id.
+    pub fn submit_job(&self, desc: JobDescription) -> JobId {
+        let (tx, rx) = bounded(1);
+        self.cmd_tx
+            .send(Command::SubmitJob(desc, tx))
+            .expect("engine alive");
+        rx.recv().expect("engine replies")
+    }
+
+    /// Cancel a job (normal pilot teardown); running tasks are lost.
+    pub fn cancel_job(&self, id: JobId) {
+        let _ = self.cmd_tx.send(Command::CancelJob(id));
+    }
+
+    /// Launch a task inside a job; returns its id immediately (the task may
+    /// queue inside the pilot until cores are free).
+    pub fn launch_task(&self, job: JobId, desc: TaskDesc) -> TaskId {
+        let (tx, rx) = bounded(1);
+        self.cmd_tx
+            .send(Command::LaunchTask(job, desc, tx))
+            .expect("engine alive");
+        rx.recv().expect("engine replies")
+    }
+
+    /// Cancel a task (queued or running).
+    pub fn cancel_task(&self, id: TaskId) {
+        let _ = self.cmd_tx.send(Command::CancelTask(id));
+    }
+
+    /// Submit a staging operation: `units` are distributed round-robin over
+    /// `workers` sequential streams. Returns its id.
+    pub fn stage(&self, units: Vec<StageUnit>, workers: usize) -> StageId {
+        let (tx, rx) = bounded(1);
+        self.cmd_tx
+            .send(Command::Stage(units, workers, tx))
+            .expect("engine alive");
+        rx.recv().expect("engine replies")
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        let (tx, rx) = bounded(1);
+        self.cmd_tx
+            .send(Command::QueryTime(tx))
+            .expect("engine alive");
+        rx.recv().expect("engine replies")
+    }
+}
+
+/// Handle to a running simulation: commander + event stream + lifecycle.
+pub struct SimHandle {
+    commander: SimCommander,
+    events_rx: Receiver<SimEvent>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Entry point: build and start simulations.
+pub struct Simulation;
+
+impl Simulation {
+    /// Start a simulation engine on its own thread.
+    pub fn start(config: SimConfig) -> SimHandle {
+        let (cmd_tx, cmd_rx) = unbounded::<Command>();
+        let (event_tx, events_rx) = unbounded::<SimEvent>();
+        let thread = std::thread::Builder::new()
+            .name(format!("hpc-sim-{}", config.platform.id.name()))
+            .spawn(move || engine_loop(config, cmd_rx, event_tx))
+            .expect("spawn sim engine");
+        SimHandle {
+            commander: SimCommander { cmd_tx },
+            events_rx,
+            thread: Some(thread),
+        }
+    }
+}
+
+impl SimHandle {
+    /// A cloneable command injector.
+    pub fn commander(&self) -> SimCommander {
+        self.commander.clone()
+    }
+
+    /// The event stream. Events carry virtual timestamps; they arrive in
+    /// virtual-time order.
+    pub fn events(&self) -> &Receiver<SimEvent> {
+        &self.events_rx
+    }
+
+    /// Convenience passthroughs.
+    pub fn submit_job(&self, desc: JobDescription) -> JobId {
+        self.commander.submit_job(desc)
+    }
+
+    /// See [`SimCommander::cancel_job`].
+    pub fn cancel_job(&self, id: JobId) {
+        self.commander.cancel_job(id)
+    }
+
+    /// See [`SimCommander::launch_task`].
+    pub fn launch_task(&self, job: JobId, desc: TaskDesc) -> TaskId {
+        self.commander.launch_task(job, desc)
+    }
+
+    /// See [`SimCommander::cancel_task`].
+    pub fn cancel_task(&self, id: TaskId) {
+        self.commander.cancel_task(id)
+    }
+
+    /// See [`SimCommander::stage`].
+    pub fn stage(&self, units: Vec<StageUnit>, workers: usize) -> StageId {
+        self.commander.stage(units, workers)
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.commander.now()
+    }
+
+    /// Stop the engine and join its thread. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        let _ = self.commander.cmd_tx.send(Command::Shutdown);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for SimHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn apply(world: &mut World, cmd: Command) -> bool {
+    match cmd {
+        Command::SubmitJob(desc, reply) => {
+            let id = world.submit_job(desc);
+            let _ = reply.send(id);
+        }
+        Command::CancelJob(id) => world.cancel_job(id),
+        Command::LaunchTask(job, desc, reply) => {
+            let id = world.launch_task(job, desc);
+            let _ = reply.send(id);
+        }
+        Command::CancelTask(id) => world.cancel_task(id),
+        Command::Stage(units, workers, reply) => {
+            let id = world.stage(units, workers);
+            let _ = reply.send(id);
+        }
+        Command::QueryTime(reply) => {
+            let _ = reply.send(world.now);
+        }
+        Command::Shutdown => return false,
+    }
+    true
+}
+
+fn drain_outbox(world: &mut World, event_tx: &Sender<SimEvent>) {
+    for ev in world.outbox.drain(..) {
+        // Receiver may be gone (subscriber exited); that's fine.
+        let _ = event_tx.send(ev);
+    }
+}
+
+fn engine_loop(config: SimConfig, cmd_rx: Receiver<Command>, event_tx: Sender<SimEvent>) {
+    let mut world = World::new(config.platform, config.seed);
+    'outer: loop {
+        // 1. Drain every queued command at the current virtual instant.
+        loop {
+            match cmd_rx.try_recv() {
+                Ok(cmd) => {
+                    if !apply(&mut world, cmd) {
+                        break 'outer;
+                    }
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => break 'outer,
+            }
+        }
+        drain_outbox(&mut world, &event_tx);
+
+        // 2. Advance virtual time only after the grace window stays quiet.
+        let wait = if world.next_event_time().is_some() {
+            config.grace
+        } else {
+            // Nothing to simulate: park until a command arrives.
+            Duration::from_millis(50)
+        };
+        match cmd_rx.recv_timeout(wait) {
+            Ok(cmd) => {
+                if !apply(&mut world, cmd) {
+                    break 'outer;
+                }
+                drain_outbox(&mut world, &event_tx);
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if let Some(t) = world.next_event_time() {
+                    let cap = world.now + config.max_idle_jump;
+                    if t > cap {
+                        // Rate-limit the idle jump; re-check for commands
+                        // before crossing the remaining distance.
+                        world.now = cap;
+                    } else {
+                        // Process the full batch at the next timestamp, plus
+                        // any cascades that land at the same instant.
+                        while world.next_event_time() == Some(t) {
+                            world.step();
+                        }
+                        drain_outbox(&mut world, &event_tx);
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break 'outer,
+        }
+    }
+    drain_outbox(&mut world, &event_tx);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::PlatformId;
+    use crate::spec::TaskOutcome;
+
+    fn start_testrig() -> SimHandle {
+        Simulation::start(SimConfig::new(Platform::catalog(PlatformId::TestRig)).with_seed(1))
+    }
+
+    /// Collect TaskEnded events (discarding others) until `n` tasks ended.
+    fn collect_task_ends(
+        h: &SimHandle,
+        n: usize,
+    ) -> std::collections::HashMap<TaskId, (SimTime, TaskOutcome)> {
+        let mut ends = std::collections::HashMap::new();
+        while ends.len() < n {
+            let ev = h
+                .events()
+                .recv_timeout(Duration::from_secs(10))
+                .expect("event within 10s wall time");
+            if let SimEvent::TaskEnded {
+                task,
+                time,
+                outcome,
+                ..
+            } = ev
+            {
+                ends.insert(task, (time, outcome));
+            }
+        }
+        ends
+    }
+
+    fn wait_task_end(h: &SimHandle, task: TaskId) -> (SimTime, TaskOutcome) {
+        collect_task_ends(h, 1)
+            .remove(&task)
+            .expect("requested task is the only outstanding one")
+    }
+
+    #[test]
+    fn end_to_end_task_execution_in_virtual_time() {
+        let h = start_testrig();
+        let job = h.submit_job(JobDescription::small());
+        let task = h.launch_task(job, TaskDesc::fixed_secs(600));
+        let wall = std::time::Instant::now();
+        let (t_end, outcome) = wait_task_end(&h, task);
+        assert_eq!(outcome, TaskOutcome::Completed);
+        assert_eq!(t_end, SimTime::from_secs_f64(600.0));
+        // 600 virtual seconds must cost far less than 2 wall seconds.
+        assert!(wall.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn burst_submissions_share_a_virtual_instant() {
+        let h = start_testrig();
+        let job = h.submit_job(JobDescription::small()); // 8 cores
+        let mut tasks = vec![];
+        for _ in 0..8 {
+            tasks.push(h.launch_task(job, TaskDesc::fixed_secs(100)));
+        }
+        let ends = collect_task_ends(&h, 8);
+        for t in &tasks {
+            assert_eq!(ends[t].0, SimTime::from_secs_f64(100.0));
+        }
+    }
+
+    #[test]
+    fn reaction_chains_preserve_order() {
+        // Submit a task, and when it completes submit another: the second
+        // must start no earlier than the first ended.
+        let h = start_testrig();
+        let job = h.submit_job(JobDescription::small());
+        let t1 = h.launch_task(job, TaskDesc::fixed_secs(10));
+        let (end1, _) = wait_task_end(&h, t1);
+        let t2 = h.launch_task(job, TaskDesc::fixed_secs(10));
+        let (end2, _) = wait_task_end(&h, t2);
+        assert!(end2 >= end1 + SimDuration::from_secs(10));
+        use crate::time::SimDuration;
+    }
+
+    #[test]
+    fn now_reflects_progress() {
+        let h = start_testrig();
+        assert_eq!(h.now(), SimTime::ZERO);
+        let job = h.submit_job(JobDescription::small());
+        let t = h.launch_task(job, TaskDesc::fixed_secs(42));
+        wait_task_end(&h, t);
+        assert!(h.now() >= SimTime::from_secs_f64(42.0));
+    }
+
+    #[test]
+    fn shutdown_closes_event_stream() {
+        let mut h = start_testrig();
+        h.shutdown();
+        assert!(h.events().recv().is_err());
+        h.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn staging_event_arrives() {
+        let h = start_testrig();
+        let s = h.stage(vec![StageUnit::single_file(1_000_000)], 1);
+        let ev = h
+            .events()
+            .recv_timeout(Duration::from_secs(5))
+            .expect("stage event");
+        match ev {
+            SimEvent::StageEnded { stage, .. } => assert_eq!(stage, s),
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs_with_same_seed() {
+        let run = || {
+            let h = Simulation::start(
+                SimConfig::new(Platform::catalog(PlatformId::TestRig)).with_seed(99),
+            );
+            let job = h.submit_job(JobDescription::small());
+            let mut ids = vec![];
+            for _ in 0..20 {
+                ids.push(h.launch_task(
+                    job,
+                    TaskDesc::fixed_secs(50).with_failure(crate::spec::FailureModel::Random {
+                        prob: 0.5,
+                    }),
+                ));
+            }
+            let ends = collect_task_ends(&h, 20);
+            ids.iter()
+                .map(|t| ends[t].1.is_success())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

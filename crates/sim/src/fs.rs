@@ -1,0 +1,205 @@
+//! Shared parallel filesystem model (Lustre-like).
+//!
+//! Two concerns from the paper live here:
+//!
+//! 1. **Data staging time** (Fig. 8): RP creates one directory per task and
+//!    writes soft links and input files with Unix commands on the OLCF Lustre
+//!    filesystem. Each operation pays a metadata cost; payload bytes move at
+//!    the (shared) aggregate bandwidth. With the default single stager these
+//!    costs serialize, which produces the paper's linear growth (≈11 s for
+//!    512 tasks → ≈88 s for 4,096).
+//! 2. **I/O overload failures** (Fig. 10): concurrent forward simulations
+//!    place heavy sustained I/O on the shared filesystem; beyond an
+//!    aggregate-demand threshold, tasks begin to crash. The model exposes a
+//!    failure probability as a function of the registered demand.
+
+use crate::platform::FsProfile;
+use crate::time::SimDuration;
+
+/// The staging work one task needs before it can run: directory creation,
+/// soft links and input files (paper's weak scaling: 1 dir + 3 links +
+/// one 550 KB file per task).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageUnit {
+    /// Metadata-only operations (mkdir, ln -s): each pays one metadata cost.
+    pub metadata_ops: u32,
+    /// Files copied in, by size in bytes: each pays one metadata cost plus
+    /// transfer time.
+    pub file_bytes: Vec<u64>,
+}
+
+impl StageUnit {
+    /// The weak-scaling staging unit of §IV-B1: one task directory, three
+    /// 130 B soft links and one 550 KB input file.
+    pub fn weak_scaling_unit() -> Self {
+        StageUnit {
+            metadata_ops: 4, // mkdir + 3 ln -s (link payload is negligible)
+            file_bytes: vec![550_000],
+        }
+    }
+
+    /// A staging unit moving `bytes` as a single file.
+    pub fn single_file(bytes: u64) -> Self {
+        StageUnit {
+            metadata_ops: 1,
+            file_bytes: vec![bytes],
+        }
+    }
+
+    /// No staging.
+    pub fn none() -> Self {
+        StageUnit {
+            metadata_ops: 0,
+            file_bytes: Vec::new(),
+        }
+    }
+
+    /// Whether this unit involves no filesystem work at all.
+    pub fn is_empty(&self) -> bool {
+        self.metadata_ops == 0 && self.file_bytes.is_empty()
+    }
+
+    /// Total payload bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.file_bytes.iter().sum()
+    }
+}
+
+/// Filesystem state: profile plus currently registered sustained I/O demand.
+#[derive(Debug, Clone)]
+pub struct FsModel {
+    profile: FsProfile,
+    /// Sum of `demand_bps` over running I/O-heavy tasks.
+    registered_demand: f64,
+}
+
+impl FsModel {
+    /// Build from a profile.
+    pub fn new(profile: FsProfile) -> Self {
+        FsModel {
+            profile,
+            registered_demand: 0.0,
+        }
+    }
+
+    /// Duration of one staging unit executed by a single stager stream.
+    pub fn stage_duration(&self, unit: &StageUnit) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        for _ in 0..unit.metadata_ops {
+            total += self.profile.metadata_op;
+        }
+        for &bytes in &unit.file_bytes {
+            total += self.profile.metadata_op;
+            total += SimDuration::from_secs_f64(bytes as f64 / self.profile.aggregate_bandwidth);
+        }
+        total
+    }
+
+    /// Register sustained I/O demand when an I/O-heavy task starts.
+    pub fn register_demand(&mut self, bps: f64) {
+        self.registered_demand += bps;
+    }
+
+    /// Remove demand when the task ends (clamped at zero against rounding).
+    pub fn unregister_demand(&mut self, bps: f64) {
+        self.registered_demand = (self.registered_demand - bps).max(0.0);
+    }
+
+    /// Currently registered demand, bytes/s.
+    pub fn current_demand(&self) -> f64 {
+        self.registered_demand
+    }
+
+    /// Failure probability for an I/O-heavy task starting *now*, given the
+    /// registered demand (including itself): zero at or below capacity,
+    /// rising linearly beyond it, capped.
+    pub fn overload_failure_prob(&self) -> f64 {
+        let cap = self.profile.overload_capacity;
+        if !cap.is_finite() || self.registered_demand <= cap {
+            return 0.0;
+        }
+        let over = (self.registered_demand - cap) / cap;
+        (self.profile.overload_slope * over).min(self.profile.max_failure_prob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> FsProfile {
+        FsProfile {
+            aggregate_bandwidth: 100e6, // 100 MB/s to make transfer visible
+            metadata_op: SimDuration::from_millis(5),
+            overload_capacity: 40e9,
+            overload_slope: 0.85,
+            max_failure_prob: 0.9,
+        }
+    }
+
+    #[test]
+    fn stage_duration_counts_metadata_and_transfer() {
+        let fs = FsModel::new(profile());
+        let unit = StageUnit {
+            metadata_ops: 4,
+            file_bytes: vec![100_000_000], // 1 s at 100 MB/s
+        };
+        let d = fs.stage_duration(&unit).as_secs_f64();
+        // 5 metadata ops (4 + 1 for the file) at 5 ms + 1 s transfer.
+        assert!((d - 1.025).abs() < 1e-6, "got {d}");
+    }
+
+    #[test]
+    fn empty_unit_costs_nothing() {
+        let fs = FsModel::new(profile());
+        assert_eq!(fs.stage_duration(&StageUnit::none()), SimDuration::ZERO);
+        assert!(StageUnit::none().is_empty());
+    }
+
+    #[test]
+    fn weak_scaling_unit_shape() {
+        let u = StageUnit::weak_scaling_unit();
+        assert_eq!(u.metadata_ops, 4);
+        assert_eq!(u.total_bytes(), 550_000);
+    }
+
+    #[test]
+    fn no_failures_below_capacity() {
+        let mut fs = FsModel::new(profile());
+        fs.register_demand(16.0 * 2e9); // 32 GB/s ≤ 40 GB/s capacity
+        assert_eq!(fs.overload_failure_prob(), 0.0);
+    }
+
+    #[test]
+    fn half_failures_at_double_titan_threshold() {
+        let mut fs = FsModel::new(profile());
+        fs.register_demand(32.0 * 2e9); // 64 GB/s vs 40 GB/s capacity
+        let p = fs.overload_failure_prob();
+        assert!((0.4..0.6).contains(&p), "p = {p}");
+    }
+
+    #[test]
+    fn failure_prob_is_capped() {
+        let mut fs = FsModel::new(profile());
+        fs.register_demand(1e15);
+        assert_eq!(fs.overload_failure_prob(), 0.9);
+    }
+
+    #[test]
+    fn demand_register_unregister_balance() {
+        let mut fs = FsModel::new(profile());
+        fs.register_demand(2e9);
+        fs.register_demand(3e9);
+        fs.unregister_demand(2e9);
+        assert_eq!(fs.current_demand(), 3e9);
+        fs.unregister_demand(5e9); // over-unregister clamps to zero
+        assert_eq!(fs.current_demand(), 0.0);
+    }
+
+    #[test]
+    fn infinite_capacity_never_fails() {
+        let mut fs = FsModel::new(FsProfile::fast());
+        fs.register_demand(1e18);
+        assert_eq!(fs.overload_failure_prob(), 0.0);
+    }
+}

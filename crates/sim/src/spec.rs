@@ -1,0 +1,267 @@
+//! Descriptions of jobs (pilots) and tasks submitted to the simulator, and
+//! the identifiers/outcomes flowing back.
+
+use crate::time::SimDuration;
+use rand::Rng;
+
+/// Identifier of a batch job (pilot) inside one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+/// Identifier of a task launched within a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u64);
+
+/// Identifier of a staging operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StageId(pub u64);
+
+/// Lifecycle of a batch job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting in the batch queue.
+    Queued,
+    /// Running on allocated nodes.
+    Active,
+    /// Finished: walltime expired or canceled.
+    Done(JobEndReason),
+}
+
+/// Why a job ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobEndReason {
+    /// Reached its requested walltime; the CI killed it.
+    WalltimeExpired,
+    /// Canceled by the client (normal pilot teardown).
+    Canceled,
+    /// The CI failed the job (fault injection).
+    Failed,
+}
+
+/// A batch job request: the pilot placeholder of §II-D.
+#[derive(Debug, Clone)]
+pub struct JobDescription {
+    /// Nodes requested.
+    pub nodes: u32,
+    /// Requested walltime; the CI kills the job when it expires.
+    pub walltime: SimDuration,
+    /// Pilot bootstrap time once nodes are allocated (agent startup).
+    pub bootstrap: SimDuration,
+}
+
+impl JobDescription {
+    /// A small default pilot for tests: 1 node, 1 h walltime, no bootstrap.
+    pub fn small() -> Self {
+        JobDescription {
+            nodes: 1,
+            walltime: SimDuration::from_secs(3600),
+            bootstrap: SimDuration::ZERO,
+        }
+    }
+}
+
+/// How long a task's executable runs for (excluding launcher/env overheads).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DurationModel {
+    /// Always exactly this long.
+    Fixed(SimDuration),
+    /// Uniformly distributed in `[lo, hi]`.
+    Uniform(SimDuration, SimDuration),
+    /// Normally distributed (truncated at ±3σ and at zero).
+    Normal {
+        /// Mean duration.
+        mean: SimDuration,
+        /// Standard deviation.
+        sd: SimDuration,
+    },
+}
+
+impl DurationModel {
+    /// Sample a concrete duration.
+    pub fn sample(&self, rng: &mut impl Rng) -> SimDuration {
+        match *self {
+            DurationModel::Fixed(d) => d,
+            DurationModel::Uniform(lo, hi) => {
+                assert!(lo <= hi, "uniform bounds inverted");
+                SimDuration(rng.gen_range(lo.0..=hi.0))
+            }
+            DurationModel::Normal { mean, sd } => {
+                // Box–Muller; no external distribution crates needed.
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                let z = z.clamp(-3.0, 3.0);
+                let secs = mean.as_secs_f64() + z * sd.as_secs_f64();
+                SimDuration::from_secs_f64(secs.max(0.0))
+            }
+        }
+    }
+
+    /// The nominal (expected) duration, used by tests and reports.
+    pub fn nominal(&self) -> SimDuration {
+        match *self {
+            DurationModel::Fixed(d) => d,
+            DurationModel::Uniform(lo, hi) => SimDuration((lo.0 + hi.0) / 2),
+            DurationModel::Normal { mean, .. } => mean,
+        }
+    }
+}
+
+/// Failure behaviour of a task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FailureModel {
+    /// Never fails on its own.
+    None,
+    /// Fails with fixed probability, independent of anything else.
+    Random {
+        /// Probability of failure per attempt.
+        prob: f64,
+    },
+    /// I/O-heavy task: sustains `demand_bps` of filesystem traffic while
+    /// running. If aggregate demand across running tasks exceeds the
+    /// filesystem's overload capacity, the task may crash (Fig. 10 regime).
+    IoOverload {
+        /// Sustained I/O demand in bytes/s.
+        demand_bps: f64,
+    },
+}
+
+impl FailureModel {
+    /// The sustained I/O demand this task contributes, bytes/s.
+    pub fn io_demand(&self) -> f64 {
+        match *self {
+            FailureModel::IoOverload { demand_bps } => demand_bps,
+            _ => 0.0,
+        }
+    }
+}
+
+/// A task to launch inside a running job: the unit the RTS Executor spawns.
+#[derive(Debug, Clone)]
+pub struct TaskDesc {
+    /// Cores required.
+    pub cores: u32,
+    /// GPUs required.
+    pub gpus: u32,
+    /// Executable runtime model.
+    pub duration: DurationModel,
+    /// Failure behaviour.
+    pub failure: FailureModel,
+    /// Skip the launcher's env-setup cost (used for control tasks).
+    pub skip_env_setup: bool,
+}
+
+impl TaskDesc {
+    /// A 1-core task with a fixed duration and no failures.
+    pub fn fixed_secs(secs: u64) -> Self {
+        TaskDesc {
+            cores: 1,
+            gpus: 0,
+            duration: DurationModel::Fixed(SimDuration::from_secs(secs)),
+            failure: FailureModel::None,
+            skip_env_setup: false,
+        }
+    }
+
+    /// Builder: set cores.
+    pub fn with_cores(mut self, cores: u32) -> Self {
+        self.cores = cores;
+        self
+    }
+
+    /// Builder: set failure model.
+    pub fn with_failure(mut self, failure: FailureModel) -> Self {
+        self.failure = failure;
+        self
+    }
+}
+
+/// Terminal outcome of a task attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskOutcome {
+    /// Ran to completion.
+    Completed,
+    /// Crashed; the reason is a short diagnostic string.
+    Failed(String),
+    /// Canceled by the client or lost with its job.
+    Canceled,
+}
+
+impl TaskOutcome {
+    /// Whether the attempt succeeded.
+    pub fn is_success(&self) -> bool {
+        matches!(self, TaskOutcome::Completed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_duration_is_exact() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = DurationModel::Fixed(SimDuration::from_secs(600));
+        assert_eq!(m.sample(&mut rng), SimDuration::from_secs(600));
+        assert_eq!(m.nominal(), SimDuration::from_secs(600));
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let lo = SimDuration::from_secs(10);
+        let hi = SimDuration::from_secs(20);
+        let m = DurationModel::Uniform(lo, hi);
+        for _ in 0..1000 {
+            let d = m.sample(&mut rng);
+            assert!(d >= lo && d <= hi);
+        }
+        assert_eq!(m.nominal(), SimDuration::from_secs(15));
+    }
+
+    #[test]
+    fn normal_centered_and_nonnegative() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = DurationModel::Normal {
+            mean: SimDuration::from_secs(100),
+            sd: SimDuration::from_secs(10),
+        };
+        let n = 2000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let d = m.sample(&mut rng);
+            assert!(d.as_secs_f64() >= 0.0);
+            sum += d.as_secs_f64();
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 100.0).abs() < 2.0, "sample mean {mean}");
+    }
+
+    #[test]
+    fn io_demand_only_for_io_model() {
+        assert_eq!(FailureModel::None.io_demand(), 0.0);
+        assert_eq!(FailureModel::Random { prob: 0.5 }.io_demand(), 0.0);
+        assert_eq!(
+            FailureModel::IoOverload { demand_bps: 2e9 }.io_demand(),
+            2e9
+        );
+    }
+
+    #[test]
+    fn task_builders() {
+        let t = TaskDesc::fixed_secs(300)
+            .with_cores(16)
+            .with_failure(FailureModel::Random { prob: 0.1 });
+        assert_eq!(t.cores, 16);
+        assert!(matches!(t.failure, FailureModel::Random { .. }));
+    }
+
+    #[test]
+    fn outcome_success_predicate() {
+        assert!(TaskOutcome::Completed.is_success());
+        assert!(!TaskOutcome::Failed("x".into()).is_success());
+        assert!(!TaskOutcome::Canceled.is_success());
+    }
+}

@@ -1,0 +1,106 @@
+//! The paper's opening motivation (§I): biomolecular ensembles — "a shift
+//! from running single long running tasks towards multiple shorter running
+//! tasks". Two classic shapes on a simulated CI:
+//!
+//! 1. an adaptive simulation–analysis loop (Markov-state-model style): run
+//!    an ensemble of short Gromacs `mdrun` segments, analyze, and let the
+//!    analysis decide at runtime whether more sampling is needed;
+//! 2. synchronous replica exchange: concurrent replicas with a global
+//!    exchange barrier between rounds.
+//!
+//! ```sh
+//! cargo run --release --example md_ensemble
+//! ```
+
+use entk::apps::patterns::{adaptive_simulation_analysis, replica_exchange, AdaptiveLoop};
+use entk::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    // --- 1. Adaptive simulation–analysis (NTL9-style sampling) -----------
+    let analyses_done = Arc::new(AtomicUsize::new(0));
+    let counter = Arc::clone(&analyses_done);
+    let spec = AdaptiveLoop {
+        make_sim: Arc::new(|it, s| {
+            Task::new(
+                format!("mdrun-iter{it}-seg{s}"),
+                Executable::GromacsMdrun {
+                    nominal_secs: 600.0,
+                },
+            )
+            .with_cpus(1)
+            .with_staging(StagingSpec::input(StageUnit::weak_scaling_unit()))
+        }),
+        make_analysis: {
+            let counter = Arc::clone(&counter);
+            Arc::new(move |it| {
+                let counter = Arc::clone(&counter);
+                Task::new(
+                    format!("msm-build-iter{it}"),
+                    Executable::compute(30.0, move || {
+                        // A real analysis would build the Markov model here;
+                        // we count iterations to drive the convergence test.
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        Ok(())
+                    }),
+                )
+                .with_cpus(4)
+                .with_resource_pool("analysis")
+            })
+        },
+        // "Converged" after three rounds of sampling.
+        continue_after: Arc::new(move |it| it < 2),
+        n_sims: 16,
+    };
+    let workflow = adaptive_simulation_analysis("msm-sampling", spec);
+
+    let titan = ResourceDescription::sim(PlatformId::Titan, 1, 24 * 3600).with_seed(33);
+    let analysis_pool = ResourceDescription::local(4).named("analysis");
+    let mut amgr = AppManager::new(
+        AppManagerConfig::new(titan)
+            .with_extra_resource(analysis_pool)
+            .with_run_timeout(Duration::from_secs(180)),
+    );
+    let report = amgr.run(workflow).expect("MSM sampling completes");
+    println!(
+        "adaptive MSM loop: succeeded={}, iterations={}, stages grown to {}, \
+         simulated {} mdrun segments in {:.0} virtual s",
+        report.succeeded,
+        analyses_done.load(Ordering::SeqCst),
+        report.workflow.pipelines()[0].stages().len(),
+        report.overheads.tasks_done as usize - analyses_done.load(Ordering::SeqCst),
+        report.overheads.task_execution_secs,
+    );
+    assert!(report.succeeded);
+
+    // --- 2. Synchronous replica exchange ----------------------------------
+    let workflow = replica_exchange(
+        "remd",
+        8,
+        3,
+        |round, r| {
+            Task::new(
+                format!("replica-r{round}-{r}"),
+                Executable::GromacsMdrun {
+                    nominal_secs: 300.0,
+                },
+            )
+        },
+        |round| Task::new(format!("exchange-{round}"), Executable::Sleep { secs: 10.0 }),
+    );
+    let mut amgr = AppManager::new(
+        AppManagerConfig::new(
+            ResourceDescription::sim(PlatformId::Titan, 1, 24 * 3600).with_seed(34),
+        )
+        .with_run_timeout(Duration::from_secs(120)),
+    );
+    let report = amgr.run(workflow).expect("REMD completes");
+    println!(
+        "replica exchange: succeeded={}, {} tasks, {:.0} virtual s \
+         (3 rounds synchronized by global exchanges)",
+        report.succeeded, report.overheads.tasks_done, report.overheads.task_execution_secs,
+    );
+    assert!(report.succeeded);
+}

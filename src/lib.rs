@@ -1,0 +1,71 @@
+//! # entk — Ensemble Toolkit (Rust reproduction)
+//!
+//! Facade crate re-exporting the whole stack:
+//!
+//! * [`core`] (`entk-core`) — the toolkit: PST model, AppManager,
+//!   WFProcessor, ExecManager, fault tolerance;
+//! * [`rts`] (`rp-rts`) — the pilot runtime system (RADICAL-Pilot
+//!   substitute);
+//! * [`sim`] (`hpc-sim`) — the discrete-event HPC infrastructure simulator;
+//! * [`mq`] (`entk-mq`) — the in-process durable message broker;
+//! * [`apps`] (`entk-apps`) — the seismic-inversion and analog-ensemble use
+//!   cases.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use entk::prelude::*;
+//! use std::time::Duration;
+//!
+//! // Describe the application: one pipeline, one stage, four tasks.
+//! let mut stage = Stage::new("simulate");
+//! for i in 0..4 {
+//!     stage.add_task(Task::new(
+//!         format!("sim-{i}"),
+//!         Executable::Sleep { secs: 300.0 },
+//!     ));
+//! }
+//! let workflow = Workflow::new()
+//!     .with_pipeline(Pipeline::new("ensemble").with_stage(stage));
+//!
+//! // Acquire resources on a (simulated) CI and execute.
+//! let resource = ResourceDescription::sim(PlatformId::TestRig, 2, 3600);
+//! let mut amgr = AppManager::new(
+//!     AppManagerConfig::new(resource).with_run_timeout(Duration::from_secs(60)),
+//! );
+//! let report = amgr.run(workflow).unwrap();
+//! assert!(report.succeeded);
+//! assert_eq!(report.overheads.tasks_done, 4);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use entk_apps as apps;
+pub use entk_core as core;
+pub use entk_mq as mq;
+pub use hpc_sim as sim;
+pub use rp_rts as rts;
+
+/// Everything needed to describe and run an ensemble application.
+pub mod prelude {
+    pub use entk_core::{
+        AppManager, AppManagerConfig, EntkError, EntkResult, Executable, ExecutionStrategy,
+        Pipeline, PipelineState, PythonEmulation, ResourceDescription, RunReport, Stage,
+        StageState, StagingSpec, Task, TaskState, Workflow,
+    };
+    pub use entk_core::appmanager::ResourceBackend;
+    pub use hpc_sim::{Platform, PlatformId, StageUnit};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_exposes_stack() {
+        // The re-exports stay wired.
+        let _broker = crate::mq::Broker::new();
+        let _cfg = crate::core::AppManagerConfig::new(
+            crate::core::ResourceDescription::local(1),
+        );
+        let _platform = crate::sim::Platform::catalog(crate::sim::PlatformId::Titan);
+    }
+}

@@ -1,0 +1,327 @@
+//! Cross-crate integration tests: full EnTK stack (broker + toolkit + RTS +
+//! simulated CI) driving PST applications end to end.
+
+use entk::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn timeout() -> Duration {
+    // Generous: on small CI boxes, cargo may still be compiling other test
+    // binaries while this one runs, starving the middleware threads.
+    Duration::from_secs(300)
+}
+
+#[test]
+fn concurrent_pipelines_execute_independently() {
+    // 4 pipelines × 2 stages × 4 tasks: pipelines run concurrently, stages
+    // sequentially within each.
+    let mut wf = Workflow::new();
+    for p in 0..4 {
+        let mut pipeline = Pipeline::new(format!("p{p}"));
+        for s in 0..2 {
+            let mut stage = Stage::new(format!("p{p}s{s}"));
+            for t in 0..4 {
+                stage.add_task(Task::new(
+                    format!("p{p}s{s}t{t}"),
+                    Executable::Sleep { secs: 100.0 },
+                ));
+            }
+            pipeline.add_stage(stage);
+        }
+        wf.add_pipeline(pipeline);
+    }
+    let mut amgr = AppManager::new(
+        AppManagerConfig::new(ResourceDescription::sim(PlatformId::TestRig, 4, 7200))
+            .with_run_timeout(timeout()),
+    );
+    let report = amgr.run(wf).expect("run completes");
+    assert!(report.succeeded);
+    assert_eq!(report.overheads.tasks_done, 32);
+    // 32 cores on the rig, 16 tasks per wave across pipelines: the two
+    // stages serialize per pipeline, so the makespan is ≈ 2 generations.
+    assert!(report.rts_profile.exec_makespan_secs >= 200.0 - 1.0);
+    assert!(report.rts_profile.exec_makespan_secs < 260.0);
+}
+
+#[test]
+fn stage_ordering_is_enforced_in_virtual_time() {
+    // The analysis stage's task must start only after both simulation tasks
+    // finished; virtual timestamps prove the ordering.
+    let wf = Workflow::new().with_pipeline(
+        Pipeline::new("ordered")
+            .with_stage(
+                Stage::new("sim")
+                    .with_task(Task::new("sim-a", Executable::Sleep { secs: 300.0 }))
+                    .with_task(Task::new("sim-b", Executable::Sleep { secs: 200.0 })),
+            )
+            .with_stage(
+                Stage::new("analysis")
+                    .with_task(Task::new("post", Executable::Sleep { secs: 50.0 })),
+            ),
+    );
+    let mut amgr = AppManager::new(
+        AppManagerConfig::new(ResourceDescription::sim(PlatformId::TestRig, 2, 7200))
+            .with_run_timeout(timeout()),
+    );
+    let report = amgr.run(wf).expect("run completes");
+    assert!(report.succeeded);
+    // Stage 1 ends at ≥300 virtual s; total ≥ 350.
+    assert!(report.rts_profile.exec_makespan_secs >= 350.0 - 1.0);
+}
+
+#[test]
+fn heterogeneous_tasks_in_one_stage() {
+    let wf = Workflow::new().with_pipeline(
+        Pipeline::new("hetero").with_stage(
+            Stage::new("mix")
+                .with_task(
+                    Task::new("mpi-sim", Executable::GromacsMdrun { nominal_secs: 400.0 })
+                        .with_cpus(16),
+                )
+                .with_task(Task::new("serial", Executable::Sleep { secs: 100.0 }))
+                .with_task(
+                    Task::new("gpu-task", Executable::Sleep { secs: 50.0 })
+                        .with_cpus(1)
+                        .with_gpus(1),
+                )
+                .with_task(Task::new("noop", Executable::Noop)),
+        ),
+    );
+    let mut amgr = AppManager::new(
+        AppManagerConfig::new(ResourceDescription::sim(PlatformId::TestRig, 4, 7200))
+            .with_run_timeout(timeout()),
+    );
+    let report = amgr.run(wf).expect("run completes");
+    assert!(report.succeeded);
+    assert_eq!(report.overheads.tasks_done, 4);
+}
+
+#[test]
+fn local_backend_runs_real_compute_with_dependencies() {
+    // Stage 2 reads what stage 1 produced — real dataflow through shared
+    // state, ordered by the PST semantics.
+    let produced = Arc::new(AtomicUsize::new(0));
+    let consumed = Arc::new(AtomicUsize::new(0));
+
+    let mut produce = Stage::new("produce");
+    for i in 0..8 {
+        let p = Arc::clone(&produced);
+        produce.add_task(Task::new(
+            format!("produce-{i}"),
+            Executable::compute(1.0, move || {
+                p.fetch_add(i + 1, Ordering::SeqCst);
+                Ok(())
+            }),
+        ));
+    }
+    let p2 = Arc::clone(&produced);
+    let c2 = Arc::clone(&consumed);
+    let consume = Stage::new("consume").with_task(Task::new(
+        "consume",
+        Executable::compute(1.0, move || {
+            let total = p2.load(Ordering::SeqCst);
+            if total != 36 {
+                return Err(format!("stage ordering violated: saw {total}"));
+            }
+            c2.store(total, Ordering::SeqCst);
+            Ok(())
+        }),
+    ));
+
+    let wf = Workflow::new()
+        .with_pipeline(Pipeline::new("dataflow").with_stage(produce).with_stage(consume));
+    let mut amgr = AppManager::new(
+        AppManagerConfig::new(ResourceDescription::local(4)).with_run_timeout(timeout()),
+    );
+    let report = amgr.run(wf).expect("run completes");
+    assert!(report.succeeded);
+    assert_eq!(consumed.load(Ordering::SeqCst), 36);
+}
+
+#[test]
+fn durable_broker_journal_coexists_with_run() {
+    let journal = std::env::temp_dir().join(format!(
+        "entk-it-broker-{}-{:?}.journal",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_file(&journal);
+    let wf = Workflow::new().with_pipeline(
+        Pipeline::new("p").with_stage(
+            Stage::new("s").with_task(Task::new("only", Executable::Sleep { secs: 10.0 })),
+        ),
+    );
+    let mut cfg = AppManagerConfig::new(ResourceDescription::sim(PlatformId::TestRig, 1, 7200))
+        .with_run_timeout(timeout());
+    cfg.broker_journal_path = Some(journal.clone());
+    let report = AppManager::new(cfg).run(wf).expect("run completes");
+    assert!(report.succeeded);
+    let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
+fn adaptive_pipeline_growth_via_post_exec() {
+    // A pipeline that keeps appending stages until a shared counter hits 5 —
+    // unknown-length iteration, the §II-B1 branching mechanism.
+    let iterations = Arc::new(AtomicUsize::new(0));
+
+    fn growing_stage(n: usize, iterations: Arc<AtomicUsize>) -> Stage {
+        let i2 = Arc::clone(&iterations);
+        Stage::new(format!("iter-{n}"))
+            .with_task(Task::new(
+                format!("iter-task-{n}"),
+                Executable::compute(1.0, move || {
+                    i2.fetch_add(1, Ordering::SeqCst);
+                    Ok(())
+                }),
+            ))
+            .with_post_exec(move |pipeline| {
+                if iterations.load(Ordering::SeqCst) < 5 {
+                    pipeline.add_stage(growing_stage(n + 1, Arc::clone(&iterations)));
+                }
+            })
+    }
+
+    let wf = Workflow::new().with_pipeline(
+        Pipeline::new("grower").with_stage(growing_stage(0, Arc::clone(&iterations))),
+    );
+    let mut amgr = AppManager::new(
+        AppManagerConfig::new(ResourceDescription::local(2)).with_run_timeout(timeout()),
+    );
+    let report = amgr.run(wf).expect("run completes");
+    assert!(report.succeeded);
+    assert_eq!(iterations.load(Ordering::SeqCst), 5);
+    assert_eq!(report.workflow.pipelines()[0].stages().len(), 5);
+}
+
+#[test]
+fn report_decomposition_is_consistent() {
+    let wf = Workflow::new().with_pipeline(
+        Pipeline::new("p").with_stage(
+            Stage::new("s")
+                .with_task(Task::new("a", Executable::Sleep { secs: 100.0 }))
+                .with_task(Task::new("b", Executable::Sleep { secs: 100.0 })),
+        ),
+    );
+    let mut amgr = AppManager::new(
+        AppManagerConfig::new(ResourceDescription::sim(PlatformId::TestRig, 1, 7200))
+            .with_python_emulation(PythonEmulation::tacc_vm())
+            .with_run_timeout(timeout()),
+    );
+    let report = amgr.run(wf).expect("run completes");
+    let m = &report.overheads;
+    assert!(m.entk_setup_secs > 0.0);
+    assert!(m.entk_teardown_secs > 0.0);
+    assert!(m.task_execution_secs >= 100.0 - 1.0);
+    assert_eq!(m.tasks_done, 2);
+    assert_eq!(m.failed_attempts, 0);
+    // 2 tasks × 6 transitions, plus nothing else.
+    assert!(m.transitions >= 12);
+    let e = report.emulated.expect("emulation configured");
+    assert!(e.entk_setup_secs > m.entk_setup_secs);
+    assert_eq!(e.task_execution_secs, m.task_execution_secs);
+}
+
+#[test]
+fn inter_pipeline_dependencies_order_execution() {
+    // p2 runs only after p1; virtual timestamps prove it.
+    let p1 = Pipeline::new("first").with_stage(
+        Stage::new("f-s").with_task(Task::new("first-task", Executable::Sleep { secs: 300.0 })),
+    );
+    let p2 = Pipeline::new("second")
+        .after(&p1)
+        .with_stage(
+            Stage::new("s-s")
+                .with_task(Task::new("second-task", Executable::Sleep { secs: 100.0 })),
+        );
+    let wf = Workflow::new().with_pipeline(p1).with_pipeline(p2);
+    let mut amgr = AppManager::new(
+        AppManagerConfig::new(ResourceDescription::sim(PlatformId::TestRig, 4, 7200))
+            .with_run_timeout(timeout()),
+    );
+    let report = amgr.run(wf).expect("run completes");
+    assert!(report.succeeded);
+    // Sequential: 300 + 100 (+ small launcher noise), not max(300, 100).
+    assert!(
+        report.rts_profile.exec_makespan_secs >= 400.0 - 1.0,
+        "dependent pipeline ran early: makespan {}",
+        report.rts_profile.exec_makespan_secs
+    );
+}
+
+#[test]
+fn failed_dependency_cancels_dependents() {
+    let p1 = Pipeline::new("broken").with_stage(
+        Stage::new("b-s").with_task(
+            Task::new("always-fails", Executable::compute(1.0, || Err("nope".into())))
+                .with_max_retries(Some(0)),
+        ),
+    );
+    let p2 = Pipeline::new("dependent").after(&p1).with_stage(
+        Stage::new("d-s").with_task(Task::new("never-runs", Executable::Noop)),
+    );
+    let wf = Workflow::new().with_pipeline(p1).with_pipeline(p2);
+    let mut amgr = AppManager::new(
+        AppManagerConfig::new(ResourceDescription::local(2)).with_run_timeout(timeout()),
+    );
+    let report = amgr.run(wf).expect("run terminates");
+    assert!(!report.succeeded);
+    let states = report.workflow.pipeline_state_counts();
+    assert_eq!(states.get(&PipelineState::Failed).copied().unwrap_or(0), 1);
+    assert_eq!(
+        states.get(&PipelineState::Canceled).copied().unwrap_or(0),
+        1,
+        "dependent must be canceled, not stuck"
+    );
+    assert_eq!(
+        report.workflow.count_in(TaskState::Canceled),
+        1,
+        "the dependent's task is canceled without executing"
+    );
+}
+
+#[test]
+fn dependency_validation_rejects_cycles_and_unknowns() {
+    let a = Pipeline::new("a")
+        .with_stage(Stage::new("sa").with_task(Task::new("ta", Executable::Noop)));
+    let b = Pipeline::new("b")
+        .after(&a)
+        .with_stage(Stage::new("sb").with_task(Task::new("tb", Executable::Noop)));
+    // Cycle: a depends on b, b depends on a.
+    let a = a.after(&b);
+    let wf = Workflow::new().with_pipeline(a).with_pipeline(b);
+    assert!(wf.validate().is_err(), "cycle must be rejected");
+
+    let lonely = Pipeline::new("lonely")
+        .after_uid("pipeline.999999")
+        .with_stage(Stage::new("sl").with_task(Task::new("tl", Executable::Noop)));
+    let wf = Workflow::new().with_pipeline(lonely);
+    assert!(wf.validate().is_err(), "unknown dependency must be rejected");
+}
+
+#[test]
+fn run_report_exports_task_timeline_csv() {
+    let wf = Workflow::new().with_pipeline(
+        Pipeline::new("p").with_stage(
+            Stage::new("s")
+                .with_task(Task::new("csv-a", Executable::Sleep { secs: 30.0 }))
+                .with_task(Task::new("csv-b", Executable::Sleep { secs: 60.0 })),
+        ),
+    );
+    let mut amgr = AppManager::new(
+        AppManagerConfig::new(ResourceDescription::sim(PlatformId::TestRig, 1, 7200))
+            .with_run_timeout(timeout()),
+    );
+    let report = amgr.run(wf).expect("run completes");
+    assert_eq!(report.unit_records.len(), 2);
+
+    let path = std::env::temp_dir().join(format!("entk-it-{}.csv", std::process::id()));
+    report.write_task_csv(&path).expect("csv written");
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3, "header + 2 rows");
+    assert!(lines[0].starts_with("tag,submitted_s"));
+    assert!(lines[1..].iter().all(|l| l.ends_with(",done")));
+    std::fs::remove_file(&path).unwrap();
+}

@@ -1,0 +1,112 @@
+//! Execution-strategy integration tests: the paper's future-work "adaptive
+//! execution strategies" realized as concurrency throttling, validated on
+//! the exact scenario that motivates it — Fig. 10's filesystem-overload
+//! failures at 32 concurrent forward simulations.
+
+use entk::apps::seismic::campaign::{forward_workflow, CampaignConfig, NODES_PER_SIM};
+use entk::prelude::*;
+use std::time::Duration;
+
+fn run_campaign(strategy: ExecutionStrategy, seed: u64) -> RunReport {
+    // 32 earthquakes on a 32-slot pilot: eager submission overloads the
+    // filesystem (~50% failures).
+    let cfg = CampaignConfig {
+        earthquakes: 32,
+        concurrency: 32,
+        seed,
+        retries: None,
+    };
+    let workflow = forward_workflow(&cfg);
+    let mut amgr = AppManager::new(
+        AppManagerConfig::new(
+            ResourceDescription::sim(PlatformId::Titan, NODES_PER_SIM * 32, 24 * 3600)
+                .with_seed(seed),
+        )
+        .with_task_retries(None)
+        .with_execution_strategy(strategy)
+        .with_run_timeout(Duration::from_secs(300)),
+    );
+    amgr.run(workflow).expect("campaign completes")
+}
+
+#[test]
+fn eager_strategy_fails_heavily_at_full_concurrency() {
+    let report = run_campaign(ExecutionStrategy::Eager, 77);
+    assert!(report.succeeded);
+    assert!(
+        report.overheads.failed_attempts >= 8,
+        "expected heavy overload failures, saw {}",
+        report.overheads.failed_attempts
+    );
+}
+
+#[test]
+fn fixed_cap_below_overload_threshold_eliminates_failures() {
+    // 16 concurrent × 2 GB/s = 32 GB/s ≤ the 40 GB/s capacity: no failures,
+    // exactly the paper's "reducing concurrency eliminates failures".
+    let report = run_campaign(ExecutionStrategy::FixedConcurrency(16), 77);
+    assert!(report.succeeded);
+    assert_eq!(
+        report.overheads.failed_attempts, 0,
+        "capped concurrency must avoid the overload regime"
+    );
+    // Two generations of 16: makespan ≈ 2 × 180 s.
+    assert!(report.rts_profile.exec_makespan_secs >= 300.0);
+}
+
+#[test]
+fn adaptive_strategy_converges_out_of_the_failure_regime() {
+    let report = run_campaign(
+        ExecutionStrategy::AdaptiveConcurrency {
+            initial: 32,
+            min: 4,
+        },
+        77,
+    );
+    assert!(report.succeeded);
+    let eager = run_campaign(ExecutionStrategy::Eager, 77);
+    assert!(
+        report.overheads.failed_attempts <= eager.overheads.failed_attempts,
+        "AIMD ({}) must not fail more than eager ({})",
+        report.overheads.failed_attempts,
+        eager.overheads.failed_attempts
+    );
+}
+
+#[test]
+fn throttle_works_on_local_backend_too() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    // Track the maximum observed concurrency inside real compute tasks.
+    let current = Arc::new(AtomicUsize::new(0));
+    let peak = Arc::new(AtomicUsize::new(0));
+    let mut stage = Stage::new("bounded");
+    for i in 0..12 {
+        let current = Arc::clone(&current);
+        let peak = Arc::clone(&peak);
+        stage.add_task(Task::new(
+            format!("b{i}"),
+            Executable::compute(1.0, move || {
+                let now = current.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(20));
+                current.fetch_sub(1, Ordering::SeqCst);
+                Ok(())
+            }),
+        ));
+    }
+    let wf = Workflow::new().with_pipeline(Pipeline::new("p").with_stage(stage));
+    let mut amgr = AppManager::new(
+        AppManagerConfig::new(ResourceDescription::local(8))
+            .with_execution_strategy(ExecutionStrategy::FixedConcurrency(2))
+            .with_run_timeout(Duration::from_secs(300)),
+    );
+    let report = amgr.run(wf).expect("run completes");
+    assert!(report.succeeded);
+    assert!(
+        peak.load(Ordering::SeqCst) <= 2,
+        "cap 2 violated: peak {}",
+        peak.load(Ordering::SeqCst)
+    );
+}
