@@ -126,11 +126,7 @@ pub fn run_random(ds: &AnenDataset, cfg: &AuaConfig, seed: u64) -> SelectionResu
 }
 
 /// Mean leave-one-out residual over all samples.
-fn mean_loo_error(
-    interp: &ScatterInterpolator,
-    locations: &[(f64, f64)],
-    values: &[f64],
-) -> f64 {
+fn mean_loo_error(interp: &ScatterInterpolator, locations: &[(f64, f64)], values: &[f64]) -> f64 {
     let mut total = 0.0;
     for (i, &(x, y)) in locations.iter().enumerate() {
         let est = interp.interpolate_excluding(x, y, Some(i));

@@ -237,8 +237,7 @@ impl AnenDataset {
         let w = self.weather(t, x, y);
         let model = &self.vars[v];
         let loc = self.config.domain.idx(x, y);
-        model.alpha * w + model.beta
-            + self.config.forecast_noise * 2.0 * self.noise(t, loc, v)
+        model.alpha * w + model.beta + self.config.forecast_noise * 2.0 * self.noise(t, loc, v)
     }
 
     /// Observation on day `t` at (x, y).
@@ -255,12 +254,7 @@ impl AnenDataset {
         let d = self.config.domain;
         let mut sigmas = Vec::with_capacity(self.config.variables);
         let sample: Vec<(usize, usize)> = (0..16)
-            .map(|i| {
-                (
-                    (i * 37 + 11) % d.width,
-                    (i * 53 + 29) % d.height,
-                )
-            })
+            .map(|i| ((i * 37 + 11) % d.width, (i * 53 + 29) % d.height))
             .collect();
         for v in 0..self.config.variables {
             let mut values = Vec::new();
@@ -318,7 +312,10 @@ mod tests {
                 max_jump = max_jump.max(jump);
             }
         }
-        assert!(max_jump > 1.5, "expected a sharp front, max jump {max_jump}");
+        assert!(
+            max_jump > 1.5,
+            "expected a sharp front, max jump {max_jump}"
+        );
     }
 
     #[test]

@@ -58,10 +58,7 @@ impl ScatterInterpolator {
                         continue;
                     }
                     // Only the ring boundary (inner cells were scanned).
-                    if ring > 0
-                        && (cx - bx).abs() != ring
-                        && (cy - by).abs() != ring
-                    {
+                    if ring > 0 && (cx - bx).abs() != ring && (cy - by).abs() != ring {
                         continue;
                     }
                     scanned_any = true;
@@ -157,22 +154,14 @@ mod tests {
 
     #[test]
     fn exact_hit_returns_sample_value() {
-        let interp = ScatterInterpolator::new(
-            vec![(0.25, 0.25), (0.75, 0.75)],
-            vec![1.0, 5.0],
-            2,
-        );
+        let interp = ScatterInterpolator::new(vec![(0.25, 0.25), (0.75, 0.75)], vec![1.0, 5.0], 2);
         assert_eq!(interp.interpolate(0.25, 0.25), 1.0);
         assert_eq!(interp.interpolate(0.75, 0.75), 5.0);
     }
 
     #[test]
     fn midpoint_is_weighted_average() {
-        let interp = ScatterInterpolator::new(
-            vec![(0.0, 0.5), (1.0, 0.5)],
-            vec![0.0, 10.0],
-            2,
-        );
+        let interp = ScatterInterpolator::new(vec![(0.0, 0.5), (1.0, 0.5)], vec![0.0, 10.0], 2);
         let mid = interp.interpolate(0.5, 0.5);
         assert!((mid - 5.0).abs() < 1e-9, "mid = {mid}");
         // Closer to the left point → below the midpoint value.
@@ -204,11 +193,7 @@ mod tests {
 
     #[test]
     fn exclusion_removes_the_point() {
-        let interp = ScatterInterpolator::new(
-            vec![(0.5, 0.5), (0.9, 0.9)],
-            vec![100.0, 1.0],
-            1,
-        );
+        let interp = ScatterInterpolator::new(vec![(0.5, 0.5), (0.9, 0.9)], vec![100.0, 1.0], 1);
         assert_eq!(interp.interpolate(0.5, 0.5), 100.0);
         let loo = interp.interpolate_excluding(0.5, 0.5, Some(0));
         assert_eq!(loo, 1.0, "excluding the exact point leaves the other");
@@ -216,8 +201,7 @@ mod tests {
 
     #[test]
     fn render_covers_domain() {
-        let interp =
-            ScatterInterpolator::new(vec![(0.5, 0.5)], vec![3.25], 1);
+        let interp = ScatterInterpolator::new(vec![(0.5, 0.5)], vec![3.25], 1);
         let d = Domain {
             width: 8,
             height: 6,

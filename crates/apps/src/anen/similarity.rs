@@ -83,9 +83,7 @@ impl<'a> AnenPredictor<'a> {
         let w = self.config.window;
         let lo = w; // keep the window in range on the left
         let hi = ds.config.train_days;
-        let mut scored: Vec<(f64, usize)> = (lo..hi)
-            .map(|t| (self.distance(x, y, t), t))
-            .collect();
+        let mut scored: Vec<(f64, usize)> = (lo..hi).map(|t| (self.distance(x, y, t), t)).collect();
         let k = self.config.analogs.min(scored.len());
         scored.select_nth_unstable_by(k.saturating_sub(1), |a, b| a.0.total_cmp(&b.0));
         let mut top: Vec<(f64, usize)> = scored[..k].to_vec();

@@ -56,11 +56,7 @@ impl std::fmt::Display for BoxStats {
 pub fn mean_absolute_error(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len());
     assert!(!a.is_empty());
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x - y).abs())
-        .sum::<f64>()
-        / a.len() as f64
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>() / a.len() as f64
 }
 
 /// Continuous Ranked Probability Score of an ensemble forecast against one
@@ -73,7 +69,11 @@ pub fn mean_absolute_error(a: &[f64], b: &[f64]) -> f64 {
 pub fn crps(ensemble: &[f64], observation: f64) -> f64 {
     assert!(!ensemble.is_empty(), "CRPS needs ensemble members");
     let n = ensemble.len() as f64;
-    let accuracy: f64 = ensemble.iter().map(|x| (x - observation).abs()).sum::<f64>() / n;
+    let accuracy: f64 = ensemble
+        .iter()
+        .map(|x| (x - observation).abs())
+        .sum::<f64>()
+        / n;
     let mut spread = 0.0;
     for xi in ensemble {
         for xj in ensemble {
@@ -87,12 +87,7 @@ pub fn crps(ensemble: &[f64], observation: f64) -> f64 {
 pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len());
     assert!(!a.is_empty());
-    (a.iter()
-        .zip(b)
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum::<f64>()
-        / a.len() as f64)
-        .sqrt()
+    (a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>() / a.len() as f64).sqrt()
 }
 
 /// Write a field as a binary-free ASCII PGM image (for the Fig. 11 maps).
@@ -104,9 +99,11 @@ pub fn write_pgm(
 ) -> std::io::Result<()> {
     use std::io::Write;
     assert_eq!(field.len(), width * height);
-    let (lo, hi) = field.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |acc, &v| {
-        (acc.0.min(v), acc.1.max(v))
-    });
+    let (lo, hi) = field
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |acc, &v| {
+            (acc.0.min(v), acc.1.max(v))
+        });
     let span = (hi - lo).max(1e-12);
     let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
     writeln!(f, "P2\n{width} {height}\n255")?;

@@ -132,8 +132,7 @@ fn aggregate_stage(
             let pending: Vec<(f64, f64)> = std::mem::take(&mut st.pending);
             let results = std::mem::take(&mut st.pending_results);
             for (loc, res) in pending.into_iter().zip(results) {
-                let value =
-                    res.ok_or_else(|| "subregion task missed a location".to_string())?;
+                let value = res.ok_or_else(|| "subregion task missed a location".to_string())?;
                 st.locations.push(loc);
                 st.predictions.push(value);
             }
@@ -194,8 +193,9 @@ pub fn build_aua_workflow(
         Executable::compute(1.0, move || {
             let mut st = shared_init.lock();
             let n = st.cfg.initial.min(st.cfg.max_locations);
-            let batch: Vec<(f64, f64)> =
-                (0..n).map(|_| (st.rng.gen::<f64>(), st.rng.gen::<f64>())).collect();
+            let batch: Vec<(f64, f64)> = (0..n)
+                .map(|_| (st.rng.gen::<f64>(), st.rng.gen::<f64>()))
+                .collect();
             st.pending_results = vec![None; batch.len()];
             st.pending = batch;
             Ok(())

@@ -21,11 +21,7 @@ use entk_core::{Pipeline, Stage, Task, Workflow};
 use std::sync::Arc;
 
 /// A bag of uncoupled tasks: one pipeline, one stage, `n` tasks.
-pub fn bag_of_tasks(
-    name: &str,
-    n: usize,
-    make_task: impl Fn(usize) -> Task,
-) -> Workflow {
+pub fn bag_of_tasks(name: &str, n: usize, make_task: impl Fn(usize) -> Task) -> Workflow {
     let mut stage = Stage::new(format!("{name}-bag"));
     for i in 0..n {
         stage.add_task(make_task(i));
@@ -50,9 +46,8 @@ pub fn simulation_analysis_loop(
             sims.add_task(make_sim(it, s));
         }
         pipeline.add_stage(sims);
-        pipeline.add_stage(
-            Stage::new(format!("{name}-analysis-{it}")).with_task(make_analysis(it)),
-        );
+        pipeline
+            .add_stage(Stage::new(format!("{name}-analysis-{it}")).with_task(make_analysis(it)));
     }
     Workflow::new().with_pipeline(pipeline)
 }
@@ -184,9 +179,7 @@ mod tests {
         let iterations_run = Arc::new(AtomicUsize::new(0));
         let counter = Arc::clone(&iterations_run);
         let spec = AdaptiveLoop {
-            make_sim: Arc::new(|it, s| {
-                Task::new(format!("asim-{it}-{s}"), Executable::Noop)
-            }),
+            make_sim: Arc::new(|it, s| Task::new(format!("asim-{it}-{s}"), Executable::Noop)),
             make_analysis: {
                 let counter = Arc::clone(&counter);
                 Arc::new(move |it| {

@@ -150,12 +150,7 @@ mod tests {
         assert_eq!(tasks[0].cpu_reqs, 6_144);
         assert_eq!(tasks[0].gpu_reqs, 384);
         assert_eq!(
-            tasks[0]
-                .staging
-                .stage_in
-                .as_ref()
-                .unwrap()
-                .total_bytes(),
+            tasks[0].staging.stage_in.as_ref().unwrap().total_bytes(),
             INPUT_BYTES
         );
     }

@@ -25,10 +25,15 @@ use hpc_sim::StageUnit;
 pub fn tomography_pipeline(iteration: usize, earthquakes: usize) -> Pipeline {
     let mut p = Pipeline::new(format!("inversion-iter{iteration}"));
 
-    p.add_stage(Stage::new("mesh-creation").with_task(
-        Task::new(format!("i{iteration}-mesh"), Executable::Canalogs { nominal_secs: 30.0 })
+    p.add_stage(
+        Stage::new("mesh-creation").with_task(
+            Task::new(
+                format!("i{iteration}-mesh"),
+                Executable::Canalogs { nominal_secs: 30.0 },
+            )
             .with_cpus(64),
-    ));
+        ),
+    );
 
     let mut forward = Stage::new("forward-simulation");
     for q in 0..earthquakes {

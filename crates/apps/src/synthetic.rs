@@ -1,18 +1,15 @@
 //! Synthetic workload generators: the sleep / Gromacs `mdrun` applications
 //! of Table I (Experiments 1–4) and the weak/strong scaling studies.
 
-use entk_core::{Executable, StagingSpec, Task, Workflow};
 use entk_core::workflow::uniform_workflow;
+use entk_core::{Executable, StagingSpec, Task, Workflow};
 use hpc_sim::StageUnit;
 
 /// `pipelines × stages × tasks` of `sleep <secs>` — the workload of
 /// Experiments 2–4.
 pub fn sleep_workflow(pipelines: usize, stages: usize, tasks: usize, secs: f64) -> Workflow {
     uniform_workflow(pipelines, stages, tasks, |p, s, t| {
-        Task::new(
-            format!("sleep-p{p}-s{s}-t{t}"),
-            Executable::Sleep { secs },
-        )
+        Task::new(format!("sleep-p{p}-s{s}-t{t}"), Executable::Sleep { secs })
     })
 }
 

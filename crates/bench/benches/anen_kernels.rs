@@ -4,9 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use entk_apps::anen::similarity::AnenPredictor;
-use entk_apps::anen::{
-    AnenDataset, DatasetConfig, Domain, ScatterInterpolator, SimilarityConfig,
-};
+use entk_apps::anen::{AnenDataset, DatasetConfig, Domain, ScatterInterpolator, SimilarityConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -42,8 +40,9 @@ fn bench_idw_interpolation(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     let mut group = c.benchmark_group("anen/idw_query");
     for &n in &[400usize, 1800] {
-        let points: Vec<(f64, f64)> =
-            (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+        let points: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
         let values: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
         let interp = ScatterInterpolator::new(points, values, 8);
         group.throughput(Throughput::Elements(1));

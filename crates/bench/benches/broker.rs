@@ -14,12 +14,12 @@ fn bench_publish_consume(c: &mut Criterion) {
             &payload,
             |b, &payload| {
                 let broker = Broker::new();
-                broker.declare_queue("bench", QueueConfig::default()).unwrap();
+                broker
+                    .declare_queue("bench", QueueConfig::default())
+                    .unwrap();
                 let body = vec![0u8; payload];
                 b.iter(|| {
-                    broker
-                        .publish("bench", Message::new(body.clone()))
-                        .unwrap();
+                    broker.publish("bench", Message::new(body.clone())).unwrap();
                     let d = broker.get("bench").unwrap().unwrap();
                     broker.ack("bench", d.tag).unwrap();
                 });
@@ -65,9 +65,12 @@ fn bench_durable_publish(c: &mut Criterion) {
     let _ = std::fs::remove_file(&path);
     let broker = Broker::with_config(BrokerConfig {
         journal_path: Some(path.clone()),
+        ..Default::default()
     })
     .unwrap();
-    broker.declare_queue("durable", QueueConfig::durable()).unwrap();
+    broker
+        .declare_queue("durable", QueueConfig::durable())
+        .unwrap();
     c.bench_function("broker/durable_publish_ack", |b| {
         b.iter(|| {
             broker

@@ -16,18 +16,14 @@ fn bench_schedulable_scan(c: &mut Criterion) {
     let mut group = c.benchmark_group("pst/schedulable_scan");
     for &tasks in &[256usize, 4096] {
         group.throughput(Throughput::Elements(tasks as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(tasks),
-            &tasks,
-            |b, &tasks| {
-                let wf = make_workflow(tasks);
-                b.iter(|| {
-                    let ready = wf.schedulable_tasks();
-                    assert_eq!(ready.len(), tasks);
-                    ready
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(tasks), &tasks, |b, &tasks| {
+            let wf = make_workflow(tasks);
+            b.iter(|| {
+                let ready = wf.schedulable_tasks();
+                assert_eq!(ready.len(), tasks);
+                ready
+            });
+        });
     }
     group.finish();
 }

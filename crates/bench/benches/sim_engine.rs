@@ -3,38 +3,32 @@
 //! cost under every timing experiment.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use hpc_sim::{
-    JobDescription, Platform, PlatformId, SimConfig, SimEvent, Simulation, TaskDesc,
-};
+use hpc_sim::{JobDescription, Platform, PlatformId, SimConfig, SimEvent, Simulation, TaskDesc};
 
 fn bench_task_round_trips(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim/task_round_trip");
     group.sample_size(20);
     for &batch in &[16usize, 128] {
         group.throughput(Throughput::Elements(batch as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(batch),
-            &batch,
-            |b, &batch| {
-                b.iter(|| {
-                    let h = Simulation::start(
-                        SimConfig::new(Platform::catalog(PlatformId::TestRig)).with_seed(1),
-                    );
-                    let job = h.submit_job(JobDescription::small());
-                    for _ in 0..batch {
-                        h.launch_task(job, TaskDesc::fixed_secs(10));
-                    }
-                    let mut ended = 0;
-                    while ended < batch {
-                        if let Ok(ev) = h.events().recv() {
-                            if matches!(ev, SimEvent::TaskEnded { .. }) {
-                                ended += 1;
-                            }
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            b.iter(|| {
+                let h = Simulation::start(
+                    SimConfig::new(Platform::catalog(PlatformId::TestRig)).with_seed(1),
+                );
+                let job = h.submit_job(JobDescription::small());
+                for _ in 0..batch {
+                    h.launch_task(job, TaskDesc::fixed_secs(10));
+                }
+                let mut ended = 0;
+                while ended < batch {
+                    if let Ok(ev) = h.events().recv() {
+                        if matches!(ev, SimEvent::TaskEnded { .. }) {
+                            ended += 1;
                         }
                     }
-                });
-            },
-        );
+                }
+            });
+        });
     }
     group.finish();
 }

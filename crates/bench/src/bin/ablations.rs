@@ -18,9 +18,7 @@
 use entk_apps::seismic::campaign::{forward_workflow, CampaignConfig, NODES_PER_SIM};
 use entk_apps::synthetic::weak_scaling_workflow;
 use entk_bench::{argv, has_flag};
-use entk_core::{
-    AppManager, AppManagerConfig, ExecutionStrategy, ResourceDescription,
-};
+use entk_core::{AppManager, AppManagerConfig, ExecutionStrategy, ResourceDescription};
 use hpc_sim::PlatformId;
 use std::time::Duration;
 
@@ -84,12 +82,8 @@ fn strategy_ablation(quick: bool) {
         let wf = forward_workflow(&cfg);
         let mut amgr = AppManager::new(
             AppManagerConfig::new(
-                ResourceDescription::sim(
-                    PlatformId::Titan,
-                    NODES_PER_SIM * n as u32,
-                    24 * 3600,
-                )
-                .with_seed(61),
+                ResourceDescription::sim(PlatformId::Titan, NODES_PER_SIM * n as u32, 24 * 3600)
+                    .with_seed(61),
             )
             .with_task_retries(None)
             .with_execution_strategy(strategy)

@@ -32,8 +32,7 @@ fn main() {
         "tasks/s"
     );
 
-    let mut configs: Vec<(usize, usize, usize)> =
-        vec![(1, 1, 1), (2, 2, 2), (4, 4, 4), (8, 8, 8)];
+    let mut configs: Vec<(usize, usize, usize)> = vec![(1, 1, 1), (2, 2, 2), (4, 4, 4), (8, 8, 8)];
     if has_flag(&args, "--uneven") {
         // The paper notes: "uneven distributions of producers and consumers
         // resulted in lower efficiencies than when using even distributions."

@@ -23,14 +23,7 @@ fn main() {
     println!("Fig. 8 — weak scalability on (simulated) Titan");
     println!(
         "{:>6} {:>10} {:>12} {:>12} {:>14} {:>14} {:>14} {:>12}",
-        "tasks",
-        "cores",
-        "setup s",
-        "mgmt s",
-        "rts ovh s",
-        "staging s",
-        "exec s",
-        "wall s"
+        "tasks", "cores", "setup s", "mgmt s", "rts ovh s", "staging s", "exec s", "wall s"
     );
     for tasks in sizes {
         // Titan: 16 cores/node ⇒ tasks/16 nodes gives cores == tasks.

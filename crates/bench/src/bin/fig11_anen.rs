@@ -25,9 +25,8 @@ fn main() {
     let quick = has_flag(&args, "--quick");
     let repeats = flag_num(&args, "--repeats", if quick { 5 } else { 30 });
     let locations = flag_num(&args, "--locations", if quick { 400 } else { 1800 });
-    let out_dir = PathBuf::from(
-        flag_value(&args, "--out").unwrap_or_else(|| "target/fig11".to_string()),
-    );
+    let out_dir =
+        PathBuf::from(flag_value(&args, "--out").unwrap_or_else(|| "target/fig11".to_string()));
     std::fs::create_dir_all(&out_dir).expect("create output dir");
 
     let domain = if quick {

@@ -1,12 +1,17 @@
 //! Run every figure/table harness at reduced scale — a smoke target that
 //! regenerates the whole evaluation quickly. Pass `--full` for paper-scale
 //! runs (several minutes).
+//!
+//! With `ENTK_TRACE=<prefix>` exported, every harness dumps its run traces:
+//! each child gets its own `<prefix>-<bin>` prefix so the trace files don't
+//! collide across harnesses.
 
 use std::process::Command;
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
     let quick: &[&str] = if full { &[] } else { &["--quick"] };
+    let trace_prefix = std::env::var("ENTK_TRACE").ok();
     let bins = [
         "table1_params",
         "fig06_prototype",
@@ -23,8 +28,12 @@ fn main() {
         .to_path_buf();
     for bin in bins {
         println!("================ {bin} ================");
-        let status = Command::new(exe_dir.join(bin))
-            .args(quick)
+        let mut cmd = Command::new(exe_dir.join(bin));
+        cmd.args(quick);
+        if let Some(prefix) = &trace_prefix {
+            cmd.env("ENTK_TRACE", format!("{prefix}-{bin}"));
+        }
+        let status = cmd
             .status()
             .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
         assert!(status.success(), "{bin} failed");

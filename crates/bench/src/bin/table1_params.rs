@@ -4,7 +4,12 @@ fn main() {
     println!("Table I: Parameters of the experiments plotted in Figure 7");
     println!(
         "{:<3} {:<38} {:<22} {:<14} {:<22} {:<6}",
-        "ID", "Computing Infrastructure (CI)", "Pipeline, Stage, Task", "Executable", "Task Duration", "Data"
+        "ID",
+        "Computing Infrastructure (CI)",
+        "Pipeline, Stage, Task",
+        "Executable",
+        "Task Duration",
+        "Data"
     );
     let rows = [
         (
@@ -15,7 +20,14 @@ fn main() {
             "300s",
             "staged",
         ),
-        ("2", "SuperMIC", "(1,1,16)", "sleep", "1s, 10s, 100s, 1,000s", "None"),
+        (
+            "2",
+            "SuperMIC",
+            "(1,1,16)",
+            "sleep",
+            "1s, 10s, 100s, 1,000s",
+            "None",
+        ),
         (
             "3",
             "SuperMIC, Stampede, Comet, Titan",

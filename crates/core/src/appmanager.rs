@@ -17,11 +17,10 @@ use crate::wfprocessor;
 use crate::workflow::Workflow;
 use crate::{EntkError, EntkResult};
 use entk_mq::{Broker, BrokerConfig, QueueConfig};
+use entk_observe::{components, Recorder};
 use hpc_sim::{Platform, PlatformId};
 use parking_lot::Mutex;
-use rp_rts::{
-    BackendConfig, LocalConfig, PilotDescription, RtsConfig, RtsProfile, UnitRecord,
-};
+use rp_rts::{BackendConfig, LocalConfig, PilotDescription, RtsConfig, RtsProfile, UnitRecord};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -127,7 +126,7 @@ impl ResourceDescription {
         self
     }
 
-    fn rts_config(&self) -> RtsConfig {
+    fn rts_config(&self, recorder: &Recorder) -> RtsConfig {
         let backend = match &self.backend {
             ResourceBackend::Sim { platform } => BackendConfig::Sim {
                 platform: *platform,
@@ -141,6 +140,7 @@ impl ResourceDescription {
             } => BackendConfig::Local(LocalConfig {
                 workers: *workers,
                 time_scale: *time_scale,
+                recorder: None,
             }),
         };
         RtsConfig {
@@ -150,6 +150,7 @@ impl ResourceDescription {
                 op_latency: self.db_op_latency,
             },
             seed: self.seed,
+            recorder: recorder.is_enabled().then(|| recorder.clone()),
         }
     }
 
@@ -242,6 +243,15 @@ pub struct AppManagerConfig {
     /// Additional named resources; tasks select them with
     /// [`crate::Task::with_resource_pool`].
     pub extra_resources: Vec<ResourceDescription>,
+    /// Trace recorder shared across every layer of the run. `None` means
+    /// tracing is off unless a trace path (below or `ENTK_TRACE`) turns it
+    /// on.
+    pub recorder: Option<Recorder>,
+    /// Export the trace at the end of the run: `<path>.prof.jsonl`,
+    /// `<path>.chrome.json` and `<path>.report.txt`. Falls back to the
+    /// `ENTK_TRACE` environment variable when unset. Setting either implies
+    /// an enabled recorder.
+    pub trace_path: Option<PathBuf>,
 }
 
 impl AppManagerConfig {
@@ -259,7 +269,22 @@ impl AppManagerConfig {
             chaos_rts_kill_after: None,
             execution_strategy: ExecutionStrategy::Eager,
             extra_resources: Vec::new(),
+            recorder: None,
+            trace_path: None,
         }
+    }
+
+    /// Builder: attach a trace recorder (cross-layer tracing).
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Builder: export the trace to `<path>.prof.jsonl` / `<path>.chrome.json`
+    /// / `<path>.report.txt` when the run ends.
+    pub fn with_trace_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.trace_path = Some(path.into());
+        self
     }
 
     /// Builder: task retry budget.
@@ -320,6 +345,8 @@ pub(crate) struct Ctx {
     pub workflow: Mutex<Workflow>,
     /// Overhead accounting.
     pub profiler: Profiler,
+    /// Cross-layer trace recorder (disabled = no-op for events/spans).
+    pub recorder: Recorder,
     /// Transactional state journal.
     pub store: Option<StateStore>,
     /// Global run flag; components exit when cleared.
@@ -346,11 +373,13 @@ impl Ctx {
         store: Option<StateStore>,
         default_retries: Option<u32>,
         strategy: ExecutionStrategy,
+        recorder: Recorder,
     ) -> Arc<Self> {
         Arc::new(Ctx {
             broker,
             workflow: Mutex::new(workflow),
             profiler: Profiler::new(),
+            recorder,
             store,
             running: AtomicBool::new(true),
             default_retries,
@@ -370,16 +399,14 @@ impl Ctx {
 
     /// Test-only context with an explicit retry budget.
     #[cfg(test)]
-    pub(crate) fn for_tests_with_retries(
-        workflow: Workflow,
-        retries: Option<u32>,
-    ) -> Arc<Self> {
+    pub(crate) fn for_tests_with_retries(workflow: Workflow, retries: Option<u32>) -> Arc<Self> {
         let broker = Broker::new();
         declare_queues(&broker).expect("fresh broker");
         Arc::new(Ctx {
             broker,
             workflow: Mutex::new(workflow),
             profiler: Profiler::new(),
+            recorder: Recorder::disabled(),
             store: None,
             running: AtomicBool::new(true),
             default_retries: retries,
@@ -416,7 +443,10 @@ impl Ctx {
         }
         let ack_queue = messages::ack_queue(comp);
         loop {
-            match self.broker.get_timeout(&ack_queue, Duration::from_millis(100)) {
+            match self
+                .broker
+                .get_timeout(&ack_queue, Duration::from_millis(100))
+            {
                 Ok(Some(d)) => {
                     let _ = self.broker.ack(&ack_queue, d.tag);
                     let (acked_uid, ok) = messages::parse_ack(&d.message);
@@ -474,6 +504,13 @@ pub struct RunReport {
     pub workflow: Workflow,
     /// Whether every pipeline finished Done.
     pub succeeded: bool,
+    /// The run's trace recorder (disabled when tracing was off); exposes the
+    /// full event stream, metrics, and exporters.
+    pub recorder: Recorder,
+    /// The overhead decomposition re-derived from the trace alone (paper
+    /// §IV-A2); `None` when tracing was off. The legacy [`Profiler`]-based
+    /// [`RunReport::overheads`] is kept as an independent cross-check.
+    pub trace_overheads: Option<OverheadReport>,
 }
 
 impl RunReport {
@@ -552,12 +589,41 @@ impl AppManager {
         Ok(())
     }
 
+    /// Resolve the trace export prefix: explicit config wins, then the
+    /// `ENTK_TRACE` environment variable. Successive runs in one process
+    /// sharing an env prefix get `.2`, `.3`, … suffixes so they don't
+    /// overwrite each other.
+    fn trace_prefix(&self) -> Option<PathBuf> {
+        static RUNS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let prefix = self
+            .config
+            .trace_path
+            .clone()
+            .or_else(|| std::env::var_os("ENTK_TRACE").map(PathBuf::from))?;
+        let n = RUNS.fetch_add(1, Ordering::Relaxed);
+        if n == 0 || self.config.trace_path.is_some() {
+            Some(prefix)
+        } else {
+            let mut s = prefix.into_os_string();
+            s.push(format!(".{}", n + 1));
+            Some(PathBuf::from(s))
+        }
+    }
+
     /// Execute an application to completion.
     pub fn run(&mut self, mut workflow: Workflow) -> EntkResult<RunReport> {
         let run_start = Instant::now();
+        let trace_prefix = self.trace_prefix();
+        let recorder = match &self.config.recorder {
+            Some(r) => r.clone(),
+            None if trace_prefix.is_some() => Recorder::new(),
+            None => Recorder::disabled(),
+        };
+        recorder.record(components::AMGR, "run_start", "", "");
 
         // ---- Setup phase (measured as EnTK Setup Overhead) -------------
         let setup_start = Instant::now();
+        let setup_span = recorder.span(components::AMGR, "setup");
         workflow.validate()?;
         self.validate_pools(&workflow)?;
 
@@ -569,12 +635,11 @@ impl AppManager {
             }
         }
 
-        let broker = match &self.config.broker_journal_path {
-            Some(p) => Broker::with_config(BrokerConfig {
-                journal_path: Some(p.clone()),
-            })?,
-            None => Broker::new(),
-        };
+        let broker = Broker::with_config(BrokerConfig {
+            journal_path: self.config.broker_journal_path.clone(),
+            recorder: recorder.is_enabled().then(|| recorder.clone()),
+            ..Default::default()
+        })?;
         declare_queues(&broker)?;
         let store = match &self.config.journal_path {
             Some(p) => Some(StateStore::open(p)?),
@@ -587,6 +652,7 @@ impl AppManager {
             store,
             self.config.default_task_retries,
             self.config.execution_strategy,
+            recorder.clone(),
         );
 
         // Spawn Synchronizer and WFProcessor.
@@ -596,25 +662,31 @@ impl AppManager {
             wfprocessor::spawn_dequeue(Arc::clone(&ctx)),
         ];
         let setup = setup_start.elapsed();
+        drop(setup_span);
         ctx.profiler.set_setup(setup);
 
         // ---- Rmgr: acquire resources (one RTS + pilot per pool) ---------
         let rmgr_start = Instant::now();
+        let rmgr_span = recorder.span(components::AMGR, "rmgr_acquire");
         let mut slots = Vec::with_capacity(1 + self.config.extra_resources.len());
-        for resource in std::iter::once(&self.config.resource)
-            .chain(self.config.extra_resources.iter())
+        for resource in
+            std::iter::once(&self.config.resource).chain(self.config.extra_resources.iter())
         {
             slots.push(Arc::new(RtsSlot::acquire(
                 resource.name.clone(),
-                resource.rts_config(),
+                resource.rts_config(&recorder),
                 resource.pilot_desc(),
                 self.config.max_rts_restarts,
             )));
         }
         let pools = Arc::new(RtsPools { pools: slots });
+        drop(rmgr_span);
         let rmgr_wall = rmgr_start.elapsed();
 
-        handles.push(execmanager::spawn_emgr(Arc::clone(&ctx), Arc::clone(&pools)));
+        handles.push(execmanager::spawn_emgr(
+            Arc::clone(&ctx),
+            Arc::clone(&pools),
+        ));
         handles.extend(execmanager::spawn_callbacks(&ctx, &pools));
         handles.extend(execmanager::spawn_heartbeats(
             &ctx,
@@ -663,6 +735,7 @@ impl AppManager {
 
         // ---- Tear-down (measured as EnTK Tear-Down Overhead) ------------
         let teardown_start = Instant::now();
+        let teardown_span = recorder.span(components::AMGR, "teardown");
         ctx.running.store(false, Ordering::Release);
         for h in handles {
             let _ = h.join();
@@ -674,10 +747,31 @@ impl AppManager {
             rts_teardown += slot.final_teardown();
         }
         ctx.profiler.set_rts_teardown(rts_teardown);
+        // Wall time summed across pools and incarnations; back-dated
+        // duration event rather than a live span.
+        recorder.record_duration(components::AMGR, "rts_teardown", "", "", rts_teardown);
         ctx.broker.close();
+        drop(teardown_span);
         ctx.profiler.set_teardown(teardown_start.elapsed());
+        recorder.record(components::AMGR, "run_end", "", "");
 
         // ---- Report ------------------------------------------------------
+        // Export before the error checks so failed runs still leave a trace
+        // behind for postmortem analysis.
+        if let Some(prefix) = &trace_prefix {
+            let with_ext = |ext: &str| {
+                let mut s = prefix.clone().into_os_string();
+                s.push(ext);
+                PathBuf::from(s)
+            };
+            recorder
+                .export_prof(with_ext(".prof.jsonl"))
+                .map_err(EntkError::Trace)?;
+            recorder
+                .export_chrome(with_ext(".chrome.json"))
+                .map_err(EntkError::Trace)?;
+            std::fs::write(with_ext(".report.txt"), recorder.report()).map_err(EntkError::Trace)?;
+        }
         let fatal = ctx.fatal.lock().clone();
         if let Some(reason) = fatal {
             return Err(EntkError::InvalidResource(reason));
@@ -714,8 +808,13 @@ impl AppManager {
             .pipelines()
             .iter()
             .all(|p| p.state() == crate::states::PipelineState::Done);
+        let trace_overheads = recorder
+            .is_enabled()
+            .then(|| OverheadReport::from_trace(&recorder.snapshot()));
         Ok(RunReport {
             overheads,
+            recorder,
+            trace_overheads,
             emulated,
             rts_profile,
             unit_records: records,
@@ -856,8 +955,7 @@ mod tests {
                 }),
             ));
         }
-        let workflow =
-            Workflow::new().with_pipeline(Pipeline::new("p").with_stage(stage));
+        let workflow = Workflow::new().with_pipeline(Pipeline::new("p").with_stage(stage));
         let mut amgr = AppManager::new(
             AppManagerConfig::new(ResourceDescription::local(3))
                 .with_run_timeout(Duration::from_secs(30)),

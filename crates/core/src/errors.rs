@@ -53,6 +53,8 @@ pub enum EntkError {
     Timeout,
     /// State journal I/O failure.
     Journal(std::io::Error),
+    /// Trace export I/O failure.
+    Trace(std::io::Error),
 }
 
 impl fmt::Display for EntkError {
@@ -76,6 +78,7 @@ impl fmt::Display for EntkError {
             }
             EntkError::Timeout => write!(f, "run timed out"),
             EntkError::Journal(e) => write!(f, "state journal failure: {e}"),
+            EntkError::Trace(e) => write!(f, "trace export failure: {e}"),
         }
     }
 }
@@ -85,6 +88,7 @@ impl std::error::Error for EntkError {
         match self {
             EntkError::Mq(e) => Some(e),
             EntkError::Journal(e) => Some(e),
+            EntkError::Trace(e) => Some(e),
             _ => None,
         }
     }

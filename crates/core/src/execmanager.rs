@@ -19,6 +19,7 @@ use crate::appmanager::Ctx;
 use crate::messages::{self, component, AttemptOutcome};
 use crate::states::TaskState;
 use crossbeam::channel::RecvTimeoutError;
+use entk_observe::components as obs;
 use parking_lot::{Mutex, RwLock};
 use rp_rts::{
     PilotDescription, PilotId, PilotState, RtsConfig, RuntimeSystem, UnitDescription, UnitOutcome,
@@ -110,7 +111,6 @@ impl RtsPools {
             None => &self.pools[0],
         }
     }
-
 }
 
 /// Spawn the Emgr thread (one; it routes to every pool).
@@ -188,6 +188,10 @@ fn emgr_loop(ctx: Arc<Ctx>, pools: Arc<RtsPools>) {
             }
         }
         let t0 = Instant::now();
+        let span = ctx
+            .recorder
+            .span(obs::EMGR, "submit_batch")
+            .with_payload(batch.len().to_string());
 
         // Translate tasks to units, grouped by resource pool.
         let mut groups: HashMap<String, PoolBatch> = HashMap::new();
@@ -196,11 +200,7 @@ fn emgr_loop(ctx: Arc<Ctx>, pools: Arc<RtsPools>) {
             let (state, unit, pool) = {
                 let wf = ctx.workflow.lock();
                 match wf.task(&uid) {
-                    Some(t) => (
-                        Some(t.state()),
-                        Some(t.to_unit()),
-                        t.resource_pool.clone(),
-                    ),
+                    Some(t) => (Some(t.state()), Some(t.to_unit()), t.resource_pool.clone()),
                     None => (None, None, None),
                 }
             };
@@ -247,23 +247,26 @@ fn emgr_loop(ctx: Arc<Ctx>, pools: Arc<RtsPools>) {
                 continue;
             }
 
-            match rts.submit_units(pilot, group.units) {
-                Ok(_) => {
-                    for (tag, uid) in group.submitted {
-                        let _ = ctx.broker.ack(messages::PENDING, tag);
-                        ctx.sync_task(component::EMGR, &uid, TaskState::Submitted);
-                    }
+            // Sync Submitted BEFORE handing units to the RTS: on a fast
+            // backend the terminal callback can otherwise overtake this
+            // transition and be rejected as an illegal Submitting → Executed
+            // edge, silently dropping the completion. Tasks whose sync is
+            // refused (e.g. canceled concurrently) are not submitted.
+            let mut to_submit = Vec::with_capacity(group.units.len());
+            for (unit, (tag, uid)) in group.units.into_iter().zip(group.submitted.iter()) {
+                if ctx.sync_task(component::EMGR, uid, TaskState::Submitted) {
+                    to_submit.push(unit);
                 }
-                Err(_) => {
-                    // RTS died mid-batch. Ack the messages (they must not be
-                    // redelivered: the Heartbeat sweep will re-describe these
-                    // Submitting tasks exactly once).
-                    for (tag, _) in group.submitted {
-                        let _ = ctx.broker.ack(messages::PENDING, tag);
-                    }
-                }
+                let _ = ctx.broker.ack(messages::PENDING, *tag);
             }
+            if to_submit.is_empty() {
+                continue;
+            }
+            // On failure the RTS died mid-batch: the tasks are Submitted, so
+            // the Heartbeat sweep re-describes each of them exactly once.
+            let _ = rts.submit_units(pilot, to_submit);
         }
+        drop(span);
         ctx.profiler.add_management(t0.elapsed());
     }
 }
@@ -277,6 +280,10 @@ fn callback_loop(ctx: Arc<Ctx>, slot: Arc<RtsSlot>) {
                     continue;
                 }
                 let t0 = Instant::now();
+                let span = ctx
+                    .recorder
+                    .span(obs::EMGR, "callback")
+                    .with_uid(cb.tag.clone());
                 let outcome = match cb.outcome {
                     Some(UnitOutcome::Done) => AttemptOutcome::Done,
                     Some(UnitOutcome::Failed(r)) => AttemptOutcome::Failed(r),
@@ -288,6 +295,7 @@ fn callback_loop(ctx: Arc<Ctx>, slot: Arc<RtsSlot>) {
                         .broker
                         .publish(messages::DONE, messages::done_message(&cb.tag, &outcome));
                 }
+                drop(span);
                 ctx.profiler.add_management(t0.elapsed());
             }
             Err(RecvTimeoutError::Timeout) => continue,
@@ -300,8 +308,16 @@ fn callback_loop(ctx: Arc<Ctx>, slot: Arc<RtsSlot>) {
 }
 
 fn heartbeat_loop(ctx: Arc<Ctx>, slot: Arc<RtsSlot>, is_primary: bool, interval: Duration) {
+    // Liveness signal: a checks counter plus a last-seen gauge (milliseconds
+    // on the trace clock) per pool — cheap enough to update every interval
+    // without flooding the event stream.
+    let metrics = ctx.recorder.metrics_arc();
+    let checks = metrics.counter(&format!("heartbeat.checks.{}", slot.name));
+    let last_check = metrics.gauge(&format!("heartbeat.last_check_ms.{}", slot.name));
     while ctx.running.load(Ordering::Acquire) {
         std::thread::sleep(interval);
+        checks.incr();
+        last_check.set((ctx.recorder.now_ns() / 1_000_000) as i64);
         if ctx.workflow.lock().is_complete() {
             continue;
         }
@@ -324,7 +340,19 @@ fn heartbeat_loop(ctx: Arc<Ctx>, slot: Arc<RtsSlot>, is_primary: bool, interval:
             continue;
         }
         let restarts = slot.restarts.fetch_add(1, Ordering::SeqCst) + 1;
+        ctx.recorder.record(
+            obs::HEARTBEAT,
+            "recovery_start",
+            slot.name.clone(),
+            format!("restart {restarts}/{}", slot.max_restarts),
+        );
         if restarts > slot.max_restarts {
+            ctx.recorder.record(
+                obs::HEARTBEAT,
+                "restart_budget_exhausted",
+                slot.name.clone(),
+                "",
+            );
             ctx.fail_fatal(format!(
                 "RTS for pool '{}' failed and restart budget ({}) is exhausted",
                 slot.name, slot.max_restarts
@@ -338,6 +366,8 @@ fn heartbeat_loop(ctx: Arc<Ctx>, slot: Arc<RtsSlot>, is_primary: bool, interval:
             let new_pilot = rts.submit_pilot(&slot.pilot_desc);
             rts.wait_pilot_ready(new_pilot, Duration::from_secs(30));
             guard.1 = new_pilot;
+            ctx.recorder
+                .record(obs::HEARTBEAT, "pilot_reacquired", slot.name.clone(), "");
         } else {
             // Full RTS failure: purge the dead incarnation and start a new
             // one (§II-B4).
@@ -349,6 +379,8 @@ fn heartbeat_loop(ctx: Arc<Ctx>, slot: Arc<RtsSlot>, is_primary: bool, interval:
             let new_pilot = new_rts.submit_pilot(&slot.pilot_desc);
             new_rts.wait_pilot_ready(new_pilot, Duration::from_secs(30));
             *guard = (new_rts, new_pilot);
+            ctx.recorder
+                .record(obs::HEARTBEAT, "rts_restarted", slot.name.clone(), "");
         }
 
         // Sweep: every task that was in flight on the dead incarnation is
@@ -366,10 +398,7 @@ fn heartbeat_loop(ctx: Arc<Ctx>, slot: Arc<RtsSlot>, is_primary: bool, interval:
                             None => is_primary,
                         };
                         if owned
-                            && matches!(
-                                t.state(),
-                                TaskState::Submitting | TaskState::Submitted
-                            )
+                            && matches!(t.state(), TaskState::Submitting | TaskState::Submitted)
                         {
                             lost.push(t.uid().to_string());
                         }
@@ -378,6 +407,12 @@ fn heartbeat_loop(ctx: Arc<Ctx>, slot: Arc<RtsSlot>, is_primary: bool, interval:
             }
             lost
         };
+        ctx.recorder.record(
+            obs::HEARTBEAT,
+            "lost_swept",
+            slot.name.clone(),
+            lost.len().to_string(),
+        );
         for uid in lost {
             let _ = ctx.broker.publish(
                 messages::DONE,

@@ -57,7 +57,9 @@ pub mod uid;
 pub mod wfprocessor;
 pub mod workflow;
 
-pub use appmanager::{AppManager, AppManagerConfig, ExecutionStrategy, ResourceDescription, RunReport};
+pub use appmanager::{
+    AppManager, AppManagerConfig, ExecutionStrategy, ResourceDescription, RunReport,
+};
 pub use errors::{EntkError, EntkResult};
 pub use pipeline::Pipeline;
 pub use profiler::{OverheadReport, PythonEmulation};

@@ -61,10 +61,7 @@ impl Stage {
     }
 
     /// Builder-style hook installation.
-    pub fn with_post_exec(
-        mut self,
-        hook: impl Fn(&mut Pipeline) + Send + Sync + 'static,
-    ) -> Self {
+    pub fn with_post_exec(mut self, hook: impl Fn(&mut Pipeline) + Send + Sync + 'static) -> Self {
         self.set_post_exec(hook);
         self
     }

@@ -79,12 +79,9 @@ impl StateStore {
         for line in BufReader::new(file).lines() {
             let line = line.map_err(crate::EntkError::Journal)?;
             let mut fields = line.split('\t');
-            let (Some(kind), Some(_uid), Some(name), Some(state)) = (
-                fields.next(),
-                fields.next(),
-                fields.next(),
-                fields.next(),
-            ) else {
+            let (Some(kind), Some(_uid), Some(name), Some(state)) =
+                (fields.next(), fields.next(), fields.next(), fields.next())
+            else {
                 continue;
             };
             if kind == "task" {
@@ -119,7 +116,9 @@ mod tests {
         let p = tmp("basic");
         {
             let store = StateStore::open(&p).unwrap();
-            store.record("task", "task.1", "sim-a", "submitted").unwrap();
+            store
+                .record("task", "task.1", "sim-a", "submitted")
+                .unwrap();
             store.record("task", "task.1", "sim-a", "done").unwrap();
             store.record("task", "task.2", "sim-b", "failed").unwrap();
             store.record("stage", "stage.1", "s0", "done").unwrap();
@@ -152,7 +151,9 @@ mod tests {
         let p = tmp("tabs");
         {
             let store = StateStore::open(&p).unwrap();
-            store.record("task", "task.1", "evil\tname", "done").unwrap();
+            store
+                .record("task", "task.1", "evil\tname", "done")
+                .unwrap();
         }
         let done = StateStore::completed_task_names(&p).unwrap();
         assert!(done.contains("evil name"));

@@ -31,7 +31,10 @@ pub(crate) fn spawn(ctx: Arc<Ctx>) -> std::thread::JoinHandle<()> {
 
 fn run(ctx: Arc<Ctx>) {
     while ctx.running.load(Ordering::Acquire) {
-        let delivery = match ctx.broker.get_timeout(messages::SYNC, Duration::from_millis(20)) {
+        let delivery = match ctx
+            .broker
+            .get_timeout(messages::SYNC, Duration::from_millis(20))
+        {
             Ok(Some(d)) => d,
             Ok(None) => continue,
             Err(_) => break, // broker closed: shutting down
@@ -41,12 +44,28 @@ fn run(ctx: Arc<Ctx>) {
             let _ = ctx.broker.ack(messages::SYNC, delivery.tag);
             continue;
         };
+        // Transition latency: request dequeued → applied → acknowledged
+        // (histogram span.sync.apply gives p50/p95/p99).
+        let span = ctx
+            .recorder
+            .span(entk_observe::components::SYNC, "apply")
+            .with_uid(req.uid.clone())
+            .with_payload(req.state.clone());
         let ok = apply(&ctx, &req);
+        if ok {
+            ctx.recorder.record(
+                entk_observe::components::SYNC,
+                "transition",
+                req.uid.clone(),
+                req.state.clone(),
+            );
+        }
         let _ = ctx.broker.ack(messages::SYNC, delivery.tag);
         let _ = ctx.broker.publish(
             &messages::ack_queue(&req.component),
             messages::ack_message(&req.uid, ok),
         );
+        drop(span);
         ctx.profiler.add_management(t0.elapsed());
     }
 }
@@ -85,10 +104,7 @@ pub(crate) fn apply_task(ctx: &Ctx, uid: &str, state: TaskState) -> bool {
         TaskState::Scheduling => {
             ctx.in_flight.fetch_add(1, Ordering::Relaxed);
         }
-        TaskState::Described
-        | TaskState::Done
-        | TaskState::Failed
-        | TaskState::Canceled => {
+        TaskState::Described | TaskState::Done | TaskState::Failed | TaskState::Canceled => {
             // Saturating decrement: recovery-forced states never underflow.
             let _ = ctx
                 .in_flight
@@ -142,12 +158,7 @@ pub(crate) fn apply_task(ctx: &Ctx, uid: &str, state: TaskState) -> bool {
 
 /// When all tasks of a stage are terminal, settle the stage and possibly the
 /// pipeline; runs `post_exec` hooks on success.
-fn settle_stage(
-    ctx: &Ctx,
-    wf: &mut crate::workflow::Workflow,
-    p: usize,
-    s: usize,
-) {
+fn settle_stage(ctx: &Ctx, wf: &mut crate::workflow::Workflow, p: usize, s: usize) {
     let (stage_done, any_failed, any_canceled) = {
         let stage = &wf.pipelines()[p].stages()[s];
         if stage.state().is_terminal() {

@@ -177,9 +177,14 @@ mod tests {
 
     #[test]
     fn to_unit_carries_uid_and_reqs() {
-        let t = Task::new("md", Executable::GromacsMdrun { nominal_secs: 600.0 })
-            .with_cpus(16)
-            .with_gpus(1);
+        let t = Task::new(
+            "md",
+            Executable::GromacsMdrun {
+                nominal_secs: 600.0,
+            },
+        )
+        .with_cpus(16)
+        .with_gpus(1);
         let u = t.to_unit();
         assert_eq!(u.tag, t.uid());
         assert_eq!(u.cores, 16);

@@ -9,6 +9,7 @@
 use crate::appmanager::{Ctx, ExecutionStrategy};
 use crate::messages::{self, component, AttemptOutcome};
 use crate::states::TaskState;
+use entk_observe::components as obs;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -37,6 +38,7 @@ fn enqueue_loop(ctx: Arc<Ctx>) {
             continue;
         }
         let t0 = Instant::now();
+        let span = ctx.recorder.span(obs::ENQ, "batch");
         for uid in ready {
             if !ctx.running.load(Ordering::Acquire) {
                 return;
@@ -64,21 +66,27 @@ fn enqueue_loop(ctx: Arc<Ctx>) {
                 .broker
                 .publish(messages::PENDING, messages::pending_message(&uid));
         }
+        drop(span);
         ctx.profiler.add_management(t0.elapsed());
     }
 }
 
 fn dequeue_loop(ctx: Arc<Ctx>) {
     while ctx.running.load(Ordering::Acquire) {
-        let delivery = match ctx.broker.get_timeout(messages::DONE, Duration::from_millis(20)) {
+        let delivery = match ctx
+            .broker
+            .get_timeout(messages::DONE, Duration::from_millis(20))
+        {
             Ok(Some(d)) => d,
             Ok(None) => continue,
             Err(_) => break,
         };
         let t0 = Instant::now();
         let (uid, outcome) = messages::parse_done(&delivery.message);
+        let span = ctx.recorder.span(obs::DEQ, "handle").with_uid(uid.clone());
         handle_outcome(&ctx, &uid, outcome);
         let _ = ctx.broker.ack(messages::DONE, delivery.tag);
+        drop(span);
         ctx.profiler.add_management(t0.elapsed());
     }
 }
@@ -105,11 +113,14 @@ fn handle_outcome(ctx: &Ctx, uid: &str, outcome: AttemptOutcome) {
     match outcome {
         AttemptOutcome::Done => {
             ctx.profiler.count_attempt_done();
+            ctx.recorder.record(obs::DEQ, "attempt_done", uid, "");
             adapt_cap(ctx, true);
             ctx.sync_task(component::DEQUEUE, uid, TaskState::Done);
         }
         AttemptOutcome::Failed(reason) => {
             ctx.profiler.count_attempt_failed();
+            ctx.recorder
+                .record(obs::DEQ, "attempt_failed", uid, reason.clone());
             adapt_cap(ctx, false);
             let (attempts, budget) = {
                 let mut wf = ctx.workflow.lock();
@@ -138,6 +149,8 @@ fn handle_outcome(ctx: &Ctx, uid: &str, outcome: AttemptOutcome) {
             // task (walltime, CI failure). Treat it like a failed attempt:
             // retry within budget, cancel terminally otherwise.
             ctx.profiler.count_attempt_failed();
+            ctx.recorder
+                .record(obs::DEQ, "attempt_failed", uid, "canceled");
             let (attempts, budget) = {
                 let wf = ctx.workflow.lock();
                 match wf.task(uid) {
@@ -160,6 +173,7 @@ fn handle_outcome(ctx: &Ctx, uid: &str, outcome: AttemptOutcome) {
             // ("without restarting completed tasks" — only in-flight work
             // is redone).
             ctx.profiler.count_attempt_failed();
+            ctx.recorder.record(obs::DEQ, "attempt_failed", uid, "lost");
             ctx.sync_task(component::DEQUEUE, uid, TaskState::Described);
         }
     }

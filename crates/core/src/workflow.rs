@@ -159,9 +159,7 @@ impl Workflow {
             }
         }
         if seen != n {
-            return Err(InvalidWorkflow(
-                "pipeline dependencies form a cycle".into(),
-            ));
+            return Err(InvalidWorkflow("pipeline dependencies form a cycle".into()));
         }
         Ok(())
     }
@@ -183,10 +181,7 @@ impl Workflow {
                         .iter()
                         .find(|q| q.uid() == dep)
                         .is_some_and(|q| {
-                            matches!(
-                                q.state(),
-                                PipelineState::Failed | PipelineState::Canceled
-                            )
+                            matches!(q.state(), PipelineState::Failed | PipelineState::Canceled)
                         })
                 });
                 if broken {
@@ -373,8 +368,11 @@ mod tests {
     #[test]
     fn validation_rejects_duplicate_names() {
         let wf = Workflow::new().with_pipeline(
-            Pipeline::new("p")
-                .with_stage(Stage::new("s").with_task(noop("same")).with_task(noop("same"))),
+            Pipeline::new("p").with_stage(
+                Stage::new("s")
+                    .with_task(noop("same"))
+                    .with_task(noop("same")),
+            ),
         );
         assert!(wf.validate().is_err());
     }
@@ -423,7 +421,10 @@ mod tests {
             .unwrap();
         wf.pipelines_mut()[0].advance(PipelineState::Done).unwrap();
         assert!(wf.is_complete());
-        assert!(!Workflow::new().is_complete(), "empty workflow never completes");
+        assert!(
+            !Workflow::new().is_complete(),
+            "empty workflow never completes"
+        );
     }
 
     #[test]

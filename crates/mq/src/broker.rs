@@ -9,12 +9,17 @@ use crate::journal::{Journal, JournalRecord};
 use crate::message::{Delivery, Message};
 use crate::queue::{QueueConfig, QueueHandle};
 use crate::stats::{BrokerStats, QueueStats};
+use entk_observe::{components, Recorder};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::Duration;
+
+/// How often the depth sampler wakes when a recorder is configured and no
+/// explicit interval is given.
+const DEFAULT_DEPTH_SAMPLE_INTERVAL: Duration = Duration::from_millis(25);
 
 /// Broker-wide configuration.
 #[derive(Debug, Clone, Default)]
@@ -22,12 +27,21 @@ pub struct BrokerConfig {
     /// If set, durable queues journal persistent messages to this file and
     /// [`Broker::recover`] can rebuild them after a crash.
     pub journal_path: Option<PathBuf>,
+    /// If set, queues record publish-to-deliver / deliver-to-ack latency
+    /// histograms into the recorder's metrics registry, queue lifecycle
+    /// events enter the trace, and a background sampler feeds
+    /// `mq.depth.<queue>` / `mq.unacked.<queue>` gauges.
+    pub recorder: Option<Recorder>,
+    /// Sampling period for the queue-depth gauges; defaults to 25 ms. Only
+    /// meaningful together with `recorder`.
+    pub depth_sample_interval: Option<Duration>,
 }
 
 struct BrokerInner {
     queues: RwLock<HashMap<String, Arc<QueueHandle>>>,
     journal: Option<Journal>,
     closed: AtomicBool,
+    recorder: Option<Recorder>,
 }
 
 /// Handle to an in-process message broker. Clone freely; all clones share
@@ -49,13 +63,22 @@ impl Broker {
             Some(p) => Some(Journal::open(p)?),
             None => None,
         };
-        Ok(Broker {
-            inner: Arc::new(BrokerInner {
-                queues: RwLock::new(HashMap::new()),
-                journal,
-                closed: AtomicBool::new(false),
-            }),
-        })
+        let inner = Arc::new(BrokerInner {
+            queues: RwLock::new(HashMap::new()),
+            journal,
+            closed: AtomicBool::new(false),
+            recorder: config.recorder.clone(),
+        });
+        if let Some(recorder) = config.recorder {
+            spawn_depth_sampler(
+                Arc::downgrade(&inner),
+                recorder,
+                config
+                    .depth_sample_interval
+                    .unwrap_or(DEFAULT_DEPTH_SAMPLE_INTERVAL),
+            );
+        }
+        Ok(Broker { inner })
     }
 
     /// Recover a broker from a journal: durable queues are re-declared and
@@ -66,6 +89,7 @@ impl Broker {
         let (declared, live) = Journal::replay(&path)?;
         let broker = Self::with_config(BrokerConfig {
             journal_path: Some(path),
+            ..Default::default()
         })?;
         for q in declared {
             // Redeclare without journaling again (records already on disk).
@@ -101,8 +125,16 @@ impl Broker {
         }
         queues.insert(
             name.to_string(),
-            Arc::new(QueueHandle::new(name.to_string(), config)),
+            Arc::new(QueueHandle::with_recorder(
+                name.to_string(),
+                config,
+                self.inner.recorder.as_ref(),
+            )),
         );
+        drop(queues);
+        if let Some(rec) = &self.inner.recorder {
+            rec.record(components::MQ, "queue_declared", name.to_string(), "");
+        }
         true
     }
 
@@ -132,6 +164,9 @@ impl Broker {
             .remove(name)
             .ok_or_else(|| MqError::QueueNotFound(name.to_string()))?;
         handle.close();
+        if let Some(rec) = &self.inner.recorder {
+            rec.record(components::MQ, "queue_deleted", name.to_string(), "");
+        }
         Ok(())
     }
 
@@ -266,6 +301,9 @@ impl Broker {
         for handle in self.inner.queues.read().values() {
             handle.close();
         }
+        if let Some(rec) = &self.inner.recorder {
+            rec.record(components::MQ, "broker_closed", "", "");
+        }
     }
 
     /// Whether `close` has been called.
@@ -283,6 +321,34 @@ impl Default for Broker {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// Background thread feeding `mq.depth.<queue>` and `mq.unacked.<queue>`
+/// gauges. Holds only a [`Weak`] to the broker so it never keeps it alive;
+/// it exits when the broker closes or is dropped (within one interval).
+fn spawn_depth_sampler(inner: Weak<BrokerInner>, recorder: Recorder, interval: Duration) {
+    std::thread::Builder::new()
+        .name("mq-depth-sampler".into())
+        .spawn(move || loop {
+            std::thread::sleep(interval);
+            let Some(inner) = inner.upgrade() else {
+                break;
+            };
+            if inner.closed.load(Ordering::Acquire) {
+                break;
+            }
+            let queues = inner.queues.read();
+            for (name, handle) in queues.iter() {
+                let metrics = recorder.metrics();
+                metrics
+                    .gauge(&format!("mq.depth.{name}"))
+                    .set(handle.depth() as i64);
+                metrics
+                    .gauge(&format!("mq.unacked.{name}"))
+                    .set(handle.unacked_count() as i64);
+            }
+        })
+        .expect("spawn mq-depth-sampler thread");
 }
 
 #[cfg(test)]
@@ -383,6 +449,7 @@ mod tests {
         {
             let b = Broker::with_config(BrokerConfig {
                 journal_path: Some(path.clone()),
+                ..Default::default()
             })
             .unwrap();
             b.declare_queue("state", QueueConfig::durable()).unwrap();
@@ -406,6 +473,7 @@ mod tests {
         {
             let b = Broker::with_config(BrokerConfig {
                 journal_path: Some(path.clone()),
+                ..Default::default()
             })
             .unwrap();
             b.declare_queue("sync", QueueConfig::durable()).unwrap();
@@ -422,6 +490,7 @@ mod tests {
         {
             let b = Broker::with_config(BrokerConfig {
                 journal_path: Some(path.clone()),
+                ..Default::default()
             })
             .unwrap();
             b.declare_queue("q", QueueConfig::durable()).unwrap();
@@ -430,8 +499,64 @@ mod tests {
         }
         let b = Broker::recover(&path).unwrap();
         assert_eq!(b.depth("q").unwrap(), 1);
-        assert_eq!(&b.get("q").unwrap().unwrap().message.payload[..], b"durable");
+        assert_eq!(
+            &b.get("q").unwrap().unwrap().message.payload[..],
+            b"durable"
+        );
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn recorder_collects_latency_histograms_and_depth_gauges() {
+        let rec = Recorder::new();
+        let b = Broker::with_config(BrokerConfig {
+            recorder: Some(rec.clone()),
+            depth_sample_interval: Some(Duration::from_millis(5)),
+            ..Default::default()
+        })
+        .unwrap();
+        b.declare_queue("obs", QueueConfig::default()).unwrap();
+        for i in 0..10u8 {
+            b.publish("obs", Message::new(vec![i])).unwrap();
+        }
+        // Leave some messages ready and one unacked so the sampler sees a
+        // non-trivial state, then give it a few periods to run.
+        let d = b.get("obs").unwrap().unwrap();
+        let d2 = b.get("obs").unwrap().unwrap();
+        b.ack("obs", d.tag).unwrap();
+        std::thread::sleep(Duration::from_millis(40));
+
+        let p2d = rec
+            .metrics()
+            .histogram(crate::queue::HIST_PUBLISH_TO_DELIVER)
+            .snapshot();
+        let d2a = rec
+            .metrics()
+            .histogram(crate::queue::HIST_DELIVER_TO_ACK)
+            .snapshot();
+        assert_eq!(p2d.count, 2);
+        assert_eq!(d2a.count, 1);
+        assert!(p2d.p50_ns > 0 && p2d.p99_ns >= p2d.p50_ns);
+
+        let gauges = rec.metrics().gauges();
+        let depth = gauges
+            .iter()
+            .find(|(n, _, _)| n == "mq.depth.obs")
+            .expect("sampler wrote depth gauge");
+        assert_eq!(depth.1, 8, "8 messages still ready");
+        let unacked = gauges
+            .iter()
+            .find(|(n, _, _)| n == "mq.unacked.obs")
+            .expect("sampler wrote unacked gauge");
+        assert_eq!(unacked.1, 1, "one delivery not yet acked");
+
+        // Lifecycle events entered the trace.
+        let events = rec.snapshot();
+        assert!(events
+            .iter()
+            .any(|e| e.kind == "queue_declared" && e.entity_uid == "obs"));
+        b.ack("obs", d2.tag).unwrap();
+        b.close();
     }
 
     #[test]

@@ -126,10 +126,7 @@ mod tests {
         assert!(matches!(c.ack(999), Err(MqError::UnknownDeliveryTag(999))));
         let d = c.next(Duration::ZERO).unwrap().unwrap();
         c.ack(d.tag).unwrap();
-        assert!(matches!(
-            c.ack(d.tag),
-            Err(MqError::UnknownDeliveryTag(_))
-        ));
+        assert!(matches!(c.ack(d.tag), Err(MqError::UnknownDeliveryTag(_))));
     }
 
     #[test]

@@ -131,9 +131,7 @@ impl<R: Read> RecordReader<R> {
     fn read_vec(&mut self) -> MqResult<Vec<u8>> {
         let len = self.read_u32()? as usize;
         if len > 1 << 30 {
-            return Err(MqError::CorruptJournal(format!(
-                "implausible length {len}"
-            )));
+            return Err(MqError::CorruptJournal(format!("implausible length {len}")));
         }
         let mut v = vec![0u8; len];
         self.read_exact_or_eof(&mut v, false)?;

@@ -9,10 +9,21 @@
 use crate::error::{MqError, MqResult};
 use crate::message::{Delivery, Message};
 use crate::stats::QueueStats;
+use entk_observe::{Histogram, Recorder};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Broker-wide histogram of enqueue-to-delivery latency (ns). For requeued
+/// messages the clock restarts at the requeue, so the histogram measures
+/// per-delivery queue residency, not end-to-end message age.
+pub const HIST_PUBLISH_TO_DELIVER: &str = "mq.publish_to_deliver";
+
+/// Broker-wide histogram of delivery-to-acknowledge latency (ns): how long a
+/// consumer sat on each message before acking it.
+pub const HIST_DELIVER_TO_ACK: &str = "mq.deliver_to_ack";
 
 /// Configuration of a queue at declaration time.
 #[derive(Debug, Clone, Default)]
@@ -48,6 +59,26 @@ struct ReadyEntry {
     tag: u64,
     redelivered: bool,
     message: Message,
+    /// When this entry (re)entered the ready queue; drives the
+    /// publish-to-deliver latency histogram.
+    enqueued_at: Instant,
+}
+
+/// Latency histograms resolved once at queue creation so the hot paths never
+/// touch the metrics registry. All queues of a broker share the same two
+/// broker-wide histograms.
+struct QueueInstruments {
+    publish_to_deliver: Arc<Histogram>,
+    deliver_to_ack: Arc<Histogram>,
+}
+
+impl QueueInstruments {
+    fn new(recorder: &Recorder) -> Self {
+        QueueInstruments {
+            publish_to_deliver: recorder.metrics().histogram(HIST_PUBLISH_TO_DELIVER),
+            deliver_to_ack: recorder.metrics().histogram(HIST_DELIVER_TO_ACK),
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -62,7 +93,9 @@ struct Counters {
 /// Mutable queue state, always accessed under the handle's mutex.
 struct QueueState {
     ready: VecDeque<ReadyEntry>,
-    unacked: HashMap<u64, Message>,
+    /// Delivered-but-unacked messages, keyed by tag, with the delivery time
+    /// so `ack` can record deliver-to-ack latency.
+    unacked: HashMap<u64, (Message, Instant)>,
     counters: Counters,
     closed: bool,
 }
@@ -77,10 +110,21 @@ pub(crate) struct QueueHandle {
     /// Incrementally maintained resident-size estimate (ready + unacked),
     /// read lock-free by the stats path.
     resident_bytes: AtomicUsize,
+    /// Present when the owning broker carries a [`Recorder`].
+    instruments: Option<QueueInstruments>,
 }
 
 impl QueueHandle {
+    #[cfg(test)]
     pub(crate) fn new(name: String, config: QueueConfig) -> Self {
+        Self::with_recorder(name, config, None)
+    }
+
+    pub(crate) fn with_recorder(
+        name: String,
+        config: QueueConfig,
+        recorder: Option<&Recorder>,
+    ) -> Self {
         QueueHandle {
             name,
             config,
@@ -93,6 +137,7 @@ impl QueueHandle {
             ready_cond: Condvar::new(),
             next_tag: AtomicU64::new(1),
             resident_bytes: AtomicUsize::new(0),
+            instruments: recorder.map(QueueInstruments::new),
         }
     }
 
@@ -118,6 +163,7 @@ impl QueueHandle {
                 tag,
                 redelivered: false,
                 message,
+                enqueued_at: Instant::now(),
             });
             st.counters.enqueued += 1;
         }
@@ -132,13 +178,18 @@ impl QueueHandle {
         if st.closed {
             return Err(MqError::BrokerClosed);
         }
-        Ok(Self::pop_locked(&mut st))
+        Ok(self.pop_locked(&mut st))
     }
 
-    fn pop_locked(st: &mut QueueState) -> Option<Delivery> {
+    fn pop_locked(&self, st: &mut QueueState) -> Option<Delivery> {
         let entry = st.ready.pop_front()?;
         st.counters.delivered += 1;
-        st.unacked.insert(entry.tag, entry.message.clone());
+        let now = Instant::now();
+        if let Some(i) = &self.instruments {
+            i.publish_to_deliver
+                .record_ns(now.saturating_duration_since(entry.enqueued_at).as_nanos() as u64);
+        }
+        st.unacked.insert(entry.tag, (entry.message.clone(), now));
         Some(Delivery {
             tag: entry.tag,
             redelivered: entry.redelivered,
@@ -156,23 +207,19 @@ impl QueueHandle {
             if st.closed {
                 return Err(MqError::BrokerClosed);
             }
-            if let Some(d) = Self::pop_locked(&mut st) {
+            if let Some(d) = self.pop_locked(&mut st) {
                 return Ok(Some(d));
             }
             let now = Instant::now();
             if now >= deadline {
                 return Ok(None);
             }
-            if self
-                .ready_cond
-                .wait_until(&mut st, deadline)
-                .timed_out()
-            {
+            if self.ready_cond.wait_until(&mut st, deadline).timed_out() {
                 // Re-check once after timeout: a message may have raced in.
                 if st.closed {
                     return Err(MqError::BrokerClosed);
                 }
-                return Ok(Self::pop_locked(&mut st));
+                return Ok(self.pop_locked(&mut st));
             }
         }
     }
@@ -184,11 +231,18 @@ impl QueueHandle {
             if st.closed {
                 return Err(MqError::BrokerClosed);
             }
-            let msg = st
+            let (msg, delivered_at) = st
                 .unacked
                 .remove(&tag)
                 .ok_or(MqError::UnknownDeliveryTag(tag))?;
             st.counters.acked += 1;
+            if let Some(i) = &self.instruments {
+                i.deliver_to_ack.record_ns(
+                    Instant::now()
+                        .saturating_duration_since(delivered_at)
+                        .as_nanos() as u64,
+                );
+            }
             msg
         };
         self.resident_bytes
@@ -205,7 +259,7 @@ impl QueueHandle {
             if st.closed {
                 return Err(MqError::BrokerClosed);
             }
-            let msg = st
+            let (msg, _) = st
                 .unacked
                 .remove(&tag)
                 .ok_or(MqError::UnknownDeliveryTag(tag))?;
@@ -214,6 +268,7 @@ impl QueueHandle {
                 tag,
                 redelivered: true,
                 message: msg,
+                enqueued_at: Instant::now(),
             });
         }
         self.ready_cond.notify_one();
@@ -227,12 +282,13 @@ impl QueueHandle {
             let mut st = self.state.lock();
             let tags: Vec<u64> = st.unacked.keys().copied().collect();
             for tag in &tags {
-                let msg = st.unacked.remove(tag).expect("tag just listed");
+                let (msg, _) = st.unacked.remove(tag).expect("tag just listed");
                 st.counters.requeued += 1;
                 st.ready.push_front(ReadyEntry {
                     tag: *tag,
                     redelivered: true,
                     message: msg,
+                    enqueued_at: Instant::now(),
                 });
             }
             tags.len()
@@ -303,6 +359,7 @@ impl QueueHandle {
                 tag,
                 redelivered: false,
                 message,
+                enqueued_at: Instant::now(),
             });
             st.counters.enqueued += 1;
         }
@@ -351,10 +408,7 @@ mod tests {
         h.push(Message::new("a")).unwrap();
         let d = h.try_pop().unwrap().unwrap();
         h.ack(d.tag).unwrap();
-        assert!(matches!(
-            h.ack(d.tag),
-            Err(MqError::UnknownDeliveryTag(_))
-        ));
+        assert!(matches!(h.ack(d.tag), Err(MqError::UnknownDeliveryTag(_))));
     }
 
     #[test]
@@ -465,6 +519,43 @@ mod tests {
         // New pushes must not collide with restored tags.
         let t = h.push(Message::new("new")).unwrap();
         assert!(t > 100);
+    }
+
+    #[test]
+    fn latency_histograms_record_per_delivery() {
+        let rec = Recorder::new();
+        let h = QueueHandle::with_recorder("lat".into(), QueueConfig::default(), Some(&rec));
+        const N: u64 = 32;
+        for i in 0..N {
+            h.push(Message::new(vec![i as u8])).unwrap();
+        }
+        let mut tags = vec![];
+        for _ in 0..N {
+            tags.push(h.try_pop().unwrap().unwrap().tag);
+        }
+        for tag in tags {
+            h.ack(tag).unwrap();
+        }
+        let p2d = rec.metrics().histogram(HIST_PUBLISH_TO_DELIVER).snapshot();
+        let d2a = rec.metrics().histogram(HIST_DELIVER_TO_ACK).snapshot();
+        assert_eq!(p2d.count, N);
+        assert_eq!(d2a.count, N);
+        // Quantiles are monotone and non-zero: every sample took > 0 ns.
+        assert!(p2d.p50_ns > 0 && p2d.p50_ns <= p2d.p95_ns && p2d.p95_ns <= p2d.p99_ns);
+        assert!(d2a.p50_ns > 0 && d2a.p50_ns <= d2a.p95_ns && d2a.p95_ns <= d2a.p99_ns);
+        // max_ns is exact; quantiles are bucket midpoints, so only compare
+        // the exact stats with each other.
+        assert!(p2d.max_ns >= 1 && p2d.mean_ns >= 1);
+    }
+
+    #[test]
+    fn uninstrumented_queue_records_nothing() {
+        let rec = Recorder::new();
+        let h = q();
+        h.push(Message::new("a")).unwrap();
+        let d = h.try_pop().unwrap().unwrap();
+        h.ack(d.tag).unwrap();
+        assert_eq!(rec.metrics().histogram(HIST_PUBLISH_TO_DELIVER).count(), 0);
     }
 
     #[test]

@@ -41,8 +41,14 @@ pub struct BrokerStats {
     pub total_unacked: usize,
     /// Sum of enqueued counters.
     pub total_enqueued: u64,
+    /// Sum of delivered counters.
+    pub total_delivered: u64,
     /// Sum of acked counters.
     pub total_acked: u64,
+    /// Sum of nack/recovery requeue counters.
+    pub total_requeued: u64,
+    /// Sum of purge counters.
+    pub total_purged: u64,
     /// Approximate bytes resident across all queues.
     pub resident_bytes: usize,
 }
@@ -54,7 +60,10 @@ impl BrokerStats {
         self.total_depth += q.depth;
         self.total_unacked += q.unacked;
         self.total_enqueued += q.enqueued;
+        self.total_delivered += q.delivered;
         self.total_acked += q.acked;
+        self.total_requeued += q.requeued;
+        self.total_purged += q.purged;
         self.resident_bytes += q.resident_bytes;
     }
 }
@@ -66,12 +75,7 @@ pub fn process_rss_bytes() -> Option<usize> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
     for line in status.lines() {
         if let Some(rest) = line.strip_prefix("VmRSS:") {
-            let kb: usize = rest
-                .trim()
-                .trim_end_matches("kB")
-                .trim()
-                .parse()
-                .ok()?;
+            let kb: usize = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
             return Some(kb * 1024);
         }
     }
@@ -92,8 +96,8 @@ mod tests {
             enqueued: 10,
             delivered: 7,
             acked: 6,
-            requeued: 0,
-            purged: 0,
+            requeued: 2,
+            purged: 1,
             resident_bytes: 100,
             durable: false,
         };
@@ -103,6 +107,30 @@ mod tests {
         assert_eq!(b.total_depth, 6);
         assert_eq!(b.total_enqueued, 20);
         assert_eq!(b.resident_bytes, 200);
+    }
+
+    #[test]
+    fn absorb_keeps_delivered_requeued_purged() {
+        // Regression: absorb used to drop these three counters, so broker
+        // aggregates under-reported delivery traffic.
+        let mut b = BrokerStats::default();
+        let q = QueueStats {
+            name: "a".into(),
+            depth: 0,
+            unacked: 0,
+            enqueued: 10,
+            delivered: 7,
+            acked: 6,
+            requeued: 2,
+            purged: 1,
+            resident_bytes: 0,
+            durable: false,
+        };
+        b.absorb(&q);
+        b.absorb(&q);
+        assert_eq!(b.total_delivered, 14);
+        assert_eq!(b.total_requeued, 4);
+        assert_eq!(b.total_purged, 2);
     }
 
     #[test]

@@ -12,7 +12,9 @@ enum Op {
     Publish(u16),
     /// Pop the head; with `ack == true` acknowledge it, otherwise nack it
     /// back to the front.
-    Pop { ack: bool },
+    Pop {
+        ack: bool,
+    },
     Purge,
 }
 
@@ -154,7 +156,7 @@ proptest! {
         };
         let ack_n = ack_prefix.min(values.len());
         {
-            let b = Broker::with_config(BrokerConfig { journal_path: Some(path.clone()) }).unwrap();
+            let b = Broker::with_config(BrokerConfig { journal_path: Some(path.clone()), ..Default::default() }).unwrap();
             b.declare_queue("d", QueueConfig::durable()).unwrap();
             for v in &values {
                 b.publish("d", Message::persistent(v.to_le_bytes().to_vec())).unwrap();

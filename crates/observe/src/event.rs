@@ -1,0 +1,44 @@
+//! The compact profiling event, mirroring RADICAL `.prof` row semantics
+//! (`time, event, comp, thread, uid, state/msg`).
+
+/// One trace event.
+///
+/// `ts_ns` is relative to the owning recorder's epoch (its creation instant);
+/// the wall-clock anchor lives on the recorder so exporters can reconstruct
+/// absolute timestamps. `dur_ns` is `Some` for events emitted by a closing
+/// [`Span`](crate::Span) and `None` for instant events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Nanoseconds since the recorder epoch.
+    pub ts_ns: u64,
+    /// Hashed OS thread id of the recording thread.
+    pub thread: u64,
+    /// Emitting component (see [`crate::components`]).
+    pub component: &'static str,
+    /// Event kind, e.g. `"advance"`, `"publish"`, `"unit_start"`.
+    pub kind: &'static str,
+    /// Entity the event is about (task/unit/message uid); empty when the
+    /// event concerns the component itself.
+    pub entity_uid: String,
+    /// Free-form detail: a state name, a count, a virtual timestamp.
+    pub payload: String,
+    /// Span duration in nanoseconds (`Some` only for span-close events).
+    pub dur_ns: Option<u64>,
+}
+
+impl Event {
+    /// Seconds since the recorder epoch.
+    pub fn ts_secs(&self) -> f64 {
+        self.ts_ns as f64 / 1e9
+    }
+
+    /// Span duration in seconds, 0.0 for instant events.
+    pub fn dur_secs(&self) -> f64 {
+        self.dur_ns.unwrap_or(0) as f64 / 1e9
+    }
+
+    /// End timestamp: `ts + dur` for spans, `ts` for instants.
+    pub fn end_ns(&self) -> u64 {
+        self.ts_ns + self.dur_ns.unwrap_or(0)
+    }
+}

@@ -1,0 +1,191 @@
+//! Trace exporters: RADICAL-style JSONL `.prof`, Chrome `chrome://tracing`
+//! JSON, and a human-readable text report.
+
+use crate::recorder::Recorder;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Escape a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Write the trace as JSONL: one `.prof`-style object per line with fields
+/// `ts_ns` (relative), `time` (absolute Unix seconds), `comp`, `event`,
+/// `uid`, `msg`, `thread`, and `dur_ns` for spans.
+pub fn write_prof_jsonl<W: Write>(recorder: &Recorder, w: &mut W) -> io::Result<()> {
+    let epoch = recorder.epoch_unix_ns();
+    for e in recorder.snapshot() {
+        let time = (epoch + e.ts_ns) as f64 / 1e9;
+        write!(
+            w,
+            "{{\"ts_ns\":{},\"time\":{:.9},\"comp\":\"{}\",\"event\":\"{}\",\"uid\":\"{}\",\"msg\":\"{}\",\"thread\":{}",
+            e.ts_ns,
+            time,
+            json_escape(e.component),
+            json_escape(e.kind),
+            json_escape(&e.entity_uid),
+            json_escape(&e.payload),
+            e.thread,
+        )?;
+        if let Some(d) = e.dur_ns {
+            write!(w, ",\"dur_ns\":{d}")?;
+        }
+        writeln!(w, "}}")?;
+    }
+    Ok(())
+}
+
+/// Write the trace in Chrome tracing format (load via `chrome://tracing` or
+/// Perfetto). Spans become complete (`"X"`) events, instants become `"i"`.
+pub fn write_chrome_trace<W: Write>(recorder: &Recorder, w: &mut W) -> io::Result<()> {
+    writeln!(w, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+    let events = recorder.snapshot();
+    let n = events.len();
+    for (i, e) in events.iter().enumerate() {
+        let ts_us = e.ts_ns as f64 / 1e3;
+        write!(
+            w,
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"args\":{{\"uid\":\"{}\",\"payload\":\"{}\"}}",
+            json_escape(e.kind),
+            json_escape(e.component),
+            e.thread % 1_000_000,
+            ts_us,
+            json_escape(&e.entity_uid),
+            json_escape(&e.payload),
+        )?;
+        match e.dur_ns {
+            Some(d) => write!(w, ",\"ph\":\"X\",\"dur\":{:.3}}}", d as f64 / 1e3)?,
+            None => write!(w, ",\"ph\":\"i\",\"s\":\"t\"}}")?,
+        }
+        writeln!(w, "{}", if i + 1 < n { "," } else { "" })?;
+    }
+    writeln!(w, "]}}")?;
+    Ok(())
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3}s", ns as f64 / 1e9)
+    }
+}
+
+/// Render a human-readable report: per-component event counts, then every
+/// counter, gauge, and histogram (with p50/p95/p99).
+pub fn text_report(recorder: &Recorder) -> String {
+    use std::collections::BTreeMap;
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let events = recorder.snapshot();
+    let _ = writeln!(out, "== trace: {} events ==", events.len());
+    let mut by_kind: BTreeMap<(&str, &str), u64> = BTreeMap::new();
+    for e in &events {
+        *by_kind.entry((e.component, e.kind)).or_insert(0) += 1;
+    }
+    for ((comp, kind), count) in &by_kind {
+        let _ = writeln!(out, "  {comp:<10} {kind:<28} {count:>8}");
+    }
+
+    let m = recorder.metrics();
+    let counters = m.counters();
+    if !counters.is_empty() {
+        let _ = writeln!(out, "== counters ==");
+        for (name, v) in counters {
+            let _ = writeln!(out, "  {name:<40} {v:>12}");
+        }
+    }
+    let gauges = m.gauges();
+    if !gauges.is_empty() {
+        let _ = writeln!(out, "== gauges (last / high-water) ==");
+        for (name, v, hw) in gauges {
+            let _ = writeln!(out, "  {name:<40} {v:>8} / {hw}");
+        }
+    }
+    let hists = m.histograms();
+    if !hists.is_empty() {
+        let _ = writeln!(out, "== histograms ==");
+        for (name, s) in hists {
+            let _ = writeln!(
+                out,
+                "  {name:<40} n={:<8} mean={:<10} p50={:<10} p95={:<10} p99={:<10} max={}",
+                s.count,
+                fmt_ns(s.mean_ns),
+                fmt_ns(s.p50_ns),
+                fmt_ns(s.p95_ns),
+                fmt_ns(s.p99_ns),
+                fmt_ns(s.max_ns),
+            );
+        }
+    }
+    out
+}
+
+impl Recorder {
+    /// Export the trace as `.prof`-style JSONL to `path`.
+    pub fn export_prof(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+        write_prof_jsonl(self, &mut f)?;
+        f.flush()
+    }
+
+    /// Export the trace in Chrome tracing JSON to `path`.
+    pub fn export_chrome(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+        write_chrome_trace(self, &mut f)?;
+        f.flush()
+    }
+
+    /// The text report for this recorder.
+    pub fn report(&self) -> String {
+        text_report(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components;
+
+    #[test]
+    fn escaping_round_trips_through_parser() {
+        let rec = Recorder::new();
+        rec.record(components::MQ, "publish", "u\"id\\", "line1\nline2\t\u{1}");
+        let mut buf = Vec::new();
+        write_prof_jsonl(&rec, &mut buf).unwrap();
+        let line = String::from_utf8(buf).unwrap();
+        let v = crate::json::parse(line.trim()).unwrap();
+        assert_eq!(v.get("uid").unwrap().as_str().unwrap(), "u\"id\\");
+        assert_eq!(
+            v.get("msg").unwrap().as_str().unwrap(),
+            "line1\nline2\t\u{1}"
+        );
+    }
+
+    #[test]
+    fn chrome_trace_of_empty_recorder_is_valid_json() {
+        let rec = Recorder::new();
+        let mut buf = Vec::new();
+        write_chrome_trace(&rec, &mut buf).unwrap();
+        let doc = crate::json::parse(&String::from_utf8(buf).unwrap()).unwrap();
+        assert_eq!(doc.get("traceEvents").unwrap().as_array().unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! # entk-observe — unified cross-layer tracing for EnTK
+//!
+//! RADICAL's production stack answers "where did the time go?" with
+//! RADICAL-Analytics: every component appends timestamped rows to `.prof`
+//! files, and the paper's Fig. 7 overhead decomposition (EnTK Setup /
+//! Management / Tear-Down, RTS Overhead, RTS Tear-Down, Data Staging, Task
+//! Execution) is derived offline from those traces. This crate is the Rust
+//! port's equivalent: a dependency-free event/span/metrics subsystem shared
+//! by every layer (entk-core, entk-mq, rp-rts, hpc-sim).
+//!
+//! Design points:
+//!
+//! * **Instance-based, not global.** A [`Recorder`] is a cheap cloneable
+//!   handle threaded through component configs. Tests run many AppManagers
+//!   concurrently in one process; a global collector would interleave their
+//!   traces.
+//! * **Sharded buffers.** [`Recorder::record`] appends to one of N
+//!   mutex-sharded buffers picked by thread id, so concurrent components
+//!   rarely contend; shards spill into a global sink in batches.
+//! * **Events mirror `.prof` semantics.** An [`Event`] is
+//!   `{ts, component, entity_uid, event_kind, payload}` plus a thread tag and
+//!   an optional duration for closed spans.
+//! * **Three exporters.** JSONL (`.prof`-style, one object per line),
+//!   Chrome `chrome://tracing` JSON, and a human-readable text report. A
+//!   small built-in JSON parser ([`json`]) lets tests validate exports
+//!   without external crates.
+
+pub mod event;
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod recorder;
+
+pub use event::Event;
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Metrics};
+pub use recorder::{Recorder, Span};
+
+/// Component names used across the workspace, centralized so traces from all
+/// layers agree on spelling.
+pub mod components {
+    /// AppManager (master) in entk-core.
+    pub const AMGR: &str = "amgr";
+    /// Synchronizer loop in entk-core.
+    pub const SYNC: &str = "sync";
+    /// WFProcessor enqueue side.
+    pub const ENQ: &str = "enq";
+    /// WFProcessor dequeue side.
+    pub const DEQ: &str = "deq";
+    /// Execution manager loop.
+    pub const EMGR: &str = "emgr";
+    /// Heartbeat / failure detector.
+    pub const HEARTBEAT: &str = "heartbeat";
+    /// Message broker (entk-mq).
+    pub const MQ: &str = "mq";
+    /// Runtime system (rp-rts).
+    pub const RTS: &str = "rts";
+    /// Discrete-event simulator (hpc-sim).
+    pub const SIM: &str = "sim";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn end_to_end_record_export_parse() {
+        let rec = Recorder::new();
+        rec.record(components::AMGR, "setup_start", "amgr.0000", "");
+        {
+            let _s = rec
+                .span(components::SYNC, "transition")
+                .with_uid("task.0001");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        rec.metrics().counter("transitions").incr();
+        rec.metrics().gauge("mq.depth.pending").set(3);
+        rec.metrics()
+            .histogram("mq.publish_to_deliver")
+            .record(Duration::from_micros(250));
+
+        let events = rec.snapshot();
+        assert_eq!(events.len(), 2);
+        assert!(
+            events[0].ts_ns <= events[1].ts_ns,
+            "snapshot is time-sorted"
+        );
+        let span_ev = events.iter().find(|e| e.kind == "transition").unwrap();
+        assert!(span_ev.dur_ns.unwrap() >= 1_000_000);
+
+        let mut prof = Vec::new();
+        export::write_prof_jsonl(&rec, &mut prof).unwrap();
+        let prof = String::from_utf8(prof).unwrap();
+        assert_eq!(prof.lines().count(), 2);
+        for line in prof.lines() {
+            json::parse(line).expect("every JSONL line parses");
+        }
+
+        let mut chrome = Vec::new();
+        export::write_chrome_trace(&rec, &mut chrome).unwrap();
+        let chrome = String::from_utf8(chrome).unwrap();
+        let doc = json::parse(&chrome).expect("chrome trace parses");
+        let evs = doc.get("traceEvents").and_then(|v| v.as_array()).unwrap();
+        assert!(evs.len() >= 2);
+
+        let report = export::text_report(&rec);
+        assert!(report.contains("transitions"));
+        assert!(report.contains("mq.publish_to_deliver"));
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let rec = Recorder::new();
+        let threads = 8;
+        let per_thread = 2000;
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let rec = rec.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per_thread {
+                    rec.record(components::MQ, "publish", format!("m.{t}.{i}"), "");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(rec.snapshot().len(), threads * per_thread);
+    }
+
+    #[test]
+    fn disabled_recorder_drops_events_but_keeps_metrics() {
+        let rec = Recorder::disabled();
+        rec.record(components::AMGR, "x", "u", "");
+        let _ = rec.span(components::AMGR, "y");
+        rec.metrics().counter("c").incr();
+        assert!(rec.snapshot().is_empty());
+        assert_eq!(rec.metrics().counter("c").get(), 1);
+    }
+
+    #[test]
+    fn recorder_clones_share_state() {
+        let rec = Recorder::new();
+        let rec2 = rec.clone();
+        rec2.record(components::SIM, "tick", "", "");
+        assert_eq!(rec.snapshot().len(), 1);
+        assert!(Arc::ptr_eq(&rec.metrics_arc(), &rec2.metrics_arc()));
+    }
+}

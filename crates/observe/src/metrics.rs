@@ -1,0 +1,306 @@
+//! Metrics registry: named counters, gauges, and log-bucketed latency
+//! histograms with approximate p50/p95/p99.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+/// Monotone event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add 1.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins instantaneous value (e.g. a sampled queue depth).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+    /// High-water mark of `value` over the gauge's lifetime.
+    max: AtomicI64,
+}
+
+impl Gauge {
+    /// Set the current value, updating the high-water mark.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Add a delta to the current value.
+    pub fn add(&self, delta: i64) {
+        let v = self.value.fetch_add(delta, Ordering::Relaxed) + delta;
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Highest value ever set.
+    pub fn high_water(&self) -> i64 {
+        self.max.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of power-of-two latency buckets: bucket `i` covers
+/// `[2^(i-1), 2^i)` nanoseconds, bucket 0 covers `{0}`; 63 spans ~292 years.
+const BUCKETS: usize = 64;
+
+/// Log-bucketed latency histogram.
+///
+/// Recording is one `fetch_add` per bucket — cheap enough for hot paths like
+/// the broker's ack handler. Quantiles are approximate: the reported value is
+/// the midpoint of the bucket containing the requested rank, so the relative
+/// error is bounded by the bucket width (a factor of 2).
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+fn bucket_of(ns: u64) -> usize {
+    ((64 - ns.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+fn bucket_midpoint_ns(index: usize) -> u64 {
+    if index == 0 {
+        return 0;
+    }
+    let lo = 1u64 << (index - 1);
+    let hi = if index >= 64 { u64::MAX } else { 1u64 << index };
+    lo + (hi - lo) / 2
+}
+
+impl Histogram {
+    /// Record one latency sample.
+    pub fn record(&self, d: Duration) {
+        self.record_ns(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Record one latency sample in nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+        self.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns
+            .load(Ordering::Relaxed)
+            .checked_div(self.count())
+            .unwrap_or(0)
+    }
+
+    /// Approximate quantile in nanoseconds; `q` in `[0, 1]`.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_midpoint_ns(i);
+            }
+        }
+        self.max_ns.load(Ordering::Relaxed)
+    }
+
+    /// Consistent snapshot-ish view for reporting (individual loads are
+    /// relaxed; adequate for post-run reports).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            mean_ns: self.mean_ns(),
+            p50_ns: self.quantile_ns(0.50),
+            p95_ns: self.quantile_ns(0.95),
+            p99_ns: self.quantile_ns(0.99),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Sample count.
+    pub count: u64,
+    /// Mean latency, nanoseconds.
+    pub mean_ns: u64,
+    /// Approximate median.
+    pub p50_ns: u64,
+    /// Approximate 95th percentile.
+    pub p95_ns: u64,
+    /// Approximate 99th percentile.
+    pub p99_ns: u64,
+    /// Largest recorded sample.
+    pub max_ns: u64,
+}
+
+/// Registry of named metrics. Get-or-create on first use; handles are
+/// `Arc`s so hot paths can cache them and skip the registry lock.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn get_or_create<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(v) = map.read().unwrap_or_else(|e| e.into_inner()).get(name) {
+        return Arc::clone(v);
+    }
+    let mut w = map.write().unwrap_or_else(|e| e.into_inner());
+    Arc::clone(w.entry(name.to_string()).or_default())
+}
+
+impl Metrics {
+    /// Named counter, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_create(&self.counters, name)
+    }
+
+    /// Named gauge, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_create(&self.gauges, name)
+    }
+
+    /// Named histogram, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_create(&self.histograms, name)
+    }
+
+    /// All counters, name-sorted.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.counters
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// All gauges, name-sorted, as `(name, value, high_water)`.
+    pub fn gauges(&self) -> Vec<(String, i64, i64)> {
+        self.gauges
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get(), v.high_water()))
+            .collect()
+    }
+
+    /// All histograms, name-sorted, as summary snapshots.
+    pub fn histograms(&self) -> Vec<(String, HistogramSnapshot)> {
+        self.histograms
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let m = Metrics::default();
+        m.counter("c").incr();
+        m.counter("c").add(4);
+        assert_eq!(m.counter("c").get(), 5);
+
+        m.gauge("g").set(7);
+        m.gauge("g").set(3);
+        m.gauge("g").add(-1);
+        assert_eq!(m.gauge("g").get(), 2);
+        assert_eq!(m.gauge("g").high_water(), 7);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = Histogram::default();
+        // 100 samples at ~1µs, 5 at ~1ms: p50 near 1µs, p99 near 1ms.
+        for _ in 0..100 {
+            h.record_ns(1_000);
+        }
+        for _ in 0..5 {
+            h.record_ns(1_000_000);
+        }
+        assert_eq!(h.count(), 105);
+        let p50 = h.quantile_ns(0.50);
+        assert!((512..=2048).contains(&p50), "p50={p50}");
+        let p99 = h.quantile_ns(0.99);
+        assert!((524_288..=2_097_152).contains(&p99), "p99={p99}");
+        assert!(h.quantile_ns(1.0) >= p99);
+        assert_eq!(h.snapshot().max_ns, 1_000_000);
+    }
+
+    #[test]
+    fn histogram_empty_is_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile_ns(0.99), 0);
+        assert_eq!(h.mean_ns(), 0);
+    }
+
+    #[test]
+    fn zero_and_huge_samples_hit_valid_buckets() {
+        let h = Histogram::default();
+        h.record_ns(0);
+        h.record_ns(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile_ns(0.01), 0);
+        assert!(h.quantile_ns(1.0) > 1u64 << 62);
+    }
+
+    #[test]
+    fn registry_handles_are_shared() {
+        let m = Metrics::default();
+        let a = m.counter("x");
+        let b = m.counter("x");
+        a.incr();
+        assert_eq!(b.get(), 1);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

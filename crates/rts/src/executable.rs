@@ -95,9 +95,7 @@ impl Executable {
     /// Duration model for the simulated backend.
     pub fn duration_model(&self) -> DurationModel {
         match self {
-            Executable::Sleep { secs } => {
-                DurationModel::Fixed(SimDuration::from_secs_f64(*secs))
-            }
+            Executable::Sleep { secs } => DurationModel::Fixed(SimDuration::from_secs_f64(*secs)),
             Executable::GromacsMdrun { nominal_secs } => DurationModel::Normal {
                 mean: SimDuration::from_secs_f64(*nominal_secs),
                 sd: SimDuration::from_secs_f64(nominal_secs * 0.02),
@@ -135,9 +133,7 @@ impl fmt::Debug for Executable {
                 .debug_struct("Compute")
                 .field("nominal_secs", nominal_secs)
                 .finish_non_exhaustive(),
-            Executable::Sleep { secs } => {
-                f.debug_struct("Sleep").field("secs", secs).finish()
-            }
+            Executable::Sleep { secs } => f.debug_struct("Sleep").field("secs", secs).finish(),
             Executable::GromacsMdrun { nominal_secs } => f
                 .debug_struct("GromacsMdrun")
                 .field("nominal_secs", nominal_secs)
@@ -188,7 +184,10 @@ mod tests {
             nominal_secs: 180.0,
             io_demand_bps: 2e9,
         };
-        assert_eq!(e.failure_model(), FailureModel::IoOverload { demand_bps: 2e9 });
+        assert_eq!(
+            e.failure_model(),
+            FailureModel::IoOverload { demand_bps: 2e9 }
+        );
         assert!(matches!(e.duration_model(), DurationModel::Normal { .. }));
     }
 

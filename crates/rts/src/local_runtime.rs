@@ -10,6 +10,7 @@ use crate::api::{RtsDown, UnitCallback, UnitDescription, UnitId, UnitOutcome, Un
 use crate::executable::Executable;
 use crate::profile::UnitRecord;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use entk_observe::{components, Recorder};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -24,6 +25,8 @@ pub struct LocalRuntimeConfig {
     /// Real seconds slept per nominal second for time-based executables.
     /// 0.0 turns sleeps into no-ops.
     pub time_scale: f64,
+    /// If set, unit submit/start/end events enter the trace.
+    pub recorder: Option<Recorder>,
 }
 
 impl Default for LocalRuntimeConfig {
@@ -31,6 +34,7 @@ impl Default for LocalRuntimeConfig {
         LocalRuntimeConfig {
             workers: 4,
             time_scale: 0.0,
+            recorder: None,
         }
     }
 }
@@ -48,6 +52,7 @@ pub struct LocalRuntime {
     alive: Arc<AtomicBool>,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
     epoch: Instant,
+    recorder: Recorder,
 }
 
 impl LocalRuntime {
@@ -61,6 +66,7 @@ impl LocalRuntime {
         }));
         let alive = Arc::new(AtomicBool::new(true));
         let epoch = Instant::now();
+        let recorder = config.recorder.unwrap_or_else(Recorder::disabled);
         let mut handles = Vec::new();
         for w in 0..config.workers.max(1) {
             let work_rx = work_rx.clone();
@@ -68,11 +74,12 @@ impl LocalRuntime {
             let state = Arc::clone(&state);
             let alive = Arc::clone(&alive);
             let time_scale = config.time_scale;
+            let recorder = recorder.clone();
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("local-exec-{w}"))
                     .spawn(move || {
-                        worker_loop(work_rx, cb_tx, state, alive, time_scale, epoch)
+                        worker_loop(work_rx, cb_tx, state, alive, time_scale, epoch, recorder)
                     })
                     .expect("spawn local worker"),
             );
@@ -84,6 +91,7 @@ impl LocalRuntime {
             alive,
             workers: Mutex::new(handles),
             epoch,
+            recorder,
         }
     }
 
@@ -109,6 +117,12 @@ impl LocalRuntime {
         }
         let now = self.now_secs();
         let mut ids = Vec::with_capacity(descs.len());
+        // The span's histogram (span.rts.submit_units) is the agent spawn
+        // throughput measure: batch size over batch duration.
+        let span = self
+            .recorder
+            .span(components::RTS, "submit_units")
+            .with_payload(descs.len().to_string());
         let tx_guard = self.work_tx.lock();
         let tx = tx_guard.as_ref().expect("alive runtime has sender");
         let mut st = self.state.lock();
@@ -117,9 +131,18 @@ impl LocalRuntime {
             st.next_unit += 1;
             st.records
                 .insert(id, UnitRecord::submitted(id, desc.tag.clone(), now));
+            self.recorder
+                .record(components::RTS, "unit_submitted", desc.tag.clone(), "");
+            self.recorder
+                .metrics()
+                .counter("rts.units_submitted")
+                .incr();
             ids.push(id);
             tx.send((id, desc)).expect("workers alive");
         }
+        drop(st);
+        drop(tx_guard);
+        drop(span);
         Ok(ids)
     }
 
@@ -152,6 +175,7 @@ impl Drop for LocalRuntime {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     work_rx: Receiver<(UnitId, UnitDescription)>,
     cb_tx: Sender<UnitCallback>,
@@ -159,6 +183,7 @@ fn worker_loop(
     alive: Arc<AtomicBool>,
     time_scale: f64,
     epoch: Instant,
+    recorder: Recorder,
 ) {
     while let Ok((id, desc)) = work_rx.recv() {
         if !alive.load(Ordering::Acquire) {
@@ -171,6 +196,8 @@ fn worker_loop(
                 r.started_secs = Some(started);
             }
         }
+        recorder.record(components::RTS, "unit_started", desc.tag.clone(), "");
+        recorder.metrics().counter("rts.units_started").incr();
         let _ = cb_tx.send(UnitCallback {
             unit: id,
             tag: desc.tag.clone(),
@@ -211,6 +238,13 @@ fn worker_loop(
                 r.outcome = Some(outcome.clone());
             }
         }
+        recorder.record(
+            components::RTS,
+            "unit_ended",
+            desc.tag.clone(),
+            format!("{term_state:?}"),
+        );
+        recorder.metrics().counter("rts.units_ended").incr();
         let _ = cb_tx.send(UnitCallback {
             unit: id,
             tag: desc.tag,
@@ -279,6 +313,7 @@ mod tests {
         let rt = LocalRuntime::start(LocalRuntimeConfig {
             workers: 1,
             time_scale: 0.001, // 100 s nominal → 0.1 s real
+            recorder: None,
         });
         let t0 = Instant::now();
         rt.submit_units(vec![UnitDescription::new(
@@ -304,11 +339,38 @@ mod tests {
     }
 
     #[test]
+    fn recorder_sees_unit_lifecycle_in_order() {
+        let rec = Recorder::new();
+        let rt = LocalRuntime::start(LocalRuntimeConfig {
+            workers: 1,
+            time_scale: 0.0,
+            recorder: Some(rec.clone()),
+        });
+        rt.submit_units(vec![UnitDescription::new("traced", Executable::Noop)])
+            .unwrap();
+        drain_terminal(&rt, 1);
+        let events = rec.snapshot();
+        let ts_of = |kind: &str| {
+            events
+                .iter()
+                .find(|e| e.kind == kind && e.entity_uid == "traced")
+                .unwrap_or_else(|| panic!("missing {kind}"))
+                .ts_ns
+        };
+        assert!(ts_of("unit_submitted") <= ts_of("unit_started"));
+        assert!(ts_of("unit_started") <= ts_of("unit_ended"));
+        assert_eq!(rec.metrics().counter("rts.units_ended").get(), 1);
+        // The submit span fed the spawn-throughput histogram.
+        assert_eq!(rec.metrics().histogram("span.rts.submit_units").count(), 1);
+    }
+
+    #[test]
     fn kill_discards_pending_work() {
         let counter = Arc::new(AtomicUsize::new(0));
         let rt = LocalRuntime::start(LocalRuntimeConfig {
             workers: 1,
             time_scale: 0.001,
+            recorder: None,
         });
         let mut descs = vec![UnitDescription::new(
             "blocker",
@@ -337,6 +399,7 @@ mod tests {
         let rt = LocalRuntime::start(LocalRuntimeConfig {
             workers: 2,
             time_scale: 0.001,
+            recorder: None,
         });
         rt.submit_units(vec![
             UnitDescription::new("a", Executable::Sleep { secs: 100.0 }),

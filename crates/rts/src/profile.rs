@@ -119,7 +119,11 @@ impl RtsProfile {
                 .filter(|r| r.started_secs.is_some())
                 .map(|r| r.stage_in_duration_secs)
                 .fold(f64::INFINITY, f64::min);
-            let stage = if first_stage.is_finite() { first_stage } else { 0.0 };
+            let stage = if first_stage.is_finite() {
+                first_stage
+            } else {
+                0.0
+            };
             p.submit_to_first_start_secs = (fs - sub - stage).max(0.0);
         }
         p
@@ -177,7 +181,13 @@ mod tests {
     fn counts_by_outcome() {
         let recs = vec![
             record(1, 0.0, Some(1.0), Some(2.0), Some(UnitOutcome::Done)),
-            record(2, 0.0, Some(1.0), Some(1.5), Some(UnitOutcome::Failed("x".into()))),
+            record(
+                2,
+                0.0,
+                Some(1.0),
+                Some(1.5),
+                Some(UnitOutcome::Failed("x".into())),
+            ),
             record(3, 0.0, None, Some(1.0), Some(UnitOutcome::Canceled)),
             record(4, 0.0, Some(1.0), None, None),
         ];

@@ -5,12 +5,15 @@
 //! and, depending on capabilities, multiple types of CIs." Swapping the
 //! backend — simulated CI vs local thread pool — requires no change above.
 
-use crate::api::{PilotDescription, PilotId, PilotState, RtsDown, UnitCallback, UnitDescription, UnitId};
+use crate::api::{
+    PilotDescription, PilotId, PilotState, RtsDown, UnitCallback, UnitDescription, UnitId,
+};
 use crate::db::DbConfig;
 use crate::local_runtime::{LocalRuntime, LocalRuntimeConfig};
 use crate::profile::{RtsProfile, UnitRecord};
 use crate::sim_runtime::{SimRuntime, SimRuntimeConfig};
 use crossbeam::channel::Receiver;
+use entk_observe::Recorder;
 use hpc_sim::{Platform, PlatformId};
 use std::time::Duration;
 
@@ -45,6 +48,9 @@ pub struct RtsConfig {
     pub db: DbConfig,
     /// Simulation RNG seed.
     pub seed: u64,
+    /// If set, unit/pilot state transitions enter the trace and submission
+    /// throughput is measured (see entk-observe).
+    pub recorder: Option<Recorder>,
 }
 
 impl RtsConfig {
@@ -55,6 +61,7 @@ impl RtsConfig {
             stagers: 1,
             db: DbConfig::default(),
             seed: 0,
+            recorder: None,
         }
     }
 
@@ -65,16 +72,24 @@ impl RtsConfig {
             backend: BackendConfig::Local(LocalConfig {
                 workers,
                 time_scale: 0.0,
+                recorder: None,
             }),
             stagers: 1,
             db: DbConfig::default(),
             seed: 0,
+            recorder: None,
         }
     }
 
     /// Builder: set the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Builder: attach a trace recorder.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = Some(recorder);
         self
     }
 
@@ -98,12 +113,14 @@ pub struct RuntimeSystem {
 impl RuntimeSystem {
     /// Start a runtime system.
     pub fn start(config: RtsConfig) -> Self {
+        let recorder = config.recorder;
         let backend = match config.backend {
             BackendConfig::Sim { platform } => Backend::Sim(SimRuntime::start(SimRuntimeConfig {
                 platform: Platform::catalog(platform),
                 seed: config.seed,
                 stagers: config.stagers,
                 db: config.db,
+                recorder,
             })),
             BackendConfig::SimCustom { platform } => {
                 Backend::Sim(SimRuntime::start(SimRuntimeConfig {
@@ -111,9 +128,17 @@ impl RuntimeSystem {
                     seed: config.seed,
                     stagers: config.stagers,
                     db: config.db,
+                    recorder,
                 }))
             }
-            BackendConfig::Local(local) => Backend::Local(LocalRuntime::start(local)),
+            BackendConfig::Local(mut local) => {
+                // The RtsConfig-level recorder wins over one set directly on
+                // the backend config.
+                if recorder.is_some() {
+                    local.recorder = recorder;
+                }
+                Backend::Local(LocalRuntime::start(local))
+            }
         };
         RuntimeSystem { backend }
     }

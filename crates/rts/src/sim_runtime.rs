@@ -20,9 +20,10 @@ use crate::api::{
 use crate::db::{DbConfig, DocDb};
 use crate::profile::UnitRecord;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use entk_observe::{components, Recorder};
 use hpc_sim::{
-    JobDescription, JobId, Platform, SimConfig, SimEvent, SimHandle, Simulation, StageId,
-    SimCommander, StageUnit, TaskDesc, TaskId, TaskOutcome,
+    JobDescription, JobId, Platform, SimCommander, SimConfig, SimEvent, SimHandle, Simulation,
+    StageId, StageUnit, TaskDesc, TaskId, TaskOutcome,
 };
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
@@ -41,6 +42,8 @@ pub struct SimRuntimeConfig {
     pub stagers: usize,
     /// DB configuration.
     pub db: DbConfig,
+    /// If set, pilot/unit state transitions enter the trace.
+    pub recorder: Option<Recorder>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +74,7 @@ struct State {
     stage_in_flight: usize,
     next_pilot: u64,
     next_unit: u64,
+    recorder: Recorder,
 }
 
 /// The simulated-backend RTS core.
@@ -84,13 +88,19 @@ pub struct SimRuntime {
     alive: Arc<AtomicBool>,
     stagers: usize,
     dispatcher: Mutex<Option<std::thread::JoinHandle<()>>>,
+    recorder: Recorder,
 }
 
 impl SimRuntime {
     /// Start the runtime: boots the simulation engine and the Agent
     /// dispatcher thread.
     pub fn start(config: SimRuntimeConfig) -> Self {
-        let sim = Simulation::start(SimConfig::new(config.platform).with_seed(config.seed));
+        let recorder = config.recorder.unwrap_or_else(Recorder::disabled);
+        let mut sim_config = SimConfig::new(config.platform).with_seed(config.seed);
+        if recorder.is_enabled() {
+            sim_config = sim_config.with_recorder(recorder.clone());
+        }
+        let sim = Simulation::start(sim_config);
         let commander = sim.commander();
         let events = sim.events().clone();
         let (cb_tx, cb_rx) = unbounded();
@@ -104,6 +114,7 @@ impl SimRuntime {
             stage_in_flight: 0,
             next_pilot: 1,
             next_unit: 1,
+            recorder: recorder.clone(),
         }));
         let db = Arc::new(DocDb::new(config.db));
         let alive = Arc::new(AtomicBool::new(true));
@@ -134,6 +145,7 @@ impl SimRuntime {
             alive,
             stagers: config.stagers.max(1),
             dispatcher: Mutex::new(Some(dispatcher)),
+            recorder,
         }
     }
 
@@ -176,6 +188,13 @@ impl SimRuntime {
             },
         );
         st.job_index.insert(job, id);
+        drop(st);
+        self.recorder.record(
+            components::RTS,
+            "pilot_submitted",
+            format!("pilot.{}", id.0),
+            format!("nodes={}", desc.nodes),
+        );
         id
     }
 
@@ -219,6 +238,12 @@ impl SimRuntime {
         let now = self.commander.now().as_secs_f64();
         let mut launches: Vec<(UnitId, JobId, TaskDesc)> = Vec::new();
         let mut ids = Vec::with_capacity(descs.len());
+        // The span's histogram (span.rts.submit_units) is the agent spawn
+        // throughput measure: batch size over batch duration.
+        let span = self
+            .recorder
+            .span(components::RTS, "submit_units")
+            .with_payload(descs.len().to_string());
         {
             let mut st = self.state.lock();
             let job = st.pilots.get(&pilot).map(|p| p.job);
@@ -227,6 +252,12 @@ impl SimRuntime {
                 st.next_unit += 1;
                 ids.push(id);
                 self.db.insert_unit(pilot.0, id, desc.tag.clone());
+                self.recorder
+                    .record(components::RTS, "unit_submitted", desc.tag.clone(), "");
+                self.recorder
+                    .metrics()
+                    .counter("rts.units_submitted")
+                    .incr();
                 let record = UnitRecord::submitted(id, desc.tag.clone(), now);
                 let stage_in = desc.staging.stage_in.clone();
                 let entry = UnitEntry {
@@ -239,14 +270,7 @@ impl SimRuntime {
                 match (job, stage_in) {
                     (None, _) => {
                         // Unknown pilot: the unit is immediately lost.
-                        fail_unit_locked(
-                            &mut st,
-                            &self.db,
-                            id,
-                            UnitOutcome::Canceled,
-                            now,
-                            None,
-                        );
+                        fail_unit_locked(&mut st, &self.db, id, UnitOutcome::Canceled, now, None);
                     }
                     (Some(_), Some(su)) if !su.is_empty() => {
                         set_state_locked(&mut st, &self.db, id, UnitState::StagingInput, None);
@@ -268,6 +292,8 @@ impl SimRuntime {
             let tid = self.commander.launch_task(job, task);
             st.task_index.insert(tid, id);
         }
+        drop(st);
+        drop(span);
         Ok(ids)
     }
 
@@ -359,12 +385,24 @@ fn set_state_locked(
     state: UnitState,
     cb: Option<(&Sender<UnitCallback>, f64)>,
 ) {
+    let rec = st.recorder.clone();
     if let Some(u) = st.units.get_mut(&unit) {
         if u.state.is_terminal() {
             return;
         }
         u.state = state;
         db.update_state(unit, state);
+        if state == UnitState::Executing {
+            rec.record(components::RTS, "unit_started", u.desc.tag.clone(), "");
+            rec.metrics().counter("rts.units_started").incr();
+        } else {
+            rec.record(
+                components::RTS,
+                "unit_state",
+                u.desc.tag.clone(),
+                format!("{state:?}"),
+            );
+        }
         if let Some((tx, ts)) = cb {
             let _ = tx.send(UnitCallback {
                 unit,
@@ -385,6 +423,7 @@ fn fail_unit_locked(
     at_secs: f64,
     cb: Option<&Sender<UnitCallback>>,
 ) {
+    let rec = st.recorder.clone();
     let Some(u) = st.units.get_mut(&unit) else {
         return;
     };
@@ -400,6 +439,13 @@ fn fail_unit_locked(
     u.record.ended_secs = Some(at_secs);
     u.record.outcome = Some(outcome.clone());
     db.update_state(unit, state);
+    rec.record(
+        components::RTS,
+        "unit_ended",
+        u.desc.tag.clone(),
+        format!("{state:?}"),
+    );
+    rec.metrics().counter("rts.units_ended").incr();
     if let Some(tx) = cb {
         let _ = tx.send(UnitCallback {
             unit,
@@ -451,6 +497,12 @@ fn dispatcher_loop(
                             p.state = PilotState::Active;
                         }
                     }
+                    st.recorder.record(
+                        components::RTS,
+                        "pilot_state",
+                        format!("pilot.{}", pid.0),
+                        "Active",
+                    );
                     cond.notify_all();
                 }
             }
@@ -459,6 +511,12 @@ fn dispatcher_loop(
                     if let Some(p) = st.pilots.get_mut(&pid) {
                         p.state = PilotState::Ready;
                     }
+                    st.recorder.record(
+                        components::RTS,
+                        "pilot_state",
+                        format!("pilot.{}", pid.0),
+                        "Ready",
+                    );
                     cond.notify_all();
                 }
             }
@@ -467,6 +525,12 @@ fn dispatcher_loop(
                     if let Some(p) = st.pilots.get_mut(&pid) {
                         p.state = PilotState::Done;
                     }
+                    st.recorder.record(
+                        components::RTS,
+                        "pilot_state",
+                        format!("pilot.{}", pid.0),
+                        "Done",
+                    );
                     // Any unit of this pilot not yet terminal is lost. The
                     // sim also emits per-task Canceled events; this sweep
                     // catches units still in staging.
@@ -644,6 +708,7 @@ mod tests {
             seed: 3,
             stagers: 1,
             db: DbConfig::default(),
+            recorder: None,
         })
     }
 
@@ -679,11 +744,15 @@ mod tests {
     fn unit_executes_and_completes() {
         let rt = runtime();
         let p = ready_pilot(&rt);
-        let units = rt.submit_units(
-            p,
-            vec![UnitDescription::new("u1", Executable::Sleep { secs: 100.0 })],
-        )
-        .unwrap();
+        let units = rt
+            .submit_units(
+                p,
+                vec![UnitDescription::new(
+                    "u1",
+                    Executable::Sleep { secs: 100.0 },
+                )],
+            )
+            .unwrap();
         assert_eq!(units.len(), 1);
         let out = drain_until_terminal(&rt, 1);
         assert_eq!(out["u1"], UnitOutcome::Done);
@@ -700,9 +769,11 @@ mod tests {
         let p = ready_pilot(&rt);
         rt.submit_units(
             p,
-            vec![UnitDescription::new("u1", Executable::Sleep { secs: 10.0 }).with_staging(
-                crate::api::StagingSpec::input(StageUnit::single_file(1_000_000_000)),
-            )],
+            vec![
+                UnitDescription::new("u1", Executable::Sleep { secs: 10.0 }).with_staging(
+                    crate::api::StagingSpec::input(StageUnit::single_file(1_000_000_000)),
+                ),
+            ],
         )
         .unwrap();
         let out = drain_until_terminal(&rt, 1);
@@ -720,10 +791,9 @@ mod tests {
         // stager must take ≥ 0.4 s of staging before the last can start.
         let descs: Vec<UnitDescription> = (0..4)
             .map(|i| {
-                UnitDescription::new(format!("u{i}"), Executable::Sleep { secs: 1.0 })
-                    .with_staging(crate::api::StagingSpec::input(StageUnit::single_file(
-                        1_000_000_000,
-                    )))
+                UnitDescription::new(format!("u{i}"), Executable::Sleep { secs: 1.0 }).with_staging(
+                    crate::api::StagingSpec::input(StageUnit::single_file(1_000_000_000)),
+                )
             })
             .collect();
         rt.submit_units(p, descs).unwrap();
@@ -819,11 +889,12 @@ mod tests {
     fn db_records_unit_history() {
         let rt = runtime();
         let p = ready_pilot(&rt);
-        let ids = rt.submit_units(
-            p,
-            vec![UnitDescription::new("u1", Executable::Sleep { secs: 5.0 })],
-        )
-        .unwrap();
+        let ids = rt
+            .submit_units(
+                p,
+                vec![UnitDescription::new("u1", Executable::Sleep { secs: 5.0 })],
+            )
+            .unwrap();
         drain_until_terminal(&rt, 1);
         let doc = rt.db().get(ids[0]).unwrap();
         assert_eq!(doc.state, UnitState::Done);

@@ -10,8 +10,7 @@ use crate::events::SimEvent;
 use crate::fs::{FsModel, StageUnit};
 use crate::platform::Platform;
 use crate::spec::{
-    FailureModel, JobDescription, JobEndReason, JobId, StageId, TaskDesc, TaskId,
-    TaskOutcome,
+    FailureModel, JobDescription, JobEndReason, JobId, StageId, TaskDesc, TaskId, TaskOutcome,
 };
 use crate::time::{SimDuration, SimTime};
 use rand::rngs::StdRng;
@@ -42,8 +41,8 @@ pub(crate) enum Ev {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum JobPhase {
     Pending,
-    Active,   // nodes allocated, bootstrapping
-    Ready,    // accepting tasks
+    Active, // nodes allocated, bootstrapping
+    Ready,  // accepting tasks
     Ended,
 }
 
@@ -284,10 +283,7 @@ impl World {
         for (i, unit) in units.iter().enumerate() {
             stream_busy[i % workers] += self.fs.stage_duration(unit);
         }
-        let makespan = stream_busy
-            .into_iter()
-            .max()
-            .unwrap_or(SimDuration::ZERO);
+        let makespan = stream_busy.into_iter().max().unwrap_or(SimDuration::ZERO);
         self.schedule_in(makespan, Ev::StageDone(id));
         // Remember submission time via the event payload: encode in outbox
         // when done. We stash it in a map-free way: schedule carries id; we
@@ -424,10 +420,7 @@ impl World {
         if !job.running.is_empty() {
             let victim = job.running[self.rng.gen_range(0..job.running.len())];
             self.release_task_resources(victim);
-            self.finish_task(
-                victim,
-                TaskOutcome::Failed("node failure".to_string()),
-            );
+            self.finish_task(victim, TaskOutcome::Failed("node failure".to_string()));
             self.try_schedule_tasks(id);
         }
         self.schedule_node_failure(id);
@@ -603,9 +596,7 @@ impl World {
         let candidates: Vec<TaskId> = self
             .tasks
             .iter()
-            .filter(|(_, t)| {
-                t.phase == TaskPhase::Running && t.io_registered && !t.doomed
-            })
+            .filter(|(_, t)| t.phase == TaskPhase::Running && t.io_registered && !t.doomed)
             .map(|(id, _)| *id)
             .collect();
         for id in candidates {
@@ -931,7 +922,7 @@ mod tests {
     fn cores_never_oversubscribed_tasks_queue() {
         let mut w = world();
         let job = ready_job(&mut w, 1); // 8 cores
-        // 4 tasks × 4 cores: only two fit at a time.
+                                        // 4 tasks × 4 cores: only two fit at a time.
         let mut ids = vec![];
         for _ in 0..4 {
             ids.push(w.launch_task(job, TaskDesc::fixed_secs(100).with_cores(4)));
@@ -1071,9 +1062,15 @@ mod tests {
         let events = run_to_quiescence(&mut w);
         let failed = events
             .iter()
-            .filter(
-                |e| matches!(e, SimEvent::TaskEnded { outcome: TaskOutcome::Failed(_), .. }),
-            )
+            .filter(|e| {
+                matches!(
+                    e,
+                    SimEvent::TaskEnded {
+                        outcome: TaskOutcome::Failed(_),
+                        ..
+                    }
+                )
+            })
             .count();
         assert!((20..=80).contains(&failed), "failed = {failed}");
     }
@@ -1084,8 +1081,7 @@ mod tests {
         let job = ready_job(&mut w, 4);
         let t = w.launch_task(
             job,
-            TaskDesc::fixed_secs(100)
-                .with_failure(FailureModel::IoOverload { demand_bps: 2e9 }),
+            TaskDesc::fixed_secs(100).with_failure(FailureModel::IoOverload { demand_bps: 2e9 }),
         );
         while w.tasks[&t].phase != TaskPhase::Running {
             assert!(w.step());

@@ -85,15 +85,24 @@ mod tests {
     fn time_accessor_covers_all_variants() {
         let t = SimTime::from_secs_f64(1.0);
         let events = vec![
-            SimEvent::JobActive { job: JobId(1), time: t },
-            SimEvent::JobReady { job: JobId(1), time: t },
+            SimEvent::JobActive {
+                job: JobId(1),
+                time: t,
+            },
+            SimEvent::JobReady {
+                job: JobId(1),
+                time: t,
+            },
             SimEvent::JobEnded {
                 job: JobId(1),
                 time: t,
                 reason: JobEndReason::Canceled,
                 lost_tasks: vec![],
             },
-            SimEvent::TaskStarted { task: TaskId(1), time: t },
+            SimEvent::TaskStarted {
+                task: TaskId(1),
+                time: t,
+            },
             SimEvent::TaskEnded {
                 task: TaskId(1),
                 time: t,

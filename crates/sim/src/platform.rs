@@ -368,8 +368,8 @@ mod tests {
         // 3 soft links + one 550 KB file per task should cost ≈ 21 ms on
         // Titan so 512 tasks stage in ≈ 11 s (Fig. 8).
         let titan = Platform::catalog(PlatformId::Titan);
-        let per_task = 4.0 * titan.fs.metadata_op.as_secs_f64()
-            + 550_000.0 / titan.fs.aggregate_bandwidth;
+        let per_task =
+            4.0 * titan.fs.metadata_op.as_secs_f64() + 550_000.0 / titan.fs.aggregate_bandwidth;
         let total_512 = 512.0 * per_task;
         assert!(
             (8.0..16.0).contains(&total_512),
@@ -387,6 +387,9 @@ mod tests {
         assert!(demand_16 <= titan.fs.overload_capacity);
         let over = (demand_32 - titan.fs.overload_capacity) / titan.fs.overload_capacity;
         let p = (titan.fs.overload_slope * over).min(titan.fs.max_failure_prob);
-        assert!((0.4..0.6).contains(&p), "p at 32 tasks should be ~0.5, got {p}");
+        assert!(
+            (0.4..0.6).contains(&p),
+            "p at 32 tasks should be ~0.5, got {p}"
+        );
     }
 }

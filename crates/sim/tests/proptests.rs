@@ -27,9 +27,8 @@ fn task_strategy() -> impl Strategy<Value = RandTask> {
 }
 
 fn run_workload(tasks: &[RandTask], seed: u64) -> Vec<(TaskId, SimEvent)> {
-    let h = Simulation::start(
-        SimConfig::new(Platform::catalog(PlatformId::TestRig)).with_seed(seed),
-    );
+    let h =
+        Simulation::start(SimConfig::new(Platform::catalog(PlatformId::TestRig)).with_seed(seed));
     let job = h.submit_job(JobDescription {
         nodes: 4,
         walltime: SimDuration::from_secs(1_000_000),

@@ -32,10 +32,9 @@ fn main() {
         }),
     )
     .with_max_retries(Some(5));
-    let workflow = Workflow::new()
-        .with_pipeline(Pipeline::new("flaky-pipeline").with_stage(
-            Stage::new("flaky-stage").with_task(flaky),
-        ));
+    let workflow = Workflow::new().with_pipeline(
+        Pipeline::new("flaky-pipeline").with_stage(Stage::new("flaky-stage").with_task(flaky)),
+    );
     let mut amgr = AppManager::new(
         AppManagerConfig::new(ResourceDescription::local(1))
             .with_run_timeout(Duration::from_secs(60)),
@@ -51,10 +50,8 @@ fn main() {
     assert_eq!(attempts.load(Ordering::SeqCst), 3);
 
     // --- 2. Journal recovery across runs ----------------------------------
-    let journal = std::env::temp_dir().join(format!(
-        "entk-example-journal-{}.log",
-        std::process::id()
-    ));
+    let journal =
+        std::env::temp_dir().join(format!("entk-example-journal-{}.log", std::process::id()));
     let _ = std::fs::remove_file(&journal);
 
     let build = |counter: &Arc<AtomicU32>| {

@@ -88,7 +88,12 @@ fn main() {
                 },
             )
         },
-        |round| Task::new(format!("exchange-{round}"), Executable::Sleep { secs: 10.0 }),
+        |round| {
+            Task::new(
+                format!("exchange-{round}"),
+                Executable::Sleep { secs: 10.0 },
+            )
+        },
     );
     let mut amgr = AppManager::new(
         AppManagerConfig::new(

@@ -41,8 +41,7 @@ fn main() {
             .with_stage(process),
     );
 
-    let titan =
-        ResourceDescription::sim(PlatformId::Titan, 4 * 384, 24 * 3600).with_seed(17);
+    let titan = ResourceDescription::sim(PlatformId::Titan, 4 * 384, 24 * 3600).with_seed(17);
     let cluster = ResourceDescription::sim(PlatformId::SuperMic, 8, 24 * 3600)
         .with_seed(17)
         .named("cluster");

@@ -26,9 +26,8 @@ fn main() {
             .with_staging(StagingSpec::input(StageUnit::weak_scaling_unit())),
         );
     }
-    let analyze = Stage::new("analyze").with_task(
-        Task::new("analysis", Executable::Sleep { secs: 120.0 }).with_cpus(4),
-    );
+    let analyze = Stage::new("analyze")
+        .with_task(Task::new("analysis", Executable::Sleep { secs: 120.0 }).with_cpus(4));
     let pipeline = Pipeline::new("ensemble")
         .with_stage(simulate)
         .with_stage(analyze);
@@ -41,9 +40,8 @@ fn main() {
     let resource = ResourceDescription::sim(PlatformId::TestRig, 1, 2 * 3600).with_seed(42);
 
     // --- 3. Run through the AppManager -----------------------------------
-    let mut amgr = AppManager::new(
-        AppManagerConfig::new(resource).with_run_timeout(Duration::from_secs(120)),
-    );
+    let mut amgr =
+        AppManager::new(AppManagerConfig::new(resource).with_run_timeout(Duration::from_secs(120)));
     let report = amgr.run(workflow).expect("run completes");
 
     // --- 4. Inspect the outcome ------------------------------------------

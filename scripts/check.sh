@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Repo-wide hygiene gate: formatting, lints as errors, full test suite.
+# Run from anywhere; operates on the workspace root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test -q
+
+echo "all checks passed"

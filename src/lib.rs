@@ -43,17 +43,19 @@
 pub use entk_apps as apps;
 pub use entk_core as core;
 pub use entk_mq as mq;
+pub use entk_observe as observe;
 pub use hpc_sim as sim;
 pub use rp_rts as rts;
 
 /// Everything needed to describe and run an ensemble application.
 pub mod prelude {
+    pub use entk_core::appmanager::ResourceBackend;
     pub use entk_core::{
         AppManager, AppManagerConfig, EntkError, EntkResult, Executable, ExecutionStrategy,
-        Pipeline, PipelineState, PythonEmulation, ResourceDescription, RunReport, Stage,
-        StageState, StagingSpec, Task, TaskState, Workflow,
+        OverheadReport, Pipeline, PipelineState, PythonEmulation, ResourceDescription, RunReport,
+        Stage, StageState, StagingSpec, Task, TaskState, Workflow,
     };
-    pub use entk_core::appmanager::ResourceBackend;
+    pub use entk_observe::Recorder;
     pub use hpc_sim::{Platform, PlatformId, StageUnit};
 }
 
@@ -63,9 +65,7 @@ mod tests {
     fn facade_exposes_stack() {
         // The re-exports stay wired.
         let _broker = crate::mq::Broker::new();
-        let _cfg = crate::core::AppManagerConfig::new(
-            crate::core::ResourceDescription::local(1),
-        );
+        let _cfg = crate::core::AppManagerConfig::new(crate::core::ResourceDescription::local(1));
         let _platform = crate::sim::Platform::catalog(crate::sim::PlatformId::Titan);
     }
 }

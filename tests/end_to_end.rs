@@ -76,8 +76,13 @@ fn heterogeneous_tasks_in_one_stage() {
         Pipeline::new("hetero").with_stage(
             Stage::new("mix")
                 .with_task(
-                    Task::new("mpi-sim", Executable::GromacsMdrun { nominal_secs: 400.0 })
-                        .with_cpus(16),
+                    Task::new(
+                        "mpi-sim",
+                        Executable::GromacsMdrun {
+                            nominal_secs: 400.0,
+                        },
+                    )
+                    .with_cpus(16),
                 )
                 .with_task(Task::new("serial", Executable::Sleep { secs: 100.0 }))
                 .with_task(
@@ -129,8 +134,11 @@ fn local_backend_runs_real_compute_with_dependencies() {
         }),
     ));
 
-    let wf = Workflow::new()
-        .with_pipeline(Pipeline::new("dataflow").with_stage(produce).with_stage(consume));
+    let wf = Workflow::new().with_pipeline(
+        Pipeline::new("dataflow")
+            .with_stage(produce)
+            .with_stage(consume),
+    );
     let mut amgr = AppManager::new(
         AppManagerConfig::new(ResourceDescription::local(4)).with_run_timeout(timeout()),
     );
@@ -147,11 +155,9 @@ fn durable_broker_journal_coexists_with_run() {
         std::thread::current().id()
     ));
     let _ = std::fs::remove_file(&journal);
-    let wf = Workflow::new().with_pipeline(
-        Pipeline::new("p").with_stage(
-            Stage::new("s").with_task(Task::new("only", Executable::Sleep { secs: 10.0 })),
-        ),
-    );
+    let wf = Workflow::new().with_pipeline(Pipeline::new("p").with_stage(
+        Stage::new("s").with_task(Task::new("only", Executable::Sleep { secs: 10.0 })),
+    ));
     let mut cfg = AppManagerConfig::new(ResourceDescription::sim(PlatformId::TestRig, 1, 7200))
         .with_run_timeout(timeout());
     cfg.broker_journal_path = Some(journal.clone());
@@ -229,12 +235,9 @@ fn inter_pipeline_dependencies_order_execution() {
     let p1 = Pipeline::new("first").with_stage(
         Stage::new("f-s").with_task(Task::new("first-task", Executable::Sleep { secs: 300.0 })),
     );
-    let p2 = Pipeline::new("second")
-        .after(&p1)
-        .with_stage(
-            Stage::new("s-s")
-                .with_task(Task::new("second-task", Executable::Sleep { secs: 100.0 })),
-        );
+    let p2 = Pipeline::new("second").after(&p1).with_stage(
+        Stage::new("s-s").with_task(Task::new("second-task", Executable::Sleep { secs: 100.0 })),
+    );
     let wf = Workflow::new().with_pipeline(p1).with_pipeline(p2);
     let mut amgr = AppManager::new(
         AppManagerConfig::new(ResourceDescription::sim(PlatformId::TestRig, 4, 7200))
@@ -254,13 +257,16 @@ fn inter_pipeline_dependencies_order_execution() {
 fn failed_dependency_cancels_dependents() {
     let p1 = Pipeline::new("broken").with_stage(
         Stage::new("b-s").with_task(
-            Task::new("always-fails", Executable::compute(1.0, || Err("nope".into())))
-                .with_max_retries(Some(0)),
+            Task::new(
+                "always-fails",
+                Executable::compute(1.0, || Err("nope".into())),
+            )
+            .with_max_retries(Some(0)),
         ),
     );
-    let p2 = Pipeline::new("dependent").after(&p1).with_stage(
-        Stage::new("d-s").with_task(Task::new("never-runs", Executable::Noop)),
-    );
+    let p2 = Pipeline::new("dependent")
+        .after(&p1)
+        .with_stage(Stage::new("d-s").with_task(Task::new("never-runs", Executable::Noop)));
     let wf = Workflow::new().with_pipeline(p1).with_pipeline(p2);
     let mut amgr = AppManager::new(
         AppManagerConfig::new(ResourceDescription::local(2)).with_run_timeout(timeout()),
@@ -297,7 +303,10 @@ fn dependency_validation_rejects_cycles_and_unknowns() {
         .after_uid("pipeline.999999")
         .with_stage(Stage::new("sl").with_task(Task::new("tl", Executable::Noop)));
     let wf = Workflow::new().with_pipeline(lonely);
-    assert!(wf.validate().is_err(), "unknown dependency must be rejected");
+    assert!(
+        wf.validate().is_err(),
+        "unknown dependency must be rejected"
+    );
 }
 
 #[test]

@@ -11,19 +11,21 @@ fn failed_tasks_are_resubmitted_within_budget() {
     let attempts = Arc::new(AtomicU32::new(0));
     let a = Arc::clone(&attempts);
     let wf = Workflow::new().with_pipeline(
-        Pipeline::new("p").with_stage(Stage::new("s").with_task(
-            Task::new(
-                "flaky",
-                Executable::compute(1.0, move || {
-                    if a.fetch_add(1, Ordering::SeqCst) < 3 {
-                        Err("boom".into())
-                    } else {
-                        Ok(())
-                    }
-                }),
-            )
-            .with_max_retries(Some(10)),
-        )),
+        Pipeline::new("p").with_stage(
+            Stage::new("s").with_task(
+                Task::new(
+                    "flaky",
+                    Executable::compute(1.0, move || {
+                        if a.fetch_add(1, Ordering::SeqCst) < 3 {
+                            Err("boom".into())
+                        } else {
+                            Ok(())
+                        }
+                    }),
+                )
+                .with_max_retries(Some(10)),
+            ),
+        ),
     );
     let mut amgr = AppManager::new(
         AppManagerConfig::new(ResourceDescription::local(1))
@@ -90,29 +92,27 @@ fn rts_death_is_survived_by_restart() {
     );
     let report = amgr.run(wf).expect("run completes despite RTS death");
     assert!(report.succeeded, "workflow must still finish");
-    assert!(report.rts_restarts >= 1, "heartbeat must have restarted the RTS");
+    assert!(
+        report.rts_restarts >= 1,
+        "heartbeat must have restarted the RTS"
+    );
     assert_eq!(report.overheads.tasks_done, 8);
 }
 
 #[test]
 fn rts_restart_budget_exhaustion_is_a_clean_error() {
-    let wf = Workflow::new().with_pipeline(
-        Pipeline::new("p").with_stage(
+    let wf = Workflow::new()
+        .with_pipeline(Pipeline::new("p").with_stage(
             Stage::new("s").with_task(Task::new("t", Executable::Sleep { secs: 1e6 })),
-        ),
-    );
-    let mut cfg = AppManagerConfig::new(
-        ResourceDescription::sim(PlatformId::TestRig, 1, 7200).with_seed(6),
-    )
-    .with_chaos_rts_kill(Duration::from_millis(100))
-    .with_run_timeout(Duration::from_secs(300));
+        ));
+    let mut cfg =
+        AppManagerConfig::new(ResourceDescription::sim(PlatformId::TestRig, 1, 7200).with_seed(6))
+            .with_chaos_rts_kill(Duration::from_millis(100))
+            .with_run_timeout(Duration::from_secs(300));
     cfg.max_rts_restarts = 0;
     let err = AppManager::new(cfg).run(wf).expect_err("restart budget 0");
     let msg = err.to_string();
-    assert!(
-        msg.contains("restart budget"),
-        "unexpected error: {msg}"
-    );
+    assert!(msg.contains("restart budget"), "unexpected error: {msg}");
 }
 
 #[test]
@@ -194,18 +194,13 @@ fn pilot_walltime_expiry_triggers_pilot_reacquisition() {
     // task; the Heartbeat re-acquires a pilot and the task is retried until
     // it fits... it never fits, so the retry budget must eventually cancel
     // the task and the run must terminate rather than loop forever.
-    let wf = Workflow::new().with_pipeline(
-        Pipeline::new("p").with_stage(
-            Stage::new("s").with_task(
-                Task::new("too-long", Executable::Sleep { secs: 200.0 })
-                    .with_max_retries(Some(1)),
-            ),
-        ),
-    );
-    let mut cfg = AppManagerConfig::new(
-        ResourceDescription::sim(PlatformId::TestRig, 1, 60).with_seed(8),
-    )
-    .with_run_timeout(Duration::from_secs(300));
+    let wf =
+        Workflow::new().with_pipeline(Pipeline::new("p").with_stage(Stage::new("s").with_task(
+            Task::new("too-long", Executable::Sleep { secs: 200.0 }).with_max_retries(Some(1)),
+        )));
+    let mut cfg =
+        AppManagerConfig::new(ResourceDescription::sim(PlatformId::TestRig, 1, 60).with_seed(8))
+            .with_run_timeout(Duration::from_secs(300));
     cfg.max_rts_restarts = 5;
     let report = AppManager::new(cfg).run(wf).expect("run terminates");
     assert!(!report.succeeded);

@@ -58,9 +58,8 @@ fn tasks_route_to_their_resource_pools() {
 fn unknown_pool_is_rejected_before_running() {
     let wf = Workflow::new().with_pipeline(
         Pipeline::new("p").with_stage(
-            Stage::new("s").with_task(
-                Task::new("t", Executable::Noop).with_resource_pool("nonexistent"),
-            ),
+            Stage::new("s")
+                .with_task(Task::new("t", Executable::Noop).with_resource_pool("nonexistent")),
         ),
     );
     let mut amgr = AppManager::new(
@@ -74,8 +73,7 @@ fn unknown_pool_is_rejected_before_running() {
 #[test]
 fn duplicate_pool_names_rejected() {
     let wf = Workflow::new().with_pipeline(
-        Pipeline::new("p")
-            .with_stage(Stage::new("s").with_task(Task::new("t", Executable::Noop))),
+        Pipeline::new("p").with_stage(Stage::new("s").with_task(Task::new("t", Executable::Noop))),
     );
     let mut amgr = AppManager::new(
         AppManagerConfig::new(ResourceDescription::local(1))
@@ -129,9 +127,7 @@ fn pool_failure_recovery_does_not_disturb_other_pools() {
     // re-acquired; the local pool's tasks keep completing undisturbed.
     let counter = Arc::new(AtomicUsize::new(0));
     let mut stage = Stage::new("split");
-    stage.add_task(
-        Task::new("sim-long", Executable::Sleep { secs: 90.0 }).with_max_retries(None),
-    );
+    stage.add_task(Task::new("sim-long", Executable::Sleep { secs: 90.0 }).with_max_retries(None));
     for i in 0..3 {
         let c = Arc::clone(&counter);
         stage.add_task(
@@ -149,12 +145,10 @@ fn pool_failure_recovery_does_not_disturb_other_pools() {
     // Walltime 120 s fits the 90 s task only after the first pilot (used
     // briefly) survives; use 200 s to stay deterministic: the task fits.
     let mut amgr = AppManager::new(
-        AppManagerConfig::new(
-            ResourceDescription::sim(PlatformId::TestRig, 1, 200).with_seed(12),
-        )
-        .with_extra_resource(ResourceDescription::local(2).named("workstation"))
-        .with_task_retries(None)
-        .with_run_timeout(Duration::from_secs(300)),
+        AppManagerConfig::new(ResourceDescription::sim(PlatformId::TestRig, 1, 200).with_seed(12))
+            .with_extra_resource(ResourceDescription::local(2).named("workstation"))
+            .with_task_retries(None)
+            .with_run_timeout(Duration::from_secs(300)),
     );
     let report = amgr.run(wf).expect("run completes");
     assert!(report.succeeded);

@@ -1,0 +1,236 @@
+//! Cross-layer observability integration tests: one recorder threaded
+//! through the toolkit, the broker, the RTS and the simulator, with the
+//! paper's overhead decomposition (§IV-A2) re-derived from the trace and
+//! cross-checked against the legacy profiler.
+
+use entk::observe::{components, json, Event, Recorder};
+use entk::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn timeout() -> Duration {
+    Duration::from_secs(300)
+}
+
+/// A scratch path under the OS temp dir that outlives the test (no RAII
+/// cleanup: a concurrently running AppManager must never find its export
+/// prefix deleted under it).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("entk-observe-it-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(tag)
+}
+
+/// 2 pipelines × 2 stages × 3 tasks on the local backend; `fail_first`
+/// makes one task fail its first attempt so the retry path enters the trace.
+fn run_traced(tag: &str, fail_first: bool) -> (RunReport, Recorder) {
+    let mut wf = Workflow::new();
+    for p in 0..2 {
+        let mut pipeline = Pipeline::new(format!("p{p}"));
+        for s in 0..2 {
+            let mut stage = Stage::new(format!("p{p}s{s}"));
+            for t in 0..3 {
+                let exe = if fail_first && p == 0 && s == 0 && t == 0 {
+                    let calls = Arc::new(AtomicUsize::new(0));
+                    Executable::compute(1.0, move || {
+                        if calls.fetch_add(1, Ordering::SeqCst) == 0 {
+                            Err("transient".into())
+                        } else {
+                            Ok(())
+                        }
+                    })
+                } else {
+                    Executable::compute(1.0, || Ok(()))
+                };
+                stage.add_task(Task::new(format!("p{p}s{s}t{t}"), exe));
+            }
+            pipeline.add_stage(stage);
+        }
+        wf.add_pipeline(pipeline);
+    }
+    let recorder = Recorder::new();
+    let mut amgr = AppManager::new(
+        AppManagerConfig::new(ResourceDescription::local(3))
+            .with_run_timeout(timeout())
+            .with_recorder(recorder.clone())
+            .with_trace_path(scratch(tag)),
+    );
+    let report = amgr.run(wf).expect("run succeeds");
+    assert!(report.succeeded);
+    (report, recorder)
+}
+
+#[test]
+fn trace_derived_overheads_agree_with_profiler() {
+    let (report, _recorder) = run_traced("agree", true);
+    let legacy = &report.overheads;
+    let traced = report
+        .trace_overheads
+        .as_ref()
+        .expect("tracing was enabled");
+
+    // The counters must agree exactly: both derivations count the same
+    // applied transitions and attempt outcomes.
+    assert_eq!(traced.transitions, legacy.transitions);
+    assert_eq!(traced.tasks_done, legacy.tasks_done);
+    assert_eq!(traced.failed_attempts, legacy.failed_attempts);
+    assert_eq!(traced.tasks_done, 12);
+    assert!(traced.failed_attempts >= 1, "the seeded failure must show");
+
+    // The phase durations are measured by two independent clock pairs, so
+    // they only agree approximately.
+    assert!(traced.entk_setup_secs > 0.0);
+    assert!(traced.entk_management_secs > 0.0);
+    assert!((traced.entk_setup_secs - legacy.entk_setup_secs).abs() < 0.05);
+    assert!((traced.entk_teardown_secs - legacy.entk_teardown_secs).abs() < 0.5);
+    assert!((traced.rts_teardown_secs - legacy.rts_teardown_secs).abs() < 0.5);
+}
+
+#[test]
+fn every_task_has_monotone_unit_lifecycle() {
+    let (_report, recorder) = run_traced("monotone", true);
+    let mut events: Vec<Event> = recorder
+        .snapshot()
+        .into_iter()
+        .filter(|e| e.component == components::RTS)
+        .collect();
+    // Stable tie-break on the lifecycle rank so equal-nanosecond stamps
+    // from different threads cannot fake an inversion.
+    let rank = |kind: &str| match kind {
+        "unit_submitted" => 0u8,
+        "unit_started" => 1,
+        "unit_ended" => 2,
+        _ => 3,
+    };
+    events.sort_by_key(|e| (e.ts_ns, rank(e.kind)));
+
+    use std::collections::HashMap;
+    let mut counts: HashMap<String, (u64, u64, u64)> = HashMap::new();
+    for e in &events {
+        if rank(e.kind) == 3 {
+            continue; // pilot lifecycle / unit_state events
+        }
+        let c = counts.entry(e.entity_uid.clone()).or_default();
+        match e.kind {
+            "unit_submitted" => c.0 += 1,
+            "unit_started" => c.1 += 1,
+            "unit_ended" => c.2 += 1,
+            _ => unreachable!(),
+        }
+        // Prefix invariant: at no point may a unit have started more often
+        // than it was submitted, or ended more often than it started.
+        assert!(
+            c.0 >= c.1 && c.1 >= c.2,
+            "non-monotone lifecycle for {}: {:?}",
+            e.entity_uid,
+            c
+        );
+    }
+    assert_eq!(counts.len(), 12, "every task appears in the trace");
+    for (uid, (sub, start, end)) in &counts {
+        assert!(*sub >= 1, "{uid} never submitted");
+        assert_eq!(sub, start, "{uid}: every attempt must start");
+        assert_eq!(start, end, "{uid}: every started attempt must end");
+    }
+}
+
+#[test]
+fn mq_latency_histograms_are_populated_by_a_full_run() {
+    let (_report, recorder) = run_traced("mq-hist", false);
+    let m = recorder.metrics();
+    for name in ["mq.publish_to_deliver", "mq.deliver_to_ack"] {
+        let h = m.histogram(name).snapshot();
+        assert!(h.count > 0, "{name} must see traffic");
+        assert!(h.p50_ns > 0 && h.p50_ns <= h.p95_ns && h.p95_ns <= h.p99_ns);
+    }
+    // The synchronizer's transition-latency histogram is the paper's
+    // management-overhead microscope.
+    assert!(m.histogram("span.sync.apply").snapshot().count > 0);
+}
+
+#[test]
+fn exported_trace_files_parse_cleanly() {
+    let prefix = scratch("export");
+    let (_report, _recorder) = {
+        let mut stage = Stage::new("s");
+        for i in 0..4 {
+            stage.add_task(Task::new(
+                format!("t{i}"),
+                Executable::compute(1.0, || Ok(())),
+            ));
+        }
+        let wf = Workflow::new().with_pipeline(Pipeline::new("p").with_stage(stage));
+        let mut amgr = AppManager::new(
+            AppManagerConfig::new(ResourceDescription::local(2))
+                .with_run_timeout(timeout())
+                .with_trace_path(prefix.clone()),
+        );
+        let report = amgr.run(wf).expect("run succeeds");
+        assert!(report.succeeded);
+        let recorder = report.recorder.clone();
+        (report, recorder)
+    };
+
+    // Chrome trace: one JSON document with a traceEvents array.
+    let chrome =
+        std::fs::read_to_string(format!("{}.chrome.json", prefix.display())).expect("chrome file");
+    let doc = json::parse(&chrome).expect("chrome trace is valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .expect("traceEvents key")
+        .as_array()
+        .expect("traceEvents is an array");
+    assert!(!events.is_empty());
+    for ev in events {
+        assert!(ev.get("name").and_then(|v| v.as_str()).is_some());
+        assert!(ev.get("ts").and_then(|v| v.as_f64()).is_some());
+    }
+
+    // .prof JSONL: every line is its own JSON object.
+    let prof =
+        std::fs::read_to_string(format!("{}.prof.jsonl", prefix.display())).expect("prof file");
+    assert!(prof.lines().count() > 0);
+    for line in prof.lines() {
+        let row = json::parse(line).expect("prof line is valid JSON");
+        assert!(row.get("comp").and_then(|v| v.as_str()).is_some());
+        assert!(row.get("ts_ns").and_then(|v| v.as_f64()).is_some());
+    }
+
+    // The text report exists and mentions the trace.
+    let txt =
+        std::fs::read_to_string(format!("{}.report.txt", prefix.display())).expect("report file");
+    assert!(txt.contains("== trace:"));
+}
+
+#[test]
+fn entk_trace_env_hook_enables_tracing() {
+    // config.trace_path wins over the env var in every other test of this
+    // binary, so a briefly leaked ENTK_TRACE cannot disturb them.
+    let prefix = scratch("env-hook");
+    std::env::set_var("ENTK_TRACE", &prefix);
+    let wf = Workflow::new().with_pipeline(
+        Pipeline::new("p").with_stage(Stage::new("s").with_task(Task::new("t", Executable::Noop))),
+    );
+    let mut amgr = AppManager::new(
+        AppManagerConfig::new(ResourceDescription::local(1)).with_run_timeout(timeout()),
+    );
+    let report = amgr.run(wf).expect("run succeeds");
+    std::env::remove_var("ENTK_TRACE");
+    assert!(report.succeeded);
+    assert!(report.recorder.is_enabled(), "env hook must enable tracing");
+    assert!(report.trace_overheads.is_some());
+    // The export prefix may have gained a `.N` suffix if another traced run
+    // in this process raced us, so look for any matching export.
+    let dir = prefix.parent().unwrap();
+    let stem = prefix.file_name().unwrap().to_string_lossy().to_string();
+    let found = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .any(|e| {
+            let name = e.file_name().to_string_lossy().to_string();
+            name.starts_with(&stem) && name.ends_with(".prof.jsonl")
+        });
+    assert!(found, "env hook must export a .prof.jsonl trace");
+}

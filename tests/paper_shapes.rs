@@ -9,17 +9,10 @@ use entk::apps::synthetic::{sleep_workflow, weak_scaling_workflow};
 use entk::prelude::*;
 use std::time::Duration;
 
-fn run_sim(
-    wf: Workflow,
-    platform: PlatformId,
-    nodes: u32,
-    seed: u64,
-) -> entk::core::RunReport {
+fn run_sim(wf: Workflow, platform: PlatformId, nodes: u32, seed: u64) -> entk::core::RunReport {
     let mut amgr = AppManager::new(
-        AppManagerConfig::new(
-            ResourceDescription::sim(platform, nodes, 8 * 3600).with_seed(seed),
-        )
-        .with_run_timeout(Duration::from_secs(300)),
+        AppManagerConfig::new(ResourceDescription::sim(platform, nodes, 8 * 3600).with_seed(seed))
+            .with_run_timeout(Duration::from_secs(300)),
     );
     amgr.run(wf).expect("run completes")
 }

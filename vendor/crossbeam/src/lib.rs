@@ -1,0 +1,10 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The sandbox has no crates.io access, so the workspace vendors the slice of
+//! crossbeam it uses: the `channel` module with MPMC [`channel::unbounded`] /
+//! [`channel::bounded`] channels whose `Sender` and `Receiver` are both
+//! cloneable and shareable across threads (`&Receiver` works from multiple
+//! threads), with crossbeam's disconnect semantics: `recv` fails only once
+//! the channel is empty *and* all senders are gone.
+
+pub mod channel;
