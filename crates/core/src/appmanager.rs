@@ -7,8 +7,9 @@
 //! spawns the Synchronizer, and instantiates the WFProcessor and
 //! ExecManager." (§II-B3)
 
+use crate::cancel::CancelToken;
 use crate::execmanager::{self, RtsPools, RtsSlot};
-use crate::messages::{self, component};
+use crate::messages::{self, QueueNamespace};
 use crate::profiler::{OverheadReport, Profiler, PythonEmulation};
 use crate::states::TaskState;
 use crate::statestore::StateStore;
@@ -20,7 +21,9 @@ use entk_mq::{Broker, BrokerConfig, QueueConfig};
 use entk_observe::{components, Recorder};
 use hpc_sim::{Platform, PlatformId};
 use parking_lot::Mutex;
-use rp_rts::{BackendConfig, LocalConfig, PilotDescription, RtsConfig, RtsProfile, UnitRecord};
+use rp_rts::{
+    BackendConfig, LocalConfig, PilotDescription, PilotLease, RtsConfig, RtsProfile, UnitRecord,
+};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -126,7 +129,11 @@ impl ResourceDescription {
         self
     }
 
-    fn rts_config(&self, recorder: &Recorder) -> RtsConfig {
+    /// The RTS configuration this description resolves to. Public so a
+    /// service hosting many AppManagers can build a matching warm
+    /// [`rp_rts::PilotPool`] whose leases are interchangeable with cold
+    /// acquisition.
+    pub fn rts_config(&self, recorder: &Recorder) -> RtsConfig {
         let backend = match &self.backend {
             ResourceBackend::Sim { platform } => BackendConfig::Sim {
                 platform: *platform,
@@ -154,7 +161,9 @@ impl ResourceDescription {
         }
     }
 
-    fn pilot_desc(&self) -> PilotDescription {
+    /// The pilot description this description resolves to (see
+    /// [`ResourceDescription::rts_config`]).
+    pub fn pilot_desc(&self) -> PilotDescription {
         let platform = match &self.backend {
             ResourceBackend::Sim { platform } => *platform,
             ResourceBackend::SimCustom { platform } => platform.id,
@@ -252,6 +261,9 @@ pub struct AppManagerConfig {
     /// `ENTK_TRACE` environment variable when unset. Setting either implies
     /// an enabled recorder.
     pub trace_path: Option<PathBuf>,
+    /// Cooperative cancellation token. Cloning the config shares the token,
+    /// so a handle cloned before `run` can cancel the running workflow.
+    pub cancel_token: CancelToken,
 }
 
 impl AppManagerConfig {
@@ -271,7 +283,14 @@ impl AppManagerConfig {
             extra_resources: Vec::new(),
             recorder: None,
             trace_path: None,
+            cancel_token: CancelToken::new(),
         }
+    }
+
+    /// Builder: share an externally held cancellation token.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel_token = token;
+        self
     }
 
     /// Builder: attach a trace recorder (cross-layer tracing).
@@ -340,6 +359,12 @@ impl AppManagerConfig {
 pub(crate) struct Ctx {
     /// The message broker (the communication infrastructure of §II-C).
     pub broker: Broker,
+    /// Session-scoped queue names. The root namespace for standalone runs;
+    /// a per-session prefix when many AppManagers share one broker.
+    pub ns: QueueNamespace,
+    /// Cooperative cancellation flag (see [`CancelToken`]): components stop
+    /// scheduling/submitting new work once set.
+    pub cancel: CancelToken,
     /// The application's global state — AppManager is the only stateful
     /// component; everyone else references objects by uid.
     pub workflow: Mutex<Workflow>,
@@ -367,8 +392,11 @@ pub(crate) struct Ctx {
 }
 
 impl Ctx {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         broker: Broker,
+        ns: QueueNamespace,
+        cancel: CancelToken,
         workflow: Workflow,
         store: Option<StateStore>,
         default_retries: Option<u32>,
@@ -377,6 +405,8 @@ impl Ctx {
     ) -> Arc<Self> {
         Arc::new(Ctx {
             broker,
+            ns,
+            cancel,
             workflow: Mutex::new(workflow),
             profiler: Profiler::new(),
             recorder,
@@ -401,9 +431,12 @@ impl Ctx {
     #[cfg(test)]
     pub(crate) fn for_tests_with_retries(workflow: Workflow, retries: Option<u32>) -> Arc<Self> {
         let broker = Broker::new();
-        declare_queues(&broker).expect("fresh broker");
+        let ns = QueueNamespace::root();
+        declare_queues(&broker, &ns).expect("fresh broker");
         Arc::new(Ctx {
             broker,
+            ns,
+            cancel: CancelToken::new(),
             workflow: Mutex::new(workflow),
             profiler: Profiler::new(),
             recorder: Recorder::disabled(),
@@ -434,14 +467,14 @@ impl Ctx {
         if self
             .broker
             .publish(
-                messages::SYNC,
+                self.ns.sync(),
                 messages::sync_message(comp, crate::uid::Kind::Task, uid, state.name()),
             )
             .is_err()
         {
             return false;
         }
-        let ack_queue = messages::ack_queue(comp);
+        let ack_queue = self.ns.ack(comp);
         loop {
             match self
                 .broker
@@ -470,14 +503,49 @@ impl Ctx {
     }
 }
 
-fn declare_queues(broker: &Broker) -> EntkResult<()> {
-    broker.declare_queue(messages::PENDING, QueueConfig::default())?;
-    broker.declare_queue(messages::DONE, QueueConfig::default())?;
-    broker.declare_queue(messages::SYNC, QueueConfig::default())?;
-    for comp in component::ALL {
-        broker.declare_queue(&messages::ack_queue(comp), QueueConfig::default())?;
+fn declare_queues(broker: &Broker, ns: &QueueNamespace) -> EntkResult<()> {
+    for name in ns.all() {
+        broker.declare_queue(name, QueueConfig::default())?;
     }
     Ok(())
+}
+
+/// How a run attaches to shared, service-owned infrastructure instead of
+/// building its own.
+///
+/// The default attachment (`SessionAttachment::default()`) reproduces the
+/// standalone behavior: the AppManager creates a private broker under the
+/// root queue namespace and acquires (and finally tears down) its own RTS.
+/// A service hosting many concurrent workflows instead passes a shared
+/// broker, a per-session [`QueueNamespace`], and a leased warm pilot; the
+/// AppManager then deletes only its session's queues on exit and returns the
+/// pilot to the pool instead of tearing it down.
+#[derive(Default)]
+pub struct SessionAttachment {
+    /// Shared broker to attach to; `None` ⇒ create a private one.
+    pub broker: Option<Broker>,
+    /// Queue namespace for this session.
+    pub namespace: QueueNamespace,
+    /// Warm pilot lease backing the primary resource pool; `None` ⇒ cold
+    /// acquisition.
+    pub lease: Option<PilotLease>,
+}
+
+impl SessionAttachment {
+    /// Attach to a shared broker under a session namespace.
+    pub fn shared(broker: Broker, namespace: QueueNamespace) -> Self {
+        SessionAttachment {
+            broker: Some(broker),
+            namespace,
+            lease: None,
+        }
+    }
+
+    /// Builder: back the primary pool with a leased warm pilot.
+    pub fn with_lease(mut self, lease: PilotLease) -> Self {
+        self.lease = Some(lease);
+        self
+    }
 }
 
 /// Result of one `run` call.
@@ -504,6 +572,8 @@ pub struct RunReport {
     pub workflow: Workflow,
     /// Whether every pipeline finished Done.
     pub succeeded: bool,
+    /// Whether the run ended because it was canceled via [`CancelToken`].
+    pub canceled: bool,
     /// The run's trace recorder (disabled when tracing was off); exposes the
     /// full event stream, metrics, and exporters.
     pub recorder: Recorder,
@@ -610,8 +680,36 @@ impl AppManager {
         }
     }
 
-    /// Execute an application to completion.
-    pub fn run(&mut self, mut workflow: Workflow) -> EntkResult<RunReport> {
+    /// Request cooperative cancellation of the current (or next) run. The
+    /// run settles in-flight tasks to `Canceled` and returns promptly.
+    pub fn cancel(&self) {
+        self.config.cancel_token.cancel();
+    }
+
+    /// A clone of the run's cancellation token, for cancelling from another
+    /// thread while `run` blocks.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.config.cancel_token.clone()
+    }
+
+    /// Execute an application to completion on privately owned
+    /// infrastructure (own broker, cold-acquired RTS).
+    pub fn run(&mut self, workflow: Workflow) -> EntkResult<RunReport> {
+        self.run_attached(workflow, SessionAttachment::default())
+    }
+
+    /// Execute an application to completion, optionally attached to shared
+    /// infrastructure (see [`SessionAttachment`]).
+    pub fn run_attached(
+        &mut self,
+        mut workflow: Workflow,
+        attachment: SessionAttachment,
+    ) -> EntkResult<RunReport> {
+        let SessionAttachment {
+            broker: external_broker,
+            namespace: ns,
+            lease,
+        } = attachment;
         let run_start = Instant::now();
         let trace_prefix = self.trace_prefix();
         let recorder = match &self.config.recorder {
@@ -635,12 +733,16 @@ impl AppManager {
             }
         }
 
-        let broker = Broker::with_config(BrokerConfig {
-            journal_path: self.config.broker_journal_path.clone(),
-            recorder: recorder.is_enabled().then(|| recorder.clone()),
-            ..Default::default()
-        })?;
-        declare_queues(&broker)?;
+        let shared_broker = external_broker.is_some();
+        let broker = match external_broker {
+            Some(b) => b,
+            None => Broker::with_config(BrokerConfig {
+                journal_path: self.config.broker_journal_path.clone(),
+                recorder: recorder.is_enabled().then(|| recorder.clone()),
+                ..Default::default()
+            })?,
+        };
+        declare_queues(&broker, &ns)?;
         let store = match &self.config.journal_path {
             Some(p) => Some(StateStore::open(p)?),
             None => None,
@@ -648,6 +750,8 @@ impl AppManager {
         let total_tasks_initial = workflow.task_count();
         let ctx = Ctx::new(
             broker,
+            ns,
+            self.config.cancel_token.clone(),
             workflow,
             store,
             self.config.default_task_retries,
@@ -669,15 +773,28 @@ impl AppManager {
         let rmgr_start = Instant::now();
         let rmgr_span = recorder.span(components::AMGR, "rmgr_acquire");
         let mut slots = Vec::with_capacity(1 + self.config.extra_resources.len());
+        let mut lease = lease;
         for resource in
             std::iter::once(&self.config.resource).chain(self.config.extra_resources.iter())
         {
-            slots.push(Arc::new(RtsSlot::acquire(
-                resource.name.clone(),
-                resource.rts_config(&recorder),
-                resource.pilot_desc(),
-                self.config.max_rts_restarts,
-            )));
+            // A warm lease (if any) backs the primary pool only; extra pools
+            // always acquire cold.
+            let slot = match lease.take() {
+                Some(lease) => RtsSlot::leased(
+                    resource.name.clone(),
+                    resource.rts_config(&recorder),
+                    resource.pilot_desc(),
+                    self.config.max_rts_restarts,
+                    lease,
+                ),
+                None => RtsSlot::acquire(
+                    resource.name.clone(),
+                    resource.rts_config(&recorder),
+                    resource.pilot_desc(),
+                    self.config.max_rts_restarts,
+                ),
+            };
+            slots.push(Arc::new(slot));
         }
         let pools = Arc::new(RtsPools { pools: slots });
         drop(rmgr_span);
@@ -719,12 +836,23 @@ impl AppManager {
         // ---- Main wait loop --------------------------------------------
         let deadline = run_start + self.config.run_timeout;
         let mut timed_out = false;
+        let mut canceled = false;
         loop {
             if ctx.workflow.lock().is_complete() {
                 break;
             }
             if !ctx.running.load(Ordering::Acquire) {
                 break; // a component raised a fatal error
+            }
+            if !canceled && ctx.cancel.is_canceled() {
+                // Cooperative cancellation: settle every non-terminal task
+                // to Canceled. Components already observe the token and stop
+                // scheduling/submitting, so nothing re-enters the pipeline;
+                // the settle logic completes stages and pipelines and the
+                // is_complete check above ends the run.
+                canceled = true;
+                recorder.record(components::AMGR, "cancel_requested", "", "");
+                cancel_workflow(&ctx);
             }
             if Instant::now() > deadline {
                 timed_out = true;
@@ -742,15 +870,32 @@ impl AppManager {
         }
         let mut records = Vec::new();
         let mut rts_teardown = Duration::ZERO;
+        let mut leased_any = false;
         for slot in &pools.pools {
+            leased_any |= slot.is_leased();
             records.extend(slot.all_records());
             rts_teardown += slot.final_teardown();
+        }
+        if leased_any {
+            // A leased RTS accumulates unit records across every session it
+            // served; keep only this workflow's units (task uid == unit tag,
+            // and uids are process-global unique).
+            let wf = ctx.workflow.lock();
+            records.retain(|r| wf.task(&r.tag).is_some());
         }
         ctx.profiler.set_rts_teardown(rts_teardown);
         // Wall time summed across pools and incarnations; back-dated
         // duration event rather than a live span.
         recorder.record_duration(components::AMGR, "rts_teardown", "", "", rts_teardown);
-        ctx.broker.close();
+        if shared_broker {
+            // The broker belongs to the service and keeps serving other
+            // sessions; remove only this session's queues.
+            for name in ctx.ns.all() {
+                let _ = ctx.broker.delete_queue(name);
+            }
+        } else {
+            ctx.broker.close();
+        }
         drop(teardown_span);
         ctx.profiler.set_teardown(teardown_start.elapsed());
         recorder.record(components::AMGR, "run_end", "", "");
@@ -826,7 +971,29 @@ impl AppManager {
             wall_secs: run_start.elapsed().as_secs_f64(),
             workflow: final_workflow,
             succeeded,
+            canceled,
         })
+    }
+}
+
+/// Settle every non-terminal task to `Canceled` under the workflow lock's
+/// transition machinery. Terminal tasks keep their states; the stage/pipeline
+/// settle logic derives Canceled stages and pipelines, completing the run.
+fn cancel_workflow(ctx: &Ctx) {
+    let uids: Vec<String> = {
+        let wf = ctx.workflow.lock();
+        wf.pipelines()
+            .iter()
+            .flat_map(|p| p.stages())
+            .flat_map(|s| s.tasks())
+            .filter(|t| !t.state().is_terminal())
+            .map(|t| t.uid().to_string())
+            .collect()
+    };
+    for uid in uids {
+        // May legitimately fail if the task reached a terminal state since
+        // the snapshot above.
+        let _ = synchronizer::apply_task(ctx, &uid, TaskState::Canceled);
     }
 }
 

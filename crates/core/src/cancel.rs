@@ -1,0 +1,51 @@
+//! Cooperative cancellation.
+//!
+//! A [`CancelToken`] is a cheap cloneable flag shared between an
+//! [`crate::AppManager`] run and whoever may want to stop it — the user's
+//! thread, or the service's `cancel` request. Cancellation is cooperative:
+//! components observe the token at their loop boundaries, stop scheduling
+//! and submitting new work, and the AppManager settles every in-flight task
+//! to `Canceled` so the run completes promptly instead of blocking until its
+//! timeout.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag. Cloning shares the flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncanceled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_canceled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let t2 = t.clone();
+        assert!(!t.is_canceled());
+        t2.cancel();
+        assert!(t.is_canceled());
+        t.cancel(); // idempotent
+        assert!(t2.is_canceled());
+    }
+}

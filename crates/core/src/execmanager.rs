@@ -22,8 +22,8 @@ use crossbeam::channel::RecvTimeoutError;
 use entk_observe::components as obs;
 use parking_lot::{Mutex, RwLock};
 use rp_rts::{
-    PilotDescription, PilotId, PilotState, RtsConfig, RuntimeSystem, UnitDescription, UnitOutcome,
-    UnitRecord,
+    PilotDescription, PilotId, PilotLease, PilotState, RtsConfig, RuntimeSystem, UnitDescription,
+    UnitOutcome, UnitRecord,
 };
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -50,6 +50,10 @@ pub(crate) struct RtsSlot {
     pub max_restarts: u32,
     /// Cumulative RTS teardown wall time across incarnations.
     pub teardown_wall: Mutex<Duration>,
+    /// Warm pilot lease backing this slot, if any. Held for the duration of
+    /// the run; `final_teardown` returns it to its pool instead of tearing
+    /// the RTS down.
+    pub lease: Mutex<Option<PilotLease>>,
 }
 
 impl RtsSlot {
@@ -72,7 +76,39 @@ impl RtsSlot {
             pilot_desc,
             max_restarts,
             teardown_wall: Mutex::new(Duration::ZERO),
+            lease: Mutex::new(None),
         }
+    }
+
+    /// Back the slot with an already-bootstrapped warm pilot leased from a
+    /// [`rp_rts::PilotPool`]. `rts_config`/`pilot_desc` are still kept: the
+    /// Heartbeat uses them to build an owned replacement if the leased RTS
+    /// dies mid-run.
+    pub(crate) fn leased(
+        name: String,
+        rts_config: RtsConfig,
+        pilot_desc: PilotDescription,
+        max_restarts: u32,
+        lease: PilotLease,
+    ) -> Self {
+        let rts = Arc::clone(lease.rts());
+        let pilot = lease.pilot();
+        RtsSlot {
+            name,
+            slot: RwLock::new((rts, pilot)),
+            restarts: AtomicU32::new(0),
+            archived: Mutex::new(Vec::new()),
+            rts_config,
+            pilot_desc,
+            max_restarts,
+            teardown_wall: Mutex::new(Duration::ZERO),
+            lease: Mutex::new(Some(lease)),
+        }
+    }
+
+    /// Whether the slot is (still) backed by a pool lease.
+    pub(crate) fn is_leased(&self) -> bool {
+        self.lease.lock().is_some()
     }
 
     /// All unit records across incarnations (archived + current).
@@ -82,10 +118,23 @@ impl RtsSlot {
         records
     }
 
-    /// Tear down the current incarnation, recording the wall time. Returns
-    /// the cumulative teardown time across incarnations.
+    /// Tear down the current incarnation, recording the wall time. A leased
+    /// incarnation is returned to its pool instead (zero teardown cost — the
+    /// point of warm pilot reuse). Returns the cumulative teardown time
+    /// across incarnations.
     pub(crate) fn final_teardown(&self) -> Duration {
         let rts = self.slot.read().0.clone();
+        if let Some(lease) = self.lease.lock().take() {
+            if Arc::ptr_eq(lease.rts(), &rts) {
+                // Still the leased incarnation: hand it back to the pool.
+                drop(lease);
+                return *self.teardown_wall.lock();
+            }
+            // The leased RTS died mid-run and was replaced by an owned one;
+            // dropping the stale lease lets the pool discard it, then the
+            // replacement is torn down normally below.
+            drop(lease);
+        }
         let d = rts.teardown();
         *self.teardown_wall.lock() += d;
         *self.teardown_wall.lock()
@@ -171,10 +220,17 @@ struct PoolBatch {
 
 fn emgr_loop(ctx: Arc<Ctx>, pools: Arc<RtsPools>) {
     while ctx.running.load(Ordering::Acquire) {
+        // Cooperative cancellation: stop submitting; queued messages become
+        // stale once the cancel sweep settles their tasks and are dropped on
+        // session teardown.
+        if ctx.cancel.is_canceled() {
+            std::thread::sleep(Duration::from_millis(2));
+            continue;
+        }
         // Collect a batch from the Pending queue.
         let first = match ctx
             .broker
-            .get_timeout(messages::PENDING, Duration::from_millis(20))
+            .get_timeout(ctx.ns.pending(), Duration::from_millis(20))
         {
             Ok(Some(d)) => d,
             Ok(None) => continue,
@@ -182,7 +238,7 @@ fn emgr_loop(ctx: Arc<Ctx>, pools: Arc<RtsPools>) {
         };
         let mut batch = vec![first];
         while batch.len() < EMGR_BATCH {
-            match ctx.broker.get(messages::PENDING) {
+            match ctx.broker.get(ctx.ns.pending()) {
                 Ok(Some(d)) => batch.push(d),
                 _ => break,
             }
@@ -207,7 +263,7 @@ fn emgr_loop(ctx: Arc<Ctx>, pools: Arc<RtsPools>) {
             match state {
                 Some(TaskState::Scheduled) => {
                     if !ctx.sync_task(component::EMGR, &uid, TaskState::Submitting) {
-                        let _ = ctx.broker.ack(messages::PENDING, d.tag);
+                        let _ = ctx.broker.ack(ctx.ns.pending(), d.tag);
                         continue;
                     }
                 }
@@ -215,7 +271,7 @@ fn emgr_loop(ctx: Arc<Ctx>, pools: Arc<RtsPools>) {
                 Some(TaskState::Submitting) => {}
                 // Stale message (task moved on or was canceled): drop it.
                 _ => {
-                    let _ = ctx.broker.ack(messages::PENDING, d.tag);
+                    let _ = ctx.broker.ack(ctx.ns.pending(), d.tag);
                     continue;
                 }
             }
@@ -242,7 +298,7 @@ fn emgr_loop(ctx: Arc<Ctx>, pools: Arc<RtsPools>) {
                 );
             if !pilot_ready {
                 for (tag, _) in group.submitted {
-                    let _ = ctx.broker.nack(messages::PENDING, tag);
+                    let _ = ctx.broker.nack(ctx.ns.pending(), tag);
                 }
                 continue;
             }
@@ -257,7 +313,7 @@ fn emgr_loop(ctx: Arc<Ctx>, pools: Arc<RtsPools>) {
                 if ctx.sync_task(component::EMGR, uid, TaskState::Submitted) {
                     to_submit.push(unit);
                 }
-                let _ = ctx.broker.ack(messages::PENDING, *tag);
+                let _ = ctx.broker.ack(ctx.ns.pending(), *tag);
             }
             if to_submit.is_empty() {
                 continue;
@@ -293,7 +349,7 @@ fn callback_loop(ctx: Arc<Ctx>, slot: Arc<RtsSlot>) {
                 if ctx.sync_task(component::CALLBACK, &cb.tag, TaskState::Executed) {
                     let _ = ctx
                         .broker
-                        .publish(messages::DONE, messages::done_message(&cb.tag, &outcome));
+                        .publish(ctx.ns.done(), messages::done_message(&cb.tag, &outcome));
                 }
                 drop(span);
                 ctx.profiler.add_management(t0.elapsed());
@@ -373,7 +429,13 @@ fn heartbeat_loop(ctx: Arc<Ctx>, slot: Arc<RtsSlot>, is_primary: bool, interval:
             // one (§II-B4).
             slot.archived.lock().extend(rts.records());
             let t0 = Instant::now();
-            rts.teardown();
+            if let Some(stale) = slot.lease.lock().take() {
+                // The dead incarnation was a pool lease: dropping it lets
+                // the pool health-check discard and tear it down.
+                drop(stale);
+            } else {
+                rts.teardown();
+            }
             *slot.teardown_wall.lock() += t0.elapsed();
             let new_rts = Arc::new(RuntimeSystem::start(slot.rts_config.clone()));
             let new_pilot = new_rts.submit_pilot(&slot.pilot_desc);
@@ -415,7 +477,7 @@ fn heartbeat_loop(ctx: Arc<Ctx>, slot: Arc<RtsSlot>, is_primary: bool, interval:
         );
         for uid in lost {
             let _ = ctx.broker.publish(
-                messages::DONE,
+                ctx.ns.done(),
                 messages::done_message(&uid, &AttemptOutcome::Lost),
             );
         }

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod appmanager;
+pub mod cancel;
 pub mod errors;
 pub mod execmanager;
 pub mod messages;
@@ -59,8 +60,11 @@ pub mod workflow;
 
 pub use appmanager::{
     AppManager, AppManagerConfig, ExecutionStrategy, ResourceDescription, RunReport,
+    SessionAttachment,
 };
+pub use cancel::CancelToken;
 pub use errors::{EntkError, EntkResult};
+pub use messages::QueueNamespace;
 pub use pipeline::Pipeline;
 pub use profiler::{OverheadReport, PythonEmulation};
 pub use stage::Stage;

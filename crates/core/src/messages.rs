@@ -22,6 +22,103 @@ pub fn ack_queue(component: &str) -> String {
     format!("entk-ack-{component}")
 }
 
+/// Session-scoped queue names.
+///
+/// A standalone `AppManager::run` owns its broker, so the legacy global
+/// names ([`PENDING`], [`DONE`], [`SYNC`], `entk-ack-*`) suffice. When many
+/// sessions share one broker (the entk-service case) every session gets a
+/// prefix — `entk-{session}-pending` etc. — so their message streams cannot
+/// cross. All queue names are precomputed once per session; the hot paths
+/// borrow them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueNamespace {
+    /// Session id, empty for the root namespace.
+    session: String,
+    pending: String,
+    done: String,
+    sync: String,
+    acks: [String; component::ALL.len()],
+}
+
+impl QueueNamespace {
+    /// The root namespace: the legacy global queue names.
+    pub fn root() -> Self {
+        QueueNamespace {
+            session: String::new(),
+            pending: PENDING.to_string(),
+            done: DONE.to_string(),
+            sync: SYNC.to_string(),
+            acks: component::ALL.map(ack_queue),
+        }
+    }
+
+    /// A session-scoped namespace: `entk-{session}-pending` and friends.
+    pub fn session(id: impl Into<String>) -> Self {
+        let id = id.into();
+        QueueNamespace {
+            pending: format!("entk-{id}-pending"),
+            done: format!("entk-{id}-done"),
+            sync: format!("entk-{id}-sync"),
+            acks: component::ALL.map(|c| format!("entk-{id}-ack-{c}")),
+            session: id,
+        }
+    }
+
+    /// The session id (`""` for the root namespace).
+    pub fn session_id(&self) -> &str {
+        &self.session
+    }
+
+    /// The queue-name prefix shared by every queue of this namespace, for
+    /// bulk cleanup (`Broker::delete_matching`).
+    pub fn prefix(&self) -> String {
+        if self.session.is_empty() {
+            "entk-".to_string()
+        } else {
+            format!("entk-{}-", self.session)
+        }
+    }
+
+    /// The Pending queue name.
+    pub fn pending(&self) -> &str {
+        &self.pending
+    }
+
+    /// The Done queue name.
+    pub fn done(&self) -> &str {
+        &self.done
+    }
+
+    /// The synchronization queue name.
+    pub fn sync(&self) -> &str {
+        &self.sync
+    }
+
+    /// The acknowledgement queue for a subcomponent. `component` must be one
+    /// of [`component::ALL`]; unknown names fall back to a freshly formatted
+    /// name (correct but allocating).
+    pub fn ack(&self, comp: &str) -> std::borrow::Cow<'_, str> {
+        match component::ALL.iter().position(|c| *c == comp) {
+            Some(i) => std::borrow::Cow::Borrowed(&self.acks[i]),
+            None if self.session.is_empty() => std::borrow::Cow::Owned(ack_queue(comp)),
+            None => std::borrow::Cow::Owned(format!("entk-{}-ack-{comp}", self.session)),
+        }
+    }
+
+    /// Every queue name in this namespace (declare / cleanup order).
+    pub fn all(&self) -> Vec<&str> {
+        let mut names = vec![self.pending(), self.done(), self.sync()];
+        names.extend(self.acks.iter().map(String::as_str));
+        names
+    }
+}
+
+impl Default for QueueNamespace {
+    fn default() -> Self {
+        Self::root()
+    }
+}
+
 /// Subcomponent names (used for ack-queue routing and profiling).
 pub mod component {
     /// WFProcessor's Enqueue.
@@ -199,6 +296,40 @@ mod tests {
         assert!(ok);
         let (_, ok) = parse_ack(&ack_message("task.5", false));
         assert!(!ok);
+    }
+
+    #[test]
+    fn root_namespace_matches_legacy_constants() {
+        let ns = QueueNamespace::root();
+        assert_eq!(ns.pending(), PENDING);
+        assert_eq!(ns.done(), DONE);
+        assert_eq!(ns.sync(), SYNC);
+        for comp in component::ALL {
+            assert_eq!(ns.ack(comp), ack_queue(comp));
+        }
+        assert_eq!(ns.session_id(), "");
+        assert_eq!(ns.all().len(), 3 + component::ALL.len());
+    }
+
+    #[test]
+    fn session_namespaces_are_disjoint() {
+        let a = QueueNamespace::session("s01");
+        let b = QueueNamespace::session("s02");
+        let names_a: Vec<&str> = a.all();
+        for name in b.all() {
+            assert!(!names_a.contains(&name), "{name} collides");
+            assert!(name.starts_with(&b.prefix()));
+        }
+        assert_eq!(a.pending(), "entk-s01-pending");
+        assert_eq!(a.ack(component::EMGR), "entk-s01-ack-emgr");
+        assert_eq!(a.prefix(), "entk-s01-");
+    }
+
+    #[test]
+    fn unknown_component_ack_still_namespaced() {
+        let ns = QueueNamespace::session("x");
+        assert_eq!(ns.ack("weird"), "entk-x-ack-weird");
+        assert_eq!(QueueNamespace::root().ack("weird"), "entk-ack-weird");
     }
 
     #[test]

@@ -33,7 +33,7 @@ fn run(ctx: Arc<Ctx>) {
     while ctx.running.load(Ordering::Acquire) {
         let delivery = match ctx
             .broker
-            .get_timeout(messages::SYNC, Duration::from_millis(20))
+            .get_timeout(ctx.ns.sync(), Duration::from_millis(20))
         {
             Ok(Some(d)) => d,
             Ok(None) => continue,
@@ -41,7 +41,7 @@ fn run(ctx: Arc<Ctx>) {
         };
         let t0 = Instant::now();
         let Some(req) = parse_sync(&delivery.message) else {
-            let _ = ctx.broker.ack(messages::SYNC, delivery.tag);
+            let _ = ctx.broker.ack(ctx.ns.sync(), delivery.tag);
             continue;
         };
         // Transition latency: request dequeued → applied → acknowledged
@@ -60,9 +60,9 @@ fn run(ctx: Arc<Ctx>) {
                 req.state.clone(),
             );
         }
-        let _ = ctx.broker.ack(messages::SYNC, delivery.tag);
+        let _ = ctx.broker.ack(ctx.ns.sync(), delivery.tag);
         let _ = ctx.broker.publish(
-            &messages::ack_queue(&req.component),
+            &ctx.ns.ack(&req.component),
             messages::ack_message(&req.uid, ok),
         );
         drop(span);

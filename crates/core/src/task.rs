@@ -90,6 +90,11 @@ impl Task {
         &self.uid
     }
 
+    /// The user-facing task name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
     /// Current state.
     pub fn state(&self) -> TaskState {
         self.state

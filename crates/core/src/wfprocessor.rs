@@ -32,6 +32,12 @@ pub(crate) fn spawn_dequeue(ctx: Arc<Ctx>) -> std::thread::JoinHandle<()> {
 
 fn enqueue_loop(ctx: Arc<Ctx>) {
     while ctx.running.load(Ordering::Acquire) {
+        // Cooperative cancellation: stop tagging new work; the AppManager's
+        // cancel sweep settles everything already in flight.
+        if ctx.cancel.is_canceled() {
+            std::thread::sleep(Duration::from_millis(2));
+            continue;
+        }
         let ready = ctx.workflow.lock().schedulable_tasks();
         if ready.is_empty() {
             std::thread::sleep(Duration::from_millis(2));
@@ -40,7 +46,7 @@ fn enqueue_loop(ctx: Arc<Ctx>) {
         let t0 = Instant::now();
         let span = ctx.recorder.span(obs::ENQ, "batch");
         for uid in ready {
-            if !ctx.running.load(Ordering::Acquire) {
+            if !ctx.running.load(Ordering::Acquire) || ctx.cancel.is_canceled() {
                 return;
             }
             // Execution-strategy throttle: hold the task back while the
@@ -48,7 +54,7 @@ fn enqueue_loop(ctx: Arc<Ctx>) {
             while ctx.in_flight.load(Ordering::Relaxed)
                 >= ctx.concurrency_cap.load(Ordering::Relaxed)
             {
-                if !ctx.running.load(Ordering::Acquire) {
+                if !ctx.running.load(Ordering::Acquire) || ctx.cancel.is_canceled() {
                     return;
                 }
                 std::thread::sleep(Duration::from_micros(200));
@@ -64,7 +70,7 @@ fn enqueue_loop(ctx: Arc<Ctx>) {
             }
             let _ = ctx
                 .broker
-                .publish(messages::PENDING, messages::pending_message(&uid));
+                .publish(ctx.ns.pending(), messages::pending_message(&uid));
         }
         drop(span);
         ctx.profiler.add_management(t0.elapsed());
@@ -75,7 +81,7 @@ fn dequeue_loop(ctx: Arc<Ctx>) {
     while ctx.running.load(Ordering::Acquire) {
         let delivery = match ctx
             .broker
-            .get_timeout(messages::DONE, Duration::from_millis(20))
+            .get_timeout(ctx.ns.done(), Duration::from_millis(20))
         {
             Ok(Some(d)) => d,
             Ok(None) => continue,
@@ -85,7 +91,7 @@ fn dequeue_loop(ctx: Arc<Ctx>) {
         let (uid, outcome) = messages::parse_done(&delivery.message);
         let span = ctx.recorder.span(obs::DEQ, "handle").with_uid(uid.clone());
         handle_outcome(&ctx, &uid, outcome);
-        let _ = ctx.broker.ack(messages::DONE, delivery.tag);
+        let _ = ctx.broker.ack(ctx.ns.done(), delivery.tag);
         drop(span);
         ctx.profiler.add_management(t0.elapsed());
     }
@@ -136,10 +142,13 @@ fn handle_outcome(ctx: &Ctx, uid: &str, outcome: AttemptOutcome) {
                 }
             };
             // `attempts` counts executions so far; a budget of N retries
-            // allows N+1 executions in total. `None` = unlimited.
-            let may_retry = budget.is_none_or(|n| attempts <= n);
+            // allows N+1 executions in total. `None` = unlimited. A canceled
+            // run stops retrying: the attempt settles to Canceled.
+            let may_retry = !ctx.cancel.is_canceled() && budget.is_none_or(|n| attempts <= n);
             if may_retry {
                 ctx.sync_task(component::DEQUEUE, uid, TaskState::Described);
+            } else if ctx.cancel.is_canceled() {
+                ctx.sync_task(component::DEQUEUE, uid, TaskState::Canceled);
             } else {
                 ctx.sync_task(component::DEQUEUE, uid, TaskState::Failed);
             }
@@ -161,7 +170,7 @@ fn handle_outcome(ctx: &Ctx, uid: &str, outcome: AttemptOutcome) {
                     None => return,
                 }
             };
-            let may_retry = budget.is_none_or(|n| attempts <= n);
+            let may_retry = !ctx.cancel.is_canceled() && budget.is_none_or(|n| attempts <= n);
             if may_retry {
                 ctx.sync_task(component::DEQUEUE, uid, TaskState::Described);
             } else {
@@ -174,7 +183,11 @@ fn handle_outcome(ctx: &Ctx, uid: &str, outcome: AttemptOutcome) {
             // is redone).
             ctx.profiler.count_attempt_failed();
             ctx.recorder.record(obs::DEQ, "attempt_failed", uid, "lost");
-            ctx.sync_task(component::DEQUEUE, uid, TaskState::Described);
+            if ctx.cancel.is_canceled() {
+                ctx.sync_task(component::DEQUEUE, uid, TaskState::Canceled);
+            } else {
+                ctx.sync_task(component::DEQUEUE, uid, TaskState::Described);
+            }
         }
     }
 }

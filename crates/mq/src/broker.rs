@@ -170,6 +170,34 @@ impl Broker {
         Ok(())
     }
 
+    /// Delete every queue whose name starts with `prefix`, waking blocked
+    /// consumers with `BrokerClosed`. Returns how many queues were deleted.
+    /// Used to clean up a session's namespaced queues on a shared broker.
+    pub fn delete_matching(&self, prefix: &str) -> MqResult<usize> {
+        self.check_open()?;
+        let mut handles = Vec::new();
+        {
+            let mut queues = self.inner.queues.write();
+            let names: Vec<String> = queues
+                .keys()
+                .filter(|n| n.starts_with(prefix))
+                .cloned()
+                .collect();
+            for name in names {
+                if let Some(handle) = queues.remove(&name) {
+                    handles.push((name, handle));
+                }
+            }
+        }
+        for (name, handle) in &handles {
+            handle.close();
+            if let Some(rec) = &self.inner.recorder {
+                rec.record(components::MQ, "queue_deleted", name.clone(), "");
+            }
+        }
+        Ok(handles.len())
+    }
+
     fn get_queue(&self, name: &str) -> MqResult<Arc<QueueHandle>> {
         self.inner
             .queues

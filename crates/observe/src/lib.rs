@@ -52,6 +52,8 @@ pub mod components {
     pub const HEARTBEAT: &str = "heartbeat";
     /// Message broker (entk-mq).
     pub const MQ: &str = "mq";
+    /// Multi-tenant ensemble service (entk-service).
+    pub const SERVICE: &str = "service";
     /// Runtime system (rp-rts).
     pub const RTS: &str = "rts";
     /// Discrete-event simulator (hpc-sim).

@@ -45,6 +45,8 @@ struct Store {
     docs: HashMap<UnitId, UnitDoc>,
     /// Per-agent unit queues (keyed by pilot index).
     queues: HashMap<u64, VecDeque<UnitId>>,
+    /// Pilot documents: state history keyed by pilot index.
+    pilots: HashMap<u64, Vec<String>>,
     ops: u64,
 }
 
@@ -62,6 +64,7 @@ impl DocDb {
             store: Mutex::new(Store {
                 docs: HashMap::new(),
                 queues: HashMap::new(),
+                pilots: HashMap::new(),
                 ops: 0,
             }),
         }
@@ -110,6 +113,35 @@ impl DocDb {
             doc.state = state;
             doc.history.push(state);
         }
+    }
+
+    /// PilotManager: register a pilot document. In RP every pilot is
+    /// synchronized through MongoDB like units are; this is a large share of
+    /// the bootstrap cost a warm pilot pool amortizes away.
+    pub fn insert_pilot(&self, pilot: u64) {
+        self.charge();
+        let mut st = self.store.lock();
+        st.ops += 1;
+        st.pilots.insert(pilot, vec!["Queued".to_string()]);
+    }
+
+    /// Record a pilot state transition. Unknown pilots are ignored.
+    pub fn update_pilot_state(&self, pilot: u64, state: &str) {
+        self.charge();
+        let mut st = self.store.lock();
+        st.ops += 1;
+        if let Some(hist) = st.pilots.get_mut(&pilot) {
+            hist.push(state.to_string());
+        }
+    }
+
+    /// One pilot's latest recorded state.
+    pub fn pilot_state(&self, pilot: u64) -> Option<String> {
+        self.store
+            .lock()
+            .pilots
+            .get(&pilot)
+            .and_then(|h| h.last().cloned())
     }
 
     /// Read one unit's document.
@@ -207,6 +239,18 @@ mod tests {
         let term = db.terminal_units();
         assert_eq!(term.len(), 1);
         assert_eq!(term[0].unit, UnitId(1));
+    }
+
+    #[test]
+    fn pilot_docs_track_state_history() {
+        let db = DocDb::new(DbConfig::default());
+        db.insert_pilot(0);
+        db.update_pilot_state(0, "Active");
+        db.update_pilot_state(0, "Ready");
+        assert_eq!(db.pilot_state(0).as_deref(), Some("Ready"));
+        db.update_pilot_state(9, "Active"); // unknown: ignored
+        assert!(db.pilot_state(9).is_none());
+        assert_eq!(db.op_count(), 4);
     }
 
     #[test]

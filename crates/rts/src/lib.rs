@@ -32,6 +32,7 @@ pub mod api;
 pub mod db;
 pub mod executable;
 pub mod local_runtime;
+pub mod pool;
 pub mod profile;
 pub mod rts;
 pub mod sim_runtime;
@@ -41,5 +42,6 @@ pub use api::{
     UnitId, UnitOutcome, UnitState,
 };
 pub use executable::Executable;
+pub use pool::{PilotLease, PilotPool, PilotPoolConfig, PoolStats};
 pub use profile::{RtsProfile, UnitRecord};
 pub use rts::{BackendConfig, LocalConfig, RtsConfig, RuntimeSystem};

@@ -1,0 +1,328 @@
+//! Warm pilot pool: bootstrapped runtimes leased across workflows.
+//!
+//! The paper's Fig. 7 shows pilot bootstrap and RTS setup dominating EnTK
+//! overhead; a long-running service should pay that cost once and amortize
+//! it over many workflows. A [`PilotPool`] keeps fully bootstrapped
+//! (RTS started, pilot submitted and ready) runtimes idle between leases.
+//! [`PilotPool::lease`] hands out a warm runtime when one is available and
+//! cold-boots one otherwise; dropping the [`PilotLease`] health-checks the
+//! runtime and returns it to the pool — or tears it down if it died, the
+//! pool is full, or the pool is draining.
+
+use crate::api::{PilotDescription, PilotId, PilotState};
+use crate::rts::{RtsConfig, RuntimeSystem};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+/// Pool configuration: every pooled pilot is interchangeable, built from the
+/// same RTS config and pilot description.
+#[derive(Debug, Clone)]
+pub struct PilotPoolConfig {
+    /// RTS configuration for every incarnation.
+    pub rts: RtsConfig,
+    /// Pilot description for every incarnation. Give pooled pilots a large
+    /// walltime: they keep consuming it while idle between leases.
+    pub pilot: PilotDescription,
+    /// Maximum idle runtimes kept warm; returns beyond this are torn down.
+    pub capacity: usize,
+}
+
+/// Point-in-time counters describing pool behavior.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Leases served by a cold boot (nothing warm available).
+    pub cold_boots: u64,
+    /// Leases served from the warm pool.
+    pub warm_hits: u64,
+    /// Leases returned warm to the pool.
+    pub returned: u64,
+    /// Leases discarded on return (dead, pool full, or draining).
+    pub discarded: u64,
+}
+
+struct PoolInner {
+    config: PilotPoolConfig,
+    idle: Mutex<Vec<(Arc<RuntimeSystem>, PilotId)>>,
+    draining: AtomicBool,
+    cold_boots: AtomicU64,
+    warm_hits: AtomicU64,
+    returned: AtomicU64,
+    discarded: AtomicU64,
+}
+
+impl PoolInner {
+    fn boot(&self) -> (Arc<RuntimeSystem>, PilotId) {
+        let rts = Arc::new(RuntimeSystem::start(self.config.rts.clone()));
+        let pilot = rts.submit_pilot(&self.config.pilot);
+        rts.wait_pilot_ready(pilot, Duration::from_secs(30));
+        (rts, pilot)
+    }
+}
+
+fn healthy(rts: &RuntimeSystem, pilot: PilotId) -> bool {
+    rts.is_alive()
+        && matches!(
+            rts.pilot_state(pilot),
+            Some(PilotState::Ready | PilotState::Queued | PilotState::Active)
+        )
+}
+
+/// A pool of warm, ready-to-serve pilot runtimes. Cheap to clone; clones
+/// share the pool.
+#[derive(Clone)]
+pub struct PilotPool {
+    inner: Arc<PoolInner>,
+}
+
+impl PilotPool {
+    /// An empty pool (no pilots booted yet).
+    pub fn new(config: PilotPoolConfig) -> Self {
+        PilotPool {
+            inner: Arc::new(PoolInner {
+                config,
+                idle: Mutex::new(Vec::new()),
+                draining: AtomicBool::new(false),
+                cold_boots: AtomicU64::new(0),
+                warm_hits: AtomicU64::new(0),
+                returned: AtomicU64::new(0),
+                discarded: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Boot up to `n` pilots into the warm pool (bounded by capacity).
+    pub fn prewarm(&self, n: usize) {
+        for _ in 0..n {
+            {
+                let idle = self.inner.idle.lock();
+                if idle.len() >= self.inner.config.capacity {
+                    return;
+                }
+            }
+            let slot = self.inner.boot();
+            self.inner.idle.lock().push(slot);
+        }
+    }
+
+    /// Lease a runtime: warm when available (health-checked), cold-booted
+    /// otherwise.
+    pub fn lease(&self) -> PilotLease {
+        loop {
+            let candidate = self.inner.idle.lock().pop();
+            match candidate {
+                Some((rts, pilot)) if healthy(&rts, pilot) => {
+                    self.inner.warm_hits.fetch_add(1, Ordering::Relaxed);
+                    return PilotLease {
+                        rts: Some(rts),
+                        pilot,
+                        warm: true,
+                        pool: Arc::downgrade(&self.inner),
+                    };
+                }
+                Some((rts, _)) => {
+                    // Died while idle (walltime expiry, CI failure): discard
+                    // and try the next one.
+                    self.inner.discarded.fetch_add(1, Ordering::Relaxed);
+                    rts.teardown();
+                }
+                None => {
+                    self.inner.cold_boots.fetch_add(1, Ordering::Relaxed);
+                    let (rts, pilot) = self.inner.boot();
+                    return PilotLease {
+                        rts: Some(rts),
+                        pilot,
+                        warm: false,
+                        pool: Arc::downgrade(&self.inner),
+                    };
+                }
+            }
+        }
+    }
+
+    /// How many runtimes sit warm in the pool right now.
+    pub fn warm_count(&self) -> usize {
+        self.inner.idle.lock().len()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            cold_boots: self.inner.cold_boots.load(Ordering::Relaxed),
+            warm_hits: self.inner.warm_hits.load(Ordering::Relaxed),
+            returned: self.inner.returned.load(Ordering::Relaxed),
+            discarded: self.inner.discarded.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drain the pool: tear down every idle runtime and discard future
+    /// returns. Returns the cumulative teardown wall time.
+    pub fn drain(&self) -> Duration {
+        self.inner.draining.store(true, Ordering::Release);
+        let idle: Vec<_> = std::mem::take(&mut *self.inner.idle.lock());
+        let mut total = Duration::ZERO;
+        for (rts, _) in idle {
+            total += rts.teardown();
+        }
+        total
+    }
+}
+
+/// An exclusive lease on one bootstrapped runtime + ready pilot. Dropping
+/// the lease returns the runtime to its pool (when still healthy and the
+/// pool has room) or tears it down.
+pub struct PilotLease {
+    rts: Option<Arc<RuntimeSystem>>,
+    pilot: PilotId,
+    warm: bool,
+    pool: Weak<PoolInner>,
+}
+
+impl PilotLease {
+    /// The leased runtime.
+    pub fn rts(&self) -> &Arc<RuntimeSystem> {
+        self.rts.as_ref().expect("lease holds an RTS until dropped")
+    }
+
+    /// The leased (ready) pilot on that runtime.
+    pub fn pilot(&self) -> PilotId {
+        self.pilot
+    }
+
+    /// Whether this lease was served warm from the pool (vs cold-booted).
+    pub fn was_warm(&self) -> bool {
+        self.warm
+    }
+
+    /// Return the lease to the pool explicitly (same as dropping it).
+    pub fn release(self) {}
+}
+
+impl Drop for PilotLease {
+    fn drop(&mut self) {
+        let Some(rts) = self.rts.take() else { return };
+        let pool = self.pool.upgrade();
+        let ok = healthy(&rts, self.pilot);
+        if ok {
+            if let Some(pool) = &pool {
+                if !pool.draining.load(Ordering::Acquire) {
+                    let mut idle = pool.idle.lock();
+                    if idle.len() < pool.config.capacity {
+                        idle.push((rts, self.pilot));
+                        pool.returned.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                }
+            }
+        }
+        if let Some(pool) = &pool {
+            pool.discarded.fetch_add(1, Ordering::Relaxed);
+        }
+        rts.teardown();
+    }
+}
+
+impl std::fmt::Debug for PilotLease {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PilotLease")
+            .field("pilot", &self.pilot)
+            .field("warm", &self.warm)
+            .field("held", &self.rts.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpc_sim::PlatformId;
+
+    fn pool(capacity: usize) -> PilotPool {
+        PilotPool::new(PilotPoolConfig {
+            rts: RtsConfig::sim(PlatformId::TestRig),
+            pilot: PilotDescription {
+                platform: PlatformId::TestRig,
+                nodes: 1,
+                walltime_secs: 1_000_000_000,
+                bootstrap_secs: 0.0,
+            },
+            capacity,
+        })
+    }
+
+    #[test]
+    fn cold_then_warm_reuse() {
+        let pool = pool(2);
+        assert_eq!(pool.warm_count(), 0);
+        let lease = pool.lease();
+        assert!(!lease.was_warm());
+        assert!(lease.rts().is_alive());
+        let rts_ptr = Arc::as_ptr(lease.rts());
+        lease.release();
+        assert_eq!(pool.warm_count(), 1);
+        let lease = pool.lease();
+        assert!(lease.was_warm(), "second lease reuses the returned runtime");
+        assert_eq!(Arc::as_ptr(lease.rts()), rts_ptr);
+        drop(lease);
+        let stats = pool.stats();
+        assert_eq!(stats.cold_boots, 1);
+        assert_eq!(stats.warm_hits, 1);
+        assert_eq!(stats.returned, 2);
+        assert_eq!(stats.discarded, 0);
+    }
+
+    #[test]
+    fn prewarm_fills_pool() {
+        let pool = pool(2);
+        pool.prewarm(5); // capped at capacity
+        assert_eq!(pool.warm_count(), 2);
+        let a = pool.lease();
+        let b = pool.lease();
+        assert!(a.was_warm() && b.was_warm());
+        assert_eq!(pool.warm_count(), 0);
+    }
+
+    #[test]
+    fn dead_runtime_discarded_not_returned() {
+        let pool = pool(2);
+        let lease = pool.lease();
+        lease.rts().kill();
+        drop(lease);
+        assert_eq!(pool.warm_count(), 0);
+        assert_eq!(pool.stats().discarded, 1);
+    }
+
+    #[test]
+    fn dead_idle_runtime_skipped_on_lease() {
+        let pool = pool(2);
+        pool.prewarm(1);
+        pool.inner.idle.lock()[0].0.kill();
+        let lease = pool.lease();
+        assert!(!lease.was_warm(), "dead warm runtime must not be served");
+        assert!(lease.rts().is_alive());
+        assert_eq!(pool.stats().discarded, 1);
+    }
+
+    #[test]
+    fn capacity_bounds_returns() {
+        let pool = pool(1);
+        let a = pool.lease();
+        let b = pool.lease();
+        drop(a);
+        drop(b); // pool already full: torn down
+        assert_eq!(pool.warm_count(), 1);
+        assert_eq!(pool.stats().discarded, 1);
+    }
+
+    #[test]
+    fn drain_tears_down_idle_and_rejects_returns() {
+        let pool = pool(4);
+        pool.prewarm(2);
+        let lease = pool.lease();
+        pool.drain();
+        assert_eq!(pool.warm_count(), 0);
+        drop(lease); // late return discarded
+        assert_eq!(pool.warm_count(), 0);
+    }
+}

@@ -189,6 +189,10 @@ impl SimRuntime {
         );
         st.job_index.insert(job, id);
         drop(st);
+        // Pilot registration round-trips through the DB like unit documents
+        // do in RP; its latency is part of the bootstrap cost a warm pilot
+        // pool amortizes away.
+        self.db.insert_pilot(id.0);
         self.recorder.record(
             components::RTS,
             "pilot_submitted",
@@ -503,6 +507,7 @@ fn dispatcher_loop(
                         format!("pilot.{}", pid.0),
                         "Active",
                     );
+                    db.update_pilot_state(pid.0, "Active");
                     cond.notify_all();
                 }
             }
@@ -517,6 +522,7 @@ fn dispatcher_loop(
                         format!("pilot.{}", pid.0),
                         "Ready",
                     );
+                    db.update_pilot_state(pid.0, "Ready");
                     cond.notify_all();
                 }
             }
@@ -531,6 +537,7 @@ fn dispatcher_loop(
                         format!("pilot.{}", pid.0),
                         "Done",
                     );
+                    db.update_pilot_state(pid.0, "Done");
                     // Any unit of this pilot not yet terminal is lost. The
                     // sim also emits per-task Canceled events; this sweep
                     // catches units still in staging.

@@ -1,0 +1,127 @@
+//! Admission control: bounded pending queue with a data-driven retry hint.
+//!
+//! The service never queues unboundedly — past `max_pending` waiting
+//! submissions, new ones are refused with
+//! [`SubmitError::Saturated`](crate::protocol::SubmitError) carrying a
+//! `retry_after` estimated from an EWMA of recent run turnarounds: roughly
+//! how long until enough queue slots drain for the client's resubmission to
+//! be admitted.
+
+use std::time::Duration;
+
+/// EWMA smoothing factor for observed run durations.
+const EWMA_ALPHA: f64 = 0.3;
+
+/// Backoff floor so clients never spin.
+const MIN_RETRY_AFTER: Duration = Duration::from_millis(10);
+
+/// Assumed run duration before any completion has been observed.
+const DEFAULT_RUN_MS: f64 = 200.0;
+
+/// Bounded-queue admission policy with turnaround tracking.
+#[derive(Debug)]
+pub struct AdmissionPolicy {
+    max_pending: usize,
+    run_ewma_ms: f64,
+    observed: bool,
+}
+
+impl AdmissionPolicy {
+    /// Policy admitting at most `max_pending` queued submissions (0 is
+    /// clamped to 1 so the service can always make progress).
+    pub fn new(max_pending: usize) -> Self {
+        AdmissionPolicy {
+            max_pending: max_pending.max(1),
+            run_ewma_ms: DEFAULT_RUN_MS,
+            observed: false,
+        }
+    }
+
+    /// The configured pending-queue bound.
+    pub fn max_pending(&self) -> usize {
+        self.max_pending
+    }
+
+    /// Decide whether a new submission may enter a queue already holding
+    /// `pending` items while `max_active` workers drain it. `Err` carries
+    /// the suggested client backoff.
+    pub fn admit(&self, pending: usize, max_active: usize) -> Result<(), Duration> {
+        if pending < self.max_pending {
+            return Ok(());
+        }
+        // One queue slot frees every run_ewma/max_active on average; the
+        // client needs (pending - max_pending + 1) slots to free before its
+        // retry can be admitted.
+        let slots_needed = (pending - self.max_pending + 1) as f64;
+        let drain_rate = max_active.max(1) as f64;
+        let ms = self.run_ewma_ms * slots_needed / drain_rate;
+        Err(Duration::from_secs_f64(ms / 1000.0).max(MIN_RETRY_AFTER))
+    }
+
+    /// Feed one completed run's wall time into the turnaround EWMA.
+    pub fn observe(&mut self, run: Duration) {
+        let ms = run.as_secs_f64() * 1000.0;
+        if self.observed {
+            self.run_ewma_ms = EWMA_ALPHA * ms + (1.0 - EWMA_ALPHA) * self.run_ewma_ms;
+        } else {
+            self.run_ewma_ms = ms;
+            self.observed = true;
+        }
+    }
+
+    /// Current turnaround estimate in milliseconds.
+    pub fn run_estimate_ms(&self) -> f64 {
+        self.run_ewma_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_below_bound_rejects_at_bound() {
+        let p = AdmissionPolicy::new(4);
+        assert!(p.admit(0, 2).is_ok());
+        assert!(p.admit(3, 2).is_ok());
+        let retry = p.admit(4, 2).unwrap_err();
+        assert!(retry >= MIN_RETRY_AFTER);
+    }
+
+    #[test]
+    fn retry_after_scales_with_backlog() {
+        let mut p = AdmissionPolicy::new(2);
+        p.observe(Duration::from_millis(1000));
+        let shallow = p.admit(2, 1).unwrap_err();
+        let deep = p.admit(6, 1).unwrap_err();
+        assert!(deep > shallow, "{deep:?} vs {shallow:?}");
+        // 5 slots to free at 1s each.
+        assert!(deep >= Duration::from_secs(5));
+    }
+
+    #[test]
+    fn more_workers_shrink_retry_after() {
+        let mut p = AdmissionPolicy::new(1);
+        p.observe(Duration::from_millis(800));
+        let one = p.admit(4, 1).unwrap_err();
+        let four = p.admit(4, 4).unwrap_err();
+        assert!(four < one);
+    }
+
+    #[test]
+    fn ewma_tracks_observations() {
+        let mut p = AdmissionPolicy::new(1);
+        p.observe(Duration::from_millis(100));
+        assert!((p.run_estimate_ms() - 100.0).abs() < 1e-9);
+        p.observe(Duration::from_millis(200));
+        // 0.3 * 200 + 0.7 * 100 = 130
+        assert!((p.run_estimate_ms() - 130.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_bound_clamped() {
+        let p = AdmissionPolicy::new(0);
+        assert_eq!(p.max_pending(), 1);
+        assert!(p.admit(0, 1).is_ok());
+    }
+}

@@ -1,0 +1,244 @@
+//! Weighted fair-share dispatch across tenants.
+//!
+//! Stride scheduling: each tenant carries a `pass` value advanced by
+//! `stride = K / weight` every time one of its submissions is dispatched.
+//! The dispatcher always picks the backlogged tenant with the smallest pass,
+//! so over time each tenant's dispatch rate is proportional to its weight
+//! and no tenant starves under a flood from another (a tenant that floods
+//! the queue only advances its own pass faster). Within a tenant, order is
+//! FIFO, preserving per-tenant submission ordering.
+
+use std::collections::{HashMap, VecDeque};
+
+/// Numerator for stride computation; large so integer strides stay precise
+/// across weight ratios.
+const STRIDE_K: u64 = 1 << 20;
+
+struct Tenant<T> {
+    queue: VecDeque<T>,
+    pass: u64,
+    stride: u64,
+}
+
+/// A weighted fair-share queue of `T` keyed by tenant name.
+pub struct FairShare<T> {
+    default_weight: u32,
+    weights: HashMap<String, u32>,
+    tenants: HashMap<String, Tenant<T>>,
+    len: usize,
+}
+
+impl<T> FairShare<T> {
+    /// New scheduler. `weights` overrides the default per tenant; weight 0
+    /// is treated as 1.
+    pub fn new(default_weight: u32, weights: impl IntoIterator<Item = (String, u32)>) -> Self {
+        FairShare {
+            default_weight: default_weight.max(1),
+            weights: weights.into_iter().collect(),
+            tenants: HashMap::new(),
+            len: 0,
+        }
+    }
+
+    fn stride_for(&self, tenant: &str) -> u64 {
+        let w = *self.weights.get(tenant).unwrap_or(&self.default_weight);
+        STRIDE_K / u64::from(w.max(1))
+    }
+
+    /// Queue an item for a tenant.
+    pub fn push(&mut self, tenant: &str, item: T) {
+        // A tenant re-entering after idling resumes at the current minimum
+        // pass instead of its stale (smaller) one, so idle time does not
+        // accumulate into a burst of dispatch credit.
+        let min_active_pass = self
+            .tenants
+            .values()
+            .filter(|t| !t.queue.is_empty())
+            .map(|t| t.pass)
+            .min();
+        let stride = self.stride_for(tenant);
+        let entry = self
+            .tenants
+            .entry(tenant.to_string())
+            .or_insert_with(|| Tenant {
+                queue: VecDeque::new(),
+                pass: 0,
+                stride,
+            });
+        entry.stride = stride;
+        if entry.queue.is_empty() {
+            if let Some(min) = min_active_pass {
+                entry.pass = entry.pass.max(min);
+            }
+        }
+        entry.queue.push_back(item);
+        self.len += 1;
+    }
+
+    /// Dispatch the next item: the backlogged tenant with the smallest pass
+    /// (ties broken by tenant name for determinism), FIFO within the tenant.
+    pub fn pop(&mut self) -> Option<(String, T)> {
+        let name = self
+            .tenants
+            .iter()
+            .filter(|(_, t)| !t.queue.is_empty())
+            .min_by_key(|(name, t)| (t.pass, name.as_str()))
+            .map(|(name, _)| name.clone())?;
+        let tenant = self.tenants.get_mut(&name).expect("chosen above");
+        let item = tenant.queue.pop_front().expect("non-empty above");
+        tenant.pass += tenant.stride;
+        self.len -= 1;
+        Some((name, item))
+    }
+
+    /// Total queued items across tenants.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Queued items for one tenant.
+    pub fn pending_for(&self, tenant: &str) -> usize {
+        self.tenants.get(tenant).map_or(0, |t| t.queue.len())
+    }
+}
+
+impl<T: PartialEq> FairShare<T> {
+    /// Position of an item within its tenant's FIFO (0 = next for that
+    /// tenant), or `None` if not queued.
+    pub fn position_of(&self, tenant: &str, item: &T) -> Option<usize> {
+        self.tenants
+            .get(tenant)?
+            .queue
+            .iter()
+            .position(|x| x == item)
+    }
+
+    /// Remove one queued item; returns whether it was found.
+    pub fn remove(&mut self, tenant: &str, item: &T) -> bool {
+        let Some(t) = self.tenants.get_mut(tenant) else {
+            return false;
+        };
+        let Some(idx) = t.queue.iter().position(|x| x == item) else {
+            return false;
+        };
+        t.queue.remove(idx);
+        self.len -= 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(fs: &mut FairShare<u32>) -> Vec<(String, u32)> {
+        std::iter::from_fn(|| fs.pop()).collect()
+    }
+
+    #[test]
+    fn equal_weights_interleave() {
+        let mut fs = FairShare::new(1, []);
+        for i in 0..3 {
+            fs.push("a", i);
+            fs.push("b", 100 + i);
+        }
+        let order = drain(&mut fs);
+        // Perfect alternation under equal weights.
+        let tenants: Vec<&str> = order.iter().map(|(t, _)| t.as_str()).collect();
+        assert_eq!(tenants, vec!["a", "b", "a", "b", "a", "b"]);
+    }
+
+    #[test]
+    fn per_tenant_fifo_preserved() {
+        let mut fs = FairShare::new(1, []);
+        for i in 0..5 {
+            fs.push("a", i);
+        }
+        for i in 0..5 {
+            fs.push("b", i);
+        }
+        let order = drain(&mut fs);
+        for tenant in ["a", "b"] {
+            let items: Vec<u32> = order
+                .iter()
+                .filter(|(t, _)| t == tenant)
+                .map(|(_, i)| *i)
+                .collect();
+            assert_eq!(items, vec![0, 1, 2, 3, 4], "FIFO broken for {tenant}");
+        }
+    }
+
+    #[test]
+    fn weights_shape_dispatch_ratio() {
+        let mut fs = FairShare::new(1, [("heavy".to_string(), 3)]);
+        for i in 0..30 {
+            fs.push("heavy", i);
+            fs.push("light", i);
+        }
+        // In the first 12 dispatches, heavy (weight 3) should get ~3x the
+        // share of light (weight 1): 9 vs 3.
+        let mut heavy = 0;
+        for _ in 0..12 {
+            let (t, _) = fs.pop().unwrap();
+            if t == "heavy" {
+                heavy += 1;
+            }
+        }
+        assert_eq!(heavy, 9);
+    }
+
+    #[test]
+    fn flood_does_not_starve_small_tenant() {
+        let mut fs = FairShare::new(1, []);
+        for i in 0..1000 {
+            fs.push("flood", i);
+        }
+        fs.push("small", 0);
+        // The small tenant's single item must dispatch within the first two
+        // pops despite the 1000-deep flood.
+        let first_two: Vec<String> = (0..2).map(|_| fs.pop().unwrap().0).collect();
+        assert!(first_two.contains(&"small".to_string()));
+    }
+
+    #[test]
+    fn idle_tenant_gains_no_burst_credit() {
+        let mut fs = FairShare::new(1, []);
+        for i in 0..10 {
+            fs.push("busy", i);
+        }
+        for _ in 0..8 {
+            fs.pop();
+        }
+        // "idler" was idle the whole time; joining now must not let it
+        // monopolize: its pass resumes at busy's current pass.
+        for i in 0..5 {
+            fs.push("idler", i);
+        }
+        let (t0, _) = fs.pop().unwrap();
+        let (t1, _) = fs.pop().unwrap();
+        let mut seen = vec![t0, t1];
+        seen.sort();
+        assert_eq!(seen, vec!["busy".to_string(), "idler".to_string()]);
+    }
+
+    #[test]
+    fn remove_and_position() {
+        let mut fs = FairShare::new(1, []);
+        fs.push("a", 1);
+        fs.push("a", 2);
+        fs.push("a", 3);
+        assert_eq!(fs.position_of("a", &2), Some(1));
+        assert!(fs.remove("a", &2));
+        assert!(!fs.remove("a", &2));
+        assert_eq!(fs.len(), 2);
+        assert_eq!(
+            drain(&mut fs),
+            vec![("a".to_string(), 1), ("a".to_string(), 3)]
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! Wire protocol between service clients and the [`EnsembleService`]
+//! control thread.
+//!
+//! Clients hold a cloneable [`ServiceClient`](crate::service::ServiceClient)
+//! whose methods serialize into [`Request`] values sent over a crossbeam
+//! channel; each request carries its own reply channel. This mirrors an RPC
+//! boundary — everything crossing it is owned data, so the service could be
+//! fronted by a real socket transport without changing the state machine.
+//!
+//! [`EnsembleService`]: crate::service::EnsembleService
+
+use crossbeam::channel::Sender;
+use entk_core::{EntkError, RunReport, Workflow};
+use rp_rts::PoolStats;
+use std::fmt;
+use std::time::Duration;
+
+/// Service-wide handle for one submitted workflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SubmissionId(pub u64);
+
+impl fmt::Display for SubmissionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sub.{:05}", self.0)
+    }
+}
+
+/// Why a submission was refused at the door.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Admission control: the pending queue is full. Retry after the hinted
+    /// backoff, estimated from the observed turnaround of recent runs.
+    Saturated {
+        /// Suggested client backoff before resubmitting.
+        retry_after: Duration,
+    },
+    /// The service is draining for shutdown and accepts no new work.
+    Draining,
+    /// The service control thread is gone (service dropped or crashed).
+    Disconnected,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Saturated { retry_after } => {
+                write!(f, "service saturated; retry after {retry_after:?}")
+            }
+            SubmitError::Draining => write!(f, "service draining; no new submissions"),
+            SubmitError::Disconnected => write!(f, "service disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Observable lifecycle of a submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmissionStatus {
+    /// Waiting for a worker; `ahead` submissions from the same tenant are
+    /// queued in front of it.
+    Queued {
+        /// Same-tenant submissions ahead in the FIFO.
+        ahead: usize,
+    },
+    /// A worker is executing it on a leased pilot.
+    Running,
+    /// Finished with every pipeline Done.
+    Done,
+    /// Finished with failures (or an execution error).
+    Failed,
+    /// Canceled before or during execution.
+    Canceled,
+}
+
+impl SubmissionStatus {
+    /// Whether the submission has settled.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            SubmissionStatus::Done | SubmissionStatus::Failed | SubmissionStatus::Canceled
+        )
+    }
+}
+
+/// How a submission ended.
+#[derive(Debug)]
+pub enum SubmissionOutcome {
+    /// Run finished and every pipeline is Done.
+    Completed(Box<RunReport>),
+    /// Run finished but some task/stage/pipeline failed.
+    Failed(Box<RunReport>),
+    /// Canceled: `None` if it never started, `Some` if it was canceled
+    /// mid-run (the report holds the settled Canceled states).
+    Canceled(Option<Box<RunReport>>),
+    /// The run aborted with an error before producing a report.
+    Error(EntkError),
+}
+
+impl SubmissionOutcome {
+    /// The run report, when one exists.
+    pub fn report(&self) -> Option<&RunReport> {
+        match self {
+            SubmissionOutcome::Completed(r) | SubmissionOutcome::Failed(r) => Some(r),
+            SubmissionOutcome::Canceled(r) => r.as_deref(),
+            SubmissionOutcome::Error(_) => None,
+        }
+    }
+
+    /// Whether every pipeline completed successfully.
+    pub fn is_success(&self) -> bool {
+        matches!(self, SubmissionOutcome::Completed(_))
+    }
+}
+
+/// Terminal record handed to the client exactly once via `take_result`.
+#[derive(Debug)]
+pub struct SubmissionResult {
+    /// The submission this result belongs to.
+    pub id: SubmissionId,
+    /// Submitting tenant.
+    pub tenant: String,
+    /// How it ended.
+    pub outcome: SubmissionOutcome,
+    /// Submit-to-settle wall time (includes queueing).
+    pub turnaround: Duration,
+    /// Whether the run reused a warm pilot from the pool (`None` if it was
+    /// canceled before a pilot was leased).
+    pub warm_pilot: Option<bool>,
+}
+
+/// Aggregate service counters, sampled at request time.
+#[derive(Debug, Clone)]
+pub struct ServiceStats {
+    /// Submissions waiting for a worker.
+    pub pending: usize,
+    /// Submissions currently executing.
+    pub active: usize,
+    /// Total accepted submissions.
+    pub submitted: u64,
+    /// Total refused by admission control.
+    pub rejected: u64,
+    /// Total finished fully Done.
+    pub completed: u64,
+    /// Total finished with failures or errors.
+    pub failed: u64,
+    /// Total canceled.
+    pub canceled: u64,
+    /// Idle warm pilots in the pool right now.
+    pub warm_pilots: usize,
+    /// Pilot-pool lifetime counters (cold boots, warm hits, …).
+    pub pool: PoolStats,
+}
+
+/// One message on the client→service control channel.
+///
+/// Every variant carries a reply sender: the protocol is strictly
+/// request/response and the control thread never blocks on a client.
+#[derive(Debug)]
+pub enum Request {
+    /// Submit a workflow on behalf of a tenant.
+    Submit {
+        /// Tenant name (fair-share accounting key).
+        tenant: String,
+        /// The workflow to run.
+        workflow: Box<Workflow>,
+        /// Admission verdict.
+        reply: Sender<Result<SubmissionId, SubmitError>>,
+    },
+    /// Query a submission's lifecycle state.
+    Status {
+        /// Which submission.
+        id: SubmissionId,
+        /// `None` if the id is unknown.
+        reply: Sender<Option<SubmissionStatus>>,
+    },
+    /// Take a terminal submission's result (at most once).
+    TakeResult {
+        /// Which submission.
+        id: SubmissionId,
+        /// `None` if unknown, not yet terminal, or already taken.
+        reply: Sender<Option<SubmissionResult>>,
+    },
+    /// Cooperatively cancel a queued or running submission.
+    Cancel {
+        /// Which submission.
+        id: SubmissionId,
+        /// Whether a cancellation was initiated (false if unknown/terminal).
+        reply: Sender<bool>,
+    },
+    /// Sample service counters.
+    Stats {
+        /// Snapshot destination.
+        reply: Sender<ServiceStats>,
+    },
+    /// Stop admitting new submissions (begin drain).
+    Drain,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submission_id_display() {
+        assert_eq!(SubmissionId(7).to_string(), "sub.00007");
+    }
+
+    #[test]
+    fn terminal_statuses() {
+        assert!(!SubmissionStatus::Queued { ahead: 0 }.is_terminal());
+        assert!(!SubmissionStatus::Running.is_terminal());
+        assert!(SubmissionStatus::Done.is_terminal());
+        assert!(SubmissionStatus::Failed.is_terminal());
+        assert!(SubmissionStatus::Canceled.is_terminal());
+    }
+}

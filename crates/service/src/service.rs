@@ -1,0 +1,730 @@
+//! The long-lived ensemble service.
+//!
+//! An [`EnsembleService`] owns one shared `entk-mq` broker and a warm
+//! [`PilotPool`], and executes workflow submissions from many tenants
+//! concurrently. Each accepted submission runs on its own session-scoped
+//! AppManager attached to the shared infrastructure: a per-session
+//! [`QueueNamespace`] keeps its queues disjoint from every other session on
+//! the broker, and a [`PilotLease`](rp_rts::PilotLease) hands it a
+//! bootstrapped runtime that returns to the pool afterwards instead of being
+//! torn down.
+//!
+//! Threading model: a control thread owns all protocol handling (admission,
+//! status, cancel, stats) over a crossbeam request channel; `max_active`
+//! worker threads pull dispatched submissions from the shared fair-share
+//! queue under a mutex + condvar. The vendored crossbeam has no `select!`,
+//! so workers coordinate exclusively through the condvar.
+
+use crate::admission::AdmissionPolicy;
+use crate::fairshare::FairShare;
+use crate::protocol::{
+    Request, ServiceStats, SubmissionId, SubmissionOutcome, SubmissionResult, SubmissionStatus,
+    SubmitError,
+};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use entk_core::{
+    AppManager, AppManagerConfig, CancelToken, QueueNamespace, ResourceDescription, RunReport,
+    SessionAttachment, Workflow,
+};
+use entk_mq::Broker;
+use entk_observe::{components, Recorder};
+use parking_lot::{Condvar, Mutex};
+use rp_rts::{PilotPool, PilotPoolConfig};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long the control thread blocks on the request channel before
+/// rechecking its stop flag.
+const CONTROL_POLL: Duration = Duration::from_millis(25);
+
+/// How long an idle worker parks on the condvar before rechecking stop.
+const WORKER_PARK: Duration = Duration::from_millis(50);
+
+/// Service configuration.
+#[derive(Clone)]
+pub struct ServiceConfig {
+    /// Resource every submission runs on; also determines the pooled pilot
+    /// shape. Give it a generous walltime — pooled pilots keep consuming
+    /// walltime while idle between leases.
+    pub resource: ResourceDescription,
+    /// Pilots to bootstrap at startup (also the pool's warm capacity).
+    pub warm_pilots: usize,
+    /// Concurrent submissions in flight (worker thread count).
+    pub max_active: usize,
+    /// Pending-queue bound; submissions beyond it are rejected with a
+    /// retry-after hint.
+    pub max_pending: usize,
+    /// Fair-share weight for tenants not listed in `weights`.
+    pub default_weight: u32,
+    /// Per-tenant fair-share weight overrides.
+    pub weights: Vec<(String, u32)>,
+    /// Per-run wall-clock timeout (`None` = AppManager default).
+    pub run_timeout: Option<Duration>,
+    /// Per-task retry budget passed to every run.
+    pub task_retries: Option<u32>,
+    /// RTS restart budget passed to every run.
+    pub max_rts_restarts: u32,
+    /// Recorder for service events and metrics; `None` = metrics-only
+    /// (disabled recorder).
+    pub recorder: Option<Recorder>,
+}
+
+impl ServiceConfig {
+    /// Defaults: 2 warm pilots, 4 active, 32 pending, equal weights.
+    pub fn new(resource: ResourceDescription) -> Self {
+        ServiceConfig {
+            resource,
+            warm_pilots: 2,
+            max_active: 4,
+            max_pending: 32,
+            default_weight: 1,
+            weights: Vec::new(),
+            run_timeout: None,
+            task_retries: None,
+            max_rts_restarts: 1,
+            recorder: None,
+        }
+    }
+
+    /// Builder: warm pilot count.
+    pub fn with_warm_pilots(mut self, n: usize) -> Self {
+        self.warm_pilots = n;
+        self
+    }
+
+    /// Builder: concurrent submissions.
+    pub fn with_max_active(mut self, n: usize) -> Self {
+        self.max_active = n.max(1);
+        self
+    }
+
+    /// Builder: pending-queue bound.
+    pub fn with_max_pending(mut self, n: usize) -> Self {
+        self.max_pending = n;
+        self
+    }
+
+    /// Builder: fair-share weight for one tenant.
+    pub fn with_weight(mut self, tenant: impl Into<String>, weight: u32) -> Self {
+        self.weights.push((tenant.into(), weight));
+        self
+    }
+
+    /// Builder: per-run timeout.
+    pub fn with_run_timeout(mut self, t: Duration) -> Self {
+        self.run_timeout = Some(t);
+        self
+    }
+
+    /// Builder: per-task retry budget.
+    pub fn with_task_retries(mut self, retries: Option<u32>) -> Self {
+        self.task_retries = retries;
+        self
+    }
+
+    /// Builder: recorder for traces/metrics.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+}
+
+/// Internal lifecycle phase of a submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Queued,
+    Running,
+    Done,
+    Failed,
+    Canceled,
+}
+
+struct Submission {
+    tenant: String,
+    /// Present while queued; taken by the worker at dispatch.
+    workflow: Option<Box<Workflow>>,
+    cancel: CancelToken,
+    phase: Phase,
+    submitted_at: Instant,
+    /// Present once terminal, until the client takes it.
+    result: Option<SubmissionResult>,
+}
+
+#[derive(Default)]
+struct Totals {
+    submitted: u64,
+    rejected: u64,
+    completed: u64,
+    failed: u64,
+    canceled: u64,
+}
+
+struct State {
+    queue: FairShare<SubmissionId>,
+    subs: HashMap<SubmissionId, Submission>,
+    active: usize,
+    draining: bool,
+    stop_workers: bool,
+    admission: AdmissionPolicy,
+    totals: Totals,
+    next_id: u64,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    work_ready: Condvar,
+    stop_control: AtomicBool,
+    recorder: Recorder,
+    pool: PilotPool,
+    broker: Broker,
+    config: ServiceConfig,
+}
+
+impl Inner {
+    fn gauge_sync(&self, st: &State) {
+        let m = self.recorder.metrics();
+        m.gauge("service.queue_depth").set(st.queue.len() as i64);
+        m.gauge("service.active_sessions").set(st.active as i64);
+    }
+
+    fn tenant_counter(&self, what: &str, tenant: &str) {
+        self.recorder
+            .metrics()
+            .counter(&format!("service.{what}.{tenant}"))
+            .incr();
+    }
+}
+
+/// Cloneable client handle speaking the [`Request`] protocol.
+#[derive(Clone)]
+pub struct ServiceClient {
+    tx: Sender<Request>,
+}
+
+impl ServiceClient {
+    fn call<R>(&self, make: impl FnOnce(Sender<R>) -> Request) -> Option<R> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx.send(make(reply_tx)).ok()?;
+        reply_rx.recv().ok()
+    }
+
+    /// Submit a workflow for a tenant. Returns the submission handle, or an
+    /// admission/drain rejection.
+    pub fn submit(
+        &self,
+        tenant: impl Into<String>,
+        workflow: Workflow,
+    ) -> Result<SubmissionId, SubmitError> {
+        let tenant = tenant.into();
+        self.call(|reply| Request::Submit {
+            tenant,
+            workflow: Box::new(workflow),
+            reply,
+        })
+        .unwrap_or(Err(SubmitError::Disconnected))
+    }
+
+    /// Lifecycle state of a submission (`None` if unknown).
+    pub fn status(&self, id: SubmissionId) -> Option<SubmissionStatus> {
+        self.call(|reply| Request::Status { id, reply }).flatten()
+    }
+
+    /// Take a terminal submission's result. At-most-once: a second call for
+    /// the same id returns `None`.
+    pub fn take_result(&self, id: SubmissionId) -> Option<SubmissionResult> {
+        self.call(|reply| Request::TakeResult { id, reply })
+            .flatten()
+    }
+
+    /// Cooperatively cancel a queued or running submission. Returns whether
+    /// cancellation was initiated.
+    pub fn cancel(&self, id: SubmissionId) -> bool {
+        self.call(|reply| Request::Cancel { id, reply })
+            .unwrap_or(false)
+    }
+
+    /// Sample the service counters.
+    pub fn stats(&self) -> Option<ServiceStats> {
+        self.call(|reply| Request::Stats { reply })
+    }
+
+    /// Block until the submission settles and take its result, or time out.
+    pub fn wait(&self, id: SubmissionId, timeout: Duration) -> Option<SubmissionResult> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(r) = self.take_result(id) {
+                return Some(r);
+            }
+            // Unknown id will never produce a result.
+            self.status(id)?;
+            if Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+/// A running multi-tenant ensemble service. See the module docs.
+pub struct EnsembleService {
+    client: ServiceClient,
+    inner: Arc<Inner>,
+    control: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl EnsembleService {
+    /// Start the service: boot the shared broker, prewarm the pilot pool,
+    /// and spawn the control and worker threads.
+    pub fn start(config: ServiceConfig) -> Self {
+        let recorder = config.recorder.clone().unwrap_or_else(Recorder::disabled);
+        let broker = Broker::new();
+        let pool = PilotPool::new(PilotPoolConfig {
+            rts: config.resource.rts_config(&recorder),
+            pilot: config.resource.pilot_desc(),
+            capacity: config.warm_pilots.max(1),
+        });
+        recorder.record(components::SERVICE, "service_start", "", "");
+        let prewarm_span = recorder.span(components::SERVICE, "pool_prewarm");
+        pool.prewarm(config.warm_pilots);
+        drop(prewarm_span);
+
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queue: FairShare::new(config.default_weight, config.weights.iter().cloned()),
+                subs: HashMap::new(),
+                active: 0,
+                draining: false,
+                stop_workers: false,
+                admission: AdmissionPolicy::new(config.max_pending),
+                totals: Totals::default(),
+                next_id: 1,
+            }),
+            work_ready: Condvar::new(),
+            stop_control: AtomicBool::new(false),
+            recorder,
+            pool,
+            broker,
+            config,
+        });
+
+        let (tx, rx) = unbounded();
+        let control = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("entk-svc-control".into())
+                .spawn(move || control_loop(&inner, &rx))
+                .expect("spawn control thread")
+        };
+        let workers = (0..inner.config.max_active.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("entk-svc-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        EnsembleService {
+            client: ServiceClient { tx },
+            inner,
+            control: Some(control),
+            workers,
+        }
+    }
+
+    /// A new client handle (cheap; clone freely across tenant threads).
+    pub fn client(&self) -> ServiceClient {
+        self.client.clone()
+    }
+
+    /// Idle warm pilots right now.
+    pub fn warm_pilots(&self) -> usize {
+        self.inner.pool.warm_count()
+    }
+
+    /// Graceful drain shutdown: stop admitting, run the queue dry, join all
+    /// threads, tear down the pool and broker. Returns the final counters.
+    pub fn shutdown(mut self) -> ServiceStats {
+        {
+            self.inner.state.lock().draining = true;
+        }
+        loop {
+            {
+                let st = self.inner.state.lock();
+                if st.queue.is_empty() && st.active == 0 {
+                    break;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let stats = self.stop_threads();
+        self.inner
+            .recorder
+            .record(components::SERVICE, "service_stop", "", "");
+        stats
+    }
+
+    /// Abort shutdown: cancel everything in flight, then stop as in
+    /// [`EnsembleService::shutdown`].
+    pub fn shutdown_now(mut self) -> ServiceStats {
+        self.abort_all();
+        self.stop_threads()
+    }
+
+    fn abort_all(&self) {
+        let mut st = self.inner.state.lock();
+        st.draining = true;
+        while let Some((_, id)) = st.queue.pop() {
+            if let Some(sub) = st.subs.get_mut(&id) {
+                settle_canceled_before_run(sub, id);
+                st.totals.canceled += 1;
+            }
+        }
+        for sub in st.subs.values() {
+            if sub.phase == Phase::Running {
+                sub.cancel.cancel();
+            }
+        }
+        self.inner.gauge_sync(&st);
+    }
+
+    /// Join workers and control, drain the pool, close the broker.
+    fn stop_threads(&mut self) -> ServiceStats {
+        {
+            let mut st = self.inner.state.lock();
+            st.draining = true;
+            st.stop_workers = true;
+        }
+        self.inner.work_ready.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.inner.stop_control.store(true, Ordering::Release);
+        if let Some(c) = self.control.take() {
+            let _ = c.join();
+        }
+        let stats = {
+            let st = self.inner.state.lock();
+            stats_snapshot(&self.inner, &st)
+        };
+        self.inner.pool.drain();
+        // Any session queues a failed run left behind die with the broker.
+        self.inner.broker.close();
+        stats
+    }
+}
+
+impl Drop for EnsembleService {
+    fn drop(&mut self) {
+        if self.control.is_some() {
+            self.abort_all();
+            self.stop_threads();
+        }
+    }
+}
+
+fn stats_snapshot(inner: &Inner, st: &State) -> ServiceStats {
+    ServiceStats {
+        pending: st.queue.len(),
+        active: st.active,
+        submitted: st.totals.submitted,
+        rejected: st.totals.rejected,
+        completed: st.totals.completed,
+        failed: st.totals.failed,
+        canceled: st.totals.canceled,
+        warm_pilots: inner.pool.warm_count(),
+        pool: inner.pool.stats(),
+    }
+}
+
+/// Settle a submission that was canceled while still queued.
+fn settle_canceled_before_run(sub: &mut Submission, id: SubmissionId) {
+    sub.phase = Phase::Canceled;
+    sub.workflow = None;
+    sub.result = Some(SubmissionResult {
+        id,
+        tenant: sub.tenant.clone(),
+        outcome: SubmissionOutcome::Canceled(None),
+        turnaround: sub.submitted_at.elapsed(),
+        warm_pilot: None,
+    });
+}
+
+fn control_loop(inner: &Arc<Inner>, rx: &Receiver<Request>) {
+    loop {
+        if inner.stop_control.load(Ordering::Acquire) {
+            return;
+        }
+        match rx.recv_timeout(CONTROL_POLL) {
+            Ok(req) => handle_request(inner, req),
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn handle_request(inner: &Arc<Inner>, req: Request) {
+    match req {
+        Request::Submit {
+            tenant,
+            workflow,
+            reply,
+        } => {
+            let verdict = admit(inner, tenant, workflow);
+            let _ = reply.send(verdict);
+        }
+        Request::Status { id, reply } => {
+            let st = inner.state.lock();
+            let status = st.subs.get(&id).map(|sub| match sub.phase {
+                Phase::Queued => SubmissionStatus::Queued {
+                    ahead: st.queue.position_of(&sub.tenant, &id).unwrap_or(0),
+                },
+                Phase::Running => SubmissionStatus::Running,
+                Phase::Done => SubmissionStatus::Done,
+                Phase::Failed => SubmissionStatus::Failed,
+                Phase::Canceled => SubmissionStatus::Canceled,
+            });
+            let _ = reply.send(status);
+        }
+        Request::TakeResult { id, reply } => {
+            let mut st = inner.state.lock();
+            let result = st.subs.get_mut(&id).and_then(|sub| sub.result.take());
+            let _ = reply.send(result);
+        }
+        Request::Cancel { id, reply } => {
+            let initiated = cancel_submission(inner, id);
+            let _ = reply.send(initiated);
+        }
+        Request::Stats { reply } => {
+            let st = inner.state.lock();
+            let _ = reply.send(stats_snapshot(inner, &st));
+        }
+        Request::Drain => {
+            inner.state.lock().draining = true;
+        }
+    }
+}
+
+fn admit(
+    inner: &Arc<Inner>,
+    tenant: String,
+    workflow: Box<Workflow>,
+) -> Result<SubmissionId, SubmitError> {
+    let mut st = inner.state.lock();
+    if st.draining {
+        return Err(SubmitError::Draining);
+    }
+    if let Err(retry_after) = st
+        .admission
+        .admit(st.queue.len(), inner.config.max_active.max(1))
+    {
+        st.totals.rejected += 1;
+        inner.tenant_counter("rejected", &tenant);
+        inner
+            .recorder
+            .record(components::SERVICE, "submit_rejected", "", tenant.clone());
+        return Err(SubmitError::Saturated { retry_after });
+    }
+    let id = SubmissionId(st.next_id);
+    st.next_id += 1;
+    st.subs.insert(
+        id,
+        Submission {
+            tenant: tenant.clone(),
+            workflow: Some(workflow),
+            cancel: CancelToken::new(),
+            phase: Phase::Queued,
+            submitted_at: Instant::now(),
+            result: None,
+        },
+    );
+    st.queue.push(&tenant, id);
+    st.totals.submitted += 1;
+    inner.tenant_counter("submitted", &tenant);
+    inner
+        .recorder
+        .record(components::SERVICE, "submitted", id.to_string(), tenant);
+    inner.gauge_sync(&st);
+    drop(st);
+    inner.work_ready.notify_one();
+    Ok(id)
+}
+
+fn cancel_submission(inner: &Arc<Inner>, id: SubmissionId) -> bool {
+    let mut st = inner.state.lock();
+    let Some(sub) = st.subs.get(&id) else {
+        return false;
+    };
+    match sub.phase {
+        Phase::Queued => {
+            let tenant = sub.tenant.clone();
+            st.queue.remove(&tenant, &id);
+            let sub = st.subs.get_mut(&id).expect("checked above");
+            settle_canceled_before_run(sub, id);
+            st.totals.canceled += 1;
+            inner.tenant_counter("canceled", &tenant);
+            inner
+                .recorder
+                .record(components::SERVICE, "canceled_queued", id.to_string(), "");
+            inner.gauge_sync(&st);
+            true
+        }
+        Phase::Running => {
+            sub.cancel.cancel();
+            inner
+                .recorder
+                .record(components::SERVICE, "cancel_requested", id.to_string(), "");
+            true
+        }
+        _ => false,
+    }
+}
+
+/// One dispatched unit of work, extracted from `State` under the lock.
+struct Job {
+    id: SubmissionId,
+    tenant: String,
+    workflow: Box<Workflow>,
+    cancel: CancelToken,
+    submitted_at: Instant,
+}
+
+fn worker_loop(inner: &Arc<Inner>) {
+    loop {
+        let Some(job) = next_job(inner) else {
+            return;
+        };
+        let (phase, result) = execute(inner, job);
+        finish(inner, phase, result);
+    }
+}
+
+fn next_job(inner: &Arc<Inner>) -> Option<Job> {
+    let mut st = inner.state.lock();
+    loop {
+        if st.stop_workers {
+            return None;
+        }
+        if let Some((tenant, id)) = st.queue.pop() {
+            let sub = st.subs.get_mut(&id).expect("queued ids have entries");
+            if sub.phase != Phase::Queued {
+                continue; // settled while queued (e.g. canceled); skip
+            }
+            sub.phase = Phase::Running;
+            let job = Job {
+                id,
+                tenant,
+                workflow: sub.workflow.take().expect("queued submission keeps wf"),
+                cancel: sub.cancel.clone(),
+                submitted_at: sub.submitted_at,
+            };
+            st.active += 1;
+            inner.gauge_sync(&st);
+            return Some(job);
+        }
+        let deadline = Instant::now() + WORKER_PARK;
+        inner.work_ready.wait_until(&mut st, deadline);
+    }
+}
+
+/// Run one submission on a leased pilot under its session namespace.
+fn execute(inner: &Arc<Inner>, job: Job) -> (Phase, SubmissionResult) {
+    let Job {
+        id,
+        tenant,
+        workflow,
+        cancel,
+        submitted_at,
+    } = job;
+    let session = format!("s{:05}", id.0);
+    let ns = QueueNamespace::session(session);
+    let prefix = ns.prefix();
+    inner
+        .recorder
+        .record(components::SERVICE, "run_start", id.to_string(), &tenant);
+
+    let lease = inner.pool.lease();
+    let warm = lease.was_warm();
+    let cfg = &inner.config;
+    let mut amgr_cfg = AppManagerConfig::new(cfg.resource.clone())
+        .with_cancel_token(cancel)
+        .with_task_retries(cfg.task_retries)
+        .with_max_rts_restarts(cfg.max_rts_restarts);
+    if let Some(t) = cfg.run_timeout {
+        amgr_cfg = amgr_cfg.with_run_timeout(t);
+    }
+    if inner.recorder.is_enabled() {
+        amgr_cfg = amgr_cfg.with_recorder(inner.recorder.clone());
+    }
+    let attachment = SessionAttachment::shared(inner.broker.clone(), ns).with_lease(lease);
+    let outcome = AppManager::new(amgr_cfg).run_attached(*workflow, attachment);
+    // Error paths inside run_attached can abort before queue deletion;
+    // sweep this session's namespace so nothing leaks onto the shared broker.
+    let _ = inner.broker.delete_matching(&prefix);
+
+    let turnaround = submitted_at.elapsed();
+    let (phase, outcome) = classify(outcome);
+    (
+        phase,
+        SubmissionResult {
+            id,
+            tenant,
+            outcome,
+            turnaround,
+            warm_pilot: Some(warm),
+        },
+    )
+}
+
+fn classify(outcome: entk_core::EntkResult<RunReport>) -> (Phase, SubmissionOutcome) {
+    match outcome {
+        Ok(rep) if rep.canceled => (
+            Phase::Canceled,
+            SubmissionOutcome::Canceled(Some(Box::new(rep))),
+        ),
+        Ok(rep) if rep.succeeded => (Phase::Done, SubmissionOutcome::Completed(Box::new(rep))),
+        Ok(rep) => (Phase::Failed, SubmissionOutcome::Failed(Box::new(rep))),
+        Err(e) => (Phase::Failed, SubmissionOutcome::Error(e)),
+    }
+}
+
+fn finish(inner: &Arc<Inner>, phase: Phase, result: SubmissionResult) {
+    let id = result.id;
+    let tenant = result.tenant.clone();
+    let turnaround = result.turnaround;
+    let metrics = inner.recorder.metrics();
+    metrics.histogram("service.turnaround").record(turnaround);
+    let mut st = inner.state.lock();
+    st.active -= 1;
+    st.admission.observe(turnaround);
+    let what = match phase {
+        Phase::Done => {
+            st.totals.completed += 1;
+            "completed"
+        }
+        Phase::Canceled => {
+            st.totals.canceled += 1;
+            "canceled"
+        }
+        _ => {
+            st.totals.failed += 1;
+            "failed"
+        }
+    };
+    if let Some(sub) = st.subs.get_mut(&id) {
+        sub.phase = phase;
+        sub.result = Some(result);
+    }
+    inner.tenant_counter(what, &tenant);
+    inner
+        .recorder
+        .record(components::SERVICE, "run_end", id.to_string(), what);
+    inner.gauge_sync(&st);
+    drop(st);
+    inner.work_ready.notify_all();
+}

@@ -8,6 +8,8 @@
 //!   substitute);
 //! * [`sim`] (`hpc-sim`) — the discrete-event HPC infrastructure simulator;
 //! * [`mq`] (`entk-mq`) — the in-process durable message broker;
+//! * [`service`] (`entk-service`) — the long-lived multi-tenant ensemble
+//!   service: warm pilot pool, admission control, fair-share dispatch;
 //! * [`apps`] (`entk-apps`) — the seismic-inversion and analog-ensemble use
 //!   cases.
 //!
@@ -44,6 +46,7 @@ pub use entk_apps as apps;
 pub use entk_core as core;
 pub use entk_mq as mq;
 pub use entk_observe as observe;
+pub use entk_service as service;
 pub use hpc_sim as sim;
 pub use rp_rts as rts;
 
@@ -56,6 +59,10 @@ pub mod prelude {
         Stage, StageState, StagingSpec, Task, TaskState, Workflow,
     };
     pub use entk_observe::Recorder;
+    pub use entk_service::{
+        EnsembleService, ServiceClient, ServiceConfig, SubmissionId, SubmissionOutcome,
+        SubmissionResult, SubmissionStatus, SubmitError,
+    };
     pub use hpc_sim::{Platform, PlatformId, StageUnit};
 }
 
