@@ -227,8 +227,14 @@ mod tests {
         let report = amgr.run(wf).expect("run completes");
         assert!(report.succeeded);
         // Replicas within a round are concurrent; rounds are synchronized by
-        // the exchange barrier: makespan ≈ 2 × (50 + 5).
+        // the exchange barrier: makespan ≈ 2 × (50 + 5). Management wall
+        // time between rounds leaks into the sim's virtual clock, so allow
+        // generous headroom — serialized rounds would land at ≥ 215.
         assert!(report.rts_profile.exec_makespan_secs >= 110.0 - 1.0);
-        assert!(report.rts_profile.exec_makespan_secs < 140.0);
+        assert!(
+            report.rts_profile.exec_makespan_secs < 190.0,
+            "makespan {}",
+            report.rts_profile.exec_makespan_secs
+        );
     }
 }

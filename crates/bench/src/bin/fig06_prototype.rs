@@ -6,7 +6,11 @@
 //! broker into an empty RTS sink. Reports producer/consumer/aggregate time
 //! and base/peak RSS.
 //!
-//! Usage: `fig06_prototype [--tasks N] [--quick] [--uneven]`
+//! Usage: `fig06_prototype [--tasks N] [--batch N] [--quick] [--uneven]`
+//!
+//! `--batch N` moves N messages per broker operation
+//! (`publish_batch`/`get_batch`/cumulative ack); the default of 1 is the
+//! paper's per-task data path.
 
 use entk_bench::{argv, flag_num, has_flag};
 use entk_mq::proto::{run_prototype, PrototypeConfig};
@@ -19,8 +23,9 @@ fn main() {
     } else {
         flag_num(&args, "--tasks", 1_000_000usize)
     };
+    let batch_size = flag_num(&args, "--batch", 1usize).max(1);
 
-    println!("Fig. 6 — EnTK prototype benchmark, {tasks} tasks");
+    println!("Fig. 6 — EnTK prototype benchmark, {tasks} tasks, batch size {batch_size}");
     println!(
         "{:<22} {:>12} {:>12} {:>12} {:>12} {:>12} {:>14}",
         "(prod, cons, queues)",
@@ -47,6 +52,7 @@ fn main() {
             consumers: c,
             queues: q,
             payload_bytes: 512,
+            batch_size,
             memory_sample_interval: Some(Duration::from_millis(10)),
         });
         let mb = |b: Option<usize>| {

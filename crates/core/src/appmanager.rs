@@ -8,8 +8,8 @@
 //! ExecManager." (§II-B3)
 
 use crate::cancel::CancelToken;
-use crate::execmanager::{self, RtsPools, RtsSlot};
-use crate::messages::{self, QueueNamespace};
+use crate::execmanager::{self, ExecManagerConfig, RtsPools, RtsSlot};
+use crate::messages::{self, component, QueueNamespace};
 use crate::profiler::{OverheadReport, Profiler, PythonEmulation};
 use crate::states::TaskState;
 use crate::statestore::StateStore;
@@ -264,6 +264,14 @@ pub struct AppManagerConfig {
     /// Cooperative cancellation token. Cloning the config shares the token,
     /// so a handle cloned before `run` can cancel the running workflow.
     pub cancel_token: CancelToken,
+    /// Batched data path (default): components move tasks through the
+    /// queues, the Synchronizer, and into the RTS in bulk — one broker
+    /// operation and one sync round-trip per batch instead of per task.
+    /// Disable to fall back to the paper's per-task data path.
+    pub batched: bool,
+    /// ExecManager tuning: poll intervals and the maximum batch size used
+    /// by every batched component loop.
+    pub exec_manager: ExecManagerConfig,
 }
 
 impl AppManagerConfig {
@@ -284,7 +292,21 @@ impl AppManagerConfig {
             recorder: None,
             trace_path: None,
             cancel_token: CancelToken::new(),
+            batched: true,
+            exec_manager: ExecManagerConfig::default(),
         }
+    }
+
+    /// Builder: toggle the batched data path (on by default).
+    pub fn with_batched(mut self, batched: bool) -> Self {
+        self.batched = batched;
+        self
+    }
+
+    /// Builder: ExecManager poll/batch tuning.
+    pub fn with_exec_manager(mut self, cfg: ExecManagerConfig) -> Self {
+        self.exec_manager = cfg;
+        self
     }
 
     /// Builder: share an externally held cancellation token.
@@ -387,6 +409,16 @@ pub(crate) struct Ctx {
     pub concurrency_cap: std::sync::atomic::AtomicUsize,
     /// The configured strategy (Dequeue adapts the cap when AIMD).
     pub strategy: ExecutionStrategy,
+    /// Batched data path toggle (see [`AppManagerConfig::batched`]).
+    pub batched: bool,
+    /// ExecManager poll/batch tuning, also used by the batched WFProcessor
+    /// and Synchronizer loops.
+    pub exec: ExecManagerConfig,
+    /// One lock per subcomponent serializing the publish→ack window on that
+    /// component's ack queue: two RTS Callback threads (multi-pool runs)
+    /// share the `callback` ack queue and must not interleave their sync
+    /// round-trips.
+    sync_serial: [Mutex<()>; component::ALL.len()],
     /// Unit tests bypass the queues and apply transitions inline.
     inline_sync: bool,
 }
@@ -402,6 +434,8 @@ impl Ctx {
         default_retries: Option<u32>,
         strategy: ExecutionStrategy,
         recorder: Recorder,
+        batched: bool,
+        exec: ExecManagerConfig,
     ) -> Arc<Self> {
         Arc::new(Ctx {
             broker,
@@ -417,6 +451,9 @@ impl Ctx {
             in_flight: std::sync::atomic::AtomicUsize::new(0),
             concurrency_cap: std::sync::atomic::AtomicUsize::new(strategy.initial_cap()),
             strategy,
+            batched,
+            exec,
+            sync_serial: std::array::from_fn(|_| Mutex::new(())),
             inline_sync: false,
         })
     }
@@ -447,6 +484,9 @@ impl Ctx {
             in_flight: std::sync::atomic::AtomicUsize::new(0),
             concurrency_cap: std::sync::atomic::AtomicUsize::new(usize::MAX),
             strategy: ExecutionStrategy::Eager,
+            batched: true,
+            exec: ExecManagerConfig::default(),
+            sync_serial: std::array::from_fn(|_| Mutex::new(())),
             inline_sync: true,
         })
     }
@@ -458,12 +498,19 @@ impl Ctx {
         }
     }
 
+    /// The per-component ack-serialization lock (see `sync_serial`).
+    fn ack_serial(&self, comp: &str) -> &Mutex<()> {
+        let i = component::ALL.iter().position(|c| *c == comp).unwrap_or(0);
+        &self.sync_serial[i]
+    }
+
     /// Request a task transition through the Synchronizer and wait for the
     /// acknowledgement (arrows 6–7). Returns whether it was applied.
     pub(crate) fn sync_task(&self, comp: &str, uid: &str, state: TaskState) -> bool {
         if self.inline_sync {
             return synchronizer::apply_task(self, uid, state);
         }
+        let _serial = self.ack_serial(comp).lock();
         if self
             .broker
             .publish(
@@ -494,6 +541,64 @@ impl Ctx {
                 Err(_) => return false,
             }
         }
+    }
+
+    /// Request the same transition for a batch of tasks through the
+    /// Synchronizer and wait for every acknowledgement (arrows 6–7,
+    /// batched). The requests travel as one broker batch, the Synchronizer
+    /// processes the sync queue FIFO and acknowledges per component in
+    /// request order, so the i-th result reports the i-th uid. Returns one
+    /// applied-flag per task.
+    pub(crate) fn sync_tasks(&self, comp: &str, uids: &[String], state: TaskState) -> Vec<bool> {
+        if uids.is_empty() {
+            return Vec::new();
+        }
+        if self.inline_sync {
+            return uids
+                .iter()
+                .map(|uid| synchronizer::apply_task(self, uid, state))
+                .collect();
+        }
+        let _serial = self.ack_serial(comp).lock();
+        let requests: Vec<entk_mq::Message> = uids
+            .iter()
+            .map(|uid| messages::sync_message(comp, crate::uid::Kind::Task, uid, state.name()))
+            .collect();
+        if self.broker.publish_batch(self.ns.sync(), requests).is_err() {
+            return vec![false; uids.len()];
+        }
+        let ack_queue = self.ns.ack(comp);
+        let mut results: Vec<bool> = Vec::with_capacity(uids.len());
+        while results.len() < uids.len() {
+            let want = uids.len() - results.len();
+            match self
+                .broker
+                .get_batch(&ack_queue, want, Duration::from_millis(100))
+            {
+                Ok(batch) if !batch.is_empty() => {
+                    let boundary = batch.last().expect("non-empty").tag;
+                    for d in &batch {
+                        let (acked_uid, ok) = messages::parse_ack(&d.message);
+                        debug_assert_eq!(
+                            acked_uid,
+                            uids[results.len()],
+                            "acks arrive in request order"
+                        );
+                        results.push(ok);
+                    }
+                    // This component's thread is the ack queue's only
+                    // consumer (serialized above): cumulative ack is safe.
+                    let _ = self.broker.ack_multiple(&ack_queue, boundary);
+                }
+                Ok(_) => {
+                    if !self.running.load(Ordering::Acquire) {
+                        results.resize(uids.len(), false);
+                    }
+                }
+                Err(_) => results.resize(uids.len(), false),
+            }
+        }
+        results
     }
 
     /// Record a fatal condition and stop the run.
@@ -757,6 +862,8 @@ impl AppManager {
             self.config.default_task_retries,
             self.config.execution_strategy,
             recorder.clone(),
+            self.config.batched,
+            self.config.exec_manager.clone(),
         );
 
         // Spawn Synchronizer and WFProcessor.
@@ -1133,6 +1240,32 @@ mod tests {
         assert_eq!(report.overheads.tasks_done, 6);
         assert_eq!(report.rts_restarts, 0);
         assert!(report.overheads.entk_setup_secs > 0.0);
+    }
+
+    #[test]
+    fn end_to_end_per_task_path_behind_flag() {
+        // `with_batched(false)` falls back to the paper's per-task data
+        // path; the run must behave identically.
+        let workflow = wf(&["a", "b", "c", "d"]);
+        let mut amgr = AppManager::new(
+            AppManagerConfig::new(ResourceDescription::local(2))
+                .with_batched(false)
+                .with_run_timeout(Duration::from_secs(30)),
+        );
+        let report = amgr.run(workflow).expect("run succeeds");
+        assert!(report.succeeded);
+        assert_eq!(report.overheads.tasks_done, 4);
+    }
+
+    #[test]
+    fn batched_path_is_the_default() {
+        assert!(AppManagerConfig::new(ResourceDescription::local(1)).batched);
+        let cfg = ExecManagerConfig::default();
+        assert_eq!(cfg.max_batch, 256);
+        assert_eq!(cfg.pending_timeout, Duration::from_millis(20));
+        assert_eq!(cfg.callback_timeout, Duration::from_millis(20));
+        assert_eq!(cfg.cancel_poll, Duration::from_millis(2));
+        assert_eq!(cfg.reconnect_sleep, Duration::from_millis(10));
     }
 
     #[test]

@@ -19,16 +19,48 @@ use crate::appmanager::Ctx;
 use crate::messages::{self, component, AttemptOutcome};
 use crate::states::TaskState;
 use crossbeam::channel::RecvTimeoutError;
+use entk_mq::Message;
 use entk_observe::components as obs;
 use parking_lot::{Mutex, RwLock};
 use rp_rts::{
-    PilotDescription, PilotId, PilotLease, PilotState, RtsConfig, RuntimeSystem, UnitDescription,
-    UnitOutcome, UnitRecord,
+    PilotDescription, PilotId, PilotLease, PilotState, RtsConfig, RuntimeSystem, UnitCallback,
+    UnitDescription, UnitOutcome, UnitRecord,
 };
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// ExecManager tuning: poll intervals of the Emgr and RTS Callback loops
+/// plus the maximum batch size used by every batched component loop
+/// (Enqueue, Emgr, Callback, Dequeue, Synchronizer). The defaults are the
+/// values the loops previously hard-coded.
+#[derive(Debug, Clone)]
+pub struct ExecManagerConfig {
+    /// How long the Emgr sleeps between polls while the run is canceled.
+    pub cancel_poll: Duration,
+    /// Blocking timeout of one Pending-queue fetch.
+    pub pending_timeout: Duration,
+    /// Blocking timeout of one RTS callback-channel receive.
+    pub callback_timeout: Duration,
+    /// How long the RTS Callback sleeps when its channel is disconnected
+    /// (RTS died), waiting for the Heartbeat to install a new incarnation.
+    pub reconnect_sleep: Duration,
+    /// Maximum tasks moved per batched operation.
+    pub max_batch: usize,
+}
+
+impl Default for ExecManagerConfig {
+    fn default() -> Self {
+        ExecManagerConfig {
+            cancel_poll: Duration::from_millis(2),
+            pending_timeout: Duration::from_millis(20),
+            callback_timeout: Duration::from_millis(20),
+            reconnect_sleep: Duration::from_millis(10),
+            max_batch: 256,
+        }
+    }
+}
 
 /// Shared handle to one resource pool's RTS incarnation plus restart
 /// bookkeeping.
@@ -211,37 +243,61 @@ pub(crate) fn spawn_heartbeats(
         .collect()
 }
 
-const EMGR_BATCH: usize = 256;
-
 struct PoolBatch {
     units: Vec<UnitDescription>,
     submitted: Vec<(u64, String)>,
 }
 
+/// One Pending-queue delivery resolved against the workflow.
+struct PendingItem {
+    tag: u64,
+    uid: String,
+    state: Option<TaskState>,
+    unit: Option<UnitDescription>,
+    pool: Option<String>,
+}
+
 fn emgr_loop(ctx: Arc<Ctx>, pools: Arc<RtsPools>) {
+    let cfg = ctx.exec.clone();
+    let max_batch = cfg.max_batch.max(1);
     while ctx.running.load(Ordering::Acquire) {
         // Cooperative cancellation: stop submitting; queued messages become
         // stale once the cancel sweep settles their tasks and are dropped on
         // session teardown.
         if ctx.cancel.is_canceled() {
-            std::thread::sleep(Duration::from_millis(2));
+            std::thread::sleep(cfg.cancel_poll);
             continue;
         }
         // Collect a batch from the Pending queue.
-        let first = match ctx
-            .broker
-            .get_timeout(ctx.ns.pending(), Duration::from_millis(20))
-        {
-            Ok(Some(d)) => d,
-            Ok(None) => continue,
-            Err(_) => break,
-        };
-        let mut batch = vec![first];
-        while batch.len() < EMGR_BATCH {
-            match ctx.broker.get(ctx.ns.pending()) {
-                Ok(Some(d)) => batch.push(d),
-                _ => break,
+        let batch = if ctx.batched {
+            match ctx
+                .broker
+                .get_batch(ctx.ns.pending(), max_batch, cfg.pending_timeout)
+            {
+                Ok(b) => b,
+                Err(_) => break,
             }
+        } else {
+            match ctx
+                .broker
+                .get_timeout(ctx.ns.pending(), cfg.pending_timeout)
+            {
+                Ok(Some(d)) => {
+                    let mut b = vec![d];
+                    while b.len() < max_batch {
+                        match ctx.broker.get(ctx.ns.pending()) {
+                            Ok(Some(d)) => b.push(d),
+                            _ => break,
+                        }
+                    }
+                    b
+                }
+                Ok(None) => continue,
+                Err(_) => break,
+            }
+        };
+        if batch.is_empty() {
+            continue;
         }
         let t0 = Instant::now();
         let span = ctx
@@ -249,41 +305,83 @@ fn emgr_loop(ctx: Arc<Ctx>, pools: Arc<RtsPools>) {
             .span(obs::EMGR, "submit_batch")
             .with_payload(batch.len().to_string());
 
-        // Translate tasks to units, grouped by resource pool.
-        let mut groups: HashMap<String, PoolBatch> = HashMap::new();
-        for d in &batch {
-            let uid = messages::parse_pending(&d.message);
-            let (state, unit, pool) = {
-                let wf = ctx.workflow.lock();
-                match wf.task(&uid) {
-                    Some(t) => (Some(t.state()), Some(t.to_unit()), t.resource_pool.clone()),
-                    None => (None, None, None),
-                }
-            };
-            match state {
-                Some(TaskState::Scheduled) => {
-                    if !ctx.sync_task(component::EMGR, &uid, TaskState::Submitting) {
-                        let _ = ctx.broker.ack(ctx.ns.pending(), d.tag);
-                        continue;
+        // Resolve every delivery against the workflow under one lock.
+        let mut items: Vec<PendingItem> = {
+            let wf = ctx.workflow.lock();
+            batch
+                .iter()
+                .map(|d| {
+                    let uid = messages::parse_pending(&d.message);
+                    match wf.task(&uid) {
+                        Some(t) => PendingItem {
+                            tag: d.tag,
+                            uid,
+                            state: Some(t.state()),
+                            unit: Some(t.to_unit()),
+                            pool: t.resource_pool.clone(),
+                        },
+                        None => PendingItem {
+                            tag: d.tag,
+                            uid,
+                            state: None,
+                            unit: None,
+                            pool: None,
+                        },
                     }
-                }
-                // Redelivered after a failed submit: already Submitting.
-                Some(TaskState::Submitting) => {}
-                // Stale message (task moved on or was canceled): drop it.
-                _ => {
-                    let _ = ctx.broker.ack(ctx.ns.pending(), d.tag);
-                    continue;
+                })
+                .collect()
+        };
+
+        // Tag Scheduled tasks Submitting — one bulk sync round-trip on the
+        // batched path. Tasks whose sync is refused, tasks already past
+        // Submitting, and unknown uids are stale: their messages are simply
+        // acknowledged (dropped).
+        if ctx.batched {
+            let to_tag: Vec<String> = items
+                .iter()
+                .filter(|i| i.state == Some(TaskState::Scheduled))
+                .map(|i| i.uid.clone())
+                .collect();
+            let applied = ctx.sync_tasks(component::EMGR, &to_tag, TaskState::Submitting);
+            let mut ok = applied.into_iter();
+            for item in &mut items {
+                if item.state == Some(TaskState::Scheduled)
+                    && !ok.next().expect("one flag per request")
+                {
+                    item.state = None; // refused: treat as stale
                 }
             }
-            let slot_name = pools.slot_for(pool.as_deref()).name.clone();
-            let entry = groups.entry(slot_name).or_insert_with(|| PoolBatch {
-                units: Vec::new(),
-                submitted: Vec::new(),
-            });
-            entry.units.push(unit.expect("task found above"));
-            entry.submitted.push((d.tag, uid));
+        } else {
+            for item in &mut items {
+                if item.state == Some(TaskState::Scheduled)
+                    && !ctx.sync_task(component::EMGR, &item.uid, TaskState::Submitting)
+                {
+                    item.state = None;
+                }
+            }
         }
 
+        // Translate tasks to units, grouped by resource pool. `Submitting`
+        // covers both freshly tagged tasks and redeliveries after a failed
+        // submit.
+        let mut groups: HashMap<String, PoolBatch> = HashMap::new();
+        let mut stale: Vec<u64> = Vec::new();
+        for item in items {
+            match item.state {
+                Some(TaskState::Scheduled | TaskState::Submitting) => {
+                    let slot_name = pools.slot_for(item.pool.as_deref()).name.clone();
+                    let entry = groups.entry(slot_name).or_insert_with(|| PoolBatch {
+                        units: Vec::new(),
+                        submitted: Vec::new(),
+                    });
+                    entry.units.push(item.unit.expect("task found above"));
+                    entry.submitted.push((item.tag, item.uid));
+                }
+                _ => stale.push(item.tag),
+            }
+        }
+
+        let mut nacked = 0usize;
         for (pool_name, group) in groups {
             let slot = pools.slot_for(Some(&pool_name));
             let guard = slot.slot.read();
@@ -297,6 +395,7 @@ fn emgr_loop(ctx: Arc<Ctx>, pools: Arc<RtsPools>) {
                     Some(PilotState::Ready | PilotState::Queued | PilotState::Active)
                 );
             if !pilot_ready {
+                nacked += group.submitted.len();
                 for (tag, _) in group.submitted {
                     let _ = ctx.broker.nack(ctx.ns.pending(), tag);
                 }
@@ -309,28 +408,99 @@ fn emgr_loop(ctx: Arc<Ctx>, pools: Arc<RtsPools>) {
             // edge, silently dropping the completion. Tasks whose sync is
             // refused (e.g. canceled concurrently) are not submitted.
             let mut to_submit = Vec::with_capacity(group.units.len());
-            for (unit, (tag, uid)) in group.units.into_iter().zip(group.submitted.iter()) {
-                if ctx.sync_task(component::EMGR, uid, TaskState::Submitted) {
-                    to_submit.push(unit);
+            if ctx.batched {
+                let uids: Vec<String> =
+                    group.submitted.iter().map(|(_, uid)| uid.clone()).collect();
+                let applied = ctx.sync_tasks(component::EMGR, &uids, TaskState::Submitted);
+                for (unit, ok) in group.units.into_iter().zip(applied) {
+                    if ok {
+                        to_submit.push(unit);
+                    }
                 }
-                let _ = ctx.broker.ack(ctx.ns.pending(), *tag);
+            } else {
+                for (unit, (tag, uid)) in group.units.into_iter().zip(group.submitted.iter()) {
+                    if ctx.sync_task(component::EMGR, uid, TaskState::Submitted) {
+                        to_submit.push(unit);
+                    }
+                    let _ = ctx.broker.ack(ctx.ns.pending(), *tag);
+                }
             }
             if to_submit.is_empty() {
                 continue;
             }
-            // On failure the RTS died mid-batch: the tasks are Submitted, so
-            // the Heartbeat sweep re-describes each of them exactly once.
+            // One bulk submission per pool (the RTS amortizes its DB
+            // round-trips over the batch). On failure the RTS died
+            // mid-batch: the tasks are Submitted, so the Heartbeat sweep
+            // re-describes each of them exactly once.
             let _ = rts.submit_units(pilot, to_submit);
+        }
+        if ctx.batched {
+            // The Emgr is the Pending queue's only consumer, so everything
+            // still unacked in this batch (stale + submitted) settles with
+            // one cumulative ack. Requeued (nacked) messages are no longer
+            // unacked and are unaffected by the boundary.
+            if nacked < batch.len() {
+                let boundary = batch.last().expect("non-empty batch").tag;
+                let _ = ctx.broker.ack_multiple(ctx.ns.pending(), boundary);
+            }
+        } else {
+            for tag in stale {
+                let _ = ctx.broker.ack(ctx.ns.pending(), tag);
+            }
         }
         drop(span);
         ctx.profiler.add_management(t0.elapsed());
     }
 }
 
+/// Translate an RTS unit callback into the attempt outcome Dequeue acts on.
+fn attempt_outcome(cb: &UnitCallback) -> AttemptOutcome {
+    match &cb.outcome {
+        Some(UnitOutcome::Done) => AttemptOutcome::Done,
+        Some(UnitOutcome::Failed(r)) => AttemptOutcome::Failed(r.clone()),
+        Some(UnitOutcome::Canceled) | None => AttemptOutcome::Canceled,
+    }
+}
+
 fn callback_loop(ctx: Arc<Ctx>, slot: Arc<RtsSlot>) {
+    let cfg = ctx.exec.clone();
     while ctx.running.load(Ordering::Acquire) {
         let rts = slot.slot.read().0.clone();
-        match rts.callbacks().recv_timeout(Duration::from_millis(20)) {
+        match rts.callbacks().recv_timeout(cfg.callback_timeout) {
+            Ok(cb) if ctx.batched => {
+                // Coalesce whatever other completions are already waiting,
+                // then sync the whole batch with one round-trip and notify
+                // Dequeue with one batched publish.
+                let mut cbs = vec![cb];
+                while cbs.len() < cfg.max_batch.max(1) {
+                    match rts.callbacks().try_recv() {
+                        Ok(c) => cbs.push(c),
+                        Err(_) => break,
+                    }
+                }
+                cbs.retain(|c| c.state.is_terminal());
+                if cbs.is_empty() {
+                    continue;
+                }
+                let t0 = Instant::now();
+                let span = ctx
+                    .recorder
+                    .span(obs::EMGR, "callback")
+                    .with_payload(cbs.len().to_string());
+                let uids: Vec<String> = cbs.iter().map(|c| c.tag.clone()).collect();
+                let applied = ctx.sync_tasks(component::CALLBACK, &uids, TaskState::Executed);
+                let done: Vec<Message> = cbs
+                    .iter()
+                    .zip(applied)
+                    .filter(|(_, ok)| *ok)
+                    .map(|(c, _)| messages::done_message(&c.tag, &attempt_outcome(c)))
+                    .collect();
+                if !done.is_empty() {
+                    let _ = ctx.broker.publish_batch(ctx.ns.done(), done);
+                }
+                drop(span);
+                ctx.profiler.add_management(t0.elapsed());
+            }
             Ok(cb) => {
                 if !cb.state.is_terminal() {
                     continue;
@@ -340,11 +510,7 @@ fn callback_loop(ctx: Arc<Ctx>, slot: Arc<RtsSlot>) {
                     .recorder
                     .span(obs::EMGR, "callback")
                     .with_uid(cb.tag.clone());
-                let outcome = match cb.outcome {
-                    Some(UnitOutcome::Done) => AttemptOutcome::Done,
-                    Some(UnitOutcome::Failed(r)) => AttemptOutcome::Failed(r),
-                    Some(UnitOutcome::Canceled) | None => AttemptOutcome::Canceled,
-                };
+                let outcome = attempt_outcome(&cb);
                 // Mark the attempt Executed, then notify Dequeue.
                 if ctx.sync_task(component::CALLBACK, &cb.tag, TaskState::Executed) {
                     let _ = ctx
@@ -357,7 +523,7 @@ fn callback_loop(ctx: Arc<Ctx>, slot: Arc<RtsSlot>) {
             Err(RecvTimeoutError::Timeout) => continue,
             Err(RecvTimeoutError::Disconnected) => {
                 // The RTS died; wait for the Heartbeat to install a new one.
-                std::thread::sleep(Duration::from_millis(10));
+                std::thread::sleep(cfg.reconnect_sleep);
             }
         }
     }
@@ -475,11 +641,12 @@ fn heartbeat_loop(ctx: Arc<Ctx>, slot: Arc<RtsSlot>, is_primary: bool, interval:
             slot.name.clone(),
             lost.len().to_string(),
         );
-        for uid in lost {
-            let _ = ctx.broker.publish(
-                ctx.ns.done(),
-                messages::done_message(&uid, &AttemptOutcome::Lost),
-            );
+        let sweep: Vec<Message> = lost
+            .iter()
+            .map(|uid| messages::done_message(uid, &AttemptOutcome::Lost))
+            .collect();
+        if !sweep.is_empty() {
+            let _ = ctx.broker.publish_batch(ctx.ns.done(), sweep);
         }
         drop(guard);
     }

@@ -64,6 +64,7 @@ pub use appmanager::{
 };
 pub use cancel::CancelToken;
 pub use errors::{EntkError, EntkResult};
+pub use execmanager::ExecManagerConfig;
 pub use messages::QueueNamespace;
 pub use pipeline::Pipeline;
 pub use profiler::{OverheadReport, PythonEmulation};
@@ -74,3 +75,7 @@ pub use workflow::Workflow;
 
 // Re-export the pieces users need to describe tasks.
 pub use rp_rts::{Executable, StagingSpec};
+
+// Re-export the trace recorder: `AppManagerConfig::with_recorder` takes one,
+// so callers should not need a direct entk-observe dependency to use it.
+pub use entk_observe::Recorder;

@@ -17,6 +17,7 @@ use crate::appmanager::Ctx;
 use crate::messages::{self, parse_sync};
 use crate::states::{PipelineState, StageState, TaskState};
 use crate::uid::Kind;
+use entk_mq::Message;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -25,8 +26,67 @@ use std::time::{Duration, Instant};
 pub(crate) fn spawn(ctx: Arc<Ctx>) -> std::thread::JoinHandle<()> {
     std::thread::Builder::new()
         .name("entk-synchronizer".into())
-        .spawn(move || run(ctx))
+        .spawn(move || {
+            if ctx.batched {
+                run_batched(ctx)
+            } else {
+                run(ctx)
+            }
+        })
         .expect("spawn synchronizer")
+}
+
+/// Batched fast path: drain the sync queue in one broker call, apply every
+/// transition in one pass (one recorder span per batch), settle the batch
+/// with one cumulative ack, and publish the acknowledgements grouped per
+/// requesting component — within a component the order matches the
+/// requests, which is what [`Ctx::sync_tasks`] relies on.
+fn run_batched(ctx: Arc<Ctx>) {
+    let max_batch = ctx.exec.max_batch.max(1);
+    while ctx.running.load(Ordering::Acquire) {
+        let batch = match ctx
+            .broker
+            .get_batch(ctx.ns.sync(), max_batch, Duration::from_millis(20))
+        {
+            Ok(b) if !b.is_empty() => b,
+            Ok(_) => continue,
+            Err(_) => break, // broker closed: shutting down
+        };
+        let t0 = Instant::now();
+        let span = ctx
+            .recorder
+            .span(entk_observe::components::SYNC, "apply")
+            .with_payload(batch.len().to_string());
+        let mut acks: Vec<(String, Vec<Message>)> = Vec::new();
+        for d in &batch {
+            let Some(req) = parse_sync(&d.message) else {
+                continue;
+            };
+            let ok = apply(&ctx, &req);
+            if ok {
+                ctx.recorder.record(
+                    entk_observe::components::SYNC,
+                    "transition",
+                    req.uid.clone(),
+                    req.state.clone(),
+                );
+            }
+            let msg = messages::ack_message(&req.uid, ok);
+            match acks.iter_mut().find(|(c, _)| *c == req.component) {
+                Some((_, msgs)) => msgs.push(msg),
+                None => acks.push((req.component, vec![msg])),
+            }
+        }
+        // The Synchronizer is the sync queue's only consumer: one cumulative
+        // ack settles the whole batch.
+        let boundary = batch.last().expect("non-empty batch").tag;
+        let _ = ctx.broker.ack_multiple(ctx.ns.sync(), boundary);
+        for (comp, msgs) in acks {
+            let _ = ctx.broker.publish_batch(&ctx.ns.ack(&comp), msgs);
+        }
+        drop(span);
+        ctx.profiler.add_management(t0.elapsed());
+    }
 }
 
 fn run(ctx: Arc<Ctx>) {

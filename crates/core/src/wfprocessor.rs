@@ -9,6 +9,7 @@
 use crate::appmanager::{Ctx, ExecutionStrategy};
 use crate::messages::{self, component, AttemptOutcome};
 use crate::states::TaskState;
+use entk_mq::Message;
 use entk_observe::components as obs;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -44,56 +45,143 @@ fn enqueue_loop(ctx: Arc<Ctx>) {
             continue;
         }
         let t0 = Instant::now();
-        let span = ctx.recorder.span(obs::ENQ, "batch");
-        for uid in ready {
-            if !ctx.running.load(Ordering::Acquire) || ctx.cancel.is_canceled() {
-                return;
-            }
-            // Execution-strategy throttle: hold the task back while the
-            // in-flight count sits at the concurrency cap.
-            while ctx.in_flight.load(Ordering::Relaxed)
-                >= ctx.concurrency_cap.load(Ordering::Relaxed)
-            {
-                if !ctx.running.load(Ordering::Acquire) || ctx.cancel.is_canceled() {
-                    return;
-                }
-                std::thread::sleep(Duration::from_micros(200));
-            }
-            // Tag for execution, then make visible to the Emgr. `Scheduled`
-            // is synchronized *before* the publish so the Emgr can never see
-            // a task that is still mid-transition.
-            if !ctx.sync_task(component::ENQUEUE, &uid, TaskState::Scheduling) {
-                continue;
-            }
-            if !ctx.sync_task(component::ENQUEUE, &uid, TaskState::Scheduled) {
-                continue;
-            }
-            let _ = ctx
-                .broker
-                .publish(ctx.ns.pending(), messages::pending_message(&uid));
-        }
+        let span = ctx
+            .recorder
+            .span(obs::ENQ, "batch")
+            .with_payload(ready.len().to_string());
+        let alive = if ctx.batched {
+            enqueue_batched(&ctx, &ready)
+        } else {
+            enqueue_per_task(&ctx, &ready)
+        };
         drop(span);
         ctx.profiler.add_management(t0.elapsed());
+        if !alive {
+            return;
+        }
     }
 }
 
-fn dequeue_loop(ctx: Arc<Ctx>) {
-    while ctx.running.load(Ordering::Acquire) {
-        let delivery = match ctx
+/// Batched fast path: tag a chunk of ready tasks Scheduling → Scheduled
+/// with two bulk sync round-trips and make the chunk visible to the Emgr as
+/// one batched Pending publish. Chunks are sized by the free concurrency
+/// budget so the execution-strategy throttle still holds. `Scheduled` is
+/// synchronized *before* the publish so the Emgr can never see a task that
+/// is still mid-transition. Returns whether the loop should keep running.
+fn enqueue_batched(ctx: &Ctx, ready: &[String]) -> bool {
+    let max_batch = ctx.exec.max_batch.max(1);
+    let mut idx = 0;
+    while idx < ready.len() {
+        if !ctx.running.load(Ordering::Acquire) || ctx.cancel.is_canceled() {
+            return false;
+        }
+        let free = ctx
+            .concurrency_cap
+            .load(Ordering::Relaxed)
+            .saturating_sub(ctx.in_flight.load(Ordering::Relaxed));
+        if free == 0 {
+            std::thread::sleep(Duration::from_micros(200));
+            continue;
+        }
+        let chunk = &ready[idx..(idx + free.min(max_batch)).min(ready.len())];
+        idx += chunk.len();
+        let scheduling = ctx.sync_tasks(component::ENQUEUE, chunk, TaskState::Scheduling);
+        let chunk: Vec<String> = chunk
+            .iter()
+            .zip(scheduling)
+            .filter(|(_, ok)| *ok)
+            .map(|(uid, _)| uid.clone())
+            .collect();
+        let scheduled = ctx.sync_tasks(component::ENQUEUE, &chunk, TaskState::Scheduled);
+        let pending: Vec<Message> = chunk
+            .iter()
+            .zip(scheduled)
+            .filter(|(_, ok)| *ok)
+            .map(|(uid, _)| messages::pending_message(uid))
+            .collect();
+        if !pending.is_empty() {
+            let _ = ctx.broker.publish_batch(ctx.ns.pending(), pending);
+        }
+    }
+    true
+}
+
+/// The paper's per-task data path: two sync round-trips and one publish per
+/// task. Returns whether the loop should keep running.
+fn enqueue_per_task(ctx: &Ctx, ready: &[String]) -> bool {
+    for uid in ready {
+        if !ctx.running.load(Ordering::Acquire) || ctx.cancel.is_canceled() {
+            return false;
+        }
+        // Execution-strategy throttle: hold the task back while the
+        // in-flight count sits at the concurrency cap.
+        while ctx.in_flight.load(Ordering::Relaxed) >= ctx.concurrency_cap.load(Ordering::Relaxed) {
+            if !ctx.running.load(Ordering::Acquire) || ctx.cancel.is_canceled() {
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        // Tag for execution, then make visible to the Emgr. `Scheduled`
+        // is synchronized *before* the publish so the Emgr can never see
+        // a task that is still mid-transition.
+        if !ctx.sync_task(component::ENQUEUE, uid, TaskState::Scheduling) {
+            continue;
+        }
+        if !ctx.sync_task(component::ENQUEUE, uid, TaskState::Scheduled) {
+            continue;
+        }
+        let _ = ctx
             .broker
-            .get_timeout(ctx.ns.done(), Duration::from_millis(20))
-        {
-            Ok(Some(d)) => d,
-            Ok(None) => continue,
-            Err(_) => break,
-        };
-        let t0 = Instant::now();
-        let (uid, outcome) = messages::parse_done(&delivery.message);
-        let span = ctx.recorder.span(obs::DEQ, "handle").with_uid(uid.clone());
-        handle_outcome(&ctx, &uid, outcome);
-        let _ = ctx.broker.ack(ctx.ns.done(), delivery.tag);
-        drop(span);
-        ctx.profiler.add_management(t0.elapsed());
+            .publish(ctx.ns.pending(), messages::pending_message(uid));
+    }
+    true
+}
+
+fn dequeue_loop(ctx: Arc<Ctx>) {
+    let max_batch = ctx.exec.max_batch.max(1);
+    while ctx.running.load(Ordering::Acquire) {
+        if ctx.batched {
+            let batch =
+                match ctx
+                    .broker
+                    .get_batch(ctx.ns.done(), max_batch, Duration::from_millis(20))
+                {
+                    Ok(b) if !b.is_empty() => b,
+                    Ok(_) => continue,
+                    Err(_) => break,
+                };
+            let t0 = Instant::now();
+            let span = ctx
+                .recorder
+                .span(obs::DEQ, "handle")
+                .with_payload(batch.len().to_string());
+            for d in &batch {
+                let (uid, outcome) = messages::parse_done(&d.message);
+                handle_outcome(&ctx, &uid, outcome);
+            }
+            // Dequeue is the Done queue's only consumer, so one cumulative
+            // ack settles the whole batch.
+            let boundary = batch.last().expect("non-empty batch").tag;
+            let _ = ctx.broker.ack_multiple(ctx.ns.done(), boundary);
+            drop(span);
+            ctx.profiler.add_management(t0.elapsed());
+        } else {
+            let delivery = match ctx
+                .broker
+                .get_timeout(ctx.ns.done(), Duration::from_millis(20))
+            {
+                Ok(Some(d)) => d,
+                Ok(None) => continue,
+                Err(_) => break,
+            };
+            let t0 = Instant::now();
+            let (uid, outcome) = messages::parse_done(&delivery.message);
+            let span = ctx.recorder.span(obs::DEQ, "handle").with_uid(uid.clone());
+            handle_outcome(&ctx, &uid, outcome);
+            let _ = ctx.broker.ack(ctx.ns.done(), delivery.tag);
+            drop(span);
+            ctx.profiler.add_management(t0.elapsed());
+        }
     }
 }
 

@@ -237,6 +237,38 @@ impl Broker {
         Ok(())
     }
 
+    /// Publish a batch of messages to a queue: one queue-lock acquisition,
+    /// one consumer wakeup (`notify_all`), and — for persistent messages on
+    /// a durable queue — a single journal append (one lock, one flush) for
+    /// the whole batch. Returns the assigned delivery tags in message order.
+    /// All-or-nothing with respect to queue capacity.
+    pub fn publish_batch(&self, queue: &str, messages: Vec<Message>) -> MqResult<Vec<u64>> {
+        self.check_open()?;
+        let handle = self.get_queue(queue)?;
+        if let (true, Some(j)) = (handle.config.durable, &self.inner.journal) {
+            // Same crash window as `publish`: journal after push, so a crash
+            // between the two loses at most this in-flight batch (RabbitMQ
+            // without publisher confirms). Message clones are O(1) (`Bytes`),
+            // so snapshotting the batch for the journal records is cheap.
+            let snapshot = messages.clone();
+            let tags = handle.push_batch(messages)?;
+            let records: Vec<JournalRecord> = snapshot
+                .iter()
+                .zip(&tags)
+                .filter(|(m, _)| m.persistent)
+                .map(|(m, tag)| JournalRecord::Publish {
+                    queue: queue.to_string(),
+                    tag: *tag,
+                    headers: m.headers.clone(),
+                    payload: m.payload.clone(),
+                })
+                .collect();
+            j.append_all(&records)?;
+            return Ok(tags);
+        }
+        handle.push_batch(messages)
+    }
+
     /// Non-blocking fetch of the head message.
     pub fn get(&self, queue: &str) -> MqResult<Option<Delivery>> {
         self.check_open()?;
@@ -247,6 +279,50 @@ impl Broker {
     pub fn get_timeout(&self, queue: &str, timeout: Duration) -> MqResult<Option<Delivery>> {
         self.check_open()?;
         self.get_queue(queue)?.pop_timeout(timeout)
+    }
+
+    /// Blocking batch fetch: wait up to `timeout` for at least one ready
+    /// message, then drain up to `max` messages in a single queue-lock hold.
+    /// Returns an empty vector on timeout (so component loops can poll
+    /// their shutdown flags, like [`Broker::get_timeout`]).
+    pub fn get_batch(&self, queue: &str, max: usize, timeout: Duration) -> MqResult<Vec<Delivery>> {
+        self.check_open()?;
+        self.get_queue(queue)?.pop_batch_timeout(max, timeout)
+    }
+
+    /// RabbitMQ-style cumulative ack: acknowledge every unacked delivery on
+    /// `queue` whose tag is `<= up_to_tag`, in one queue-lock hold and (for
+    /// durable queues) one journal append. Returns how many deliveries were
+    /// settled. Only safe when a single consumer drains the queue — with
+    /// concurrent consumers a cumulative ack would settle foreign tags.
+    pub fn ack_multiple(&self, queue: &str, up_to_tag: u64) -> MqResult<usize> {
+        self.check_open()?;
+        let handle = self.get_queue(queue)?;
+        // The settled tags are only needed to journal durable queues; the
+        // non-durable hot path skips collecting them entirely.
+        let want_tags = handle.config.durable && self.inner.journal.is_some();
+        let (n, tags) = handle.ack_multiple(up_to_tag, want_tags)?;
+        if want_tags {
+            if let Some(j) = &self.inner.journal {
+                let records: Vec<JournalRecord> = tags
+                    .iter()
+                    .map(|tag| JournalRecord::Ack {
+                        queue: queue.to_string(),
+                        tag: *tag,
+                    })
+                    .collect();
+                j.append_all(&records)?;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Cumulative nack: requeue every unacked delivery on `queue` whose tag
+    /// is `<= up_to_tag` at the front in original order, flagged
+    /// redelivered. Returns how many were requeued.
+    pub fn nack_multiple(&self, queue: &str, up_to_tag: u64) -> MqResult<usize> {
+        self.check_open()?;
+        self.get_queue(queue)?.nack_multiple(up_to_tag)
     }
 
     /// Acknowledge a delivery on a queue.
@@ -585,6 +661,189 @@ mod tests {
             .any(|e| e.kind == "queue_declared" && e.entity_uid == "obs"));
         b.ack("obs", d2.tag).unwrap();
         b.close();
+    }
+
+    /// Satellite regression for the lost-wakeup inefficiency: a per-message
+    /// `notify_one` wakes a single consumer for N simultaneous messages,
+    /// leaving the other N-1 blocked until their full `get_timeout` deadline.
+    /// `publish_batch` must `notify_all` so every blocked caller drains one
+    /// message promptly.
+    #[test]
+    fn batch_publish_wakes_all_blocked_get_timeout_callers() {
+        const WAITERS: usize = 4;
+        let b = Broker::new();
+        b.declare_queue("q", QueueConfig::default()).unwrap();
+        let mut waiters = vec![];
+        for _ in 0..WAITERS {
+            let b = b.clone();
+            waiters.push(std::thread::spawn(move || {
+                let t0 = std::time::Instant::now();
+                let d = b.get_timeout("q", Duration::from_secs(10)).unwrap();
+                (d, t0.elapsed())
+            }));
+        }
+        // Give all waiters time to block on the condvar, then publish one
+        // batch carrying exactly one message per waiter.
+        std::thread::sleep(Duration::from_millis(50));
+        let msgs: Vec<Message> = (0..WAITERS).map(|i| Message::new(vec![i as u8])).collect();
+        b.publish_batch("q", msgs).unwrap();
+        for w in waiters {
+            let (d, waited) = w.join().unwrap();
+            assert!(d.is_some(), "every blocked caller must receive a message");
+            assert!(
+                waited < Duration::from_secs(5),
+                "woken by notify_all, not by timeout expiry (waited {waited:?})"
+            );
+        }
+        assert_eq!(b.depth("q").unwrap(), 0);
+        assert_eq!(b.unacked("q").unwrap(), WAITERS);
+    }
+
+    #[test]
+    fn get_batch_and_ack_multiple_roundtrip() {
+        let b = Broker::new();
+        b.declare_queue("q", QueueConfig::default()).unwrap();
+        let tags = b
+            .publish_batch("q", (0..6u8).map(|i| Message::new(vec![i])).collect())
+            .unwrap();
+        assert_eq!(tags.len(), 6);
+        let batch = b.get_batch("q", 4, Duration::ZERO).unwrap();
+        assert_eq!(batch.len(), 4);
+        assert_eq!(
+            b.ack_multiple("q", batch.last().unwrap().tag).unwrap(),
+            4,
+            "cumulative ack settles the whole drained window"
+        );
+        assert_eq!(b.unacked("q").unwrap(), 0);
+        assert_eq!(b.depth("q").unwrap(), 2);
+        // nack_multiple puts a drained window back in order.
+        let batch = b.get_batch("q", 4, Duration::ZERO).unwrap();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(b.nack_multiple("q", batch.last().unwrap().tag).unwrap(), 2);
+        let redelivered = b.get_batch("q", 4, Duration::ZERO).unwrap();
+        assert_eq!(redelivered[0].message.payload[0], 4);
+        assert_eq!(redelivered[1].message.payload[0], 5);
+        assert!(redelivered.iter().all(|d| d.redelivered));
+    }
+
+    /// Satellite: durable-queue journal recovery of a partially-acked batch.
+    /// A batch published persistently, partially settled with a cumulative
+    /// ack, must recover exactly the unacked remainder in publish order.
+    #[test]
+    fn durable_partially_acked_batch_recovers_remainder() {
+        let path = tmp_journal("partial-batch");
+        {
+            let b = Broker::with_config(BrokerConfig {
+                journal_path: Some(path.clone()),
+                ..Default::default()
+            })
+            .unwrap();
+            b.declare_queue("state", QueueConfig::durable()).unwrap();
+            b.publish_batch(
+                "state",
+                (0..5u8).map(|i| Message::persistent(vec![i])).collect(),
+            )
+            .unwrap();
+            let batch = b.get_batch("state", 5, Duration::ZERO).unwrap();
+            // Ack the first three cumulatively; crash with two unacked.
+            b.ack_multiple("state", batch[2].tag).unwrap();
+        }
+        let b = Broker::recover(&path).unwrap();
+        assert_eq!(b.depth("state").unwrap(), 2);
+        let rest = b.get_batch("state", 5, Duration::ZERO).unwrap();
+        assert_eq!(rest[0].message.payload[0], 3);
+        assert_eq!(rest[1].message.payload[0], 4);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn batch_publish_journals_only_persistent_messages() {
+        let path = tmp_journal("mixed-batch");
+        {
+            let b = Broker::with_config(BrokerConfig {
+                journal_path: Some(path.clone()),
+                ..Default::default()
+            })
+            .unwrap();
+            b.declare_queue("q", QueueConfig::durable()).unwrap();
+            b.publish_batch(
+                "q",
+                vec![
+                    Message::new("transient-1"),
+                    Message::persistent("durable-1"),
+                    Message::new("transient-2"),
+                    Message::persistent("durable-2"),
+                ],
+            )
+            .unwrap();
+        }
+        let b = Broker::recover(&path).unwrap();
+        assert_eq!(b.depth("q").unwrap(), 2);
+        let batch = b.get_batch("q", 4, Duration::ZERO).unwrap();
+        assert_eq!(&batch[0].message.payload[..], b"durable-1");
+        assert_eq!(&batch[1].message.payload[..], b"durable-2");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Satellite: no-duplicate/no-loss delivery under concurrent `get_batch`
+    /// consumers with prefetch windows. Each consumer drains batches through
+    /// a [`crate::consumer::Consumer`] and acks per tag (cumulative acks are
+    /// single-consumer-only by contract).
+    #[test]
+    fn concurrent_get_batch_consumers_no_loss_no_duplication() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        const PRODUCERS: usize = 4;
+        const CONSUMERS: usize = 4;
+        const PER_PRODUCER: usize = 500;
+        const BATCH: usize = 32;
+
+        let b = Broker::new();
+        b.declare_queue("work", QueueConfig::default()).unwrap();
+        let seen = Arc::new(Mutex::new(HashSet::new()));
+
+        let mut producers = vec![];
+        for p in 0..PRODUCERS {
+            let b = b.clone();
+            producers.push(std::thread::spawn(move || {
+                for chunk in 0..(PER_PRODUCER / BATCH + 1) {
+                    let lo = chunk * BATCH;
+                    let hi = (lo + BATCH).min(PER_PRODUCER);
+                    let msgs: Vec<Message> = (lo..hi)
+                        .map(|i| Message::new((p * PER_PRODUCER + i).to_string()))
+                        .collect();
+                    b.publish_batch("work", msgs).unwrap();
+                }
+            }));
+        }
+        let mut consumers = vec![];
+        for _ in 0..CONSUMERS {
+            let b = b.clone();
+            let seen = Arc::clone(&seen);
+            consumers.push(std::thread::spawn(move || {
+                let mut c = b.consumer("work", BATCH);
+                loop {
+                    let batch = c.next_batch(Duration::from_millis(200)).unwrap();
+                    if batch.is_empty() {
+                        break;
+                    }
+                    for d in batch {
+                        let id: usize = d.message.payload_str().parse().unwrap();
+                        assert!(seen.lock().unwrap().insert(id), "duplicate {id}");
+                        c.ack(d.tag).unwrap();
+                    }
+                }
+            }));
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        for c in consumers {
+            c.join().unwrap();
+        }
+        assert_eq!(seen.lock().unwrap().len(), PRODUCERS * PER_PRODUCER);
+        assert_eq!(b.depth("work").unwrap(), 0);
+        assert_eq!(b.unacked("work").unwrap(), 0);
     }
 
     #[test]

@@ -56,6 +56,26 @@ impl Consumer {
         }
     }
 
+    /// Fetch up to a full prefetch window of messages in one broker call,
+    /// blocking up to `timeout` for the first one. The batch size is bounded
+    /// by the free prefetch capacity (`prefetch - outstanding`), so a slow
+    /// consumer still cannot hoard messages. Returns an empty vector on
+    /// timeout and [`MqError::PrefetchExceeded`] when the window is already
+    /// full.
+    pub fn next_batch(&mut self, timeout: Duration) -> MqResult<Vec<Delivery>> {
+        let free = self.prefetch.saturating_sub(self.outstanding.len());
+        if free == 0 {
+            return Err(MqError::PrefetchExceeded {
+                prefetch: self.prefetch,
+            });
+        }
+        let batch = self.broker.get_batch(&self.queue, free, timeout)?;
+        for d in &batch {
+            self.outstanding.insert(d.tag);
+        }
+        Ok(batch)
+    }
+
     /// Acknowledge one of this consumer's deliveries.
     pub fn ack(&mut self, tag: u64) -> MqResult<()> {
         if !self.outstanding.remove(&tag) {
@@ -117,6 +137,26 @@ mod tests {
         c.ack(d1.tag).unwrap();
         assert!(c.next(Duration::ZERO).unwrap().is_some());
         assert_eq!(c.outstanding(), 2);
+    }
+
+    #[test]
+    fn next_batch_bounded_by_free_prefetch_capacity() {
+        let b = setup(10);
+        let mut c = b.consumer("q", 4);
+        let first = c.next(Duration::ZERO).unwrap().unwrap();
+        // 1 outstanding, prefetch 4: the batch may carry at most 3 more.
+        let batch = c.next_batch(Duration::ZERO).unwrap();
+        assert_eq!(batch.len(), 3);
+        assert_eq!(c.outstanding(), 4);
+        assert!(matches!(
+            c.next_batch(Duration::ZERO),
+            Err(MqError::PrefetchExceeded { prefetch: 4 })
+        ));
+        c.ack(first.tag).unwrap();
+        for d in batch {
+            c.ack(d.tag).unwrap();
+        }
+        assert_eq!(c.next_batch(Duration::ZERO).unwrap().len(), 4);
     }
 
     #[test]

@@ -33,6 +33,11 @@ pub struct PrototypeConfig {
     /// Size of each task description payload in bytes (the paper serializes
     /// small task objects; ~512 B is representative).
     pub payload_bytes: usize,
+    /// Messages moved per broker operation. `1` reproduces the paper's
+    /// per-task data path (one publish/get/ack per message); larger values
+    /// use `publish_batch`/`get_batch`/`ack_multiple` to amortize the
+    /// per-message lock, wakeup and ack cost.
+    pub batch_size: usize,
     /// Sample process RSS at this interval to find the peak; `None` disables
     /// memory sampling (unit tests).
     pub memory_sample_interval: Option<Duration>,
@@ -46,6 +51,7 @@ impl Default for PrototypeConfig {
             consumers: 1,
             queues: 1,
             payload_bytes: 512,
+            batch_size: 1,
             memory_sample_interval: Some(Duration::from_millis(20)),
         }
     }
@@ -62,6 +68,8 @@ pub struct PrototypeReport {
     pub queues: usize,
     /// Tasks pushed through.
     pub tasks: usize,
+    /// Messages per broker operation (1 = per-task path).
+    pub batch_size: usize,
     /// Wall time for all producers to finish publishing.
     pub producer_secs: f64,
     /// Wall time for all consumers to drain everything.
@@ -89,7 +97,7 @@ fn queue_name(i: usize) -> String {
 /// (acknowledge + drop). Producers signal completion with one sentinel per
 /// consumer so consumers terminate exactly when their queue is drained.
 pub fn run_prototype(cfg: &PrototypeConfig) -> PrototypeReport {
-    assert!(cfg.producers > 0 && cfg.consumers > 0 && cfg.queues > 0);
+    assert!(cfg.producers > 0 && cfg.consumers > 0 && cfg.queues > 0 && cfg.batch_size > 0);
     let broker = Broker::new();
     for q in 0..cfg.queues {
         broker
@@ -119,50 +127,128 @@ pub fn run_prototype(cfg: &PrototypeConfig) -> PrototypeReport {
         None
     };
 
-    let payload: Vec<u8> = vec![0x5a; cfg.payload_bytes];
+    // One shared payload for every task description: `Bytes` clones are
+    // O(1) refcounts, so neither path pays a per-message body copy and the
+    // measurement isolates the broker's per-message vs per-batch cost.
+    let payload = bytes::Bytes::from(vec![0x5a; cfg.payload_bytes]);
     let start = Instant::now();
 
     // Producers: split the task range evenly; task t goes to queue t % queues.
+    // In batched mode each producer buffers per-queue and flushes a full
+    // batch with one `publish_batch` call.
     let mut producer_handles = Vec::with_capacity(cfg.producers);
     for p in 0..cfg.producers {
         let broker = broker.clone();
         let payload = payload.clone();
         let (lo, hi) = share(cfg.tasks, cfg.producers, p);
         let queues = cfg.queues;
+        let batch_size = cfg.batch_size;
         producer_handles.push(std::thread::spawn(move || {
             let t0 = Instant::now();
-            for t in lo..hi {
-                let msg = Message::new(payload.clone());
-                broker
-                    .publish(&queue_name(t % queues), msg)
-                    .expect("publish");
+            if batch_size <= 1 {
+                for t in lo..hi {
+                    let msg = Message::new(payload.clone());
+                    broker
+                        .publish(&queue_name(t % queues), msg)
+                        .expect("publish");
+                }
+            } else {
+                let mut buffers: Vec<Vec<Message>> = (0..queues)
+                    .map(|_| Vec::with_capacity(batch_size))
+                    .collect();
+                for t in lo..hi {
+                    let q = t % queues;
+                    buffers[q].push(Message::new(payload.clone()));
+                    if buffers[q].len() >= batch_size {
+                        let full =
+                            std::mem::replace(&mut buffers[q], Vec::with_capacity(batch_size));
+                        broker
+                            .publish_batch(&queue_name(q), full)
+                            .expect("publish_batch");
+                    }
+                }
+                for (q, buf) in buffers.into_iter().enumerate() {
+                    if !buf.is_empty() {
+                        broker
+                            .publish_batch(&queue_name(q), buf)
+                            .expect("publish_batch tail");
+                    }
+                }
             }
             t0.elapsed()
         }));
     }
 
     // Consumers: consumer c serves queue c % queues; counts consumed tasks.
+    // Cumulative acks are only safe when a queue has a single consumer, so
+    // shared queues (consumers > queues) fall back to per-tag acks.
+    let exclusive = cfg.consumers <= cfg.queues;
     let consumed = Arc::new(AtomicUsize::new(0));
     let mut consumer_handles = Vec::with_capacity(cfg.consumers);
     for c in 0..cfg.consumers {
         let broker = broker.clone();
         let consumed = Arc::clone(&consumed);
         let q = queue_name(c % cfg.queues);
+        let batch_size = cfg.batch_size;
         consumer_handles.push(std::thread::spawn(move || {
             let t0 = Instant::now();
-            loop {
-                match broker.get_timeout(&q, Duration::from_millis(100)) {
-                    Ok(Some(d)) => {
-                        if d.message.headers.contains_key("sentinel") {
-                            broker.ack(&q, d.tag).expect("ack sentinel");
-                            break;
+            if batch_size <= 1 {
+                loop {
+                    match broker.get_timeout(&q, Duration::from_millis(100)) {
+                        Ok(Some(d)) => {
+                            if d.message.headers.contains_key("sentinel") {
+                                broker.ack(&q, d.tag).expect("ack sentinel");
+                                break;
+                            }
+                            // "Empty RTS module": accept the task and drop it.
+                            broker.ack(&q, d.tag).expect("ack");
+                            consumed.fetch_add(1, Ordering::Relaxed);
                         }
-                        // "Empty RTS module": accept the task and drop it.
-                        broker.ack(&q, d.tag).expect("ack");
-                        consumed.fetch_add(1, Ordering::Relaxed);
+                        Ok(None) => continue, // producers may still be running
+                        Err(e) => panic!("consumer error: {e}"),
                     }
-                    Ok(None) => continue, // producers may still be running
-                    Err(e) => panic!("consumer error: {e}"),
+                }
+            } else {
+                'drain: loop {
+                    let batch = broker
+                        .get_batch(&q, batch_size, Duration::from_millis(100))
+                        .expect("get_batch");
+                    if batch.is_empty() {
+                        continue; // producers may still be running
+                    }
+                    let mut sentinel_seen = false;
+                    let mut settled_up_to = 0u64;
+                    let mut tasks_here = 0usize;
+                    let mut leftover: Vec<u64> = Vec::new();
+                    for d in &batch {
+                        if sentinel_seen {
+                            // Messages past our sentinel belong to another
+                            // consumer of a shared queue: hand them back.
+                            leftover.push(d.tag);
+                        } else if d.message.headers.contains_key("sentinel") {
+                            sentinel_seen = true;
+                            settled_up_to = d.tag;
+                        } else {
+                            tasks_here += 1;
+                            settled_up_to = d.tag;
+                        }
+                    }
+                    if exclusive {
+                        broker.ack_multiple(&q, settled_up_to).expect("ack batch");
+                    } else {
+                        for d in &batch {
+                            if !leftover.contains(&d.tag) {
+                                broker.ack(&q, d.tag).expect("ack");
+                            }
+                        }
+                    }
+                    for tag in leftover {
+                        broker.nack(&q, tag).expect("requeue leftover");
+                    }
+                    consumed.fetch_add(tasks_here, Ordering::Relaxed);
+                    if sentinel_seen {
+                        break 'drain;
+                    }
                 }
             }
             t0.elapsed()
@@ -202,6 +288,7 @@ pub fn run_prototype(cfg: &PrototypeConfig) -> PrototypeReport {
         consumers: cfg.consumers,
         queues: cfg.queues,
         tasks: cfg.tasks,
+        batch_size: cfg.batch_size,
         producer_secs,
         consumer_secs,
         aggregate_secs,
@@ -251,6 +338,7 @@ mod tests {
                 consumers: c,
                 queues: q,
                 payload_bytes: 64,
+                batch_size: 1,
                 memory_sample_interval: None,
             };
             let r = run_prototype(&cfg);
@@ -268,6 +356,7 @@ mod tests {
             consumers: 2,
             queues: 2,
             payload_bytes: 32,
+            batch_size: 1,
             memory_sample_interval: None,
         };
         let r = run_prototype(&cfg);
@@ -282,10 +371,47 @@ mod tests {
             consumers: 4,
             queues: 2,
             payload_bytes: 32,
+            batch_size: 1,
             memory_sample_interval: None,
         };
         let r = run_prototype(&cfg);
         assert_eq!(r.tasks, 800);
+    }
+
+    #[test]
+    fn prototype_batched_mode_exclusive_queues() {
+        // One consumer per queue: the cumulative-ack fast path.
+        for &batch in &[16usize, 64] {
+            let cfg = PrototypeConfig {
+                tasks: 3_000,
+                producers: 2,
+                consumers: 2,
+                queues: 2,
+                payload_bytes: 64,
+                batch_size: batch,
+                memory_sample_interval: None,
+            };
+            let r = run_prototype(&cfg);
+            assert_eq!(r.tasks, 3_000);
+            assert_eq!(r.batch_size, batch);
+        }
+    }
+
+    #[test]
+    fn prototype_batched_mode_shared_queues() {
+        // More consumers than queues: per-tag acks, sentinel leftovers are
+        // requeued for the queue's other consumers.
+        let cfg = PrototypeConfig {
+            tasks: 2_000,
+            producers: 2,
+            consumers: 4,
+            queues: 2,
+            payload_bytes: 32,
+            batch_size: 32,
+            memory_sample_interval: None,
+        };
+        let r = run_prototype(&cfg);
+        assert_eq!(r.tasks, 2_000);
     }
 
     #[test]
@@ -299,6 +425,7 @@ mod tests {
             consumers: 2,
             queues: 2,
             payload_bytes: 256,
+            batch_size: 1,
             memory_sample_interval: Some(Duration::from_millis(1)),
         };
         let r = run_prototype(&cfg);

@@ -11,7 +11,7 @@ use crate::message::{Delivery, Message};
 use crate::stats::QueueStats;
 use entk_observe::{Histogram, Recorder};
 use parking_lot::{Condvar, Mutex};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -88,16 +88,64 @@ struct Counters {
     acked: u64,
     requeued: u64,
     purged: u64,
+    /// Batched operation calls (not messages): `push_batch`,
+    /// multi-message `pop_batch_*` drains, and cumulative acks.
+    batch_publishes: u64,
+    batch_deliveries: u64,
+    batch_acks: u64,
 }
 
 /// Mutable queue state, always accessed under the handle's mutex.
 struct QueueState {
     ready: VecDeque<ReadyEntry>,
-    /// Delivered-but-unacked messages, keyed by tag, with the delivery time
-    /// so `ack` can record deliver-to-ack latency.
-    unacked: HashMap<u64, (Message, Instant)>,
+    /// Delivered-but-unacked messages in ascending tag order (deliveries
+    /// hand out ascending tags, so pops append; the rare requeue-redeliver
+    /// inserts in place). Ordering makes the hot cumulative ack a front
+    /// drain instead of a full-table scan. Entries settled out of order
+    /// become `None` tombstones so single-tag acks stay shift-free; they are
+    /// reclaimed when a front drain or a front ack passes them.
+    unacked: VecDeque<(u64, Option<(Message, Instant)>)>,
+    /// Live (non-tombstone) entries in `unacked`.
+    unacked_live: usize,
     counters: Counters,
     closed: bool,
+}
+
+impl QueueState {
+    /// Index of `tag` in `unacked`, if present (live or tombstone).
+    fn unacked_idx(&self, tag: u64) -> Option<usize> {
+        let idx = self.unacked.partition_point(|(t, _)| *t < tag);
+        (self.unacked.get(idx).map(|(t, _)| *t) == Some(tag)).then_some(idx)
+    }
+
+    /// Take the live payload for `tag`, leaving a tombstone. `None` when the
+    /// tag is unknown or already settled.
+    fn take_unacked(&mut self, tag: u64) -> Option<(Message, Instant)> {
+        let idx = self.unacked_idx(tag)?;
+        let taken = self.unacked[idx].1.take();
+        if taken.is_some() {
+            self.unacked_live -= 1;
+        }
+        // Reclaim any tombstone run now exposed at the front.
+        while matches!(self.unacked.front(), Some((_, None))) {
+            self.unacked.pop_front();
+        }
+        taken
+    }
+
+    /// Append a freshly delivered entry, preserving ascending tag order.
+    /// Redeliveries of requeued messages carry old (smaller) tags and take
+    /// the slow ordered insert; first deliveries always append.
+    fn push_unacked(&mut self, tag: u64, payload: (Message, Instant)) {
+        match self.unacked.back() {
+            Some((t, _)) if *t > tag => {
+                let idx = self.unacked.partition_point(|(t, _)| *t < tag);
+                self.unacked.insert(idx, (tag, Some(payload)));
+            }
+            _ => self.unacked.push_back((tag, Some(payload))),
+        }
+        self.unacked_live += 1;
+    }
 }
 
 /// A named queue: lock-protected state plus a condvar for blocking consumers.
@@ -130,7 +178,8 @@ impl QueueHandle {
             config,
             state: Mutex::new(QueueState {
                 ready: VecDeque::new(),
-                unacked: HashMap::new(),
+                unacked: VecDeque::new(),
+                unacked_live: 0,
                 counters: Counters::default(),
                 closed: false,
             }),
@@ -172,6 +221,52 @@ impl QueueHandle {
         Ok(tag)
     }
 
+    /// Enqueue a batch of messages in one lock acquisition, returning the
+    /// assigned tags in message order. All-or-nothing with respect to
+    /// capacity: if the batch does not fit, nothing is enqueued. Wakes *all*
+    /// blocked consumers — a per-message `notify_one` would wake a single
+    /// consumer for N messages and leave the rest sleeping until their
+    /// `pop_timeout` deadline (the lost-wakeup inefficiency).
+    pub(crate) fn push_batch(&self, messages: Vec<Message>) -> MqResult<Vec<u64>> {
+        if messages.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut sz = 0usize;
+        let tags = {
+            let mut st = self.state.lock();
+            if st.closed {
+                return Err(MqError::BrokerClosed);
+            }
+            if let Some(cap) = self.config.capacity {
+                if st.ready.len() + messages.len() > cap {
+                    return Err(MqError::QueueFull(self.name.clone()));
+                }
+            }
+            let now = Instant::now();
+            // One contiguous tag block for the whole batch: a single atomic
+            // bump instead of one per message. Concurrent publishers get
+            // disjoint blocks, so tags stay unique and monotonic.
+            let n = messages.len();
+            let base = self.next_tag.fetch_add(n as u64, Ordering::Relaxed);
+            st.ready.reserve(n);
+            for (i, message) in messages.into_iter().enumerate() {
+                sz += message.resident_bytes();
+                st.ready.push_back(ReadyEntry {
+                    tag: base + i as u64,
+                    redelivered: false,
+                    message,
+                    enqueued_at: now,
+                });
+            }
+            st.counters.enqueued += n as u64;
+            st.counters.batch_publishes += 1;
+            (base..base + n as u64).collect()
+        };
+        self.resident_bytes.fetch_add(sz, Ordering::Relaxed);
+        self.ready_cond.notify_all();
+        Ok(tags)
+    }
+
     /// Non-blocking pop of the head message, moving it to the unacked table.
     pub(crate) fn try_pop(&self) -> MqResult<Option<Delivery>> {
         let mut st = self.state.lock();
@@ -182,14 +277,19 @@ impl QueueHandle {
     }
 
     fn pop_locked(&self, st: &mut QueueState) -> Option<Delivery> {
+        self.pop_locked_at(st, Instant::now())
+    }
+
+    /// `pop_locked` with the delivery timestamp supplied by the caller, so
+    /// batch drains charge one clock read per batch instead of per message.
+    fn pop_locked_at(&self, st: &mut QueueState, now: Instant) -> Option<Delivery> {
         let entry = st.ready.pop_front()?;
         st.counters.delivered += 1;
-        let now = Instant::now();
         if let Some(i) = &self.instruments {
             i.publish_to_deliver
                 .record_ns(now.saturating_duration_since(entry.enqueued_at).as_nanos() as u64);
         }
-        st.unacked.insert(entry.tag, (entry.message.clone(), now));
+        st.push_unacked(entry.tag, (entry.message.clone(), now));
         Some(Delivery {
             tag: entry.tag,
             redelivered: entry.redelivered,
@@ -224,6 +324,160 @@ impl QueueHandle {
         }
     }
 
+    fn drain_locked(&self, st: &mut QueueState, max: usize) -> Vec<Delivery> {
+        // One clock read and one counter update for the whole batch; the
+        // loop itself only moves entries and maintains the unacked table.
+        let now = Instant::now();
+        let n = max.min(st.ready.len());
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let entry = st.ready.pop_front().expect("n bounded by ready.len()");
+            if let Some(i) = &self.instruments {
+                i.publish_to_deliver
+                    .record_ns(now.saturating_duration_since(entry.enqueued_at).as_nanos() as u64);
+            }
+            st.push_unacked(entry.tag, (entry.message.clone(), now));
+            out.push(Delivery {
+                tag: entry.tag,
+                redelivered: entry.redelivered,
+                message: entry.message,
+            });
+        }
+        st.counters.delivered += n as u64;
+        if n > 1 {
+            st.counters.batch_deliveries += 1;
+        }
+        out
+    }
+
+    /// Blocking batch pop: wait (up to `timeout`) for at least one ready
+    /// message, then drain up to `max` in the same lock hold. Returns an
+    /// empty vector on timeout so callers can poll shutdown flags.
+    pub(crate) fn pop_batch_timeout(
+        &self,
+        max: usize,
+        timeout: Duration,
+    ) -> MqResult<Vec<Delivery>> {
+        if max == 0 {
+            return Ok(Vec::new());
+        }
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock();
+        loop {
+            if st.closed {
+                return Err(MqError::BrokerClosed);
+            }
+            if !st.ready.is_empty() {
+                return Ok(self.drain_locked(&mut st, max));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(Vec::new());
+            }
+            if self.ready_cond.wait_until(&mut st, deadline).timed_out() {
+                // Re-check once after timeout: messages may have raced in.
+                if st.closed {
+                    return Err(MqError::BrokerClosed);
+                }
+                return Ok(self.drain_locked(&mut st, max));
+            }
+        }
+    }
+
+    /// RabbitMQ-style cumulative ack (`multiple = true`): acknowledge every
+    /// outstanding delivery whose tag is `<= up_to_tag` in one lock hold.
+    /// Returns the acked tags in ascending order; errors when nothing
+    /// matched (mirroring the single-tag unknown-tag error). Cumulative acks
+    /// span the whole queue, so they are only safe when one consumer drains
+    /// the queue (every EnTK component loop) — concurrent consumers must ack
+    /// per tag.
+    /// `want_tags` controls whether the settled tags are collected and
+    /// returned — only the durable-queue journal path needs them; the hot
+    /// non-durable path passes `false` and gets an empty vector back.
+    pub(crate) fn ack_multiple(
+        &self,
+        up_to_tag: u64,
+        want_tags: bool,
+    ) -> MqResult<(usize, Vec<u64>)> {
+        let (n, tags, bytes) = {
+            let mut st = self.state.lock();
+            if st.closed {
+                return Err(MqError::BrokerClosed);
+            }
+            // `unacked` is tag-ordered, so the covered range is exactly the
+            // front run — drain it, skipping tombstones.
+            let now = Instant::now();
+            let mut n = 0usize;
+            let mut tags = Vec::new();
+            let mut bytes = 0usize;
+            while matches!(st.unacked.front(), Some((t, _)) if *t <= up_to_tag) {
+                let (tag, payload) = st.unacked.pop_front().expect("front just matched");
+                if let Some((msg, delivered_at)) = payload {
+                    st.unacked_live -= 1;
+                    n += 1;
+                    bytes += msg.resident_bytes();
+                    if let Some(i) = &self.instruments {
+                        i.deliver_to_ack.record_ns(
+                            now.saturating_duration_since(delivered_at).as_nanos() as u64,
+                        );
+                    }
+                    if want_tags {
+                        tags.push(tag);
+                    }
+                }
+            }
+            if n == 0 {
+                return Err(MqError::UnknownDeliveryTag(up_to_tag));
+            }
+            st.counters.acked += n as u64;
+            st.counters.batch_acks += 1;
+            (n, tags, bytes)
+        };
+        self.resident_bytes.fetch_sub(bytes, Ordering::Relaxed);
+        Ok((n, tags))
+    }
+
+    /// Cumulative nack: requeue every outstanding delivery whose tag is
+    /// `<= up_to_tag` at the front of the queue in original (tag) order,
+    /// flagged redelivered. Returns how many were requeued.
+    pub(crate) fn nack_multiple(&self, up_to_tag: u64) -> MqResult<usize> {
+        let n = {
+            let mut st = self.state.lock();
+            if st.closed {
+                return Err(MqError::BrokerClosed);
+            }
+            // The covered range is the tag-ordered front run; collect it in
+            // ascending order, skipping tombstones.
+            let mut entries = Vec::new();
+            while matches!(st.unacked.front(), Some((t, _)) if *t <= up_to_tag) {
+                let (tag, payload) = st.unacked.pop_front().expect("front just matched");
+                if let Some((msg, _)) = payload {
+                    st.unacked_live -= 1;
+                    entries.push((tag, msg));
+                }
+            }
+            if entries.is_empty() {
+                return Err(MqError::UnknownDeliveryTag(up_to_tag));
+            }
+            // Requeue highest tag first so the front of the ready queue ends
+            // up in ascending tag order, i.e. original delivery order.
+            let now = Instant::now();
+            let n = entries.len();
+            for (tag, msg) in entries.into_iter().rev() {
+                st.counters.requeued += 1;
+                st.ready.push_front(ReadyEntry {
+                    tag,
+                    redelivered: true,
+                    message: msg,
+                    enqueued_at: now,
+                });
+            }
+            n
+        };
+        self.ready_cond.notify_all();
+        Ok(n)
+    }
+
     /// Acknowledge a delivered message, dropping it for good.
     pub(crate) fn ack(&self, tag: u64) -> MqResult<()> {
         let msg = {
@@ -232,8 +486,7 @@ impl QueueHandle {
                 return Err(MqError::BrokerClosed);
             }
             let (msg, delivered_at) = st
-                .unacked
-                .remove(&tag)
+                .take_unacked(tag)
                 .ok_or(MqError::UnknownDeliveryTag(tag))?;
             st.counters.acked += 1;
             if let Some(i) = &self.instruments {
@@ -260,8 +513,7 @@ impl QueueHandle {
                 return Err(MqError::BrokerClosed);
             }
             let (msg, _) = st
-                .unacked
-                .remove(&tag)
+                .take_unacked(tag)
                 .ok_or(MqError::UnknownDeliveryTag(tag))?;
             st.counters.requeued += 1;
             st.ready.push_front(ReadyEntry {
@@ -280,18 +532,26 @@ impl QueueHandle {
     pub(crate) fn recover_unacked(&self) -> usize {
         let n = {
             let mut st = self.state.lock();
-            let tags: Vec<u64> = st.unacked.keys().copied().collect();
-            for tag in &tags {
-                let (msg, _) = st.unacked.remove(tag).expect("tag just listed");
+            let entries: Vec<(u64, Message)> = st
+                .unacked
+                .drain(..)
+                .filter_map(|(tag, payload)| payload.map(|(msg, _)| (tag, msg)))
+                .collect();
+            st.unacked_live = 0;
+            // Highest tag first so the ready front ends up in ascending tag
+            // order — the original delivery order.
+            let now = Instant::now();
+            let n = entries.len();
+            for (tag, msg) in entries.into_iter().rev() {
                 st.counters.requeued += 1;
                 st.ready.push_front(ReadyEntry {
-                    tag: *tag,
+                    tag,
                     redelivered: true,
                     message: msg,
-                    enqueued_at: Instant::now(),
+                    enqueued_at: now,
                 });
             }
-            tags.len()
+            n
         };
         if n > 0 {
             self.ready_cond.notify_all();
@@ -329,7 +589,7 @@ impl QueueHandle {
 
     /// Number of delivered-but-unacked messages.
     pub(crate) fn unacked_count(&self) -> usize {
-        self.state.lock().unacked.len()
+        self.state.lock().unacked_live
     }
 
     /// Snapshot statistics.
@@ -338,12 +598,15 @@ impl QueueHandle {
         QueueStats {
             name: self.name.clone(),
             depth: st.ready.len(),
-            unacked: st.unacked.len(),
+            unacked: st.unacked_live,
             enqueued: st.counters.enqueued,
             delivered: st.counters.delivered,
             acked: st.counters.acked,
             requeued: st.counters.requeued,
             purged: st.counters.purged,
+            batch_publishes: st.counters.batch_publishes,
+            batch_deliveries: st.counters.batch_deliveries,
+            batch_acks: st.counters.batch_acks,
             resident_bytes: self.resident_bytes.load(Ordering::Relaxed),
             durable: self.config.durable,
         }
@@ -556,6 +819,125 @@ mod tests {
         let d = h.try_pop().unwrap().unwrap();
         h.ack(d.tag).unwrap();
         assert_eq!(rec.metrics().histogram(HIST_PUBLISH_TO_DELIVER).count(), 0);
+    }
+
+    #[test]
+    fn push_batch_preserves_order_with_sequential_tags() {
+        let h = q();
+        let msgs: Vec<Message> = (0..10u8).map(|i| Message::new(vec![i])).collect();
+        let tags = h.push_batch(msgs).unwrap();
+        assert_eq!(tags.len(), 10);
+        assert!(tags.windows(2).all(|w| w[1] == w[0] + 1), "tags sequential");
+        for i in 0..10u8 {
+            let d = h.try_pop().unwrap().unwrap();
+            assert_eq!(d.message.payload[0], i);
+            assert_eq!(d.tag, tags[i as usize]);
+        }
+    }
+
+    #[test]
+    fn push_batch_capacity_is_all_or_nothing() {
+        let h = QueueHandle::new("c".into(), QueueConfig::default().with_capacity(3));
+        h.push(Message::new("one")).unwrap();
+        let big: Vec<Message> = (0..3).map(|_| Message::new("x")).collect();
+        assert!(matches!(h.push_batch(big), Err(MqError::QueueFull(_))));
+        assert_eq!(h.depth(), 1, "failed batch must not partially enqueue");
+        let fits: Vec<Message> = (0..2).map(|_| Message::new("y")).collect();
+        assert_eq!(h.push_batch(fits).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn pop_batch_drains_up_to_max_in_one_call() {
+        let h = q();
+        h.push_batch((0..8u8).map(|i| Message::new(vec![i])).collect())
+            .unwrap();
+        let batch = h.pop_batch_timeout(5, Duration::ZERO).unwrap();
+        assert_eq!(batch.len(), 5);
+        assert!(batch
+            .iter()
+            .enumerate()
+            .all(|(i, d)| d.message.payload[0] == i as u8));
+        assert_eq!(h.depth(), 3);
+        assert_eq!(h.unacked_count(), 5);
+        // Empty queue: timeout returns an empty batch, not an error.
+        let rest = h.pop_batch_timeout(10, Duration::ZERO).unwrap();
+        assert_eq!(rest.len(), 3);
+        assert!(h
+            .pop_batch_timeout(10, Duration::from_millis(5))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn ack_multiple_settles_tags_up_to_boundary() {
+        let h = q();
+        h.push_batch((0..5u8).map(|i| Message::new(vec![i])).collect())
+            .unwrap();
+        let batch = h.pop_batch_timeout(5, Duration::ZERO).unwrap();
+        // Cumulative ack up to the *middle* tag: 3 settled, 2 outstanding.
+        let (n, acked) = h.ack_multiple(batch[2].tag, true).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(acked, vec![batch[0].tag, batch[1].tag, batch[2].tag]);
+        assert_eq!(h.unacked_count(), 2);
+        // Acking the same boundary again finds nothing: error, like a
+        // double single-tag ack.
+        assert!(matches!(
+            h.ack_multiple(batch[2].tag, true),
+            Err(MqError::UnknownDeliveryTag(_))
+        ));
+        // The rest settle with the last tag as boundary; without `want_tags`
+        // the count is reported but no tag vector is built.
+        let (n, tags) = h.ack_multiple(batch[4].tag, false).unwrap();
+        assert_eq!(n, 2);
+        assert!(tags.is_empty());
+        assert_eq!(h.unacked_count(), 0);
+    }
+
+    #[test]
+    fn nack_multiple_requeues_in_original_order() {
+        let h = q();
+        h.push_batch((0..4u8).map(|i| Message::new(vec![i])).collect())
+            .unwrap();
+        let batch = h.pop_batch_timeout(3, Duration::ZERO).unwrap();
+        assert_eq!(h.nack_multiple(batch[2].tag).unwrap(), 3);
+        // Redelivery order matches original order, ahead of the untouched
+        // 4th message.
+        for i in 0..4u8 {
+            let d = h.try_pop().unwrap().unwrap();
+            assert_eq!(d.message.payload[0], i);
+            assert_eq!(d.redelivered, i < 3);
+        }
+    }
+
+    #[test]
+    fn ack_multiple_releases_resident_bytes() {
+        let h = q();
+        h.push_batch(vec![
+            Message::new(vec![0u8; 512]),
+            Message::new(vec![0u8; 512]),
+        ])
+        .unwrap();
+        let batch = h.pop_batch_timeout(2, Duration::ZERO).unwrap();
+        assert!(h.stats().resident_bytes >= 1024);
+        h.ack_multiple(batch[1].tag, false).unwrap();
+        assert_eq!(h.stats().resident_bytes, 0);
+    }
+
+    #[test]
+    fn batch_counters_track_batched_calls() {
+        let h = q();
+        h.push_batch(vec![Message::new("a"), Message::new("b")])
+            .unwrap();
+        h.push(Message::new("c")).unwrap();
+        let batch = h.pop_batch_timeout(8, Duration::ZERO).unwrap();
+        assert_eq!(batch.len(), 3);
+        h.ack_multiple(batch[2].tag, false).unwrap();
+        let s = h.stats();
+        assert_eq!(s.enqueued, 3);
+        assert_eq!(s.batch_publishes, 1, "one push_batch call");
+        assert_eq!(s.batch_deliveries, 1, "one multi-message drain");
+        assert_eq!(s.batch_acks, 1, "one cumulative ack");
+        assert_eq!(s.acked, 3);
     }
 
     #[test]

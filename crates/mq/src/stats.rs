@@ -24,6 +24,13 @@ pub struct QueueStats {
     pub requeued: u64,
     /// Messages dropped by `purge`.
     pub purged: u64,
+    /// Batched publish calls (`publish_batch`), each covering many messages.
+    pub batch_publishes: u64,
+    /// Batched drains (`get_batch` calls that returned more than one
+    /// message in a single lock hold).
+    pub batch_deliveries: u64,
+    /// Cumulative ack calls (`ack_multiple`), each settling many tags.
+    pub batch_acks: u64,
     /// Approximate bytes resident in this queue (ready + unacked).
     pub resident_bytes: usize,
     /// Whether the queue is durable.
@@ -49,6 +56,12 @@ pub struct BrokerStats {
     pub total_requeued: u64,
     /// Sum of purge counters.
     pub total_purged: u64,
+    /// Sum of batched publish calls.
+    pub total_batch_publishes: u64,
+    /// Sum of batched (multi-message) drains.
+    pub total_batch_deliveries: u64,
+    /// Sum of cumulative ack calls.
+    pub total_batch_acks: u64,
     /// Approximate bytes resident across all queues.
     pub resident_bytes: usize,
 }
@@ -64,6 +77,9 @@ impl BrokerStats {
         self.total_acked += q.acked;
         self.total_requeued += q.requeued;
         self.total_purged += q.purged;
+        self.total_batch_publishes += q.batch_publishes;
+        self.total_batch_deliveries += q.batch_deliveries;
+        self.total_batch_acks += q.batch_acks;
         self.resident_bytes += q.resident_bytes;
     }
 }
@@ -98,6 +114,9 @@ mod tests {
             acked: 6,
             requeued: 2,
             purged: 1,
+            batch_publishes: 4,
+            batch_deliveries: 3,
+            batch_acks: 2,
             resident_bytes: 100,
             durable: false,
         };
@@ -107,6 +126,9 @@ mod tests {
         assert_eq!(b.total_depth, 6);
         assert_eq!(b.total_enqueued, 20);
         assert_eq!(b.resident_bytes, 200);
+        assert_eq!(b.total_batch_publishes, 8);
+        assert_eq!(b.total_batch_deliveries, 6);
+        assert_eq!(b.total_batch_acks, 4);
     }
 
     #[test]
@@ -123,6 +145,9 @@ mod tests {
             acked: 6,
             requeued: 2,
             purged: 1,
+            batch_publishes: 0,
+            batch_deliveries: 0,
+            batch_acks: 0,
             resident_bytes: 0,
             durable: false,
         };

@@ -9,7 +9,7 @@
 
 use crate::api::{UnitId, UnitState};
 use parking_lot::Mutex;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::Duration;
 
 /// Store configuration.
@@ -47,7 +47,15 @@ struct Store {
     queues: HashMap<u64, VecDeque<UnitId>>,
     /// Pilot documents: state history keyed by pilot index.
     pilots: HashMap<u64, Vec<String>>,
-    ops: u64,
+    /// Network round trips to the store. Bulk operations count one round
+    /// trip regardless of batch size (modeling MongoDB `bulk_write`).
+    round_trips: u64,
+    /// Documents touched across all operations; with `round_trips` this
+    /// splits the old flat op counter into its two cost components.
+    documents: u64,
+    /// Agents whose previous pull came back empty: their next empty pull is
+    /// served without a round-trip charge (agent-side backoff).
+    backed_off: HashSet<u64>,
 }
 
 /// The document store. Thread-safe; clone-free (wrap in `Arc`).
@@ -65,7 +73,9 @@ impl DocDb {
                 docs: HashMap::new(),
                 queues: HashMap::new(),
                 pilots: HashMap::new(),
-                ops: 0,
+                round_trips: 0,
+                documents: 0,
+                backed_off: HashSet::new(),
             }),
         }
     }
@@ -76,11 +86,7 @@ impl DocDb {
         }
     }
 
-    /// Insert a new unit document and enqueue it for an agent.
-    pub fn insert_unit(&self, agent: u64, unit: UnitId, tag: String) {
-        self.charge();
-        let mut st = self.store.lock();
-        st.ops += 1;
+    fn insert_unit_locked(st: &mut Store, agent: u64, unit: UnitId, tag: String) {
         st.docs.insert(
             unit,
             UnitDoc {
@@ -91,16 +97,67 @@ impl DocDb {
             },
         );
         st.queues.entry(agent).or_default().push_back(unit);
+        st.documents += 1;
+    }
+
+    /// Insert a new unit document and enqueue it for an agent.
+    pub fn insert_unit(&self, agent: u64, unit: UnitId, tag: String) {
+        self.charge();
+        let mut st = self.store.lock();
+        st.round_trips += 1;
+        Self::insert_unit_locked(&mut st, agent, unit, tag);
+    }
+
+    /// Bulk-insert unit documents for an agent in **one** round trip,
+    /// modeling a MongoDB `bulk_write` of N inserts: one `op_latency`
+    /// charge, N documents.
+    pub fn insert_units(&self, agent: u64, units: Vec<(UnitId, String)>) {
+        if units.is_empty() {
+            return;
+        }
+        self.charge();
+        let mut st = self.store.lock();
+        st.round_trips += 1;
+        for (unit, tag) in units {
+            Self::insert_unit_locked(&mut st, agent, unit, tag);
+        }
     }
 
     /// Agent-side: pull up to `max` units from this agent's queue.
+    ///
+    /// An idle agent backs off: when the previous pull came back empty and
+    /// the queue is still empty, the pull returns immediately without
+    /// charging another round trip. The first pull after work arrives (or
+    /// after a non-empty pull) is charged normally.
     pub fn pull_units(&self, agent: u64, max: usize) -> Vec<UnitId> {
+        {
+            let st = self.store.lock();
+            let still_empty = st.queues.get(&agent).is_none_or(VecDeque::is_empty);
+            if still_empty && st.backed_off.contains(&agent) {
+                return Vec::new();
+            }
+        }
         self.charge();
         let mut st = self.store.lock();
-        st.ops += 1;
+        st.round_trips += 1;
         let queue = st.queues.entry(agent).or_default();
         let n = queue.len().min(max);
-        queue.drain(..n).collect()
+        let pulled: Vec<UnitId> = queue.drain(..n).collect();
+        if pulled.is_empty() {
+            st.backed_off.insert(agent);
+        } else {
+            st.backed_off.remove(&agent);
+            st.documents += pulled.len() as u64;
+        }
+        pulled
+    }
+
+    fn update_state_locked(st: &mut Store, unit: UnitId, state: UnitState) {
+        if let Some(doc) = st.docs.get_mut(&unit) {
+            doc.state = state;
+            doc.history.push(state);
+            st.documents += 1;
+        }
     }
 
     /// Record a state transition for a unit. Unknown units are ignored
@@ -108,10 +165,22 @@ impl DocDb {
     pub fn update_state(&self, unit: UnitId, state: UnitState) {
         self.charge();
         let mut st = self.store.lock();
-        st.ops += 1;
-        if let Some(doc) = st.docs.get_mut(&unit) {
-            doc.state = state;
-            doc.history.push(state);
+        st.round_trips += 1;
+        Self::update_state_locked(&mut st, unit, state);
+    }
+
+    /// Bulk-record state transitions in **one** round trip (MongoDB
+    /// `bulk_write` of N updates). Unknown units are ignored, as in
+    /// [`DocDb::update_state`].
+    pub fn update_states(&self, updates: &[(UnitId, UnitState)]) {
+        if updates.is_empty() {
+            return;
+        }
+        self.charge();
+        let mut st = self.store.lock();
+        st.round_trips += 1;
+        for (unit, state) in updates {
+            Self::update_state_locked(&mut st, *unit, *state);
         }
     }
 
@@ -121,7 +190,8 @@ impl DocDb {
     pub fn insert_pilot(&self, pilot: u64) {
         self.charge();
         let mut st = self.store.lock();
-        st.ops += 1;
+        st.round_trips += 1;
+        st.documents += 1;
         st.pilots.insert(pilot, vec!["Queued".to_string()]);
     }
 
@@ -129,9 +199,10 @@ impl DocDb {
     pub fn update_pilot_state(&self, pilot: u64, state: &str) {
         self.charge();
         let mut st = self.store.lock();
-        st.ops += 1;
+        st.round_trips += 1;
         if let Some(hist) = st.pilots.get_mut(&pilot) {
             hist.push(state.to_string());
+            st.documents += 1;
         }
     }
 
@@ -150,9 +221,18 @@ impl DocDb {
         st.docs.get(&unit).cloned()
     }
 
-    /// Number of operations performed (for overhead accounting).
+    /// Number of network round trips performed (for overhead accounting).
+    /// Each single-document operation is one round trip; each bulk
+    /// operation is one round trip regardless of batch size.
     pub fn op_count(&self) -> u64 {
-        self.store.lock().ops
+        self.store.lock().round_trips
+    }
+
+    /// Number of documents touched across all operations. With
+    /// [`DocDb::op_count`] this splits the cost model: latency scales with
+    /// round trips, payload with documents.
+    pub fn doc_count(&self) -> u64 {
+        self.store.lock().documents
     }
 
     /// Units currently queued for an agent.
@@ -251,6 +331,73 @@ mod tests {
         db.update_pilot_state(9, "Active"); // unknown: ignored
         assert!(db.pilot_state(9).is_none());
         assert_eq!(db.op_count(), 4);
+    }
+
+    #[test]
+    fn bulk_insert_charges_one_round_trip() {
+        let db = DocDb::new(DbConfig::default());
+        db.insert_units(0, (1..=50).map(|i| (UnitId(i), format!("t{i}"))).collect());
+        assert_eq!(db.op_count(), 1, "one bulk_write round trip");
+        assert_eq!(db.doc_count(), 50, "fifty documents inserted");
+        assert_eq!(db.queued_for(0), 50);
+        assert_eq!(db.pull_units(0, 100).len(), 50);
+        db.insert_units(0, Vec::new()); // empty bulk is free
+        assert_eq!(db.op_count(), 2);
+    }
+
+    #[test]
+    fn bulk_update_states_charges_one_round_trip() {
+        let db = DocDb::new(DbConfig::default());
+        db.insert_units(0, vec![(UnitId(1), "a".into()), (UnitId(2), "b".into())]);
+        let before = db.op_count();
+        db.update_states(&[
+            (UnitId(1), UnitState::Executing),
+            (UnitId(2), UnitState::Executing),
+            (UnitId(99), UnitState::Done), // unknown: ignored
+        ]);
+        assert_eq!(db.op_count(), before + 1);
+        assert_eq!(db.get(UnitId(1)).unwrap().state, UnitState::Executing);
+        assert_eq!(db.get(UnitId(2)).unwrap().state, UnitState::Executing);
+        assert!(db.get(UnitId(99)).is_none());
+    }
+
+    #[test]
+    fn bulk_latency_amortized_over_batch() {
+        let db = DocDb::new(DbConfig {
+            op_latency: Duration::from_millis(5),
+        });
+        let t0 = std::time::Instant::now();
+        db.insert_units(0, (1..=20).map(|i| (UnitId(i), "t".into())).collect());
+        let elapsed = t0.elapsed();
+        assert!(elapsed >= Duration::from_millis(5), "one charge applies");
+        assert!(
+            elapsed < Duration::from_millis(50),
+            "20 inserts must not pay 20 round trips, took {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn idle_agent_empty_pulls_stop_charging() {
+        let db = DocDb::new(DbConfig::default());
+        assert!(db.pull_units(0, 8).is_empty());
+        let after_first = db.op_count();
+        for _ in 0..10 {
+            assert!(db.pull_units(0, 8).is_empty());
+        }
+        assert_eq!(
+            db.op_count(),
+            after_first,
+            "repeated empty pulls are served from agent-side backoff"
+        );
+        // New work resets the backoff: the next pull charges and delivers.
+        db.insert_unit(0, UnitId(1), "t".into());
+        assert_eq!(db.pull_units(0, 8), vec![UnitId(1)]);
+        assert_eq!(db.op_count(), after_first + 2, "insert + productive pull");
+        // Draining again re-enters backoff after one charged empty pull.
+        assert!(db.pull_units(0, 8).is_empty());
+        let re_emptied = db.op_count();
+        assert!(db.pull_units(0, 8).is_empty());
+        assert_eq!(db.op_count(), re_emptied);
     }
 
     #[test]

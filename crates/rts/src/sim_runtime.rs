@@ -251,11 +251,16 @@ impl SimRuntime {
         {
             let mut st = self.state.lock();
             let job = st.pilots.get(&pilot).map(|p| p.job);
+            // Pass 1: register every unit, then write the whole submission
+            // to the DB as one bulk insert — a single round-trip mirrors
+            // MongoDB bulk_write instead of one op per unit.
+            let mut inserts: Vec<(UnitId, String)> = Vec::with_capacity(ids.capacity());
+            let mut routes: Vec<(UnitId, Option<StageUnit>)> = Vec::with_capacity(ids.capacity());
             for desc in descs {
                 let id = UnitId(st.next_unit);
                 st.next_unit += 1;
                 ids.push(id);
-                self.db.insert_unit(pilot.0, id, desc.tag.clone());
+                inserts.push((id, desc.tag.clone()));
                 self.recorder
                     .record(components::RTS, "unit_submitted", desc.tag.clone(), "");
                 self.recorder
@@ -271,22 +276,34 @@ impl SimRuntime {
                     state: UnitState::New,
                 };
                 st.units.insert(id, entry);
+                routes.push((id, stage_in));
+            }
+            self.db.insert_units(pilot.0, inserts);
+            // Pass 2: route each unit. Submit-path state transitions are
+            // collected and persisted with one bulk update below.
+            let mut state_updates: Vec<(UnitId, UnitState)> = Vec::new();
+            for (id, stage_in) in routes {
                 match (job, stage_in) {
                     (None, _) => {
                         // Unknown pilot: the unit is immediately lost.
                         fail_unit_locked(&mut st, &self.db, id, UnitOutcome::Canceled, now, None);
                     }
                     (Some(_), Some(su)) if !su.is_empty() => {
-                        set_state_locked(&mut st, &self.db, id, UnitState::StagingInput, None);
+                        if set_state_mem_locked(&mut st, id, UnitState::StagingInput, None) {
+                            state_updates.push((id, UnitState::StagingInput));
+                        }
                         st.stage_queue.push_back((id, su, StagePhase::In));
                     }
                     (Some(job), _) => {
                         let task = make_task_desc(&st.units[&id].desc);
-                        set_state_locked(&mut st, &self.db, id, UnitState::AgentQueued, None);
+                        if set_state_mem_locked(&mut st, id, UnitState::AgentQueued, None) {
+                            state_updates.push((id, UnitState::AgentQueued));
+                        }
                         launches.push((id, job, task));
                     }
                 }
             }
+            self.db.update_states(&state_updates);
             dispatch_stagers_locked(&mut st, &self.commander, self.stagers);
         }
         // Launch outside the lock's critical path for clarity (commander
@@ -382,20 +399,22 @@ fn make_task_desc(desc: &UnitDescription) -> TaskDesc {
     }
 }
 
-fn set_state_locked(
+/// Apply a unit state transition in memory only (entry state, recorder,
+/// callback). Returns whether the transition applied (unit known and not
+/// already terminal); the caller is responsible for persisting applied
+/// transitions to the DB — individually or via one bulk `update_states`.
+fn set_state_mem_locked(
     st: &mut State,
-    db: &DocDb,
     unit: UnitId,
     state: UnitState,
     cb: Option<(&Sender<UnitCallback>, f64)>,
-) {
+) -> bool {
     let rec = st.recorder.clone();
     if let Some(u) = st.units.get_mut(&unit) {
         if u.state.is_terminal() {
-            return;
+            return false;
         }
         u.state = state;
-        db.update_state(unit, state);
         if state == UnitState::Executing {
             rec.record(components::RTS, "unit_started", u.desc.tag.clone(), "");
             rec.metrics().counter("rts.units_started").incr();
@@ -416,6 +435,21 @@ fn set_state_locked(
                 timestamp_secs: ts,
             });
         }
+        true
+    } else {
+        false
+    }
+}
+
+fn set_state_locked(
+    st: &mut State,
+    db: &DocDb,
+    unit: UnitId,
+    state: UnitState,
+    cb: Option<(&Sender<UnitCallback>, f64)>,
+) {
+    if set_state_mem_locked(st, unit, state, cb) {
+        db.update_state(unit, state);
     }
 }
 

@@ -124,6 +124,7 @@ fn fig6_prototype_handles_100k_tasks_quickly() {
         consumers: 4,
         queues: 4,
         payload_bytes: 512,
+        batch_size: 1,
         memory_sample_interval: None,
     });
     assert_eq!(report.tasks, 100_000);
