@@ -530,11 +530,20 @@ impl Ctx {
                 Ok(Some(d)) => {
                     let _ = self.broker.ack(&ack_queue, d.tag);
                     let (acked_uid, ok) = messages::parse_ack(&d.message);
-                    debug_assert_eq!(acked_uid, uid, "ack routing is per-component");
+                    if acked_uid != uid {
+                        // Straggler ack from an earlier sync on this
+                        // component that bailed out after publishing its
+                        // request: discard it and keep waiting for ours.
+                        continue;
+                    }
                     return ok;
                 }
                 Ok(None) => {
                     if !self.running.load(Ordering::Acquire) {
+                        // Our ack may still arrive after we give up; drop
+                        // anything already queued so a later sync on this
+                        // component cannot misattribute it.
+                        let _ = self.broker.purge(&ack_queue);
                         return false;
                     }
                 }
@@ -579,12 +588,13 @@ impl Ctx {
                     let boundary = batch.last().expect("non-empty").tag;
                     for d in &batch {
                         let (acked_uid, ok) = messages::parse_ack(&d.message);
-                        debug_assert_eq!(
-                            acked_uid,
-                            uids[results.len()],
-                            "acks arrive in request order"
-                        );
-                        results.push(ok);
+                        if results.len() < uids.len() && acked_uid == uids[results.len()] {
+                            results.push(ok);
+                        }
+                        // else: straggler ack from an earlier bailed-out
+                        // call on this component — discard it (the
+                        // cumulative ack below settles its delivery)
+                        // instead of misattributing it to this request.
                     }
                     // This component's thread is the ack queue's only
                     // consumer (serialized above): cumulative ack is safe.
@@ -592,10 +602,19 @@ impl Ctx {
                 }
                 Ok(_) => {
                     if !self.running.load(Ordering::Acquire) {
+                        // Bailing after the requests were published: the
+                        // Synchronizer may still apply them and publish
+                        // acks we never consume. Drop anything already
+                        // queued so the next sync on this component does
+                        // not misattribute them.
+                        let _ = self.broker.purge(&ack_queue);
                         results.resize(uids.len(), false);
                     }
                 }
-                Err(_) => results.resize(uids.len(), false),
+                Err(_) => {
+                    let _ = self.broker.purge(&ack_queue);
+                    results.resize(uids.len(), false);
+                }
             }
         }
         results

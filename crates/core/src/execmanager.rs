@@ -396,7 +396,13 @@ fn emgr_loop(ctx: Arc<Ctx>, pools: Arc<RtsPools>) {
                 );
             if !pilot_ready {
                 nacked += group.submitted.len();
-                for (tag, _) in group.submitted {
+                // Nack highest tag first: each nack requeues at the ready
+                // front, so descending-order nacks leave the front in
+                // ascending tag order — redeliveries then arrive in original
+                // order and later batches keep their maximum tag at the end.
+                let mut tags: Vec<u64> = group.submitted.iter().map(|(tag, _)| *tag).collect();
+                tags.sort_unstable();
+                for tag in tags.into_iter().rev() {
                     let _ = ctx.broker.nack(ctx.ns.pending(), tag);
                 }
                 continue;
@@ -438,9 +444,11 @@ fn emgr_loop(ctx: Arc<Ctx>, pools: Arc<RtsPools>) {
             // The Emgr is the Pending queue's only consumer, so everything
             // still unacked in this batch (stale + submitted) settles with
             // one cumulative ack. Requeued (nacked) messages are no longer
-            // unacked and are unaffected by the boundary.
+            // unacked and are unaffected by the boundary. Redeliveries carry
+            // old (smaller) tags and can land anywhere in the batch, so the
+            // boundary is the batch's maximum tag, not its last delivery.
             if nacked < batch.len() {
-                let boundary = batch.last().expect("non-empty batch").tag;
+                let boundary = batch.iter().map(|d| d.tag).max().expect("non-empty batch");
                 let _ = ctx.broker.ack_multiple(ctx.ns.pending(), boundary);
             }
         } else {

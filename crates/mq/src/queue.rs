@@ -135,12 +135,23 @@ impl QueueState {
 
     /// Append a freshly delivered entry, preserving ascending tag order.
     /// Redeliveries of requeued messages carry old (smaller) tags and take
-    /// the slow ordered insert; first deliveries always append.
+    /// the slow ordered insert; first deliveries always append. A redelivery
+    /// may find its own tag still present as a tombstone (its previous
+    /// delivery was settled out of order, so the entry was not reclaimed);
+    /// it must be revived in place — inserting a duplicate would make
+    /// `unacked_idx` resolve later settles to whichever entry sorts first
+    /// and error on the tombstone.
     fn push_unacked(&mut self, tag: u64, payload: (Message, Instant)) {
         match self.unacked.back() {
-            Some((t, _)) if *t > tag => {
+            Some((t, _)) if *t >= tag => {
                 let idx = self.unacked.partition_point(|(t, _)| *t < tag);
-                self.unacked.insert(idx, (tag, Some(payload)));
+                match self.unacked.get_mut(idx) {
+                    Some((t, slot)) if *t == tag => {
+                        debug_assert!(slot.is_none(), "tag delivered while still live");
+                        *slot = Some(payload);
+                    }
+                    _ => self.unacked.insert(idx, (tag, Some(payload))),
+                }
             }
             _ => self.unacked.push_back((tag, Some(payload))),
         }
@@ -907,6 +918,43 @@ mod tests {
             assert_eq!(d.message.payload[0], i);
             assert_eq!(d.redelivered, i < 3);
         }
+    }
+
+    #[test]
+    fn redelivery_revives_equal_tag_tombstone() {
+        // Tags [1, 2] unacked; nacking 2 leaves a (2, None) tombstone at the
+        // BACK of the unacked deque (front tag 1 is live, so no reclaim).
+        // Redelivering 2 must revive that tombstone in place, not append a
+        // duplicate entry behind it — otherwise the settle resolves to the
+        // tombstone and errors with UnknownDeliveryTag.
+        let h = q();
+        h.push(Message::new("one")).unwrap();
+        h.push(Message::new("two")).unwrap();
+        let d1 = h.try_pop().unwrap().unwrap();
+        let d2 = h.try_pop().unwrap().unwrap();
+        h.nack_requeue(d2.tag).unwrap();
+        let d2b = h.try_pop().unwrap().unwrap();
+        assert_eq!(d2b.tag, d2.tag);
+        assert!(d2b.redelivered);
+        assert_eq!(h.unacked_count(), 2);
+        h.ack(d2b.tag).expect("redelivered tag must be ackable");
+        assert_eq!(h.unacked_count(), 1);
+        h.ack(d1.tag).unwrap();
+        assert_eq!(h.unacked_count(), 0);
+        // Same shape through the nack path: revived entry must be nackable.
+        h.push(Message::new("three")).unwrap();
+        h.push(Message::new("four")).unwrap();
+        let d3 = h.try_pop().unwrap().unwrap();
+        let d4 = h.try_pop().unwrap().unwrap();
+        h.nack_requeue(d4.tag).unwrap();
+        let d4b = h.try_pop().unwrap().unwrap();
+        assert_eq!(d4b.tag, d4.tag);
+        h.nack_requeue(d4b.tag).expect("revived tag must be nackable");
+        h.ack(d3.tag).unwrap();
+        let d4c = h.try_pop().unwrap().unwrap();
+        h.ack(d4c.tag).unwrap();
+        assert_eq!(h.unacked_count(), 0);
+        assert_eq!(h.depth(), 0);
     }
 
     #[test]

@@ -254,8 +254,8 @@ impl SimRuntime {
             // Pass 1: register every unit, then write the whole submission
             // to the DB as one bulk insert — a single round-trip mirrors
             // MongoDB bulk_write instead of one op per unit.
-            let mut inserts: Vec<(UnitId, String)> = Vec::with_capacity(ids.capacity());
-            let mut routes: Vec<(UnitId, Option<StageUnit>)> = Vec::with_capacity(ids.capacity());
+            let mut inserts: Vec<(UnitId, String)> = Vec::with_capacity(descs.len());
+            let mut routes: Vec<(UnitId, Option<StageUnit>)> = Vec::with_capacity(descs.len());
             for desc in descs {
                 let id = UnitId(st.next_unit);
                 st.next_unit += 1;
