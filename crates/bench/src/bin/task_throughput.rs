@@ -60,11 +60,26 @@ struct E2e {
     management_secs: f64,
     trace_management_secs: f64,
     wall_secs: f64,
+    /// Median task turnaround (submitted → ended, virtual seconds).
+    p50_turnaround_secs: f64,
+    /// 99th-percentile task turnaround — the straggler tail. A stale
+    /// empty-pull backoff or a lost-task sweep gap shows up here long
+    /// before it moves the mean.
+    p99_turnaround_secs: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
 }
 
 /// One AppManager run of `tasks` concurrent sleep tasks on the simulated
 /// TestRig with the trace recorder attached, on the batched or per-task
-/// path. Returns the profiler- and trace-derived management overheads.
+/// path. Returns the profiler- and trace-derived management overheads plus
+/// the task-turnaround distribution from the unit records.
 fn run_e2e(tasks: usize, batched: bool) -> E2e {
     let wf = entk_apps::synthetic::sleep_workflow(1, 1, tasks, 1.0);
     let start = Instant::now();
@@ -77,6 +92,12 @@ fn run_e2e(tasks: usize, batched: bool) -> E2e {
     let report = amgr.run(wf).expect("e2e run completes");
     assert!(report.succeeded, "e2e run (batched={batched}) failed");
     assert_eq!(report.overheads.tasks_done as usize, tasks);
+    let mut turnarounds: Vec<f64> = report
+        .unit_records
+        .iter()
+        .filter_map(|r| r.ended_secs.map(|end| end - r.submitted_secs))
+        .collect();
+    turnarounds.sort_by(f64::total_cmp);
     E2e {
         management_secs: report.overheads.entk_management_secs,
         trace_management_secs: report
@@ -85,6 +106,8 @@ fn run_e2e(tasks: usize, batched: bool) -> E2e {
             .map(|t| t.entk_management_secs)
             .unwrap_or(0.0),
         wall_secs: start.elapsed().as_secs_f64(),
+        p50_turnaround_secs: percentile(&turnarounds, 0.50),
+        p99_turnaround_secs: percentile(&turnarounds, 0.99),
     }
 }
 
@@ -163,6 +186,10 @@ fn main() {
     println!(
         "management overhead reduction: {mgmt_speedup:.2}x (trace-derived {trace_speedup:.2}x)"
     );
+    println!(
+        "batched turnaround: p50 {:.2} s   p99 {:.2} s (virtual)",
+        batched.p50_turnaround_secs, batched.p99_turnaround_secs
+    );
 
     let json = format!(
         concat!(
@@ -174,7 +201,7 @@ fn main() {
             "  \"e2e\": {{\n",
             "    \"tasks\": {},\n",
             "    \"per_task\": {{\"management_secs\": {:.4}, \"trace_management_secs\": {:.4}, \"wall_secs\": {:.3}}},\n",
-            "    \"batched\": {{\"management_secs\": {:.4}, \"trace_management_secs\": {:.4}, \"wall_secs\": {:.3}}},\n",
+            "    \"batched\": {{\"management_secs\": {:.4}, \"trace_management_secs\": {:.4}, \"wall_secs\": {:.3}, \"p50_turnaround_secs\": {:.3}, \"p99_turnaround_secs\": {:.3}}},\n",
             "    \"management_speedup\": {:.3},\n",
             "    \"trace_management_speedup\": {:.3}\n",
             "  }},\n",
@@ -196,6 +223,8 @@ fn main() {
         batched.management_secs,
         batched.trace_management_secs,
         batched.wall_secs,
+        batched.p50_turnaround_secs,
+        batched.p99_turnaround_secs,
         mgmt_speedup,
         trace_speedup,
         largest_speedup,
@@ -218,5 +247,16 @@ fn main() {
          (per-task {:.4} s vs batched {:.4} s)",
         per_task.management_secs,
         batched.management_secs
+    );
+    // Tail-latency guard: under FIFO queueing of uniform tasks the
+    // turnaround distribution is roughly linear, so the straggler tail must
+    // stay within a small multiple of the median. A stale empty-pull
+    // backoff window (or any last-task settlement gap) blows p99 out long
+    // before it moves the mean.
+    assert!(
+        batched.p99_turnaround_secs <= 3.0 * batched.p50_turnaround_secs + 5.0,
+        "p99 task turnaround ({:.2} s) is a straggler tail far beyond the median ({:.2} s)",
+        batched.p99_turnaround_secs,
+        batched.p50_turnaround_secs
     );
 }

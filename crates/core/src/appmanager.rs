@@ -155,6 +155,7 @@ impl ResourceDescription {
             stagers: self.stagers,
             db: rp_rts::db::DbConfig {
                 op_latency: self.db_op_latency,
+                ..Default::default()
             },
             seed: self.seed,
             recorder: recorder.is_enabled().then(|| recorder.clone()),
@@ -577,6 +578,18 @@ impl Ctx {
             return vec![false; uids.len()];
         }
         let ack_queue = self.ns.ack(comp);
+        // Failpoint `core.sync.abandon_ack_drain`: the requester "crashes"
+        // between publishing the sync batch and draining the acks. The
+        // Synchronizer still applies the transitions and publishes acks
+        // nobody consumes; reporting all-false here would wedge the tasks
+        // (applied, but the caller believes refused and never re-drives
+        // them). Recover the way a restarted requester must: reconcile the
+        // outcome against the workflow itself, then drop the orphaned acks.
+        if entk_fail::hit_sleep("core.sync.abandon_ack_drain").is_some() {
+            let applied = self.reconcile_abandoned_sync(uids, state);
+            let _ = self.broker.purge(&ack_queue);
+            return applied;
+        }
         let mut results: Vec<bool> = Vec::with_capacity(uids.len());
         while results.len() < uids.len() {
             let want = uids.len() - results.len();
@@ -618,6 +631,30 @@ impl Ctx {
             }
         }
         results
+    }
+
+    /// Recover a sync batch whose ack drain was abandoned (see the
+    /// `core.sync.abandon_ack_drain` failpoint): poll the workflow until
+    /// every task reached the requested state or the window closes. The
+    /// equality check is sound because each caller's follow-up action that
+    /// would advance a task further only runs after `sync_tasks` returns.
+    fn reconcile_abandoned_sync(&self, uids: &[String], state: TaskState) -> Vec<bool> {
+        let deadline = Instant::now() + Duration::from_millis(500);
+        loop {
+            let applied: Vec<bool> = {
+                let wf = self.workflow.lock();
+                uids.iter()
+                    .map(|uid| wf.task(uid).is_some_and(|t| t.state() == state))
+                    .collect()
+            };
+            if applied.iter().all(|b| *b)
+                || Instant::now() > deadline
+                || !self.running.load(Ordering::Acquire)
+            {
+                return applied;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
     }
 
     /// Record a fatal condition and stop the run.

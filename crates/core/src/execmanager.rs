@@ -440,6 +440,17 @@ fn emgr_loop(ctx: Arc<Ctx>, pools: Arc<RtsPools>) {
             // re-describes each of them exactly once.
             let _ = rts.submit_units(pilot, to_submit);
         }
+        // Failpoint `core.emgr.before_settle`: the batch is half-settled —
+        // tasks are Submitted and handed to the RTS, but the cumulative ack
+        // below has not happened yet. Kill the primary pool's RTS and linger
+        // here so the Heartbeat races recovery against this window; the
+        // sweep must re-enqueue exactly the unsettled suffix.
+        if let Some(action) = entk_fail::hit("core.emgr.before_settle") {
+            let guard = pools.pools[0].slot.read();
+            guard.0.kill();
+            drop(guard);
+            std::thread::sleep(action.delay().unwrap_or(Duration::from_millis(150)));
+        }
         if ctx.batched {
             // The Emgr is the Pending queue's only consumer, so everything
             // still unacked in this batch (stale + submitted) settles with
@@ -537,6 +548,38 @@ fn callback_loop(ctx: Arc<Ctx>, slot: Arc<RtsSlot>) {
     }
 }
 
+/// Uids of tasks lost with a dead RTS incarnation of pool `pool_name`:
+/// tasks routed to this pool whose state is `Submitted` — they were handed
+/// to the dead RTS and their Pending-queue message has been (or is being)
+/// settled, so the Heartbeat's Lost sweep is the only thing that re-drives
+/// them. `Submitting` tasks are deliberately NOT swept: their Pending
+/// message is still live (unacked in the Emgr's in-flight batch, or already
+/// nacked back onto the queue by the pilot-ready check), so the queue
+/// redelivers them to the next incarnation on its own — sweeping them too
+/// would re-describe a task that the queue also re-drives, executing it
+/// twice.
+pub(crate) fn collect_sweep_uids(
+    wf: &crate::workflow::Workflow,
+    pool_name: &str,
+    is_primary: bool,
+) -> Vec<String> {
+    let mut lost = Vec::new();
+    for p in wf.pipelines() {
+        for s in p.stages() {
+            for t in s.tasks() {
+                let owned = match &t.resource_pool {
+                    Some(pool) => pool == pool_name,
+                    None => is_primary,
+                };
+                if owned && t.state() == TaskState::Submitted {
+                    lost.push(t.uid().to_string());
+                }
+            }
+        }
+    }
+    lost
+}
+
 fn heartbeat_loop(ctx: Arc<Ctx>, slot: Arc<RtsSlot>, is_primary: bool, interval: Duration) {
     // Liveness signal: a checks counter plus a last-seen gauge (milliseconds
     // on the trace clock) per pool — cheap enough to update every interval
@@ -625,23 +668,7 @@ fn heartbeat_loop(ctx: Arc<Ctx>, slot: Arc<RtsSlot>, is_primary: bool, interval:
         // pools' RTS instances are healthy.
         let lost: Vec<String> = {
             let wf = ctx.workflow.lock();
-            let mut lost = Vec::new();
-            for p in wf.pipelines() {
-                for s in p.stages() {
-                    for t in s.tasks() {
-                        let owned = match &t.resource_pool {
-                            Some(pool) => *pool == slot.name,
-                            None => is_primary,
-                        };
-                        if owned
-                            && matches!(t.state(), TaskState::Submitting | TaskState::Submitted)
-                        {
-                            lost.push(t.uid().to_string());
-                        }
-                    }
-                }
-            }
-            lost
+            collect_sweep_uids(&wf, &slot.name, is_primary)
         };
         ctx.recorder.record(
             obs::HEARTBEAT,
@@ -657,5 +684,64 @@ fn heartbeat_loop(ctx: Arc<Ctx>, slot: Arc<RtsSlot>, is_primary: bool, interval:
             let _ = ctx.broker.publish_batch(ctx.ns.done(), sweep);
         }
         drop(guard);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Pipeline;
+    use crate::stage::Stage;
+    use crate::task::Task;
+    use crate::workflow::Workflow;
+    use rp_rts::Executable;
+
+    fn task(name: &str, pool: Option<&str>, state: TaskState) -> Task {
+        let mut t = Task::new(name, Executable::Noop);
+        if let Some(p) = pool {
+            t = t.with_resource_pool(p);
+        }
+        t.force_state(state);
+        t
+    }
+
+    /// Regression (batched settlement vs. Heartbeat sweep race): a task in
+    /// `Submitting` still has a live Pending-queue message — its delivery is
+    /// either unacked in the Emgr's in-flight batch or was nacked back by
+    /// the pilot-ready check — so the queue re-drives it after recovery.
+    /// Sweeping it as Lost too would produce a second Pending message and a
+    /// duplicate execution. Only `Submitted` tasks (handed to the dead RTS,
+    /// message settled by the cumulative ack) may be swept.
+    #[test]
+    fn sweep_collects_only_submitted_tasks_of_the_dead_pool() {
+        let mut stage = Stage::new("s");
+        for (name, pool, state) in [
+            ("described", None, TaskState::Described),
+            ("scheduled", None, TaskState::Scheduled),
+            ("submitting", None, TaskState::Submitting),
+            ("submitted-primary", None, TaskState::Submitted),
+            ("submitted-gpu", Some("gpu"), TaskState::Submitted),
+            ("submitting-gpu", Some("gpu"), TaskState::Submitting),
+            ("done", None, TaskState::Done),
+        ] {
+            stage.add_task(task(name, pool, state));
+        }
+        let wf = Workflow::new().with_pipeline(Pipeline::new("p").with_stage(stage));
+        let name_of = |uid: &String| wf.task(uid).unwrap().name().to_string();
+
+        // Primary pool sweep: only the untagged Submitted task.
+        let primary = collect_sweep_uids(&wf, "primary", true);
+        assert_eq!(
+            primary.iter().map(name_of).collect::<Vec<_>>(),
+            ["submitted-primary"],
+            "Submitting tasks must be left to queue redelivery"
+        );
+
+        // Named pool sweep: only the gpu-tagged Submitted task.
+        let gpu = collect_sweep_uids(&wf, "gpu", false);
+        assert_eq!(
+            gpu.iter().map(name_of).collect::<Vec<_>>(),
+            ["submitted-gpu"]
+        );
     }
 }

@@ -1,0 +1,376 @@
+//! # entk-fail — deterministic fault injection for EnTK
+//!
+//! A tiny failpoint facility, compiled in unconditionally and zero-cost when
+//! nothing is armed: the disarmed fast path of [`hit`] is a single relaxed
+//! atomic load of a global counter.
+//!
+//! Crash-relevant seams across the stack (`entk-mq` journal appends, `rp-rts`
+//! bulk DB operations, `entk-core` settlement windows) call
+//! `entk_fail::hit("crate.component.seam")`. Tests arm a failpoint with a
+//! deterministic trigger — fire on the Nth hit, on every hit, or pseudo-
+//! randomly from a fixed seed — and an [`InjectedAction`] that the call site
+//! interprets (return an injected error, process only a prefix of a batch,
+//! sleep to widen a race window, or whatever the seam documents).
+//!
+//! ## Naming convention
+//!
+//! Failpoint names are `<crate>.<component>.<seam>` with the crate prefix
+//! dropped from the crate's own sources only in docs, never in the string:
+//! e.g. `mq.journal.torn_tail`, `rts.submit.partial`,
+//! `core.emgr.before_settle`. The full registry of threaded failpoints lives
+//! in DESIGN.md §3f.
+//!
+//! ## Determinism
+//!
+//! Everything is deterministic given the arming order and the hit order:
+//! [`Trigger::Nth`] fires on exactly one hit, [`Trigger::EveryNth`] on a
+//! fixed stride, and [`Trigger::Seeded`] runs a per-failpoint xorshift PRNG
+//! seeded at arming time, so the same seed and the same hit sequence fire on
+//! the same hits. There is no wall-clock or OS randomness anywhere.
+//!
+//! ## Test isolation
+//!
+//! The registry is process-global. Chaos tests that arm failpoints must hold
+//! the [`scenario`] guard, which serializes scenarios across threads and
+//! disarms everything on drop, so unrelated tests in the same binary always
+//! run with the registry empty (and therefore on the zero-cost path).
+
+#![warn(missing_docs)]
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// What an armed failpoint injects when its trigger fires. The call site
+/// interprets the action; each seam documents which actions it honors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedAction {
+    /// Fail the surrounding operation (return an injected error, kill the
+    /// component — whatever "crash here" means at this seam).
+    Fail,
+    /// Partial progress: process only the first `n` units of work (bytes,
+    /// records, tasks) and then fail.
+    Partial(u64),
+    /// Sleep for this many milliseconds (widen a race window), then proceed.
+    Delay(u64),
+}
+
+impl InjectedAction {
+    /// The delay this action asks for, if any.
+    pub fn delay(&self) -> Option<Duration> {
+        match self {
+            InjectedAction::Delay(ms) => Some(Duration::from_millis(*ms)),
+            _ => None,
+        }
+    }
+}
+
+/// When an armed failpoint fires, as a function of its hit count.
+#[derive(Debug, Clone, Copy)]
+pub enum Trigger {
+    /// Fire on the `n`-th hit only (1-based).
+    Nth(u64),
+    /// Fire on every `n`-th hit (1-based stride; `EveryNth(1)` = every hit).
+    EveryNth(u64),
+    /// Fire pseudo-randomly on average once per `one_in` hits, driven by a
+    /// xorshift PRNG seeded with `seed` — deterministic for a fixed seed and
+    /// hit order.
+    Seeded {
+        /// PRNG seed (0 is remapped internally to a non-zero state).
+        seed: u64,
+        /// Average hits per fire.
+        one_in: u64,
+    },
+}
+
+struct Failpoint {
+    trigger: Trigger,
+    action: InjectedAction,
+    /// Stop firing after this many fires (`None` = unlimited).
+    max_fires: Option<u64>,
+    hits: u64,
+    fires: u64,
+    /// xorshift64 state for `Trigger::Seeded`.
+    rng: u64,
+}
+
+impl Failpoint {
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64: deterministic, dependency-free, good enough to spread
+        // fires across a hit sequence.
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+
+    fn on_hit(&mut self) -> Option<InjectedAction> {
+        self.hits += 1;
+        if let Some(max) = self.max_fires {
+            if self.fires >= max {
+                return None;
+            }
+        }
+        let fire = match self.trigger {
+            Trigger::Nth(n) => self.hits == n.max(1),
+            Trigger::EveryNth(n) => self.hits.is_multiple_of(n.max(1)),
+            Trigger::Seeded { one_in, .. } => self.next_rand().is_multiple_of(one_in.max(1)),
+        };
+        if fire {
+            self.fires += 1;
+            Some(self.action)
+        } else {
+            None
+        }
+    }
+}
+
+struct Registry {
+    /// Fast gate: number of currently armed failpoints. Zero means `hit` is
+    /// a single atomic load and nothing else.
+    armed: AtomicUsize,
+    points: Mutex<HashMap<String, Failpoint>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        armed: AtomicUsize::new(0),
+        points: Mutex::new(HashMap::new()),
+    })
+}
+
+/// Arm `name` with a trigger, action, and fire budget. Re-arming an armed
+/// failpoint replaces it (and resets its hit/fire counters).
+pub fn arm(name: &str, trigger: Trigger, action: InjectedAction, max_fires: Option<u64>) {
+    let reg = registry();
+    let seed = match trigger {
+        // 0 is a fixed point of xorshift; remap it.
+        Trigger::Seeded { seed, .. } => {
+            if seed == 0 {
+                0x9E3779B97F4A7C15
+            } else {
+                seed
+            }
+        }
+        _ => 1,
+    };
+    let mut points = reg.points.lock();
+    let fresh = points
+        .insert(
+            name.to_string(),
+            Failpoint {
+                trigger,
+                action,
+                max_fires,
+                hits: 0,
+                fires: 0,
+                rng: seed,
+            },
+        )
+        .is_none();
+    if fresh {
+        reg.armed.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// Arm `name` to fire exactly once, on the first hit.
+pub fn arm_once(name: &str, action: InjectedAction) {
+    arm(name, Trigger::Nth(1), action, Some(1));
+}
+
+/// Arm `name` to fire exactly once, on the `n`-th hit (1-based).
+pub fn arm_nth(name: &str, n: u64, action: InjectedAction) {
+    arm(name, Trigger::Nth(n), action, Some(1));
+}
+
+/// Disarm `name`. Returns whether it was armed.
+pub fn disarm(name: &str) -> bool {
+    let reg = registry();
+    let removed = reg.points.lock().remove(name).is_some();
+    if removed {
+        reg.armed.fetch_sub(1, Ordering::Release);
+    }
+    removed
+}
+
+/// Disarm every failpoint.
+pub fn disarm_all() {
+    let reg = registry();
+    let mut points = reg.points.lock();
+    let n = points.len();
+    points.clear();
+    reg.armed.fetch_sub(n, Ordering::Release);
+}
+
+/// Consult a failpoint. Returns `None` (proceed normally) unless `name` is
+/// armed and its trigger fires on this hit. The disarmed-process fast path is
+/// one relaxed atomic load; hit counting only happens while at least one
+/// failpoint (anywhere) is armed.
+#[inline]
+pub fn hit(name: &str) -> Option<InjectedAction> {
+    let reg = registry();
+    if reg.armed.load(Ordering::Relaxed) == 0 {
+        return None;
+    }
+    hit_slow(reg, name)
+}
+
+#[cold]
+fn hit_slow(reg: &Registry, name: &str) -> Option<InjectedAction> {
+    reg.points.lock().get_mut(name)?.on_hit()
+}
+
+/// Like [`hit`], but sleeps in place when the fired action is
+/// [`InjectedAction::Delay`] and reports it as not fired. Convenience for
+/// seams where a delay-only failpoint widens a race window.
+pub fn hit_sleep(name: &str) -> Option<InjectedAction> {
+    match hit(name) {
+        Some(InjectedAction::Delay(ms)) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            None
+        }
+        other => other,
+    }
+}
+
+/// How many times `name` was consulted while armed. Zero when never armed.
+pub fn hits(name: &str) -> u64 {
+    registry().points.lock().get(name).map_or(0, |p| p.hits)
+}
+
+/// How many times `name` actually fired.
+pub fn fires(name: &str) -> u64 {
+    registry().points.lock().get(name).map_or(0, |p| p.fires)
+}
+
+/// RAII guard serializing fault-injection scenarios: holds a process-global
+/// lock for the scenario's duration (scenarios must not nest) and disarms
+/// every failpoint on drop, so scenarios never leak armed failpoints into
+/// each other or into unrelated tests running in the same process.
+pub struct ScenarioGuard {
+    _lock: parking_lot::MutexGuard<'static, ()>,
+}
+
+impl Drop for ScenarioGuard {
+    fn drop(&mut self) {
+        disarm_all();
+    }
+}
+
+/// Enter a fault-injection scenario (see [`ScenarioGuard`]). The registry is
+/// cleared on entry as well, in case a previous scenario panicked mid-way.
+pub fn scenario() -> ScenarioGuard {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let lock = LOCK.get_or_init(|| Mutex::new(())).lock();
+    disarm_all();
+    ScenarioGuard { _lock: lock }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_hit_is_none_and_uncounted() {
+        let _s = scenario();
+        assert_eq!(hit("test.never_armed"), None);
+        assert_eq!(hits("test.never_armed"), 0);
+    }
+
+    #[test]
+    fn nth_fires_exactly_once_on_the_nth_hit() {
+        let _s = scenario();
+        arm_nth("test.nth", 3, InjectedAction::Fail);
+        assert_eq!(hit("test.nth"), None);
+        assert_eq!(hit("test.nth"), None);
+        assert_eq!(hit("test.nth"), Some(InjectedAction::Fail));
+        for _ in 0..10 {
+            assert_eq!(hit("test.nth"), None);
+        }
+        assert_eq!(hits("test.nth"), 13);
+        assert_eq!(fires("test.nth"), 1);
+    }
+
+    #[test]
+    fn every_nth_fires_on_stride() {
+        let _s = scenario();
+        arm(
+            "test.stride",
+            Trigger::EveryNth(2),
+            InjectedAction::Fail,
+            None,
+        );
+        let fired: Vec<bool> = (0..6).map(|_| hit("test.stride").is_some()).collect();
+        assert_eq!(fired, vec![false, true, false, true, false, true]);
+    }
+
+    #[test]
+    fn seeded_trigger_is_reproducible() {
+        let _s = scenario();
+        let run = |seed: u64| -> Vec<bool> {
+            arm(
+                "test.seeded",
+                Trigger::Seeded { seed, one_in: 3 },
+                InjectedAction::Fail,
+                None,
+            );
+            (0..64).map(|_| hit("test.seeded").is_some()).collect()
+        };
+        let a = run(42);
+        let b = run(42);
+        let c = run(43);
+        assert_eq!(a, b, "same seed, same fire pattern");
+        assert_ne!(a, c, "different seed, different pattern");
+        assert!(a.iter().any(|f| *f), "one_in=3 over 64 hits must fire");
+    }
+
+    #[test]
+    fn max_fires_caps_firing() {
+        let _s = scenario();
+        arm(
+            "test.capped",
+            Trigger::EveryNth(1),
+            InjectedAction::Partial(7),
+            Some(2),
+        );
+        let fired: usize = (0..10).filter(|_| hit("test.capped").is_some()).count();
+        assert_eq!(fired, 2);
+        assert_eq!(fires("test.capped"), 2);
+    }
+
+    #[test]
+    fn rearm_replaces_and_resets() {
+        let _s = scenario();
+        arm_once("test.rearm", InjectedAction::Fail);
+        assert_eq!(hit("test.rearm"), Some(InjectedAction::Fail));
+        arm_once("test.rearm", InjectedAction::Partial(1));
+        assert_eq!(hit("test.rearm"), Some(InjectedAction::Partial(1)));
+    }
+
+    #[test]
+    fn scenario_guard_disarms_on_drop() {
+        {
+            let _s = scenario();
+            arm_once("test.leak", InjectedAction::Fail);
+        }
+        let _s = scenario();
+        assert_eq!(hit("test.leak"), None);
+        assert_eq!(hits("test.leak"), 0, "registry cleared between scenarios");
+    }
+
+    #[test]
+    fn hit_sleep_absorbs_delay_actions() {
+        let _s = scenario();
+        arm_once("test.delay", InjectedAction::Delay(5));
+        let t0 = std::time::Instant::now();
+        assert_eq!(hit_sleep("test.delay"), None);
+        assert!(t0.elapsed() >= Duration::from_millis(4));
+        arm_once("test.delay2", InjectedAction::Fail);
+        assert_eq!(hit_sleep("test.delay2"), Some(InjectedAction::Fail));
+    }
+}

@@ -83,19 +83,25 @@ impl Broker {
 
     /// Recover a broker from a journal: durable queues are re-declared and
     /// unacknowledged persistent messages restored in publish order. New
-    /// operations continue appending to the same journal.
+    /// operations continue appending to the same journal (a torn trailing
+    /// record from a crash mid-append is truncated away first). Each queue's
+    /// tag allocator is advanced past the highest tag the journal has ever
+    /// recorded — including fully-acked tags — so fresh publishes can never
+    /// collide with journaled or tombstoned tags.
     pub fn recover(journal_path: impl Into<PathBuf>) -> MqResult<Self> {
         let path = journal_path.into();
-        let (declared, live) = Journal::replay(&path)?;
+        let scan = Journal::scan(&path)?;
+        // `with_config` → `Journal::open` repairs any torn tail before the
+        // journal is reopened for append.
         let broker = Self::with_config(BrokerConfig {
             journal_path: Some(path),
             ..Default::default()
         })?;
-        for q in declared {
+        for q in scan.declared {
             // Redeclare without journaling again (records already on disk).
             broker.declare_internal(&q, QueueConfig::durable());
         }
-        for (qname, msgs) in live {
+        for (qname, msgs) in scan.live {
             let handle = match broker.get_queue(&qname) {
                 Ok(h) => h,
                 Err(_) => {
@@ -104,8 +110,26 @@ impl Broker {
                 }
             };
             for (tag, msg) in msgs {
+                // Failpoint: die partway through restoring live messages. A
+                // retried recover replays the same journal and must converge
+                // on the identical state (replay is idempotent).
+                if entk_fail::hit_sleep("mq.broker.recover_mid_replay").is_some() {
+                    return Err(MqError::FaultInjected(
+                        "mq.broker.recover_mid_replay".into(),
+                    ));
+                }
                 handle.restore(tag, msg);
             }
+        }
+        for (qname, max_tag) in scan.max_tags {
+            let handle = match broker.get_queue(&qname) {
+                Ok(h) => h,
+                Err(_) => {
+                    broker.declare_internal(&qname, QueueConfig::durable());
+                    broker.get_queue(&qname)?
+                }
+            };
+            handle.bump_tag_floor(max_tag);
         }
         Ok(broker)
     }
@@ -782,6 +806,146 @@ mod tests {
         let batch = b.get_batch("q", 4, Duration::ZERO).unwrap();
         assert_eq!(&batch[0].message.payload[..], b"durable-1");
         assert_eq!(&batch[1].message.payload[..], b"durable-2");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Satellite regression: journal recovery must advance each queue's tag
+    /// allocator past the highest *journaled* tag, not just the highest
+    /// restored (live) tag. With every message acked before the crash,
+    /// nothing is restored, and a fresh publish used to be assigned tag 1
+    /// again — colliding with the journal's existing tag-1 records so a
+    /// subsequent recovery dropped the new message (the old ack tombstones
+    /// it) and tombstoned unacked entries could alias it.
+    #[test]
+    fn recovered_broker_does_not_reuse_journaled_tags() {
+        let path = tmp_journal("tag-continuity");
+        {
+            let b = Broker::with_config(BrokerConfig {
+                journal_path: Some(path.clone()),
+                ..Default::default()
+            })
+            .unwrap();
+            b.declare_queue("q", QueueConfig::durable()).unwrap();
+            b.publish_batch(
+                "q",
+                (0..3u8).map(|i| Message::persistent(vec![i])).collect(),
+            )
+            .unwrap();
+            let batch = b.get_batch("q", 3, Duration::ZERO).unwrap();
+            assert_eq!(batch.last().unwrap().tag, 3);
+            b.ack_multiple("q", 3).unwrap();
+            // Crash with everything acked: nothing live to restore.
+        }
+        let b = Broker::recover(&path).unwrap();
+        assert_eq!(b.depth("q").unwrap(), 0);
+        // recover → publish → ack: the fresh tag must be past every
+        // journaled tag.
+        b.publish("q", Message::persistent("fresh")).unwrap();
+        let d = b.get("q").unwrap().unwrap();
+        assert!(
+            d.tag > 3,
+            "fresh publish reused journaled tag {} (allocator not advanced)",
+            d.tag
+        );
+        b.ack("q", d.tag).unwrap();
+        drop(b);
+        // A second recovery replays publish+ack of the fresh tag cleanly:
+        // with a reused tag, the old ack record would tombstone the new
+        // publish (or vice versa) and the state would diverge.
+        let b = Broker::recover(&path).unwrap();
+        assert_eq!(b.depth("q").unwrap(), 0);
+        assert_eq!(b.unacked("q").unwrap(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Torn `append_all` tail through the full broker recovery path: the
+    /// batch that tore is lost (publish never returned success), the prefix
+    /// recovers exactly, and post-recovery publishes journal cleanly after
+    /// the repaired tail.
+    #[test]
+    fn recover_after_torn_batch_append_keeps_exact_prefix() {
+        let _g = entk_fail::scenario();
+        let path = tmp_journal("torn-batch-recover");
+        {
+            let b = Broker::with_config(BrokerConfig {
+                journal_path: Some(path.clone()),
+                ..Default::default()
+            })
+            .unwrap();
+            b.declare_queue("q", QueueConfig::durable()).unwrap();
+            b.publish("q", Message::persistent("before")).unwrap();
+            entk_fail::arm_once(
+                "mq.journal.torn_tail",
+                entk_fail::InjectedAction::Partial(10),
+            );
+            let err = b
+                .publish_batch(
+                    "q",
+                    vec![Message::persistent("torn-a"), Message::persistent("torn-b")],
+                )
+                .unwrap_err();
+            assert!(matches!(err, MqError::FaultInjected(_)));
+            // Crash: broker dropped with the torn record on disk.
+        }
+        let b = Broker::recover(&path).unwrap();
+        assert_eq!(b.depth("q").unwrap(), 1, "only the pre-tear message");
+        let d = b.get("q").unwrap().unwrap();
+        assert_eq!(&d.message.payload[..], b"before");
+        b.ack("q", d.tag).unwrap();
+        b.publish("q", Message::persistent("after")).unwrap();
+        drop(b);
+        let b = Broker::recover(&path).unwrap();
+        assert_eq!(b.depth("q").unwrap(), 1);
+        assert_eq!(
+            &b.get("q").unwrap().unwrap().message.payload[..],
+            b"after",
+            "journal stays parseable after the repaired tear"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// A crash mid-recovery (failpoint between message restores) must be
+    /// retryable: the journal is untouched by replay, so a second recover
+    /// converges on the exact same unacked set.
+    #[test]
+    fn recover_mid_replay_crash_is_retryable() {
+        let _g = entk_fail::scenario();
+        let path = tmp_journal("mid-replay");
+        {
+            let b = Broker::with_config(BrokerConfig {
+                journal_path: Some(path.clone()),
+                ..Default::default()
+            })
+            .unwrap();
+            b.declare_queue("q", QueueConfig::durable()).unwrap();
+            b.publish_batch(
+                "q",
+                (0..4u8).map(|i| Message::persistent(vec![i])).collect(),
+            )
+            .unwrap();
+            let batch = b.get_batch("q", 4, Duration::ZERO).unwrap();
+            b.ack("q", batch[0].tag).unwrap();
+        }
+        // Die after restoring one of the three live messages.
+        entk_fail::arm_nth(
+            "mq.broker.recover_mid_replay",
+            2,
+            entk_fail::InjectedAction::Fail,
+        );
+        match Broker::recover(&path) {
+            Err(MqError::FaultInjected(_)) => {}
+            Err(e) => panic!("expected injected fault, got {e}"),
+            Ok(_) => panic!("expected injected fault, recovery succeeded"),
+        }
+        let b = Broker::recover(&path).expect("retried recovery succeeds");
+        assert_eq!(b.depth("q").unwrap(), 3, "exact unacked set recovered");
+        let payloads: Vec<u8> = b
+            .get_batch("q", 4, Duration::ZERO)
+            .unwrap()
+            .iter()
+            .map(|d| d.message.payload[0])
+            .collect();
+        assert_eq!(payloads, vec![1, 2, 3]);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -31,6 +31,9 @@ pub enum MqError {
     Io(std::io::Error),
     /// The journal on disk is corrupt or truncated mid-record.
     CorruptJournal(String),
+    /// A deterministic fault-injection point (entk-fail) fired. Only ever
+    /// produced in tests that arm failpoints; carries the failpoint name.
+    FaultInjected(String),
 }
 
 impl fmt::Display for MqError {
@@ -47,6 +50,7 @@ impl fmt::Display for MqError {
             }
             MqError::Io(e) => write!(f, "journal I/O error: {e}"),
             MqError::CorruptJournal(m) => write!(f, "corrupt journal: {m}"),
+            MqError::FaultInjected(name) => write!(f, "injected fault: {name}"),
         }
     }
 }

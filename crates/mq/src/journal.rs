@@ -35,6 +35,26 @@ use std::path::{Path, PathBuf};
 /// messages in publish order with their original delivery tags.
 pub type ReplayState = (Vec<String>, BTreeMap<String, Vec<(u64, Message)>>);
 
+/// Full scan result: everything [`ReplayState`] carries, plus the byte
+/// offset after the last complete record (for torn-tail repair) and the
+/// highest tag journaled per queue across publishes *and* acks (so a
+/// recovered broker's tag allocators can advance past every tag the journal
+/// has ever seen — fully-acked tags included).
+#[derive(Debug, Default)]
+pub struct Replay {
+    /// Durable queues declared in the journal, in first-declaration order.
+    pub declared: Vec<String>,
+    /// Per queue: published-but-unacked messages in publish order.
+    pub live: BTreeMap<String, Vec<(u64, Message)>>,
+    /// Per queue: highest delivery tag seen in any record.
+    pub max_tags: BTreeMap<String, u64>,
+    /// Byte offset just past the last complete record.
+    pub safe_len: u64,
+    /// Whether a partial trailing record (crash mid-append) was found after
+    /// `safe_len`.
+    pub torn_tail: bool,
+}
+
 const KIND_PUBLISH: u8 = 0x01;
 const KIND_ACK: u8 = 0x02;
 const KIND_DECLARE: u8 = 0x03;
@@ -87,9 +107,11 @@ fn write_bytes(w: &mut impl Write, b: &[u8]) -> std::io::Result<()> {
 }
 
 /// Incremental reader that distinguishes clean EOF, truncated tail, and
-/// corruption.
+/// corruption. Tracks the byte offset consumed so far so replay can report
+/// where the last complete record ends.
 struct RecordReader<R: Read> {
     inner: R,
+    pos: u64,
 }
 
 enum ReadOutcome {
@@ -103,6 +125,7 @@ impl<R: Read> RecordReader<R> {
         let mut filled = 0;
         while filled < buf.len() {
             let n = self.inner.read(&mut buf[filled..])?;
+            self.pos += n as u64;
             if n == 0 {
                 if filled == 0 && first {
                     return Ok(None); // clean EOF at a record boundary
@@ -194,12 +217,24 @@ impl<R: Read> RecordReader<R> {
 
 impl Journal {
     /// Open (or create) a journal at `path` for appending.
+    ///
+    /// If the file ends in a partial record (crash mid-append), the tail is
+    /// truncated back to the last complete record before the file is opened
+    /// for append. Replay alone tolerates a torn tail, but appending after
+    /// one would leave the partial record glued to the front of the new
+    /// record, corrupting every subsequent replay.
     pub fn open(path: impl AsRef<Path>) -> MqResult<Self> {
         let path = path.as_ref().to_path_buf();
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent)?;
             }
+        }
+        let scan = Self::scan(&path)?;
+        if scan.torn_tail {
+            let f = OpenOptions::new().write(true).open(&path)?;
+            f.set_len(scan.safe_len)?;
+            f.sync_all()?;
         }
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
         Ok(Journal {
@@ -213,7 +248,7 @@ impl Journal {
         &self.path
     }
 
-    fn write_record(w: &mut BufWriter<File>, rec: &JournalRecord) -> MqResult<()> {
+    fn write_record(w: &mut impl Write, rec: &JournalRecord) -> MqResult<()> {
         match rec {
             JournalRecord::Publish {
                 queue,
@@ -247,8 +282,13 @@ impl Journal {
     /// Append a record and flush it to the OS.
     pub fn append(&self, rec: &JournalRecord) -> MqResult<()> {
         let mut w = self.writer.lock();
-        Self::write_record(&mut w, rec)?;
+        Self::write_record(&mut *w, rec)?;
         w.flush()?;
+        // Failpoint: crash after the flush — the record is durable but the
+        // caller sees a failure, modeling a process killed post-write.
+        if entk_fail::hit_sleep("mq.journal.flush_crash").is_some() {
+            return Err(MqError::FaultInjected("mq.journal.flush_crash".into()));
+        }
         Ok(())
     }
 
@@ -261,11 +301,34 @@ impl Journal {
         if recs.is_empty() {
             return Ok(());
         }
+        // Failpoint: tear the batch mid-record — persist only a byte prefix
+        // of the serialized batch, exactly what a power loss mid-write leaves
+        // on disk. `Partial(n)` keeps the first n bytes (clamped so at least
+        // the final record is torn); other actions cut at the midpoint.
+        if let Some(action) = entk_fail::hit_sleep("mq.journal.torn_tail") {
+            let mut buf = Vec::new();
+            for rec in recs {
+                Self::write_record(&mut buf, rec)?;
+            }
+            let cut = match action {
+                entk_fail::InjectedAction::Partial(n) => {
+                    (n as usize).min(buf.len().saturating_sub(1))
+                }
+                _ => buf.len() / 2,
+            };
+            let mut w = self.writer.lock();
+            w.write_all(&buf[..cut])?;
+            w.flush()?;
+            return Err(MqError::FaultInjected("mq.journal.torn_tail".into()));
+        }
         let mut w = self.writer.lock();
         for rec in recs {
-            Self::write_record(&mut w, rec)?;
+            Self::write_record(&mut *w, rec)?;
         }
         w.flush()?;
+        if entk_fail::hit_sleep("mq.journal.flush_crash").is_some() {
+            return Err(MqError::FaultInjected("mq.journal.flush_crash".into()));
+        }
         Ok(())
     }
 
@@ -273,44 +336,62 @@ impl Journal {
     /// that were published but never acknowledged, in publish order, plus
     /// the set of declared durable queues.
     pub fn replay(path: impl AsRef<Path>) -> MqResult<ReplayState> {
+        let scan = Self::scan(path)?;
+        Ok((scan.declared, scan.live))
+    }
+
+    /// Full journal scan: everything [`Journal::replay`] computes plus the
+    /// per-queue maximum journaled tag and the byte offset of the last
+    /// complete record (see [`Replay`]). A missing file scans as empty.
+    pub fn scan(path: impl AsRef<Path>) -> MqResult<Replay> {
         let file = match File::open(path.as_ref()) {
             Ok(f) => f,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                return Ok((Vec::new(), BTreeMap::new()))
-            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Replay::default()),
             Err(e) => return Err(e.into()),
         };
         let mut reader = RecordReader {
             inner: BufReader::new(file),
+            pos: 0,
         };
-        let mut declared: Vec<String> = Vec::new();
-        let mut live: BTreeMap<String, Vec<(u64, Message)>> = BTreeMap::new();
+        let mut out = Replay::default();
         loop {
-            match reader.next()? {
-                ReadOutcome::CleanEof | ReadOutcome::TruncatedTail => break,
-                ReadOutcome::Record(JournalRecord::Declare { queue }) => {
-                    if !declared.contains(&queue) {
-                        declared.push(queue);
+            let rec = match reader.next()? {
+                ReadOutcome::CleanEof => break,
+                ReadOutcome::TruncatedTail => {
+                    out.torn_tail = true;
+                    break;
+                }
+                ReadOutcome::Record(rec) => rec,
+            };
+            out.safe_len = reader.pos;
+            match rec {
+                JournalRecord::Declare { queue } => {
+                    if !out.declared.contains(&queue) {
+                        out.declared.push(queue);
                     }
                 }
-                ReadOutcome::Record(JournalRecord::Publish {
+                JournalRecord::Publish {
                     queue,
                     tag,
                     headers,
                     payload,
-                }) => {
+                } => {
                     let mut msg = Message::persistent(payload);
                     msg.headers = headers;
-                    live.entry(queue).or_default().push((tag, msg));
+                    let mt = out.max_tags.entry(queue.clone()).or_insert(0);
+                    *mt = (*mt).max(tag);
+                    out.live.entry(queue).or_default().push((tag, msg));
                 }
-                ReadOutcome::Record(JournalRecord::Ack { queue, tag }) => {
-                    if let Some(msgs) = live.get_mut(&queue) {
+                JournalRecord::Ack { queue, tag } => {
+                    let mt = out.max_tags.entry(queue.clone()).or_insert(0);
+                    *mt = (*mt).max(tag);
+                    if let Some(msgs) = out.live.get_mut(&queue) {
                         msgs.retain(|(t, _)| *t != tag);
                     }
                 }
             }
         }
-        Ok((declared, live))
+        Ok(out)
     }
 }
 
@@ -457,6 +538,118 @@ mod tests {
         assert_eq!(msgs.len(), 1);
         assert_eq!(msgs[0].0, 2);
         assert_eq!(&msgs[0].1.payload[..], b"b");
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn scan_reports_max_tags_including_acked() {
+        let p = tmp("maxtags");
+        let j = Journal::open(&p).unwrap();
+        j.append_all(&[
+            publish_rec("q", 1, "a"),
+            publish_rec("q", 2, "b"),
+            publish_rec("r", 10, "c"),
+            JournalRecord::Ack {
+                queue: "q".into(),
+                tag: 2,
+            },
+            JournalRecord::Ack {
+                queue: "r".into(),
+                tag: 10,
+            },
+        ])
+        .unwrap();
+        drop(j);
+        let scan = Journal::scan(&p).unwrap();
+        // Max tags cover acked records too: queue r is fully acked but its
+        // allocator floor must still advance past tag 10 on recovery.
+        assert_eq!(scan.max_tags["q"], 2);
+        assert_eq!(scan.max_tags["r"], 10);
+        assert_eq!(scan.live["q"].len(), 1);
+        assert!(scan.live.get("r").is_none_or(|v| v.is_empty()));
+        assert!(!scan.torn_tail);
+        assert_eq!(scan.safe_len, std::fs::metadata(&p).unwrap().len());
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_truncated_at_every_offset_of_last_record() {
+        let p = tmp("torn-every-offset");
+        let j = Journal::open(&p).unwrap();
+        j.append(&publish_rec("q", 1, "first")).unwrap();
+        j.append(&publish_rec("q", 2, "second")).unwrap();
+        let boundary = std::fs::metadata(&p).unwrap().len();
+        j.append(&publish_rec("q", 3, "tail-record")).unwrap();
+        drop(j);
+        let full = std::fs::read(&p).unwrap();
+        assert!(full.len() as u64 > boundary);
+
+        // Tear the last record at every byte offset inside it. Replay must
+        // yield exactly the two-record prefix, and re-opening must repair
+        // the file so subsequent appends replay cleanly.
+        for cut in (boundary as usize + 1)..full.len() {
+            std::fs::write(&p, &full[..cut]).unwrap();
+            let scan = Journal::scan(&p).unwrap();
+            assert!(scan.torn_tail, "cut at {cut}");
+            assert_eq!(scan.safe_len, boundary, "cut at {cut}");
+            let tags: Vec<u64> = scan.live["q"].iter().map(|(t, _)| *t).collect();
+            assert_eq!(tags, vec![1, 2], "cut at {cut}");
+
+            // Regression: appending after a torn tail used to glue the new
+            // record onto the partial one, corrupting replay. open() now
+            // truncates the tear first.
+            let j = Journal::open(&p).unwrap();
+            assert_eq!(
+                std::fs::metadata(&p).unwrap().len(),
+                boundary,
+                "cut at {cut}: open did not repair the torn tail"
+            );
+            j.append(&publish_rec("q", 4, "after-repair")).unwrap();
+            drop(j);
+            let scan2 = Journal::scan(&p).unwrap();
+            assert!(!scan2.torn_tail, "cut at {cut}");
+            let tags: Vec<u64> = scan2.live["q"].iter().map(|(t, _)| *t).collect();
+            assert_eq!(tags, vec![1, 2, 4], "cut at {cut}");
+        }
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn failpoint_torn_tail_tears_batch_mid_record() {
+        let _g = entk_fail::scenario();
+        let p = tmp("fp-torn");
+        let j = Journal::open(&p).unwrap();
+        j.append(&publish_rec("q", 1, "keep")).unwrap();
+        entk_fail::arm_once(
+            "mq.journal.torn_tail",
+            entk_fail::InjectedAction::Partial(7),
+        );
+        let err = j
+            .append_all(&[publish_rec("q", 2, "lost"), publish_rec("q", 3, "lost")])
+            .unwrap_err();
+        assert!(matches!(err, MqError::FaultInjected(_)));
+        drop(j);
+        let scan = Journal::scan(&p).unwrap();
+        assert!(scan.torn_tail);
+        let tags: Vec<u64> = scan.live["q"].iter().map(|(t, _)| *t).collect();
+        assert_eq!(tags, vec![1]);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn failpoint_flush_crash_is_durable_but_reported_failed() {
+        let _g = entk_fail::scenario();
+        let p = tmp("fp-flush");
+        let j = Journal::open(&p).unwrap();
+        entk_fail::arm_once("mq.journal.flush_crash", entk_fail::InjectedAction::Fail);
+        let err = j.append(&publish_rec("q", 1, "made-it")).unwrap_err();
+        assert!(matches!(err, MqError::FaultInjected(_)));
+        drop(j);
+        // The crash happens after the flush: the record is on disk even
+        // though the caller saw a failure.
+        let scan = Journal::scan(&p).unwrap();
+        assert_eq!(scan.live["q"].len(), 1);
+        assert_eq!(&scan.live["q"][0].1.payload[..], b"made-it");
         std::fs::remove_file(&p).unwrap();
     }
 

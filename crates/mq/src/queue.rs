@@ -642,6 +642,16 @@ impl QueueHandle {
         self.resident_bytes.fetch_add(sz, Ordering::Relaxed);
         self.ready_cond.notify_one();
     }
+
+    /// Advance the tag allocator past `max_tag`. Journal recovery calls this
+    /// with the highest tag the journal has ever recorded for this queue —
+    /// acked tags included, which `restore` never sees — so fresh publishes
+    /// cannot reuse a journaled tag (a reused tag would both corrupt the
+    /// journal's ack accounting and collide with same-tag tombstones in the
+    /// unacked table).
+    pub(crate) fn bump_tag_floor(&self, max_tag: u64) {
+        self.next_tag.fetch_max(max_tag + 1, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]
@@ -949,7 +959,8 @@ mod tests {
         h.nack_requeue(d4.tag).unwrap();
         let d4b = h.try_pop().unwrap().unwrap();
         assert_eq!(d4b.tag, d4.tag);
-        h.nack_requeue(d4b.tag).expect("revived tag must be nackable");
+        h.nack_requeue(d4b.tag)
+            .expect("revived tag must be nackable");
         h.ack(d3.tag).unwrap();
         let d4c = h.try_pop().unwrap().unwrap();
         h.ack(d4c.tag).unwrap();

@@ -9,8 +9,8 @@
 
 use crate::api::{UnitId, UnitState};
 use parking_lot::Mutex;
-use std::collections::{HashMap, HashSet, VecDeque};
-use std::time::Duration;
+use std::collections::{HashMap, VecDeque};
+use std::time::{Duration, Instant};
 
 /// Store configuration.
 #[derive(Debug, Clone)]
@@ -18,14 +18,28 @@ pub struct DbConfig {
     /// Real-time latency charged on every store operation, modeling the
     /// network round trip to a remote MongoDB. Zero by default (tests).
     pub op_latency: Duration,
+    /// First free-pull window after a charged empty pull (agent-side
+    /// backoff). Doubles on every consecutive empty probe.
+    pub backoff_base: Duration,
+    /// Ceiling the doubling backoff window never exceeds.
+    pub backoff_cap: Duration,
 }
 
 impl Default for DbConfig {
     fn default() -> Self {
         DbConfig {
             op_latency: Duration::ZERO,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(1),
         }
     }
+}
+
+/// Per-agent empty-pull backoff: consecutive empty probes and the end of
+/// the current free-pull window.
+struct AgentBackoff {
+    strikes: u32,
+    until: Instant,
 }
 
 /// A unit document as persisted in the store.
@@ -53,9 +67,12 @@ struct Store {
     /// Documents touched across all operations; with `round_trips` this
     /// splits the old flat op counter into its two cost components.
     documents: u64,
-    /// Agents whose previous pull came back empty: their next empty pull is
-    /// served without a round-trip charge (agent-side backoff).
-    backed_off: HashSet<u64>,
+    /// Agents inside an empty-pull backoff window: pulls while the queue is
+    /// still empty and the window is open are served without a round-trip
+    /// charge. The window expires (the agent probes again, doubling it) and
+    /// is reset by a successful pull, so the stragglers at the tail of a
+    /// workflow never wait out a stale interval.
+    backoff: HashMap<u64, AgentBackoff>,
 }
 
 /// The document store. Thread-safe; clone-free (wrap in `Arc`).
@@ -75,7 +92,7 @@ impl DocDb {
                 pilots: HashMap::new(),
                 round_trips: 0,
                 documents: 0,
-                backed_off: HashSet::new(),
+                backoff: HashMap::new(),
             }),
         }
     }
@@ -125,15 +142,24 @@ impl DocDb {
 
     /// Agent-side: pull up to `max` units from this agent's queue.
     ///
-    /// An idle agent backs off: when the previous pull came back empty and
-    /// the queue is still empty, the pull returns immediately without
-    /// charging another round trip. The first pull after work arrives (or
-    /// after a non-empty pull) is charged normally.
+    /// An idle agent backs off: a charged empty pull opens a free-pull
+    /// window ([`DbConfig::backoff_base`], doubling per consecutive empty
+    /// probe up to [`DbConfig::backoff_cap`]) during which further pulls
+    /// against a still-empty queue return immediately without charging
+    /// another round trip. Work arriving bypasses the window at once, and a
+    /// successful pull resets the backoff entirely, so the first empty pull
+    /// after draining a burst is a fresh base-interval probe — the tail of a
+    /// workflow never waits out a stale, fully-doubled window.
     pub fn pull_units(&self, agent: u64, max: usize) -> Vec<UnitId> {
         {
             let st = self.store.lock();
             let still_empty = st.queues.get(&agent).is_none_or(VecDeque::is_empty);
-            if still_empty && st.backed_off.contains(&agent) {
+            if still_empty
+                && st
+                    .backoff
+                    .get(&agent)
+                    .is_some_and(|b| Instant::now() < b.until)
+            {
                 return Vec::new();
             }
         }
@@ -144,9 +170,19 @@ impl DocDb {
         let n = queue.len().min(max);
         let pulled: Vec<UnitId> = queue.drain(..n).collect();
         if pulled.is_empty() {
-            st.backed_off.insert(agent);
+            let base = self.config.backoff_base;
+            let cap = self.config.backoff_cap;
+            let entry = st.backoff.entry(agent).or_insert(AgentBackoff {
+                strikes: 0,
+                until: Instant::now(),
+            });
+            entry.strikes += 1;
+            let window = base
+                .checked_mul(1u32 << (entry.strikes - 1).min(16))
+                .map_or(cap, |w| w.min(cap));
+            entry.until = Instant::now() + window;
         } else {
-            st.backed_off.remove(&agent);
+            st.backoff.remove(&agent);
             st.documents += pulled.len() as u64;
         }
         pulled
@@ -365,6 +401,7 @@ mod tests {
     fn bulk_latency_amortized_over_batch() {
         let db = DocDb::new(DbConfig {
             op_latency: Duration::from_millis(5),
+            ..Default::default()
         });
         let t0 = std::time::Instant::now();
         db.insert_units(0, (1..=20).map(|i| (UnitId(i), "t".into())).collect());
@@ -400,10 +437,74 @@ mod tests {
         assert_eq!(db.op_count(), re_emptied);
     }
 
+    /// Regression (empty-pull backoff tail latency): the old backoff was a
+    /// sticky boolean — once an agent went idle it was never probed again,
+    /// and there was no bound on how stale the "nothing there" verdict
+    /// could get. The window must (a) expire so the agent re-probes, and
+    /// (b) reset on a successful pull, so the stragglers at the end of a
+    /// workflow get a fresh base-interval probe instead of waiting out a
+    /// fully doubled window.
+    #[test]
+    fn backoff_window_expires_and_resets_on_success() {
+        let db = DocDb::new(DbConfig {
+            op_latency: Duration::ZERO,
+            backoff_base: Duration::from_millis(20),
+            backoff_cap: Duration::from_millis(80),
+        });
+        // First empty pull: charged probe, opens the base window.
+        assert!(db.pull_units(0, 8).is_empty());
+        let probes = db.op_count();
+        // Inside the window: free.
+        assert!(db.pull_units(0, 8).is_empty());
+        assert_eq!(db.op_count(), probes, "pull inside the window is free");
+        // After the window expires the agent probes (and is charged) again —
+        // the old sticky-boolean backoff never did.
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(db.pull_units(0, 8).is_empty());
+        assert_eq!(db.op_count(), probes + 1, "expired window re-probes");
+        // Work arriving bypasses any open window immediately.
+        db.insert_unit(0, UnitId(1), "t".into());
+        assert_eq!(db.pull_units(0, 8), vec![UnitId(1)]);
+        // The successful pull reset the backoff: the next empty pull is a
+        // fresh charged probe whose window is back to the base interval —
+        // after sleeping just past `backoff_base` (but well under the
+        // doubled window the agent had reached), the agent probes again.
+        let drained = db.op_count();
+        assert!(db.pull_units(0, 8).is_empty());
+        assert_eq!(db.op_count(), drained + 1, "fresh probe after reset");
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(db.pull_units(0, 8).is_empty());
+        assert_eq!(
+            db.op_count(),
+            drained + 2,
+            "post-reset window is the base interval, not the doubled one"
+        );
+    }
+
+    #[test]
+    fn backoff_window_doubles_up_to_the_cap() {
+        let db = DocDb::new(DbConfig {
+            op_latency: Duration::ZERO,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(40),
+        });
+        // Strikes 1..: windows 10, 20, 40, 40, ... ms. Sleep past each
+        // window and verify exactly one charged probe per expiry.
+        for expect_window_ms in [10u64, 20, 40, 40] {
+            let before = db.op_count();
+            assert!(db.pull_units(0, 8).is_empty());
+            assert_eq!(db.op_count(), before + 1, "expiry triggers one probe");
+            assert!(db.pull_units(0, 8).is_empty(), "still inside new window");
+            assert_eq!(db.op_count(), before + 1);
+            std::thread::sleep(Duration::from_millis(expect_window_ms + 10));
+        }
+    }
+
     #[test]
     fn op_latency_is_charged() {
         let db = DocDb::new(DbConfig {
             op_latency: Duration::from_millis(5),
+            ..Default::default()
         });
         let t0 = std::time::Instant::now();
         db.insert_unit(0, UnitId(1), "a".into());

@@ -203,6 +203,12 @@ impl Drop for PilotLease {
     fn drop(&mut self) {
         let Some(rts) = self.rts.take() else { return };
         let pool = self.pool.upgrade();
+        // Failpoint `rts.pool.dead_lease_return`: the leased RTS dies at
+        // the instant of return — the health check below must catch it and
+        // discard the runtime instead of parking a corpse in the warm pool.
+        if entk_fail::hit_sleep("rts.pool.dead_lease_return").is_some() {
+            rts.kill();
+        }
         let ok = healthy(&rts, self.pilot);
         if ok {
             if let Some(pool) = &pool {
@@ -302,6 +308,23 @@ mod tests {
         assert!(!lease.was_warm(), "dead warm runtime must not be served");
         assert!(lease.rts().is_alive());
         assert_eq!(pool.stats().discarded, 1);
+    }
+
+    #[test]
+    fn failpoint_dead_lease_return_is_discarded_and_next_lease_is_cold() {
+        let _guard = entk_fail::scenario();
+        let pool = pool(2);
+        let lease = pool.lease();
+        entk_fail::arm_once(
+            "rts.pool.dead_lease_return",
+            entk_fail::InjectedAction::Fail,
+        );
+        drop(lease); // dies at the return instant
+        assert_eq!(pool.warm_count(), 0, "a corpse must not be parked warm");
+        assert_eq!(pool.stats().discarded, 1);
+        let next = pool.lease();
+        assert!(!next.was_warm());
+        assert!(next.rts().is_alive(), "replacement lease is healthy");
     }
 
     #[test]

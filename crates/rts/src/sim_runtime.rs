@@ -239,6 +239,16 @@ impl SimRuntime {
         if !self.is_alive() {
             return Err(RtsDown);
         }
+        // Failpoint `rts.submit.partial`: the UnitManager accepts only a
+        // prefix of the batch and the RTS dies right after handing it over —
+        // the caller sees the whole submission fail while a prefix is
+        // already registered and queued.
+        let mut descs = descs;
+        let mut die_after_submit = false;
+        if let Some(action) = entk_fail::hit_sleep("rts.submit.partial") {
+            descs.truncate(injected_prefix(&action, descs.len()));
+            die_after_submit = true;
+        }
         let now = self.commander.now().as_secs_f64();
         let mut launches: Vec<(UnitId, JobId, TaskDesc)> = Vec::new();
         let mut ids = Vec::with_capacity(descs.len());
@@ -278,6 +288,16 @@ impl SimRuntime {
                 st.units.insert(id, entry);
                 routes.push((id, stage_in));
             }
+            // Failpoint `rts.db.insert_units`: death mid bulk insert — only
+            // a prefix of the documents reaches the store, nothing is
+            // routed, and the RTS is gone when the call returns.
+            if let Some(action) = entk_fail::hit_sleep("rts.db.insert_units") {
+                inserts.truncate(injected_prefix(&action, inserts.len()));
+                self.db.insert_units(pilot.0, inserts);
+                drop(st);
+                self.kill(); // joins the dispatcher; must not hold the lock
+                return Err(RtsDown);
+            }
             self.db.insert_units(pilot.0, inserts);
             // Pass 2: route each unit. Submit-path state transitions are
             // collected and persisted with one bulk update below.
@@ -303,6 +323,16 @@ impl SimRuntime {
                     }
                 }
             }
+            // Failpoint `rts.db.update_states`: death mid bulk state
+            // update — every document was inserted but only a prefix
+            // records its submit-path transition, and nothing launches.
+            if let Some(action) = entk_fail::hit_sleep("rts.db.update_states") {
+                let keep = injected_prefix(&action, state_updates.len());
+                self.db.update_states(&state_updates[..keep]);
+                drop(st);
+                self.kill();
+                return Err(RtsDown);
+            }
             self.db.update_states(&state_updates);
             dispatch_stagers_locked(&mut st, &self.commander, self.stagers);
         }
@@ -315,6 +345,10 @@ impl SimRuntime {
         }
         drop(st);
         drop(span);
+        if die_after_submit {
+            self.kill();
+            return Err(RtsDown);
+        }
         Ok(ids)
     }
 
@@ -386,6 +420,16 @@ impl SimRuntime {
 impl Drop for SimRuntime {
     fn drop(&mut self) {
         self.teardown();
+    }
+}
+
+/// How much of a batch an injected [`entk_fail::InjectedAction`] lets
+/// through: `Partial(n)` keeps the first `n` items (clamped), anything else
+/// keeps half.
+fn injected_prefix(action: &entk_fail::InjectedAction, len: usize) -> usize {
+    match action {
+        entk_fail::InjectedAction::Partial(n) => (*n as usize).min(len),
+        _ => len / 2,
     }
 }
 
@@ -940,6 +984,60 @@ mod tests {
         let doc = rt.db().get(ids[0]).unwrap();
         assert_eq!(doc.state, UnitState::Done);
         assert!(doc.history.contains(&UnitState::Executing));
+    }
+
+    fn noop_units(n: usize) -> Vec<UnitDescription> {
+        (0..n)
+            .map(|i| UnitDescription::new(format!("u{i}"), Executable::Noop))
+            .collect()
+    }
+
+    #[test]
+    fn failpoint_insert_units_dies_after_partial_bulk_insert() {
+        let _guard = entk_fail::scenario();
+        entk_fail::arm_once("rts.db.insert_units", entk_fail::InjectedAction::Partial(3));
+        let rt = runtime();
+        let p = ready_pilot(&rt);
+        assert!(rt.submit_units(p, noop_units(8)).is_err());
+        assert!(!rt.is_alive(), "the RTS died mid-insert");
+        // Exactly the injected prefix reached the store; nothing was routed.
+        assert_eq!(rt.db().queued_for(p.0), 3);
+        assert!(rt.db().get(UnitId(3)).is_some());
+        assert!(rt.db().get(UnitId(4)).is_none());
+    }
+
+    #[test]
+    fn failpoint_update_states_dies_after_partial_bulk_update() {
+        let _guard = entk_fail::scenario();
+        entk_fail::arm_once(
+            "rts.db.update_states",
+            entk_fail::InjectedAction::Partial(2),
+        );
+        let rt = runtime();
+        let p = ready_pilot(&rt);
+        assert!(rt.submit_units(p, noop_units(4)).is_err());
+        assert!(!rt.is_alive());
+        // All four documents were inserted, but only the first two carry
+        // their submit-path AgentQueued transition.
+        for (i, expect_update) in [(1, true), (2, true), (3, false), (4, false)] {
+            let doc = rt.db().get(UnitId(i)).expect("inserted");
+            assert_eq!(
+                doc.history.contains(&UnitState::AgentQueued),
+                expect_update,
+                "unit {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn failpoint_partial_submit_registers_only_the_prefix() {
+        let _guard = entk_fail::scenario();
+        entk_fail::arm_once("rts.submit.partial", entk_fail::InjectedAction::Partial(2));
+        let rt = runtime();
+        let p = ready_pilot(&rt);
+        assert!(rt.submit_units(p, noop_units(6)).is_err());
+        assert!(!rt.is_alive(), "the RTS died right after the handover");
+        assert_eq!(rt.records().len(), 2, "only the accepted prefix exists");
     }
 
     #[test]

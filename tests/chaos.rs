@@ -1,0 +1,495 @@
+//! Chaos matrix: the batched data path driven under every armed failpoint.
+//!
+//! Each scenario arms one of the `entk-fail` failpoints threaded through the
+//! stack (see DESIGN.md §3f for the registry) with a deterministic trigger
+//! and runs a 2048-task batched workload through the layer that owns the
+//! seam — the journaled broker for the `mq.*` points, a full simulated
+//! AppManager run for the `rts.*` and `core.*` points, and the ensemble
+//! service for the pool seam. The invariants are the same everywhere:
+//!
+//! * **no task lost** — every task settles `Done` and `tasks_done` counts
+//!   each exactly once;
+//! * **no task executed twice past Done** — exactly-once execution counters
+//!   where the backend can host them;
+//! * **journal recovery yields the exact unacked set** — what recovery
+//!   restores is precisely the durable-and-unacknowledged messages;
+//! * **restart budget respected** — `rts_restarts` never exceeds
+//!   `max_rts_restarts` even while failpoints keep killing the RTS.
+//!
+//! Every test holds the [`entk_fail::scenario`] guard: the failpoint
+//! registry is process-global, so scenarios serialize against each other and
+//! disarm everything on exit.
+
+use entk::mq::{Broker, BrokerConfig, Message, MqError, QueueConfig};
+use entk::prelude::*;
+use entk_fail::{InjectedAction, Trigger};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The tentpole workload size: the batched-path benchmark scale.
+const TASKS: usize = 2048;
+/// Fixed seed shared by the simulator and every seeded trigger.
+const SEED: u64 = 0xC0FFEE;
+
+fn timeout() -> Duration {
+    Duration::from_secs(300)
+}
+
+fn tmp_journal(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "entk-chaos-{name}-{}-{:?}.journal",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// One 2048-task batched AppManager run on the simulated TestRig. Asserts
+/// the cross-cutting invariants (run succeeded, every task Done exactly
+/// once, restart budget respected) and returns the report for per-scenario
+/// assertions.
+fn chaos_sim_run(max_rts_restarts: u32) -> RunReport {
+    let wf = entk::apps::synthetic::sleep_workflow(1, 1, TASKS, 1.0);
+    let mut cfg = AppManagerConfig::new(
+        ResourceDescription::sim(PlatformId::TestRig, 4, 4 * 3600).with_seed(SEED),
+    )
+    .with_run_timeout(timeout());
+    cfg.max_rts_restarts = max_rts_restarts;
+    let report = AppManager::new(cfg).run(wf).expect("chaos run completes");
+    assert!(
+        report.succeeded,
+        "no task may be lost under injected faults: {:?}",
+        report.overheads
+    );
+    assert_eq!(
+        report.overheads.tasks_done, TASKS as u64,
+        "every task must settle Done exactly once"
+    );
+    assert!(
+        report.rts_restarts <= max_rts_restarts,
+        "restart budget exceeded: {} > {}",
+        report.rts_restarts,
+        max_rts_restarts
+    );
+    report
+}
+
+// ---------------------------------------------------------------------------
+// mq.journal.torn_tail — seeded tear matrix over the full workload.
+// ---------------------------------------------------------------------------
+
+/// 2048 persistent messages published in 64 batches with a seeded torn-tail
+/// trigger armed throughout. Every tear is a crash: the broker is dropped
+/// and recovered, and publishing continues. `Partial(1)` tears inside the
+/// first record of the batch, so a failed `publish_batch` is known to have
+/// persisted nothing — the exact durable-and-unacked set stays computable on
+/// the test side and must match what the final recovery restores.
+#[test]
+fn seeded_torn_tail_matrix_recovers_exact_unacked_set() {
+    let _g = entk_fail::scenario();
+    let path = tmp_journal("torn-matrix");
+    entk_fail::arm(
+        "mq.journal.torn_tail",
+        Trigger::Seeded {
+            seed: SEED,
+            one_in: 7,
+        },
+        InjectedAction::Partial(1),
+        None,
+    );
+
+    let mut b = Broker::with_config(BrokerConfig {
+        journal_path: Some(path.clone()),
+        ..Default::default()
+    })
+    .unwrap();
+    b.declare_queue("tasks", QueueConfig::durable()).unwrap();
+
+    let mut expected: BTreeSet<String> = BTreeSet::new();
+    let mut crashes = 0u64;
+    let batch_size = TASKS / 64;
+    for batch_no in 0..64 {
+        let ids: Vec<String> = (batch_no * batch_size..(batch_no + 1) * batch_size)
+            .map(|i| i.to_string())
+            .collect();
+        let msgs: Vec<Message> = ids
+            .iter()
+            .map(|id| Message::persistent(id.clone().into_bytes()))
+            .collect();
+        match b.publish_batch("tasks", msgs) {
+            Ok(_) => expected.extend(ids),
+            Err(MqError::FaultInjected(_)) => {
+                // The batch tore mid-append: nothing from it is durable.
+                // Crash and recover, then keep going on the repaired journal.
+                crashes += 1;
+                b = Broker::recover(&path).expect("recovery after torn batch");
+            }
+            Err(e) => panic!("unexpected publish error: {e}"),
+        }
+        // Periodically settle a window with per-tag acks, shrinking the
+        // expected unacked set.
+        if batch_no % 8 == 7 {
+            for d in b
+                .get_batch("tasks", batch_size + batch_size / 2, Duration::ZERO)
+                .unwrap()
+            {
+                b.ack("tasks", d.tag).unwrap();
+                expected.remove(d.message.payload_str().as_ref());
+            }
+        }
+    }
+    assert_eq!(
+        entk_fail::fires("mq.journal.torn_tail"),
+        crashes,
+        "every fire must have surfaced as a failed publish"
+    );
+    assert!(
+        crashes >= 1,
+        "one_in=7 over 64 batches must tear at least once"
+    );
+
+    // Final crash: the recovered state must be exactly the durable-and-
+    // unacked set, nothing more, nothing less.
+    drop(b);
+    let b = Broker::recover(&path).expect("final recovery");
+    let mut recovered = BTreeSet::new();
+    loop {
+        let batch = b.get_batch("tasks", TASKS, Duration::ZERO).unwrap();
+        if batch.is_empty() {
+            break;
+        }
+        for d in batch {
+            assert!(
+                recovered.insert(d.message.payload_str().to_string()),
+                "duplicate recovery of {}",
+                d.message.payload_str()
+            );
+        }
+    }
+    assert_eq!(
+        recovered, expected,
+        "recovery must yield the exact unacked set"
+    );
+    std::fs::remove_file(&path).unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// mq.journal.flush_crash — ambiguous publish failure resolves to durable.
+// ---------------------------------------------------------------------------
+
+/// A crash after the flush leaves the publisher with an error but the
+/// records on disk — the classic ambiguous outcome. Recovery must resolve it
+/// toward at-least-once: the flushed batch is there.
+#[test]
+fn flush_crash_publish_failure_is_durable_on_recovery() {
+    let _g = entk_fail::scenario();
+    let path = tmp_journal("flush-crash");
+    {
+        let b = Broker::with_config(BrokerConfig {
+            journal_path: Some(path.clone()),
+            ..Default::default()
+        })
+        .unwrap();
+        b.declare_queue("q", QueueConfig::durable()).unwrap();
+        b.publish("q", Message::persistent("settled")).unwrap();
+        entk_fail::arm_once("mq.journal.flush_crash", InjectedAction::Fail);
+        let err = b
+            .publish_batch(
+                "q",
+                vec![
+                    Message::persistent("ambiguous-1"),
+                    Message::persistent("ambiguous-2"),
+                ],
+            )
+            .unwrap_err();
+        assert!(matches!(err, MqError::FaultInjected(_)));
+        // Crash: broker dropped without close.
+    }
+    let b = Broker::recover(&path).unwrap();
+    assert_eq!(
+        b.depth("q").unwrap(),
+        3,
+        "the flushed-then-crashed batch is durable and must be recovered"
+    );
+    std::fs::remove_file(&path).unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// mq.broker.recover_mid_replay — repeated recovery crashes converge.
+// ---------------------------------------------------------------------------
+
+/// Recovery itself dies three times mid-replay over a 2048-message journal
+/// with a partially-acked prefix. Replay never mutates the journal, so each
+/// retry starts from the same bytes and the fourth attempt must restore the
+/// exact unacked suffix.
+#[test]
+fn repeated_mid_replay_crashes_converge_on_exact_unacked_set() {
+    let _g = entk_fail::scenario();
+    let path = tmp_journal("mid-replay-matrix");
+    const ACKED: usize = 1000;
+    {
+        let b = Broker::with_config(BrokerConfig {
+            journal_path: Some(path.clone()),
+            ..Default::default()
+        })
+        .unwrap();
+        b.declare_queue("tasks", QueueConfig::durable()).unwrap();
+        for batch_no in 0..64 {
+            let msgs: Vec<Message> = (batch_no * 32..(batch_no + 1) * 32)
+                .map(|i: usize| Message::persistent(i.to_string().into_bytes()))
+                .collect();
+            b.publish_batch("tasks", msgs).unwrap();
+        }
+        let drained = b.get_batch("tasks", ACKED, Duration::ZERO).unwrap();
+        assert_eq!(drained.len(), ACKED);
+        b.ack_multiple("tasks", drained.last().unwrap().tag)
+            .unwrap();
+        // Crash with TASKS - ACKED unacked messages on the journal.
+    }
+
+    entk_fail::arm(
+        "mq.broker.recover_mid_replay",
+        Trigger::EveryNth(1),
+        InjectedAction::Fail,
+        Some(3),
+    );
+    let mut failed_attempts = 0;
+    let b = loop {
+        match Broker::recover(&path) {
+            Ok(b) => break b,
+            Err(MqError::FaultInjected(_)) => failed_attempts += 1,
+            Err(e) => panic!("unexpected recovery error: {e}"),
+        }
+    };
+    assert_eq!(failed_attempts, 3, "exactly the budgeted crashes fired");
+    assert_eq!(b.depth("tasks").unwrap(), TASKS - ACKED);
+    let ids: BTreeSet<usize> = b
+        .get_batch("tasks", TASKS, Duration::ZERO)
+        .unwrap()
+        .iter()
+        .map(|d| d.message.payload_str().parse().unwrap())
+        .collect();
+    let want: BTreeSet<usize> = (ACKED..TASKS).collect();
+    assert_eq!(ids, want, "the exact unacked suffix, in full");
+    std::fs::remove_file(&path).unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// rts.db.insert_units — RTS death partway through a bulk insert.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn rts_death_mid_bulk_insert_loses_no_tasks() {
+    let _g = entk_fail::scenario();
+    entk_fail::arm_once("rts.db.insert_units", InjectedAction::Partial(100));
+    let report = chaos_sim_run(3);
+    assert_eq!(
+        entk_fail::fires("rts.db.insert_units"),
+        1,
+        "failpoint must fire"
+    );
+    assert!(
+        report.rts_restarts >= 1,
+        "the heartbeat must have restarted the killed RTS"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// rts.db.update_states — RTS death partway through a bulk state update.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn rts_death_mid_bulk_state_update_loses_no_tasks() {
+    let _g = entk_fail::scenario();
+    entk_fail::arm_once("rts.db.update_states", InjectedAction::Partial(64));
+    let report = chaos_sim_run(3);
+    assert_eq!(
+        entk_fail::fires("rts.db.update_states"),
+        1,
+        "failpoint must fire"
+    );
+    assert!(report.rts_restarts >= 1);
+}
+
+// ---------------------------------------------------------------------------
+// rts.submit.partial — repeated partial submissions within restart budget.
+// ---------------------------------------------------------------------------
+
+/// The RTS registers only a prefix of each submitted batch and dies, twice
+/// in a row (the first submission of two consecutive incarnations). Both
+/// deaths are swept, both restarts stay inside the budget, and the ensemble
+/// still completes in full.
+#[test]
+fn repeated_partial_submissions_stay_within_restart_budget() {
+    let _g = entk_fail::scenario();
+    entk_fail::arm(
+        "rts.submit.partial",
+        Trigger::EveryNth(1),
+        InjectedAction::Partial(64),
+        Some(2),
+    );
+    let report = chaos_sim_run(8);
+    assert_eq!(
+        entk_fail::fires("rts.submit.partial"),
+        2,
+        "both kills fired"
+    );
+    assert!(
+        report.rts_restarts >= 2,
+        "each injected death must cost one restart"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// core.emgr.before_settle — heartbeat sweep over a half-settled batch.
+// ---------------------------------------------------------------------------
+
+/// The ExecManager's pool RTS dies after the batch was synced `Submitted`
+/// but before the cumulative ack settles the pending window, and the
+/// ExecManager stalls long enough for several heartbeat sweeps to run over
+/// the half-settled batch. The sweep must re-drive exactly the lost tasks —
+/// over-sweeping double-executes them, under-sweeping loses them; either
+/// breaks the `tasks_done == TASKS` invariant.
+#[test]
+fn heartbeat_sweep_over_half_settled_batch_loses_no_tasks() {
+    let _g = entk_fail::scenario();
+    entk_fail::arm_once("core.emgr.before_settle", InjectedAction::Delay(150));
+    let report = chaos_sim_run(3);
+    assert_eq!(
+        entk_fail::fires("core.emgr.before_settle"),
+        1,
+        "failpoint must fire"
+    );
+    assert!(report.rts_restarts >= 1);
+}
+
+// ---------------------------------------------------------------------------
+// core.sync.abandon_ack_drain — exactly-once under abandoned sync acks.
+// ---------------------------------------------------------------------------
+
+/// The Synchronizer's client publishes sync batches and then abandons the
+/// ack drain, repeatedly. Reconciliation must converge without re-driving
+/// anything: every task executes exactly once (counters on a local backend),
+/// with exactly one recorded attempt.
+#[test]
+fn abandoned_sync_ack_drains_keep_execution_exactly_once() {
+    let _g = entk_fail::scenario();
+    let counters: Arc<Vec<AtomicUsize>> =
+        Arc::new((0..TASKS).map(|_| AtomicUsize::new(0)).collect());
+    let mut stage = Stage::new("once");
+    for i in 0..TASKS {
+        let c = Arc::clone(&counters);
+        stage.add_task(Task::new(
+            format!("t{i}"),
+            Executable::compute(0.01, move || {
+                c[i].fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            }),
+        ));
+    }
+    let wf = Workflow::new().with_pipeline(Pipeline::new("p").with_stage(stage));
+
+    entk_fail::arm(
+        "core.sync.abandon_ack_drain",
+        Trigger::EveryNth(2),
+        InjectedAction::Fail,
+        Some(3),
+    );
+    let report = AppManager::new(
+        AppManagerConfig::new(ResourceDescription::local(4)).with_run_timeout(timeout()),
+    )
+    .run(wf)
+    .expect("run completes");
+    assert!(report.succeeded);
+    assert_eq!(report.overheads.tasks_done, TASKS as u64);
+    assert!(
+        entk_fail::fires("core.sync.abandon_ack_drain") >= 1,
+        "at least one sync must have abandoned its ack drain"
+    );
+    for (i, c) in counters.iter().enumerate() {
+        assert_eq!(
+            c.load(Ordering::SeqCst),
+            1,
+            "task t{i} must execute exactly once"
+        );
+    }
+    for p in report.workflow.pipelines() {
+        for s in p.stages() {
+            for t in s.tasks() {
+                assert_eq!(t.state(), TaskState::Done);
+                assert_eq!(t.attempts(), 1, "no re-drive for {}", t.name());
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// rts.pool.dead_lease_return — the service survives corpses at pool return.
+// ---------------------------------------------------------------------------
+
+/// Every second pilot returned to the service's warm pool dies at the
+/// return instant (twice). The health check must discard the corpses, cold
+/// boots must replace them, and every submission still completes.
+#[test]
+fn service_discards_dead_lease_returns_and_completes_everything() {
+    let _g = entk_fail::scenario();
+    entk_fail::arm(
+        "rts.pool.dead_lease_return",
+        Trigger::EveryNth(2),
+        InjectedAction::Fail,
+        Some(2),
+    );
+
+    let resource = ResourceDescription::sim(PlatformId::TestRig, 2, 1_000_000_000);
+    let service = EnsembleService::start(
+        ServiceConfig::new(resource)
+            .with_warm_pilots(1)
+            .with_max_active(2)
+            .with_max_pending(16)
+            .with_run_timeout(timeout()),
+    );
+    let client = service.client();
+
+    let wf = |label: &str| {
+        let mut stage = Stage::new(format!("{label}-s"));
+        for t in 0..2 {
+            stage.add_task(Task::new(
+                format!("{label}-t{t}"),
+                Executable::Sleep { secs: 50.0 },
+            ));
+        }
+        Workflow::new().with_pipeline(Pipeline::new(format!("{label}-p")).with_stage(stage))
+    };
+
+    let ids: Vec<_> = (0..6)
+        .map(|i| {
+            client
+                .submit("chaos", wf(&format!("w{i}")))
+                .expect("admitted")
+        })
+        .collect();
+    for id in &ids {
+        let result = client.wait(*id, timeout()).expect("submission settles");
+        assert!(
+            result.outcome.is_success(),
+            "submission {id} failed: {:?}",
+            result.outcome
+        );
+    }
+
+    let fires = entk_fail::fires("rts.pool.dead_lease_return");
+    assert_eq!(fires, 2, "both injected corpse returns fired");
+    let stats = client.stats().expect("service alive");
+    assert_eq!(stats.completed, 6);
+    assert!(
+        stats.pool.discarded >= fires,
+        "every corpse return must be discarded, not parked warm: {:?}",
+        stats.pool
+    );
+    service.shutdown();
+}

@@ -1,13 +1,46 @@
 //! Fault-tolerance integration tests: the §II-B4 failure model exercised
 //! end to end — task failures, RTS death and restart, journal recovery.
+//!
+//! Every scenario is a plain function over `batched: bool` and runs twice:
+//! once on the batched data path (the default) and once on the paper's
+//! per-task path (`with_batched(false)`). The recovery guarantees must hold
+//! identically on both.
 
 use entk::prelude::*;
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-#[test]
-fn failed_tasks_are_resubmitted_within_budget() {
+/// Expand one scenario function into `<name>_batched` and `<name>_per_task`
+/// test cases sharing its body.
+macro_rules! both_modes {
+    ($($name:ident),+ $(,)?) => {
+        $(
+            mod $name {
+                #[test]
+                fn batched() {
+                    super::$name(true);
+                }
+                #[test]
+                fn per_task() {
+                    super::$name(false);
+                }
+            }
+        )+
+    };
+}
+
+both_modes!(
+    failed_tasks_are_resubmitted_within_budget,
+    retry_budget_exhaustion_fails_pipeline_cleanly,
+    rts_death_is_survived_by_restart,
+    rts_restart_budget_exhaustion_is_a_clean_error,
+    journal_recovery_skips_completed_tasks_mid_pipeline,
+    pilot_walltime_expiry_triggers_pilot_reacquisition,
+    unreliable_ci_is_survived_end_to_end,
+);
+
+fn failed_tasks_are_resubmitted_within_budget(batched: bool) {
     let attempts = Arc::new(AtomicU32::new(0));
     let a = Arc::clone(&attempts);
     let wf = Workflow::new().with_pipeline(
@@ -29,6 +62,7 @@ fn failed_tasks_are_resubmitted_within_budget() {
     );
     let mut amgr = AppManager::new(
         AppManagerConfig::new(ResourceDescription::local(1))
+            .with_batched(batched)
             .with_run_timeout(Duration::from_secs(300)),
     );
     let report = amgr.run(wf).expect("run completes");
@@ -38,8 +72,7 @@ fn failed_tasks_are_resubmitted_within_budget() {
     assert_eq!(report.overheads.tasks_done, 1);
 }
 
-#[test]
-fn retry_budget_exhaustion_fails_pipeline_cleanly() {
+fn retry_budget_exhaustion_fails_pipeline_cleanly(batched: bool) {
     let wf = Workflow::new().with_pipeline(
         Pipeline::new("p").with_stage(
             Stage::new("s")
@@ -52,6 +85,7 @@ fn retry_budget_exhaustion_fails_pipeline_cleanly() {
     );
     let mut amgr = AppManager::new(
         AppManagerConfig::new(ResourceDescription::local(2))
+            .with_batched(batched)
             .with_run_timeout(Duration::from_secs(300)),
     );
     let report = amgr.run(wf).expect("run completes (unsuccessfully)");
@@ -67,8 +101,7 @@ fn retry_budget_exhaustion_fails_pipeline_cleanly() {
     );
 }
 
-#[test]
-fn rts_death_is_survived_by_restart() {
+fn rts_death_is_survived_by_restart(batched: bool) {
     // Kill the RTS 150 ms into a run with long tasks; the Heartbeat must
     // tear it down, start a new incarnation, re-acquire the pilot, and
     // re-execute the lost tasks — "loosing only those tasks that were in
@@ -87,6 +120,7 @@ fn rts_death_is_survived_by_restart() {
         AppManagerConfig::new(
             ResourceDescription::sim(PlatformId::TestRig, 1, 3 * 3600).with_seed(5),
         )
+        .with_batched(batched)
         .with_chaos_rts_kill(Duration::from_millis(100))
         .with_run_timeout(Duration::from_secs(300)),
     );
@@ -99,14 +133,14 @@ fn rts_death_is_survived_by_restart() {
     assert_eq!(report.overheads.tasks_done, 8);
 }
 
-#[test]
-fn rts_restart_budget_exhaustion_is_a_clean_error() {
+fn rts_restart_budget_exhaustion_is_a_clean_error(batched: bool) {
     let wf = Workflow::new()
         .with_pipeline(Pipeline::new("p").with_stage(
             Stage::new("s").with_task(Task::new("t", Executable::Sleep { secs: 1e6 })),
         ));
     let mut cfg =
         AppManagerConfig::new(ResourceDescription::sim(PlatformId::TestRig, 1, 7200).with_seed(6))
+            .with_batched(batched)
             .with_chaos_rts_kill(Duration::from_millis(100))
             .with_run_timeout(Duration::from_secs(300));
     cfg.max_rts_restarts = 0;
@@ -115,10 +149,9 @@ fn rts_restart_budget_exhaustion_is_a_clean_error() {
     assert!(msg.contains("restart budget"), "unexpected error: {msg}");
 }
 
-#[test]
-fn journal_recovery_skips_completed_tasks_mid_pipeline() {
+fn journal_recovery_skips_completed_tasks_mid_pipeline(batched: bool) {
     let journal = std::env::temp_dir().join(format!(
-        "entk-it-journal-{}-{:?}.log",
+        "entk-it-journal-{}-{:?}-{batched}.log",
         std::process::id(),
         std::thread::current().id()
     ));
@@ -159,6 +192,7 @@ fn journal_recovery_skips_completed_tasks_mid_pipeline() {
 
     let mut amgr = AppManager::new(
         AppManagerConfig::new(ResourceDescription::local(2))
+            .with_batched(batched)
             .with_journal(&journal)
             .with_run_timeout(Duration::from_secs(300)),
     );
@@ -172,6 +206,7 @@ fn journal_recovery_skips_completed_tasks_mid_pipeline() {
     // the stage-2 task executes.
     let mut amgr = AppManager::new(
         AppManagerConfig::new(ResourceDescription::local(2))
+            .with_batched(batched)
             .with_journal(&journal)
             .with_run_timeout(Duration::from_secs(300)),
     );
@@ -188,8 +223,7 @@ fn journal_recovery_skips_completed_tasks_mid_pipeline() {
     let _ = std::fs::remove_file(&journal);
 }
 
-#[test]
-fn pilot_walltime_expiry_triggers_pilot_reacquisition() {
+fn pilot_walltime_expiry_triggers_pilot_reacquisition(batched: bool) {
     // The pilot's walltime (60 virtual s) is far too short for the 200 s
     // task; the Heartbeat re-acquires a pilot and the task is retried until
     // it fits... it never fits, so the retry budget must eventually cancel
@@ -200,6 +234,7 @@ fn pilot_walltime_expiry_triggers_pilot_reacquisition() {
         )));
     let mut cfg =
         AppManagerConfig::new(ResourceDescription::sim(PlatformId::TestRig, 1, 60).with_seed(8))
+            .with_batched(batched)
             .with_run_timeout(Duration::from_secs(300));
     cfg.max_rts_restarts = 5;
     let report = AppManager::new(cfg).run(wf).expect("run terminates");
@@ -207,8 +242,7 @@ fn pilot_walltime_expiry_triggers_pilot_reacquisition() {
     assert!(report.rts_restarts >= 1, "pilot must have been re-acquired");
 }
 
-#[test]
-fn unreliable_ci_is_survived_end_to_end() {
+fn unreliable_ci_is_survived_end_to_end(batched: bool) {
     // CI-level faults (§II-B4): node crashes kill tasks and occasionally the
     // whole pilot. With unlimited task retries and pilot re-acquisition the
     // ensemble still completes.
@@ -237,6 +271,7 @@ fn unreliable_ci_is_survived_end_to_end() {
         db_op_latency: Duration::ZERO,
     };
     let mut cfg = AppManagerConfig::new(resource)
+        .with_batched(batched)
         .with_task_retries(None)
         .with_run_timeout(Duration::from_secs(300));
     cfg.max_rts_restarts = 50;
