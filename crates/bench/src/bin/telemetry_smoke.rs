@@ -1,0 +1,201 @@
+//! Telemetry smoke: a live `/metrics` + `/statusz` scrape against a running
+//! [`EnsembleService`].
+//!
+//! CI's answer to "is the telemetry plane actually wired end to end?": boot
+//! the service with the observe listener on an ephemeral port, push a small
+//! multi-tenant workload through it, scrape the listener over plain TCP while
+//! one run is still in flight, and fail hard unless every key series is
+//! present and well-formed:
+//!
+//! * task-state transition counters (`task_state_done_total`, ...);
+//! * per-queue broker depth gauges (`mq_queue_*_depth`);
+//! * warm-pool occupancy (`rts_pool_warm`);
+//! * the turnaround histogram (`service_turnaround_seconds`), with monotone
+//!   cumulative buckets per the Prometheus text 0.0.4 contract;
+//! * a `/statusz` flight-recorder snapshot that is valid JSON and accounts
+//!   for every submitted session.
+//!
+//! The raw scrapes are written next to the benchmark artifacts so a failing
+//! run leaves the evidence behind.
+//!
+//! Usage: `telemetry_smoke [--quick] [--workflows N] [--tasks N]
+//! [--out-metrics PATH] [--out-statusz PATH]`
+
+use entk_bench::{argv, flag_num, flag_value, has_flag};
+use entk_core::{Executable, Pipeline, ResourceDescription, Stage, Task, Workflow};
+use entk_observe::{json, prom, ObserveConfig};
+use entk_service::{EnsembleService, ServiceConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+const TIMEOUT: Duration = Duration::from_secs(300);
+
+fn workflow(label: &str, tasks: usize) -> Workflow {
+    let mut stage = Stage::new(format!("{label}-s"));
+    for t in 0..tasks {
+        stage.add_task(Task::new(format!("{label}-t{t}"), Executable::Noop));
+    }
+    Workflow::new().with_pipeline(Pipeline::new(format!("{label}-p")).with_stage(stage))
+}
+
+/// Blocking HTTP/1.0 GET against the observe listener; returns (head, body).
+fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to observe listener");
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: smoke\r\n\r\n").unwrap();
+    let mut buf = String::new();
+    stream.read_to_string(&mut buf).expect("read response");
+    let (head, body) = buf.split_once("\r\n\r\n").expect("header/body split");
+    (head.to_string(), body.to_string())
+}
+
+fn main() {
+    let args = argv();
+    let quick = has_flag(&args, "--quick");
+    let n_wf = flag_num(&args, "--workflows", if quick { 4usize } else { 8 });
+    let tasks = flag_num(&args, "--tasks", 8usize);
+    let out_metrics =
+        flag_value(&args, "--out-metrics").unwrap_or_else(|| "TELEMETRY_metrics.prom".into());
+    let out_statusz =
+        flag_value(&args, "--out-statusz").unwrap_or_else(|| "TELEMETRY_statusz.json".into());
+
+    println!("# telemetry_smoke: {n_wf} workflows x {tasks} tasks, live scrape");
+
+    let service = EnsembleService::start(
+        ServiceConfig::new(ResourceDescription::local(4))
+            .with_warm_pilots(1)
+            .with_max_active(2)
+            .with_run_timeout(TIMEOUT)
+            .with_observe(
+                ObserveConfig::default()
+                    .with_listen_addr("127.0.0.1:0".parse().unwrap())
+                    .with_sample_interval(Duration::from_millis(5)),
+            ),
+    );
+    let addr = service.observe_addr().expect("observe listener enabled");
+    println!("observe listener on http://{addr}");
+    let client = service.client();
+
+    let start = Instant::now();
+    let ids: Vec<_> = (0..n_wf)
+        .map(|i| {
+            client
+                .submit(
+                    format!("tenant{}", i % 2),
+                    workflow(&format!("w{i}"), tasks),
+                )
+                .expect("admitted")
+        })
+        .collect();
+    for id in ids {
+        let result = client.wait(id, TIMEOUT).expect("run settles");
+        assert!(result.outcome.is_success(), "workload run failed");
+    }
+    println!(
+        "workload done: {n_wf} workflows in {:.2} s",
+        start.elapsed().as_secs_f64()
+    );
+
+    // Hold one run open while scraping so the broker depth sampler sees live
+    // session queues (they are deleted when a run finishes).
+    let slow_id = {
+        let stage = Stage::new("hold-s").with_task(Task::new(
+            "hold",
+            Executable::compute(1.0, || {
+                std::thread::sleep(Duration::from_millis(400));
+                Ok(())
+            }),
+        ));
+        let wf = Workflow::new().with_pipeline(Pipeline::new("hold-p").with_stage(stage));
+        client.submit("tenant0", wf).expect("admitted")
+    };
+    std::thread::sleep(Duration::from_millis(150));
+
+    // ---- /metrics ------------------------------------------------------
+    let (head, metrics_body) = http_get(addr, "/metrics");
+    assert!(head.starts_with("HTTP/1.0 200"), "/metrics: {head}");
+    std::fs::write(&out_metrics, &metrics_body).expect("write metrics artifact");
+    println!("wrote {out_metrics} ({} bytes)", metrics_body.len());
+
+    let samples = prom::parse(&metrics_body).expect("scrape parses as Prometheus text 0.0.4");
+    let histograms =
+        prom::validate_histograms(&samples).expect("histogram buckets are monotone cumulative");
+    assert!(
+        histograms.iter().any(|h| h == "service_turnaround_seconds"),
+        "turnaround histogram missing: {histograms:?}"
+    );
+    let has = |name: &str| samples.iter().any(|s| s.name == name);
+    let mut missing = Vec::new();
+    for series in [
+        "task_state_done_total",
+        "task_state_scheduled_total",
+        "task_state_submitted_total",
+        "service_queue_depth",
+        "service_active_sessions",
+        "rts_pool_warm",
+        "service_submitted_tenant0_total",
+        "service_completed_tenant0_total",
+    ] {
+        if !has(series) {
+            missing.push(series);
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "key series missing from scrape: {missing:?}"
+    );
+    assert!(
+        samples
+            .iter()
+            .any(|s| s.name.starts_with("mq_queue_") && s.name.ends_with("_depth")),
+        "no per-queue depth gauge in scrape"
+    );
+    println!(
+        "/metrics ok: {} samples, {} histograms",
+        samples.len(),
+        histograms.len()
+    );
+
+    // Settle the held-open run before reading the flight recorder.
+    let result = client.wait(slow_id, TIMEOUT).expect("held run settles");
+    assert!(result.outcome.is_success());
+
+    // ---- /statusz ------------------------------------------------------
+    let (head, statusz_body) = http_get(addr, "/statusz");
+    assert!(head.starts_with("HTTP/1.0 200"), "/statusz: {head}");
+    std::fs::write(&out_statusz, &statusz_body).expect("write statusz artifact");
+    println!("wrote {out_statusz} ({} bytes)", statusz_body.len());
+
+    let doc = json::parse(&statusz_body).expect("statusz is valid JSON");
+    assert_eq!(
+        doc.get("healthy").and_then(|v| v.as_bool()),
+        Some(true),
+        "service must report healthy"
+    );
+    let completed = doc
+        .get("totals")
+        .and_then(|t| t.get("completed"))
+        .and_then(|v| v.as_f64())
+        .expect("totals.completed");
+    assert_eq!(completed, (n_wf + 1) as f64, "every session accounted for");
+    let cp_tasks = doc
+        .get("critical_path")
+        .and_then(|c| c.get("tasks"))
+        .and_then(|v| v.as_f64())
+        .expect("critical_path.tasks");
+    assert_eq!(
+        cp_tasks,
+        (n_wf * tasks + 1) as f64,
+        "every task's trace folded into the critical path"
+    );
+
+    // ---- /healthz ------------------------------------------------------
+    let (head, body) = http_get(addr, "/healthz");
+    assert!(
+        head.starts_with("HTTP/1.0 200") && body == "ok\n",
+        "/healthz: {head}"
+    );
+
+    service.shutdown();
+    println!("telemetry smoke passed");
+}

@@ -422,6 +422,10 @@ pub(crate) struct Ctx {
     sync_serial: [Mutex<()>; component::ALL.len()],
     /// Unit tests bypass the queues and apply transitions inline.
     inline_sync: bool,
+    /// Per-stage residency aggregate over completed per-task hop timelines;
+    /// Dequeue folds each settled attempt's `TraceCtx` in, the final
+    /// [`RunReport`] carries the result.
+    pub critical_path: Mutex<entk_observe::CriticalPath>,
 }
 
 impl Ctx {
@@ -456,6 +460,7 @@ impl Ctx {
             exec,
             sync_serial: std::array::from_fn(|_| Mutex::new(())),
             inline_sync: false,
+            critical_path: Mutex::new(entk_observe::CriticalPath::new()),
         })
     }
 
@@ -489,6 +494,7 @@ impl Ctx {
             exec: ExecManagerConfig::default(),
             sync_serial: std::array::from_fn(|_| Mutex::new(())),
             inline_sync: true,
+            critical_path: Mutex::new(entk_observe::CriticalPath::new()),
         })
     }
 
@@ -742,6 +748,11 @@ pub struct RunReport {
     /// §IV-A2); `None` when tracing was off. The legacy [`Profiler`]-based
     /// [`RunReport::overheads`] is kept as an independent cross-check.
     pub trace_overheads: Option<OverheadReport>,
+    /// Per-stage residency decomposition aggregated from the per-task
+    /// `TraceCtx` hop timelines (empty when tracing was off) — the live
+    /// counterpart of [`RunReport::trace_overheads`], derived from the
+    /// tasks themselves instead of the global event stream.
+    pub critical_path: entk_observe::CriticalPath,
 }
 
 impl RunReport {
@@ -1119,10 +1130,12 @@ impl AppManager {
         let trace_overheads = recorder
             .is_enabled()
             .then(|| OverheadReport::from_trace(&recorder.snapshot()));
+        let critical_path = std::mem::take(&mut *ctx.critical_path.lock());
         Ok(RunReport {
             overheads,
             recorder,
             trace_overheads,
+            critical_path,
             emulated,
             rts_profile,
             unit_records: records,

@@ -20,7 +20,7 @@ use crate::messages::{self, component, AttemptOutcome};
 use crate::states::TaskState;
 use crossbeam::channel::RecvTimeoutError;
 use entk_mq::Message;
-use entk_observe::components as obs;
+use entk_observe::{components as obs, hops};
 use parking_lot::{Mutex, RwLock};
 use rp_rts::{
     PilotDescription, PilotId, PilotLease, PilotState, RtsConfig, RuntimeSystem, UnitCallback,
@@ -313,13 +313,24 @@ fn emgr_loop(ctx: Arc<Ctx>, pools: Arc<RtsPools>) {
                 .map(|d| {
                     let uid = messages::parse_pending(&d.message);
                     match wf.task(&uid) {
-                        Some(t) => PendingItem {
-                            tag: d.tag,
-                            uid,
-                            state: Some(t.state()),
-                            unit: Some(t.to_unit()),
-                            pool: t.resource_pool.clone(),
-                        },
+                        Some(t) => {
+                            let mut unit = t.to_unit();
+                            // Carry the causal trace from the Pending message
+                            // onto the unit so it rides through the RTS.
+                            if ctx.recorder.is_enabled() {
+                                if let Some(mut trace) = d.message.trace() {
+                                    trace.hop(obs::EMGR, hops::EMGR_DEQUEUE, ctx.recorder.now_ns());
+                                    unit.trace = Some(trace);
+                                }
+                            }
+                            PendingItem {
+                                tag: d.tag,
+                                uid,
+                                state: Some(t.state()),
+                                unit: Some(unit),
+                                pool: t.resource_pool.clone(),
+                            }
+                        }
                         None => PendingItem {
                             tag: d.tag,
                             uid,
@@ -434,6 +445,16 @@ fn emgr_loop(ctx: Arc<Ctx>, pools: Arc<RtsPools>) {
             if to_submit.is_empty() {
                 continue;
             }
+            // Stamp the submit hop on every traced unit at the handoff
+            // boundary (one clock read for the whole batch).
+            if ctx.recorder.is_enabled() {
+                let now = ctx.recorder.now_ns();
+                for unit in &mut to_submit {
+                    if let Some(trace) = unit.trace.as_mut() {
+                        trace.hop(obs::EMGR, hops::RTS_SUBMIT, now);
+                    }
+                }
+            }
             // One bulk submission per pool (the RTS amortizes its DB
             // round-trips over the batch). On failure the RTS died
             // mid-batch: the tasks are Submitted, so the Heartbeat sweep
@@ -481,6 +502,21 @@ fn attempt_outcome(cb: &UnitCallback) -> AttemptOutcome {
     }
 }
 
+/// Done-queue message for a terminal callback, carrying the unit's causal
+/// trace (stamped with the callback hop) back toward Dequeue when tracing
+/// is on.
+fn traced_done_message(ctx: &Ctx, cb: &UnitCallback) -> Message {
+    let msg = messages::done_message(&cb.tag, &attempt_outcome(cb));
+    match &cb.trace {
+        Some(trace) if ctx.recorder.is_enabled() => {
+            let mut trace = trace.clone();
+            trace.hop(obs::EMGR, hops::CALLBACK, ctx.recorder.now_ns());
+            msg.with_trace(&trace)
+        }
+        _ => msg,
+    }
+}
+
 fn callback_loop(ctx: Arc<Ctx>, slot: Arc<RtsSlot>) {
     let cfg = ctx.exec.clone();
     while ctx.running.load(Ordering::Acquire) {
@@ -512,7 +548,7 @@ fn callback_loop(ctx: Arc<Ctx>, slot: Arc<RtsSlot>) {
                     .iter()
                     .zip(applied)
                     .filter(|(_, ok)| *ok)
-                    .map(|(c, _)| messages::done_message(&c.tag, &attempt_outcome(c)))
+                    .map(|(c, _)| traced_done_message(&ctx, c))
                     .collect();
                 if !done.is_empty() {
                     let _ = ctx.broker.publish_batch(ctx.ns.done(), done);
@@ -529,12 +565,11 @@ fn callback_loop(ctx: Arc<Ctx>, slot: Arc<RtsSlot>) {
                     .recorder
                     .span(obs::EMGR, "callback")
                     .with_uid(cb.tag.clone());
-                let outcome = attempt_outcome(&cb);
                 // Mark the attempt Executed, then notify Dequeue.
                 if ctx.sync_task(component::CALLBACK, &cb.tag, TaskState::Executed) {
                     let _ = ctx
                         .broker
-                        .publish(ctx.ns.done(), messages::done_message(&cb.tag, &outcome));
+                        .publish(ctx.ns.done(), traced_done_message(&ctx, &cb));
                 }
                 drop(span);
                 ctx.profiler.add_management(t0.elapsed());

@@ -157,6 +157,14 @@ pub(crate) fn apply_task(ctx: &Ctx, uid: &str, state: TaskState) -> bool {
     }
     ctx.journal("task", uid, &name, state.name());
     ctx.profiler.count_transition();
+    // Per-state transition counters (`task.state.<state>`) for the live
+    // exposition plane; skipped when untraced to keep the hot path lean.
+    if ctx.recorder.is_enabled() {
+        ctx.recorder
+            .metrics()
+            .counter(&format!("task.state.{}", state.name()))
+            .incr();
+    }
 
     // Maintain the in-flight counter behind the Enqueue throttle: a task is
     // in flight from Scheduling until it settles or rejoins the pool.

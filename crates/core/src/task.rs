@@ -136,6 +136,7 @@ impl Task {
             cores: self.cpu_reqs,
             gpus: self.gpu_reqs,
             staging: self.staging.clone(),
+            trace: None,
         }
     }
 }

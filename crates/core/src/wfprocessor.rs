@@ -10,7 +10,7 @@ use crate::appmanager::{Ctx, ExecutionStrategy};
 use crate::messages::{self, component, AttemptOutcome};
 use crate::states::TaskState;
 use entk_mq::Message;
-use entk_observe::components as obs;
+use entk_observe::{components as obs, hops, TraceCtx};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -97,7 +97,7 @@ fn enqueue_batched(ctx: &Ctx, ready: &[String]) -> bool {
             .iter()
             .zip(scheduled)
             .filter(|(_, ok)| *ok)
-            .map(|(uid, _)| messages::pending_message(uid))
+            .map(|(uid, _)| traced_pending_message(ctx, uid))
             .collect();
         if !pending.is_empty() {
             let _ = ctx.broker.publish_batch(ctx.ns.pending(), pending);
@@ -132,9 +132,21 @@ fn enqueue_per_task(ctx: &Ctx, ready: &[String]) -> bool {
         }
         let _ = ctx
             .broker
-            .publish(ctx.ns.pending(), messages::pending_message(uid));
+            .publish(ctx.ns.pending(), traced_pending_message(ctx, uid));
     }
     true
+}
+
+/// Pending-queue message for a tagged task, with the causal trace's first
+/// hop stamped when tracing is on. Untraced runs publish the plain message —
+/// the whole trace plane costs nothing when the recorder is disabled.
+fn traced_pending_message(ctx: &Ctx, uid: &str) -> Message {
+    let msg = messages::pending_message(uid);
+    if !ctx.recorder.is_enabled() {
+        return msg;
+    }
+    let trace = TraceCtx::new(uid).with_hop(obs::ENQ, hops::ENQUEUE, ctx.recorder.now_ns());
+    msg.with_trace(&trace)
 }
 
 fn dequeue_loop(ctx: Arc<Ctx>) {
@@ -157,7 +169,7 @@ fn dequeue_loop(ctx: Arc<Ctx>) {
                 .with_payload(batch.len().to_string());
             for d in &batch {
                 let (uid, outcome) = messages::parse_done(&d.message);
-                handle_outcome(&ctx, &uid, outcome);
+                handle_outcome(&ctx, &uid, outcome, dequeued_trace(&ctx, &d.message));
             }
             // Dequeue is the Done queue's only consumer, so one cumulative
             // ack settles the whole batch.
@@ -177,7 +189,7 @@ fn dequeue_loop(ctx: Arc<Ctx>) {
             let t0 = Instant::now();
             let (uid, outcome) = messages::parse_done(&delivery.message);
             let span = ctx.recorder.span(obs::DEQ, "handle").with_uid(uid.clone());
-            handle_outcome(&ctx, &uid, outcome);
+            handle_outcome(&ctx, &uid, outcome, dequeued_trace(&ctx, &delivery.message));
             let _ = ctx.broker.ack(ctx.ns.done(), delivery.tag);
             drop(span);
             ctx.profiler.add_management(t0.elapsed());
@@ -202,14 +214,36 @@ fn adapt_cap(ctx: &Ctx, success: bool) {
         });
 }
 
+/// Pull the accumulated causal trace off a Done-queue delivery and stamp
+/// the dequeue hop. `None` when tracing is off or the message carries no
+/// trace (e.g. heartbeat Lost sweeps).
+fn dequeued_trace(ctx: &Ctx, message: &Message) -> Option<TraceCtx> {
+    if !ctx.recorder.is_enabled() {
+        return None;
+    }
+    let mut trace = message.trace()?;
+    trace.hop(obs::DEQ, hops::DEQUEUE, ctx.recorder.now_ns());
+    Some(trace)
+}
+
+/// Apply the attempt's settling transition, stamp the final `synced` hop,
+/// and fold the completed timeline into the run's critical-path aggregate.
+fn settle(ctx: &Ctx, uid: &str, state: TaskState, trace: Option<TraceCtx>) {
+    ctx.sync_task(component::DEQUEUE, uid, state);
+    if let Some(mut trace) = trace {
+        trace.hop(obs::SYNC, hops::SYNCED, ctx.recorder.now_ns());
+        ctx.critical_path.lock().add(&trace);
+    }
+}
+
 /// Decide a task's fate from its attempt outcome.
-fn handle_outcome(ctx: &Ctx, uid: &str, outcome: AttemptOutcome) {
+fn handle_outcome(ctx: &Ctx, uid: &str, outcome: AttemptOutcome, trace: Option<TraceCtx>) {
     match outcome {
         AttemptOutcome::Done => {
             ctx.profiler.count_attempt_done();
             ctx.recorder.record(obs::DEQ, "attempt_done", uid, "");
             adapt_cap(ctx, true);
-            ctx.sync_task(component::DEQUEUE, uid, TaskState::Done);
+            settle(ctx, uid, TaskState::Done, trace);
         }
         AttemptOutcome::Failed(reason) => {
             ctx.profiler.count_attempt_failed();
@@ -234,11 +268,13 @@ fn handle_outcome(ctx: &Ctx, uid: &str, outcome: AttemptOutcome) {
             // run stops retrying: the attempt settles to Canceled.
             let may_retry = !ctx.cancel.is_canceled() && budget.is_none_or(|n| attempts <= n);
             if may_retry {
+                // Retried attempts don't settle: the re-enqueue starts a
+                // fresh timeline, so the partial trace is dropped.
                 ctx.sync_task(component::DEQUEUE, uid, TaskState::Described);
             } else if ctx.cancel.is_canceled() {
-                ctx.sync_task(component::DEQUEUE, uid, TaskState::Canceled);
+                settle(ctx, uid, TaskState::Canceled, trace);
             } else {
-                ctx.sync_task(component::DEQUEUE, uid, TaskState::Failed);
+                settle(ctx, uid, TaskState::Failed, trace);
             }
         }
         AttemptOutcome::Canceled => {
@@ -262,7 +298,7 @@ fn handle_outcome(ctx: &Ctx, uid: &str, outcome: AttemptOutcome) {
             if may_retry {
                 ctx.sync_task(component::DEQUEUE, uid, TaskState::Described);
             } else {
-                ctx.sync_task(component::DEQUEUE, uid, TaskState::Canceled);
+                settle(ctx, uid, TaskState::Canceled, trace);
             }
         }
         AttemptOutcome::Lost => {
@@ -272,7 +308,7 @@ fn handle_outcome(ctx: &Ctx, uid: &str, outcome: AttemptOutcome) {
             ctx.profiler.count_attempt_failed();
             ctx.recorder.record(obs::DEQ, "attempt_failed", uid, "lost");
             if ctx.cancel.is_canceled() {
-                ctx.sync_task(component::DEQUEUE, uid, TaskState::Canceled);
+                settle(ctx, uid, TaskState::Canceled, trace);
             } else {
                 ctx.sync_task(component::DEQUEUE, uid, TaskState::Described);
             }
@@ -315,7 +351,7 @@ mod tests {
     fn done_outcome_completes_task() {
         let (ctx, uid) = single_task_ctx(Some(0));
         to_executed(&ctx, &uid);
-        handle_outcome(&ctx, &uid, AttemptOutcome::Done);
+        handle_outcome(&ctx, &uid, AttemptOutcome::Done, None);
         assert_eq!(
             ctx.workflow.lock().task(&uid).unwrap().state(),
             TaskState::Done
@@ -326,7 +362,7 @@ mod tests {
     fn failed_within_budget_resubmits() {
         let (ctx, uid) = single_task_ctx(Some(1));
         to_executed(&ctx, &uid);
-        handle_outcome(&ctx, &uid, AttemptOutcome::Failed("crash".into()));
+        handle_outcome(&ctx, &uid, AttemptOutcome::Failed("crash".into()), None);
         let wf = ctx.workflow.lock();
         let task = wf.task(&uid).unwrap();
         assert_eq!(task.state(), TaskState::Described, "must rejoin the pool");
@@ -337,7 +373,7 @@ mod tests {
     fn failed_beyond_budget_is_terminal() {
         let (ctx, uid) = single_task_ctx(Some(0));
         to_executed(&ctx, &uid); // attempts = 1 > budget 0
-        handle_outcome(&ctx, &uid, AttemptOutcome::Failed("crash".into()));
+        handle_outcome(&ctx, &uid, AttemptOutcome::Failed("crash".into()), None);
         assert_eq!(
             ctx.workflow.lock().task(&uid).unwrap().state(),
             TaskState::Failed
@@ -349,7 +385,7 @@ mod tests {
         let (ctx, uid) = single_task_ctx(None);
         for _ in 0..5 {
             to_executed(&ctx, &uid);
-            handle_outcome(&ctx, &uid, AttemptOutcome::Failed("x".into()));
+            handle_outcome(&ctx, &uid, AttemptOutcome::Failed("x".into()), None);
             assert_eq!(
                 ctx.workflow.lock().task(&uid).unwrap().state(),
                 TaskState::Described
@@ -369,7 +405,7 @@ mod tests {
         ] {
             assert!(ctx.sync_task("test", uid.as_str(), s));
         }
-        handle_outcome(&ctx, &uid, AttemptOutcome::Lost);
+        handle_outcome(&ctx, &uid, AttemptOutcome::Lost, None);
         // Lost does not consume the (zero) retry budget.
         assert_eq!(
             ctx.workflow.lock().task(&uid).unwrap().state(),
@@ -381,7 +417,7 @@ mod tests {
     fn canceled_beyond_budget_terminal() {
         let (ctx, uid) = single_task_ctx(Some(0));
         to_executed(&ctx, &uid);
-        handle_outcome(&ctx, &uid, AttemptOutcome::Canceled);
+        handle_outcome(&ctx, &uid, AttemptOutcome::Canceled, None);
         assert_eq!(
             ctx.workflow.lock().task(&uid).unwrap().state(),
             TaskState::Canceled
@@ -391,7 +427,7 @@ mod tests {
     #[test]
     fn unknown_uid_is_ignored() {
         let (ctx, _) = single_task_ctx(Some(0));
-        handle_outcome(&ctx, "task.424242", AttemptOutcome::Done);
+        handle_outcome(&ctx, "task.424242", AttemptOutcome::Done, None);
         // No panic, no state change.
         assert_eq!(ctx.workflow.lock().count_in(TaskState::Described), 1);
     }

@@ -134,6 +134,10 @@ struct Registry {
     /// a single atomic load and nothing else.
     armed: AtomicUsize,
     points: Mutex<HashMap<String, Failpoint>>,
+    /// Optional live-telemetry sink: every fire increments the counter
+    /// `fail.<name>.trips` here, so chaos runs can prove over a scrape that
+    /// each armed failpoint actually fired.
+    sink: Mutex<Option<std::sync::Arc<entk_observe::Metrics>>>,
 }
 
 fn registry() -> &'static Registry {
@@ -141,7 +145,34 @@ fn registry() -> &'static Registry {
     REGISTRY.get_or_init(|| Registry {
         armed: AtomicUsize::new(0),
         points: Mutex::new(HashMap::new()),
+        sink: Mutex::new(None),
     })
+}
+
+/// Install a metrics registry to receive `fail.<name>.trips` counters on
+/// every failpoint fire. Replaces any previous sink. The sink is cleared on
+/// [`scenario`] entry and on [`ScenarioGuard`] drop, so install it *after*
+/// entering a scenario.
+pub fn set_metrics_sink(metrics: std::sync::Arc<entk_observe::Metrics>) {
+    *registry().sink.lock() = Some(metrics);
+}
+
+/// Remove the installed metrics sink, if any.
+pub fn clear_metrics_sink() {
+    *registry().sink.lock() = None;
+}
+
+/// Snapshot every registered failpoint as `(name, hits, fires)`,
+/// name-sorted — the `/statusz` flight-recorder view of the registry.
+pub fn snapshot() -> Vec<(String, u64, u64)> {
+    let mut out: Vec<(String, u64, u64)> = registry()
+        .points
+        .lock()
+        .iter()
+        .map(|(name, p)| (name.clone(), p.hits, p.fires))
+        .collect();
+    out.sort();
+    out
 }
 
 /// Arm `name` with a trigger, action, and fire budget. Re-arming an armed
@@ -222,7 +253,16 @@ pub fn hit(name: &str) -> Option<InjectedAction> {
 
 #[cold]
 fn hit_slow(reg: &Registry, name: &str) -> Option<InjectedAction> {
-    reg.points.lock().get_mut(name)?.on_hit()
+    let action = reg.points.lock().get_mut(name)?.on_hit();
+    if action.is_some() {
+        // Counter increment happens outside the points lock; the sink is
+        // only consulted on actual fires, which are rare by construction.
+        let sink = reg.sink.lock().clone();
+        if let Some(metrics) = sink {
+            metrics.counter(&format!("fail.{name}.trips")).incr();
+        }
+    }
+    action
 }
 
 /// Like [`hit`], but sleeps in place when the fired action is
@@ -259,6 +299,7 @@ pub struct ScenarioGuard {
 impl Drop for ScenarioGuard {
     fn drop(&mut self) {
         disarm_all();
+        clear_metrics_sink();
     }
 }
 
@@ -268,6 +309,7 @@ pub fn scenario() -> ScenarioGuard {
     static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
     let lock = LOCK.get_or_init(|| Mutex::new(())).lock();
     disarm_all();
+    clear_metrics_sink();
     ScenarioGuard { _lock: lock }
 }
 
@@ -361,6 +403,55 @@ mod tests {
         let _s = scenario();
         assert_eq!(hit("test.leak"), None);
         assert_eq!(hits("test.leak"), 0, "registry cleared between scenarios");
+    }
+
+    #[test]
+    fn fires_increment_trip_counters_in_installed_sink() {
+        let _s = scenario();
+        let metrics = std::sync::Arc::new(entk_observe::Metrics::default());
+        set_metrics_sink(std::sync::Arc::clone(&metrics));
+        arm(
+            "test.trips",
+            Trigger::EveryNth(2),
+            InjectedAction::Fail,
+            None,
+        );
+        for _ in 0..6 {
+            let _ = hit("test.trips");
+        }
+        assert_eq!(fires("test.trips"), 3);
+        assert_eq!(metrics.counter("fail.test.trips.trips").get(), 3);
+        // Non-firing hits don't count as trips.
+        assert_eq!(hits("test.trips"), 6);
+    }
+
+    #[test]
+    fn scenario_entry_and_exit_clear_the_sink() {
+        let metrics = std::sync::Arc::new(entk_observe::Metrics::default());
+        {
+            let _s = scenario();
+            set_metrics_sink(std::sync::Arc::clone(&metrics));
+            arm_once("test.sink_cleared", InjectedAction::Fail);
+            assert!(hit("test.sink_cleared").is_some());
+        }
+        let _s = scenario();
+        arm_once("test.sink_cleared", InjectedAction::Fail);
+        assert!(hit("test.sink_cleared").is_some());
+        // Only the fire inside the sink's scenario was counted.
+        assert_eq!(metrics.counter("fail.test.sink_cleared.trips").get(), 1);
+    }
+
+    #[test]
+    fn snapshot_lists_registered_failpoints_sorted() {
+        let _s = scenario();
+        arm("test.b", Trigger::EveryNth(1), InjectedAction::Fail, None);
+        arm("test.a", Trigger::EveryNth(1), InjectedAction::Fail, None);
+        let _ = hit("test.b");
+        let snap = snapshot();
+        assert_eq!(
+            snap,
+            vec![("test.a".to_string(), 0, 0), ("test.b".to_string(), 1, 1),]
+        );
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub struct BrokerConfig {
     /// If set, queues record publish-to-deliver / deliver-to-ack latency
     /// histograms into the recorder's metrics registry, queue lifecycle
     /// events enter the trace, and a background sampler feeds
-    /// `mq.depth.<queue>` / `mq.unacked.<queue>` gauges.
+    /// `mq.queue.<queue>.depth` / `mq.queue.<queue>.unacked` gauges.
     pub recorder: Option<Recorder>,
     /// Sampling period for the queue-depth gauges; defaults to 25 ms. Only
     /// meaningful together with `recorder`.
@@ -451,7 +451,7 @@ impl Default for Broker {
     }
 }
 
-/// Background thread feeding `mq.depth.<queue>` and `mq.unacked.<queue>`
+/// Background thread feeding `mq.queue.<queue>.depth` and `mq.queue.<queue>.unacked`
 /// gauges. Holds only a [`Weak`] to the broker so it never keeps it alive;
 /// it exits when the broker closes or is dropped (within one interval).
 fn spawn_depth_sampler(inner: Weak<BrokerInner>, recorder: Recorder, interval: Duration) {
@@ -469,10 +469,10 @@ fn spawn_depth_sampler(inner: Weak<BrokerInner>, recorder: Recorder, interval: D
             for (name, handle) in queues.iter() {
                 let metrics = recorder.metrics();
                 metrics
-                    .gauge(&format!("mq.depth.{name}"))
+                    .gauge(&format!("mq.queue.{name}.depth"))
                     .set(handle.depth() as i64);
                 metrics
-                    .gauge(&format!("mq.unacked.{name}"))
+                    .gauge(&format!("mq.queue.{name}.unacked"))
                     .set(handle.unacked_count() as i64);
             }
         })
@@ -596,6 +596,39 @@ mod tests {
     }
 
     #[test]
+    fn trace_headers_survive_crash_recovery_redelivery() {
+        let path = tmp_journal("trace_recover");
+        let ctx = entk_observe::TraceCtx::new("task.0007")
+            .with_hop("enq", entk_observe::hops::ENQUEUE, 1_000)
+            .with_hop("emgr", entk_observe::hops::EMGR_DEQUEUE, 2_500);
+        {
+            let b = Broker::with_config(BrokerConfig {
+                journal_path: Some(path.clone()),
+                ..Default::default()
+            })
+            .unwrap();
+            b.declare_queue("pending", QueueConfig::durable()).unwrap();
+            b.publish("pending", Message::persistent("task.0007").with_trace(&ctx))
+                .unwrap();
+            // In-process redelivery (nack-requeue) keeps the trace.
+            let d = b.get("pending").unwrap().unwrap();
+            b.nack("pending", d.tag).unwrap();
+            let d = b.get("pending").unwrap().unwrap();
+            assert!(d.redelivered);
+            assert_eq!(d.message.trace(), Some(ctx.clone()));
+            // Crash with the delivery unacked.
+        }
+        let b = Broker::recover(&path).unwrap();
+        let d = b.get("pending").unwrap().unwrap();
+        assert_eq!(
+            d.message.trace(),
+            Some(ctx),
+            "hop list survives journal replay byte-for-byte"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
     fn recovery_of_empty_durable_queue() {
         let path = tmp_journal("empty");
         {
@@ -669,12 +702,12 @@ mod tests {
         let gauges = rec.metrics().gauges();
         let depth = gauges
             .iter()
-            .find(|(n, _, _)| n == "mq.depth.obs")
+            .find(|(n, _, _)| n == "mq.queue.obs.depth")
             .expect("sampler wrote depth gauge");
         assert_eq!(depth.1, 8, "8 messages still ready");
         let unacked = gauges
             .iter()
-            .find(|(n, _, _)| n == "mq.unacked.obs")
+            .find(|(n, _, _)| n == "mq.queue.obs.unacked")
             .expect("sampler wrote unacked gauge");
         assert_eq!(unacked.1, 1, "one delivery not yet acked");
 

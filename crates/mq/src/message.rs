@@ -50,6 +50,22 @@ impl Message {
         self
     }
 
+    /// Attach an encoded [`TraceCtx`](entk_observe::TraceCtx) as the
+    /// [`entk_observe::TRACE_HEADER`] header, builder-style. Headers are
+    /// journaled alongside the payload, so the trace survives broker
+    /// crash-recovery redelivery.
+    pub fn with_trace(self, trace: &entk_observe::TraceCtx) -> Self {
+        self.with_header(entk_observe::TRACE_HEADER, trace.encode())
+    }
+
+    /// Decode the carried [`TraceCtx`](entk_observe::TraceCtx), if the
+    /// trace header is present and well-formed.
+    pub fn trace(&self) -> Option<entk_observe::TraceCtx> {
+        self.headers
+            .get(entk_observe::TRACE_HEADER)
+            .and_then(|v| entk_observe::TraceCtx::decode(v))
+    }
+
     /// Payload length in bytes.
     pub fn len(&self) -> usize {
         self.payload.len()
@@ -118,6 +134,14 @@ mod tests {
     fn headers_builder() {
         let m = Message::new("x").with_header("kind", "task");
         assert_eq!(m.headers.get("kind").map(String::as_str), Some("task"));
+    }
+
+    #[test]
+    fn trace_header_roundtrips() {
+        let ctx = entk_observe::TraceCtx::new("task.0042").with_hop("enq", "enqueue", 123);
+        let m = Message::persistent("x").with_trace(&ctx);
+        assert_eq!(m.trace(), Some(ctx));
+        assert_eq!(Message::new("y").trace(), None);
     }
 
     #[test]

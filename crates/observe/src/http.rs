@@ -1,0 +1,329 @@
+//! Dependency-free live exposition: a one-thread HTTP listener serving
+//! `/metrics` (Prometheus text), `/statusz` (JSON flight-recorder snapshot
+//! supplied by the embedder), and `/healthz`; plus a generic background
+//! [`Sampler`] that periodically folds instantaneous state (queue depths,
+//! pool occupancy, DB round-trip counters) into gauges so a scrape sees
+//! current values, not just monotone totals.
+
+use crate::metrics::Metrics;
+use crate::prom;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Telemetry-plane knobs for embedders (the ensemble service). The default
+/// is fully off: no listener, so standalone runs are unaffected.
+#[derive(Debug, Clone)]
+pub struct ObserveConfig {
+    /// Address for the exposition listener; `None` disables it. Use port 0
+    /// to bind an ephemeral port (see [`ObserveServer::local_addr`]).
+    pub listen_addr: Option<SocketAddr>,
+    /// Background sampler period for depth/occupancy gauges.
+    pub sample_interval: Duration,
+}
+
+impl Default for ObserveConfig {
+    fn default() -> Self {
+        ObserveConfig {
+            listen_addr: None,
+            sample_interval: Duration::from_millis(100),
+        }
+    }
+}
+
+impl ObserveConfig {
+    /// Enable the listener on `addr`.
+    pub fn with_listen_addr(mut self, addr: SocketAddr) -> Self {
+        self.listen_addr = Some(addr);
+        self
+    }
+
+    /// Set the sampler period.
+    pub fn with_sample_interval(mut self, interval: Duration) -> Self {
+        self.sample_interval = interval;
+        self
+    }
+}
+
+/// Producer of the `/statusz` JSON body, injected by the embedder so the
+/// listener stays dependency-free.
+pub type StatuszFn = Arc<dyn Fn() -> String + Send + Sync>;
+
+/// One-thread HTTP/1.0-style exposition server over std [`TcpListener`].
+///
+/// Routes: `GET /metrics` (text/plain, Prometheus 0.0.4), `GET /statusz`
+/// (application/json via the injected closure), `GET /healthz` (`ok`);
+/// anything else is a 404. One request per connection; no keep-alive. The
+/// thread polls a nonblocking accept loop so [`ObserveServer::stop`] (and
+/// Drop) terminate promptly.
+pub struct ObserveServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ObserveServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObserveServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl ObserveServer {
+    /// Bind `addr` and start serving.
+    pub fn start(
+        addr: SocketAddr,
+        metrics: Arc<Metrics>,
+        statusz: StatuszFn,
+    ) -> std::io::Result<ObserveServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let bound = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("observe-http".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => serve_one(stream, &metrics, &statusz),
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                    }
+                }
+            })
+            .expect("spawn observe-http thread");
+        Ok(ObserveServer {
+            addr: bound,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// Actual bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the accept loop and join the thread.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ObserveServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn serve_one(mut stream: TcpStream, metrics: &Metrics, statusz: &StatuszFn) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    // Read up to the end of the request line; headers are irrelevant and a
+    // short read still contains the path for well-behaved clients.
+    let mut buf = [0u8; 1024];
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                filled += n;
+                if buf[..filled].windows(2).any(|w| w == b"\r\n") {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let request = String::from_utf8_lossy(&buf[..filled]);
+    let mut parts = request.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain",
+            "method not allowed\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => ("200 OK", "text/plain; version=0.0.4", prom::encode(metrics)),
+            "/statusz" => ("200 OK", "application/json", statusz()),
+            "/healthz" => ("200 OK", "text/plain", "ok\n".to_string()),
+            _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+        }
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.flush();
+}
+
+/// Background thread invoking a closure on a fixed period — used to fold
+/// broker queue depths, pool occupancy, and DocDb round-trip counters into
+/// gauges. Runs the closure once immediately so short-lived runs still
+/// publish at least one sample. Stops on Drop.
+pub struct Sampler {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Sampler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sampler").finish()
+    }
+}
+
+impl Sampler {
+    /// Start sampling `f` every `interval`.
+    pub fn start(interval: Duration, mut f: impl FnMut() + Send + 'static) -> Sampler {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let interval = interval.max(Duration::from_millis(1));
+        let handle = std::thread::Builder::new()
+            .name("observe-sampler".into())
+            .spawn(move || {
+                f();
+                // Sleep in small slices so Drop doesn't block a full period.
+                let slice = interval.min(Duration::from_millis(20));
+                let mut elapsed = Duration::ZERO;
+                while !stop2.load(Ordering::Relaxed) {
+                    std::thread::sleep(slice);
+                    elapsed += slice;
+                    if elapsed >= interval {
+                        elapsed = Duration::ZERO;
+                        f();
+                    }
+                }
+                // Final sample so the last gauges reflect end-of-run state.
+                f();
+            })
+            .expect("spawn observe-sampler thread");
+        Sampler {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stop the sampler and join the thread (one final sample runs first).
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.0\r\nHost: test\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        stream.read_to_string(&mut resp).unwrap();
+        let (head, body) = resp.split_once("\r\n\r\n").expect("has header/body split");
+        (head.to_string(), body.to_string())
+    }
+
+    fn server() -> (ObserveServer, Arc<Metrics>) {
+        let metrics = Arc::new(Metrics::default());
+        let statusz: StatuszFn = Arc::new(|| "{\"healthy\":true}".to_string());
+        let srv = ObserveServer::start(
+            "127.0.0.1:0".parse().unwrap(),
+            Arc::clone(&metrics),
+            statusz,
+        )
+        .expect("bind");
+        (srv, metrics)
+    }
+
+    #[test]
+    fn healthz_and_statusz_respond() {
+        let (srv, _m) = server();
+        let (head, body) = get(srv.local_addr(), "/healthz");
+        assert!(head.contains("200 OK"), "{head}");
+        assert_eq!(body, "ok\n");
+        let (head, body) = get(srv.local_addr(), "/statusz");
+        assert!(head.contains("application/json"), "{head}");
+        assert_eq!(body, "{\"healthy\":true}");
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_valid_prometheus_text() {
+        let (srv, m) = server();
+        m.counter("tasks.done").add(3);
+        m.gauge("mq.queue.pending.depth").set(5);
+        m.histogram("service.turnaround")
+            .record(Duration::from_millis(2));
+        let (head, body) = get(srv.local_addr(), "/metrics");
+        assert!(head.contains("200 OK"), "{head}");
+        assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+        let samples = prom::parse(&body).expect("parses");
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "tasks_done_total" && s.value == 3.0));
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "mq_queue_pending_depth" && s.value == 5.0));
+        prom::validate_histograms(&samples).expect("histograms valid");
+    }
+
+    #[test]
+    fn unknown_path_is_404_and_post_is_405() {
+        let (srv, _m) = server();
+        let (head, _) = get(srv.local_addr(), "/nope");
+        assert!(head.contains("404"), "{head}");
+        let mut stream = TcpStream::connect(srv.local_addr()).unwrap();
+        write!(stream, "POST /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        stream.read_to_string(&mut resp).unwrap();
+        assert!(resp.contains("405"), "{resp}");
+    }
+
+    #[test]
+    fn server_stops_cleanly() {
+        let (mut srv, _m) = server();
+        let addr = srv.local_addr();
+        srv.stop();
+        assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err());
+    }
+
+    #[test]
+    fn sampler_runs_immediately_and_periodically() {
+        let ticks = Arc::new(AtomicU64::new(0));
+        let t2 = Arc::clone(&ticks);
+        let mut sampler = Sampler::start(Duration::from_millis(10), move || {
+            t2.fetch_add(1, Ordering::Relaxed);
+        });
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while ticks.load(Ordering::Relaxed) < 3 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(ticks.load(Ordering::Relaxed) >= 3, "sampler ticked");
+        sampler.stop();
+        let after = ticks.load(Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(ticks.load(Ordering::Relaxed), after, "no ticks after stop");
+    }
+}

@@ -27,13 +27,18 @@
 
 pub mod event;
 pub mod export;
+pub mod http;
 pub mod json;
 pub mod metrics;
+pub mod prom;
 pub mod recorder;
+pub mod trace;
 
 pub use event::Event;
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Metrics};
+pub use http::{ObserveConfig, ObserveServer, Sampler, StatuszFn};
+pub use metrics::{Counter, Gauge, Histogram, HistogramExport, HistogramSnapshot, Metrics};
 pub use recorder::{Recorder, Span};
+pub use trace::{hops, CriticalPath, Hop, StageResidency, TraceCtx, TRACE_HEADER};
 
 /// Component names used across the workspace, centralized so traces from all
 /// layers agree on spelling.

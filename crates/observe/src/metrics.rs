@@ -145,16 +145,88 @@ impl Histogram {
         self.max_ns.load(Ordering::Relaxed)
     }
 
-    /// Consistent snapshot-ish view for reporting (individual loads are
-    /// relaxed; adequate for post-run reports).
+    /// One relaxed pass over the bucket array into a local copy, so every
+    /// statistic derived from it sees the same set of samples.
+    fn load_buckets(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Quantile over a frozen bucket view; same rank rule as
+    /// [`Histogram::quantile_ns`].
+    fn quantile_of(buckets: &[u64; BUCKETS], n: u64, max_ns: u64, q: f64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, b) in buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return bucket_midpoint_ns(i);
+            }
+        }
+        max_ns
+    }
+
+    /// Consistent point-in-time view for reporting. The bucket array is read
+    /// once into a local copy and count/mean/quantiles all derive from that
+    /// single view, so they cannot disagree with each other under concurrent
+    /// recording (previously each statistic made its own pass over the live
+    /// buckets).
     pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = self.load_buckets();
+        let count: u64 = buckets.iter().sum();
+        let max_ns = self.max_ns.load(Ordering::Relaxed);
+        // sum_ns is read after the buckets: it may include a few samples the
+        // bucket copy missed, but mean is derived from the bucket-view count
+        // so it stays a plausible average rather than drifting wildly.
+        let mean_ns = self
+            .sum_ns
+            .load(Ordering::Relaxed)
+            .checked_div(count)
+            .unwrap_or(0);
         HistogramSnapshot {
-            count: self.count(),
-            mean_ns: self.mean_ns(),
-            p50_ns: self.quantile_ns(0.50),
-            p95_ns: self.quantile_ns(0.95),
-            p99_ns: self.quantile_ns(0.99),
-            max_ns: self.max_ns.load(Ordering::Relaxed),
+            count,
+            mean_ns,
+            p50_ns: Self::quantile_of(&buckets, count, max_ns, 0.50),
+            p95_ns: Self::quantile_of(&buckets, count, max_ns, 0.95),
+            p99_ns: Self::quantile_of(&buckets, count, max_ns, 0.99),
+            max_ns,
+        }
+    }
+
+    /// Full-fidelity export for scrape endpoints: cumulative bucket counts
+    /// with inclusive nanosecond upper bounds, trimmed at the highest
+    /// non-empty bucket. The implicit `+Inf` bucket equals `count`. Derived
+    /// from the same single bucket view as [`Histogram::snapshot`], so
+    /// cumulative counts are monotone and the last one equals `count`.
+    pub fn export(&self) -> HistogramExport {
+        let buckets = self.load_buckets();
+        let count: u64 = buckets.iter().sum();
+        let sum_ns = self.sum_ns.load(Ordering::Relaxed);
+        let max_ns = self.max_ns.load(Ordering::Relaxed);
+        let highest = buckets.iter().rposition(|&b| b > 0);
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        if let Some(hi) = highest {
+            for (i, b) in buckets.iter().enumerate().take(hi + 1) {
+                cum += b;
+                // Bucket i covers [2^(i-1), 2^i) ns; inclusive upper bound.
+                let le = if i == 0 {
+                    0
+                } else if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << i) - 1
+                };
+                out.push((le, cum));
+            }
+        }
+        HistogramExport {
+            count,
+            sum_ns,
+            max_ns,
+            buckets: out,
         }
     }
 }
@@ -174,6 +246,22 @@ pub struct HistogramSnapshot {
     pub p99_ns: u64,
     /// Largest recorded sample.
     pub max_ns: u64,
+}
+
+/// Full-fidelity histogram view for exposition: cumulative log-bucket
+/// counts suitable for Prometheus `_bucket`/`_sum`/`_count` series.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramExport {
+    /// Sample count (sum of the bucket view).
+    pub count: u64,
+    /// Sum of all samples, nanoseconds.
+    pub sum_ns: u64,
+    /// Largest recorded sample, nanoseconds.
+    pub max_ns: u64,
+    /// `(inclusive_upper_bound_ns, cumulative_count)` pairs in ascending
+    /// bound order, trimmed at the highest non-empty bucket; the implicit
+    /// `+Inf` bucket equals `count`.
+    pub buckets: Vec<(u64, u64)>,
 }
 
 /// Registry of named metrics. Get-or-create on first use; handles are
@@ -238,6 +326,16 @@ impl Metrics {
             .map(|(k, v)| (k.clone(), v.snapshot()))
             .collect()
     }
+
+    /// All histograms, name-sorted, as full cumulative-bucket exports.
+    pub fn histogram_exports(&self) -> Vec<(String, HistogramExport)> {
+        self.histograms
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.export()))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -292,6 +390,73 @@ mod tests {
         assert_eq!(h.count(), 2);
         assert_eq!(h.quantile_ns(0.01), 0);
         assert!(h.quantile_ns(1.0) > 1u64 << 62);
+    }
+
+    #[test]
+    fn export_buckets_are_cumulative_and_end_at_count() {
+        let h = Histogram::default();
+        h.record_ns(0);
+        for _ in 0..10 {
+            h.record_ns(1_000);
+        }
+        h.record_ns(1_000_000);
+        let e = h.export();
+        assert_eq!(e.count, 12);
+        assert_eq!(e.sum_ns, 10_000 + 1_000_000);
+        assert!(
+            e.buckets.windows(2).all(|w| w[0].0 < w[1].0),
+            "bounds ascend"
+        );
+        assert!(e.buckets.windows(2).all(|w| w[0].1 <= w[1].1), "cumulative");
+        assert_eq!(e.buckets.last().unwrap().1, e.count, "last bucket == count");
+        assert_eq!(
+            e.buckets[0],
+            (0, 1),
+            "zero sample lands in the {{0}} bucket"
+        );
+    }
+
+    #[test]
+    fn export_empty_histogram_has_no_buckets() {
+        let h = Histogram::default();
+        let e = h.export();
+        assert_eq!(e.count, 0);
+        assert!(e.buckets.is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_internally_consistent_under_concurrent_recording() {
+        let h = Arc::new(Histogram::default());
+        let stop = Arc::new(AtomicU64::new(0));
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut ns = 1u64 + t;
+                    while stop.load(Ordering::Relaxed) == 0 {
+                        h.record_ns(ns);
+                        ns = ns.wrapping_mul(6364136223846793005).wrapping_add(1) % (1 << 30);
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..200 {
+            let s = h.snapshot();
+            // Quantiles derive from the same view as count, so a non-empty
+            // snapshot always yields ordered quantiles within range.
+            if s.count > 0 {
+                assert!(s.p50_ns <= s.p95_ns && s.p95_ns <= s.p99_ns);
+            }
+            let e = h.export();
+            if let Some(&(_, last)) = e.buckets.last() {
+                assert_eq!(last, e.count);
+            }
+        }
+        stop.store(1, Ordering::Relaxed);
+        for w in writers {
+            w.join().unwrap();
+        }
     }
 
     #[test]

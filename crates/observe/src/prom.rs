@@ -1,0 +1,374 @@
+//! Prometheus text exposition (format 0.0.4) for a [`Metrics`] registry,
+//! plus a small parser used by tests and the telemetry smoke job to prove a
+//! scrape is well-formed without an external Prometheus dependency.
+//!
+//! Mapping:
+//! - counters → `<name>_total` (`# TYPE counter`)
+//! - gauges → `<name>` and `<name>_high_water` (`# TYPE gauge`)
+//! - histograms → `<name>_seconds` family: cumulative
+//!   `_bucket{le="<secs>"}` series in ascending bound order, an explicit
+//!   `{le="+Inf"}` bucket equal to `_count`, plus `_sum` (seconds) and
+//!   `_count` (`# TYPE histogram`)
+//!
+//! Dotted internal names (`mq.queue.pending.depth`) are sanitized to the
+//! Prometheus grammar (`mq_queue_pending_depth`).
+
+use crate::metrics::Metrics;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Rewrite `name` into the Prometheus metric-name grammar
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`; every invalid character becomes `_`, and a
+/// leading digit is prefixed with `_`.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let valid =
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if valid {
+            out.push(c);
+        } else if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escape a label value per the text format: backslash, double quote, and
+/// newline.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format seconds the way Prometheus clients conventionally do: shortest
+/// round-trippable float.
+fn secs(ns: u64) -> String {
+    format!("{}", ns as f64 / 1e9)
+}
+
+/// Render the whole registry as one scrape body.
+pub fn encode(metrics: &Metrics) -> String {
+    let mut out = String::new();
+    for (name, value) in metrics.counters() {
+        let n = sanitize_name(&name);
+        let _ = writeln!(out, "# TYPE {n}_total counter");
+        let _ = writeln!(out, "{n}_total {value}");
+    }
+    for (name, value, high_water) in metrics.gauges() {
+        let n = sanitize_name(&name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {value}");
+        let _ = writeln!(out, "# TYPE {n}_high_water gauge");
+        let _ = writeln!(out, "{n}_high_water {high_water}");
+    }
+    for (name, export) in metrics.histogram_exports() {
+        let n = format!("{}_seconds", sanitize_name(&name));
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        for (le_ns, cum) in &export.buckets {
+            let _ = writeln!(out, "{n}_bucket{{le=\"{}\"}} {cum}", secs(*le_ns));
+        }
+        let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", export.count);
+        let _ = writeln!(out, "{n}_sum {}", secs(export.sum_ns));
+        let _ = writeln!(out, "{n}_count {}", export.count);
+    }
+    out
+}
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name (including `_total`/`_bucket`/... suffixes).
+    pub name: String,
+    /// Label pairs in source order (only `le` is emitted by [`encode`]).
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// Minimal parse of a text-format scrape body: skips `#` comment/metadata
+/// lines, returns every sample, and errors on any line that doesn't match
+/// `name{labels} value` / `name value`. Not a full OpenMetrics parser — just
+/// enough rigor to fail CI on a malformed scrape.
+pub fn parse(body: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    for (lineno, line) in body.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name_part, rest) = match line.find('{') {
+            Some(brace) => {
+                let close = line
+                    .rfind('}')
+                    .ok_or_else(|| format!("line {}: unclosed label set: {line}", lineno + 1))?;
+                (&line[..brace], {
+                    let labels = &line[brace + 1..close];
+                    let value = line[close + 1..].trim();
+                    (labels, value)
+                })
+            }
+            None => {
+                let mut it = line.splitn(2, char::is_whitespace);
+                let name = it.next().unwrap_or_default();
+                let value = it.next().unwrap_or_default().trim();
+                (name, ("", value))
+            }
+        };
+        let (labels_str, value_str) = rest;
+        let name = name_part.trim();
+        if name.is_empty()
+            || !name.chars().enumerate().all(|(i, c)| {
+                c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+            })
+        {
+            return Err(format!("line {}: bad metric name {name:?}", lineno + 1));
+        }
+        let mut labels = Vec::new();
+        if !labels_str.is_empty() {
+            for pair in split_labels(labels_str) {
+                let (k, v) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("line {}: bad label {pair:?}", lineno + 1))?;
+                let v = v.trim();
+                if !(v.starts_with('"') && v.ends_with('"') && v.len() >= 2) {
+                    return Err(format!("line {}: unquoted label value {v:?}", lineno + 1));
+                }
+                labels.push((k.trim().to_string(), unescape_label(&v[1..v.len() - 1])));
+            }
+        }
+        let value = parse_value(value_str)
+            .ok_or_else(|| format!("line {}: bad sample value {value_str:?}", lineno + 1))?;
+        samples.push(Sample {
+            name: name.to_string(),
+            labels,
+            value,
+        });
+    }
+    Ok(samples)
+}
+
+/// Split a label body on commas that are outside quoted values.
+fn split_labels(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            '\\' if in_quotes => escaped = !escaped,
+            '"' if !escaped => in_quotes = !in_quotes,
+            ',' if !in_quotes => {
+                if !s[start..i].trim().is_empty() {
+                    out.push(&s[start..i]);
+                }
+                start = i + 1;
+            }
+            _ => escaped = false,
+        }
+        if c != '\\' {
+            escaped = false;
+        }
+    }
+    if !s[start..].trim().is_empty() {
+        out.push(&s[start..]);
+    }
+    out
+}
+
+fn unescape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn parse_value(s: &str) -> Option<f64> {
+    match s {
+        "+Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        other => other.parse().ok(),
+    }
+}
+
+/// Validate every histogram family in a parsed scrape: `le` bounds strictly
+/// ascend, cumulative counts are monotone non-decreasing, the `+Inf` bucket
+/// exists and equals `_count`. Returns family names checked.
+pub fn validate_histograms(samples: &[Sample]) -> Result<Vec<String>, String> {
+    let mut buckets: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+    let mut counts: BTreeMap<String, f64> = BTreeMap::new();
+    for s in samples {
+        if let Some(fam) = s.name.strip_suffix("_bucket") {
+            let le = s
+                .labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .ok_or_else(|| format!("{}: _bucket without le label", s.name))?;
+            let bound =
+                parse_value(&le.1).ok_or_else(|| format!("{}: bad le {:?}", s.name, le.1))?;
+            buckets
+                .entry(fam.to_string())
+                .or_default()
+                .push((bound, s.value));
+        } else if let Some(fam) = s.name.strip_suffix("_count") {
+            counts.insert(fam.to_string(), s.value);
+        }
+    }
+    let mut checked = Vec::new();
+    for (fam, series) in &buckets {
+        for w in series.windows(2) {
+            if w[1].0 <= w[0].0 {
+                return Err(format!(
+                    "{fam}: le bounds not ascending ({} then {})",
+                    w[0].0, w[1].0
+                ));
+            }
+            if w[1].1 < w[0].1 {
+                return Err(format!(
+                    "{fam}: cumulative counts decrease ({} at le={} then {} at le={})",
+                    w[0].1, w[0].0, w[1].1, w[1].0
+                ));
+            }
+        }
+        let last = series.last().ok_or_else(|| format!("{fam}: no buckets"))?;
+        if !last.0.is_infinite() {
+            return Err(format!("{fam}: missing +Inf bucket"));
+        }
+        let count = counts
+            .get(fam)
+            .ok_or_else(|| format!("{fam}: missing _count series"))?;
+        if (last.1 - count).abs() > f64::EPSILON {
+            return Err(format!("{fam}: +Inf bucket {} != _count {count}", last.1));
+        }
+        checked.push(fam.clone());
+    }
+    Ok(checked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn sanitize_rewrites_invalid_chars() {
+        assert_eq!(
+            sanitize_name("mq.queue.s00001.pending.depth"),
+            "mq_queue_s00001_pending_depth"
+        );
+        assert_eq!(
+            sanitize_name("fail.mq-journal.trips"),
+            "fail_mq_journal_trips"
+        );
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name(""), "_");
+        assert_eq!(sanitize_name("ok_name:x9"), "ok_name:x9");
+    }
+
+    #[test]
+    fn label_escaping_roundtrips_through_parser() {
+        let raw = "a\"b\\c\nd";
+        let escaped = escape_label_value(raw);
+        let body = format!("m{{le=\"{escaped}\"}} 1\n");
+        let samples = parse(&body).expect("parses");
+        assert_eq!(samples[0].labels[0].1, raw);
+    }
+
+    #[test]
+    fn encode_counters_and_gauges() {
+        let m = Metrics::default();
+        m.counter("tasks.done").add(7);
+        m.gauge("pool.warm").set(3);
+        m.gauge("pool.warm").set(2);
+        let body = encode(&m);
+        assert!(body.contains("# TYPE tasks_done_total counter"));
+        assert!(body.contains("tasks_done_total 7"));
+        assert!(body.contains("pool_warm 2"));
+        assert!(body.contains("pool_warm_high_water 3"));
+        parse(&body).expect("scrape parses");
+    }
+
+    #[test]
+    fn encode_histogram_is_valid_and_monotone() {
+        let m = Metrics::default();
+        let h = m.histogram("service.turnaround");
+        h.record(Duration::from_micros(5));
+        h.record(Duration::from_millis(2));
+        h.record(Duration::from_millis(40));
+        let body = encode(&m);
+        let samples = parse(&body).expect("parses");
+        let fams = validate_histograms(&samples).expect("histograms valid");
+        assert_eq!(fams, vec!["service_turnaround_seconds".to_string()]);
+        // _sum/_count agree with the snapshot.
+        let snap = h.snapshot();
+        let count = samples
+            .iter()
+            .find(|s| s.name == "service_turnaround_seconds_count")
+            .unwrap();
+        assert_eq!(count.value as u64, snap.count);
+        let sum = samples
+            .iter()
+            .find(|s| s.name == "service_turnaround_seconds_sum")
+            .unwrap();
+        let expect_sum = 5e-6 + 2e-3 + 40e-3;
+        assert!((sum.value - expect_sum).abs() < 1e-6, "sum={}", sum.value);
+    }
+
+    #[test]
+    fn validator_rejects_non_monotone_buckets() {
+        let body = "h_bucket{le=\"0.001\"} 5\nh_bucket{le=\"0.01\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_count 5\n";
+        let samples = parse(body).unwrap();
+        let err = validate_histograms(&samples).unwrap_err();
+        assert!(err.contains("decrease"), "{err}");
+    }
+
+    #[test]
+    fn validator_requires_inf_bucket_matching_count() {
+        let body = "h_bucket{le=\"0.001\"} 5\nh_bucket{le=\"+Inf\"} 5\nh_count 9\n";
+        let samples = parse(body).unwrap();
+        let err = validate_histograms(&samples).unwrap_err();
+        assert!(err.contains("_count"), "{err}");
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse("bad name 1\n").is_err());
+        assert!(parse("name{le=\"x\" 1\n").is_err());
+        assert!(parse("name notanumber\n").is_err());
+        assert!(parse("name{le=unquoted} 1\n").is_err());
+    }
+
+    #[test]
+    fn parser_accepts_special_values_and_comments() {
+        let body = "# HELP x something\n# TYPE x gauge\nx +Inf\ny -Inf\nz 1e-9\n";
+        let s = parse(body).unwrap();
+        assert_eq!(s.len(), 3);
+        assert!(s[0].value.is_infinite());
+        assert_eq!(s[2].value, 1e-9);
+    }
+}

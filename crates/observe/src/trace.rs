@@ -1,0 +1,471 @@
+//! Per-task causal tracing: a compact [`TraceCtx`] that travels with a task
+//! through every layer, and a [`CriticalPath`] aggregator that rolls the
+//! per-task hop timelines into the paper's Fig. 7-style per-stage residency
+//! decomposition.
+//!
+//! A `TraceCtx` is the task's uid plus an append-only list of hops, each a
+//! `(component, state, t_ns)` triple stamped when the task crosses a
+//! component boundary (Enqueue → pending queue → Emgr → RTS submit → agent
+//! execute → callback → Dequeue → Sync). It rides along as a broker message
+//! header ([`TRACE_HEADER`]) and as a field on RTS unit documents, so any
+//! single task can answer "where did my time go" without correlating the
+//! global event stream.
+//!
+//! All hop timestamps are nanoseconds on the owning [`crate::Recorder`]'s
+//! clock (`Recorder::now_ns`), the same clock the event stream uses — which
+//! is what makes the aggregate cross-checkable against
+//! `OverheadReport::from_trace`.
+
+use std::fmt::Write as _;
+
+/// Broker message header key carrying an encoded [`TraceCtx`].
+pub const TRACE_HEADER: &str = "entk-trace";
+
+/// Canonical hop state names, one per pipeline boundary, centralized so
+/// every layer (entk-core, rp-rts) agrees on spelling and the
+/// [`CriticalPath`] segments line up across runs.
+pub mod hops {
+    /// Enqueue tagged the task and published it to the Pending queue.
+    pub const ENQUEUE: &str = "enqueue";
+    /// The Emgr pulled the task's message off the Pending queue.
+    pub const EMGR_DEQUEUE: &str = "emgr_dequeue";
+    /// The Emgr handed the task's unit to the RTS (`submit_units`).
+    pub const RTS_SUBMIT: &str = "rts_submit";
+    /// The agent started executing the unit.
+    pub const AGENT_START: &str = "agent_start";
+    /// The unit reached a terminal state on the agent.
+    pub const AGENT_END: &str = "agent_end";
+    /// The RTS Callback thread received the terminal callback.
+    pub const CALLBACK: &str = "callback";
+    /// Dequeue pulled the task's message off the Done queue.
+    pub const DEQUEUE: &str = "dequeue";
+    /// The Synchronizer applied the attempt's settling transition.
+    pub const SYNCED: &str = "synced";
+}
+
+/// One boundary crossing: which component, which boundary, when.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hop {
+    /// Component that stamped the hop (see [`crate::components`]).
+    pub component: String,
+    /// Boundary name (see [`hops`]).
+    pub state: String,
+    /// Nanoseconds on the run's trace clock.
+    pub t_ns: u64,
+}
+
+/// Compact causal trace of one task attempt.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Task uid the trace belongs to.
+    pub uid: String,
+    /// Boundary crossings in stamp order.
+    pub hops: Vec<Hop>,
+}
+
+/// Escape the wire-format delimiters (`%`, `|`, `;`, `:`) in a field.
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            '|' => out.push_str("%7C"),
+            ';' => out.push_str("%3B"),
+            ':' => out.push_str("%3A"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Undo [`escape`]. Invalid escapes pass through verbatim.
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' && i + 2 < bytes.len() + 1 && i + 3 <= bytes.len() {
+            match &s[i + 1..i + 3] {
+                "25" => out.push('%'),
+                "7C" => out.push('|'),
+                "3B" => out.push(';'),
+                "3A" => out.push(':'),
+                _ => {
+                    out.push('%');
+                    i += 1;
+                    continue;
+                }
+            }
+            i += 3;
+        } else {
+            out.push(s.as_bytes()[i] as char);
+            i += 1;
+        }
+    }
+    out
+}
+
+impl TraceCtx {
+    /// Fresh trace for one task attempt.
+    pub fn new(uid: impl Into<String>) -> Self {
+        TraceCtx {
+            uid: uid.into(),
+            hops: Vec::new(),
+        }
+    }
+
+    /// Append a boundary crossing.
+    pub fn hop(&mut self, component: &str, state: &str, t_ns: u64) {
+        self.hops.push(Hop {
+            component: component.to_string(),
+            state: state.to_string(),
+            t_ns,
+        });
+    }
+
+    /// Builder-style [`TraceCtx::hop`].
+    pub fn with_hop(mut self, component: &str, state: &str, t_ns: u64) -> Self {
+        self.hop(component, state, t_ns);
+        self
+    }
+
+    /// Timestamp of the first hop with the given boundary name.
+    pub fn hop_t(&self, state: &str) -> Option<u64> {
+        self.hops.iter().find(|h| h.state == state).map(|h| h.t_ns)
+    }
+
+    /// Nanoseconds from first to last hop (0 with fewer than two hops).
+    pub fn total_ns(&self) -> u64 {
+        match (self.hops.first(), self.hops.last()) {
+            (Some(a), Some(b)) => b.t_ns.saturating_sub(a.t_ns),
+            _ => 0,
+        }
+    }
+
+    /// Wire format: `uid|comp:state:t_ns;comp:state:t_ns;...` with the
+    /// delimiters percent-escaped inside fields. Compact enough for a
+    /// message header and stable across journal round-trips.
+    pub fn encode(&self) -> String {
+        let mut out = String::with_capacity(16 + self.hops.len() * 24);
+        escape(&self.uid, &mut out);
+        out.push('|');
+        for (i, h) in self.hops.iter().enumerate() {
+            if i > 0 {
+                out.push(';');
+            }
+            escape(&h.component, &mut out);
+            out.push(':');
+            escape(&h.state, &mut out);
+            let _ = write!(out, ":{}", h.t_ns);
+        }
+        out
+    }
+
+    /// Parse the wire format; `None` on malformed input.
+    pub fn decode(s: &str) -> Option<TraceCtx> {
+        let (uid, rest) = s.split_once('|')?;
+        let mut ctx = TraceCtx::new(unescape(uid));
+        if rest.is_empty() {
+            return Some(ctx);
+        }
+        for hop in rest.split(';') {
+            let mut parts = hop.splitn(3, ':');
+            let component = parts.next()?;
+            let state = parts.next()?;
+            let t_ns: u64 = parts.next()?.parse().ok()?;
+            ctx.hops.push(Hop {
+                component: unescape(component),
+                state: unescape(state),
+                t_ns,
+            });
+        }
+        Some(ctx)
+    }
+}
+
+/// Aggregated residency of one pipeline segment (the span between two
+/// consecutive hops) across all tasks fed to a [`CriticalPath`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StageResidency {
+    /// Segment label, `"<from>-><to>"` in hop-state names.
+    pub stage: String,
+    /// Sum of the segment's per-task durations, nanoseconds.
+    pub total_ns: u64,
+    /// How many tasks contributed.
+    pub count: u64,
+    /// Largest single-task duration seen, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl StageResidency {
+    /// Mean per-task residency in seconds.
+    pub fn mean_secs(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.total_ns as f64 / self.count as f64 / 1e9
+    }
+
+    /// Total residency in seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.total_ns as f64 / 1e9
+    }
+}
+
+/// Rolls per-task hop timelines into a per-stage residency decomposition —
+/// the Fig. 7 "where did the time go" answer, derived from the tasks
+/// themselves instead of the global event stream.
+///
+/// Segments are labeled by their bounding hop states (first-seen order, i.e.
+/// pipeline order). Per-state first/last timestamps are kept so windows like
+/// *first agent_start → last agent_end* (the trace report's task-execution
+/// makespan) can be compared against `OverheadReport::from_trace`.
+#[derive(Debug, Clone, Default)]
+pub struct CriticalPath {
+    stages: Vec<StageResidency>,
+    /// (state, min t_ns, max t_ns) over every hop with that state.
+    state_bounds: Vec<(String, u64, u64)>,
+    tasks: u64,
+    total_ns: u64,
+}
+
+impl CriticalPath {
+    /// Empty aggregate.
+    pub fn new() -> Self {
+        CriticalPath::default()
+    }
+
+    /// Fold one task's hop timeline in. Out-of-order stamps (clock skew
+    /// between threads) contribute a zero-width segment rather than
+    /// corrupting the totals.
+    pub fn add(&mut self, ctx: &TraceCtx) {
+        if ctx.hops.is_empty() {
+            return;
+        }
+        self.tasks += 1;
+        self.total_ns += ctx.total_ns();
+        for h in &ctx.hops {
+            match self.state_bounds.iter_mut().find(|(s, _, _)| *s == h.state) {
+                Some((_, lo, hi)) => {
+                    *lo = (*lo).min(h.t_ns);
+                    *hi = (*hi).max(h.t_ns);
+                }
+                None => self.state_bounds.push((h.state.clone(), h.t_ns, h.t_ns)),
+            }
+        }
+        for pair in ctx.hops.windows(2) {
+            let label = format!("{}->{}", pair[0].state, pair[1].state);
+            let d = pair[1].t_ns.saturating_sub(pair[0].t_ns);
+            match self.stages.iter_mut().find(|s| s.stage == label) {
+                Some(s) => {
+                    s.total_ns += d;
+                    s.count += 1;
+                    s.max_ns = s.max_ns.max(d);
+                }
+                None => self.stages.push(StageResidency {
+                    stage: label,
+                    total_ns: d,
+                    count: 1,
+                    max_ns: d,
+                }),
+            }
+        }
+    }
+
+    /// Merge another aggregate in (e.g. per-run aggregates into a
+    /// service-lifetime one).
+    pub fn merge(&mut self, other: &CriticalPath) {
+        self.tasks += other.tasks;
+        self.total_ns += other.total_ns;
+        for (state, lo, hi) in &other.state_bounds {
+            match self.state_bounds.iter_mut().find(|(s, _, _)| s == state) {
+                Some((_, l, h)) => {
+                    *l = (*l).min(*lo);
+                    *h = (*h).max(*hi);
+                }
+                None => self.state_bounds.push((state.clone(), *lo, *hi)),
+            }
+        }
+        for o in &other.stages {
+            match self.stages.iter_mut().find(|s| s.stage == o.stage) {
+                Some(s) => {
+                    s.total_ns += o.total_ns;
+                    s.count += o.count;
+                    s.max_ns = s.max_ns.max(o.max_ns);
+                }
+                None => self.stages.push(o.clone()),
+            }
+        }
+    }
+
+    /// Number of hop timelines folded in.
+    pub fn tasks(&self) -> u64 {
+        self.tasks
+    }
+
+    /// Sum over tasks of first-hop → last-hop nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns
+    }
+
+    /// Segments in pipeline (first-seen) order.
+    pub fn stages(&self) -> &[StageResidency] {
+        &self.stages
+    }
+
+    /// One segment by label (`"enqueue->emgr_dequeue"` etc.).
+    pub fn stage(&self, label: &str) -> Option<&StageResidency> {
+        self.stages.iter().find(|s| s.stage == label)
+    }
+
+    /// Wall window in seconds from the earliest hop with state `from` to the
+    /// latest hop with state `to` — e.g.
+    /// `window_secs(hops::AGENT_START, hops::AGENT_END)` is the task
+    /// execution makespan, directly comparable to the trace report's.
+    pub fn window_secs(&self, from: &str, to: &str) -> Option<f64> {
+        let lo = self
+            .state_bounds
+            .iter()
+            .find(|(s, _, _)| s == from)
+            .map(|(_, lo, _)| *lo)?;
+        let hi = self
+            .state_bounds
+            .iter()
+            .find(|(s, _, _)| s == to)
+            .map(|(_, _, hi)| *hi)?;
+        Some(hi.saturating_sub(lo) as f64 / 1e9)
+    }
+
+    /// Human-readable residency table.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "critical path over {} task timeline(s):", self.tasks);
+        for s in &self.stages {
+            let _ = writeln!(
+                out,
+                "  {:<28} total {:>12.6}s  mean {:>12.9}s  max {:>12.9}s  n={}",
+                s.stage,
+                s.total_secs(),
+                s.mean_secs(),
+                s.max_ns as f64 / 1e9,
+                s.count
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let ctx = TraceCtx::new("task.0001")
+            .with_hop("enq", hops::ENQUEUE, 10)
+            .with_hop("emgr", hops::EMGR_DEQUEUE, 25)
+            .with_hop("rts", hops::AGENT_START, 100);
+        let enc = ctx.encode();
+        assert_eq!(TraceCtx::decode(&enc), Some(ctx));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(TraceCtx::decode(""), None);
+        assert_eq!(TraceCtx::decode("uid-without-bar"), None);
+        assert_eq!(TraceCtx::decode("u|comp:state:notanumber"), None);
+        assert_eq!(TraceCtx::decode("u|comp:state"), None);
+    }
+
+    #[test]
+    fn empty_hops_roundtrip() {
+        let ctx = TraceCtx::new("task.0002");
+        assert_eq!(TraceCtx::decode(&ctx.encode()), Some(ctx));
+    }
+
+    #[test]
+    fn delimiters_in_uid_survive() {
+        let ctx = TraceCtx::new("weird|uid;with:stuff%").with_hop("c", "s", 1);
+        let back = TraceCtx::decode(&ctx.encode()).expect("decodes");
+        assert_eq!(back.uid, "weird|uid;with:stuff%");
+        assert_eq!(back.hops, ctx.hops);
+    }
+
+    #[test]
+    fn hop_queries() {
+        let ctx = TraceCtx::new("t")
+            .with_hop("a", "x", 5)
+            .with_hop("b", "y", 17)
+            .with_hop("c", "x", 40);
+        assert_eq!(ctx.hop_t("x"), Some(5), "first match wins");
+        assert_eq!(ctx.hop_t("y"), Some(17));
+        assert_eq!(ctx.hop_t("nope"), None);
+        assert_eq!(ctx.total_ns(), 35);
+    }
+
+    #[test]
+    fn critical_path_aggregates_segments() {
+        let mut cp = CriticalPath::new();
+        for (base, exec) in [(0u64, 100u64), (50, 300)] {
+            cp.add(
+                &TraceCtx::new("t")
+                    .with_hop("enq", hops::ENQUEUE, base)
+                    .with_hop("rts", hops::AGENT_START, base + 10)
+                    .with_hop("rts", hops::AGENT_END, base + 10 + exec),
+            );
+        }
+        assert_eq!(cp.tasks(), 2);
+        let seg = cp.stage("agent_start->agent_end").unwrap();
+        assert_eq!(seg.count, 2);
+        assert_eq!(seg.total_ns, 400);
+        assert_eq!(seg.max_ns, 300);
+        // Window: earliest start (10) to latest end (360).
+        let w = cp.window_secs(hops::AGENT_START, hops::AGENT_END).unwrap();
+        assert!((w - 350e-9).abs() < 1e-15);
+        // Stage totals sum to the per-task end-to-end total.
+        let sum: u64 = cp.stages().iter().map(|s| s.total_ns).sum();
+        assert_eq!(sum, cp.total_ns());
+    }
+
+    #[test]
+    fn critical_path_merge_combines() {
+        let mut a = CriticalPath::new();
+        a.add(
+            &TraceCtx::new("t1")
+                .with_hop("x", "s1", 0)
+                .with_hop("y", "s2", 10),
+        );
+        let mut b = CriticalPath::new();
+        b.add(
+            &TraceCtx::new("t2")
+                .with_hop("x", "s1", 5)
+                .with_hop("y", "s2", 25),
+        );
+        a.merge(&b);
+        assert_eq!(a.tasks(), 2);
+        assert_eq!(a.stage("s1->s2").unwrap().total_ns, 30);
+        assert_eq!(a.window_secs("s1", "s2"), Some(25e-9));
+    }
+
+    #[test]
+    fn out_of_order_stamps_are_zero_width() {
+        let mut cp = CriticalPath::new();
+        cp.add(
+            &TraceCtx::new("t")
+                .with_hop("a", "s1", 100)
+                .with_hop("b", "s2", 40),
+        );
+        assert_eq!(cp.stage("s1->s2").unwrap().total_ns, 0);
+    }
+
+    #[test]
+    fn report_lists_stages() {
+        let mut cp = CriticalPath::new();
+        cp.add(
+            &TraceCtx::new("t")
+                .with_hop("enq", hops::ENQUEUE, 0)
+                .with_hop("deq", hops::DEQUEUE, 1000),
+        );
+        let r = cp.report();
+        assert!(r.contains("enqueue->dequeue"));
+        assert!(r.contains("1 task timeline"));
+    }
+}

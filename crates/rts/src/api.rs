@@ -103,6 +103,11 @@ pub struct UnitDescription {
     pub gpus: u32,
     /// Data staging directives.
     pub staging: StagingSpec,
+    /// Causal trace carried through the RTS: hops accumulated upstream
+    /// (EnTK enqueue/emgr) ride on the unit document, the agent appends its
+    /// execute hops, and the terminal callback hands the whole timeline
+    /// back.
+    pub trace: Option<entk_observe::TraceCtx>,
 }
 
 impl UnitDescription {
@@ -114,7 +119,14 @@ impl UnitDescription {
             cores: 1,
             gpus: 0,
             staging: StagingSpec::none(),
+            trace: None,
         }
+    }
+
+    /// Builder: attach a causal trace.
+    pub fn with_trace(mut self, trace: entk_observe::TraceCtx) -> Self {
+        self.trace = Some(trace);
+        self
     }
 
     /// Builder: set cores.
@@ -195,6 +207,10 @@ pub struct UnitCallback {
     /// (virtual seconds for the simulated backend, wall seconds since RTS
     /// start for the local backend).
     pub timestamp_secs: f64,
+    /// Causal trace handed back with terminal callbacks: the unit's
+    /// upstream hops plus the agent's `agent_start`/`agent_end` hops.
+    /// `None` on non-terminal callbacks and for untraced units.
+    pub trace: Option<entk_observe::TraceCtx>,
 }
 
 #[cfg(test)]

@@ -53,6 +53,10 @@ pub struct UnitDoc {
     pub state: UnitState,
     /// State history (state, order index).
     pub history: Vec<UnitState>,
+    /// Encoded causal trace ([`entk_observe::TraceCtx`] wire format)
+    /// carried from the submitting client, so an operator reading the
+    /// document sees where the unit has been.
+    pub trace: Option<String>,
 }
 
 struct Store {
@@ -103,7 +107,13 @@ impl DocDb {
         }
     }
 
-    fn insert_unit_locked(st: &mut Store, agent: u64, unit: UnitId, tag: String) {
+    fn insert_unit_locked(
+        st: &mut Store,
+        agent: u64,
+        unit: UnitId,
+        tag: String,
+        trace: Option<String>,
+    ) {
         st.docs.insert(
             unit,
             UnitDoc {
@@ -111,6 +121,7 @@ impl DocDb {
                 tag,
                 state: UnitState::New,
                 history: vec![UnitState::New],
+                trace,
             },
         );
         st.queues.entry(agent).or_default().push_back(unit);
@@ -122,21 +133,21 @@ impl DocDb {
         self.charge();
         let mut st = self.store.lock();
         st.round_trips += 1;
-        Self::insert_unit_locked(&mut st, agent, unit, tag);
+        Self::insert_unit_locked(&mut st, agent, unit, tag, None);
     }
 
     /// Bulk-insert unit documents for an agent in **one** round trip,
     /// modeling a MongoDB `bulk_write` of N inserts: one `op_latency`
-    /// charge, N documents.
-    pub fn insert_units(&self, agent: u64, units: Vec<(UnitId, String)>) {
+    /// charge, N documents. Each entry is `(unit, tag, encoded trace)`.
+    pub fn insert_units(&self, agent: u64, units: Vec<(UnitId, String, Option<String>)>) {
         if units.is_empty() {
             return;
         }
         self.charge();
         let mut st = self.store.lock();
         st.round_trips += 1;
-        for (unit, tag) in units {
-            Self::insert_unit_locked(&mut st, agent, unit, tag);
+        for (unit, tag, trace) in units {
+            Self::insert_unit_locked(&mut st, agent, unit, tag, trace);
         }
     }
 
@@ -372,7 +383,12 @@ mod tests {
     #[test]
     fn bulk_insert_charges_one_round_trip() {
         let db = DocDb::new(DbConfig::default());
-        db.insert_units(0, (1..=50).map(|i| (UnitId(i), format!("t{i}"))).collect());
+        db.insert_units(
+            0,
+            (1..=50)
+                .map(|i| (UnitId(i), format!("t{i}"), None))
+                .collect(),
+        );
         assert_eq!(db.op_count(), 1, "one bulk_write round trip");
         assert_eq!(db.doc_count(), 50, "fifty documents inserted");
         assert_eq!(db.queued_for(0), 50);
@@ -384,7 +400,10 @@ mod tests {
     #[test]
     fn bulk_update_states_charges_one_round_trip() {
         let db = DocDb::new(DbConfig::default());
-        db.insert_units(0, vec![(UnitId(1), "a".into()), (UnitId(2), "b".into())]);
+        db.insert_units(
+            0,
+            vec![(UnitId(1), "a".into(), None), (UnitId(2), "b".into(), None)],
+        );
         let before = db.op_count();
         db.update_states(&[
             (UnitId(1), UnitState::Executing),
@@ -404,7 +423,7 @@ mod tests {
             ..Default::default()
         });
         let t0 = std::time::Instant::now();
-        db.insert_units(0, (1..=20).map(|i| (UnitId(i), "t".into())).collect());
+        db.insert_units(0, (1..=20).map(|i| (UnitId(i), "t".into(), None)).collect());
         let elapsed = t0.elapsed();
         assert!(elapsed >= Duration::from_millis(5), "one charge applies");
         assert!(

@@ -185,7 +185,7 @@ fn worker_loop(
     epoch: Instant,
     recorder: Recorder,
 ) {
-    while let Ok((id, desc)) = work_rx.recv() {
+    while let Ok((id, mut desc)) = work_rx.recv() {
         if !alive.load(Ordering::Acquire) {
             continue; // killed: drain without executing
         }
@@ -196,6 +196,16 @@ fn worker_loop(
                 r.started_secs = Some(started);
             }
         }
+        // agent_start/agent_end hops are stamped adjacent to the
+        // unit_started/unit_ended events, on the recorder's clock, so the
+        // aggregated hop timeline agrees with `OverheadReport::from_trace`.
+        if let Some(trace) = desc.trace.as_mut() {
+            trace.hop(
+                components::RTS,
+                entk_observe::hops::AGENT_START,
+                recorder.now_ns(),
+            );
+        }
         recorder.record(components::RTS, "unit_started", desc.tag.clone(), "");
         recorder.metrics().counter("rts.units_started").incr();
         let _ = cb_tx.send(UnitCallback {
@@ -204,6 +214,7 @@ fn worker_loop(
             state: UnitState::Executing,
             outcome: None,
             timestamp_secs: started,
+            trace: None,
         });
 
         let result: Result<(), String> = match &desc.executable {
@@ -238,6 +249,13 @@ fn worker_loop(
                 r.outcome = Some(outcome.clone());
             }
         }
+        if let Some(trace) = desc.trace.as_mut() {
+            trace.hop(
+                components::RTS,
+                entk_observe::hops::AGENT_END,
+                recorder.now_ns(),
+            );
+        }
         recorder.record(
             components::RTS,
             "unit_ended",
@@ -251,6 +269,7 @@ fn worker_loop(
             state: term_state,
             outcome: Some(outcome),
             timestamp_secs: ended,
+            trace: desc.trace,
         });
     }
 }

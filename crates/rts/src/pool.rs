@@ -146,6 +146,16 @@ impl PilotPool {
         self.inner.idle.lock().len()
     }
 
+    /// Summed DocDb cost counters `(round_trips, documents)` over the idle
+    /// runtimes, for the telemetry sampler. Leased runtimes report through
+    /// their own holder.
+    pub fn db_stats(&self) -> (u64, u64) {
+        let idle = self.inner.idle.lock();
+        idle.iter()
+            .filter_map(|(rts, _)| rts.db_stats())
+            .fold((0, 0), |(rt, d), (a, b)| (rt + a, d + b))
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> PoolStats {
         PoolStats {

@@ -239,6 +239,18 @@ impl RuntimeSystem {
         RtsProfile::from_records(&self.records())
     }
 
+    /// DocDb cost counters as `(round_trips, documents)`, for the telemetry
+    /// sampler. `None` for backends without a document store (local).
+    pub fn db_stats(&self) -> Option<(u64, u64)> {
+        match &self.backend {
+            Backend::Sim(rt) => {
+                let db = rt.db();
+                Some((db.op_count(), db.doc_count()))
+            }
+            Backend::Local(_) => None,
+        }
+    }
+
     /// Current time on the backend's timeline, seconds.
     pub fn now_secs(&self) -> f64 {
         match &self.backend {

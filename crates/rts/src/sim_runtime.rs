@@ -264,13 +264,18 @@ impl SimRuntime {
             // Pass 1: register every unit, then write the whole submission
             // to the DB as one bulk insert — a single round-trip mirrors
             // MongoDB bulk_write instead of one op per unit.
-            let mut inserts: Vec<(UnitId, String)> = Vec::with_capacity(descs.len());
+            let mut inserts: Vec<(UnitId, String, Option<String>)> =
+                Vec::with_capacity(descs.len());
             let mut routes: Vec<(UnitId, Option<StageUnit>)> = Vec::with_capacity(descs.len());
             for desc in descs {
                 let id = UnitId(st.next_unit);
                 st.next_unit += 1;
                 ids.push(id);
-                inserts.push((id, desc.tag.clone()));
+                inserts.push((
+                    id,
+                    desc.tag.clone(),
+                    desc.trace.as_ref().map(|t| t.encode()),
+                ));
                 self.recorder
                     .record(components::RTS, "unit_submitted", desc.tag.clone(), "");
                 self.recorder
@@ -460,6 +465,16 @@ fn set_state_mem_locked(
         }
         u.state = state;
         if state == UnitState::Executing {
+            // The agent_start hop is stamped adjacent to the unit_started
+            // event so the aggregated hop timeline stays cross-checkable
+            // against `OverheadReport::from_trace`.
+            if let Some(trace) = u.desc.trace.as_mut() {
+                trace.hop(
+                    components::RTS,
+                    entk_observe::hops::AGENT_START,
+                    rec.now_ns(),
+                );
+            }
             rec.record(components::RTS, "unit_started", u.desc.tag.clone(), "");
             rec.metrics().counter("rts.units_started").incr();
         } else {
@@ -477,6 +492,7 @@ fn set_state_mem_locked(
                 state,
                 outcome: None,
                 timestamp_secs: ts,
+                trace: None,
             });
         }
         true
@@ -520,6 +536,11 @@ fn fail_unit_locked(
     u.state = state;
     u.record.ended_secs = Some(at_secs);
     u.record.outcome = Some(outcome.clone());
+    // agent_end is stamped adjacent to the unit_ended event (same clock) and
+    // the whole accumulated timeline rides back on the terminal callback.
+    if let Some(trace) = u.desc.trace.as_mut() {
+        trace.hop(components::RTS, entk_observe::hops::AGENT_END, rec.now_ns());
+    }
     db.update_state(unit, state);
     rec.record(
         components::RTS,
@@ -535,6 +556,7 @@ fn fail_unit_locked(
             state,
             outcome: Some(outcome),
             timestamp_secs: at_secs,
+            trace: u.desc.trace.clone(),
         });
     }
 }

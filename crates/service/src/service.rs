@@ -26,11 +26,14 @@ use entk_core::{
     AppManager, AppManagerConfig, CancelToken, QueueNamespace, ResourceDescription, RunReport,
     SessionAttachment, Workflow,
 };
-use entk_mq::Broker;
-use entk_observe::{components, Recorder};
+use entk_mq::{Broker, BrokerConfig};
+use entk_observe::export::json_escape;
+use entk_observe::{components, CriticalPath, ObserveConfig, ObserveServer, Recorder, Sampler};
 use parking_lot::{Condvar, Mutex};
 use rp_rts::{PilotPool, PilotPoolConfig};
 use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -68,8 +71,12 @@ pub struct ServiceConfig {
     /// RTS restart budget passed to every run.
     pub max_rts_restarts: u32,
     /// Recorder for service events and metrics; `None` = metrics-only
-    /// (disabled recorder).
+    /// (disabled recorder) — unless the telemetry listener is enabled, in
+    /// which case a live recorder is created automatically.
     pub recorder: Option<Recorder>,
+    /// Telemetry plane: exposition listener + background sampler. The
+    /// default is fully off, so embedding the service costs nothing extra.
+    pub observe: ObserveConfig,
 }
 
 impl ServiceConfig {
@@ -86,6 +93,7 @@ impl ServiceConfig {
             task_retries: None,
             max_rts_restarts: 1,
             recorder: None,
+            observe: ObserveConfig::default(),
         }
     }
 
@@ -128,6 +136,19 @@ impl ServiceConfig {
     /// Builder: recorder for traces/metrics.
     pub fn with_recorder(mut self, recorder: Recorder) -> Self {
         self.recorder = Some(recorder);
+        self
+    }
+
+    /// Builder: full telemetry-plane configuration.
+    pub fn with_observe(mut self, observe: ObserveConfig) -> Self {
+        self.observe = observe;
+        self
+    }
+
+    /// Builder: enable the exposition listener on `addr` (port 0 binds an
+    /// ephemeral port; see [`EnsembleService::observe_addr`]).
+    pub fn with_listen_addr(mut self, addr: SocketAddr) -> Self {
+        self.observe.listen_addr = Some(addr);
         self
     }
 }
@@ -181,6 +202,10 @@ struct Inner {
     pool: PilotPool,
     broker: Broker,
     config: ServiceConfig,
+    /// Per-stage residency aggregated across every finished run's traced
+    /// tasks (served on `/statusz`).
+    critical_path: Mutex<CriticalPath>,
+    started_at: Instant,
 }
 
 impl Inner {
@@ -274,14 +299,39 @@ pub struct EnsembleService {
     inner: Arc<Inner>,
     control: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    observe: Option<ObserveServer>,
+    sampler: Option<Sampler>,
 }
 
 impl EnsembleService {
     /// Start the service: boot the shared broker, prewarm the pilot pool,
     /// and spawn the control and worker threads.
     pub fn start(config: ServiceConfig) -> Self {
-        let recorder = config.recorder.clone().unwrap_or_else(Recorder::disabled);
-        let broker = Broker::new();
+        // A configured listener implies live telemetry: auto-enable a
+        // recorder so there is something to scrape.
+        let recorder = config.recorder.clone().unwrap_or_else(|| {
+            if config.observe.listen_addr.is_some() {
+                Recorder::new()
+            } else {
+                Recorder::disabled()
+            }
+        });
+        let broker = if recorder.is_enabled() {
+            // A recorder-backed broker runs its own depth sampler feeding
+            // the `mq.queue.<name>.depth` / `.unacked` gauges.
+            Broker::with_config(BrokerConfig {
+                journal_path: None,
+                recorder: Some(recorder.clone()),
+                depth_sample_interval: Some(config.observe.sample_interval),
+            })
+            .expect("no journal: cannot fail")
+        } else {
+            Broker::new()
+        };
+        if recorder.is_enabled() {
+            // Surface failpoint trips as `fail.<name>.trips` counters.
+            entk_fail::set_metrics_sink(recorder.metrics_arc());
+        }
         let pool = PilotPool::new(PilotPoolConfig {
             rts: config.resource.rts_config(&recorder),
             pilot: config.resource.pilot_desc(),
@@ -309,6 +359,8 @@ impl EnsembleService {
             pool,
             broker,
             config,
+            critical_path: Mutex::new(CriticalPath::new()),
+            started_at: Instant::now(),
         });
 
         let (tx, rx) = unbounded();
@@ -329,12 +381,43 @@ impl EnsembleService {
             })
             .collect();
 
+        // Telemetry plane: exposition listener + pool/DB sampler, only when
+        // asked for. (Queue-depth gauges are sampled by the broker itself.)
+        let observe = inner.config.observe.listen_addr.map(|addr| {
+            let statusz_inner = Arc::clone(&inner);
+            let statusz: entk_observe::StatuszFn = Arc::new(move || statusz_json(&statusz_inner));
+            ObserveServer::start(addr, inner.recorder.metrics_arc(), statusz)
+                .expect("bind telemetry listener")
+        });
+        let sampler = observe.is_some().then(|| {
+            let inner = Arc::clone(&inner);
+            Sampler::start(inner.config.observe.sample_interval, move || {
+                let m = inner.recorder.metrics();
+                m.gauge("rts.pool.warm").set(inner.pool.warm_count() as i64);
+                let ps = inner.pool.stats();
+                m.gauge("rts.pool.cold_boots").set(ps.cold_boots as i64);
+                m.gauge("rts.pool.warm_hits").set(ps.warm_hits as i64);
+                m.gauge("rts.pool.returned").set(ps.returned as i64);
+                m.gauge("rts.pool.discarded").set(ps.discarded as i64);
+                let (round_trips, documents) = inner.pool.db_stats();
+                m.gauge("rts.db.round_trips").set(round_trips as i64);
+                m.gauge("rts.db.documents").set(documents as i64);
+            })
+        });
+
         EnsembleService {
             client: ServiceClient { tx },
             inner,
             control: Some(control),
             workers,
+            observe,
+            sampler,
         }
+    }
+
+    /// Bound address of the telemetry listener (`None` when disabled).
+    pub fn observe_addr(&self) -> Option<SocketAddr> {
+        self.observe.as_ref().map(ObserveServer::local_addr)
     }
 
     /// A new client handle (cheap; clone freely across tenant threads).
@@ -395,6 +478,13 @@ impl EnsembleService {
 
     /// Join workers and control, drain the pool, close the broker.
     fn stop_threads(&mut self) -> ServiceStats {
+        // Stop the telemetry plane first: a final sampler tick runs on stop,
+        // and the listener must not outlive the broker it reports on.
+        self.sampler.take();
+        self.observe.take();
+        if self.inner.recorder.is_enabled() {
+            entk_fail::clear_metrics_sink();
+        }
         {
             let mut st = self.inner.state.lock();
             st.draining = true;
@@ -440,6 +530,135 @@ fn stats_snapshot(inner: &Inner, st: &State) -> ServiceStats {
         warm_pilots: inner.pool.warm_count(),
         pool: inner.pool.stats(),
     }
+}
+
+fn phase_str(phase: Phase) -> &'static str {
+    match phase {
+        Phase::Queued => "queued",
+        Phase::Running => "running",
+        Phase::Done => "done",
+        Phase::Failed => "failed",
+        Phase::Canceled => "canceled",
+    }
+}
+
+/// Flight-recorder snapshot served on `GET /statusz`: per-tenant session
+/// states, pilot-pool occupancy and lifetime counters, per-queue
+/// depth/unacked, failpoint trip counts, and the aggregated critical path.
+/// Hand-rolled JSON (no serde in the tree); every dynamic string goes
+/// through [`json_escape`].
+fn statusz_json(inner: &Inner) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push('{');
+    let _ = write!(
+        out,
+        "\"healthy\":true,\"uptime_secs\":{:.3}",
+        inner.started_at.elapsed().as_secs_f64()
+    );
+    {
+        let st = inner.state.lock();
+        let _ = write!(
+            out,
+            ",\"draining\":{},\"queued\":{},\"active\":{}",
+            st.draining,
+            st.queue.len(),
+            st.active
+        );
+        let _ = write!(
+            out,
+            ",\"totals\":{{\"submitted\":{},\"rejected\":{},\"completed\":{},\"failed\":{},\"canceled\":{}}}",
+            st.totals.submitted,
+            st.totals.rejected,
+            st.totals.completed,
+            st.totals.failed,
+            st.totals.canceled
+        );
+        out.push_str(",\"sessions\":[");
+        let mut ids: Vec<_> = st.subs.keys().copied().collect();
+        ids.sort();
+        for (i, id) in ids.iter().enumerate() {
+            let sub = &st.subs[id];
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"id\":\"{}\",\"tenant\":\"{}\",\"state\":\"{}\",\"age_secs\":{:.3}}}",
+                json_escape(&id.to_string()),
+                json_escape(&sub.tenant),
+                phase_str(sub.phase),
+                sub.submitted_at.elapsed().as_secs_f64()
+            );
+        }
+        out.push(']');
+    }
+    out.push_str(",\"queues\":[");
+    let mut first = true;
+    for name in &inner.broker.queue_names() {
+        let Ok(qs) = inner.broker.queue_stats(name) else {
+            continue;
+        };
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"depth\":{},\"unacked\":{}}}",
+            json_escape(name),
+            qs.depth,
+            qs.unacked
+        );
+    }
+    out.push(']');
+    let ps = inner.pool.stats();
+    let _ = write!(
+        out,
+        ",\"pool\":{{\"warm\":{},\"cold_boots\":{},\"warm_hits\":{},\"returned\":{},\"discarded\":{}}}",
+        inner.pool.warm_count(),
+        ps.cold_boots,
+        ps.warm_hits,
+        ps.returned,
+        ps.discarded
+    );
+    out.push_str(",\"failpoints\":[");
+    for (i, (name, hits, fires)) in entk_fail::snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"hits\":{},\"trips\":{}}}",
+            json_escape(name),
+            hits,
+            fires
+        );
+    }
+    out.push(']');
+    {
+        let cp = inner.critical_path.lock();
+        let _ = write!(
+            out,
+            ",\"critical_path\":{{\"tasks\":{},\"total_secs\":{:.6},\"stages\":[",
+            cp.tasks(),
+            cp.total_ns() as f64 / 1e9
+        );
+        for (i, s) in cp.stages().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"stage\":\"{}\",\"count\":{},\"total_secs\":{:.6},\"mean_secs\":{:.6}}}",
+                json_escape(&s.stage),
+                s.count,
+                s.total_secs(),
+                s.mean_secs()
+            );
+        }
+        out.push_str("]}");
+    }
+    out.push('}');
+    out
 }
 
 /// Settle a submission that was canceled while still queued.
@@ -699,6 +918,13 @@ fn finish(inner: &Arc<Inner>, phase: Phase, result: SubmissionResult) {
     let turnaround = result.turnaround;
     let metrics = inner.recorder.metrics();
     metrics.histogram("service.turnaround").record(turnaround);
+    // Fold the run's per-task timelines into the service-wide residency
+    // decomposition served on /statusz.
+    if let Some(rep) = result.outcome.report() {
+        if rep.critical_path.tasks() > 0 {
+            inner.critical_path.lock().merge(&rep.critical_path);
+        }
+    }
     let mut st = inner.state.lock();
     st.active -= 1;
     st.admission.observe(turnaround);

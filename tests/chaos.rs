@@ -92,6 +92,10 @@ fn chaos_sim_run(max_rts_restarts: u32) -> RunReport {
 #[test]
 fn seeded_torn_tail_matrix_recovers_exact_unacked_set() {
     let _g = entk_fail::scenario();
+    // Live-telemetry sink: every fire must surface as a `fail.<name>.trips`
+    // counter increment. Installed after `scenario()`, which clears the sink.
+    let metrics = Arc::new(entk::observe::Metrics::default());
+    entk_fail::set_metrics_sink(Arc::clone(&metrics));
     let path = tmp_journal("torn-matrix");
     entk_fail::arm(
         "mq.journal.torn_tail",
@@ -147,6 +151,11 @@ fn seeded_torn_tail_matrix_recovers_exact_unacked_set() {
         entk_fail::fires("mq.journal.torn_tail"),
         crashes,
         "every fire must have surfaced as a failed publish"
+    );
+    assert_eq!(
+        metrics.counter("fail.mq.journal.torn_tail.trips").get(),
+        crashes,
+        "every fire must have tripped the telemetry counter"
     );
     assert!(
         crashes >= 1,
@@ -286,12 +295,19 @@ fn repeated_mid_replay_crashes_converge_on_exact_unacked_set() {
 #[test]
 fn rts_death_mid_bulk_insert_loses_no_tasks() {
     let _g = entk_fail::scenario();
+    let metrics = Arc::new(entk::observe::Metrics::default());
+    entk_fail::set_metrics_sink(Arc::clone(&metrics));
     entk_fail::arm_once("rts.db.insert_units", InjectedAction::Partial(100));
     let report = chaos_sim_run(3);
     assert_eq!(
         entk_fail::fires("rts.db.insert_units"),
         1,
         "failpoint must fire"
+    );
+    assert_eq!(
+        metrics.counter("fail.rts.db.insert_units.trips").get(),
+        1,
+        "the fire must trip the telemetry counter"
     );
     assert!(
         report.rts_restarts >= 1,
@@ -327,6 +343,8 @@ fn rts_death_mid_bulk_state_update_loses_no_tasks() {
 #[test]
 fn repeated_partial_submissions_stay_within_restart_budget() {
     let _g = entk_fail::scenario();
+    let metrics = Arc::new(entk::observe::Metrics::default());
+    entk_fail::set_metrics_sink(Arc::clone(&metrics));
     entk_fail::arm(
         "rts.submit.partial",
         Trigger::EveryNth(1),
@@ -338,6 +356,11 @@ fn repeated_partial_submissions_stay_within_restart_budget() {
         entk_fail::fires("rts.submit.partial"),
         2,
         "both kills fired"
+    );
+    assert_eq!(
+        metrics.counter("fail.rts.submit.partial.trips").get(),
+        2,
+        "both fires must trip the telemetry counter"
     );
     assert!(
         report.rts_restarts >= 2,

@@ -3,7 +3,7 @@
 //! paper's overhead decomposition (§IV-A2) re-derived from the trace and
 //! cross-checked against the legacy profiler.
 
-use entk::observe::{components, json, Event, Recorder};
+use entk::observe::{components, hops, json, prom, Event, Recorder};
 use entk::prelude::*;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -202,6 +202,209 @@ fn exported_trace_files_parse_cleanly() {
     let txt =
         std::fs::read_to_string(format!("{}.report.txt", prefix.display())).expect("report file");
     assert!(txt.contains("== trace:"));
+}
+
+/// Tentpole acceptance: a 1024-task traced run's per-task hop timelines
+/// (TraceCtx) roll up into a per-stage residency decomposition that
+/// reproduces the Fig. 7-style numbers the event-stream profiler derives
+/// independently.
+#[test]
+fn critical_path_covers_1024_tasks_and_matches_profiler_execution_window() {
+    let mut stage = Stage::new("s");
+    for i in 0..1024 {
+        stage.add_task(Task::new(format!("t{i}"), Executable::Noop));
+    }
+    let wf = Workflow::new().with_pipeline(Pipeline::new("p").with_stage(stage));
+    let recorder = Recorder::new();
+    let mut amgr = AppManager::new(
+        AppManagerConfig::new(ResourceDescription::local(64))
+            .with_run_timeout(timeout())
+            .with_recorder(recorder.clone()),
+    );
+    let report = amgr.run(wf).expect("run succeeds");
+    assert!(report.succeeded);
+
+    let cp = &report.critical_path;
+    assert_eq!(
+        cp.tasks(),
+        1024,
+        "every settled task folds its timeline into the aggregate:\n{}",
+        cp.report()
+    );
+
+    // The decomposition is exact: per-stage residencies partition the
+    // summed first-hop → last-hop time.
+    let stage_sum: u64 = cp.stages().iter().map(|s| s.total_ns).sum();
+    assert_eq!(stage_sum, cp.total_ns(), "stages partition the timelines");
+
+    // Hop order is the pipeline order, for every task (no failures here, so
+    // one identical 8-hop timeline per task and one count per segment).
+    let labels: Vec<&str> = cp.stages().iter().map(|s| s.stage.as_str()).collect();
+    assert_eq!(
+        labels,
+        [
+            "enqueue->emgr_dequeue",
+            "emgr_dequeue->rts_submit",
+            "rts_submit->agent_start",
+            "agent_start->agent_end",
+            "agent_end->callback",
+            "callback->dequeue",
+            "dequeue->synced",
+        ]
+    );
+    for s in cp.stages() {
+        assert_eq!(s.count, 1024, "segment {} covers every task", s.stage);
+    }
+
+    // Fig. 7 cross-check: the hop-derived execution window (earliest
+    // agent_start → latest agent_end) must agree with the profiler's
+    // task_execution_secs, which derives the same window from the
+    // unit_started/unit_ended event records on the same clock.
+    let traced = report
+        .trace_overheads
+        .as_ref()
+        .expect("tracing was enabled");
+    let window = cp
+        .window_secs(hops::AGENT_START, hops::AGENT_END)
+        .expect("agent hops are present");
+    assert!(
+        (window - traced.task_execution_secs).abs() < 0.1,
+        "hop window {window:.4}s vs profiler {:.4}s",
+        traced.task_execution_secs
+    );
+}
+
+/// Live exposition: a service with the telemetry listener enabled serves
+/// `/metrics` as valid Prometheus text (monotone cumulative buckets),
+/// `/statusz` as parseable JSON, and `/healthz`; the key series — task
+/// state transitions, queue depths, pool occupancy, turnaround histogram —
+/// are all present after a small workload.
+#[test]
+fn live_scrape_serves_prometheus_metrics_and_statusz() {
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    let service = EnsembleService::start(
+        ServiceConfig::new(ResourceDescription::local(4))
+            .with_warm_pilots(1)
+            .with_max_active(2)
+            .with_run_timeout(timeout())
+            .with_observe(
+                entk::observe::ObserveConfig::default()
+                    .with_listen_addr("127.0.0.1:0".parse().unwrap())
+                    .with_sample_interval(Duration::from_millis(5)),
+            ),
+    );
+    let addr = service.observe_addr().expect("listener is enabled");
+    let client = service.client();
+    let ids: Vec<_> = (0..4)
+        .map(|i| {
+            let mut stage = Stage::new("s");
+            for t in 0..8 {
+                stage.add_task(Task::new(format!("w{i}t{t}"), Executable::Noop));
+            }
+            let wf =
+                Workflow::new().with_pipeline(Pipeline::new(format!("p{i}")).with_stage(stage));
+            client
+                .submit(format!("tenant{}", i % 2), wf)
+                .expect("admitted")
+        })
+        .collect();
+    for id in ids {
+        let result = client.wait(id, timeout()).expect("run settles");
+        assert!(result.outcome.is_success());
+    }
+
+    // Hold one run open while scraping, so the background samplers see its
+    // live session queues (session queues are deleted when a run finishes).
+    let slow_id = {
+        let stage = Stage::new("slow").with_task(Task::new(
+            "hold",
+            Executable::compute(1.0, || {
+                std::thread::sleep(Duration::from_millis(400));
+                Ok(())
+            }),
+        ));
+        let wf = Workflow::new().with_pipeline(Pipeline::new("slow").with_stage(stage));
+        client.submit("tenant0", wf).expect("admitted")
+    };
+    std::thread::sleep(Duration::from_millis(150));
+
+    let get = |path: &str| -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect scrape");
+        write!(stream, "GET {path} HTTP/1.0\r\nHost: t\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).expect("read response");
+        let (head, body) = buf.split_once("\r\n\r\n").expect("header/body split");
+        (head.to_string(), body.to_string())
+    };
+
+    // /healthz
+    let (head, body) = get("/healthz");
+    assert!(head.starts_with("HTTP/1.0 200"), "healthz: {head}");
+    assert_eq!(body, "ok\n");
+
+    // /metrics parses as Prometheus text 0.0.4 with valid histograms.
+    let (head, body) = get("/metrics");
+    assert!(head.starts_with("HTTP/1.0 200"), "metrics: {head}");
+    let samples = prom::parse(&body).expect("valid Prometheus exposition");
+    let histograms = prom::validate_histograms(&samples).expect("monotone cumulative buckets");
+    assert!(
+        histograms.iter().any(|h| h == "service_turnaround_seconds"),
+        "turnaround histogram exported: {histograms:?}"
+    );
+    let has = |name: &str| samples.iter().any(|s| s.name == name);
+    for series in [
+        "task_state_done_total", // task-state transition counters
+        "task_state_scheduled_total",
+        "service_queue_depth", // service dispatch gauge
+        "rts_pool_warm",       // pool occupancy
+        "service_submitted_tenant0_total",
+    ] {
+        assert!(has(series), "key series {series} missing from scrape");
+    }
+    assert!(
+        samples
+            .iter()
+            .any(|s| s.name.starts_with("mq_queue_") && s.name.ends_with("_depth")),
+        "per-queue depth gauges present"
+    );
+
+    // Settle the held-open run, then check the flight recorder.
+    let result = client.wait(slow_id, timeout()).expect("slow run settles");
+    assert!(result.outcome.is_success());
+
+    // /statusz parses as JSON and reports the flight-recorder state.
+    let (head, body) = get("/statusz");
+    assert!(head.starts_with("HTTP/1.0 200"), "statusz: {head}");
+    let doc = json::parse(&body).expect("statusz is valid JSON");
+    assert_eq!(doc.get("healthy").and_then(|v| v.as_bool()), Some(true));
+    assert_eq!(
+        doc.get("totals")
+            .and_then(|t| t.get("completed"))
+            .and_then(|v| v.as_f64()),
+        Some(5.0)
+    );
+    let sessions = doc
+        .get("sessions")
+        .and_then(|v| v.as_array())
+        .expect("sessions array");
+    assert_eq!(sessions.len(), 5);
+    for s in sessions {
+        assert_eq!(s.get("state").and_then(|v| v.as_str()), Some("done"));
+    }
+    let cp_tasks = doc
+        .get("critical_path")
+        .and_then(|c| c.get("tasks"))
+        .and_then(|v| v.as_f64())
+        .expect("critical_path.tasks");
+    assert_eq!(cp_tasks, 33.0, "5 runs × their traced tasks aggregated");
+
+    // 404 for unknown paths.
+    let (head, _) = get("/nope");
+    assert!(head.starts_with("HTTP/1.0 404"), "unknown path: {head}");
+
+    service.shutdown();
 }
 
 #[test]
