@@ -23,7 +23,7 @@
 
 use entk_bench::{argv, flag_num, flag_value, has_flag};
 use entk_core::{Executable, Pipeline, ResourceDescription, Stage, Task, Workflow};
-use entk_observe::{json, prom, ObserveConfig};
+use entk_observe::{json, prom, ObserveConfig, SloConfig};
 use entk_service::{EnsembleService, ServiceConfig};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -66,6 +66,8 @@ fn main() {
             .with_warm_pilots(1)
             .with_max_active(2)
             .with_run_timeout(TIMEOUT)
+            .with_slo(SloConfig::default())
+            .with_adaptive_control(true)
             .with_observe(
                 ObserveConfig::default()
                     .with_listen_addr("127.0.0.1:0".parse().unwrap())
@@ -135,6 +137,18 @@ fn main() {
         "rts_pool_warm",
         "service_submitted_tenant0_total",
         "service_completed_tenant0_total",
+        // SLO plane: declared targets + live burn-rate gauges.
+        "slo_target_p50_ms",
+        "slo_target_p99_ms",
+        "slo_target_queue_wait_ms",
+        "slo_p50_burn",
+        "slo_p99_burn",
+        "slo_queue_wait_burn",
+        // Control plane: knob mirrors + actuation counter.
+        "control_pool_capacity",
+        "control_batch_limit",
+        "control_shed",
+        "control_actuations_total",
     ] {
         if !has(series) {
             missing.push(series);
@@ -188,6 +202,35 @@ fn main() {
         (n_wf * tasks + 1) as f64,
         "every task's trace folded into the critical path"
     );
+
+    assert!(
+        doc.get("slo")
+            .map(|s| s.as_str() != Some("null"))
+            .unwrap_or(false),
+        "statusz must carry the declared SLO"
+    );
+    let slo_p99 = doc
+        .get("slo")
+        .and_then(|s| s.get("target_p99_ms"))
+        .and_then(|v| v.as_f64())
+        .expect("slo.target_p99_ms");
+    assert_eq!(slo_p99, 30_000.0, "default p99 target is 30s");
+    assert!(doc.get("alerts").and_then(|a| a.as_array()).is_some());
+    doc.get("decisions")
+        .and_then(|d| d.get("total"))
+        .and_then(|v| v.as_f64())
+        .expect("decisions.total");
+
+    // ---- /debug/decisions ----------------------------------------------
+    let (head, decisions_body) = http_get(addr, "/debug/decisions");
+    assert!(head.starts_with("HTTP/1.0 200"), "/debug/decisions: {head}");
+    let ring = json::parse(&decisions_body).expect("decision ring is valid JSON");
+    ring.get("total")
+        .and_then(|v| v.as_f64())
+        .expect("ring total");
+    ring.get("decisions")
+        .and_then(|d| d.as_array())
+        .expect("ring decisions array");
 
     // ---- /healthz ------------------------------------------------------
     let (head, body) = http_get(addr, "/healthz");

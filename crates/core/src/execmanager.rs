@@ -48,6 +48,13 @@ pub struct ExecManagerConfig {
     pub reconnect_sleep: Duration,
     /// Maximum tasks moved per batched operation.
     pub max_batch: usize,
+    /// Optional live override of `max_batch`, shared with an external tuner
+    /// (the service's batch-size controller). When set, every batched
+    /// component loop reads the knob at batch-collection time, so a tuner
+    /// can walk the batch size against observed broker throughput and
+    /// in-flight runs pick the new value up mid-run. Values are clamped to
+    /// at least 1 on read.
+    pub batch_knob: Option<Arc<std::sync::atomic::AtomicUsize>>,
 }
 
 impl Default for ExecManagerConfig {
@@ -58,6 +65,24 @@ impl Default for ExecManagerConfig {
             callback_timeout: Duration::from_millis(20),
             reconnect_sleep: Duration::from_millis(10),
             max_batch: 256,
+            batch_knob: None,
+        }
+    }
+}
+
+impl ExecManagerConfig {
+    /// Install a shared live batch-size knob (see `batch_knob`).
+    pub fn with_batch_knob(mut self, knob: Arc<std::sync::atomic::AtomicUsize>) -> Self {
+        self.batch_knob = Some(knob);
+        self
+    }
+
+    /// Effective batch limit right now: the live knob when installed,
+    /// `max_batch` otherwise; always at least 1.
+    pub fn batch_limit(&self) -> usize {
+        match &self.batch_knob {
+            Some(k) => k.load(Ordering::Relaxed).max(1),
+            None => self.max_batch.max(1),
         }
     }
 }
@@ -259,7 +284,6 @@ struct PendingItem {
 
 fn emgr_loop(ctx: Arc<Ctx>, pools: Arc<RtsPools>) {
     let cfg = ctx.exec.clone();
-    let max_batch = cfg.max_batch.max(1);
     while ctx.running.load(Ordering::Acquire) {
         // Cooperative cancellation: stop submitting; queued messages become
         // stale once the cancel sweep settles their tasks and are dropped on
@@ -268,6 +292,8 @@ fn emgr_loop(ctx: Arc<Ctx>, pools: Arc<RtsPools>) {
             std::thread::sleep(cfg.cancel_poll);
             continue;
         }
+        // Read the (possibly tuner-driven) batch limit per iteration.
+        let max_batch = cfg.batch_limit();
         // Collect a batch from the Pending queue.
         let batch = if ctx.batched {
             match ctx
@@ -527,7 +553,7 @@ fn callback_loop(ctx: Arc<Ctx>, slot: Arc<RtsSlot>) {
                 // then sync the whole batch with one round-trip and notify
                 // Dequeue with one batched publish.
                 let mut cbs = vec![cb];
-                while cbs.len() < cfg.max_batch.max(1) {
+                while cbs.len() < cfg.batch_limit() {
                     match rts.callbacks().try_recv() {
                         Ok(c) => cbs.push(c),
                         Err(_) => break,

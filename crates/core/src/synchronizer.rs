@@ -42,8 +42,8 @@ pub(crate) fn spawn(ctx: Arc<Ctx>) -> std::thread::JoinHandle<()> {
 /// requesting component — within a component the order matches the
 /// requests, which is what [`Ctx::sync_tasks`] relies on.
 fn run_batched(ctx: Arc<Ctx>) {
-    let max_batch = ctx.exec.max_batch.max(1);
     while ctx.running.load(Ordering::Acquire) {
+        let max_batch = ctx.exec.batch_limit();
         let batch = match ctx
             .broker
             .get_batch(ctx.ns.sync(), max_batch, Duration::from_millis(20))

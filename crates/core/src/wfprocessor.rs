@@ -69,7 +69,7 @@ fn enqueue_loop(ctx: Arc<Ctx>) {
 /// synchronized *before* the publish so the Emgr can never see a task that
 /// is still mid-transition. Returns whether the loop should keep running.
 fn enqueue_batched(ctx: &Ctx, ready: &[String]) -> bool {
-    let max_batch = ctx.exec.max_batch.max(1);
+    let max_batch = ctx.exec.batch_limit();
     let mut idx = 0;
     while idx < ready.len() {
         if !ctx.running.load(Ordering::Acquire) || ctx.cancel.is_canceled() {
@@ -150,9 +150,9 @@ fn traced_pending_message(ctx: &Ctx, uid: &str) -> Message {
 }
 
 fn dequeue_loop(ctx: Arc<Ctx>) {
-    let max_batch = ctx.exec.max_batch.max(1);
     while ctx.running.load(Ordering::Acquire) {
         if ctx.batched {
+            let max_batch = ctx.exec.batch_limit();
             let batch =
                 match ctx
                     .broker
@@ -228,8 +228,16 @@ fn dequeued_trace(ctx: &Ctx, message: &Message) -> Option<TraceCtx> {
 
 /// Apply the attempt's settling transition, stamp the final `synced` hop,
 /// and fold the completed timeline into the run's critical-path aggregate.
+/// Only `Done` timelines are folded: a canceled or failpoint-killed attempt
+/// carries a *partial* hop list (it never reached the stages it skipped),
+/// and folding it would understate per-stage residency means — SLO burn
+/// rates and stall thresholds derive from those means, so the aggregate
+/// must describe completed work only.
 fn settle(ctx: &Ctx, uid: &str, state: TaskState, trace: Option<TraceCtx>) {
     ctx.sync_task(component::DEQUEUE, uid, state);
+    if state != TaskState::Done {
+        return;
+    }
     if let Some(mut trace) = trace {
         trace.hop(obs::SYNC, hops::SYNCED, ctx.recorder.now_ns());
         ctx.critical_path.lock().add(&trace);

@@ -42,6 +42,10 @@ struct BrokerInner {
     journal: Option<Journal>,
     closed: AtomicBool,
     recorder: Option<Recorder>,
+    /// Depth-sampler thread, joined on `close` so repeated broker
+    /// start/close in one process can never leave two samplers writing the
+    /// same gauges (the thread itself only holds a `Weak` to this struct).
+    sampler: parking_lot::Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 /// Handle to an in-process message broker. Clone freely; all clones share
@@ -68,15 +72,17 @@ impl Broker {
             journal,
             closed: AtomicBool::new(false),
             recorder: config.recorder.clone(),
+            sampler: parking_lot::Mutex::new(None),
         });
         if let Some(recorder) = config.recorder {
-            spawn_depth_sampler(
+            let handle = spawn_depth_sampler(
                 Arc::downgrade(&inner),
                 recorder,
                 config
                     .depth_sample_interval
                     .unwrap_or(DEFAULT_DEPTH_SAMPLE_INTERVAL),
             );
+            *inner.sampler.lock() = Some(handle);
         }
         Ok(Broker { inner })
     }
@@ -190,6 +196,10 @@ impl Broker {
         handle.close();
         if let Some(rec) = &self.inner.recorder {
             rec.record(components::MQ, "queue_deleted", name.to_string(), "");
+            // Drop the queue's gauges with it — otherwise depth/unacked
+            // series linger at their last sampled value on /metrics forever.
+            rec.metrics()
+                .remove_gauges_with_prefix(&format!("mq.queue.{name}."));
         }
         Ok(())
     }
@@ -217,6 +227,8 @@ impl Broker {
             handle.close();
             if let Some(rec) = &self.inner.recorder {
                 rec.record(components::MQ, "queue_deleted", name.clone(), "");
+                rec.metrics()
+                    .remove_gauges_with_prefix(&format!("mq.queue.{name}."));
             }
         }
         Ok(handles.len())
@@ -421,13 +433,18 @@ impl Broker {
     }
 
     /// Shut the broker down: all queues close and every blocked consumer is
-    /// woken with `BrokerClosed`. Idempotent.
+    /// woken with `BrokerClosed`. The depth sampler is joined before
+    /// returning (it sleeps in small slices, so the join is prompt), so no
+    /// stale sampler can keep writing gauges after close. Idempotent.
     pub fn close(&self) {
         if self.inner.closed.swap(true, Ordering::AcqRel) {
             return;
         }
         for handle in self.inner.queues.read().values() {
             handle.close();
+        }
+        if let Some(h) = self.inner.sampler.lock().take() {
+            let _ = h.join();
         }
         if let Some(rec) = &self.inner.recorder {
             rec.record(components::MQ, "broker_closed", "", "");
@@ -451,32 +468,77 @@ impl Default for Broker {
     }
 }
 
-/// Background thread feeding `mq.queue.<queue>.depth` and `mq.queue.<queue>.unacked`
-/// gauges. Holds only a [`Weak`] to the broker so it never keeps it alive;
-/// it exits when the broker closes or is dropped (within one interval).
-fn spawn_depth_sampler(inner: Weak<BrokerInner>, recorder: Recorder, interval: Duration) {
+/// Background thread feeding `mq.queue.<queue>.depth`,
+/// `mq.queue.<queue>.unacked`, and `mq.queue.<queue>.dequeue_rate`
+/// (deliveries per second over the last interval) gauges. Holds only a
+/// [`Weak`] to the broker so it never keeps it alive; it exits when the
+/// broker closes or is dropped. Sleeps in small slices so
+/// [`Broker::close`] can join it promptly instead of waiting a full period.
+fn spawn_depth_sampler(
+    inner: Weak<BrokerInner>,
+    recorder: Recorder,
+    interval: Duration,
+) -> std::thread::JoinHandle<()> {
     std::thread::Builder::new()
         .name("mq-depth-sampler".into())
-        .spawn(move || loop {
-            std::thread::sleep(interval);
-            let Some(inner) = inner.upgrade() else {
-                break;
-            };
-            if inner.closed.load(Ordering::Acquire) {
-                break;
-            }
-            let queues = inner.queues.read();
-            for (name, handle) in queues.iter() {
+        .spawn(move || {
+            let interval = interval.max(Duration::from_millis(1));
+            let slice = interval.min(Duration::from_millis(20));
+            // Per-queue delivered counter at the previous sample, with the
+            // sample instant, for the dequeue-rate derivative.
+            let mut last: HashMap<String, (u64, std::time::Instant)> = HashMap::new();
+            'outer: loop {
+                let mut elapsed = Duration::ZERO;
+                while elapsed < interval {
+                    std::thread::sleep(slice);
+                    elapsed += slice;
+                    match inner.upgrade() {
+                        None => break 'outer,
+                        Some(i) => {
+                            if i.closed.load(Ordering::Acquire) {
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+                let Some(inner) = inner.upgrade() else {
+                    break;
+                };
+                if inner.closed.load(Ordering::Acquire) {
+                    break;
+                }
+                let now = std::time::Instant::now();
+                let queues = inner.queues.read();
                 let metrics = recorder.metrics();
-                metrics
-                    .gauge(&format!("mq.queue.{name}.depth"))
-                    .set(handle.depth() as i64);
-                metrics
-                    .gauge(&format!("mq.queue.{name}.unacked"))
-                    .set(handle.unacked_count() as i64);
+                for (name, handle) in queues.iter() {
+                    let stats = handle.stats();
+                    metrics
+                        .gauge(&format!("mq.queue.{name}.depth"))
+                        .set(stats.depth as i64);
+                    metrics
+                        .gauge(&format!("mq.queue.{name}.unacked"))
+                        .set(stats.unacked as i64);
+                    let rate = match last.get(name) {
+                        Some(&(prev, at)) => {
+                            let dt = now.saturating_duration_since(at).as_secs_f64();
+                            if dt > 0.0 {
+                                (stats.delivered.saturating_sub(prev) as f64 / dt) as i64
+                            } else {
+                                0
+                            }
+                        }
+                        None => 0,
+                    };
+                    metrics
+                        .gauge(&format!("mq.queue.{name}.dequeue_rate"))
+                        .set(rate);
+                    last.insert(name.clone(), (stats.delivered, now));
+                }
+                // Drop rate state for queues that no longer exist.
+                last.retain(|name, _| queues.contains_key(name));
             }
         })
-        .expect("spawn mq-depth-sampler thread");
+        .expect("spawn mq-depth-sampler thread")
 }
 
 #[cfg(test)]
@@ -717,6 +779,98 @@ mod tests {
             .iter()
             .any(|e| e.kind == "queue_declared" && e.entity_uid == "obs"));
         b.ack("obs", d2.tag).unwrap();
+        b.close();
+    }
+
+    /// Satellite regression: deleting a session's namespaced queues must
+    /// unregister their gauges. Before the fix, `mq.queue.<name>.depth` /
+    /// `.unacked` kept their last sampled value on /metrics forever after
+    /// `delete_matching` removed the queues themselves.
+    #[test]
+    fn deleted_queues_drop_their_gauges() {
+        let rec = Recorder::new();
+        let b = Broker::with_config(BrokerConfig {
+            recorder: Some(rec.clone()),
+            depth_sample_interval: Some(Duration::from_millis(5)),
+            ..Default::default()
+        })
+        .unwrap();
+        b.declare_queue("s00001.pending", QueueConfig::default())
+            .unwrap();
+        b.declare_queue("s00001.done", QueueConfig::default())
+            .unwrap();
+        b.declare_queue("s00002.pending", QueueConfig::default())
+            .unwrap();
+        b.publish("s00001.pending", Message::new("x")).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while std::time::Instant::now() < deadline
+            && !rec
+                .metrics()
+                .gauges()
+                .iter()
+                .any(|(n, _, _)| n == "mq.queue.s00001.pending.depth")
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        assert_eq!(b.delete_matching("s00001.").unwrap(), 2);
+        let names: Vec<String> = rec
+            .metrics()
+            .gauges()
+            .into_iter()
+            .map(|(n, _, _)| n)
+            .collect();
+        assert!(
+            !names.iter().any(|n| n.starts_with("mq.queue.s00001.")),
+            "stale session gauges survived deletion: {names:?}"
+        );
+
+        // delete_queue (singular) cleans up too, and close() joins the
+        // sampler so no gauge can reappear afterwards.
+        b.delete_queue("s00002.pending").unwrap();
+        b.close();
+        let names: Vec<String> = rec
+            .metrics()
+            .gauges()
+            .into_iter()
+            .map(|(n, _, _)| n)
+            .collect();
+        assert!(
+            !names.iter().any(|n| n.starts_with("mq.queue.")),
+            "queue gauges survived delete/close: {names:?}"
+        );
+    }
+
+    /// The sampler derives a deliveries-per-second gauge from delivered
+    /// counter deltas, giving watchdogs a stuck-queue signal (depth > 0
+    /// while the dequeue rate sits at zero).
+    #[test]
+    fn sampler_publishes_dequeue_rate() {
+        let rec = Recorder::new();
+        let b = Broker::with_config(BrokerConfig {
+            recorder: Some(rec.clone()),
+            depth_sample_interval: Some(Duration::from_millis(5)),
+            ..Default::default()
+        })
+        .unwrap();
+        b.declare_queue("q", QueueConfig::default()).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut seen_rate = false;
+        while std::time::Instant::now() < deadline && !seen_rate {
+            for i in 0..50u8 {
+                b.publish("q", Message::new(vec![i])).unwrap();
+            }
+            while let Ok(Some(d)) = b.get("q") {
+                b.ack("q", d.tag).unwrap();
+            }
+            seen_rate = rec
+                .metrics()
+                .gauges()
+                .iter()
+                .any(|(n, _, hw)| n == "mq.queue.q.dequeue_rate" && *hw > 0);
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(seen_rate, "dequeue_rate gauge observed deliveries");
         b.close();
     }
 

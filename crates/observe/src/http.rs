@@ -74,11 +74,24 @@ impl std::fmt::Debug for ObserveServer {
 }
 
 impl ObserveServer {
-    /// Bind `addr` and start serving.
+    /// Bind `addr` and start serving the built-in routes.
     pub fn start(
         addr: SocketAddr,
         metrics: Arc<Metrics>,
         statusz: StatuszFn,
+    ) -> std::io::Result<ObserveServer> {
+        Self::start_with_routes(addr, metrics, statusz, Vec::new())
+    }
+
+    /// Bind `addr` and start serving; `routes` adds extra
+    /// `(path, application/json producer)` endpoints beyond the built-ins
+    /// (e.g. `/debug/decisions` for the control plane's flight recorder).
+    /// Built-in paths win on conflict.
+    pub fn start_with_routes(
+        addr: SocketAddr,
+        metrics: Arc<Metrics>,
+        statusz: StatuszFn,
+        routes: Vec<(String, StatuszFn)>,
     ) -> std::io::Result<ObserveServer> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
@@ -90,7 +103,7 @@ impl ObserveServer {
             .spawn(move || {
                 while !stop2.load(Ordering::Relaxed) {
                     match listener.accept() {
-                        Ok((stream, _)) => serve_one(stream, &metrics, &statusz),
+                        Ok((stream, _)) => serve_one(stream, &metrics, &statusz, &routes),
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             std::thread::sleep(Duration::from_millis(5));
                         }
@@ -126,7 +139,12 @@ impl Drop for ObserveServer {
     }
 }
 
-fn serve_one(mut stream: TcpStream, metrics: &Metrics, statusz: &StatuszFn) {
+fn serve_one(
+    mut stream: TcpStream,
+    metrics: &Metrics,
+    statusz: &StatuszFn,
+    routes: &[(String, StatuszFn)],
+) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
     let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
     // Read up to the end of the request line; headers are irrelevant and a
@@ -160,7 +178,10 @@ fn serve_one(mut stream: TcpStream, metrics: &Metrics, statusz: &StatuszFn) {
             "/metrics" => ("200 OK", "text/plain; version=0.0.4", prom::encode(metrics)),
             "/statusz" => ("200 OK", "application/json", statusz()),
             "/healthz" => ("200 OK", "text/plain", "ok\n".to_string()),
-            _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+            _ => match routes.iter().find(|(p, _)| p == path) {
+                Some((_, f)) => ("200 OK", "application/json", f()),
+                None => ("404 Not Found", "text/plain", "not found\n".to_string()),
+            },
         }
     };
     let _ = write!(
@@ -287,6 +308,26 @@ mod tests {
             .iter()
             .any(|s| s.name == "mq_queue_pending_depth" && s.value == 5.0));
         prom::validate_histograms(&samples).expect("histograms valid");
+    }
+
+    #[test]
+    fn extra_routes_are_served_as_json() {
+        let metrics = Arc::new(Metrics::default());
+        let statusz: StatuszFn = Arc::new(|| "{}".to_string());
+        let decisions: StatuszFn = Arc::new(|| "[{\"kind\":\"scale_up\"}]".to_string());
+        let srv = ObserveServer::start_with_routes(
+            "127.0.0.1:0".parse().unwrap(),
+            metrics,
+            statusz,
+            vec![("/debug/decisions".to_string(), decisions)],
+        )
+        .expect("bind");
+        let (head, body) = get(srv.local_addr(), "/debug/decisions");
+        assert!(head.contains("200 OK"), "{head}");
+        assert!(head.contains("application/json"), "{head}");
+        assert_eq!(body, "[{\"kind\":\"scale_up\"}]");
+        let (head, _) = get(srv.local_addr(), "/debug/nothing");
+        assert!(head.contains("404"), "{head}");
     }
 
     #[test]

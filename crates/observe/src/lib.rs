@@ -32,12 +32,17 @@ pub mod json;
 pub mod metrics;
 pub mod prom;
 pub mod recorder;
+pub mod slo;
 pub mod trace;
 
 pub use event::Event;
 pub use http::{ObserveConfig, ObserveServer, Sampler, StatuszFn};
 pub use metrics::{Counter, Gauge, Histogram, HistogramExport, HistogramSnapshot, Metrics};
 pub use recorder::{Recorder, Span};
+pub use slo::{
+    Alert, AnomalyKind, Decision, DecisionRing, QueueSample, SloBurn, SloConfig, SloTracker,
+    Watchdog, WatchdogConfig, WatchdogInput,
+};
 pub use trace::{hops, CriticalPath, Hop, StageResidency, TraceCtx, TRACE_HEADER};
 
 /// Component names used across the workspace, centralized so traces from all

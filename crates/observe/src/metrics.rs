@@ -232,7 +232,7 @@ impl Histogram {
 }
 
 /// Point-in-time summary of a [`Histogram`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     /// Sample count.
     pub count: u64,
@@ -295,6 +295,27 @@ impl Metrics {
     /// Named histogram, created on first use.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         get_or_create(&self.histograms, name)
+    }
+
+    /// Unregister a gauge so it no longer appears on scrape endpoints.
+    /// Handles already held by callers keep working but write into a
+    /// detached metric. Returns whether the gauge existed.
+    pub fn remove_gauge(&self, name: &str) -> bool {
+        self.gauges
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(name)
+            .is_some()
+    }
+
+    /// Unregister every gauge whose name starts with `prefix` (e.g. all
+    /// `mq.queue.s00042.` series when that session's queues are deleted).
+    /// Returns how many gauges were removed.
+    pub fn remove_gauges_with_prefix(&self, prefix: &str) -> usize {
+        let mut w = self.gauges.write().unwrap_or_else(|e| e.into_inner());
+        let before = w.len();
+        w.retain(|k, _| !k.starts_with(prefix));
+        before - w.len()
     }
 
     /// All counters, name-sorted.
@@ -457,6 +478,19 @@ mod tests {
         for w in writers {
             w.join().unwrap();
         }
+    }
+
+    #[test]
+    fn removed_gauges_disappear_from_listings() {
+        let m = Metrics::default();
+        m.gauge("mq.queue.s00001.pending.depth").set(4);
+        m.gauge("mq.queue.s00001.pending.unacked").set(1);
+        m.gauge("mq.queue.s00002.pending.depth").set(9);
+        assert!(m.remove_gauge("mq.queue.s00001.pending.unacked"));
+        assert!(!m.remove_gauge("mq.queue.s00001.pending.unacked"));
+        assert_eq!(m.remove_gauges_with_prefix("mq.queue.s00001."), 1);
+        let names: Vec<String> = m.gauges().into_iter().map(|(n, _, _)| n).collect();
+        assert_eq!(names, vec!["mq.queue.s00002.pending.depth".to_string()]);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use crate::api::{PilotDescription, PilotId, PilotState};
 use crate::rts::{RtsConfig, RuntimeSystem};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
 
@@ -26,6 +26,8 @@ pub struct PilotPoolConfig {
     /// walltime: they keep consuming it while idle between leases.
     pub pilot: PilotDescription,
     /// Maximum idle runtimes kept warm; returns beyond this are torn down.
+    /// This is the *initial* target — [`PilotPool::set_capacity`] adjusts it
+    /// at runtime (telemetry-driven prescaling).
     pub capacity: usize,
 }
 
@@ -44,6 +46,10 @@ pub struct PoolStats {
 
 struct PoolInner {
     config: PilotPoolConfig,
+    /// Live capacity target; starts at `config.capacity` and moves under
+    /// [`PilotPool::set_capacity`]. Lease returns and prewarm consult this,
+    /// so a shrink takes effect on the very next return.
+    target: AtomicUsize,
     idle: Mutex<Vec<(Arc<RuntimeSystem>, PilotId)>>,
     draining: AtomicBool,
     cold_boots: AtomicU64,
@@ -81,6 +87,7 @@ impl PilotPool {
     pub fn new(config: PilotPoolConfig) -> Self {
         PilotPool {
             inner: Arc::new(PoolInner {
+                target: AtomicUsize::new(config.capacity),
                 config,
                 idle: Mutex::new(Vec::new()),
                 draining: AtomicBool::new(false),
@@ -92,18 +99,47 @@ impl PilotPool {
         }
     }
 
-    /// Boot up to `n` pilots into the warm pool (bounded by capacity).
+    /// Boot up to `n` pilots into the warm pool (bounded by the live
+    /// capacity target).
     pub fn prewarm(&self, n: usize) {
         for _ in 0..n {
             {
                 let idle = self.inner.idle.lock();
-                if idle.len() >= self.inner.config.capacity {
+                if idle.len() >= self.inner.target.load(Ordering::Acquire) {
                     return;
                 }
             }
             let slot = self.inner.boot();
             self.inner.idle.lock().push(slot);
         }
+    }
+
+    /// Current capacity target.
+    pub fn capacity(&self) -> usize {
+        self.inner.target.load(Ordering::Acquire)
+    }
+
+    /// Retarget the warm-pool capacity at runtime. Shrinking tears down
+    /// excess idle runtimes immediately and causes surplus lease returns to
+    /// be discarded; growing takes effect lazily — call
+    /// [`PilotPool::prewarm`] to boot warm pilots up to the new target
+    /// eagerly. Returns how many idle runtimes were torn down.
+    pub fn set_capacity(&self, n: usize) -> usize {
+        self.inner.target.store(n, Ordering::Release);
+        let excess: Vec<_> = {
+            let mut idle = self.inner.idle.lock();
+            if idle.len() > n {
+                idle.split_off(n)
+            } else {
+                Vec::new()
+            }
+        };
+        let torn = excess.len();
+        for (rts, _) in excess {
+            self.inner.discarded.fetch_add(1, Ordering::Relaxed);
+            rts.teardown();
+        }
+        torn
     }
 
     /// Lease a runtime: warm when available (health-checked), cold-booted
@@ -224,7 +260,7 @@ impl Drop for PilotLease {
             if let Some(pool) = &pool {
                 if !pool.draining.load(Ordering::Acquire) {
                     let mut idle = pool.idle.lock();
-                    if idle.len() < pool.config.capacity {
+                    if idle.len() < pool.target.load(Ordering::Acquire) {
                         idle.push((rts, self.pilot));
                         pool.returned.fetch_add(1, Ordering::Relaxed);
                         return;
@@ -346,6 +382,33 @@ mod tests {
         drop(b); // pool already full: torn down
         assert_eq!(pool.warm_count(), 1);
         assert_eq!(pool.stats().discarded, 1);
+    }
+
+    #[test]
+    fn set_capacity_grows_and_shrinks_at_runtime() {
+        let pool = pool(1);
+        pool.prewarm(1);
+        assert_eq!(pool.capacity(), 1);
+        assert_eq!(pool.warm_count(), 1);
+
+        // Grow: prewarm now fills up to the new target.
+        pool.set_capacity(3);
+        assert_eq!(pool.capacity(), 3);
+        pool.prewarm(5);
+        assert_eq!(pool.warm_count(), 3);
+
+        // Shrink: excess idle runtimes are torn down immediately...
+        assert_eq!(pool.set_capacity(1), 2);
+        assert_eq!(pool.warm_count(), 1);
+        assert_eq!(pool.stats().discarded, 2);
+
+        // ...and surplus lease returns are discarded against the new target.
+        let a = pool.lease();
+        let b = pool.lease();
+        drop(a);
+        drop(b);
+        assert_eq!(pool.warm_count(), 1);
+        assert_eq!(pool.stats().discarded, 3);
     }
 
     #[test]

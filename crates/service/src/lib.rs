@@ -38,3 +38,7 @@ pub use protocol::{
     SubmitError,
 };
 pub use service::{EnsembleService, ServiceClient, ServiceConfig};
+
+// Re-exported so embedders can declare SLOs and tune the watchdog without
+// naming entk-observe directly.
+pub use entk_observe::{SloConfig, WatchdogConfig};

@@ -22,19 +22,26 @@ use crate::protocol::{
     SubmitError,
 };
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use entk_control::{
+    Actuation, BatchTuner, BatchTunerConfig, ControlAction, ControlObservation, Controller,
+    PoolPrescaler, PrescalerConfig, TailGuard, TailGuardConfig,
+};
 use entk_core::{
-    AppManager, AppManagerConfig, CancelToken, QueueNamespace, ResourceDescription, RunReport,
-    SessionAttachment, Workflow,
+    AppManager, AppManagerConfig, CancelToken, ExecManagerConfig, QueueNamespace,
+    ResourceDescription, RunReport, SessionAttachment, Workflow,
 };
 use entk_mq::{Broker, BrokerConfig};
 use entk_observe::export::json_escape;
-use entk_observe::{components, CriticalPath, ObserveConfig, ObserveServer, Recorder, Sampler};
+use entk_observe::{
+    components, CriticalPath, DecisionRing, ObserveConfig, ObserveServer, QueueSample, Recorder,
+    Sampler, SloBurn, SloConfig, SloTracker, Watchdog, WatchdogConfig, WatchdogInput,
+};
 use parking_lot::{Condvar, Mutex};
 use rp_rts::{PilotPool, PilotPoolConfig};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -45,6 +52,16 @@ const CONTROL_POLL: Duration = Duration::from_millis(25);
 
 /// How long an idle worker parks on the condvar before rechecking stop.
 const WORKER_PARK: Duration = Duration::from_millis(50);
+
+/// The watchdog scans at this multiple of the sampler interval, so a dead
+/// main sampler is observable as a flat tick counter across several scans.
+const WATCHDOG_INTERVAL_FACTOR: u32 = 4;
+
+/// Flight-recorder capacity (alerts + actuations kept for `/debug/decisions`).
+const DECISION_RING_CAPACITY: usize = 256;
+
+/// Initial shared batch limit; matches `ExecManagerConfig::default().max_batch`.
+const DEFAULT_BATCH_LIMIT: usize = 256;
 
 /// Service configuration.
 #[derive(Clone)]
@@ -77,6 +94,19 @@ pub struct ServiceConfig {
     /// Telemetry plane: exposition listener + background sampler. The
     /// default is fully off, so embedding the service costs nothing extra.
     pub observe: ObserveConfig,
+    /// Service-level objectives. When set, an [`SloTracker`] publishes
+    /// `slo.*` burn-rate gauges and breach counters on every sampler tick,
+    /// and the watchdog/controllers key off the declared targets. Implies a
+    /// live recorder and background sampler even without a listener.
+    pub slo: Option<SloConfig>,
+    /// Enable the telemetry-driven controllers (pool prescaler, batch
+    /// tuner, tail-guard admission). Implies a live recorder and sampler.
+    pub adaptive: bool,
+    /// Watchdog thresholds (stall factor, stuck-queue scans, ...).
+    pub watchdog: WatchdogConfig,
+    /// Initial shared batch limit for the broker data path. Static unless
+    /// `adaptive` is on, in which case the batch tuner walks it online.
+    pub batch_limit: usize,
 }
 
 impl ServiceConfig {
@@ -94,6 +124,10 @@ impl ServiceConfig {
             max_rts_restarts: 1,
             recorder: None,
             observe: ObserveConfig::default(),
+            slo: None,
+            adaptive: false,
+            watchdog: WatchdogConfig::default(),
+            batch_limit: DEFAULT_BATCH_LIMIT,
         }
     }
 
@@ -151,6 +185,30 @@ impl ServiceConfig {
         self.observe.listen_addr = Some(addr);
         self
     }
+
+    /// Builder: declare service-level objectives.
+    pub fn with_slo(mut self, slo: SloConfig) -> Self {
+        self.slo = Some(slo);
+        self
+    }
+
+    /// Builder: enable/disable the adaptive controllers.
+    pub fn with_adaptive_control(mut self, on: bool) -> Self {
+        self.adaptive = on;
+        self
+    }
+
+    /// Builder: watchdog thresholds.
+    pub fn with_watchdog(mut self, watchdog: WatchdogConfig) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+
+    /// Builder: initial batch limit for the broker data path.
+    pub fn with_batch_limit(mut self, n: usize) -> Self {
+        self.batch_limit = n.max(1);
+        self
+    }
 }
 
 /// Internal lifecycle phase of a submission.
@@ -194,6 +252,26 @@ struct State {
     next_id: u64,
 }
 
+/// The telemetry-loop state: SLO tracker, watchdog, controllers, and the
+/// knobs they move. Always present (cheap); only the samplers drive it.
+struct ControlPlane {
+    ring: Arc<DecisionRing>,
+    slo: Option<SloTracker>,
+    watchdog: Mutex<Watchdog>,
+    controllers: Mutex<Vec<Box<dyn Controller>>>,
+    /// Shared batch-size knob installed into every run's
+    /// [`ExecManagerConfig`]; the tuner moves it live.
+    batch_knob: Arc<AtomicUsize>,
+    /// Tail-guard admission shedding flag, consulted by `admit`.
+    shed: AtomicBool,
+    /// Monotone main-sampler tick count, watched for DeadSampler.
+    sampler_ticks: AtomicU64,
+    /// In-flight background prewarm spawned by a grow actuation (a pilot
+    /// bootstrap takes far longer than a sampler period, so it must not run
+    /// on the sampler thread). Joined at shutdown, before the pool drains.
+    prewarmer: parking_lot::Mutex<Option<JoinHandle<()>>>,
+}
+
 struct Inner {
     state: Mutex<State>,
     work_ready: Condvar,
@@ -205,6 +283,7 @@ struct Inner {
     /// Per-stage residency aggregated across every finished run's traced
     /// tasks (served on `/statusz`).
     critical_path: Mutex<CriticalPath>,
+    ctl: ControlPlane,
     started_at: Instant,
 }
 
@@ -301,16 +380,20 @@ pub struct EnsembleService {
     workers: Vec<JoinHandle<()>>,
     observe: Option<ObserveServer>,
     sampler: Option<Sampler>,
+    watchdog_sampler: Option<Sampler>,
 }
 
 impl EnsembleService {
     /// Start the service: boot the shared broker, prewarm the pilot pool,
     /// and spawn the control and worker threads.
     pub fn start(config: ServiceConfig) -> Self {
-        // A configured listener implies live telemetry: auto-enable a
-        // recorder so there is something to scrape.
+        // A configured listener, declared SLO, or adaptive control implies
+        // live telemetry: auto-enable a recorder so there is something to
+        // scrape (and for the control loop to read).
+        let telemetry_wanted =
+            config.observe.listen_addr.is_some() || config.slo.is_some() || config.adaptive;
         let recorder = config.recorder.clone().unwrap_or_else(|| {
-            if config.observe.listen_addr.is_some() {
+            if telemetry_wanted {
                 Recorder::new()
             } else {
                 Recorder::disabled()
@@ -342,6 +425,54 @@ impl EnsembleService {
         pool.prewarm(config.warm_pilots);
         drop(prewarm_span);
 
+        // Control plane: flight recorder, optional SLO tracker, watchdog,
+        // and (when adaptive) the three stock controllers.
+        let ring = Arc::new(DecisionRing::new(DECISION_RING_CAPACITY));
+        let metrics = recorder.metrics_arc();
+        let slo = config
+            .slo
+            .clone()
+            .map(|slo| SloTracker::new(slo, Arc::clone(&metrics)));
+        let watchdog = Mutex::new(Watchdog::new(
+            config.watchdog.clone(),
+            Arc::clone(&metrics),
+            Arc::clone(&ring),
+        ));
+        let batch_knob = Arc::new(AtomicUsize::new(config.batch_limit.max(1)));
+        let mut controllers: Vec<Box<dyn Controller>> = Vec::new();
+        if config.adaptive {
+            controllers.push(Box::new(PoolPrescaler::new(PrescalerConfig {
+                min_capacity: 1,
+                max_capacity: (config.warm_pilots.max(1) * 4).max(8),
+                ..Default::default()
+            })));
+            controllers.push(Box::new(BatchTuner::new(BatchTunerConfig::default())));
+            controllers.push(Box::new(TailGuard::new(TailGuardConfig::default())));
+        }
+        if recorder.is_enabled() {
+            // Pre-register the control series so a scrape before the first
+            // actuation already exposes the full set.
+            metrics
+                .gauge("control.pool_capacity")
+                .set(config.warm_pilots.max(1) as i64);
+            metrics
+                .gauge("control.batch_limit")
+                .set(config.batch_limit.max(1) as i64);
+            metrics.gauge("control.shed").set(0);
+            metrics.counter("control.actuations");
+            metrics.counter("control.shed.rejected");
+        }
+        let ctl = ControlPlane {
+            ring,
+            slo,
+            watchdog,
+            controllers: Mutex::new(controllers),
+            batch_knob,
+            shed: AtomicBool::new(false),
+            sampler_ticks: AtomicU64::new(0),
+            prewarmer: parking_lot::Mutex::new(None),
+        };
+
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
                 queue: FairShare::new(config.default_weight, config.weights.iter().cloned()),
@@ -360,6 +491,7 @@ impl EnsembleService {
             broker,
             config,
             critical_path: Mutex::new(CriticalPath::new()),
+            ctl,
             started_at: Instant::now(),
         });
 
@@ -381,28 +513,34 @@ impl EnsembleService {
             })
             .collect();
 
-        // Telemetry plane: exposition listener + pool/DB sampler, only when
-        // asked for. (Queue-depth gauges are sampled by the broker itself.)
+        // Telemetry plane: exposition listener + pool/DB/control sampler +
+        // watchdog scanner, only when asked for. (Queue-depth gauges are
+        // sampled by the broker itself.) An SLO declaration or adaptive
+        // control needs the samplers even without a listener.
         let observe = inner.config.observe.listen_addr.map(|addr| {
             let statusz_inner = Arc::clone(&inner);
             let statusz: entk_observe::StatuszFn = Arc::new(move || statusz_json(&statusz_inner));
-            ObserveServer::start(addr, inner.recorder.metrics_arc(), statusz)
-                .expect("bind telemetry listener")
+            let ring = Arc::clone(&inner.ctl.ring);
+            let decisions: entk_observe::StatuszFn = Arc::new(move || ring.to_json());
+            ObserveServer::start_with_routes(
+                addr,
+                inner.recorder.metrics_arc(),
+                statusz,
+                vec![("/debug/decisions".to_string(), decisions)],
+            )
+            .expect("bind telemetry listener")
         });
-        let sampler = observe.is_some().then(|| {
+        let run_samplers = observe.is_some() || telemetry_wanted;
+        let sampler = run_samplers.then(|| {
             let inner = Arc::clone(&inner);
             Sampler::start(inner.config.observe.sample_interval, move || {
-                let m = inner.recorder.metrics();
-                m.gauge("rts.pool.warm").set(inner.pool.warm_count() as i64);
-                let ps = inner.pool.stats();
-                m.gauge("rts.pool.cold_boots").set(ps.cold_boots as i64);
-                m.gauge("rts.pool.warm_hits").set(ps.warm_hits as i64);
-                m.gauge("rts.pool.returned").set(ps.returned as i64);
-                m.gauge("rts.pool.discarded").set(ps.discarded as i64);
-                let (round_trips, documents) = inner.pool.db_stats();
-                m.gauge("rts.db.round_trips").set(round_trips as i64);
-                m.gauge("rts.db.documents").set(documents as i64);
+                sampler_tick(&inner)
             })
+        });
+        let watchdog_sampler = run_samplers.then(|| {
+            let inner = Arc::clone(&inner);
+            let interval = inner.config.observe.sample_interval * WATCHDOG_INTERVAL_FACTOR;
+            Sampler::start(interval, move || watchdog_scan(&inner))
         });
 
         EnsembleService {
@@ -412,6 +550,7 @@ impl EnsembleService {
             workers,
             observe,
             sampler,
+            watchdog_sampler,
         }
     }
 
@@ -428,6 +567,21 @@ impl EnsembleService {
     /// Idle warm pilots right now.
     pub fn warm_pilots(&self) -> usize {
         self.inner.pool.warm_count()
+    }
+
+    /// The control plane's flight recorder (alerts + actuations).
+    pub fn decisions(&self) -> Arc<DecisionRing> {
+        Arc::clone(&self.inner.ctl.ring)
+    }
+
+    /// Current effective batch limit (moved live by the batch tuner).
+    pub fn batch_limit(&self) -> usize {
+        self.inner.ctl.batch_knob.load(Ordering::Acquire)
+    }
+
+    /// Current pilot-pool capacity target (moved live by the prescaler).
+    pub fn pool_capacity(&self) -> usize {
+        self.inner.pool.capacity()
     }
 
     /// Graceful drain shutdown: stop admitting, run the queue dry, join all
@@ -480,6 +634,7 @@ impl EnsembleService {
     fn stop_threads(&mut self) -> ServiceStats {
         // Stop the telemetry plane first: a final sampler tick runs on stop,
         // and the listener must not outlive the broker it reports on.
+        self.watchdog_sampler.take();
         self.sampler.take();
         self.observe.take();
         if self.inner.recorder.is_enabled() {
@@ -502,6 +657,11 @@ impl EnsembleService {
             let st = self.inner.state.lock();
             stats_snapshot(&self.inner, &st)
         };
+        // A grow actuation may still be booting pilots; let it finish so the
+        // drain below tears down everything it produced.
+        if let Some(h) = self.inner.ctl.prewarmer.lock().take() {
+            let _ = h.join();
+        }
         self.inner.pool.drain();
         // Any session queues a failed run left behind die with the broker.
         self.inner.broker.close();
@@ -620,6 +780,46 @@ fn statusz_json(inner: &Inner) -> String {
         ps.returned,
         ps.discarded
     );
+    // Control plane: declared SLO + live burn, recent alerts, the flight
+    // recorder's tail of actuations, and the current knob positions.
+    match &inner.ctl.slo {
+        Some(tracker) => {
+            let cfg = tracker.config();
+            let burn = tracker.last();
+            let _ = write!(
+                out,
+                ",\"slo\":{{\"target_p50_ms\":{},\"target_p99_ms\":{},\"target_queue_wait_ms\":{},\
+                 \"p50_burn\":{},\"p99_burn\":{},\"queue_wait_burn\":{},\"breaching\":{}}}",
+                cfg.p50_turnaround.as_millis(),
+                cfg.p99_turnaround.as_millis(),
+                cfg.queue_wait_budget.as_millis(),
+                burn.p50_permille,
+                burn.p99_permille,
+                burn.queue_wait_permille,
+                burn.any_breach()
+            );
+        }
+        None => out.push_str(",\"slo\":null"),
+    }
+    let _ = write!(
+        out,
+        ",\"alerts\":{}",
+        DecisionRing::json_array(&inner.ctl.ring.recent("alert", 16))
+    );
+    let _ = write!(
+        out,
+        ",\"decisions\":{{\"total\":{},\"recent\":{}}}",
+        inner.ctl.ring.total(),
+        DecisionRing::json_array(&inner.ctl.ring.recent("actuation", 16))
+    );
+    let _ = write!(
+        out,
+        ",\"control\":{{\"adaptive\":{},\"pool_capacity\":{},\"batch_limit\":{},\"shed\":{}}}",
+        inner.config.adaptive,
+        inner.pool.capacity(),
+        inner.ctl.batch_knob.load(Ordering::Acquire),
+        inner.ctl.shed.load(Ordering::Acquire)
+    );
     out.push_str(",\"failpoints\":[");
     for (i, (name, hits, fires)) in entk_fail::snapshot().iter().enumerate() {
         if i > 0 {
@@ -672,6 +872,173 @@ fn settle_canceled_before_run(sub: &mut Submission, id: SubmissionId) {
         turnaround: sub.submitted_at.elapsed(),
         warm_pilot: None,
     });
+}
+
+/// CriticalPath stage label for queue wait: the span a ready task sits in
+/// the Pending queue before the execution manager dequeues it.
+const QUEUE_WAIT_STAGE: &str = "enqueue->emgr_dequeue";
+
+/// One main-sampler tick: refresh the pool/DB gauges, publish SLO burn
+/// rates, assemble a [`ControlObservation`] from live telemetry, and poll
+/// the controllers, applying whatever they actuate.
+fn sampler_tick(inner: &Arc<Inner>) {
+    let m = inner.recorder.metrics();
+    m.gauge("rts.pool.warm").set(inner.pool.warm_count() as i64);
+    let ps = inner.pool.stats();
+    m.gauge("rts.pool.cold_boots").set(ps.cold_boots as i64);
+    m.gauge("rts.pool.warm_hits").set(ps.warm_hits as i64);
+    m.gauge("rts.pool.returned").set(ps.returned as i64);
+    m.gauge("rts.pool.discarded").set(ps.discarded as i64);
+    let (round_trips, documents) = inner.pool.db_stats();
+    m.gauge("rts.db.round_trips").set(round_trips as i64);
+    m.gauge("rts.db.documents").set(documents as i64);
+    inner.ctl.sampler_ticks.fetch_add(1, Ordering::Relaxed);
+
+    let (queued, active) = {
+        let st = inner.state.lock();
+        (st.queue.len() as i64, st.active as i64)
+    };
+    let turnaround = m.histogram("service.turnaround").snapshot();
+    // Mean queue-wait residency from the critical path decomposition.
+    let queue_wait_mean_ns = {
+        let cp = inner.critical_path.lock();
+        cp.stages()
+            .iter()
+            .find(|s| s.stage == QUEUE_WAIT_STAGE)
+            .filter(|s| s.count > 0)
+            .map(|s| s.total_ns / s.count)
+            .unwrap_or(0)
+    };
+    let burn = match &inner.ctl.slo {
+        Some(tracker) => tracker.tick(&turnaround, queue_wait_mean_ns),
+        None => SloBurn::default(),
+    };
+    // Broker-wide delivery rate: sum of the per-queue dequeue-rate gauges
+    // maintained by the broker's own depth sampler.
+    let dequeue_rate: i64 = m
+        .gauges()
+        .into_iter()
+        .filter(|(name, _, _)| name.starts_with("mq.queue.") && name.ends_with(".dequeue_rate"))
+        .map(|(_, value, _)| value)
+        .sum();
+    let obs = ControlObservation {
+        queued,
+        active,
+        max_active: inner.config.max_active as i64,
+        warm_pilots: inner.pool.warm_count() as i64,
+        pool_capacity: inner.pool.capacity() as i64,
+        turnaround,
+        dequeue_rate: dequeue_rate as f64,
+        batch_limit: inner.ctl.batch_knob.load(Ordering::Acquire),
+        slo: burn,
+    };
+    m.gauge("control.pool_capacity").set(obs.pool_capacity);
+    m.gauge("control.batch_limit").set(obs.batch_limit as i64);
+    m.gauge("control.shed")
+        .set(inner.ctl.shed.load(Ordering::Acquire) as i64);
+    let mut controllers = inner.ctl.controllers.lock();
+    for c in controllers.iter_mut() {
+        let name = c.name();
+        for act in c.tick(&obs) {
+            apply_actuation(inner, name, act);
+        }
+    }
+}
+
+/// Apply one controller actuation to the real knob, mirror it onto the
+/// `control.*` series, and append it to the flight recorder with evidence.
+fn apply_actuation(inner: &Arc<Inner>, name: &'static str, act: Actuation) {
+    let m = inner.recorder.metrics();
+    let (subject, action) = match act.action {
+        ControlAction::SetPoolCapacity(n) => {
+            let old = inner.pool.capacity();
+            inner.pool.set_capacity(n);
+            if n > old {
+                // Boot only the deficit — capacity minus pilots already
+                // allocated (idle or leased out) — and do it off-thread: a
+                // pilot bootstrap takes far longer than a sampler period and
+                // must not stall the tick loop (that would trip the
+                // dead-sampler watchdog, and rightly so).
+                let active = inner.state.lock().active;
+                let deficit = n.saturating_sub(active + inner.pool.warm_count());
+                if deficit > 0 {
+                    let mut slot = inner.ctl.prewarmer.lock();
+                    let busy = slot.as_ref().map(|h| !h.is_finished()).unwrap_or(false);
+                    if !busy {
+                        if let Some(h) = slot.take() {
+                            let _ = h.join();
+                        }
+                        let pool = inner.pool.clone();
+                        *slot = Some(
+                            std::thread::Builder::new()
+                                .name("entk-svc-prewarm".into())
+                                .spawn(move || pool.prewarm(deficit))
+                                .expect("spawn prewarm thread"),
+                        );
+                    }
+                }
+            }
+            m.gauge("control.pool_capacity").set(n as i64);
+            ("pilot_pool", format!("capacity {old}->{n}"))
+        }
+        ControlAction::SetBatchLimit(n) => {
+            let old = inner.ctl.batch_knob.swap(n, Ordering::AcqRel);
+            m.gauge("control.batch_limit").set(n as i64);
+            ("batch_knob", format!("batch {old}->{n}"))
+        }
+        ControlAction::SetAdmissionShed(on) => {
+            inner.ctl.shed.store(on, Ordering::Release);
+            m.gauge("control.shed").set(on as i64);
+            ("admission", (if on { "shed" } else { "admit" }).to_string())
+        }
+    };
+    m.counter("control.actuations").incr();
+    m.counter(&format!("control.{name}.actuations")).incr();
+    inner
+        .ctl
+        .ring
+        .record("actuation", name, subject, &action, &act.evidence);
+    inner
+        .recorder
+        .record(components::SERVICE, "control_actuation", subject, action);
+}
+
+/// One watchdog scan: fold live queue/pool/submission state into the typed
+/// anomaly detectors (alerts land on metrics + the decision ring).
+fn watchdog_scan(inner: &Arc<Inner>) {
+    let m = inner.recorder.metrics();
+    let turnaround_p99_ns = m.histogram("service.turnaround").snapshot().p99_ns;
+    let (queued, active) = {
+        let st = inner.state.lock();
+        let active: Vec<(String, Duration)> = st
+            .subs
+            .iter()
+            .filter(|(_, sub)| sub.phase == Phase::Running)
+            .map(|(id, sub)| (id.to_string(), sub.submitted_at.elapsed()))
+            .collect();
+        (st.queue.len() as i64, active)
+    };
+    let queues = inner
+        .broker
+        .queue_names()
+        .into_iter()
+        .filter_map(|name| {
+            inner.broker.queue_stats(&name).ok().map(|qs| QueueSample {
+                name,
+                depth: qs.depth as u64,
+                delivered: qs.delivered,
+            })
+        })
+        .collect();
+    let input = WatchdogInput {
+        turnaround_p99_ns,
+        active,
+        queues,
+        sampler_ticks: inner.ctl.sampler_ticks.load(Ordering::Relaxed),
+        warm_pilots: inner.pool.warm_count() as i64,
+        queued,
+    };
+    inner.ctl.watchdog.lock().scan(&input);
 }
 
 fn control_loop(inner: &Arc<Inner>, rx: &Receiver<Request>) {
@@ -737,6 +1104,24 @@ fn admit(
     let mut st = inner.state.lock();
     if st.draining {
         return Err(SubmitError::Draining);
+    }
+    if inner.ctl.shed.load(Ordering::Acquire) {
+        // Tail-guard shedding: the p99 is burning past its SLO, so refuse
+        // with the same EWMA-derived backoff saturation rejections use —
+        // one run's worth of drain time.
+        let retry_after = Duration::from_secs_f64(st.admission.run_estimate_ms() / 1000.0)
+            .max(Duration::from_millis(10));
+        st.totals.rejected += 1;
+        inner.tenant_counter("rejected", &tenant);
+        inner
+            .recorder
+            .metrics()
+            .counter("control.shed.rejected")
+            .incr();
+        inner
+            .recorder
+            .record(components::SERVICE, "submit_shed", "", tenant);
+        return Err(SubmitError::Saturated { retry_after });
     }
     if let Err(retry_after) = st
         .admission
@@ -873,7 +1258,12 @@ fn execute(inner: &Arc<Inner>, job: Job) -> (Phase, SubmissionResult) {
     let mut amgr_cfg = AppManagerConfig::new(cfg.resource.clone())
         .with_cancel_token(cancel)
         .with_task_retries(cfg.task_retries)
-        .with_max_rts_restarts(cfg.max_rts_restarts);
+        .with_max_rts_restarts(cfg.max_rts_restarts)
+        // Share the live batch knob so the tuner's moves reach runs already
+        // in flight (every batched loop re-reads it per iteration).
+        .with_exec_manager(
+            ExecManagerConfig::default().with_batch_knob(Arc::clone(&inner.ctl.batch_knob)),
+        );
     if let Some(t) = cfg.run_timeout {
         amgr_cfg = amgr_cfg.with_run_timeout(t);
     }

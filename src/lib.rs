@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub use entk_apps as apps;
+pub use entk_control as control;
 pub use entk_core as core;
 pub use entk_mq as mq;
 pub use entk_observe as observe;
@@ -58,7 +59,7 @@ pub mod prelude {
         OverheadReport, Pipeline, PipelineState, PythonEmulation, ResourceDescription, RunReport,
         Stage, StageState, StagingSpec, Task, TaskState, Workflow,
     };
-    pub use entk_observe::Recorder;
+    pub use entk_observe::{Recorder, SloConfig};
     pub use entk_service::{
         EnsembleService, ServiceClient, ServiceConfig, SubmissionId, SubmissionOutcome,
         SubmissionResult, SubmissionStatus, SubmitError,

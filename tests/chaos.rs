@@ -516,3 +516,82 @@ fn service_discards_dead_lease_returns_and_completes_everything() {
     );
     service.shutdown();
 }
+
+// ---------------------------------------------------------------------------
+// Satellite: the critical path stays exact under chaos and cancellation.
+// ---------------------------------------------------------------------------
+
+/// Recorder-enabled chaos run: the RTS is killed twice mid-submission and
+/// restarted, so some attempts die partway through their hop timeline. The
+/// per-stage critical path must fold exactly one complete timeline per Done
+/// task — killed attempts contribute nothing partial.
+#[test]
+fn critical_path_stays_exact_under_injected_rts_deaths() {
+    let _g = entk_fail::scenario();
+    entk_fail::arm(
+        "rts.submit.partial",
+        Trigger::EveryNth(1),
+        InjectedAction::Partial(64),
+        Some(2),
+    );
+    let wf = entk::apps::synthetic::sleep_workflow(1, 1, TASKS, 1.0);
+    let mut cfg = AppManagerConfig::new(
+        ResourceDescription::sim(PlatformId::TestRig, 4, 4 * 3600).with_seed(SEED),
+    )
+    .with_run_timeout(timeout())
+    .with_recorder(Recorder::new());
+    cfg.max_rts_restarts = 8;
+    let report = AppManager::new(cfg).run(wf).expect("chaos run completes");
+    assert!(
+        report.succeeded,
+        "no task may be lost under injected faults"
+    );
+    assert_eq!(report.overheads.tasks_done, TASKS as u64);
+    assert_eq!(
+        entk_fail::fires("rts.submit.partial"),
+        2,
+        "both kills fired"
+    );
+    assert!(report.rts_restarts >= 2);
+    assert_eq!(
+        report.critical_path.tasks(),
+        TASKS as u64,
+        "exactly one complete timeline per Done task: killed attempts must not leak partials"
+    );
+    assert!(report.critical_path.total_ns() > 0);
+}
+
+/// Mid-run cancellation with tracing live: tasks that settle `Canceled`
+/// never complete a hop timeline, so the critical path folds exactly the
+/// Done subset and nothing else.
+#[test]
+fn critical_path_excludes_canceled_tasks() {
+    // Serializes against the other chaos tests (process-global failpoint
+    // registry and metrics sink) even though nothing is armed here.
+    let _g = entk_fail::scenario();
+    let token = entk::core::CancelToken::new();
+    let wf = entk::apps::synthetic::sleep_workflow(1, 1, TASKS, 1.0);
+    let cfg = AppManagerConfig::new(
+        ResourceDescription::sim(PlatformId::TestRig, 4, 4 * 3600).with_seed(SEED),
+    )
+    .with_run_timeout(timeout())
+    .with_recorder(Recorder::new())
+    .with_cancel_token(token.clone());
+    let canceler = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(40));
+        token.cancel();
+    });
+    let report = AppManager::new(cfg).run(wf).expect("canceled run settles");
+    canceler.join().expect("canceler thread");
+    assert!(report.canceled, "cancellation must land before completion");
+    let done = report.overheads.tasks_done;
+    assert!(
+        done < TASKS as u64,
+        "cancellation must leave work unfinished"
+    );
+    assert_eq!(
+        report.critical_path.tasks(),
+        done,
+        "canceled tasks must not contribute partial timelines"
+    );
+}

@@ -449,3 +449,80 @@ fn service_cancels_queued_and_running_submissions() {
     let stats = service.shutdown();
     assert_eq!(stats.canceled, 2);
 }
+
+// ---------------------------------------------------------------------------
+// Satellite: restart on a shared recorder leaves no stale series or samplers.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn restart_on_shared_recorder_leaves_no_stale_series_or_samplers() {
+    use entk::observe::{prom, ObserveConfig};
+
+    let recorder = Recorder::new();
+    for round in 0..2 {
+        let service = EnsembleService::start(
+            ServiceConfig::new(ResourceDescription::sim(PlatformId::TestRig, 2, 7200))
+                .with_recorder(recorder.clone())
+                .with_warm_pilots(1)
+                .with_max_active(2)
+                .with_run_timeout(timeout())
+                .with_slo(SloConfig::default())
+                .with_adaptive_control(true)
+                .with_observe(
+                    ObserveConfig::default().with_sample_interval(Duration::from_millis(5)),
+                ),
+        );
+        let client = service.client();
+        let id = client
+            .submit(
+                format!("t{round}"),
+                sim_workflow(&format!("r{round}"), 1, 4),
+            )
+            .expect("admitted");
+        let result = client.wait(id, timeout()).expect("settles");
+        assert!(result.outcome.is_success());
+        service.shutdown();
+
+        // Per-queue gauges die with their session queues: a scrape after
+        // shutdown must not carry any round's `mq.queue.*` series.
+        let stale: Vec<String> = recorder
+            .metrics()
+            .gauges()
+            .into_iter()
+            .map(|(name, _, _)| name)
+            .filter(|n| n.starts_with("mq.queue."))
+            .collect();
+        assert!(
+            stale.is_empty(),
+            "round {round}: stale queue gauges {stale:?}"
+        );
+    }
+
+    // Every sampler/watchdog thread joined at shutdown: the event stream is
+    // frozen once the last service is gone.
+    let settled = recorder.event_count();
+    std::thread::sleep(Duration::from_millis(60));
+    assert_eq!(
+        recorder.event_count(),
+        settled,
+        "a sampler thread outlived shutdown"
+    );
+
+    // The scrape after a restart carries each non-histogram series exactly
+    // once — re-registration reuses the original series instead of
+    // duplicating it.
+    let scrape = prom::encode(recorder.metrics());
+    let samples = prom::parse(&scrape).expect("scrape parses");
+    let mut seen = BTreeSet::new();
+    for s in &samples {
+        if s.name.ends_with("_bucket") || s.name.ends_with("_sum") || s.name.ends_with("_count") {
+            continue;
+        }
+        assert!(
+            seen.insert(s.name.clone()),
+            "duplicate series after restart: {}",
+            s.name
+        );
+    }
+    assert!(seen.iter().any(|n| n == "control_pool_capacity"));
+}
