@@ -1,0 +1,169 @@
+//! The gateway server: request routing over `entk-observe`'s HTTP stack.
+
+use crate::wire;
+use entk_observe::{Handler, HttpRequest, HttpResponse, HttpServer, HttpServerConfig, Recorder};
+use entk_service::{ServiceClient, SubmissionId, SubmitError};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// Shared gateway state behind the per-connection handler threads.
+struct GatewayState {
+    client: ServiceClient,
+    recorder: Recorder,
+    /// Rendered terminal results, keyed by submission. The service hands a
+    /// result out at most once ([`ServiceClient::take_result`]); the
+    /// gateway takes it on the first terminal `GET` and serves this cached
+    /// rendering forever after, keeping `GET` idempotent on the wire.
+    results: Mutex<HashMap<SubmissionId, String>>,
+}
+
+/// A running HTTP gateway fronting one [`EnsembleService`].
+///
+/// [`EnsembleService`]: entk_service::EnsembleService
+pub struct Gateway {
+    server: HttpServer,
+}
+
+impl Gateway {
+    /// Bind `addr` (port 0 picks an ephemeral port) and start serving the
+    /// wire protocol against `client`. The recorder receives `gateway.*`
+    /// request counters — pass the service's own recorder
+    /// ([`EnsembleService::recorder`]) so gateway traffic lands on the same
+    /// `/metrics` exposition.
+    ///
+    /// [`EnsembleService::recorder`]: entk_service::EnsembleService::recorder
+    pub fn start(addr: SocketAddr, client: ServiceClient, recorder: Recorder) -> io::Result<Self> {
+        let config = HttpServerConfig {
+            thread_name: "entk-gateway".into(),
+            ..HttpServerConfig::default()
+        };
+        Self::start_with(addr, client, recorder, config)
+    }
+
+    /// [`Gateway::start`] with explicit HTTP limits (request-size cap, read
+    /// timeout, connection cap).
+    pub fn start_with(
+        addr: SocketAddr,
+        client: ServiceClient,
+        recorder: Recorder,
+        config: HttpServerConfig,
+    ) -> io::Result<Self> {
+        let state = Arc::new(GatewayState {
+            client,
+            recorder,
+            results: Mutex::new(HashMap::new()),
+        });
+        let handler: Handler = Arc::new(move |req| route(&state, req));
+        let server = HttpServer::start(addr, handler, config)?;
+        Ok(Gateway { server })
+    }
+
+    /// The bound listen address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// Stop accepting connections and join the accept loop.
+    pub fn stop(mut self) {
+        self.server.stop();
+    }
+}
+
+fn route(gw: &GatewayState, req: &HttpRequest) -> HttpResponse {
+    let m = gw.recorder.metrics();
+    m.counter("gateway.requests").incr();
+    let resp = match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/v1/workflows") => submit(gw, req),
+        ("GET", "/v1/sessions") => sessions(gw),
+        ("GET", "/healthz") => HttpResponse::ok_text("ok\n"),
+        (method, path) if path.starts_with("/v1/workflows/") => {
+            match wire::parse_id(&path["/v1/workflows/".len()..]) {
+                None => HttpResponse::error_json(400, "malformed submission id"),
+                Some(id) => match method {
+                    "GET" => status(gw, id),
+                    "DELETE" => cancel(gw, id),
+                    _ => HttpResponse::method_not_allowed(),
+                },
+            }
+        }
+        ("POST" | "GET" | "DELETE", _) => HttpResponse::not_found(),
+        _ => HttpResponse::method_not_allowed(),
+    };
+    m.counter(&format!("gateway.http.{}", resp.status)).incr();
+    resp
+}
+
+fn submit(gw: &GatewayState, req: &HttpRequest) -> HttpResponse {
+    let body = match wire::parse_submit(&req.body_str()) {
+        Ok(body) => body,
+        Err(e) => return HttpResponse::error_json(400, &e),
+    };
+    let m = gw.recorder.metrics();
+    match gw.client.submit_spec(body.tenant, body.spec, body.weight) {
+        Ok(id) => {
+            m.counter("gateway.submitted").incr();
+            HttpResponse::new(202, "application/json", wire::accepted_json(id))
+        }
+        Err(SubmitError::Saturated { retry_after }) => {
+            m.counter("gateway.rejected.saturated").incr();
+            // Round the hint up: a 0-second Retry-After invites a tight
+            // client spin against an already-saturated service.
+            let secs = retry_after.as_secs_f64().ceil().max(1.0) as u64;
+            HttpResponse::error_json(429, &format!("saturated; retry after {secs}s"))
+                .with_header("Retry-After", secs.to_string())
+        }
+        Err(SubmitError::Draining) => {
+            m.counter("gateway.rejected.draining").incr();
+            HttpResponse::error_json(503, "service draining; no new submissions")
+        }
+        Err(SubmitError::Disconnected) => HttpResponse::error_json(503, "service unavailable"),
+        Err(SubmitError::Invalid(detail)) => {
+            HttpResponse::error_json(400, &format!("invalid workflow spec: {detail}"))
+        }
+        Err(SubmitError::Journal(detail)) => {
+            m.counter("gateway.rejected.journal").incr();
+            HttpResponse::error_json(500, &format!("journal refused submission: {detail}"))
+        }
+    }
+}
+
+fn status(gw: &GatewayState, id: SubmissionId) -> HttpResponse {
+    if let Some(cached) = gw.results.lock().get(&id) {
+        return HttpResponse::ok_json(cached.clone());
+    }
+    match gw.client.status(id) {
+        None => HttpResponse::error_json(404, "unknown submission"),
+        Some(st) if st.is_terminal() => match gw.client.take_result(id) {
+            Some(result) => {
+                let body = wire::result_json(&result);
+                gw.results.lock().insert(id, body.clone());
+                HttpResponse::ok_json(body)
+            }
+            // Result consumed by an in-process client: the lifecycle state
+            // is still honest, just without the summary.
+            None => HttpResponse::ok_json(wire::status_json(id, &st)),
+        },
+        Some(st) => HttpResponse::ok_json(wire::status_json(id, &st)),
+    }
+}
+
+fn cancel(gw: &GatewayState, id: SubmissionId) -> HttpResponse {
+    if gw.client.status(id).is_none() {
+        return HttpResponse::error_json(404, "unknown submission");
+    }
+    let initiated = gw.client.cancel(id);
+    if initiated {
+        gw.recorder.metrics().counter("gateway.canceled").incr();
+    }
+    HttpResponse::ok_json(format!("{{\"id\":\"{id}\",\"canceled\":{initiated}}}"))
+}
+
+fn sessions(gw: &GatewayState) -> HttpResponse {
+    match gw.client.list() {
+        Some(sessions) => HttpResponse::ok_json(wire::sessions_json(&sessions)),
+        None => HttpResponse::error_json(503, "service unavailable"),
+    }
+}

@@ -1,0 +1,256 @@
+//! JSON wire codec for the gateway protocol.
+//!
+//! Hand-rolled on `entk-observe`'s JSON parser/escaper (no serde in the
+//! tree). Decoding is strict: a submit body missing its tenant or carrying
+//! a malformed workflow spec is rejected with a message naming the defect,
+//! never coerced. Encoding is canonical — field order is fixed, and every
+//! dynamic string goes through [`json_escape`].
+
+use entk_core::TaskState;
+use entk_observe::export::json_escape;
+use entk_observe::json::{self, Json};
+use entk_service::{
+    SessionInfo, SettledState, SubmissionId, SubmissionOutcome, SubmissionResult, SubmissionStatus,
+    WorkflowSpec,
+};
+use std::fmt::Write as _;
+
+/// A decoded `POST /v1/workflows` body.
+#[derive(Debug)]
+pub struct SubmitBody {
+    /// Fair-share accounting key; required, non-empty.
+    pub tenant: String,
+    /// Optional per-tenant fair-share weight override (≥ 1).
+    pub weight: Option<u32>,
+    /// The workflow to run, in the wire-serializable spec form.
+    pub spec: WorkflowSpec,
+}
+
+/// Decode a submit body: `{"tenant": "...", "weight": 3, "workflow": {...}}`.
+pub fn parse_submit(body: &str) -> Result<SubmitBody, String> {
+    let doc = json::parse(body).map_err(|e| format!("invalid JSON: {e}"))?;
+    let tenant = doc
+        .get("tenant")
+        .and_then(Json::as_str)
+        .filter(|s| !s.is_empty())
+        .ok_or("missing or empty \"tenant\"")?
+        .to_string();
+    let weight = match doc.get("weight") {
+        None | Some(Json::Null) => None,
+        Some(w) => {
+            let n = w
+                .as_f64()
+                .filter(|n| *n >= 1.0 && n.fract() == 0.0 && *n <= f64::from(u32::MAX))
+                .ok_or("\"weight\" must be a positive integer")?;
+            Some(n as u32)
+        }
+    };
+    let workflow = doc.get("workflow").ok_or("missing \"workflow\"")?;
+    let spec = WorkflowSpec::from_value(workflow).map_err(|e| e.0)?;
+    Ok(SubmitBody {
+        tenant,
+        weight,
+        spec,
+    })
+}
+
+/// Parse a submission id path segment: `sub.00042` (the canonical display
+/// form) or a bare integer.
+pub fn parse_id(segment: &str) -> Option<SubmissionId> {
+    let digits = segment.strip_prefix("sub.").unwrap_or(segment);
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse::<u64>().ok().map(SubmissionId)
+}
+
+/// Lifecycle state label shared by every response shape.
+pub fn status_str(status: &SubmissionStatus) -> &'static str {
+    match status {
+        SubmissionStatus::Queued { .. } => "queued",
+        SubmissionStatus::Running => "running",
+        SubmissionStatus::Done => "done",
+        SubmissionStatus::Failed => "failed",
+        SubmissionStatus::Canceled => "canceled",
+    }
+}
+
+/// Encode the `202 Accepted` submit reply.
+pub fn accepted_json(id: SubmissionId) -> String {
+    format!("{{\"id\":\"{id}\",\"state\":\"queued\"}}")
+}
+
+/// Encode a non-terminal status reply.
+pub fn status_json(id: SubmissionId, status: &SubmissionStatus) -> String {
+    let mut out = format!("{{\"id\":\"{id}\",\"state\":\"{}\"", status_str(status));
+    if let SubmissionStatus::Queued { ahead } = status {
+        let _ = write!(out, ",\"ahead\":{ahead}");
+    }
+    out.push('}');
+    out
+}
+
+/// Encode a terminal result summary. The service hands results out at most
+/// once, so the gateway caches this rendering and serves it on every
+/// subsequent `GET`.
+pub fn result_json(result: &SubmissionResult) -> String {
+    let state = match &result.outcome {
+        SubmissionOutcome::Completed(_) => "done",
+        SubmissionOutcome::Failed(_) | SubmissionOutcome::Error(_) => "failed",
+        SubmissionOutcome::Canceled(_) => "canceled",
+        SubmissionOutcome::Recovered(info) => match info.state {
+            SettledState::Done => "done",
+            SettledState::Failed => "failed",
+            SettledState::Canceled => "canceled",
+        },
+    };
+    let mut out = format!(
+        "{{\"id\":\"{}\",\"state\":\"{state}\",\"success\":{},\"turnaround_secs\":{:.6}",
+        result.id,
+        result.outcome.is_success(),
+        result.turnaround.as_secs_f64()
+    );
+    if let Some(rep) = result.outcome.report() {
+        let _ = write!(
+            out,
+            ",\"tasks_done\":{},\"tasks_failed\":{}",
+            rep.workflow.count_in(TaskState::Done),
+            rep.workflow.count_in(TaskState::Failed)
+        );
+    }
+    match &result.outcome {
+        SubmissionOutcome::Recovered(info) => {
+            let _ = write!(
+                out,
+                ",\"recovered\":true,\"tasks_done\":{},\"tasks_failed\":{}",
+                info.tasks_done, info.tasks_failed
+            );
+        }
+        SubmissionOutcome::Error(e) => {
+            let _ = write!(out, ",\"error\":\"{}\"", json_escape(&e.to_string()));
+        }
+        _ => out.push_str(",\"recovered\":false"),
+    }
+    if let Some(warm) = result.warm_pilot {
+        let _ = write!(out, ",\"warm_pilot\":{warm}");
+    }
+    out.push('}');
+    out
+}
+
+/// Encode the session listing.
+pub fn sessions_json(sessions: &[SessionInfo]) -> String {
+    let mut out = String::from("{\"sessions\":[");
+    for (i, s) in sessions.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"id\":\"{}\",\"tenant\":\"{}\",\"state\":\"{}\",\"age_secs\":{:.3},\"durable\":{}}}",
+            s.id,
+            json_escape(&s.tenant),
+            status_str(&s.status),
+            s.age_secs,
+            s.durable
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entk_service::{ExecSpec, PipelineSpec, StageSpec, TaskSpec};
+
+    fn spec() -> WorkflowSpec {
+        WorkflowSpec::new().with_pipeline(
+            PipelineSpec::new("p0").with_stage(
+                StageSpec::new("s0")
+                    .with_task(TaskSpec::new("t0", ExecSpec::Sleep { secs: 1.0 }).with_cpus(2)),
+            ),
+        )
+    }
+
+    #[test]
+    fn submit_body_round_trips_through_envelope() {
+        let body = format!(
+            "{{\"tenant\":\"alice\",\"weight\":3,\"workflow\":{}}}",
+            spec().to_json()
+        );
+        let parsed = parse_submit(&body).unwrap();
+        assert_eq!(parsed.tenant, "alice");
+        assert_eq!(parsed.weight, Some(3));
+        assert_eq!(parsed.spec, spec());
+    }
+
+    #[test]
+    fn submit_body_weight_is_optional() {
+        let body = format!("{{\"tenant\":\"a\",\"workflow\":{}}}", spec().to_json());
+        assert_eq!(parse_submit(&body).unwrap().weight, None);
+    }
+
+    #[test]
+    fn malformed_submit_bodies_are_rejected() {
+        let wf = spec().to_json();
+        for (case, body) in [
+            ("not JSON", "{nope".to_string()),
+            ("missing tenant", format!("{{\"workflow\":{wf}}}")),
+            (
+                "empty tenant",
+                format!("{{\"tenant\":\"\",\"workflow\":{wf}}}"),
+            ),
+            ("missing workflow", "{\"tenant\":\"a\"}".to_string()),
+            (
+                "zero weight",
+                format!("{{\"tenant\":\"a\",\"weight\":0,\"workflow\":{wf}}}"),
+            ),
+            (
+                "fractional weight",
+                format!("{{\"tenant\":\"a\",\"weight\":1.5,\"workflow\":{wf}}}"),
+            ),
+            (
+                "string weight",
+                format!("{{\"tenant\":\"a\",\"weight\":\"3\",\"workflow\":{wf}}}"),
+            ),
+            (
+                "workflow not a spec",
+                "{\"tenant\":\"a\",\"workflow\":{\"pipelines\":0}}".to_string(),
+            ),
+        ] {
+            assert!(parse_submit(&body).is_err(), "accepted {case}");
+        }
+    }
+
+    #[test]
+    fn id_segment_accepts_canonical_and_bare_forms() {
+        assert_eq!(parse_id("sub.00042"), Some(SubmissionId(42)));
+        assert_eq!(parse_id("42"), Some(SubmissionId(42)));
+        assert_eq!(parse_id(""), None);
+        assert_eq!(parse_id("sub."), None);
+        assert_eq!(parse_id("sub.x1"), None);
+        assert_eq!(parse_id("-3"), None);
+    }
+
+    #[test]
+    fn status_and_sessions_encodings_are_well_formed() {
+        let s = status_json(SubmissionId(7), &SubmissionStatus::Queued { ahead: 2 });
+        let doc = json::parse(&s).unwrap();
+        assert_eq!(doc.get("id").and_then(Json::as_str), Some("sub.00007"));
+        assert_eq!(doc.get("state").and_then(Json::as_str), Some("queued"));
+        assert_eq!(doc.get("ahead").and_then(Json::as_f64), Some(2.0));
+
+        let listing = sessions_json(&[SessionInfo {
+            id: SubmissionId(1),
+            tenant: "a\"b".into(),
+            status: SubmissionStatus::Running,
+            age_secs: 0.5,
+            durable: true,
+        }]);
+        let doc = json::parse(&listing).unwrap();
+        let rows = doc.get("sessions").and_then(Json::as_array).unwrap();
+        assert_eq!(rows[0].get("tenant").and_then(Json::as_str), Some("a\"b"));
+        assert_eq!(rows[0].get("durable").and_then(Json::as_bool), Some(true));
+    }
+}

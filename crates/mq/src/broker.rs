@@ -95,14 +95,25 @@ impl Broker {
     /// recorded — including fully-acked tags — so fresh publishes can never
     /// collide with journaled or tombstoned tags.
     pub fn recover(journal_path: impl Into<PathBuf>) -> MqResult<Self> {
-        let path = journal_path.into();
+        Self::recover_with_config(BrokerConfig {
+            journal_path: Some(journal_path.into()),
+            ..Default::default()
+        })
+    }
+
+    /// [`Broker::recover`] with full configuration control — the ensemble
+    /// service recovers its shared broker with a live recorder attached so
+    /// the depth sampler resumes publishing `mq.queue.*` gauges immediately.
+    /// `config.journal_path` must be set.
+    pub fn recover_with_config(config: BrokerConfig) -> MqResult<Self> {
+        let path = config
+            .journal_path
+            .clone()
+            .expect("recover_with_config requires a journal path");
         let scan = Journal::scan(&path)?;
         // `with_config` → `Journal::open` repairs any torn tail before the
         // journal is reopened for append.
-        let broker = Self::with_config(BrokerConfig {
-            journal_path: Some(path),
-            ..Default::default()
-        })?;
+        let broker = Self::with_config(config)?;
         for q in scan.declared {
             // Redeclare without journaling again (records already on disk).
             broker.declare_internal(&q, QueueConfig::durable());

@@ -59,6 +59,118 @@ const KIND_PUBLISH: u8 = 0x01;
 const KIND_ACK: u8 = 0x02;
 const KIND_DECLARE: u8 = 0x03;
 
+/// Reusable length-delimited binary framing shared by every journal in the
+/// tree. The broker journal above and the service-level workflow journal
+/// (`entk-service`) both write `kind:u8` records whose bodies are built from
+/// these primitives, and both get identical torn-tail semantics from
+/// [`FrameReader`]: a clean EOF at a record boundary ends replay, a partial
+/// trailing record is reported as truncation (crash mid-append), and
+/// corruption anywhere else is an error.
+pub mod frame {
+    use crate::error::{MqError, MqResult};
+    use std::io::{Read, Write};
+
+    /// Write a little-endian u32.
+    pub fn write_u32(w: &mut impl Write, v: u32) -> std::io::Result<()> {
+        w.write_all(&v.to_le_bytes())
+    }
+
+    /// Write a little-endian u64.
+    pub fn write_u64(w: &mut impl Write, v: u64) -> std::io::Result<()> {
+        w.write_all(&v.to_le_bytes())
+    }
+
+    /// Write a u32-length-prefixed byte string.
+    pub fn write_bytes(w: &mut impl Write, b: &[u8]) -> std::io::Result<()> {
+        write_u32(w, b.len() as u32)?;
+        w.write_all(b)
+    }
+
+    /// Whether an error is the in-record truncation marker produced by
+    /// [`FrameReader`] (crash mid-append), as opposed to real corruption.
+    pub fn is_truncation(err: &MqError) -> bool {
+        matches!(err, MqError::CorruptJournal(m) if m.contains("unexpected EOF"))
+    }
+
+    /// Incremental reader that distinguishes clean EOF, truncated tail, and
+    /// corruption. Tracks the byte offset consumed so far so replay can
+    /// report where the last complete record ends.
+    pub struct FrameReader<R: Read> {
+        inner: R,
+        pos: u64,
+    }
+
+    impl<R: Read> FrameReader<R> {
+        /// Wrap a byte stream positioned at a record boundary.
+        pub fn new(inner: R) -> Self {
+            FrameReader { inner, pos: 0 }
+        }
+
+        /// Bytes consumed so far.
+        pub fn pos(&self) -> u64 {
+            self.pos
+        }
+
+        /// Read exactly `buf.len()` bytes. `first` marks the first read of a
+        /// record: EOF before any byte then signals a clean record boundary
+        /// (`Ok(None)`); EOF anywhere else is the truncation marker.
+        pub fn read_exact_or_eof(&mut self, buf: &mut [u8], first: bool) -> MqResult<Option<()>> {
+            let mut filled = 0;
+            while filled < buf.len() {
+                let n = self.inner.read(&mut buf[filled..])?;
+                self.pos += n as u64;
+                if n == 0 {
+                    if filled == 0 && first {
+                        return Ok(None); // clean EOF at a record boundary
+                    }
+                    return Err(MqError::CorruptJournal(
+                        "unexpected EOF inside record".into(),
+                    ));
+                }
+                filled += n;
+            }
+            Ok(Some(()))
+        }
+
+        /// Read the record-kind byte, or `None` on clean EOF.
+        pub fn read_kind(&mut self) -> MqResult<Option<u8>> {
+            let mut kind = [0u8; 1];
+            Ok(self.read_exact_or_eof(&mut kind, true)?.map(|()| kind[0]))
+        }
+
+        /// Read a little-endian u32.
+        pub fn read_u32(&mut self) -> MqResult<u32> {
+            let mut b = [0u8; 4];
+            self.read_exact_or_eof(&mut b, false)?;
+            Ok(u32::from_le_bytes(b))
+        }
+
+        /// Read a little-endian u64.
+        pub fn read_u64(&mut self) -> MqResult<u64> {
+            let mut b = [0u8; 8];
+            self.read_exact_or_eof(&mut b, false)?;
+            Ok(u64::from_le_bytes(b))
+        }
+
+        /// Read a u32-length-prefixed byte string.
+        pub fn read_vec(&mut self) -> MqResult<Vec<u8>> {
+            let len = self.read_u32()? as usize;
+            if len > 1 << 30 {
+                return Err(MqError::CorruptJournal(format!("implausible length {len}")));
+            }
+            let mut v = vec![0u8; len];
+            self.read_exact_or_eof(&mut v, false)?;
+            Ok(v)
+        }
+
+        /// Read a length-prefixed UTF-8 string.
+        pub fn read_string(&mut self) -> MqResult<String> {
+            String::from_utf8(self.read_vec()?)
+                .map_err(|_| MqError::CorruptJournal("non-UTF-8 string".into()))
+        }
+    }
+}
+
 /// A single journal record, as written or replayed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum JournalRecord {
@@ -93,25 +205,11 @@ pub struct Journal {
     writer: Mutex<BufWriter<File>>,
 }
 
-fn write_u32(w: &mut impl Write, v: u32) -> std::io::Result<()> {
-    w.write_all(&v.to_le_bytes())
-}
+use frame::{write_bytes, write_u32, write_u64, FrameReader};
 
-fn write_u64(w: &mut impl Write, v: u64) -> std::io::Result<()> {
-    w.write_all(&v.to_le_bytes())
-}
-
-fn write_bytes(w: &mut impl Write, b: &[u8]) -> std::io::Result<()> {
-    write_u32(w, b.len() as u32)?;
-    w.write_all(b)
-}
-
-/// Incremental reader that distinguishes clean EOF, truncated tail, and
-/// corruption. Tracks the byte offset consumed so far so replay can report
-/// where the last complete record ends.
+/// Broker-journal record decoder on top of the shared [`frame`] reader.
 struct RecordReader<R: Read> {
-    inner: R,
-    pos: u64,
+    inner: FrameReader<R>,
 }
 
 enum ReadOutcome {
@@ -121,58 +219,28 @@ enum ReadOutcome {
 }
 
 impl<R: Read> RecordReader<R> {
-    fn read_exact_or_eof(&mut self, buf: &mut [u8], first: bool) -> MqResult<Option<()>> {
-        let mut filled = 0;
-        while filled < buf.len() {
-            let n = self.inner.read(&mut buf[filled..])?;
-            self.pos += n as u64;
-            if n == 0 {
-                if filled == 0 && first {
-                    return Ok(None); // clean EOF at a record boundary
-                }
-                return Err(MqError::CorruptJournal(
-                    "unexpected EOF inside record".into(),
-                ));
-            }
-            filled += n;
-        }
-        Ok(Some(()))
+    fn read_u64(&mut self) -> MqResult<u64> {
+        self.inner.read_u64()
     }
 
     fn read_u32(&mut self) -> MqResult<u32> {
-        let mut b = [0u8; 4];
-        self.read_exact_or_eof(&mut b, false)?;
-        Ok(u32::from_le_bytes(b))
-    }
-
-    fn read_u64(&mut self) -> MqResult<u64> {
-        let mut b = [0u8; 8];
-        self.read_exact_or_eof(&mut b, false)?;
-        Ok(u64::from_le_bytes(b))
+        self.inner.read_u32()
     }
 
     fn read_vec(&mut self) -> MqResult<Vec<u8>> {
-        let len = self.read_u32()? as usize;
-        if len > 1 << 30 {
-            return Err(MqError::CorruptJournal(format!("implausible length {len}")));
-        }
-        let mut v = vec![0u8; len];
-        self.read_exact_or_eof(&mut v, false)?;
-        Ok(v)
+        self.inner.read_vec()
     }
 
     fn read_string(&mut self) -> MqResult<String> {
-        String::from_utf8(self.read_vec()?)
-            .map_err(|_| MqError::CorruptJournal("non-UTF-8 string".into()))
+        self.inner.read_string()
     }
 
     fn next(&mut self) -> MqResult<ReadOutcome> {
-        let mut kind = [0u8; 1];
-        if self.read_exact_or_eof(&mut kind, true)?.is_none() {
+        let Some(kind) = self.inner.read_kind()? else {
             return Ok(ReadOutcome::CleanEof);
-        }
+        };
         let res = (|| -> MqResult<JournalRecord> {
-            match kind[0] {
+            match kind {
                 KIND_PUBLISH => {
                     let queue = self.read_string()?;
                     let tag = self.read_u64()?;
@@ -207,9 +275,7 @@ impl<R: Read> RecordReader<R> {
             Ok(r) => Ok(ReadOutcome::Record(r)),
             // A truncated *tail* (crash mid-append) is tolerated; we signal it
             // so the caller can stop replay at the last complete record.
-            Err(MqError::CorruptJournal(ref m)) if m.contains("unexpected EOF") => {
-                Ok(ReadOutcome::TruncatedTail)
-            }
+            Err(ref e) if frame::is_truncation(e) => Ok(ReadOutcome::TruncatedTail),
             Err(e) => Err(e),
         }
     }
@@ -350,8 +416,7 @@ impl Journal {
             Err(e) => return Err(e.into()),
         };
         let mut reader = RecordReader {
-            inner: BufReader::new(file),
-            pos: 0,
+            inner: FrameReader::new(BufReader::new(file)),
         };
         let mut out = Replay::default();
         loop {
@@ -363,7 +428,7 @@ impl Journal {
                 }
                 ReadOutcome::Record(rec) => rec,
             };
-            out.safe_len = reader.pos;
+            out.safe_len = reader.inner.pos();
             match rec {
                 JournalRecord::Declare { queue } => {
                     if !out.declared.contains(&queue) {

@@ -1,15 +1,25 @@
-//! Dependency-free live exposition: a one-thread HTTP listener serving
-//! `/metrics` (Prometheus text), `/statusz` (JSON flight-recorder snapshot
-//! supplied by the embedder), and `/healthz`; plus a generic background
-//! [`Sampler`] that periodically folds instantaneous state (queue depths,
-//! pool occupancy, DB round-trip counters) into gauges so a scrape sees
-//! current values, not just monotone totals.
+//! Dependency-free HTTP plumbing: a minimal request-routing server over std
+//! [`TcpListener`] ([`HttpServer`]), the telemetry exposition server built on
+//! it ([`ObserveServer`]: `/metrics`, `/statusz`, `/healthz`), and a generic
+//! background [`Sampler`] that periodically folds instantaneous state (queue
+//! depths, pool occupancy, DB round-trip counters) into gauges so a scrape
+//! sees current values, not just monotone totals.
+//!
+//! [`HttpServer`] is deliberately small — HTTP/1.0, one request per
+//! connection, no keep-alive — but it is hardened against misbehaving
+//! clients: request heads and bodies are capped ([`HttpServerConfig::
+//! max_request_bytes`], overflow ⇒ `413 Payload Too Large`), reads carry a
+//! deadline ([`HttpServerConfig::read_timeout`], expiry ⇒ `408 Request
+//! Timeout`), and every connection is served on its own thread so one slow
+//! client can never wedge the accept loop. The ensemble gateway
+//! (`entk-gateway`) builds its `/v1/*` workflow-submission routes on the
+//! same server type.
 
 use crate::metrics::Metrics;
 use crate::prom;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -52,23 +62,358 @@ impl ObserveConfig {
 /// listener stays dependency-free.
 pub type StatuszFn = Arc<dyn Fn() -> String + Send + Sync>;
 
-/// One-thread HTTP/1.0-style exposition server over std [`TcpListener`].
+/// A parsed HTTP request as handed to a [`Handler`].
+#[derive(Debug, Clone)]
+pub struct HttpRequest {
+    /// Request method (`GET`, `POST`, `DELETE`, ...), uppercase as sent.
+    pub method: String,
+    /// Request path without the query string.
+    pub path: String,
+    /// Raw query string after `?` (empty when absent).
+    pub query: String,
+    /// Request body (`Content-Length` bytes; empty when absent).
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// The body as UTF-8 (lossy).
+    pub fn body_str(&self) -> std::borrow::Cow<'_, str> {
+        String::from_utf8_lossy(&self.body)
+    }
+}
+
+/// A response produced by a [`Handler`].
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code (200, 404, 429, ...).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: String,
+    /// Response body.
+    pub body: String,
+    /// Extra headers beyond Content-Type/Length (e.g. `Retry-After`).
+    pub headers: Vec<(String, String)>,
+}
+
+impl HttpResponse {
+    /// A response with the given status, content type, and body.
+    pub fn new(status: u16, content_type: impl Into<String>, body: impl Into<String>) -> Self {
+        HttpResponse {
+            status,
+            content_type: content_type.into(),
+            body: body.into(),
+            headers: Vec::new(),
+        }
+    }
+
+    /// `200 OK` with an `application/json` body.
+    pub fn ok_json(body: impl Into<String>) -> Self {
+        Self::new(200, "application/json", body)
+    }
+
+    /// `200 OK` with a `text/plain` body.
+    pub fn ok_text(body: impl Into<String>) -> Self {
+        Self::new(200, "text/plain", body)
+    }
+
+    /// A JSON error envelope `{"error": "..."}` with the given status.
+    pub fn error_json(status: u16, message: &str) -> Self {
+        Self::new(
+            status,
+            "application/json",
+            format!("{{\"error\":\"{}\"}}", crate::export::json_escape(message)),
+        )
+    }
+
+    /// `404 Not Found`.
+    pub fn not_found() -> Self {
+        Self::new(404, "text/plain", "not found\n")
+    }
+
+    /// `405 Method Not Allowed`.
+    pub fn method_not_allowed() -> Self {
+        Self::new(405, "text/plain", "method not allowed\n")
+    }
+
+    /// Builder: append an extra header.
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Canonical reason phrase for the status codes this stack emits.
+    pub fn reason(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            201 => "Created",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            409 => "Conflict",
+            413 => "Payload Too Large",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "",
+        }
+    }
+}
+
+/// Request handler installed into an [`HttpServer`]: total routing is the
+/// handler's job; the server only parses, caps, and writes.
+pub type Handler = Arc<dyn Fn(&HttpRequest) -> HttpResponse + Send + Sync>;
+
+/// Hardening knobs for [`HttpServer`].
+#[derive(Debug, Clone)]
+pub struct HttpServerConfig {
+    /// Cap on the request head *and* on the body, each; a client exceeding
+    /// either gets `413 Payload Too Large` and the connection is closed.
+    pub max_request_bytes: usize,
+    /// Deadline for reading the head and the body; a client stalling past it
+    /// gets `408 Request Timeout`.
+    pub read_timeout: Duration,
+    /// Cap on concurrently served connections; excess connections get `503`.
+    pub max_connections: usize,
+    /// Accept-loop thread name.
+    pub thread_name: String,
+}
+
+impl Default for HttpServerConfig {
+    fn default() -> Self {
+        HttpServerConfig {
+            max_request_bytes: 64 * 1024,
+            read_timeout: Duration::from_secs(2),
+            max_connections: 64,
+            thread_name: "entk-http".into(),
+        }
+    }
+}
+
+/// Minimal threaded HTTP/1.0 server over std [`TcpListener`].
 ///
-/// Routes: `GET /metrics` (text/plain, Prometheus 0.0.4), `GET /statusz`
-/// (application/json via the injected closure), `GET /healthz` (`ok`);
-/// anything else is a 404. One request per connection; no keep-alive. The
-/// thread polls a nonblocking accept loop so [`ObserveServer::stop`] (and
-/// Drop) terminate promptly.
-pub struct ObserveServer {
+/// One request per connection, no keep-alive; each accepted connection is
+/// served on its own short-lived thread so a slow client cannot block the
+/// accept loop, bounded by [`HttpServerConfig::max_connections`]. See the
+/// module docs for the 408/413 hardening contract.
+pub struct HttpServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
 }
 
+impl std::fmt::Debug for HttpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl HttpServer {
+    /// Bind `addr` and serve requests through `handler`.
+    pub fn start(
+        addr: SocketAddr,
+        handler: Handler,
+        config: HttpServerConfig,
+    ) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let bound = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let active = Arc::new(AtomicUsize::new(0));
+        let handle = std::thread::Builder::new()
+            .name(config.thread_name.clone())
+            .spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            if active.load(Ordering::Relaxed) >= config.max_connections {
+                                respond(stream, &HttpResponse::error_json(503, "overloaded"));
+                                continue;
+                            }
+                            active.fetch_add(1, Ordering::Relaxed);
+                            let handler = Arc::clone(&handler);
+                            let config = config.clone();
+                            let active = Arc::clone(&active);
+                            // Detached on purpose: the read timeout bounds the
+                            // thread's lifetime, and stop() only needs the
+                            // accept loop gone.
+                            let _ = std::thread::Builder::new()
+                                .name(format!("{}-conn", config.thread_name))
+                                .spawn(move || {
+                                    serve_connection(stream, &handler, &config);
+                                    active.fetch_sub(1, Ordering::Relaxed);
+                                });
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                    }
+                }
+            })
+            .expect("spawn http accept thread");
+        Ok(HttpServer {
+            addr: bound,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// Actual bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the accept loop and join it. In-flight connection threads finish
+    /// on their own (bounded by the read timeout).
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Why reading a request off the socket failed.
+enum ReadFailure {
+    /// The client stalled past the read deadline → 408.
+    TimedOut,
+    /// The head or body exceeded the configured cap → 413.
+    TooLarge,
+    /// The connection died or the bytes were not parseable → drop/400.
+    Malformed,
+}
+
+fn read_request(
+    stream: &mut TcpStream,
+    config: &HttpServerConfig,
+) -> Result<HttpRequest, ReadFailure> {
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    // --- head: read until the blank line, capped -------------------------
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 1024];
+    let split = loop {
+        if let Some(pos) = find_head_end(&head) {
+            break pos;
+        }
+        if head.len() >= config.max_request_bytes {
+            return Err(ReadFailure::TooLarge);
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return Err(ReadFailure::Malformed),
+            Ok(n) => head.extend_from_slice(&buf[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Err(ReadFailure::TimedOut)
+            }
+            Err(_) => return Err(ReadFailure::Malformed),
+        }
+    };
+    let mut body = head.split_off(split + 4);
+    let head_text = String::from_utf8_lossy(&head).into_owned();
+    let mut lines = head_text.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().unwrap_or("");
+    if method.is_empty() || target.is_empty() {
+        return Err(ReadFailure::Malformed);
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+    let content_length = lines
+        .filter_map(|l| l.split_once(':'))
+        .find(|(name, _)| name.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.trim().parse::<usize>().ok())
+        .unwrap_or(0);
+    if content_length > config.max_request_bytes {
+        return Err(ReadFailure::TooLarge);
+    }
+    // --- body: exactly Content-Length bytes, under the same deadline -----
+    while body.len() < content_length {
+        match stream.read(&mut buf) {
+            Ok(0) => return Err(ReadFailure::Malformed),
+            Ok(n) => body.extend_from_slice(&buf[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Err(ReadFailure::TimedOut)
+            }
+            Err(_) => return Err(ReadFailure::Malformed),
+        }
+    }
+    body.truncate(content_length);
+    Ok(HttpRequest {
+        method,
+        path,
+        query,
+        body,
+    })
+}
+
+fn find_head_end(bytes: &[u8]) -> Option<usize> {
+    bytes.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn serve_connection(mut stream: TcpStream, handler: &Handler, config: &HttpServerConfig) {
+    let _ = stream.set_write_timeout(Some(config.read_timeout));
+    let response = match read_request(&mut stream, config) {
+        Ok(req) => handler(&req),
+        Err(ReadFailure::TimedOut) => HttpResponse::error_json(408, "request timed out"),
+        Err(ReadFailure::TooLarge) => HttpResponse::error_json(413, "request too large"),
+        Err(ReadFailure::Malformed) => HttpResponse::error_json(400, "malformed request"),
+    };
+    respond(stream, &response);
+}
+
+fn respond(mut stream: TcpStream, response: &HttpResponse) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let mut extra = String::new();
+    for (name, value) in &response.headers {
+        extra.push_str(name);
+        extra.push_str(": ");
+        extra.push_str(value);
+        extra.push_str("\r\n");
+    }
+    let _ = write!(
+        stream,
+        "HTTP/1.0 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n{}",
+        response.status,
+        HttpResponse::reason(response.status),
+        response.content_type,
+        response.body.len(),
+        extra,
+        response.body
+    );
+    let _ = stream.flush();
+}
+
+/// The telemetry exposition server: [`HttpServer`] routing `GET /metrics`
+/// (text/plain, Prometheus 0.0.4), `GET /statusz` (application/json via the
+/// injected closure), `GET /healthz` (`ok`), plus any extra JSON routes;
+/// anything else is a 404 and non-GET methods are 405.
+pub struct ObserveServer {
+    server: HttpServer,
+}
+
 impl std::fmt::Debug for ObserveServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ObserveServer")
-            .field("addr", &self.addr)
+            .field("addr", &self.server.local_addr())
             .finish()
     }
 }
@@ -93,103 +438,40 @@ impl ObserveServer {
         statusz: StatuszFn,
         routes: Vec<(String, StatuszFn)>,
     ) -> std::io::Result<ObserveServer> {
-        let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
-        let bound = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop2 = Arc::clone(&stop);
-        let handle = std::thread::Builder::new()
-            .name("observe-http".into())
-            .spawn(move || {
-                while !stop2.load(Ordering::Relaxed) {
-                    match listener.accept() {
-                        Ok((stream, _)) => serve_one(stream, &metrics, &statusz, &routes),
-                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(5));
-                        }
-                        Err(_) => std::thread::sleep(Duration::from_millis(5)),
-                    }
+        let handler: Handler = Arc::new(move |req: &HttpRequest| {
+            if req.method != "GET" {
+                return HttpResponse::method_not_allowed();
+            }
+            match req.path.as_str() {
+                "/metrics" => {
+                    HttpResponse::new(200, "text/plain; version=0.0.4", prom::encode(&metrics))
                 }
-            })
-            .expect("spawn observe-http thread");
+                "/statusz" => HttpResponse::ok_json(statusz()),
+                "/healthz" => HttpResponse::ok_text("ok\n"),
+                path => match routes.iter().find(|(p, _)| p == path) {
+                    Some((_, f)) => HttpResponse::ok_json(f()),
+                    None => HttpResponse::not_found(),
+                },
+            }
+        });
+        let config = HttpServerConfig {
+            thread_name: "observe-http".into(),
+            ..Default::default()
+        };
         Ok(ObserveServer {
-            addr: bound,
-            stop,
-            handle: Some(handle),
+            server: HttpServer::start(addr, handler, config)?,
         })
     }
 
     /// Actual bound address (resolves port 0).
     pub fn local_addr(&self) -> SocketAddr {
-        self.addr
+        self.server.local_addr()
     }
 
     /// Stop the accept loop and join the thread.
     pub fn stop(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
-        }
+        self.server.stop();
     }
-}
-
-impl Drop for ObserveServer {
-    fn drop(&mut self) {
-        self.stop();
-    }
-}
-
-fn serve_one(
-    mut stream: TcpStream,
-    metrics: &Metrics,
-    statusz: &StatuszFn,
-    routes: &[(String, StatuszFn)],
-) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
-    // Read up to the end of the request line; headers are irrelevant and a
-    // short read still contains the path for well-behaved clients.
-    let mut buf = [0u8; 1024];
-    let mut filled = 0usize;
-    while filled < buf.len() {
-        match stream.read(&mut buf[filled..]) {
-            Ok(0) => break,
-            Ok(n) => {
-                filled += n;
-                if buf[..filled].windows(2).any(|w| w == b"\r\n") {
-                    break;
-                }
-            }
-            Err(_) => break,
-        }
-    }
-    let request = String::from_utf8_lossy(&buf[..filled]);
-    let mut parts = request.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
-    let (status, content_type, body) = if method != "GET" {
-        (
-            "405 Method Not Allowed",
-            "text/plain",
-            "method not allowed\n".to_string(),
-        )
-    } else {
-        match path {
-            "/metrics" => ("200 OK", "text/plain; version=0.0.4", prom::encode(metrics)),
-            "/statusz" => ("200 OK", "application/json", statusz()),
-            "/healthz" => ("200 OK", "text/plain", "ok\n".to_string()),
-            _ => match routes.iter().find(|(p, _)| p == path) {
-                Some((_, f)) => ("200 OK", "application/json", f()),
-                None => ("404 Not Found", "text/plain", "not found\n".to_string()),
-            },
-        }
-    };
-    let _ = write!(
-        stream,
-        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    );
-    let _ = stream.flush();
 }
 
 /// Background thread invoking a closure on a fixed period — used to fold
@@ -366,5 +648,113 @@ mod tests {
         let after = ticks.load(Ordering::Relaxed);
         std::thread::sleep(Duration::from_millis(50));
         assert_eq!(ticks.load(Ordering::Relaxed), after, "no ticks after stop");
+    }
+
+    // --- HttpServer hardening + routing ----------------------------------
+
+    fn echo_server(config: HttpServerConfig) -> HttpServer {
+        let handler: Handler = Arc::new(|req: &HttpRequest| {
+            HttpResponse::ok_json(format!(
+                "{{\"method\":\"{}\",\"path\":\"{}\",\"query\":\"{}\",\"body_len\":{}}}",
+                req.method,
+                req.path,
+                req.query,
+                req.body.len()
+            ))
+        });
+        HttpServer::start("127.0.0.1:0".parse().unwrap(), handler, config).expect("bind")
+    }
+
+    #[test]
+    fn http_server_parses_method_path_query_and_body() {
+        let srv = echo_server(HttpServerConfig::default());
+        let mut stream = TcpStream::connect(srv.local_addr()).unwrap();
+        let body = "{\"x\":1}";
+        write!(
+            stream,
+            "POST /v1/things?take=true HTTP/1.0\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        )
+        .unwrap();
+        let mut resp = String::new();
+        stream.read_to_string(&mut resp).unwrap();
+        assert!(resp.contains("200 OK"), "{resp}");
+        assert!(resp.contains("\"method\":\"POST\""), "{resp}");
+        assert!(resp.contains("\"path\":\"/v1/things\""), "{resp}");
+        assert!(resp.contains("\"query\":\"take=true\""), "{resp}");
+        assert!(resp.contains("\"body_len\":7"), "{resp}");
+    }
+
+    #[test]
+    fn oversized_request_gets_413() {
+        let srv = echo_server(HttpServerConfig {
+            max_request_bytes: 256,
+            ..Default::default()
+        });
+        // Oversized declared body: rejected from the header alone.
+        let mut stream = TcpStream::connect(srv.local_addr()).unwrap();
+        write!(
+            stream,
+            "POST /v1 HTTP/1.0\r\nContent-Length: 100000\r\n\r\n"
+        )
+        .unwrap();
+        let mut resp = String::new();
+        stream.read_to_string(&mut resp).unwrap();
+        assert!(resp.contains("413"), "{resp}");
+        // Oversized head (a header flood), no Content-Length at all. The
+        // server may close mid-flood, so writes are allowed to fail (EPIPE).
+        let mut stream = TcpStream::connect(srv.local_addr()).unwrap();
+        let _ = write!(stream, "GET /v1 HTTP/1.0\r\n");
+        for i in 0..64 {
+            if write!(stream, "X-Flood-{i}: {}\r\n", "y".repeat(64)).is_err() {
+                break;
+            }
+        }
+        let _ = write!(stream, "\r\n");
+        let mut resp = String::new();
+        let _ = stream.read_to_string(&mut resp);
+        assert!(resp.contains("413"), "{resp}");
+    }
+
+    #[test]
+    fn slow_client_gets_408_not_a_wedged_listener() {
+        let srv = echo_server(HttpServerConfig {
+            read_timeout: Duration::from_millis(100),
+            ..Default::default()
+        });
+        // A client that opens a connection and sends half a request line...
+        let mut slow = TcpStream::connect(srv.local_addr()).unwrap();
+        write!(slow, "GET /half").unwrap();
+        // ...must not block other clients (connections are per-thread).
+        let mut stream = TcpStream::connect(srv.local_addr()).unwrap();
+        write!(stream, "GET /ok HTTP/1.0\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        stream.read_to_string(&mut resp).unwrap();
+        assert!(resp.contains("200 OK"), "{resp}");
+        // ...and eventually gets 408 itself.
+        let mut resp = String::new();
+        slow.read_to_string(&mut resp).unwrap();
+        assert!(resp.contains("408"), "{resp}");
+    }
+
+    #[test]
+    fn extra_headers_are_written() {
+        let handler: Handler = Arc::new(|_req: &HttpRequest| {
+            HttpResponse::error_json(429, "saturated").with_header("Retry-After", "3")
+        });
+        let srv = HttpServer::start(
+            "127.0.0.1:0".parse().unwrap(),
+            handler,
+            HttpServerConfig::default(),
+        )
+        .expect("bind");
+        let mut stream = TcpStream::connect(srv.local_addr()).unwrap();
+        write!(stream, "POST /v1/workflows HTTP/1.0\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        stream.read_to_string(&mut resp).unwrap();
+        assert!(resp.contains("429 Too Many Requests"), "{resp}");
+        assert!(resp.contains("Retry-After: 3"), "{resp}");
+        assert!(resp.contains("\"error\":\"saturated\""), "{resp}");
     }
 }

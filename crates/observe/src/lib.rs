@@ -36,7 +36,10 @@ pub mod slo;
 pub mod trace;
 
 pub use event::Event;
-pub use http::{ObserveConfig, ObserveServer, Sampler, StatuszFn};
+pub use http::{
+    Handler, HttpRequest, HttpResponse, HttpServer, HttpServerConfig, ObserveConfig, ObserveServer,
+    Sampler, StatuszFn,
+};
 pub use metrics::{Counter, Gauge, Histogram, HistogramExport, HistogramSnapshot, Metrics};
 pub use recorder::{Recorder, Span};
 pub use slo::{

@@ -45,6 +45,15 @@ impl<T> FairShare<T> {
         STRIDE_K / u64::from(w.max(1))
     }
 
+    /// Override one tenant's weight (wire-carried weights from the gateway).
+    /// Takes effect from the tenant's next `push`; weight 0 is treated as 1.
+    pub fn set_weight(&mut self, tenant: &str, weight: u32) {
+        self.weights.insert(tenant.to_string(), weight.max(1));
+        if let Some(t) = self.tenants.get_mut(tenant) {
+            t.stride = STRIDE_K / u64::from(weight.max(1));
+        }
+    }
+
     /// Queue an item for a tenant.
     pub fn push(&mut self, tenant: &str, item: T) {
         // A tenant re-entering after idling resumes at the current minimum

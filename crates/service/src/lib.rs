@@ -28,16 +28,22 @@
 
 pub mod admission;
 pub mod fairshare;
+pub mod journal;
 pub mod protocol;
 pub mod service;
+pub mod spec;
 
 pub use admission::AdmissionPolicy;
 pub use fairshare::FairShare;
+pub use journal::{
+    JournaledSub, ServiceJournal, ServiceRecord, ServiceReplay, SettledInfo, SettledState,
+};
 pub use protocol::{
-    Request, ServiceStats, SubmissionId, SubmissionOutcome, SubmissionResult, SubmissionStatus,
-    SubmitError,
+    Request, ServiceStats, SessionInfo, SubmissionId, SubmissionOutcome, SubmissionResult,
+    SubmissionStatus, SubmitError,
 };
 pub use service::{EnsembleService, ServiceClient, ServiceConfig};
+pub use spec::{ExecSpec, PipelineSpec, SpecError, StageSpec, TaskSpec, WorkflowSpec};
 
 // Re-exported so embedders can declare SLOs and tune the watchdog without
 // naming entk-observe directly.

@@ -9,6 +9,8 @@
 //!
 //! [`EnsembleService`]: crate::service::EnsembleService
 
+use crate::journal::SettledInfo;
+use crate::spec::WorkflowSpec;
 use crossbeam::channel::Sender;
 use entk_core::{EntkError, RunReport, Workflow};
 use rp_rts::PoolStats;
@@ -38,6 +40,12 @@ pub enum SubmitError {
     Draining,
     /// The service control thread is gone (service dropped or crashed).
     Disconnected,
+    /// The submitted workflow spec was structurally invalid.
+    Invalid(String),
+    /// The durability journal refused the submission record; the submission
+    /// was NOT accepted (crash-before-append semantics: the client must
+    /// retry, and no duplicate can exist on recovery).
+    Journal(String),
 }
 
 impl fmt::Display for SubmitError {
@@ -48,6 +56,8 @@ impl fmt::Display for SubmitError {
             }
             SubmitError::Draining => write!(f, "service draining; no new submissions"),
             SubmitError::Disconnected => write!(f, "service disconnected"),
+            SubmitError::Invalid(detail) => write!(f, "invalid workflow spec: {detail}"),
+            SubmitError::Journal(detail) => write!(f, "journal refused submission: {detail}"),
         }
     }
 }
@@ -95,6 +105,12 @@ pub enum SubmissionOutcome {
     Canceled(Option<Box<RunReport>>),
     /// The run aborted with an error before producing a report.
     Error(EntkError),
+    /// The submission settled before a crash, and this summary was replayed
+    /// from the service journal on [`EnsembleService::recover`] — the full
+    /// [`RunReport`] died with the crashed process.
+    ///
+    /// [`EnsembleService::recover`]: crate::service::EnsembleService::recover
+    Recovered(SettledInfo),
 }
 
 impl SubmissionOutcome {
@@ -103,13 +119,17 @@ impl SubmissionOutcome {
         match self {
             SubmissionOutcome::Completed(r) | SubmissionOutcome::Failed(r) => Some(r),
             SubmissionOutcome::Canceled(r) => r.as_deref(),
-            SubmissionOutcome::Error(_) => None,
+            SubmissionOutcome::Error(_) | SubmissionOutcome::Recovered(_) => None,
         }
     }
 
     /// Whether every pipeline completed successfully.
     pub fn is_success(&self) -> bool {
-        matches!(self, SubmissionOutcome::Completed(_))
+        match self {
+            SubmissionOutcome::Completed(_) => true,
+            SubmissionOutcome::Recovered(info) => info.state == crate::journal::SettledState::Done,
+            _ => false,
+        }
     }
 }
 
@@ -152,6 +172,24 @@ pub struct ServiceStats {
     pub pool: PoolStats,
 }
 
+/// One row of the session listing (`GET /v1/sessions` on the gateway).
+#[derive(Debug, Clone)]
+pub struct SessionInfo {
+    /// Submission handle.
+    pub id: SubmissionId,
+    /// Submitting tenant.
+    pub tenant: String,
+    /// Current lifecycle state.
+    pub status: SubmissionStatus,
+    /// Seconds since submission.
+    pub age_secs: f64,
+    /// Whether the submission is durable (journaled via a wire spec and
+    /// re-driven by [`EnsembleService::recover`]).
+    ///
+    /// [`EnsembleService::recover`]: crate::service::EnsembleService::recover
+    pub durable: bool,
+}
+
 /// One message on the client→service control channel.
 ///
 /// Every variant carries a reply sender: the protocol is strictly
@@ -164,8 +202,22 @@ pub enum Request {
         tenant: String,
         /// The workflow to run.
         workflow: Box<Workflow>,
+        /// The wire spec the workflow was built from, when it arrived over
+        /// the gateway. Its presence makes the submission durable: the spec
+        /// JSON is journaled so recovery can re-materialize and re-drive it.
+        /// In-process submissions (`None`) may carry closures and are not
+        /// journaled.
+        spec: Option<Box<WorkflowSpec>>,
+        /// Wire-carried fair-share weight override for this tenant
+        /// (`None` keeps the tenant's configured weight).
+        weight: Option<u32>,
         /// Admission verdict.
         reply: Sender<Result<SubmissionId, SubmitError>>,
+    },
+    /// List every known submission (the gateway's session listing).
+    List {
+        /// Snapshot destination.
+        reply: Sender<Vec<SessionInfo>>,
     },
     /// Query a submission's lifecycle state.
     Status {

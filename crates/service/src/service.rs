@@ -17,10 +17,12 @@
 
 use crate::admission::AdmissionPolicy;
 use crate::fairshare::FairShare;
+use crate::journal::{self, ServiceJournal, ServiceRecord, SettledState};
 use crate::protocol::{
-    Request, ServiceStats, SubmissionId, SubmissionOutcome, SubmissionResult, SubmissionStatus,
-    SubmitError,
+    Request, ServiceStats, SessionInfo, SubmissionId, SubmissionOutcome, SubmissionResult,
+    SubmissionStatus, SubmitError,
 };
+use crate::spec::WorkflowSpec;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use entk_control::{
     Actuation, BatchTuner, BatchTunerConfig, ControlAction, ControlObservation, Controller,
@@ -30,7 +32,7 @@ use entk_core::{
     AppManager, AppManagerConfig, CancelToken, ExecManagerConfig, QueueNamespace,
     ResourceDescription, RunReport, SessionAttachment, Workflow,
 };
-use entk_mq::{Broker, BrokerConfig};
+use entk_mq::{Broker, BrokerConfig, MqResult};
 use entk_observe::export::json_escape;
 use entk_observe::{
     components, CriticalPath, DecisionRing, ObserveConfig, ObserveServer, QueueSample, Recorder,
@@ -41,6 +43,7 @@ use rp_rts::{PilotPool, PilotPoolConfig};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -62,6 +65,18 @@ const DECISION_RING_CAPACITY: usize = 256;
 
 /// Initial shared batch limit; matches `ExecManagerConfig::default().max_batch`.
 const DEFAULT_BATCH_LIMIT: usize = 256;
+
+/// Service-journal filename inside the journal directory.
+const SERVICE_JOURNAL_FILE: &str = "service.journal";
+
+/// Broker-journal filename inside the journal directory.
+const BROKER_JOURNAL_FILE: &str = "broker.journal";
+
+/// Per-submission AppManager state-journal filename (task-level recovery
+/// keys; survives a crash so a re-driven submission skips Done tasks).
+fn task_journal_file(id: SubmissionId) -> String {
+    format!("sub-{:05}.tasks.log", id.0)
+}
 
 /// Service configuration.
 #[derive(Clone)]
@@ -107,6 +122,13 @@ pub struct ServiceConfig {
     /// Initial shared batch limit for the broker data path. Static unless
     /// `adaptive` is on, in which case the batch tuner walks it online.
     pub batch_limit: usize,
+    /// Durability directory. When set, the service keeps a workflow journal
+    /// (`service.journal`), a broker journal (`broker.journal`), and one
+    /// task-level state journal per durable submission, all inside this
+    /// directory — the state [`EnsembleService::recover`] rebuilds from.
+    /// [`EnsembleService::start`] begins a fresh epoch (existing journal
+    /// files are removed); use `recover` to resume a previous one.
+    pub journal_dir: Option<PathBuf>,
 }
 
 impl ServiceConfig {
@@ -128,7 +150,14 @@ impl ServiceConfig {
             adaptive: false,
             watchdog: WatchdogConfig::default(),
             batch_limit: DEFAULT_BATCH_LIMIT,
+            journal_dir: None,
         }
+    }
+
+    /// Builder: enable the durability journal in `dir`.
+    pub fn with_journal_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.journal_dir = Some(dir.into());
+        self
     }
 
     /// Builder: warm pilot count.
@@ -230,6 +259,8 @@ struct Submission {
     submitted_at: Instant,
     /// Present once terminal, until the client takes it.
     result: Option<SubmissionResult>,
+    /// The wire spec's JSON, for durable (journaled) submissions only.
+    spec_json: Option<String>,
 }
 
 #[derive(Default)]
@@ -285,6 +316,12 @@ struct Inner {
     critical_path: Mutex<CriticalPath>,
     ctl: ControlPlane,
     started_at: Instant,
+    /// The durability journal (`None` when `journal_dir` is unset).
+    journal: Option<ServiceJournal>,
+    /// Set by [`EnsembleService::kill`]: a SIGKILL-equivalent stop freezes
+    /// the journal so the teardown path cannot settle records a real crash
+    /// would never have written.
+    journal_frozen: AtomicBool,
 }
 
 impl Inner {
@@ -299,6 +336,28 @@ impl Inner {
             .metrics()
             .counter(&format!("service.{what}.{tenant}"))
             .incr();
+    }
+
+    /// Append a record to the durability journal, if one is open and not
+    /// frozen. Errors are surfaced as a counter, not propagated: a failed
+    /// `Started`/`Settled` append degrades recovery precision (the sub
+    /// re-drives, task-level dedup still holds) but must not fail the run.
+    /// `Submitted` appends go through [`admit`] instead, where failure
+    /// rejects the submission.
+    fn journal_append(&self, rec: &ServiceRecord) -> MqResult<()> {
+        let Some(journal) = &self.journal else {
+            return Ok(());
+        };
+        if self.journal_frozen.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let outcome = journal.append(rec);
+        let m = self.recorder.metrics();
+        match &outcome {
+            Ok(()) => m.counter("service.journal.records").incr(),
+            Err(_) => m.counter("service.journal.errors").incr(),
+        }
+        outcome
     }
 }
 
@@ -316,7 +375,9 @@ impl ServiceClient {
     }
 
     /// Submit a workflow for a tenant. Returns the submission handle, or an
-    /// admission/drain rejection.
+    /// admission/drain rejection. In-process submissions may carry closures
+    /// and are therefore NOT journaled; use [`ServiceClient::submit_spec`]
+    /// for durable submissions.
     pub fn submit(
         &self,
         tenant: impl Into<String>,
@@ -326,9 +387,45 @@ impl ServiceClient {
         self.call(|reply| Request::Submit {
             tenant,
             workflow: Box::new(workflow),
+            spec: None,
+            weight: None,
             reply,
         })
         .unwrap_or(Err(SubmitError::Disconnected))
+    }
+
+    /// Submit a wire-serializable workflow spec for a tenant — the durable
+    /// path used by the gateway. The spec is journaled before admission
+    /// completes, so a crash after a successful reply re-drives the
+    /// submission exactly-once on [`EnsembleService::recover`]. `weight`
+    /// optionally overrides the tenant's fair-share weight.
+    pub fn submit_spec(
+        &self,
+        tenant: impl Into<String>,
+        spec: WorkflowSpec,
+        weight: Option<u32>,
+    ) -> Result<SubmissionId, SubmitError> {
+        let workflow = spec
+            .build()
+            .map_err(|e| SubmitError::Invalid(e.0.clone()))?;
+        workflow
+            .validate()
+            .map_err(|e| SubmitError::Invalid(e.to_string()))?;
+        let tenant = tenant.into();
+        self.call(|reply| Request::Submit {
+            tenant,
+            workflow: Box::new(workflow),
+            spec: Some(Box::new(spec)),
+            weight,
+            reply,
+        })
+        .unwrap_or(Err(SubmitError::Disconnected))
+    }
+
+    /// List every known submission (queued, running, and settled-but-not-
+    /// taken), id-ordered.
+    pub fn list(&self) -> Option<Vec<SessionInfo>> {
+        self.call(|reply| Request::List { reply })
     }
 
     /// Lifecycle state of a submission (`None` if unknown).
@@ -383,10 +480,158 @@ pub struct EnsembleService {
     watchdog_sampler: Option<Sampler>,
 }
 
+/// Pre-populated state carried into [`EnsembleService`] startup by the
+/// recovery path. Empty for a fresh start.
+#[derive(Default)]
+struct Prefill {
+    /// Submissions to restore (settled ones carry a `Recovered` result;
+    /// unsettled ones carry a re-materialized workflow).
+    subs: Vec<(SubmissionId, Submission)>,
+    /// Fair-share pushes for the unsettled subset, in id order.
+    queued: Vec<(String, SubmissionId)>,
+    /// Journal-replayed per-tenant weight overrides.
+    weights: Vec<(String, u32)>,
+    /// Restored lifetime counters.
+    totals: Totals,
+    /// `max journaled id + 1` (0 = fresh start).
+    next_id: u64,
+    /// Recover the broker journal instead of opening it fresh.
+    recover_broker: bool,
+    /// Dead-session queue prefixes to purge off the recovered broker.
+    purge_prefixes: Vec<String>,
+}
+
 impl EnsembleService {
     /// Start the service: boot the shared broker, prewarm the pilot pool,
-    /// and spawn the control and worker threads.
+    /// and spawn the control and worker threads. With a
+    /// [`ServiceConfig::journal_dir`], this begins a *fresh* durability
+    /// epoch — stale journal files from a previous process are removed; use
+    /// [`EnsembleService::recover`] to resume one instead.
     pub fn start(config: ServiceConfig) -> Self {
+        if let Some(dir) = &config.journal_dir {
+            let _ = std::fs::create_dir_all(dir);
+            let _ = std::fs::remove_file(dir.join(SERVICE_JOURNAL_FILE));
+            let _ = std::fs::remove_file(dir.join(BROKER_JOURNAL_FILE));
+            if let Ok(entries) = std::fs::read_dir(dir) {
+                for e in entries.flatten() {
+                    if e.file_name().to_string_lossy().ends_with(".tasks.log") {
+                        let _ = std::fs::remove_file(e.path());
+                    }
+                }
+            }
+        }
+        Self::launch(config, Prefill::default()).expect("start fresh service epoch")
+    }
+
+    /// Rebuild a crashed service from its durability directory: replay the
+    /// workflow journal, recover the broker journal, purge dead session
+    /// queues, restore settled submissions as terminal
+    /// ([`SubmissionOutcome::Recovered`] summaries — the full reports died
+    /// with the process), and re-queue every unsettled submission under its
+    /// original id. Re-driven submissions reuse their per-submission task
+    /// journal, so tasks that settled before the crash are skipped:
+    /// completion is exactly-once at task granularity.
+    ///
+    /// Recovery is idempotent — if it fails partway (e.g. via the
+    /// `service.recover.*` failpoints) nothing was consumed and it can
+    /// simply be called again.
+    pub fn recover(config: ServiceConfig) -> MqResult<Self> {
+        let dir = config
+            .journal_dir
+            .clone()
+            .expect("EnsembleService::recover requires with_journal_dir");
+        let replay = ServiceJournal::scan(dir.join(SERVICE_JOURNAL_FILE))?;
+        let mut prefill = Prefill {
+            next_id: replay.next_id,
+            recover_broker: true,
+            ..Default::default()
+        };
+        let (mut restored_settled, mut requeued) = (0u64, 0u64);
+        for sub in replay.subs {
+            let id = SubmissionId(sub.id);
+            if let Some(session) = &sub.session {
+                prefill
+                    .purge_prefixes
+                    .push(QueueNamespace::session(session.clone()).prefix());
+            }
+            if sub.weight > 0 {
+                prefill.weights.push((sub.tenant.clone(), sub.weight));
+            }
+            prefill.totals.submitted += 1;
+            match sub.settled {
+                Some(info) => {
+                    let phase = match info.state {
+                        SettledState::Done => {
+                            prefill.totals.completed += 1;
+                            Phase::Done
+                        }
+                        SettledState::Failed => {
+                            prefill.totals.failed += 1;
+                            Phase::Failed
+                        }
+                        SettledState::Canceled => {
+                            prefill.totals.canceled += 1;
+                            Phase::Canceled
+                        }
+                    };
+                    restored_settled += 1;
+                    prefill.subs.push((
+                        id,
+                        Submission {
+                            tenant: sub.tenant.clone(),
+                            workflow: None,
+                            cancel: CancelToken::new(),
+                            phase,
+                            submitted_at: Instant::now(),
+                            result: Some(SubmissionResult {
+                                id,
+                                tenant: sub.tenant,
+                                outcome: SubmissionOutcome::Recovered(info),
+                                turnaround: Duration::from_millis(info.turnaround_ms),
+                                warm_pilot: None,
+                            }),
+                            spec_json: Some(sub.spec_json),
+                        },
+                    ));
+                }
+                None => {
+                    let spec = journal::replay_spec(&sub)?;
+                    let workflow = spec.build().map_err(|e| {
+                        entk_mq::MqError::CorruptJournal(format!("sub {}: {e}", sub.id))
+                    })?;
+                    requeued += 1;
+                    prefill.queued.push((sub.tenant.clone(), id));
+                    prefill.subs.push((
+                        id,
+                        Submission {
+                            tenant: sub.tenant,
+                            workflow: Some(Box::new(workflow)),
+                            cancel: CancelToken::new(),
+                            phase: Phase::Queued,
+                            submitted_at: Instant::now(),
+                            result: None,
+                            spec_json: Some(sub.spec_json),
+                        },
+                    ));
+                }
+            }
+        }
+        let svc = Self::launch(config, prefill)?;
+        let m = svc.inner.recorder.metrics();
+        m.counter("service.recover.settled").add(restored_settled);
+        m.counter("service.recover.requeued").add(requeued);
+        svc.inner.recorder.record(
+            components::SERVICE,
+            "service_recover",
+            "",
+            format!("settled={restored_settled} requeued={requeued}"),
+        );
+        Ok(svc)
+    }
+
+    /// Shared startup path behind [`EnsembleService::start`] and
+    /// [`EnsembleService::recover`].
+    fn launch(config: ServiceConfig, prefill: Prefill) -> MqResult<Self> {
         // A configured listener, declared SLO, or adaptive control implies
         // live telemetry: auto-enable a recorder so there is something to
         // scrape (and for the control loop to read).
@@ -399,17 +644,37 @@ impl EnsembleService {
                 Recorder::disabled()
             }
         });
-        let broker = if recorder.is_enabled() {
+        let broker_journal = config
+            .journal_dir
+            .as_ref()
+            .map(|d| d.join(BROKER_JOURNAL_FILE));
+        let broker = if recorder.is_enabled() || broker_journal.is_some() {
             // A recorder-backed broker runs its own depth sampler feeding
             // the `mq.queue.<name>.depth` / `.unacked` gauges.
-            Broker::with_config(BrokerConfig {
-                journal_path: None,
-                recorder: Some(recorder.clone()),
-                depth_sample_interval: Some(config.observe.sample_interval),
-            })
-            .expect("no journal: cannot fail")
+            let broker_cfg = BrokerConfig {
+                journal_path: broker_journal,
+                recorder: recorder.is_enabled().then(|| recorder.clone()),
+                depth_sample_interval: recorder
+                    .is_enabled()
+                    .then_some(config.observe.sample_interval),
+            };
+            if prefill.recover_broker {
+                Broker::recover_with_config(broker_cfg)?
+            } else {
+                Broker::with_config(broker_cfg)?
+            }
         } else {
             Broker::new()
+        };
+        // Dead sessions' queues (recovered off the broker journal) are
+        // purged wholesale: the re-driven runs redeclare their namespaces
+        // from scratch.
+        for prefix in &prefill.purge_prefixes {
+            let _ = broker.delete_matching(prefix);
+        }
+        let journal = match &config.journal_dir {
+            Some(dir) => Some(ServiceJournal::open(dir.join(SERVICE_JOURNAL_FILE))?),
+            None => None,
         };
         if recorder.is_enabled() {
             // Surface failpoint trips as `fail.<name>.trips` counters.
@@ -473,16 +738,27 @@ impl EnsembleService {
             prewarmer: parking_lot::Mutex::new(None),
         };
 
+        let mut queue = FairShare::new(config.default_weight, config.weights.iter().cloned());
+        for (tenant, weight) in &prefill.weights {
+            queue.set_weight(tenant, *weight);
+        }
+        let mut subs = HashMap::new();
+        for (id, sub) in prefill.subs {
+            subs.insert(id, sub);
+        }
+        for (tenant, id) in &prefill.queued {
+            queue.push(tenant, *id);
+        }
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
-                queue: FairShare::new(config.default_weight, config.weights.iter().cloned()),
-                subs: HashMap::new(),
+                queue,
+                subs,
                 active: 0,
                 draining: false,
                 stop_workers: false,
                 admission: AdmissionPolicy::new(config.max_pending),
-                totals: Totals::default(),
-                next_id: 1,
+                totals: prefill.totals,
+                next_id: prefill.next_id.max(1),
             }),
             work_ready: Condvar::new(),
             stop_control: AtomicBool::new(false),
@@ -493,6 +769,8 @@ impl EnsembleService {
             critical_path: Mutex::new(CriticalPath::new()),
             ctl,
             started_at: Instant::now(),
+            journal,
+            journal_frozen: AtomicBool::new(false),
         });
 
         let (tx, rx) = unbounded();
@@ -543,7 +821,7 @@ impl EnsembleService {
             Sampler::start(interval, move || watchdog_scan(&inner))
         });
 
-        EnsembleService {
+        Ok(EnsembleService {
             client: ServiceClient { tx },
             inner,
             control: Some(control),
@@ -551,7 +829,7 @@ impl EnsembleService {
             observe,
             sampler,
             watchdog_sampler,
-        }
+        })
     }
 
     /// Bound address of the telemetry listener (`None` when disabled).
@@ -582,6 +860,23 @@ impl EnsembleService {
     /// Current pilot-pool capacity target (moved live by the prescaler).
     pub fn pool_capacity(&self) -> usize {
         self.inner.pool.capacity()
+    }
+
+    /// The service's recorder (for embedders — e.g. the gateway — that want
+    /// to publish their own metrics alongside the service's).
+    pub fn recorder(&self) -> Recorder {
+        self.inner.recorder.clone()
+    }
+
+    /// SIGKILL-equivalent stop, for crash/recovery testing: freeze the
+    /// durability journal so teardown writes no `Settled` records a real
+    /// crash would never have produced, then abort everything in flight. The
+    /// on-disk journal state afterwards is exactly what a process kill at
+    /// this instant would have left; follow with
+    /// [`EnsembleService::recover`] on the same journal directory.
+    pub fn kill(self) {
+        self.inner.journal_frozen.store(true, Ordering::Release);
+        drop(self); // Drop runs abort_all + stop_threads with a frozen journal.
     }
 
     /// Graceful drain shutdown: stop admitting, run the queue dry, join all
@@ -619,6 +914,9 @@ impl EnsembleService {
         while let Some((_, id)) = st.queue.pop() {
             if let Some(sub) = st.subs.get_mut(&id) {
                 settle_canceled_before_run(sub, id);
+                if sub.spec_json.is_some() {
+                    let _ = self.inner.journal_append(&canceled_record(sub, id));
+                }
                 st.totals.canceled += 1;
             }
         }
@@ -874,6 +1172,17 @@ fn settle_canceled_before_run(sub: &mut Submission, id: SubmissionId) {
     });
 }
 
+/// Terminal journal record for a canceled-before-run submission.
+fn canceled_record(sub: &Submission, id: SubmissionId) -> ServiceRecord {
+    ServiceRecord::Settled {
+        id: id.0,
+        state: SettledState::Canceled,
+        tasks_done: 0,
+        tasks_failed: 0,
+        turnaround_ms: sub.submitted_at.elapsed().as_millis() as u64,
+    }
+}
+
 /// CriticalPath stage label for queue wait: the span a ready task sits in
 /// the Pending queue before the execution manager dequeues it.
 const QUEUE_WAIT_STAGE: &str = "enqueue->emgr_dequeue";
@@ -1044,12 +1353,27 @@ fn watchdog_scan(inner: &Arc<Inner>) {
 fn control_loop(inner: &Arc<Inner>, rx: &Receiver<Request>) {
     loop {
         if inner.stop_control.load(Ordering::Acquire) {
-            return;
+            break;
         }
         match rx.recv_timeout(CONTROL_POLL) {
             Ok(req) => handle_request(inner, req),
             Err(RecvTimeoutError::Timeout) => continue,
             Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+    // Drain-reject: requests already queued behind the stop get a terminal
+    // answer instead of a dropped reply channel. Submissions are refused as
+    // draining; reads (status/result/stats/list) still answer normally so
+    // late clients can collect results during teardown.
+    while let Ok(req) = rx.try_recv() {
+        match req {
+            Request::Submit { reply, .. } => {
+                let _ = reply.send(Err(SubmitError::Draining));
+            }
+            Request::Cancel { reply, .. } => {
+                let _ = reply.send(false);
+            }
+            other => handle_request(inner, other),
         }
     }
 }
@@ -1059,10 +1383,15 @@ fn handle_request(inner: &Arc<Inner>, req: Request) {
         Request::Submit {
             tenant,
             workflow,
+            spec,
+            weight,
             reply,
         } => {
-            let verdict = admit(inner, tenant, workflow);
+            let verdict = admit(inner, tenant, workflow, spec, weight);
             let _ = reply.send(verdict);
+        }
+        Request::List { reply } => {
+            let _ = reply.send(list_sessions(inner));
         }
         Request::Status { id, reply } => {
             let st = inner.state.lock();
@@ -1096,10 +1425,40 @@ fn handle_request(inner: &Arc<Inner>, req: Request) {
     }
 }
 
+/// Id-ordered snapshot of every known submission.
+fn list_sessions(inner: &Arc<Inner>) -> Vec<SessionInfo> {
+    let st = inner.state.lock();
+    let mut ids: Vec<_> = st.subs.keys().copied().collect();
+    ids.sort();
+    ids.into_iter()
+        .map(|id| {
+            let sub = &st.subs[&id];
+            let status = match sub.phase {
+                Phase::Queued => SubmissionStatus::Queued {
+                    ahead: st.queue.position_of(&sub.tenant, &id).unwrap_or(0),
+                },
+                Phase::Running => SubmissionStatus::Running,
+                Phase::Done => SubmissionStatus::Done,
+                Phase::Failed => SubmissionStatus::Failed,
+                Phase::Canceled => SubmissionStatus::Canceled,
+            };
+            SessionInfo {
+                id,
+                tenant: sub.tenant.clone(),
+                status,
+                age_secs: sub.submitted_at.elapsed().as_secs_f64(),
+                durable: sub.spec_json.is_some(),
+            }
+        })
+        .collect()
+}
+
 fn admit(
     inner: &Arc<Inner>,
     tenant: String,
     workflow: Box<Workflow>,
+    spec: Option<Box<WorkflowSpec>>,
+    weight: Option<u32>,
 ) -> Result<SubmissionId, SubmitError> {
     let mut st = inner.state.lock();
     if st.draining {
@@ -1135,7 +1494,32 @@ fn admit(
         return Err(SubmitError::Saturated { retry_after });
     }
     let id = SubmissionId(st.next_id);
+    // Durable submissions journal their spec BEFORE any state mutation:
+    // crash-before-append semantics mean a failed append rejects the
+    // submission outright — the client knows to retry, and recovery can
+    // never replay a half-admitted entry.
+    let spec_json = match &spec {
+        Some(spec) => {
+            let json = spec.to_json();
+            if let Err(e) = inner.journal_append(&ServiceRecord::Submitted {
+                id: id.0,
+                tenant: tenant.clone(),
+                weight: weight.unwrap_or(0),
+                spec_json: json.clone(),
+            }) {
+                inner
+                    .recorder
+                    .record(components::SERVICE, "submit_journal_refused", "", &tenant);
+                return Err(SubmitError::Journal(e.to_string()));
+            }
+            Some(json)
+        }
+        None => None,
+    };
     st.next_id += 1;
+    if let Some(w) = weight {
+        st.queue.set_weight(&tenant, w);
+    }
     st.subs.insert(
         id,
         Submission {
@@ -1145,6 +1529,7 @@ fn admit(
             phase: Phase::Queued,
             submitted_at: Instant::now(),
             result: None,
+            spec_json,
         },
     );
     st.queue.push(&tenant, id);
@@ -1170,6 +1555,9 @@ fn cancel_submission(inner: &Arc<Inner>, id: SubmissionId) -> bool {
             st.queue.remove(&tenant, &id);
             let sub = st.subs.get_mut(&id).expect("checked above");
             settle_canceled_before_run(sub, id);
+            if sub.spec_json.is_some() {
+                let _ = inner.journal_append(&canceled_record(sub, id));
+            }
             st.totals.canceled += 1;
             inner.tenant_counter("canceled", &tenant);
             inner
@@ -1196,6 +1584,9 @@ struct Job {
     workflow: Box<Workflow>,
     cancel: CancelToken,
     submitted_at: Instant,
+    /// Whether this submission is journaled (spec-backed): durable jobs get
+    /// a `Started` journal record and a per-submission task journal.
+    durable: bool,
 }
 
 fn worker_loop(inner: &Arc<Inner>) {
@@ -1226,6 +1617,7 @@ fn next_job(inner: &Arc<Inner>) -> Option<Job> {
                 workflow: sub.workflow.take().expect("queued submission keeps wf"),
                 cancel: sub.cancel.clone(),
                 submitted_at: sub.submitted_at,
+                durable: sub.spec_json.is_some(),
             };
             st.active += 1;
             inner.gauge_sync(&st);
@@ -1244,10 +1636,21 @@ fn execute(inner: &Arc<Inner>, job: Job) -> (Phase, SubmissionResult) {
         workflow,
         cancel,
         submitted_at,
+        durable,
     } = job;
     let session = format!("s{:05}", id.0);
-    let ns = QueueNamespace::session(session);
+    let ns = QueueNamespace::session(session.clone());
     let prefix = ns.prefix();
+    if durable {
+        // Records which broker namespace this submission owns, so recovery
+        // can purge it wholesale before the re-drive redeclares it. A failed
+        // append only widens the purge gap (the re-driven run still
+        // redeclares its queues); it must not fail the run.
+        let _ = inner.journal_append(&ServiceRecord::Started {
+            id: id.0,
+            session: session.clone(),
+        });
+    }
     inner
         .recorder
         .record(components::SERVICE, "run_start", id.to_string(), &tenant);
@@ -1266,6 +1669,13 @@ fn execute(inner: &Arc<Inner>, job: Job) -> (Phase, SubmissionResult) {
         );
     if let Some(t) = cfg.run_timeout {
         amgr_cfg = amgr_cfg.with_run_timeout(t);
+    }
+    if durable {
+        if let Some(dir) = &cfg.journal_dir {
+            // Task-level recovery keys: a re-driven submission reopens this
+            // journal and skips tasks that already settled Done by name.
+            amgr_cfg = amgr_cfg.with_journal(dir.join(task_journal_file(id)));
+        }
     }
     if inner.recorder.is_enabled() {
         amgr_cfg = amgr_cfg.with_recorder(inner.recorder.clone());
@@ -1308,6 +1718,18 @@ fn finish(inner: &Arc<Inner>, phase: Phase, result: SubmissionResult) {
     let turnaround = result.turnaround;
     let metrics = inner.recorder.metrics();
     metrics.histogram("service.turnaround").record(turnaround);
+    // Task-level settlement counts for the journal's terminal record (an
+    // Error outcome has no report; zeros are honest there).
+    let (tasks_done, tasks_failed) = result
+        .outcome
+        .report()
+        .map(|rep| {
+            (
+                rep.workflow.count_in(entk_core::TaskState::Done) as u64,
+                rep.workflow.count_in(entk_core::TaskState::Failed) as u64,
+            )
+        })
+        .unwrap_or((0, 0));
     // Fold the run's per-task timelines into the service-wide residency
     // decomposition served on /statusz.
     if let Some(rep) = result.outcome.report() {
@@ -1332,9 +1754,11 @@ fn finish(inner: &Arc<Inner>, phase: Phase, result: SubmissionResult) {
             "failed"
         }
     };
+    let mut durable = false;
     if let Some(sub) = st.subs.get_mut(&id) {
         sub.phase = phase;
         sub.result = Some(result);
+        durable = sub.spec_json.is_some();
     }
     inner.tenant_counter(what, &tenant);
     inner
@@ -1342,5 +1766,22 @@ fn finish(inner: &Arc<Inner>, phase: Phase, result: SubmissionResult) {
         .record(components::SERVICE, "run_end", id.to_string(), what);
     inner.gauge_sync(&st);
     drop(st);
+    if durable {
+        // The settlement watermark: once this lands, recovery restores the
+        // submission as terminal instead of re-driving it. A failed append
+        // means one extra (task-deduplicated) re-drive after a crash —
+        // degraded precision, not lost work — so it must not fail the run.
+        let _ = inner.journal_append(&ServiceRecord::Settled {
+            id: id.0,
+            state: match phase {
+                Phase::Done => SettledState::Done,
+                Phase::Canceled => SettledState::Canceled,
+                _ => SettledState::Failed,
+            },
+            tasks_done,
+            tasks_failed,
+            turnaround_ms: turnaround.as_millis() as u64,
+        });
+    }
     inner.work_ready.notify_all();
 }

@@ -1,0 +1,570 @@
+//! Wire-serializable workflow descriptions.
+//!
+//! A [`Workflow`](entk_core::Workflow) is not serializable — tasks may carry
+//! `Executable::Compute` closures and pipelines `post_exec` hooks — so the
+//! gateway's remote submission protocol and the service's durable journal
+//! both speak [`WorkflowSpec`]: the closed, serializable subset of the PST
+//! model (the four paper executables plus `Noop`, static stage lists,
+//! index-based inter-pipeline dependencies). A spec round-trips losslessly
+//! through its hand-rolled JSON codec ([`WorkflowSpec::to_json`] /
+//! [`WorkflowSpec::from_json`], parsing via `observe::json` — no serde in
+//! the tree) and materializes into a fresh `Workflow` with
+//! [`WorkflowSpec::build`]. Because crash recovery re-materializes the same
+//! spec, task *names* (the recovery keys) are stable across restarts even
+//! though uids are not.
+
+use entk_core::{Executable, Pipeline, Stage, Task, Workflow};
+use entk_observe::export::json_escape;
+use entk_observe::json::{self, Json};
+use std::fmt::Write as _;
+
+/// A codec error: the input was not valid JSON, or was valid JSON that does
+/// not describe a well-formed spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid workflow spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Serializable executable description (the closed subset of
+/// [`Executable`]; `Compute` closures cannot cross the wire).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecSpec {
+    /// `/bin/sleep <secs>`.
+    Sleep {
+        /// Sleep duration in seconds.
+        secs: f64,
+    },
+    /// Gromacs `mdrun`.
+    Mdrun {
+        /// Nominal duration in seconds.
+        nominal_secs: f64,
+    },
+    /// Specfem3D forward solver (heavy shared-FS I/O).
+    Specfem {
+        /// Nominal duration in seconds.
+        nominal_secs: f64,
+        /// Sustained shared-filesystem demand in bytes/s.
+        io_demand_bps: f64,
+    },
+    /// Canalogs (AnEn) analysis.
+    Canalogs {
+        /// Nominal duration in seconds.
+        nominal_secs: f64,
+    },
+    /// Does nothing, completes immediately.
+    Noop,
+}
+
+impl ExecSpec {
+    /// Materialize into a runtime executable.
+    pub fn to_executable(&self) -> Executable {
+        match *self {
+            ExecSpec::Sleep { secs } => Executable::Sleep { secs },
+            ExecSpec::Mdrun { nominal_secs } => Executable::GromacsMdrun { nominal_secs },
+            ExecSpec::Specfem {
+                nominal_secs,
+                io_demand_bps,
+            } => Executable::SpecfemForward {
+                nominal_secs,
+                io_demand_bps,
+            },
+            ExecSpec::Canalogs { nominal_secs } => Executable::Canalogs { nominal_secs },
+            ExecSpec::Noop => Executable::Noop,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            ExecSpec::Sleep { .. } => "sleep",
+            ExecSpec::Mdrun { .. } => "mdrun",
+            ExecSpec::Specfem { .. } => "specfem",
+            ExecSpec::Canalogs { .. } => "canalogs",
+            ExecSpec::Noop => "noop",
+        }
+    }
+}
+
+/// Serializable task description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskSpec {
+    /// Task name — unique within the workflow; the cross-restart recovery
+    /// key, so recovery skips journaled-Done tasks by this name.
+    pub name: String,
+    /// What to run.
+    pub executable: ExecSpec,
+    /// Cores required.
+    pub cpus: u32,
+    /// GPUs required.
+    pub gpus: u32,
+}
+
+impl TaskSpec {
+    /// A 1-core, 0-GPU task.
+    pub fn new(name: impl Into<String>, executable: ExecSpec) -> Self {
+        TaskSpec {
+            name: name.into(),
+            executable,
+            cpus: 1,
+            gpus: 0,
+        }
+    }
+
+    /// Builder: cores.
+    pub fn with_cpus(mut self, cpus: u32) -> Self {
+        self.cpus = cpus;
+        self
+    }
+
+    /// Builder: gpus.
+    pub fn with_gpus(mut self, gpus: u32) -> Self {
+        self.gpus = gpus;
+        self
+    }
+}
+
+/// Serializable stage: a set of concurrent tasks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSpec {
+    /// Stage name.
+    pub name: String,
+    /// Concurrent tasks.
+    pub tasks: Vec<TaskSpec>,
+}
+
+impl StageSpec {
+    /// An empty stage.
+    pub fn new(name: impl Into<String>) -> Self {
+        StageSpec {
+            name: name.into(),
+            tasks: Vec::new(),
+        }
+    }
+
+    /// Builder: append a task.
+    pub fn with_task(mut self, task: TaskSpec) -> Self {
+        self.tasks.push(task);
+        self
+    }
+}
+
+/// Serializable pipeline: ordered stages plus index-based dependencies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineSpec {
+    /// Pipeline name.
+    pub name: String,
+    /// Indices (into [`WorkflowSpec::pipelines`]) of pipelines that must
+    /// finish Done before this one starts. Indices are position-based, not
+    /// uid-based, because uids are assigned fresh at each materialization.
+    pub after: Vec<usize>,
+    /// Ordered stages.
+    pub stages: Vec<StageSpec>,
+}
+
+impl PipelineSpec {
+    /// An empty pipeline.
+    pub fn new(name: impl Into<String>) -> Self {
+        PipelineSpec {
+            name: name.into(),
+            after: Vec::new(),
+            stages: Vec::new(),
+        }
+    }
+
+    /// Builder: append a stage.
+    pub fn with_stage(mut self, stage: StageSpec) -> Self {
+        self.stages.push(stage);
+        self
+    }
+
+    /// Builder: declare a dependency on the pipeline at `index`.
+    pub fn after_index(mut self, index: usize) -> Self {
+        self.after.push(index);
+        self
+    }
+}
+
+/// A complete wire-serializable ensemble application description.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WorkflowSpec {
+    /// The pipelines; `after` dependencies index into this vector.
+    pub pipelines: Vec<PipelineSpec>,
+}
+
+impl WorkflowSpec {
+    /// An empty spec.
+    pub fn new() -> Self {
+        WorkflowSpec::default()
+    }
+
+    /// Builder: append a pipeline.
+    pub fn with_pipeline(mut self, pipeline: PipelineSpec) -> Self {
+        self.pipelines.push(pipeline);
+        self
+    }
+
+    /// Total task count across all pipelines.
+    pub fn task_count(&self) -> usize {
+        self.pipelines
+            .iter()
+            .flat_map(|p| &p.stages)
+            .map(|s| s.tasks.len())
+            .sum()
+    }
+
+    /// Structural validation beyond JSON well-formedness: dependency indices
+    /// must point at *earlier* pipelines (which also rules out cycles). The
+    /// materialized workflow is additionally validated by the AppManager
+    /// (non-empty stages, unique task names).
+    pub fn validate(&self) -> Result<(), SpecError> {
+        for (i, p) in self.pipelines.iter().enumerate() {
+            for &dep in &p.after {
+                if dep >= i {
+                    return Err(SpecError(format!(
+                        "pipeline {i} ({}) depends on index {dep}, which is not an earlier pipeline",
+                        p.name
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Materialize into a runnable [`Workflow`] with fresh uids.
+    pub fn build(&self) -> Result<Workflow, SpecError> {
+        self.validate()?;
+        let mut wf = Workflow::new();
+        let mut uids: Vec<String> = Vec::with_capacity(self.pipelines.len());
+        for spec in &self.pipelines {
+            let mut pipeline = Pipeline::new(spec.name.clone());
+            for &dep in &spec.after {
+                pipeline = pipeline.after_uid(uids[dep].clone());
+            }
+            for stage_spec in &spec.stages {
+                let mut stage = Stage::new(stage_spec.name.clone());
+                for task_spec in &stage_spec.tasks {
+                    stage.add_task(
+                        Task::new(task_spec.name.clone(), task_spec.executable.to_executable())
+                            .with_cpus(task_spec.cpus.max(1))
+                            .with_gpus(task_spec.gpus),
+                    );
+                }
+                pipeline.add_stage(stage);
+            }
+            uids.push(pipeline.uid().to_string());
+            wf.add_pipeline(pipeline);
+        }
+        Ok(wf)
+    }
+
+    /// Encode as a self-contained JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"pipelines\":[");
+        for (i, p) in self.pipelines.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"name\":\"{}\",\"after\":[", json_escape(&p.name));
+            for (j, dep) in p.after.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{dep}");
+            }
+            out.push_str("],\"stages\":[");
+            for (j, s) in p.stages.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{{\"name\":\"{}\",\"tasks\":[", json_escape(&s.name));
+                for (k, t) in s.tasks.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"{}\",\"cpus\":{},\"gpus\":{},\"executable\":{}",
+                        json_escape(&t.name),
+                        t.cpus,
+                        t.gpus,
+                        exec_json(&t.executable)
+                    );
+                    out.push('}');
+                }
+                out.push_str("]}");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Decode from JSON, rejecting anything structurally malformed.
+    pub fn from_json(input: &str) -> Result<WorkflowSpec, SpecError> {
+        let doc = json::parse(input).map_err(SpecError)?;
+        Self::from_value(&doc)
+    }
+
+    /// Decode from an already-parsed JSON value — the gateway parses the
+    /// submit envelope once and hands the `"workflow"` subtree here.
+    pub fn from_value(doc: &Json) -> Result<WorkflowSpec, SpecError> {
+        let pipelines = doc
+            .get("pipelines")
+            .and_then(Json::as_array)
+            .ok_or_else(|| SpecError("missing \"pipelines\" array".into()))?;
+        let mut spec = WorkflowSpec::new();
+        for (i, p) in pipelines.iter().enumerate() {
+            let name = require_str(p, "name", &format!("pipeline {i}"))?;
+            let mut pipeline = PipelineSpec::new(name);
+            if let Some(after) = p.get("after") {
+                let after = after
+                    .as_array()
+                    .ok_or_else(|| SpecError(format!("pipeline {i}: \"after\" is not an array")))?;
+                for dep in after {
+                    let n = dep
+                        .as_f64()
+                        .filter(|n| *n >= 0.0 && n.fract() == 0.0)
+                        .ok_or_else(|| {
+                            SpecError(format!("pipeline {i}: \"after\" entries must be indices"))
+                        })?;
+                    pipeline.after.push(n as usize);
+                }
+            }
+            let stages = p
+                .get("stages")
+                .and_then(Json::as_array)
+                .ok_or_else(|| SpecError(format!("pipeline {i}: missing \"stages\" array")))?;
+            for (j, s) in stages.iter().enumerate() {
+                let where_ = format!("pipeline {i} stage {j}");
+                let mut stage = StageSpec::new(require_str(s, "name", &where_)?);
+                let tasks = s
+                    .get("tasks")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| SpecError(format!("{where_}: missing \"tasks\" array")))?;
+                for (k, t) in tasks.iter().enumerate() {
+                    let where_ = format!("pipeline {i} stage {j} task {k}");
+                    let mut task = TaskSpec::new(
+                        require_str(t, "name", &where_)?,
+                        exec_from_json(
+                            t.get("executable").ok_or_else(|| {
+                                SpecError(format!("{where_}: missing \"executable\""))
+                            })?,
+                            &where_,
+                        )?,
+                    );
+                    task.cpus = opt_u32(t, "cpus", 1, &where_)?;
+                    task.gpus = opt_u32(t, "gpus", 0, &where_)?;
+                    stage.tasks.push(task);
+                }
+                pipeline.stages.push(stage);
+            }
+            spec.pipelines.push(pipeline);
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+fn exec_json(exec: &ExecSpec) -> String {
+    match *exec {
+        ExecSpec::Sleep { secs } => format!("{{\"kind\":\"sleep\",\"secs\":{secs}}}"),
+        ExecSpec::Mdrun { nominal_secs } => {
+            format!("{{\"kind\":\"mdrun\",\"nominal_secs\":{nominal_secs}}}")
+        }
+        ExecSpec::Specfem {
+            nominal_secs,
+            io_demand_bps,
+        } => format!(
+            "{{\"kind\":\"specfem\",\"nominal_secs\":{nominal_secs},\"io_demand_bps\":{io_demand_bps}}}"
+        ),
+        ExecSpec::Canalogs { nominal_secs } => {
+            format!("{{\"kind\":\"canalogs\",\"nominal_secs\":{nominal_secs}}}")
+        }
+        ExecSpec::Noop => format!("{{\"kind\":\"{}\"}}", ExecSpec::Noop.kind()),
+    }
+}
+
+fn exec_from_json(v: &Json, where_: &str) -> Result<ExecSpec, SpecError> {
+    let kind = require_str(v, "kind", where_)?;
+    let num = |field: &str| -> Result<f64, SpecError> {
+        v.get(field)
+            .and_then(Json::as_f64)
+            .filter(|n| n.is_finite() && *n >= 0.0)
+            .ok_or_else(|| {
+                SpecError(format!(
+                    "{where_}: executable \"{kind}\" needs non-negative \"{field}\""
+                ))
+            })
+    };
+    match kind.as_str() {
+        "sleep" => Ok(ExecSpec::Sleep { secs: num("secs")? }),
+        "mdrun" => Ok(ExecSpec::Mdrun {
+            nominal_secs: num("nominal_secs")?,
+        }),
+        "specfem" => Ok(ExecSpec::Specfem {
+            nominal_secs: num("nominal_secs")?,
+            io_demand_bps: num("io_demand_bps")?,
+        }),
+        "canalogs" => Ok(ExecSpec::Canalogs {
+            nominal_secs: num("nominal_secs")?,
+        }),
+        "noop" => Ok(ExecSpec::Noop),
+        other => Err(SpecError(format!(
+            "{where_}: unknown executable kind \"{other}\""
+        ))),
+    }
+}
+
+fn require_str(v: &Json, field: &str, where_: &str) -> Result<String, SpecError> {
+    v.get(field)
+        .and_then(Json::as_str)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .ok_or_else(|| SpecError(format!("{where_}: missing string field \"{field}\"")))
+}
+
+fn opt_u32(v: &Json, field: &str, default: u32, where_: &str) -> Result<u32, SpecError> {
+    match v.get(field) {
+        None => Ok(default),
+        Some(n) => n
+            .as_f64()
+            .filter(|n| *n >= 0.0 && n.fract() == 0.0 && *n <= f64::from(u32::MAX))
+            .map(|n| n as u32)
+            .ok_or_else(|| {
+                SpecError(format!(
+                    "{where_}: \"{field}\" must be a non-negative integer"
+                ))
+            }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WorkflowSpec {
+        WorkflowSpec::new()
+            .with_pipeline(
+                PipelineSpec::new("sim")
+                    .with_stage(
+                        StageSpec::new("s0")
+                            .with_task(
+                                TaskSpec::new("md.0", ExecSpec::Mdrun { nominal_secs: 2.0 })
+                                    .with_cpus(16)
+                                    .with_gpus(1),
+                            )
+                            .with_task(TaskSpec::new("md.1", ExecSpec::Sleep { secs: 0.5 })),
+                    )
+                    .with_stage(StageSpec::new("s1").with_task(TaskSpec::new(
+                        "fwd",
+                        ExecSpec::Specfem {
+                            nominal_secs: 3.0,
+                            io_demand_bps: 1e9,
+                        },
+                    ))),
+            )
+            .with_pipeline(
+                PipelineSpec::new("analysis \"quoted\"")
+                    .after_index(0)
+                    .with_stage(
+                        StageSpec::new("a0")
+                            .with_task(TaskSpec::new(
+                                "anen",
+                                ExecSpec::Canalogs { nominal_secs: 1.0 },
+                            ))
+                            .with_task(TaskSpec::new("join", ExecSpec::Noop)),
+                    ),
+            )
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let spec = sample();
+        let json = spec.to_json();
+        let back = WorkflowSpec::from_json(&json).expect("round-trips");
+        assert_eq!(back, spec);
+        // And the encoding is stable (canonical).
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn build_materializes_structure_and_dependencies() {
+        let spec = sample();
+        let wf = spec.build().expect("builds");
+        wf.validate().expect("materialized workflow is valid");
+        assert_eq!(wf.pipelines().len(), 2);
+        assert_eq!(wf.task_count(), spec.task_count());
+        let dep_uid = wf.pipelines()[0].uid();
+        assert_eq!(wf.pipelines()[1].dependencies(), [dep_uid.to_string()]);
+        let md0 = &wf.pipelines()[0].stages()[0].tasks()[0];
+        assert_eq!(md0.cpu_reqs, 16);
+        assert_eq!(md0.gpu_reqs, 1);
+        assert_eq!(md0.executable.name(), "mdrun");
+    }
+
+    #[test]
+    fn rebuilding_preserves_task_names_but_not_uids() {
+        let spec = sample();
+        let a = spec.build().unwrap();
+        let b = spec.build().unwrap();
+        let names = |wf: &Workflow| -> Vec<String> {
+            wf.pipelines()
+                .iter()
+                .flat_map(|p| p.stages())
+                .flat_map(|s| s.tasks())
+                .map(|t| t.name.clone())
+                .collect()
+        };
+        assert_eq!(names(&a), names(&b), "recovery keys stable");
+        assert_ne!(
+            a.pipelines()[0].uid(),
+            b.pipelines()[0].uid(),
+            "uids are per-materialization"
+        );
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        for bad in [
+            "",
+            "not json",
+            "{}",
+            "{\"pipelines\":{}}",
+            "{\"pipelines\":[{\"stages\":[]}]}",                              // no name
+            "{\"pipelines\":[{\"name\":\"p\"}]}",                             // no stages
+            "{\"pipelines\":[{\"name\":\"p\",\"stages\":[{\"name\":\"s\"}]}]}", // no tasks
+            // Unknown executable kind.
+            "{\"pipelines\":[{\"name\":\"p\",\"stages\":[{\"name\":\"s\",\"tasks\":[{\"name\":\"t\",\"executable\":{\"kind\":\"rm-rf\"}}]}]}]}",
+            // Missing required executable field.
+            "{\"pipelines\":[{\"name\":\"p\",\"stages\":[{\"name\":\"s\",\"tasks\":[{\"name\":\"t\",\"executable\":{\"kind\":\"sleep\"}}]}]}]}",
+            // Negative duration.
+            "{\"pipelines\":[{\"name\":\"p\",\"stages\":[{\"name\":\"s\",\"tasks\":[{\"name\":\"t\",\"executable\":{\"kind\":\"sleep\",\"secs\":-1}}]}]}]}",
+            // Fractional cpus.
+            "{\"pipelines\":[{\"name\":\"p\",\"stages\":[{\"name\":\"s\",\"tasks\":[{\"name\":\"t\",\"cpus\":1.5,\"executable\":{\"kind\":\"noop\"}}]}]}]}",
+            // Forward dependency (would be a cycle or self-dependency).
+            "{\"pipelines\":[{\"name\":\"p\",\"after\":[0],\"stages\":[{\"name\":\"s\",\"tasks\":[{\"name\":\"t\",\"executable\":{\"kind\":\"noop\"}}]}]}]}",
+            // Non-integer dependency index.
+            "{\"pipelines\":[{\"name\":\"b\",\"after\":[\"a\"],\"stages\":[{\"name\":\"s\",\"tasks\":[{\"name\":\"t\",\"executable\":{\"kind\":\"noop\"}}]}]}]}",
+        ] {
+            assert!(
+                WorkflowSpec::from_json(bad).is_err(),
+                "accepted malformed input: {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn escaped_names_survive_the_codec() {
+        let spec = WorkflowSpec::new().with_pipeline(PipelineSpec::new("p\\\"\n\t").with_stage(
+            StageSpec::new("s\u{1F600}").with_task(TaskSpec::new("t/…\"quoted\"", ExecSpec::Noop)),
+        ));
+        let back = WorkflowSpec::from_json(&spec.to_json()).expect("parses");
+        assert_eq!(back, spec);
+    }
+}

@@ -45,6 +45,7 @@
 pub use entk_apps as apps;
 pub use entk_control as control;
 pub use entk_core as core;
+pub use entk_gateway as gateway;
 pub use entk_mq as mq;
 pub use entk_observe as observe;
 pub use entk_service as service;

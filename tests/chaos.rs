@@ -595,3 +595,228 @@ fn critical_path_excludes_canceled_tasks() {
         "canceled tasks must not contribute partial timelines"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Tentpole: the durable gateway journal under crash-before-append chaos.
+//
+// Every `gateway.journal.*` failpoint fires BEFORE its record is written,
+// so an armed point models a crash at the worst instant of each journal
+// append. The matrix kills the service (SIGKILL-equivalent: the journal is
+// frozen so teardown writes nothing a real crash would not have) at each
+// seam and asserts `EnsembleService::recover` restores exactly-once
+// submission accounting: nothing lost, nothing duplicated.
+// ---------------------------------------------------------------------------
+
+fn tmp_journal_dir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "entk-chaos-gwj-{name}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+fn durable_service(dir: &std::path::Path, max_active: usize) -> EnsembleService {
+    EnsembleService::start(
+        ServiceConfig::new(ResourceDescription::sim(
+            PlatformId::TestRig,
+            2,
+            1_000_000_000,
+        ))
+        .with_warm_pilots(1)
+        .with_max_active(max_active)
+        .with_max_pending(64)
+        .with_run_timeout(timeout())
+        .with_journal_dir(dir),
+    )
+}
+
+fn recover_service(dir: &std::path::Path) -> entk::mq::MqResult<EnsembleService> {
+    EnsembleService::recover(
+        ServiceConfig::new(ResourceDescription::sim(
+            PlatformId::TestRig,
+            2,
+            1_000_000_000,
+        ))
+        .with_warm_pilots(1)
+        .with_max_active(2)
+        .with_max_pending(64)
+        .with_run_timeout(timeout())
+        .with_journal_dir(dir),
+    )
+}
+
+fn spec_wf(label: &str, tasks: usize) -> entk::service::WorkflowSpec {
+    use entk::service::{ExecSpec, PipelineSpec, StageSpec, TaskSpec, WorkflowSpec};
+    let mut stage = StageSpec::new(format!("{label}-s"));
+    for t in 0..tasks {
+        stage = stage.with_task(TaskSpec::new(
+            format!("{label}-t{t}"),
+            ExecSpec::Sleep { secs: 50.0 },
+        ));
+    }
+    WorkflowSpec::new().with_pipeline(PipelineSpec::new(format!("{label}-p")).with_stage(stage))
+}
+
+/// Crash at the `Submitted` append: the submission must be REJECTED (the
+/// client knows to retry), and recovery must not replay a half-admitted
+/// entry — crash-before-append means no duplicate is possible.
+#[test]
+fn gateway_journal_submitted_crash_rejects_then_recovers_exactly_once() {
+    let _g = entk_fail::scenario();
+    let dir = tmp_journal_dir("submitted");
+    let service = durable_service(&dir, 2);
+    let client = service.client();
+
+    entk_fail::arm_once("gateway.journal.submitted", InjectedAction::Fail);
+    match client.submit_spec("alice", spec_wf("w0", 2), None) {
+        Err(SubmitError::Journal(_)) => {}
+        other => panic!("journal crash must reject the submission, got {other:?}"),
+    }
+    assert_eq!(entk_fail::fires("gateway.journal.submitted"), 1);
+
+    // The client retries; this one lands and is journaled.
+    let id = client
+        .submit_spec("alice", spec_wf("w0", 2), None)
+        .expect("retry admitted");
+    client.wait(id, timeout()).expect("settles");
+    service.kill();
+
+    let recovered = recover_service(&dir).expect("recovery succeeds");
+    let rc = recovered.client();
+    let sessions = rc.list().expect("listing");
+    assert_eq!(
+        sessions.len(),
+        1,
+        "the rejected submission must not reappear: {sessions:?}"
+    );
+    let result = rc.wait(sessions[0].id, timeout()).expect("restored result");
+    assert!(result.outcome.is_success());
+    let stats = recovered.shutdown();
+    assert_eq!((stats.submitted, stats.completed), (1, 1));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Crash at the `Started` append: the session-attachment record is lost,
+/// but the submission itself is journaled — recovery re-drives it (the
+/// purge set is merely smaller) and it settles exactly once.
+#[test]
+fn gateway_journal_started_crash_still_redrives_to_done() {
+    let _g = entk_fail::scenario();
+    let dir = tmp_journal_dir("started");
+    let service = durable_service(&dir, 1);
+    let client = service.client();
+
+    entk_fail::arm_once("gateway.journal.started", InjectedAction::Fail);
+    let ids: Vec<_> = (0..3)
+        .map(|i| {
+            client
+                .submit_spec(format!("t{i}"), spec_wf(&format!("w{i}"), 2), None)
+                .expect("admitted")
+        })
+        .collect();
+    // Kill while work is in flight: first run's Started record was eaten by
+    // the failpoint, later ones may or may not have begun.
+    client.wait(ids[0], timeout()).expect("first settles");
+    service.kill();
+    assert_eq!(entk_fail::fires("gateway.journal.started"), 1);
+
+    let recovered = recover_service(&dir).expect("recovery succeeds");
+    let rc = recovered.client();
+    for id in &ids {
+        let result = rc.wait(*id, timeout()).expect("settles after recovery");
+        assert!(
+            result.outcome.is_success(),
+            "submission {id} failed after recovery: {:?}",
+            result.outcome
+        );
+    }
+    let stats = recovered.shutdown();
+    assert_eq!((stats.submitted, stats.completed), (3, 3));
+    assert_eq!((stats.failed, stats.canceled), (0, 0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Crash at the `Settled` append: the run finished but its settlement
+/// watermark is lost, so recovery re-drives it. The per-submission task
+/// journal dedups at task granularity — every task settled before the
+/// crash is skipped by name, and the ledger still counts the submission
+/// exactly once.
+#[test]
+fn gateway_journal_settled_crash_redrive_is_exactly_once() {
+    let _g = entk_fail::scenario();
+    let dir = tmp_journal_dir("settled");
+    let service = durable_service(&dir, 2);
+    let client = service.client();
+
+    entk_fail::arm_once("gateway.journal.settled", InjectedAction::Fail);
+    let id = client
+        .submit_spec("alice", spec_wf("w0", 4), None)
+        .expect("admitted");
+    let result = client.wait(id, timeout()).expect("settles in epoch 1");
+    assert!(result.outcome.is_success());
+    assert_eq!(
+        entk_fail::fires("gateway.journal.settled"),
+        1,
+        "the settlement append crashed"
+    );
+    service.kill();
+
+    let recovered = recover_service(&dir).expect("recovery succeeds");
+    let rc = recovered.client();
+    // The lost watermark means the sub re-drives; the task journal skips
+    // all four Done tasks, so it settles Done again without re-execution.
+    let result = rc.wait(id, timeout()).expect("settles after recovery");
+    assert!(result.outcome.is_success());
+    if let SubmissionOutcome::Completed(rep) = &result.outcome {
+        assert_eq!(rep.workflow.count_in(TaskState::Done), 4);
+        assert_eq!(
+            rep.overheads.tasks_done, 0,
+            "journal-recovered tasks must not re-execute"
+        );
+    } else {
+        panic!("re-driven run must complete with a report");
+    }
+    let stats = recovered.shutdown();
+    assert_eq!((stats.submitted, stats.completed), (1, 1));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The `service.recover.*` failpoints: a recovery that dies scanning or
+/// replaying the journal consumed nothing and must succeed when simply
+/// called again.
+#[test]
+fn service_recover_failpoints_are_retryable() {
+    let _g = entk_fail::scenario();
+    let dir = tmp_journal_dir("retry");
+    let service = durable_service(&dir, 1);
+    let client = service.client();
+    let ids: Vec<_> = (0..2)
+        .map(|i| {
+            client
+                .submit_spec("alice", spec_wf(&format!("w{i}"), 2), None)
+                .expect("admitted")
+        })
+        .collect();
+    service.kill();
+
+    for point in ["service.recover.scan", "service.recover.replay"] {
+        entk_fail::arm_once(point, InjectedAction::Fail);
+        match recover_service(&dir) {
+            Err(MqError::FaultInjected(name)) => assert_eq!(name, point),
+            other => panic!("{point} must abort recovery, got {:?}", other.is_ok()),
+        }
+    }
+    // Third time lucky: nothing was consumed by the failed attempts.
+    let recovered = recover_service(&dir).expect("retry succeeds");
+    let rc = recovered.client();
+    for id in &ids {
+        let result = rc.wait(*id, timeout()).expect("settles after recovery");
+        assert!(result.outcome.is_success());
+    }
+    let stats = recovered.shutdown();
+    assert_eq!((stats.submitted, stats.completed), (2, 2));
+    let _ = std::fs::remove_dir_all(&dir);
+}
