@@ -54,6 +54,7 @@ fn main() {
             payload_bytes: 512,
             batch_size,
             memory_sample_interval: Some(Duration::from_millis(10)),
+            ..Default::default()
         });
         let mb = |b: Option<usize>| {
             b.map(|v| format!("{:.0}", v as f64 / 1e6))

@@ -49,7 +49,40 @@ fn broker_tps(tasks: usize, batch_size: usize, reps: usize) -> f64 {
                 payload_bytes: PAYLOAD,
                 batch_size,
                 memory_sample_interval: None,
+                ..Default::default()
             });
+            assert_eq!(report.tasks, tasks);
+            report.tasks_per_sec
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Durable multi-producer throughput at a given shard count: 4 producers ×
+/// 8 consumers over 8 durable queues with persistent messages and the
+/// journal on disk. This is the configuration where one shard serializes
+/// every append on a single journal mutex — the bottleneck the sharded
+/// broker removes. Best of `reps` runs; each run journals into a fresh
+/// directory that is removed afterwards.
+fn sharded_durable_tps(tasks: usize, shards: usize, reps: usize) -> f64 {
+    (0..reps.max(1))
+        .map(|rep| {
+            let dir = std::env::temp_dir().join(format!(
+                "entk-bench-shards-{}-{shards}-{rep}",
+                std::process::id()
+            ));
+            std::fs::create_dir_all(&dir).expect("create bench journal dir");
+            let report = run_prototype(&PrototypeConfig {
+                tasks,
+                producers: 4,
+                consumers: 8,
+                queues: 8,
+                payload_bytes: PAYLOAD,
+                batch_size: 256,
+                memory_sample_interval: None,
+                broker_shards: shards,
+                durable_journal: Some(dir.join("broker.journal")),
+            });
+            let _ = std::fs::remove_dir_all(&dir);
             assert_eq!(report.tasks, tasks);
             report.tasks_per_sec
         })
@@ -123,10 +156,14 @@ fn main() {
     } else {
         &[1_000, 10_000, 100_000]
     };
+    // The sweep runs past the old 512 ceiling: the single-lock broker used
+    // to regress at 512 once every producer funneled its whole batch through
+    // one journal/queue mutex. The sharded broker must hold the curve
+    // flat-or-rising through 2048 (gated below).
     let sweep_sizes: &[usize] = if quick {
-        &[1, 32, 256]
+        &[1, 32, 256, 1024, 2048]
     } else {
-        &[1, 8, 32, 128, 256, 512]
+        &[1, 8, 32, 128, 256, 512, 1024, 2048]
     };
 
     println!(
@@ -163,11 +200,34 @@ fn main() {
     println!("\n# batch-size sweep at {sweep_tasks} tasks");
     println!("{:<10} {:>16}", "batch", "tasks/s");
     let mut sweep_rows = Vec::new();
+    let mut sweep_points: Vec<(usize, f64)> = Vec::new();
     for &b in sweep_sizes {
         let tps = broker_tps(sweep_tasks, b, 3);
         println!("{b:<10} {tps:>16.0}");
         sweep_rows.push(format!("    {{\"batch\": {b}, \"tps\": {tps:.1}}}"));
+        sweep_points.push((b, tps));
     }
+
+    // ---- Shard scaling on the durable multi-producer point -------------
+    // 4 producers × 8 consumers × 8 durable queues, persistent messages,
+    // batch 256. With one shard every producer serializes on one journal;
+    // with four shards the 8 queues hash across four independent journal
+    // segments.
+    let shard_tasks = if quick { 20_000 } else { 100_000 };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "\n# durable shard scaling at {shard_tasks} tasks (4 producers, 8 queues, {cores} cores)"
+    );
+    println!("{:<10} {:>16}", "shards", "tasks/s");
+    let shard_reps = if quick { 3 } else { 5 };
+    let one_shard_tps = sharded_durable_tps(shard_tasks, 1, shard_reps);
+    println!("{:<10} {one_shard_tps:>16.0}", 1);
+    let four_shard_tps = sharded_durable_tps(shard_tasks, 4, shard_reps);
+    println!("{:<10} {four_shard_tps:>16.0}", 4);
+    let shard_speedup = four_shard_tps / one_shard_tps.max(1e-9);
+    println!("shard speedup (4 vs 1): {shard_speedup:.2}x");
 
     // ---- End-to-end: Fig. 7 management-overhead decomposition ----------
     println!("\n# e2e AppManager: {e2e_tasks} tasks, per-task vs batched path");
@@ -198,6 +258,9 @@ fn main() {
             "  \"batch_size\": {},\n",
             "  \"scales\": [\n{}\n  ],\n",
             "  \"sweep\": {{\"tasks\": {}, \"points\": [\n{}\n  ]}},\n",
+            "  \"shard_scaling\": {{\"tasks\": {}, \"producers\": 4, \"consumers\": 8, \
+             \"queues\": 8, \"batch\": 256, \"durable\": true, \"cores\": {}, \
+             \"one_shard_tps\": {:.1}, \"four_shard_tps\": {:.1}, \"speedup\": {:.3}}},\n",
             "  \"e2e\": {{\n",
             "    \"tasks\": {},\n",
             "    \"per_task\": {{\"management_secs\": {:.4}, \"trace_management_secs\": {:.4}, \"wall_secs\": {:.3}}},\n",
@@ -216,6 +279,11 @@ fn main() {
         scale_rows.join(",\n"),
         sweep_tasks,
         sweep_rows.join(",\n"),
+        shard_tasks,
+        cores,
+        one_shard_tps,
+        four_shard_tps,
+        shard_speedup,
         e2e_tasks,
         per_task.management_secs,
         per_task.trace_management_secs,
@@ -232,6 +300,37 @@ fn main() {
     let mut f = std::fs::File::create(&out).expect("create output file");
     f.write_all(json.as_bytes()).expect("write output");
     println!("wrote {out}");
+
+    // Batch-sweep regression gate: past batch 256 the curve must be
+    // monotone-or-flat — no point may fall more than 5% below its
+    // predecessor. This is the gate that catches the batch-512 cliff the
+    // single-lock broker used to hit (all producers convoying on one
+    // journal mutex once batches got large enough to hold it for the whole
+    // append run).
+    for pair in sweep_points.windows(2) {
+        let ((prev_b, prev_tps), (b, tps)) = (pair[0], pair[1]);
+        if prev_b < 256 {
+            continue;
+        }
+        assert!(
+            tps >= 0.95 * prev_tps,
+            "batch sweep regressed past 256: batch {b} ran {tps:.0} t/s, \
+             more than 5% below batch {prev_b} at {prev_tps:.0} t/s"
+        );
+    }
+
+    // Shard-scaling gate: on the durable multi-producer point, four shards
+    // must clear 3x one shard — but parallel speedup needs parallel
+    // hardware, so the 3x bar only applies to a full run on a machine with
+    // at least 4 cores. Quick mode and starved runners (shared CI cores,
+    // single-core containers) get a loss-guard instead: sharding must not
+    // tank throughput even when it cannot help.
+    let shard_floor = if quick || cores < 4 { 0.7 } else { 3.0 };
+    assert!(
+        shard_speedup >= shard_floor,
+        "4-shard durable broker must be >={shard_floor}x the 1-shard throughput \
+         (got {shard_speedup:.2}x: {four_shard_tps:.0} vs {one_shard_tps:.0} t/s)"
+    );
 
     // Quick mode is a CI trajectory smoke at reduced scale on shared
     // runners; the full run must meet the 3x bar at 100k tasks.

@@ -521,7 +521,7 @@ impl Ctx {
         if self
             .broker
             .publish(
-                self.ns.sync(),
+                self.ns.sync_shard(comp).as_ref(),
                 messages::sync_message(comp, crate::uid::Kind::Task, uid, state.name()),
             )
             .is_err()
@@ -561,8 +561,9 @@ impl Ctx {
 
     /// Request the same transition for a batch of tasks through the
     /// Synchronizer and wait for every acknowledgement (arrows 6–7,
-    /// batched). The requests travel as one broker batch, the Synchronizer
-    /// processes the sync queue FIFO and acknowledges per component in
+    /// batched). The requests travel as one broker batch on this
+    /// component's sync shard; the Synchronizer's per-shard drainer
+    /// processes that FIFO in order and acknowledges per component in
     /// request order, so the i-th result reports the i-th uid. Returns one
     /// applied-flag per task.
     pub(crate) fn sync_tasks(&self, comp: &str, uids: &[String], state: TaskState) -> Vec<bool> {
@@ -580,7 +581,11 @@ impl Ctx {
             .iter()
             .map(|uid| messages::sync_message(comp, crate::uid::Kind::Task, uid, state.name()))
             .collect();
-        if self.broker.publish_batch(self.ns.sync(), requests).is_err() {
+        if self
+            .broker
+            .publish_batch(self.ns.sync_shard(comp).as_ref(), requests)
+            .is_err()
+        {
             return vec![false; uids.len()];
         }
         let ack_queue = self.ns.ack(comp);

@@ -14,12 +14,23 @@ use entk_mq::Message;
 pub const PENDING: &str = "entk-pending";
 /// The Done queue: tasks whose RTS attempt reached a terminal state.
 pub const DONE: &str = "entk-done";
-/// The synchronization queue into AppManager.
+/// Base name of the synchronization queues into AppManager. The sync plane
+/// is sharded per requesting component ([`sync_queue`]): ordering was only
+/// ever guaranteed *within* a component (each component publishes its
+/// requests in order and waits for acks), so per-component FIFOs preserve
+/// every documented invariant while letting the Synchronizer drain the
+/// shards in parallel — and letting the sharded broker hash them onto
+/// different shards.
 pub const SYNC: &str = "entk-sync";
 
 /// Acknowledgement queue for a subcomponent.
 pub fn ack_queue(component: &str) -> String {
     format!("entk-ack-{component}")
+}
+
+/// Synchronization queue shard for a subcomponent (arrow 6, sharded).
+pub fn sync_queue(component: &str) -> String {
+    format!("{SYNC}-{component}")
 }
 
 /// Session-scoped queue names.
@@ -36,7 +47,7 @@ pub struct QueueNamespace {
     session: String,
     pending: String,
     done: String,
-    sync: String,
+    sync_shards: [String; component::ALL.len()],
     acks: [String; component::ALL.len()],
 }
 
@@ -47,7 +58,7 @@ impl QueueNamespace {
             session: String::new(),
             pending: PENDING.to_string(),
             done: DONE.to_string(),
-            sync: SYNC.to_string(),
+            sync_shards: component::ALL.map(sync_queue),
             acks: component::ALL.map(ack_queue),
         }
     }
@@ -58,7 +69,7 @@ impl QueueNamespace {
         QueueNamespace {
             pending: format!("entk-{id}-pending"),
             done: format!("entk-{id}-done"),
-            sync: format!("entk-{id}-sync"),
+            sync_shards: component::ALL.map(|c| format!("entk-{id}-sync-{c}")),
             acks: component::ALL.map(|c| format!("entk-{id}-ack-{c}")),
             session: id,
         }
@@ -89,9 +100,22 @@ impl QueueNamespace {
         &self.done
     }
 
-    /// The synchronization queue name.
-    pub fn sync(&self) -> &str {
-        &self.sync
+    /// The synchronization queue shard for a subcomponent (arrow 6). One
+    /// FIFO per component: requests from a single component stay strictly
+    /// ordered, while different components' shards drain in parallel.
+    /// `component` must be one of [`component::ALL`]; unknown names fall
+    /// back to a freshly formatted name (correct but allocating).
+    pub fn sync_shard(&self, comp: &str) -> std::borrow::Cow<'_, str> {
+        match component::ALL.iter().position(|c| *c == comp) {
+            Some(i) => std::borrow::Cow::Borrowed(&self.sync_shards[i]),
+            None if self.session.is_empty() => std::borrow::Cow::Owned(sync_queue(comp)),
+            None => std::borrow::Cow::Owned(format!("entk-{}-sync-{comp}", self.session)),
+        }
+    }
+
+    /// All synchronization queue shards, indexed like [`component::ALL`].
+    pub fn sync_shards(&self) -> &[String] {
+        &self.sync_shards
     }
 
     /// The acknowledgement queue for a subcomponent. `component` must be one
@@ -107,7 +131,8 @@ impl QueueNamespace {
 
     /// Every queue name in this namespace (declare / cleanup order).
     pub fn all(&self) -> Vec<&str> {
-        let mut names = vec![self.pending(), self.done(), self.sync()];
+        let mut names = vec![self.pending(), self.done()];
+        names.extend(self.sync_shards.iter().map(String::as_str));
         names.extend(self.acks.iter().map(String::as_str));
         names
     }
@@ -303,12 +328,36 @@ mod tests {
         let ns = QueueNamespace::root();
         assert_eq!(ns.pending(), PENDING);
         assert_eq!(ns.done(), DONE);
-        assert_eq!(ns.sync(), SYNC);
         for comp in component::ALL {
             assert_eq!(ns.ack(comp), ack_queue(comp));
+            assert_eq!(ns.sync_shard(comp), sync_queue(comp));
+            assert_eq!(ns.sync_shard(comp), format!("{SYNC}-{comp}"));
         }
         assert_eq!(ns.session_id(), "");
-        assert_eq!(ns.all().len(), 3 + component::ALL.len());
+        assert_eq!(ns.all().len(), 2 + 2 * component::ALL.len());
+    }
+
+    #[test]
+    fn sync_shards_are_per_component_and_namespaced() {
+        let ns = QueueNamespace::session("s07");
+        assert_eq!(ns.sync_shard(component::EMGR), "entk-s07-sync-emgr");
+        assert_eq!(ns.sync_shard("weird"), "entk-s07-sync-weird");
+        assert_eq!(
+            QueueNamespace::root().sync_shard("weird"),
+            "entk-sync-weird"
+        );
+        // Indexed like component::ALL, unique, and inside the session prefix
+        // so delete_matching sweeps them with the rest of the namespace.
+        let shards = ns.sync_shards();
+        assert_eq!(shards.len(), component::ALL.len());
+        for (i, comp) in component::ALL.iter().enumerate() {
+            assert_eq!(shards[i], ns.sync_shard(comp).as_ref());
+            assert!(shards[i].starts_with(&ns.prefix()));
+        }
+        let mut unique: Vec<&String> = shards.iter().collect();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), shards.len());
     }
 
     #[test]

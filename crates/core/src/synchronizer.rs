@@ -22,31 +22,58 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Spawn the Synchronizer thread.
+/// Spawn the Synchronizer: one drainer thread per sync-queue shard. The
+/// sync plane is sharded per requesting component
+/// ([`crate::messages::QueueNamespace::sync_shard`]), so each drainer owns
+/// one component's FIFO with its own cumulative-ack cursor and the shards
+/// settle in parallel — transitions still serialize on the workflow lock,
+/// but queue drains, acks and journal appends do not. Ordering within a
+/// component (the only ordering [`Ctx::sync_tasks`] relies on) is preserved
+/// because a component's requests all land on its own shard; ordering
+/// *across* components was never guaranteed — each component publishes and
+/// then waits for its acks, so cross-component happens-before is enforced
+/// at the application layer, not by queue position.
 pub(crate) fn spawn(ctx: Arc<Ctx>) -> std::thread::JoinHandle<()> {
     std::thread::Builder::new()
         .name("entk-synchronizer".into())
         .spawn(move || {
-            if ctx.batched {
-                run_batched(ctx)
-            } else {
-                run(ctx)
+            let shards: Vec<String> = ctx.ns.sync_shards().to_vec();
+            let mut drainers = Vec::with_capacity(shards.len());
+            for (i, queue) in shards.into_iter().enumerate() {
+                let ctx = Arc::clone(&ctx);
+                drainers.push(
+                    std::thread::Builder::new()
+                        .name(format!("entk-sync-{i}"))
+                        .spawn(move || {
+                            if ctx.batched {
+                                run_batched(ctx, &queue)
+                            } else {
+                                run(ctx, &queue)
+                            }
+                        })
+                        .expect("spawn sync drainer"),
+                );
+            }
+            for d in drainers {
+                let _ = d.join();
             }
         })
         .expect("spawn synchronizer")
 }
 
-/// Batched fast path: drain the sync queue in one broker call, apply every
+/// Batched fast path: drain one sync shard in one broker call, apply every
 /// transition in one pass (one recorder span per batch), settle the batch
 /// with one cumulative ack, and publish the acknowledgements grouped per
 /// requesting component — within a component the order matches the
-/// requests, which is what [`Ctx::sync_tasks`] relies on.
-fn run_batched(ctx: Arc<Ctx>) {
+/// requests, which is what [`Ctx::sync_tasks`] relies on. (A shard carries
+/// one component's requests by construction; the grouping also tolerates
+/// custom components routed onto a shared fallback name.)
+fn run_batched(ctx: Arc<Ctx>, sync_queue: &str) {
     while ctx.running.load(Ordering::Acquire) {
         let max_batch = ctx.exec.batch_limit();
         let batch = match ctx
             .broker
-            .get_batch(ctx.ns.sync(), max_batch, Duration::from_millis(20))
+            .get_batch(sync_queue, max_batch, Duration::from_millis(20))
         {
             Ok(b) if !b.is_empty() => b,
             Ok(_) => continue,
@@ -77,10 +104,10 @@ fn run_batched(ctx: Arc<Ctx>) {
                 None => acks.push((req.component, vec![msg])),
             }
         }
-        // The Synchronizer is the sync queue's only consumer: one cumulative
-        // ack settles the whole batch.
+        // This drainer is its shard's only consumer: one cumulative ack —
+        // the per-shard ack cursor — settles the whole batch.
         let boundary = batch.last().expect("non-empty batch").tag;
-        let _ = ctx.broker.ack_multiple(ctx.ns.sync(), boundary);
+        let _ = ctx.broker.ack_multiple(sync_queue, boundary);
         for (comp, msgs) in acks {
             let _ = ctx.broker.publish_batch(&ctx.ns.ack(&comp), msgs);
         }
@@ -89,19 +116,16 @@ fn run_batched(ctx: Arc<Ctx>) {
     }
 }
 
-fn run(ctx: Arc<Ctx>) {
+fn run(ctx: Arc<Ctx>, sync_queue: &str) {
     while ctx.running.load(Ordering::Acquire) {
-        let delivery = match ctx
-            .broker
-            .get_timeout(ctx.ns.sync(), Duration::from_millis(20))
-        {
+        let delivery = match ctx.broker.get_timeout(sync_queue, Duration::from_millis(20)) {
             Ok(Some(d)) => d,
             Ok(None) => continue,
             Err(_) => break, // broker closed: shutting down
         };
         let t0 = Instant::now();
         let Some(req) = parse_sync(&delivery.message) else {
-            let _ = ctx.broker.ack(ctx.ns.sync(), delivery.tag);
+            let _ = ctx.broker.ack(sync_queue, delivery.tag);
             continue;
         };
         // Transition latency: request dequeued → applied → acknowledged
@@ -120,7 +144,7 @@ fn run(ctx: Arc<Ctx>) {
                 req.state.clone(),
             );
         }
-        let _ = ctx.broker.ack(ctx.ns.sync(), delivery.tag);
+        let _ = ctx.broker.ack(sync_queue, delivery.tag);
         let _ = ctx.broker.publish(
             &ctx.ns.ack(&req.component),
             messages::ack_message(&req.uid, ok),

@@ -4,20 +4,84 @@ use crate::wire;
 use entk_observe::{Handler, HttpRequest, HttpResponse, HttpServer, HttpServerConfig, Recorder};
 use entk_service::{ServiceClient, SubmissionId, SubmitError};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::SocketAddr;
 use std::sync::Arc;
+
+/// Upper bound on cached terminal-result renderings. 256 JSON bodies is a
+/// few hundred KiB at most — enough for any realistic polling window while
+/// keeping a long-lived gateway's memory flat.
+const RESULT_CACHE_CAP: usize = 256;
+
+/// A bounded LRU of rendered terminal results. The service hands a result
+/// out at most once ([`ServiceClient::take_result`]); the gateway takes it
+/// on the first terminal `GET` and serves the cached rendering on repeat
+/// polls, keeping `GET` idempotent on the wire. Without a bound, a
+/// long-lived gateway leaks one rendering per finished submission forever;
+/// here the least-recently-read entry is evicted at capacity, and `DELETE`
+/// evicts eagerly.
+struct ResultCache {
+    entries: HashMap<SubmissionId, String>,
+    /// Recency order, least-recent first. Invariant: same key set as
+    /// `entries`, no duplicates.
+    order: VecDeque<SubmissionId>,
+    cap: usize,
+}
+
+impl ResultCache {
+    fn new(cap: usize) -> Self {
+        ResultCache {
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    fn touch(&mut self, id: SubmissionId) {
+        if let Some(pos) = self.order.iter().position(|x| *x == id) {
+            self.order.remove(pos);
+        }
+        self.order.push_back(id);
+    }
+
+    fn get(&mut self, id: SubmissionId) -> Option<String> {
+        let body = self.entries.get(&id)?.clone();
+        self.touch(id);
+        Some(body)
+    }
+
+    fn insert(&mut self, id: SubmissionId, body: String) {
+        if self.entries.insert(id, body).is_none() && self.entries.len() > self.cap {
+            if let Some(oldest) = self.order.pop_front() {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.touch(id);
+    }
+
+    fn remove(&mut self, id: SubmissionId) -> bool {
+        if self.entries.remove(&id).is_none() {
+            return false;
+        }
+        if let Some(pos) = self.order.iter().position(|x| *x == id) {
+            self.order.remove(pos);
+        }
+        true
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
 
 /// Shared gateway state behind the per-connection handler threads.
 struct GatewayState {
     client: ServiceClient,
     recorder: Recorder,
-    /// Rendered terminal results, keyed by submission. The service hands a
-    /// result out at most once ([`ServiceClient::take_result`]); the
-    /// gateway takes it on the first terminal `GET` and serves this cached
-    /// rendering forever after, keeping `GET` idempotent on the wire.
-    results: Mutex<HashMap<SubmissionId, String>>,
+    /// Rendered terminal results, keyed by submission (bounded; see
+    /// [`ResultCache`]).
+    results: Mutex<ResultCache>,
 }
 
 /// A running HTTP gateway fronting one [`EnsembleService`].
@@ -54,7 +118,7 @@ impl Gateway {
         let state = Arc::new(GatewayState {
             client,
             recorder,
-            results: Mutex::new(HashMap::new()),
+            results: Mutex::new(ResultCache::new(RESULT_CACHE_CAP)),
         });
         let handler: Handler = Arc::new(move |req| route(&state, req));
         let server = HttpServer::start(addr, handler, config)?;
@@ -131,15 +195,23 @@ fn submit(gw: &GatewayState, req: &HttpRequest) -> HttpResponse {
 }
 
 fn status(gw: &GatewayState, id: SubmissionId) -> HttpResponse {
-    if let Some(cached) = gw.results.lock().get(&id) {
-        return HttpResponse::ok_json(cached.clone());
+    if let Some(cached) = gw.results.lock().get(id) {
+        return HttpResponse::ok_json(cached);
     }
     match gw.client.status(id) {
         None => HttpResponse::error_json(404, "unknown submission"),
         Some(st) if st.is_terminal() => match gw.client.take_result(id) {
             Some(result) => {
                 let body = wire::result_json(&result);
-                gw.results.lock().insert(id, body.clone());
+                let depth = {
+                    let mut cache = gw.results.lock();
+                    cache.insert(id, body.clone());
+                    cache.len()
+                };
+                gw.recorder
+                    .metrics()
+                    .gauge("gateway.result_cache")
+                    .set(depth as i64);
                 HttpResponse::ok_json(body)
             }
             // Result consumed by an in-process client: the lifecycle state
@@ -154,6 +226,12 @@ fn cancel(gw: &GatewayState, id: SubmissionId) -> HttpResponse {
     if gw.client.status(id).is_none() {
         return HttpResponse::error_json(404, "unknown submission");
     }
+    // The client is done with this submission: drop its cached rendering
+    // now rather than waiting for LRU pressure. A later GET still answers
+    // honestly from the live lifecycle state.
+    if gw.results.lock().remove(id) {
+        gw.recorder.metrics().counter("gateway.results_evicted").incr();
+    }
     let initiated = gw.client.cancel(id);
     if initiated {
         gw.recorder.metrics().counter("gateway.canceled").incr();
@@ -165,5 +243,57 @@ fn sessions(gw: &GatewayState) -> HttpResponse {
     match gw.client.list() {
         Some(sessions) => HttpResponse::ok_json(wire::sessions_json(&sessions)),
         None => HttpResponse::error_json(503, "service unavailable"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u64) -> SubmissionId {
+        SubmissionId(n)
+    }
+
+    #[test]
+    fn result_cache_caps_at_capacity_evicting_least_recent() {
+        let mut c = ResultCache::new(3);
+        for n in 0..3 {
+            c.insert(id(n), format!("r{n}"));
+        }
+        assert_eq!(c.len(), 3);
+        // Read id 0 so it becomes most-recent; id 1 is now the LRU victim.
+        assert_eq!(c.get(id(0)).as_deref(), Some("r0"));
+        c.insert(id(3), "r3".into());
+        assert_eq!(c.len(), 3);
+        assert!(c.get(id(1)).is_none(), "least-recently-read entry evicted");
+        assert_eq!(c.get(id(0)).as_deref(), Some("r0"));
+        assert_eq!(c.get(id(3)).as_deref(), Some("r3"));
+    }
+
+    #[test]
+    fn result_cache_remove_evicts_eagerly() {
+        let mut c = ResultCache::new(8);
+        c.insert(id(7), "body".into());
+        assert!(c.remove(id(7)));
+        assert!(!c.remove(id(7)), "second remove is a no-op");
+        assert!(c.get(id(7)).is_none());
+        assert_eq!(c.len(), 0);
+        // Order list stays consistent with the map after removal: filling
+        // past capacity must not underflow or double-evict.
+        for n in 0..20 {
+            c.insert(id(n), format!("r{n}"));
+        }
+        assert_eq!(c.len(), 8);
+    }
+
+    #[test]
+    fn result_cache_reinsert_updates_in_place() {
+        let mut c = ResultCache::new(2);
+        c.insert(id(1), "a".into());
+        c.insert(id(1), "b".into());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(id(1)).as_deref(), Some("b"));
+        c.insert(id(2), "c".into());
+        assert_eq!(c.len(), 2, "reinsert must not inflate the count");
     }
 }

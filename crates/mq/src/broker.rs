@@ -1,18 +1,25 @@
-//! The broker: a registry of named queues plus optional durability.
+//! The broker: a sharded registry of named queues plus optional durability.
 //!
 //! In EnTK, the AppManager "creates all the queues" at initialization and the
 //! components communicate only through them (Fig. 2). A [`Broker`] is cheaply
 //! cloneable (an `Arc` inside) so every component thread can hold a handle.
+//!
+//! Internally the broker is split into N shards. Each queue hashes by name
+//! (FNV-1a) onto one shard, which owns that queue's registry slot and — when
+//! durability is on — its own journal segment, so durable appends on
+//! different shards never cross-serialize on a single journal mutex. With
+//! `shards == 1` the layout and on-disk format are byte-identical to the old
+//! single-broker behavior.
 
 use crate::error::{MqError, MqResult};
-use crate::journal::{Journal, JournalRecord};
+use crate::journal::{Journal, JournalRecord, Replay};
 use crate::message::{Delivery, Message};
 use crate::queue::{QueueConfig, QueueHandle};
 use crate::stats::{BrokerStats, QueueStats};
 use entk_observe::{components, Recorder};
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
@@ -21,11 +28,19 @@ use std::time::Duration;
 /// explicit interval is given.
 const DEFAULT_DEPTH_SAMPLE_INTERVAL: Duration = Duration::from_millis(25);
 
+/// Hard ceiling on the auto-selected shard count: past ~8 shards the queue
+/// maps stop being contended and extra journal segments only cost fds.
+const MAX_AUTO_SHARDS: usize = 8;
+
 /// Broker-wide configuration.
 #[derive(Debug, Clone, Default)]
 pub struct BrokerConfig {
-    /// If set, durable queues journal persistent messages to this file and
-    /// [`Broker::recover`] can rebuild them after a crash.
+    /// If set, durable queues journal persistent messages under this path and
+    /// [`Broker::recover`] can rebuild them after a crash. With more than one
+    /// shard, shard 0 appends to the path as given and shard `i` to a
+    /// `<stem>-<i>.<ext>` sibling (`broker.journal`, `broker-1.journal`, …);
+    /// recovery merges every segment found on disk, so the shard count may
+    /// change freely between runs.
     pub journal_path: Option<PathBuf>,
     /// If set, queues record publish-to-deliver / deliver-to-ack latency
     /// histograms into the recorder's metrics registry, queue lifecycle
@@ -35,17 +50,139 @@ pub struct BrokerConfig {
     /// Sampling period for the queue-depth gauges; defaults to 25 ms. Only
     /// meaningful together with `recorder`.
     pub depth_sample_interval: Option<Duration>,
+    /// Number of broker shards. `0` (the default) auto-selects
+    /// `min(available cores, 8)`; `1` restores the old single-broker
+    /// behavior exactly (one queue map, one journal file).
+    pub shards: usize,
+}
+
+impl BrokerConfig {
+    /// Set the shard count. `0` auto-selects `min(available cores, 8)`;
+    /// `1` restores the old single-broker behavior exactly.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+}
+
+/// Resolve a configured shard count to a concrete one.
+fn resolve_shards(configured: usize) -> usize {
+    if configured > 0 {
+        configured
+    } else {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(MAX_AUTO_SHARDS)
+    }
+}
+
+/// FNV-1a over the queue name. Stable across runs (shard → journal-segment
+/// assignment must be deterministic) and cheap enough for the publish path.
+fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Journal segment path for shard `i`: shard 0 keeps the configured path
+/// unchanged (legacy single-file layout), shard `i > 0` becomes a
+/// `<stem>-<i>.<ext>` sibling.
+fn segment_path(base: &Path, i: usize) -> PathBuf {
+    if i == 0 {
+        return base.to_path_buf();
+    }
+    let stem = base
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let name = match base.extension() {
+        Some(ext) => format!("{stem}-{i}.{}", ext.to_string_lossy()),
+        None => format!("{stem}-{i}"),
+    };
+    base.with_file_name(name)
+}
+
+/// Every journal segment present on disk for `base`: the base file itself
+/// plus any `<stem>-<digits>.<ext>` sibling. Recovery scans them all, no
+/// matter what shard count wrote them — a broker restarted with a different
+/// shard count (or recovering a pre-shard single file) still sees every
+/// record.
+fn existing_segments(base: &Path) -> Vec<PathBuf> {
+    let mut segments = Vec::new();
+    if base.exists() {
+        segments.push(base.to_path_buf());
+    }
+    let (Some(dir), Some(stem)) = (base.parent(), base.file_stem()) else {
+        return segments;
+    };
+    let stem = stem.to_string_lossy();
+    let ext = base.extension().map(|e| e.to_string_lossy().into_owned());
+    let Ok(entries) = std::fs::read_dir(if dir.as_os_str().is_empty() {
+        Path::new(".")
+    } else {
+        dir
+    }) else {
+        return segments;
+    };
+    let mut numbered: Vec<(usize, PathBuf)> = Vec::new();
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path == *base {
+            continue;
+        }
+        match (&ext, path.extension()) {
+            (Some(want), Some(have)) if have.to_string_lossy() == *want => {}
+            (None, None) => {}
+            _ => continue,
+        }
+        let Some(file_stem) = path.file_stem() else {
+            continue;
+        };
+        let file_stem = file_stem.to_string_lossy();
+        let Some(suffix) = file_stem.strip_prefix(&format!("{stem}-")) else {
+            continue;
+        };
+        if let Ok(i) = suffix.parse::<usize>() {
+            numbered.push((i, path));
+        }
+    }
+    numbered.sort_by_key(|(i, _)| *i);
+    segments.extend(numbered.into_iter().map(|(_, p)| p));
+    segments
+}
+
+/// One broker shard: a slice of the queue registry plus (when durable) its
+/// own journal segment. Queues hash onto shards by name, so everything a
+/// single queue does — declare, publish, ack, journal append — stays inside
+/// one shard and never serializes against the other shards.
+struct Shard {
+    queues: RwLock<HashMap<String, Arc<QueueHandle>>>,
+    journal: Option<Journal>,
 }
 
 struct BrokerInner {
-    queues: RwLock<HashMap<String, Arc<QueueHandle>>>,
-    journal: Option<Journal>,
+    shards: Vec<Shard>,
     closed: AtomicBool,
     recorder: Option<Recorder>,
     /// Depth-sampler thread, joined on `close` so repeated broker
     /// start/close in one process can never leave two samplers writing the
     /// same gauges (the thread itself only holds a `Weak` to this struct).
     sampler: parking_lot::Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl BrokerInner {
+    fn shard_of(&self, queue: &str) -> &Shard {
+        let n = self.shards.len();
+        if n == 1 {
+            &self.shards[0]
+        } else {
+            &self.shards[(fnv1a(queue) % n as u64) as usize]
+        }
+    }
 }
 
 /// Handle to an in-process message broker. Clone freely; all clones share
@@ -63,13 +200,20 @@ impl Broker {
 
     /// Create a broker with the given configuration.
     pub fn with_config(config: BrokerConfig) -> MqResult<Self> {
-        let journal = match &config.journal_path {
-            Some(p) => Some(Journal::open(p)?),
-            None => None,
-        };
+        let n = resolve_shards(config.shards);
+        let mut shards = Vec::with_capacity(n);
+        for i in 0..n {
+            let journal = match &config.journal_path {
+                Some(p) => Some(Journal::open(segment_path(p, i))?),
+                None => None,
+            };
+            shards.push(Shard {
+                queues: RwLock::new(HashMap::new()),
+                journal,
+            });
+        }
         let inner = Arc::new(BrokerInner {
-            queues: RwLock::new(HashMap::new()),
-            journal,
+            shards,
             closed: AtomicBool::new(false),
             recorder: config.recorder.clone(),
             sampler: parking_lot::Mutex::new(None),
@@ -87,13 +231,20 @@ impl Broker {
         Ok(Broker { inner })
     }
 
-    /// Recover a broker from a journal: durable queues are re-declared and
-    /// unacknowledged persistent messages restored in publish order. New
-    /// operations continue appending to the same journal (a torn trailing
-    /// record from a crash mid-append is truncated away first). Each queue's
-    /// tag allocator is advanced past the highest tag the journal has ever
-    /// recorded — including fully-acked tags — so fresh publishes can never
-    /// collide with journaled or tombstoned tags.
+    /// Recover a broker from its journal segments: durable queues are
+    /// re-declared and unacknowledged persistent messages restored in publish
+    /// order. New operations continue appending to the same segments (a torn
+    /// trailing record from a crash mid-append is truncated away first). Each
+    /// queue's tag allocator is advanced past the highest tag *any* segment
+    /// has ever recorded — including fully-acked tags — so fresh publishes
+    /// can never collide with journaled or tombstoned tags.
+    ///
+    /// Every segment found on disk is scanned and merged ([`Replay::merge`]),
+    /// so recovery is correct even when the shard count changed since the
+    /// crash: a publish journaled by the old shard layout is erased by an ack
+    /// journaled through the new one, because the merge resolves acks against
+    /// the union of segments. Stale segments are never deleted — they may
+    /// still hold the only copy of a live publish.
     pub fn recover(journal_path: impl Into<PathBuf>) -> MqResult<Self> {
         Self::recover_with_config(BrokerConfig {
             journal_path: Some(journal_path.into()),
@@ -110,15 +261,19 @@ impl Broker {
             .journal_path
             .clone()
             .expect("recover_with_config requires a journal path");
-        let scan = Journal::scan(&path)?;
-        // `with_config` → `Journal::open` repairs any torn tail before the
-        // journal is reopened for append.
+        let mut scans = Vec::new();
+        for segment in existing_segments(&path) {
+            scans.push(Journal::scan(&segment)?);
+        }
+        let merged = Replay::merge(scans);
+        // `with_config` → `Journal::open` repairs any torn tail on this
+        // run's segments before they are reopened for append.
         let broker = Self::with_config(config)?;
-        for q in scan.declared {
+        for q in merged.declared {
             // Redeclare without journaling again (records already on disk).
             broker.declare_internal(&q, QueueConfig::durable());
         }
-        for (qname, msgs) in scan.live {
+        for (qname, msgs) in merged.live {
             let handle = match broker.get_queue(&qname) {
                 Ok(h) => h,
                 Err(_) => {
@@ -128,8 +283,8 @@ impl Broker {
             };
             for (tag, msg) in msgs {
                 // Failpoint: die partway through restoring live messages. A
-                // retried recover replays the same journal and must converge
-                // on the identical state (replay is idempotent).
+                // retried recover replays the same journal segments and must
+                // converge on the identical state (replay is idempotent).
                 if entk_fail::hit_sleep("mq.broker.recover_mid_replay").is_some() {
                     return Err(MqError::FaultInjected(
                         "mq.broker.recover_mid_replay".into(),
@@ -138,7 +293,7 @@ impl Broker {
                 handle.restore(tag, msg);
             }
         }
-        for (qname, max_tag) in scan.max_tags {
+        for (qname, max_tag) in merged.max_tags {
             let handle = match broker.get_queue(&qname) {
                 Ok(h) => h,
                 Err(_) => {
@@ -151,6 +306,11 @@ impl Broker {
         Ok(broker)
     }
 
+    /// Number of shards this broker was built with.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
     fn check_open(&self) -> MqResult<()> {
         if self.inner.closed.load(Ordering::Acquire) {
             Err(MqError::BrokerClosed)
@@ -160,7 +320,8 @@ impl Broker {
     }
 
     fn declare_internal(&self, name: &str, config: QueueConfig) -> bool {
-        let mut queues = self.inner.queues.write();
+        let shard = self.inner.shard_of(name);
+        let mut queues = shard.queues.write();
         if queues.contains_key(name) {
             return false;
         }
@@ -186,7 +347,7 @@ impl Broker {
         let durable = config.durable;
         let created = self.declare_internal(name, config);
         if created && durable {
-            if let Some(j) = &self.inner.journal {
+            if let Some(j) = &self.inner.shard_of(name).journal {
                 j.append(&JournalRecord::Declare {
                     queue: name.to_string(),
                 })?;
@@ -200,6 +361,7 @@ impl Broker {
         self.check_open()?;
         let handle = self
             .inner
+            .shard_of(name)
             .queues
             .write()
             .remove(name)
@@ -221,8 +383,8 @@ impl Broker {
     pub fn delete_matching(&self, prefix: &str) -> MqResult<usize> {
         self.check_open()?;
         let mut handles = Vec::new();
-        {
-            let mut queues = self.inner.queues.write();
+        for shard in &self.inner.shards {
+            let mut queues = shard.queues.write();
             let names: Vec<String> = queues
                 .keys()
                 .filter(|n| n.starts_with(prefix))
@@ -247,6 +409,7 @@ impl Broker {
 
     fn get_queue(&self, name: &str) -> MqResult<Arc<QueueHandle>> {
         self.inner
+            .shard_of(name)
             .queues
             .read()
             .get(name)
@@ -254,14 +417,30 @@ impl Broker {
             .ok_or_else(|| MqError::QueueNotFound(name.to_string()))
     }
 
+    /// Look a queue up together with its shard's journal — the durable hot
+    /// paths (publish/ack) need both, and hashing once keeps them on the
+    /// same shard by construction.
+    fn get_queue_and_journal(&self, name: &str) -> MqResult<(Arc<QueueHandle>, Option<&Journal>)> {
+        let shard = self.inner.shard_of(name);
+        let handle = shard
+            .queues
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| MqError::QueueNotFound(name.to_string()))?;
+        Ok((handle, shard.journal.as_ref()))
+    }
+
     /// Publish a message to a queue. Persistent messages on durable queues
     /// are journaled before being made visible, so a consumer can never ack
-    /// a message the journal does not know about.
+    /// a message the journal does not know about. The journal append goes to
+    /// the queue's own shard segment, so publishes to queues on different
+    /// shards never serialize on a journal mutex.
     pub fn publish(&self, queue: &str, message: Message) -> MqResult<()> {
         self.check_open()?;
-        let handle = self.get_queue(queue)?;
+        let (handle, journal) = self.get_queue_and_journal(queue)?;
         if handle.config.durable && message.persistent {
-            if let Some(j) = &self.inner.journal {
+            if let Some(j) = journal {
                 // Tag must match what the queue will assign; reserve it by
                 // pushing first is wrong (visibility before journaling), so
                 // journal with the message id and rely on push returning the
@@ -291,8 +470,8 @@ impl Broker {
     /// All-or-nothing with respect to queue capacity.
     pub fn publish_batch(&self, queue: &str, messages: Vec<Message>) -> MqResult<Vec<u64>> {
         self.check_open()?;
-        let handle = self.get_queue(queue)?;
-        if let (true, Some(j)) = (handle.config.durable, &self.inner.journal) {
+        let (handle, journal) = self.get_queue_and_journal(queue)?;
+        if let (true, Some(j)) = (handle.config.durable, journal) {
             // Same crash window as `publish`: journal after push, so a crash
             // between the two loses at most this in-flight batch (RabbitMQ
             // without publisher confirms). Message clones are O(1) (`Bytes`),
@@ -344,13 +523,13 @@ impl Broker {
     /// concurrent consumers a cumulative ack would settle foreign tags.
     pub fn ack_multiple(&self, queue: &str, up_to_tag: u64) -> MqResult<usize> {
         self.check_open()?;
-        let handle = self.get_queue(queue)?;
+        let (handle, journal) = self.get_queue_and_journal(queue)?;
         // The settled tags are only needed to journal durable queues; the
         // non-durable hot path skips collecting them entirely.
-        let want_tags = handle.config.durable && self.inner.journal.is_some();
+        let want_tags = handle.config.durable && journal.is_some();
         let (n, tags) = handle.ack_multiple(up_to_tag, want_tags)?;
         if want_tags {
-            if let Some(j) = &self.inner.journal {
+            if let Some(j) = journal {
                 let records: Vec<JournalRecord> = tags
                     .iter()
                     .map(|tag| JournalRecord::Ack {
@@ -375,10 +554,10 @@ impl Broker {
     /// Acknowledge a delivery on a queue.
     pub fn ack(&self, queue: &str, tag: u64) -> MqResult<()> {
         self.check_open()?;
-        let handle = self.get_queue(queue)?;
+        let (handle, journal) = self.get_queue_and_journal(queue)?;
         handle.ack(tag)?;
         if handle.config.durable {
-            if let Some(j) = &self.inner.journal {
+            if let Some(j) = journal {
                 j.append(&JournalRecord::Ack {
                     queue: queue.to_string(),
                     tag,
@@ -417,16 +596,19 @@ impl Broker {
         Ok(self.get_queue(queue)?.unacked_count())
     }
 
-    /// Names of all declared queues, sorted.
+    /// Names of all declared queues across every shard, sorted.
     pub fn queue_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.inner.queues.read().keys().cloned().collect();
+        let mut names: Vec<String> = Vec::new();
+        for shard in &self.inner.shards {
+            names.extend(shard.queues.read().keys().cloned());
+        }
         names.sort();
         names
     }
 
     /// Whether a queue exists.
     pub fn has_queue(&self, name: &str) -> bool {
-        self.inner.queues.read().contains_key(name)
+        self.inner.shard_of(name).queues.read().contains_key(name)
     }
 
     /// Statistics for one queue.
@@ -434,11 +616,32 @@ impl Broker {
         Ok(self.get_queue(queue)?.stats())
     }
 
-    /// Aggregate statistics across all queues.
+    /// Aggregate statistics across all shards. Per-shard aggregates are
+    /// combined with [`BrokerStats::merge`], which sums the per-queue
+    /// counters but takes the max of `journal_bytes` — the journal-bytes
+    /// gauge is stamped broker-wide on every shard aggregate, so summing it
+    /// would count each segment once per shard.
     pub fn stats(&self) -> BrokerStats {
+        let journal_bytes: u64 = self
+            .inner
+            .shards
+            .iter()
+            .filter_map(|s| s.journal.as_ref())
+            .map(|j| j.bytes())
+            .sum();
         let mut agg = BrokerStats::default();
-        for handle in self.inner.queues.read().values() {
-            agg.absorb(&handle.stats());
+        for shard in &self.inner.shards {
+            // Snapshot the handles so per-queue stats locks are taken
+            // without holding the shard's registry lock.
+            let handles: Vec<Arc<QueueHandle>> = shard.queues.read().values().cloned().collect();
+            let mut shard_stats = BrokerStats {
+                journal_bytes,
+                ..Default::default()
+            };
+            for handle in handles {
+                shard_stats.absorb(&handle.stats());
+            }
+            agg.merge(&shard_stats);
         }
         agg
     }
@@ -451,8 +654,10 @@ impl Broker {
         if self.inner.closed.swap(true, Ordering::AcqRel) {
             return;
         }
-        for handle in self.inner.queues.read().values() {
-            handle.close();
+        for shard in &self.inner.shards {
+            for handle in shard.queues.read().values() {
+                handle.close();
+            }
         }
         if let Some(h) = self.inner.sampler.lock().take() {
             let _ = h.join();
@@ -519,9 +724,18 @@ fn spawn_depth_sampler(
                     break;
                 }
                 let now = std::time::Instant::now();
-                let queues = inner.queues.read();
+                // Snapshot the queue handles first, then sample with no
+                // registry lock held. Sampling takes each queue's state
+                // mutex; doing that under the shard `queues` read lock used
+                // to stall `declare`/`delete_matching` (writers) for the
+                // whole scrape. The snapshot is a brief read-lock per shard.
+                let mut snapshot: Vec<(String, Arc<QueueHandle>)> = Vec::new();
+                for shard in &inner.shards {
+                    let queues = shard.queues.read();
+                    snapshot.extend(queues.iter().map(|(n, h)| (n.clone(), h.clone())));
+                }
                 let metrics = recorder.metrics();
-                for (name, handle) in queues.iter() {
+                for (name, handle) in &snapshot {
                     let stats = handle.stats();
                     metrics
                         .gauge(&format!("mq.queue.{name}.depth"))
@@ -546,7 +760,9 @@ fn spawn_depth_sampler(
                     last.insert(name.clone(), (stats.delivered, now));
                 }
                 // Drop rate state for queues that no longer exist.
-                last.retain(|name, _| queues.contains_key(name));
+                let alive: std::collections::HashSet<&str> =
+                    snapshot.iter().map(|(n, _)| n.as_str()).collect();
+                last.retain(|name, _| alive.contains(name.as_str()));
             }
         })
         .expect("spawn mq-depth-sampler thread")
@@ -1255,5 +1471,259 @@ mod tests {
         assert_eq!(seen.lock().unwrap().len(), PRODUCERS * PER_PRODUCER);
         assert_eq!(b.depth("work").unwrap(), 0);
         assert_eq!(b.unacked("work").unwrap(), 0);
+    }
+
+    fn cleanup_segments(base: &Path) {
+        for seg in existing_segments(base) {
+            let _ = std::fs::remove_file(seg);
+        }
+    }
+
+    #[test]
+    fn segment_paths_follow_stem_dash_index_layout() {
+        let base = Path::new("/tmp/x/broker.journal");
+        assert_eq!(segment_path(base, 0), PathBuf::from("/tmp/x/broker.journal"));
+        assert_eq!(
+            segment_path(base, 1),
+            PathBuf::from("/tmp/x/broker-1.journal")
+        );
+        assert_eq!(
+            segment_path(base, 7),
+            PathBuf::from("/tmp/x/broker-7.journal")
+        );
+        // Extensionless journals shard too.
+        let bare = Path::new("/tmp/x/journal");
+        assert_eq!(segment_path(bare, 2), PathBuf::from("/tmp/x/journal-2"));
+    }
+
+    #[test]
+    fn existing_segments_finds_base_and_numbered_siblings() {
+        let base = tmp_journal("segments");
+        cleanup_segments(&base);
+        // No files yet: nothing found.
+        assert!(existing_segments(&base).is_empty());
+        // Create base + shards 1 and 3, plus a decoy that must not match.
+        for i in [0usize, 1, 3] {
+            std::fs::write(segment_path(&base, i), b"").unwrap();
+        }
+        let decoy = base.with_file_name(format!(
+            "{}-x.journal",
+            base.file_stem().unwrap().to_string_lossy()
+        ));
+        std::fs::write(&decoy, b"").unwrap();
+        let segs = existing_segments(&base);
+        assert_eq!(
+            segs,
+            vec![
+                segment_path(&base, 0),
+                segment_path(&base, 1),
+                segment_path(&base, 3)
+            ]
+        );
+        std::fs::remove_file(&decoy).unwrap();
+        cleanup_segments(&base);
+    }
+
+    #[test]
+    fn sharded_broker_routes_all_operations_across_shards() {
+        let b = Broker::with_config(BrokerConfig::default().with_shards(4)).unwrap();
+        assert_eq!(b.shard_count(), 4);
+        for i in 0..16 {
+            b.declare_queue(&format!("s1.q{i}"), QueueConfig::default())
+                .unwrap();
+            b.publish(&format!("s1.q{i}"), Message::new(vec![i as u8]))
+                .unwrap();
+        }
+        b.declare_queue("other", QueueConfig::default()).unwrap();
+        assert_eq!(b.queue_names().len(), 17);
+        let s = b.stats();
+        assert_eq!(s.queues, 17);
+        assert_eq!(s.total_depth, 16);
+        // Prefix delete must sweep every shard, not just the prefix's hash.
+        assert_eq!(b.delete_matching("s1.").unwrap(), 16);
+        assert_eq!(b.queue_names(), vec!["other".to_string()]);
+        for i in 0..16 {
+            assert!(!b.has_queue(&format!("s1.q{i}")));
+        }
+    }
+
+    #[test]
+    fn with_shards_one_keeps_legacy_single_file_layout() {
+        let path = tmp_journal("one-shard");
+        cleanup_segments(&path);
+        {
+            let b = Broker::with_config(
+                BrokerConfig {
+                    journal_path: Some(path.clone()),
+                    ..Default::default()
+                }
+                .with_shards(1),
+            )
+            .unwrap();
+            assert_eq!(b.shard_count(), 1);
+            b.declare_queue("q", QueueConfig::durable()).unwrap();
+            b.publish("q", Message::persistent("x")).unwrap();
+        }
+        assert_eq!(
+            existing_segments(&path),
+            vec![path.clone()],
+            "shards=1 must write exactly the configured file, no siblings"
+        );
+        let b = Broker::recover(&path).unwrap();
+        assert_eq!(b.depth("q").unwrap(), 1);
+        cleanup_segments(&path);
+    }
+
+    #[test]
+    fn sharded_durable_recovery_merges_all_segments() {
+        let path = tmp_journal("sharded-recover");
+        cleanup_segments(&path);
+        const QUEUES: usize = 8;
+        {
+            let b = Broker::with_config(
+                BrokerConfig {
+                    journal_path: Some(path.clone()),
+                    ..Default::default()
+                }
+                .with_shards(4),
+            )
+            .unwrap();
+            for q in 0..QUEUES {
+                let name = format!("q{q}");
+                b.declare_queue(&name, QueueConfig::durable()).unwrap();
+                b.publish_batch(
+                    &name,
+                    (0..4u8).map(|i| Message::persistent(vec![i])).collect(),
+                )
+                .unwrap();
+                // Settle the first two on every queue; crash with two live.
+                let batch = b.get_batch(&name, 2, Duration::ZERO).unwrap();
+                b.ack_multiple(&name, batch[1].tag).unwrap();
+            }
+        }
+        assert!(
+            existing_segments(&path).len() > 1,
+            "4-shard durable broker must split the journal into segments"
+        );
+        // Recover with the same shard count: every queue sees exactly its
+        // unacked remainder, in publish order.
+        let b = Broker::recover_with_config(
+            BrokerConfig {
+                journal_path: Some(path.clone()),
+                ..Default::default()
+            }
+            .with_shards(4),
+        )
+        .unwrap();
+        for q in 0..QUEUES {
+            let name = format!("q{q}");
+            assert_eq!(b.depth(&name).unwrap(), 2, "{name}");
+            let rest = b.get_batch(&name, 4, Duration::ZERO).unwrap();
+            let payloads: Vec<u8> = rest.iter().map(|d| d.message.payload[0]).collect();
+            assert_eq!(payloads, vec![2, 3], "{name}");
+        }
+        cleanup_segments(&path);
+    }
+
+    /// The shard count may change across restarts: publishes journaled under
+    /// one layout are acked through another, and the merged replay must
+    /// resolve those cross-segment pairs. Also covers legacy single-file →
+    /// sharded upgrades (the 4→1 leg recovers a multi-segment layout into a
+    /// single-shard broker whose new appends go to the base file only).
+    #[test]
+    fn recovery_survives_shard_count_changes() {
+        let path = tmp_journal("reshard");
+        cleanup_segments(&path);
+        let cfg = |shards: usize| {
+            BrokerConfig {
+                journal_path: Some(path.clone()),
+                ..Default::default()
+            }
+            .with_shards(shards)
+        };
+        {
+            let b = Broker::with_config(cfg(4)).unwrap();
+            for q in 0..6 {
+                let name = format!("q{q}");
+                b.declare_queue(&name, QueueConfig::durable()).unwrap();
+                b.publish_batch(
+                    &name,
+                    (0..3u8).map(|i| Message::persistent(vec![i])).collect(),
+                )
+                .unwrap();
+            }
+        }
+        // Recover into ONE shard and ack the head of every queue: these ack
+        // records land in the base segment while the publishes live in the
+        // old shard segments.
+        {
+            let b = Broker::recover_with_config(cfg(1)).unwrap();
+            for q in 0..6 {
+                let name = format!("q{q}");
+                assert_eq!(b.depth(&name).unwrap(), 3);
+                let d = b.get(&name).unwrap().unwrap();
+                assert_eq!(d.message.payload[0], 0);
+                b.ack(&name, d.tag).unwrap();
+            }
+        }
+        // Recover into TWO shards: the cross-segment acks must erase the
+        // head publishes, and fresh tags must clear every journaled tag.
+        let b = Broker::recover_with_config(cfg(2)).unwrap();
+        for q in 0..6 {
+            let name = format!("q{q}");
+            assert_eq!(b.depth(&name).unwrap(), 2, "{name}: head ack lost in merge");
+            b.publish(&name, Message::persistent("fresh")).unwrap();
+            let rest = b.get_batch(&name, 4, Duration::ZERO).unwrap();
+            let payloads: Vec<Vec<u8>> =
+                rest.iter().map(|d| d.message.payload.to_vec()).collect();
+            assert_eq!(payloads, vec![vec![1], vec![2], b"fresh".to_vec()]);
+            assert!(
+                rest[2].tag > rest[1].tag,
+                "{name}: fresh tag must extend the journaled tag sequence"
+            );
+            b.ack_multiple(&name, rest[2].tag).unwrap();
+        }
+        drop(b);
+        // One more recovery replays the whole history cleanly: everything
+        // acked, nothing live, no tag collisions.
+        let b = Broker::recover_with_config(cfg(3)).unwrap();
+        for q in 0..6 {
+            let name = format!("q{q}");
+            assert_eq!(b.depth(&name).unwrap(), 0, "{name}");
+            assert_eq!(b.unacked(&name).unwrap(), 0, "{name}");
+        }
+        cleanup_segments(&path);
+    }
+
+    #[test]
+    fn sharded_stats_report_journal_bytes_once() {
+        let path = tmp_journal("stats-bytes");
+        cleanup_segments(&path);
+        let b = Broker::with_config(
+            BrokerConfig {
+                journal_path: Some(path.clone()),
+                ..Default::default()
+            }
+            .with_shards(4),
+        )
+        .unwrap();
+        for q in 0..8 {
+            let name = format!("q{q}");
+            b.declare_queue(&name, QueueConfig::durable()).unwrap();
+            b.publish(&name, Message::persistent("payload")).unwrap();
+        }
+        let on_disk: u64 = existing_segments(&path)
+            .iter()
+            .map(|p| std::fs::metadata(p).unwrap().len())
+            .sum();
+        assert!(on_disk > 0);
+        let s = b.stats();
+        assert_eq!(
+            s.journal_bytes, on_disk,
+            "journal_bytes must equal total segment bytes exactly once"
+        );
+        assert_eq!(s.queues, 8);
+        b.close();
+        cleanup_segments(&path);
     }
 }

@@ -84,6 +84,24 @@ impl Consumer {
         self.broker.ack(&self.queue, tag)
     }
 
+    /// Cumulatively acknowledge every delivery this consumer holds with tag
+    /// `<= up_to_tag` in one broker call (RabbitMQ `multiple=true`). This is
+    /// the per-consumer ack cursor the sharded settlement path uses: each
+    /// drainer advances its own cursor on its own queue, so cursors on
+    /// different shards never contend. Only safe when this consumer is the
+    /// queue's sole reader — a cumulative ack settles every unacked tag in
+    /// range, not just this consumer's. Returns how many deliveries the
+    /// broker settled; [`MqError::UnknownDeliveryTag`] if `up_to_tag` is not
+    /// one of this consumer's outstanding tags.
+    pub fn ack_up_to(&mut self, up_to_tag: u64) -> MqResult<usize> {
+        if !self.outstanding.contains(&up_to_tag) {
+            return Err(MqError::UnknownDeliveryTag(up_to_tag));
+        }
+        let n = self.broker.ack_multiple(&self.queue, up_to_tag)?;
+        self.outstanding.retain(|t| *t > up_to_tag);
+        Ok(n)
+    }
+
     /// Negative-acknowledge (requeue) one of this consumer's deliveries.
     pub fn nack(&mut self, tag: u64) -> MqResult<()> {
         if !self.outstanding.remove(&tag) {
@@ -157,6 +175,24 @@ mod tests {
             c.ack(d.tag).unwrap();
         }
         assert_eq!(c.next_batch(Duration::ZERO).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn ack_up_to_settles_cumulatively_and_frees_prefetch() {
+        let b = setup(6);
+        let mut c = b.consumer("q", 4);
+        let batch = c.next_batch(Duration::ZERO).unwrap();
+        assert_eq!(batch.len(), 4);
+        // Settle the first three with one cursor advance.
+        assert_eq!(c.ack_up_to(batch[2].tag).unwrap(), 3);
+        assert_eq!(c.outstanding(), 1);
+        // The freed window admits three more messages (only 2 remain).
+        assert_eq!(c.next_batch(Duration::ZERO).unwrap().len(), 2);
+        // A cursor position that is not an outstanding tag is rejected.
+        assert!(matches!(
+            c.ack_up_to(999),
+            Err(MqError::UnknownDeliveryTag(999))
+        ));
     }
 
     #[test]

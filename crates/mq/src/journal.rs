@@ -48,11 +48,68 @@ pub struct Replay {
     pub live: BTreeMap<String, Vec<(u64, Message)>>,
     /// Per queue: highest delivery tag seen in any record.
     pub max_tags: BTreeMap<String, u64>,
+    /// Per queue: ack tags whose matching publish was *not* found in this
+    /// journal. A sharded broker splits its journal into per-shard segments;
+    /// when the shard count changes between runs (or a legacy single-file
+    /// journal is recovered into a sharded broker), a message restored from
+    /// one segment is acked through another shard's segment. These orphan
+    /// acks are the cross-segment half of that pair — [`Replay::merge`]
+    /// applies them against the union of live messages.
+    pub acked: BTreeMap<String, Vec<u64>>,
     /// Byte offset just past the last complete record.
     pub safe_len: u64,
     /// Whether a partial trailing record (crash mid-append) was found after
     /// `safe_len`.
     pub torn_tail: bool,
+}
+
+impl Replay {
+    /// Merge per-segment scans into one broker-wide replay, preserving the
+    /// recovery invariants of a single-file scan:
+    ///
+    /// * `declared` is the union, in first-appearance order across segments;
+    /// * `live` is the union of published-but-unacked messages minus every
+    ///   ack seen in *any* segment (cross-segment acks resolve here), each
+    ///   queue sorted by tag — tags are monotonic per queue, so tag order is
+    ///   publish order;
+    /// * `max_tags` takes the per-queue maximum across segments, so the
+    ///   tag-floor bump covers every tag any segment has ever journaled.
+    ///
+    /// `safe_len`/`torn_tail` are per-file properties and stay at their
+    /// defaults ([`Journal::open`] repairs each segment's tail on its own).
+    pub fn merge(scans: impl IntoIterator<Item = Replay>) -> Replay {
+        let mut out = Replay::default();
+        let mut orphans: BTreeMap<String, std::collections::BTreeSet<u64>> = BTreeMap::new();
+        for scan in scans {
+            for q in scan.declared {
+                if !out.declared.contains(&q) {
+                    out.declared.push(q);
+                }
+            }
+            for (q, msgs) in scan.live {
+                out.live.entry(q).or_default().extend(msgs);
+            }
+            for (q, tag) in scan.max_tags {
+                let mt = out.max_tags.entry(q).or_insert(0);
+                *mt = (*mt).max(tag);
+            }
+            for (q, tags) in scan.acked {
+                orphans.entry(q).or_default().extend(tags);
+            }
+        }
+        for (q, msgs) in out.live.iter_mut() {
+            if let Some(dead) = orphans.get(q) {
+                msgs.retain(|(t, _)| !dead.contains(t));
+            }
+            msgs.sort_by_key(|(t, _)| *t);
+        }
+        out.live.retain(|_, msgs| !msgs.is_empty());
+        out.acked = orphans
+            .into_iter()
+            .map(|(q, tags)| (q, tags.into_iter().collect()))
+            .collect();
+        out
+    }
 }
 
 const KIND_PUBLISH: u8 = 0x01;
@@ -314,6 +371,11 @@ impl Journal {
         &self.path
     }
 
+    /// Current on-disk size of this journal segment in bytes.
+    pub fn bytes(&self) -> u64 {
+        std::fs::metadata(&self.path).map(|m| m.len()).unwrap_or(0)
+    }
+
     fn write_record(w: &mut impl Write, rec: &JournalRecord) -> MqResult<()> {
         match rec {
             JournalRecord::Publish {
@@ -450,8 +512,17 @@ impl Journal {
                 JournalRecord::Ack { queue, tag } => {
                     let mt = out.max_tags.entry(queue.clone()).or_insert(0);
                     *mt = (*mt).max(tag);
+                    let mut matched = false;
                     if let Some(msgs) = out.live.get_mut(&queue) {
+                        let before = msgs.len();
                         msgs.retain(|(t, _)| *t != tag);
+                        matched = msgs.len() != before;
+                    }
+                    if !matched {
+                        // The publish half lives in another journal segment
+                        // (or a pre-shard legacy file); keep the ack so a
+                        // merged replay can apply it cross-segment.
+                        out.acked.entry(queue).or_default().push(tag);
                     }
                 }
             }
@@ -635,6 +706,109 @@ mod tests {
         assert!(!scan.torn_tail);
         assert_eq!(scan.safe_len, std::fs::metadata(&p).unwrap().len());
         std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn scan_records_orphan_acks_for_cross_segment_publishes() {
+        let p = tmp("orphan-acks");
+        let j = Journal::open(&p).unwrap();
+        j.append_all(&[
+            publish_rec("q", 5, "local"),
+            // Acks whose publishes live in some other segment.
+            JournalRecord::Ack {
+                queue: "q".into(),
+                tag: 3,
+            },
+            JournalRecord::Ack {
+                queue: "other".into(),
+                tag: 7,
+            },
+            // A matched ack must NOT show up as an orphan.
+            JournalRecord::Ack {
+                queue: "q".into(),
+                tag: 5,
+            },
+        ])
+        .unwrap();
+        drop(j);
+        let scan = Journal::scan(&p).unwrap();
+        assert_eq!(scan.acked["q"], vec![3]);
+        assert_eq!(scan.acked["other"], vec![7]);
+        assert!(scan.live.get("q").is_none_or(|v| v.is_empty()));
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn merge_applies_cross_segment_acks_and_unions_floors() {
+        let pa = tmp("merge-a");
+        let pb = tmp("merge-b");
+        let ja = Journal::open(&pa).unwrap();
+        let jb = Journal::open(&pb).unwrap();
+        // Segment A holds the publishes; segment B holds acks for two of
+        // them (as happens when the shard count changes across restarts).
+        ja.append_all(&[
+            JournalRecord::Declare { queue: "q".into() },
+            publish_rec("q", 1, "a"),
+            publish_rec("q", 2, "b"),
+            publish_rec("q", 3, "c"),
+        ])
+        .unwrap();
+        jb.append_all(&[
+            JournalRecord::Declare { queue: "q".into() },
+            JournalRecord::Declare { queue: "r".into() },
+            JournalRecord::Ack {
+                queue: "q".into(),
+                tag: 1,
+            },
+            JournalRecord::Ack {
+                queue: "q".into(),
+                tag: 3,
+            },
+            publish_rec("r", 40, "d"),
+        ])
+        .unwrap();
+        drop(ja);
+        drop(jb);
+        let merged = Replay::merge(vec![
+            Journal::scan(&pa).unwrap(),
+            Journal::scan(&pb).unwrap(),
+        ]);
+        // Duplicate declares collapse; acks from B erase A's publishes.
+        assert_eq!(merged.declared, vec!["q".to_string(), "r".to_string()]);
+        let tags: Vec<u64> = merged.live["q"].iter().map(|(t, _)| *t).collect();
+        assert_eq!(tags, vec![2]);
+        let tags: Vec<u64> = merged.live["r"].iter().map(|(t, _)| *t).collect();
+        assert_eq!(tags, vec![40]);
+        // Tag floors cover the union: q saw up to 3, r up to 40.
+        assert_eq!(merged.max_tags["q"], 3);
+        assert_eq!(merged.max_tags["r"], 40);
+        std::fs::remove_file(&pa).unwrap();
+        std::fs::remove_file(&pb).unwrap();
+    }
+
+    #[test]
+    fn merge_sorts_live_messages_by_tag_within_queue() {
+        // Two segments interleave tags for the same queue (legacy file plus
+        // a new shard segment); the merged replay must restore in tag
+        // (= publish) order so FIFO redelivery is preserved.
+        let pa = tmp("merge-sort-a");
+        let pb = tmp("merge-sort-b");
+        let ja = Journal::open(&pa).unwrap();
+        let jb = Journal::open(&pb).unwrap();
+        ja.append_all(&[publish_rec("q", 2, "b"), publish_rec("q", 4, "d")])
+            .unwrap();
+        jb.append_all(&[publish_rec("q", 1, "a"), publish_rec("q", 3, "c")])
+            .unwrap();
+        drop(ja);
+        drop(jb);
+        let merged = Replay::merge(vec![
+            Journal::scan(&pa).unwrap(),
+            Journal::scan(&pb).unwrap(),
+        ]);
+        let tags: Vec<u64> = merged.live["q"].iter().map(|(t, _)| *t).collect();
+        assert_eq!(tags, vec![1, 2, 3, 4]);
+        std::fs::remove_file(&pa).unwrap();
+        std::fs::remove_file(&pb).unwrap();
     }
 
     #[test]

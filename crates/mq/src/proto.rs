@@ -11,10 +11,11 @@
 //! tests with small task counts and by `entk-bench --bin fig06_prototype`
 //! with the paper's 10^6).
 
-use crate::broker::Broker;
+use crate::broker::{Broker, BrokerConfig};
 use crate::message::Message;
 use crate::queue::QueueConfig;
 use crate::stats::process_rss_bytes;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -41,6 +42,14 @@ pub struct PrototypeConfig {
     /// Sample process RSS at this interval to find the peak; `None` disables
     /// memory sampling (unit tests).
     pub memory_sample_interval: Option<Duration>,
+    /// Broker shard count. `0` auto-selects (`min(cores, 8)`); `1` pins the
+    /// legacy single-shard layout so shard-scaling sweeps can compare both.
+    pub broker_shards: usize,
+    /// When set, queues are durable, task messages persistent, and the
+    /// broker journals under this path (one segment per shard). This is the
+    /// configuration where a single shard genuinely serializes on one
+    /// journal mutex — the bottleneck sharding removes.
+    pub durable_journal: Option<PathBuf>,
 }
 
 impl Default for PrototypeConfig {
@@ -53,6 +62,8 @@ impl Default for PrototypeConfig {
             payload_bytes: 512,
             batch_size: 1,
             memory_sample_interval: Some(Duration::from_millis(20)),
+            broker_shards: 1,
+            durable_journal: None,
         }
     }
 }
@@ -98,10 +109,20 @@ fn queue_name(i: usize) -> String {
 /// consumer so consumers terminate exactly when their queue is drained.
 pub fn run_prototype(cfg: &PrototypeConfig) -> PrototypeReport {
     assert!(cfg.producers > 0 && cfg.consumers > 0 && cfg.queues > 0 && cfg.batch_size > 0);
-    let broker = Broker::new();
+    let broker = Broker::with_config(BrokerConfig {
+        journal_path: cfg.durable_journal.clone(),
+        shards: cfg.broker_shards,
+        ..Default::default()
+    })
+    .expect("broker config");
+    let queue_cfg = if cfg.durable_journal.is_some() {
+        QueueConfig::durable()
+    } else {
+        QueueConfig::default()
+    };
     for q in 0..cfg.queues {
         broker
-            .declare_queue(&queue_name(q), QueueConfig::default())
+            .declare_queue(&queue_name(q), queue_cfg.clone())
             .expect("fresh broker");
     }
 
@@ -131,6 +152,7 @@ pub fn run_prototype(cfg: &PrototypeConfig) -> PrototypeReport {
     // O(1) refcounts, so neither path pays a per-message body copy and the
     // measurement isolates the broker's per-message vs per-batch cost.
     let payload = bytes::Bytes::from(vec![0x5a; cfg.payload_bytes]);
+    let persistent = cfg.durable_journal.is_some();
     let start = Instant::now();
 
     // Producers: split the task range evenly; task t goes to queue t % queues.
@@ -144,10 +166,17 @@ pub fn run_prototype(cfg: &PrototypeConfig) -> PrototypeReport {
         let queues = cfg.queues;
         let batch_size = cfg.batch_size;
         producer_handles.push(std::thread::spawn(move || {
+            let make = |payload: bytes::Bytes| {
+                if persistent {
+                    Message::persistent(payload)
+                } else {
+                    Message::new(payload)
+                }
+            };
             let t0 = Instant::now();
             if batch_size <= 1 {
                 for t in lo..hi {
-                    let msg = Message::new(payload.clone());
+                    let msg = make(payload.clone());
                     broker
                         .publish(&queue_name(t % queues), msg)
                         .expect("publish");
@@ -158,7 +187,7 @@ pub fn run_prototype(cfg: &PrototypeConfig) -> PrototypeReport {
                     .collect();
                 for t in lo..hi {
                     let q = t % queues;
-                    buffers[q].push(Message::new(payload.clone()));
+                    buffers[q].push(make(payload.clone()));
                     if buffers[q].len() >= batch_size {
                         let full =
                             std::mem::replace(&mut buffers[q], Vec::with_capacity(batch_size));
@@ -340,6 +369,7 @@ mod tests {
                 payload_bytes: 64,
                 batch_size: 1,
                 memory_sample_interval: None,
+                ..Default::default()
             };
             let r = run_prototype(&cfg);
             assert_eq!(r.tasks, 2_000);
@@ -358,6 +388,7 @@ mod tests {
             payload_bytes: 32,
             batch_size: 1,
             memory_sample_interval: None,
+            ..Default::default()
         };
         let r = run_prototype(&cfg);
         assert_eq!(r.tasks, 1_000);
@@ -373,6 +404,7 @@ mod tests {
             payload_bytes: 32,
             batch_size: 1,
             memory_sample_interval: None,
+            ..Default::default()
         };
         let r = run_prototype(&cfg);
         assert_eq!(r.tasks, 800);
@@ -390,6 +422,7 @@ mod tests {
                 payload_bytes: 64,
                 batch_size: batch,
                 memory_sample_interval: None,
+                ..Default::default()
             };
             let r = run_prototype(&cfg);
             assert_eq!(r.tasks, 3_000);
@@ -409,9 +442,39 @@ mod tests {
             payload_bytes: 32,
             batch_size: 32,
             memory_sample_interval: None,
+            ..Default::default()
         };
         let r = run_prototype(&cfg);
         assert_eq!(r.tasks, 2_000);
+    }
+
+    #[test]
+    fn prototype_durable_sharded_run_flows_all_tasks() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!(
+            "entk-proto-durable-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        for &shards in &[1usize, 4] {
+            let journal = dir.join(format!("s{shards}")).join("broker.journal");
+            let cfg = PrototypeConfig {
+                tasks: 2_000,
+                producers: 4,
+                consumers: 8,
+                queues: 8,
+                payload_bytes: 64,
+                batch_size: 32,
+                memory_sample_interval: None,
+                broker_shards: shards,
+                durable_journal: Some(journal.clone()),
+            };
+            let r = run_prototype(&cfg);
+            assert_eq!(r.tasks, 2_000);
+            assert!(journal.exists(), "durable run must write its journal");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -427,6 +490,7 @@ mod tests {
             payload_bytes: 256,
             batch_size: 1,
             memory_sample_interval: Some(Duration::from_millis(1)),
+            ..Default::default()
         };
         let r = run_prototype(&cfg);
         assert!(r.base_rss_bytes.unwrap() > 0);

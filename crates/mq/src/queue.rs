@@ -341,6 +341,7 @@ impl QueueHandle {
         let now = Instant::now();
         let n = max.min(st.ready.len());
         let mut out = Vec::with_capacity(n);
+        st.unacked.reserve(n);
         for _ in 0..n {
             let entry = st.ready.pop_front().expect("n bounded by ready.len()");
             if let Some(i) = &self.instruments {

@@ -129,6 +129,12 @@ pub struct ServiceConfig {
     /// [`EnsembleService::start`] begins a fresh epoch (existing journal
     /// files are removed); use `recover` to resume a previous one.
     pub journal_dir: Option<PathBuf>,
+    /// Broker shard count: queues are hash-partitioned onto this many
+    /// independently locked shards, each with its own journal segment
+    /// (`broker.journal`, `broker-1.journal`, ...). `0` (the default) sizes
+    /// the shard pool automatically from the host's core count; `1`
+    /// restores the single-broker, single-journal-file layout.
+    pub broker_shards: usize,
 }
 
 impl ServiceConfig {
@@ -151,6 +157,7 @@ impl ServiceConfig {
             watchdog: WatchdogConfig::default(),
             batch_limit: DEFAULT_BATCH_LIMIT,
             journal_dir: None,
+            broker_shards: 0,
         }
     }
 
@@ -236,6 +243,13 @@ impl ServiceConfig {
     /// Builder: initial batch limit for the broker data path.
     pub fn with_batch_limit(mut self, n: usize) -> Self {
         self.batch_limit = n.max(1);
+        self
+    }
+
+    /// Builder: broker shard count (`0` = auto-size from core count, `1` =
+    /// legacy single-broker layout).
+    pub fn with_broker_shards(mut self, n: usize) -> Self {
+        self.broker_shards = n;
         self
     }
 }
@@ -514,7 +528,13 @@ impl EnsembleService {
             let _ = std::fs::remove_file(dir.join(BROKER_JOURNAL_FILE));
             if let Ok(entries) = std::fs::read_dir(dir) {
                 for e in entries.flatten() {
-                    if e.file_name().to_string_lossy().ends_with(".tasks.log") {
+                    let name = e.file_name().to_string_lossy().into_owned();
+                    // Per-shard broker segments (`broker-<i>.journal`) from a
+                    // previous epoch must go too, or recovery after this
+                    // fresh start would merge stale shards back in.
+                    if name.ends_with(".tasks.log")
+                        || (name.starts_with("broker-") && name.ends_with(".journal"))
+                    {
                         let _ = std::fs::remove_file(e.path());
                     }
                 }
@@ -657,6 +677,7 @@ impl EnsembleService {
                 depth_sample_interval: recorder
                     .is_enabled()
                     .then_some(config.observe.sample_interval),
+                shards: config.broker_shards,
             };
             if prefill.recover_broker {
                 Broker::recover_with_config(broker_cfg)?
@@ -1201,6 +1222,15 @@ fn sampler_tick(inner: &Arc<Inner>) {
     let (round_trips, documents) = inner.pool.db_stats();
     m.gauge("rts.db.round_trips").set(round_trips as i64);
     m.gauge("rts.db.documents").set(documents as i64);
+    // Sharded-broker health: shard count is static, journal bytes are the
+    // summed on-disk size of every segment (`broker.journal`,
+    // `broker-1.journal`, ...). Both come from `Broker::stats`, which holds
+    // no queue locks beyond a per-shard map snapshot.
+    let bs = inner.broker.stats();
+    m.gauge("mq.broker.shards")
+        .set(inner.broker.shard_count() as i64);
+    m.gauge("mq.broker.journal_bytes")
+        .set(bs.journal_bytes as i64);
     inner.ctl.sampler_ticks.fetch_add(1, Ordering::Relaxed);
 
     let (queued, active) = {

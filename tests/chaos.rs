@@ -289,6 +289,170 @@ fn repeated_mid_replay_crashes_converge_on_exact_unacked_set() {
 }
 
 // ---------------------------------------------------------------------------
+// mq.broker.recover_mid_replay × sharded broker — merged replay killed
+// repeatedly, in both settlement modes.
+// ---------------------------------------------------------------------------
+
+/// Expand one `fn(batched: bool)` scenario into `<name>::batched` and
+/// `<name>::per_task` test cases (the `both_modes!` pattern from the
+/// fault-tolerance suite, local to this file).
+macro_rules! both_settlement_modes {
+    ($($name:ident),+ $(,)?) => {
+        $(
+            mod $name {
+                #[test]
+                fn batched() {
+                    super::$name(true);
+                }
+                #[test]
+                fn per_task() {
+                    super::$name(false);
+                }
+            }
+        )+
+    };
+}
+
+both_settlement_modes!(sharded_mid_replay_crashes_recover_every_shard_exactly_once);
+
+/// A 4-shard durable broker with 8 queues takes the full 2048-task workload,
+/// settles a prefix of every queue (cumulative acks on the batched path,
+/// per-tag acks on the per-task path), and crashes. Recovery — a merged
+/// replay over all four journal segments — is then killed three times
+/// mid-restore. Each retry rescans the same segments, so the fourth attempt
+/// must restore, on every shard, exactly the unacked suffix of every queue:
+/// settled messages stay settled (no resurrection = no double settlement)
+/// and no surviving message is lost or duplicated.
+fn sharded_mid_replay_crashes_recover_every_shard_exactly_once(batched: bool) {
+    let _g = entk_fail::scenario();
+    const SHARDS: usize = 4;
+    const QUEUES: usize = 8;
+    const PER_QUEUE: usize = TASKS / QUEUES;
+    const ACKED: usize = 100;
+    let mode = if batched { "batched" } else { "per-task" };
+    let path = tmp_journal(&format!("shard-replay-{mode}"));
+    let queue_name = |q: usize| format!("q{q}");
+    let payload = |q: usize, i: usize| format!("{q}:{i}");
+
+    let mut expected: BTreeSet<String> = BTreeSet::new();
+    let mut max_tag = vec![0u64; QUEUES];
+    {
+        let b = Broker::with_config(
+            BrokerConfig {
+                journal_path: Some(path.clone()),
+                ..Default::default()
+            }
+            .with_shards(SHARDS),
+        )
+        .unwrap();
+        assert_eq!(b.shard_count(), SHARDS);
+        for q in 0..QUEUES {
+            b.declare_queue(&queue_name(q), QueueConfig::durable())
+                .unwrap();
+        }
+        for q in 0..QUEUES {
+            let name = queue_name(q);
+            if batched {
+                for chunk in 0..PER_QUEUE / 64 {
+                    let msgs: Vec<Message> = (chunk * 64..(chunk + 1) * 64)
+                        .map(|i| Message::persistent(payload(q, i).into_bytes()))
+                        .collect();
+                    let tags = b.publish_batch(&name, msgs).unwrap();
+                    max_tag[q] = max_tag[q].max(*tags.last().unwrap());
+                }
+            } else {
+                for i in 0..PER_QUEUE {
+                    b.publish(&name, Message::persistent(payload(q, i).into_bytes()))
+                        .unwrap();
+                }
+                max_tag[q] = PER_QUEUE as u64;
+            }
+            expected.extend((ACKED..PER_QUEUE).map(|i| payload(q, i)));
+            // Settle the first ACKED deliveries of each queue.
+            if batched {
+                let drained = b.get_batch(&name, ACKED, Duration::ZERO).unwrap();
+                assert_eq!(drained.len(), ACKED);
+                let n = b.ack_multiple(&name, drained.last().unwrap().tag).unwrap();
+                assert_eq!(n, ACKED);
+            } else {
+                for _ in 0..ACKED {
+                    let d = b.get(&name).unwrap().expect("message present");
+                    b.ack(&name, d.tag).unwrap();
+                }
+            }
+        }
+        // Crash: dropped without close, unacked suffixes on 4 segments.
+    }
+
+    entk_fail::arm(
+        "mq.broker.recover_mid_replay",
+        Trigger::EveryNth(293), // deep enough to land mid-shard, not on the first restore
+        InjectedAction::Fail,
+        Some(3),
+    );
+    let recover_cfg = || {
+        BrokerConfig {
+            journal_path: Some(path.clone()),
+            ..Default::default()
+        }
+        .with_shards(SHARDS)
+    };
+    let mut failed_attempts = 0;
+    let b = loop {
+        match Broker::recover_with_config(recover_cfg()) {
+            Ok(b) => break b,
+            Err(MqError::FaultInjected(_)) => failed_attempts += 1,
+            Err(e) => panic!("unexpected recovery error: {e}"),
+        }
+    };
+    assert_eq!(failed_attempts, 3, "exactly the budgeted crashes fired");
+    assert_eq!(b.shard_count(), SHARDS);
+
+    let mut recovered: BTreeSet<String> = BTreeSet::new();
+    for q in 0..QUEUES {
+        let name = queue_name(q);
+        assert_eq!(
+            b.depth(&name).unwrap(),
+            PER_QUEUE - ACKED,
+            "queue {name} must hold exactly its unacked suffix"
+        );
+        let batch = b.get_batch(&name, PER_QUEUE, Duration::ZERO).unwrap();
+        for d in &batch {
+            assert!(
+                recovered.insert(d.message.payload_str().to_string()),
+                "duplicate recovery of {}",
+                d.message.payload_str()
+            );
+        }
+        // Tag-floor invariant across the merged replay: a fresh publish on
+        // the recovered broker must never reuse a journaled tag.
+        let fresh = b
+            .publish(&name, Message::persistent("fresh"))
+            .map(|_| b.get(&name).unwrap().expect("fresh delivery"))
+            .unwrap();
+        assert!(
+            fresh.tag > max_tag[q],
+            "queue {name}: fresh tag {} must exceed journaled max {}",
+            fresh.tag,
+            max_tag[q]
+        );
+    }
+    assert_eq!(
+        recovered, expected,
+        "merged replay must yield the exact unacked set across all shards"
+    );
+
+    // All four segments exist on disk (queues hash across every shard).
+    let stem = path.file_stem().unwrap().to_string_lossy().to_string();
+    for i in 1..SHARDS {
+        let seg = path.with_file_name(format!("{stem}-{i}.journal"));
+        assert!(seg.exists(), "journal segment {} must exist", seg.display());
+        std::fs::remove_file(&seg).unwrap();
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+// ---------------------------------------------------------------------------
 // rts.db.insert_units — RTS death partway through a bulk insert.
 // ---------------------------------------------------------------------------
 

@@ -126,6 +126,7 @@ fn fig6_prototype_handles_100k_tasks_quickly() {
         payload_bytes: 512,
         batch_size: 1,
         memory_sample_interval: None,
+        ..Default::default()
     });
     assert_eq!(report.tasks, 100_000);
     // The paper's requirement: the messaging core must sustain O(10^4+)
