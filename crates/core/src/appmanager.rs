@@ -273,6 +273,13 @@ pub struct AppManagerConfig {
     /// ExecManager tuning: poll intervals and the maximum batch size used
     /// by every batched component loop.
     pub exec_manager: ExecManagerConfig,
+    /// Wire-side trace hops stamped before the run started (gateway receive,
+    /// parse, admission, journal append). Every per-task timeline is seeded
+    /// from this base so CriticalPath covers the full wire-to-sync path.
+    pub wire_trace: Option<entk_observe::TraceCtx>,
+    /// Settled-timeline sink: every task's final hop timeline is offered to
+    /// this store (tail sampling decides retention). `None` = no capture.
+    pub trace_store: Option<Arc<entk_observe::TraceStore>>,
 }
 
 impl AppManagerConfig {
@@ -295,6 +302,8 @@ impl AppManagerConfig {
             cancel_token: CancelToken::new(),
             batched: true,
             exec_manager: ExecManagerConfig::default(),
+            wire_trace: None,
+            trace_store: None,
         }
     }
 
@@ -376,6 +385,19 @@ impl AppManagerConfig {
         self.extra_resources.push(resource);
         self
     }
+
+    /// Builder: seed every per-task timeline with wire-side hops (see
+    /// [`AppManagerConfig::wire_trace`]).
+    pub fn with_wire_trace(mut self, trace: entk_observe::TraceCtx) -> Self {
+        self.wire_trace = Some(trace);
+        self
+    }
+
+    /// Builder: offer settled task timelines to a shared trace store.
+    pub fn with_trace_store(mut self, store: Arc<entk_observe::TraceStore>) -> Self {
+        self.trace_store = Some(store);
+        self
+    }
 }
 
 /// Shared context for all EnTK components.
@@ -426,6 +448,12 @@ pub(crate) struct Ctx {
     /// Dequeue folds each settled attempt's `TraceCtx` in, the final
     /// [`RunReport`] carries the result.
     pub critical_path: Mutex<entk_observe::CriticalPath>,
+    /// Wire-side hops every per-task timeline is seeded from (see
+    /// [`AppManagerConfig::wire_trace`]).
+    pub base_trace: Option<entk_observe::TraceCtx>,
+    /// Settled-timeline sink (tail sampling; see
+    /// [`AppManagerConfig::trace_store`]).
+    pub trace_store: Option<Arc<entk_observe::TraceStore>>,
 }
 
 impl Ctx {
@@ -441,6 +469,8 @@ impl Ctx {
         recorder: Recorder,
         batched: bool,
         exec: ExecManagerConfig,
+        base_trace: Option<entk_observe::TraceCtx>,
+        trace_store: Option<Arc<entk_observe::TraceStore>>,
     ) -> Arc<Self> {
         Arc::new(Ctx {
             broker,
@@ -461,6 +491,8 @@ impl Ctx {
             sync_serial: std::array::from_fn(|_| Mutex::new(())),
             inline_sync: false,
             critical_path: Mutex::new(entk_observe::CriticalPath::new()),
+            base_trace,
+            trace_store,
         })
     }
 
@@ -495,6 +527,8 @@ impl Ctx {
             sync_serial: std::array::from_fn(|_| Mutex::new(())),
             inline_sync: true,
             critical_path: Mutex::new(entk_observe::CriticalPath::new()),
+            base_trace: None,
+            trace_store: None,
         })
     }
 
@@ -936,6 +970,8 @@ impl AppManager {
             recorder.clone(),
             self.config.batched,
             self.config.exec_manager.clone(),
+            self.config.wire_trace.clone(),
+            self.config.trace_store.clone(),
         );
 
         // Spawn Synchronizer and WFProcessor.

@@ -118,7 +118,10 @@ fn run_batched(ctx: Arc<Ctx>, sync_queue: &str) {
 
 fn run(ctx: Arc<Ctx>, sync_queue: &str) {
     while ctx.running.load(Ordering::Acquire) {
-        let delivery = match ctx.broker.get_timeout(sync_queue, Duration::from_millis(20)) {
+        let delivery = match ctx
+            .broker
+            .get_timeout(sync_queue, Duration::from_millis(20))
+        {
             Ok(Some(d)) => d,
             Ok(None) => continue,
             Err(_) => break, // broker closed: shutting down

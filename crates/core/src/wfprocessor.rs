@@ -145,7 +145,14 @@ fn traced_pending_message(ctx: &Ctx, uid: &str) -> Message {
     if !ctx.recorder.is_enabled() {
         return msg;
     }
-    let trace = TraceCtx::new(uid).with_hop(obs::ENQ, hops::ENQUEUE, ctx.recorder.now_ns());
+    // Wire-submitted runs seed every per-task timeline from the gateway's
+    // hops (wire_recv → … → journal_appended), so CriticalPath and the
+    // trace store cover the full wire-to-sync path.
+    let trace = match &ctx.base_trace {
+        Some(base) => TraceCtx::from_base(uid, base),
+        None => TraceCtx::new(uid),
+    }
+    .with_hop(obs::ENQ, hops::ENQUEUE, ctx.recorder.now_ns());
     msg.with_trace(&trace)
 }
 
@@ -235,12 +242,21 @@ fn dequeued_trace(ctx: &Ctx, message: &Message) -> Option<TraceCtx> {
 /// must describe completed work only.
 fn settle(ctx: &Ctx, uid: &str, state: TaskState, trace: Option<TraceCtx>) {
     ctx.sync_task(component::DEQUEUE, uid, state);
-    if state != TaskState::Done {
-        return;
-    }
-    if let Some(mut trace) = trace {
-        trace.hop(obs::SYNC, hops::SYNCED, ctx.recorder.now_ns());
-        ctx.critical_path.lock().add(&trace);
+    let Some(mut trace) = trace else { return };
+    trace.hop(obs::SYNC, hops::SYNCED, ctx.recorder.now_ns());
+    let outcome = match state {
+        TaskState::Done => {
+            ctx.critical_path.lock().add(&trace);
+            "done"
+        }
+        TaskState::Canceled => "canceled",
+        _ => "failed",
+    };
+    // Failed/canceled timelines skip the aggregate (partial hop lists would
+    // understate residency means) but still reach the trace store: tail
+    // sampling always keeps non-success outcomes for postmortems.
+    if let Some(store) = &ctx.trace_store {
+        store.offer(&trace, outcome, Some(ctx.recorder.metrics()));
     }
 }
 

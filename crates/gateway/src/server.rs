@@ -1,12 +1,16 @@
 //! The gateway server: request routing over `entk-observe`'s HTTP stack.
 
 use crate::wire;
-use entk_observe::{Handler, HttpRequest, HttpResponse, HttpServer, HttpServerConfig, Recorder};
+use entk_observe::{
+    components, format_traceparent, generate_trace_id, hops, parse_traceparent, Handler,
+    HttpRequest, HttpResponse, HttpServer, HttpServerConfig, Recorder, TraceCtx, TraceStore,
+};
 use entk_service::{ServiceClient, SubmissionId, SubmitError};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Upper bound on cached terminal-result renderings. 256 JSON bodies is a
@@ -82,6 +86,11 @@ struct GatewayState {
     /// Rendered terminal results, keyed by submission (bounded; see
     /// [`ResultCache`]).
     results: Mutex<ResultCache>,
+    /// The service's settled-timeline store, mounted on `/v1/traces`. The
+    /// disabled store (404s) unless started via [`Gateway::start_with_traces`].
+    traces: Arc<TraceStore>,
+    /// Distinguishes trace ids generated in the same nanosecond.
+    trace_seq: AtomicU64,
 }
 
 /// A running HTTP gateway fronting one [`EnsembleService`].
@@ -115,10 +124,48 @@ impl Gateway {
         recorder: Recorder,
         config: HttpServerConfig,
     ) -> io::Result<Self> {
+        Self::start_inner(
+            addr,
+            client,
+            recorder,
+            config,
+            Arc::new(TraceStore::disabled()),
+        )
+    }
+
+    /// [`Gateway::start`] with the service's settled-timeline store mounted
+    /// on `GET /v1/traces` (pass [`EnsembleService::trace_store`]). Submit
+    /// requests then propagate an incoming W3C `traceparent` header — or
+    /// mint a fresh trace id — and stamp `wire_recv`/`parsed` hops that ride
+    /// through admission into every per-task timeline of the run.
+    ///
+    /// [`EnsembleService::trace_store`]: entk_service::EnsembleService::trace_store
+    pub fn start_with_traces(
+        addr: SocketAddr,
+        client: ServiceClient,
+        recorder: Recorder,
+        traces: Arc<TraceStore>,
+    ) -> io::Result<Self> {
+        let config = HttpServerConfig {
+            thread_name: "entk-gateway".into(),
+            ..HttpServerConfig::default()
+        };
+        Self::start_inner(addr, client, recorder, config, traces)
+    }
+
+    fn start_inner(
+        addr: SocketAddr,
+        client: ServiceClient,
+        recorder: Recorder,
+        config: HttpServerConfig,
+        traces: Arc<TraceStore>,
+    ) -> io::Result<Self> {
         let state = Arc::new(GatewayState {
             client,
             recorder,
             results: Mutex::new(ResultCache::new(RESULT_CACHE_CAP)),
+            traces,
+            trace_seq: AtomicU64::new(0),
         });
         let handler: Handler = Arc::new(move |req| route(&state, req));
         let server = HttpServer::start(addr, handler, config)?;
@@ -143,6 +190,9 @@ fn route(gw: &GatewayState, req: &HttpRequest) -> HttpResponse {
         ("POST", "/v1/workflows") => submit(gw, req),
         ("GET", "/v1/sessions") => sessions(gw),
         ("GET", "/healthz") => HttpResponse::ok_text("ok\n"),
+        (_, path) if path == "/v1/traces" || path.starts_with("/v1/traces/") => {
+            gw.traces.serve("/v1/traces", req)
+        }
         (method, path) if path.starts_with("/v1/workflows/") => {
             match wire::parse_id(&path["/v1/workflows/".len()..]) {
                 None => HttpResponse::error_json(400, "malformed submission id"),
@@ -160,16 +210,53 @@ fn route(gw: &GatewayState, req: &HttpRequest) -> HttpResponse {
     resp
 }
 
+/// Start the wire-side trace for one submit request: propagate the client's
+/// W3C `traceparent` trace id when the header is present and valid, mint a
+/// fresh id otherwise, and stamp the `wire_recv` hop at `recv_ns` (captured
+/// at handler entry, before parsing). `None` when the recorder is disabled —
+/// the whole trace plane then costs one branch.
+fn wire_trace(gw: &GatewayState, req: &HttpRequest, recv_ns: u64) -> Option<TraceCtx> {
+    if !gw.recorder.is_enabled() {
+        return None;
+    }
+    let trace_id = req
+        .header("traceparent")
+        .and_then(parse_traceparent)
+        .unwrap_or_else(|| generate_trace_id(gw.trace_seq.fetch_add(1, Ordering::Relaxed)));
+    Some(TraceCtx::new(&trace_id).with_trace_id(&trace_id).with_hop(
+        components::GATEWAY,
+        hops::WIRE_RECV,
+        recv_ns,
+    ))
+}
+
 fn submit(gw: &GatewayState, req: &HttpRequest) -> HttpResponse {
+    let recv_ns = gw.recorder.now_ns();
     let body = match wire::parse_submit(&req.body_str()) {
         Ok(body) => body,
         Err(e) => return HttpResponse::error_json(400, &e),
     };
+    let mut trace = wire_trace(gw, req, recv_ns);
+    if let Some(t) = trace.as_mut() {
+        t.hop(components::GATEWAY, hops::PARSED, gw.recorder.now_ns());
+    }
+    let trace_id = trace.as_ref().and_then(|t| t.trace_id.clone());
     let m = gw.recorder.metrics();
-    match gw.client.submit_spec(body.tenant, body.spec, body.weight) {
+    match gw
+        .client
+        .submit_spec_traced(body.tenant, body.spec, body.weight, trace)
+    {
         Ok(id) => {
             m.counter("gateway.submitted").incr();
-            HttpResponse::new(202, "application/json", wire::accepted_json(id))
+            let mut resp = HttpResponse::new(
+                202,
+                "application/json",
+                wire::accepted_json(id, trace_id.as_deref()),
+            );
+            if let Some(tid) = &trace_id {
+                resp = resp.with_header("traceparent", format_traceparent(tid));
+            }
+            resp
         }
         Err(SubmitError::Saturated { retry_after }) => {
             m.counter("gateway.rejected.saturated").incr();
@@ -230,7 +317,10 @@ fn cancel(gw: &GatewayState, id: SubmissionId) -> HttpResponse {
     // now rather than waiting for LRU pressure. A later GET still answers
     // honestly from the live lifecycle state.
     if gw.results.lock().remove(id) {
-        gw.recorder.metrics().counter("gateway.results_evicted").incr();
+        gw.recorder
+            .metrics()
+            .counter("gateway.results_evicted")
+            .incr();
     }
     let initiated = gw.client.cancel(id);
     if initiated {

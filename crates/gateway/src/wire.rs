@@ -75,9 +75,18 @@ pub fn status_str(status: &SubmissionStatus) -> &'static str {
     }
 }
 
-/// Encode the `202 Accepted` submit reply.
-pub fn accepted_json(id: SubmissionId) -> String {
-    format!("{{\"id\":\"{id}\",\"state\":\"queued\"}}")
+/// Encode the `202 Accepted` submit reply. `trace_id` is the distributed
+/// trace id assigned to (or propagated from) the request's `traceparent`,
+/// `null` when the telemetry plane is off — the client uses it to query
+/// `GET /v1/traces/<trace_id>` after the run settles.
+pub fn accepted_json(id: SubmissionId, trace_id: Option<&str>) -> String {
+    match trace_id {
+        Some(tid) => format!(
+            "{{\"id\":\"{id}\",\"state\":\"queued\",\"trace_id\":\"{}\"}}",
+            json_escape(tid)
+        ),
+        None => format!("{{\"id\":\"{id}\",\"state\":\"queued\",\"trace_id\":null}}"),
+    }
 }
 
 /// Encode a non-terminal status reply.

@@ -256,10 +256,26 @@ pub enum JournalRecord {
     },
 }
 
+/// Per-journal instrumentation handles, installed by the broker when a
+/// recorder is configured: one fsync-latency histogram and one lock-wait
+/// counter per shard (`mq.shard.<i>.journal_fsync` /
+/// `mq.shard.<i>.journal_lock_wait`). Uninstrumented journals pay one
+/// `Option` check per append.
+#[derive(Clone)]
+pub struct JournalMetrics {
+    /// Latency of one append's write+flush, measured from lock acquisition
+    /// to flush completion.
+    pub fsync: std::sync::Arc<entk_observe::Histogram>,
+    /// Appends that found the writer lock already held (shard journal
+    /// contention — the PR 8 shard-scaling blind spot).
+    pub lock_wait: std::sync::Arc<entk_observe::Counter>,
+}
+
 /// Append-only journal bound to a file path.
 pub struct Journal {
     path: PathBuf,
     writer: Mutex<BufWriter<File>>,
+    metrics: Option<JournalMetrics>,
 }
 
 use frame::{write_bytes, write_u32, write_u64, FrameReader};
@@ -363,7 +379,26 @@ impl Journal {
         Ok(Journal {
             path,
             writer: Mutex::new(BufWriter::new(file)),
+            metrics: None,
         })
+    }
+
+    /// Install instrumentation handles, builder-style (see
+    /// [`JournalMetrics`]).
+    pub fn with_metrics(mut self, metrics: JournalMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Acquire the writer lock, counting a lock-wait when it was contended.
+    fn lock_writer(&self) -> parking_lot::MutexGuard<'_, BufWriter<File>> {
+        if let Some(g) = self.writer.try_lock() {
+            return g;
+        }
+        if let Some(m) = &self.metrics {
+            m.lock_wait.incr();
+        }
+        self.writer.lock()
     }
 
     /// The path this journal writes to.
@@ -409,9 +444,13 @@ impl Journal {
 
     /// Append a record and flush it to the OS.
     pub fn append(&self, rec: &JournalRecord) -> MqResult<()> {
-        let mut w = self.writer.lock();
+        let mut w = self.lock_writer();
+        let t0 = self.metrics.as_ref().map(|_| std::time::Instant::now());
         Self::write_record(&mut *w, rec)?;
         w.flush()?;
+        if let (Some(m), Some(t0)) = (&self.metrics, t0) {
+            m.fsync.record(t0.elapsed());
+        }
         // Failpoint: crash after the flush — the record is durable but the
         // caller sees a failure, modeling a process killed post-write.
         if entk_fail::hit_sleep("mq.journal.flush_crash").is_some() {
@@ -449,11 +488,15 @@ impl Journal {
             w.flush()?;
             return Err(MqError::FaultInjected("mq.journal.torn_tail".into()));
         }
-        let mut w = self.writer.lock();
+        let mut w = self.lock_writer();
+        let t0 = self.metrics.as_ref().map(|_| std::time::Instant::now());
         for rec in recs {
             Self::write_record(&mut *w, rec)?;
         }
         w.flush()?;
+        if let (Some(m), Some(t0)) = (&self.metrics, t0) {
+            m.fsync.record(t0.elapsed());
+        }
         if entk_fail::hit_sleep("mq.journal.flush_crash").is_some() {
             return Err(MqError::FaultInjected("mq.journal.flush_crash".into()));
         }

@@ -71,6 +71,9 @@ pub struct HttpRequest {
     pub path: String,
     /// Raw query string after `?` (empty when absent).
     pub query: String,
+    /// Request headers in arrival order, names as sent (match with
+    /// [`HttpRequest::header`], which is case-insensitive per RFC 9110).
+    pub headers: Vec<(String, String)>,
     /// Request body (`Content-Length` bytes; empty when absent).
     pub body: Vec<u8>,
 }
@@ -79,6 +82,23 @@ impl HttpRequest {
     /// The body as UTF-8 (lossy).
     pub fn body_str(&self) -> std::borrow::Cow<'_, str> {
         String::from_utf8_lossy(&self.body)
+    }
+
+    /// First header with the given name, case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Value of one `k=v` pair in the query string, if present.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .split('&')
+            .filter_map(|pair| pair.split_once('='))
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v)
     }
 }
 
@@ -334,10 +354,14 @@ fn read_request(
         Some((p, q)) => (p.to_string(), q.to_string()),
         None => (target.to_string(), String::new()),
     };
-    let content_length = lines
+    let headers: Vec<(String, String)> = lines
         .filter_map(|l| l.split_once(':'))
+        .map(|(name, v)| (name.trim().to_string(), v.trim().to_string()))
+        .collect();
+    let content_length = headers
+        .iter()
         .find(|(name, _)| name.eq_ignore_ascii_case("content-length"))
-        .and_then(|(_, v)| v.trim().parse::<usize>().ok())
+        .and_then(|(_, v)| v.parse::<usize>().ok())
         .unwrap_or(0);
     if content_length > config.max_request_bytes {
         return Err(ReadFailure::TooLarge);
@@ -361,6 +385,7 @@ fn read_request(
         method,
         path,
         query,
+        headers,
         body,
     })
 }
@@ -438,6 +463,21 @@ impl ObserveServer {
         statusz: StatuszFn,
         routes: Vec<(String, StatuszFn)>,
     ) -> std::io::Result<ObserveServer> {
+        Self::start_with_handlers(addr, metrics, statusz, routes, Vec::new())
+    }
+
+    /// [`ObserveServer::start_with_routes`] plus request-aware prefix
+    /// handlers: an entry `("/v1/traces", h)` serves `GET /v1/traces` and
+    /// every path under `/v1/traces/`, and `h` sees the full
+    /// [`HttpRequest`] (path suffix, query string, headers). Exact-match
+    /// `routes` win over prefix `handlers`; built-ins win over both.
+    pub fn start_with_handlers(
+        addr: SocketAddr,
+        metrics: Arc<Metrics>,
+        statusz: StatuszFn,
+        routes: Vec<(String, StatuszFn)>,
+        handlers: Vec<(String, Handler)>,
+    ) -> std::io::Result<ObserveServer> {
         let handler: Handler = Arc::new(move |req: &HttpRequest| {
             if req.method != "GET" {
                 return HttpResponse::method_not_allowed();
@@ -448,10 +488,19 @@ impl ObserveServer {
                 }
                 "/statusz" => HttpResponse::ok_json(statusz()),
                 "/healthz" => HttpResponse::ok_text("ok\n"),
-                path => match routes.iter().find(|(p, _)| p == path) {
-                    Some((_, f)) => HttpResponse::ok_json(f()),
-                    None => HttpResponse::not_found(),
-                },
+                path => {
+                    if let Some((_, f)) = routes.iter().find(|(p, _)| p == path) {
+                        return HttpResponse::ok_json(f());
+                    }
+                    match handlers.iter().find(|(prefix, _)| {
+                        path == prefix
+                            || (path.starts_with(prefix)
+                                && path.as_bytes().get(prefix.len()) == Some(&b'/'))
+                    }) {
+                        Some((_, h)) => h(req),
+                        None => HttpResponse::not_found(),
+                    }
+                }
             }
         });
         let config = HttpServerConfig {
@@ -609,6 +658,63 @@ mod tests {
         assert!(head.contains("application/json"), "{head}");
         assert_eq!(body, "[{\"kind\":\"scale_up\"}]");
         let (head, _) = get(srv.local_addr(), "/debug/nothing");
+        assert!(head.contains("404"), "{head}");
+    }
+
+    #[test]
+    fn request_headers_are_captured_case_insensitively() {
+        let handler: Handler = Arc::new(|req: &HttpRequest| {
+            HttpResponse::ok_text(format!(
+                "{}|{}",
+                req.header("TraceParent").unwrap_or("-"),
+                req.query_param("slowest").unwrap_or("-"),
+            ))
+        });
+        let srv = HttpServer::start(
+            "127.0.0.1:0".parse().unwrap(),
+            handler,
+            HttpServerConfig::default(),
+        )
+        .expect("bind");
+        let mut stream = TcpStream::connect(srv.local_addr()).unwrap();
+        write!(
+            stream,
+            "GET /x?slowest=5&stage=enqueue HTTP/1.0\r\ntraceparent: 00-abc-def-01\r\n\r\n"
+        )
+        .unwrap();
+        let mut resp = String::new();
+        stream.read_to_string(&mut resp).unwrap();
+        assert!(resp.contains("00-abc-def-01|5"), "{resp}");
+    }
+
+    #[test]
+    fn prefix_handlers_see_the_request_and_lose_to_exact_routes() {
+        let metrics = Arc::new(Metrics::default());
+        let statusz: StatuszFn = Arc::new(|| "{}".to_string());
+        let exact: StatuszFn = Arc::new(|| "\"exact\"".to_string());
+        let traces: Handler = Arc::new(|req: &HttpRequest| {
+            HttpResponse::ok_json(format!(
+                "{{\"path\":\"{}\",\"q\":\"{}\"}}",
+                req.path, req.query
+            ))
+        });
+        let srv = ObserveServer::start_with_handlers(
+            "127.0.0.1:0".parse().unwrap(),
+            metrics,
+            statusz,
+            vec![("/v1/traces/exact".to_string(), exact)],
+            vec![("/v1/traces".to_string(), traces)],
+        )
+        .expect("bind");
+        let (head, body) = get(srv.local_addr(), "/v1/traces/abc123");
+        assert!(head.contains("200 OK"), "{head}");
+        assert!(body.contains("\"path\":\"/v1/traces/abc123\""), "{body}");
+        let (_, body) = get(srv.local_addr(), "/v1/traces?slowest=3");
+        assert!(body.contains("\"q\":\"slowest=3\""), "{body}");
+        let (_, body) = get(srv.local_addr(), "/v1/traces/exact");
+        assert_eq!(body, "\"exact\"", "exact route wins over prefix handler");
+        // A sibling path that merely shares the prefix string is not matched.
+        let (head, _) = get(srv.local_addr(), "/v1/tracesandmore");
         assert!(head.contains("404"), "{head}");
     }
 

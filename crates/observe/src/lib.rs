@@ -34,19 +34,26 @@ pub mod prom;
 pub mod recorder;
 pub mod slo;
 pub mod trace;
+pub mod tracestore;
 
 pub use event::Event;
 pub use http::{
     Handler, HttpRequest, HttpResponse, HttpServer, HttpServerConfig, ObserveConfig, ObserveServer,
     Sampler, StatuszFn,
 };
-pub use metrics::{Counter, Gauge, Histogram, HistogramExport, HistogramSnapshot, Metrics};
+pub use metrics::{
+    Counter, Exemplar, Gauge, Histogram, HistogramExport, HistogramSnapshot, Metrics,
+};
 pub use recorder::{Recorder, Span};
 pub use slo::{
     Alert, AnomalyKind, Decision, DecisionRing, QueueSample, SloBurn, SloConfig, SloTracker,
     Watchdog, WatchdogConfig, WatchdogInput,
 };
-pub use trace::{hops, CriticalPath, Hop, StageResidency, TraceCtx, TRACE_HEADER};
+pub use trace::{
+    format_traceparent, generate_trace_id, hops, parse_traceparent, CriticalPath, Hop,
+    StageResidency, TraceCtx, TRACE_HEADER,
+};
+pub use tracestore::{StoredTrace, TraceStore, TraceStoreConfig};
 
 /// Component names used across the workspace, centralized so traces from all
 /// layers agree on spelling.
@@ -67,6 +74,8 @@ pub mod components {
     pub const MQ: &str = "mq";
     /// Multi-tenant ensemble service (entk-service).
     pub const SERVICE: &str = "service";
+    /// Wire-facing HTTP gateway (entk-gateway).
+    pub const GATEWAY: &str = "gateway";
     /// Runtime system (rp-rts).
     pub const RTS: &str = "rts";
     /// Discrete-event simulator (hpc-sim).

@@ -3,7 +3,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
 
 /// Monotone event counter.
@@ -75,6 +75,10 @@ pub struct Histogram {
     sum_ns: AtomicU64,
     max_ns: AtomicU64,
     buckets: [AtomicU64; BUCKETS],
+    /// Latest exemplar per bucket, keyed by bucket index. Only the sampled
+    /// (kept-trace) recording path writes here, so the mutex is uncontended
+    /// and the unsampled hot path never touches it.
+    exemplars: Mutex<BTreeMap<usize, Exemplar>>,
 }
 
 impl Default for Histogram {
@@ -84,8 +88,22 @@ impl Default for Histogram {
             sum_ns: AtomicU64::new(0),
             max_ns: AtomicU64::new(0),
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            exemplars: Mutex::new(BTreeMap::new()),
         }
     }
+}
+
+/// One concrete sample linking a histogram bucket to a retrievable trace —
+/// the OpenMetrics exemplar. `trace_id` points into the trace store
+/// (`GET /v1/traces/<id>`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exemplar {
+    /// Distributed trace id (or task uid) of the sample.
+    pub trace_id: String,
+    /// The sample's value, nanoseconds.
+    pub value_ns: u64,
+    /// Unix wall-clock milliseconds when the exemplar was recorded.
+    pub unix_ms: u64,
 }
 
 fn bucket_of(ns: u64) -> usize {
@@ -113,6 +131,29 @@ impl Histogram {
         self.sum_ns.fetch_add(ns, Ordering::Relaxed);
         self.max_ns.fetch_max(ns, Ordering::Relaxed);
         self.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// [`Histogram::record_ns`] plus an exemplar: the sample's bucket
+    /// remembers `trace_id` (latest wins), and `/metrics` renders it in
+    /// OpenMetrics `# {trace_id="..."}` form so the bucket links back to a
+    /// retrievable trace.
+    pub fn record_ns_with_exemplar(&self, ns: u64, trace_id: &str) {
+        self.record_ns(ns);
+        let unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        self.exemplars
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(
+                bucket_of(ns),
+                Exemplar {
+                    trace_id: trace_id.to_string(),
+                    value_ns: ns,
+                    unix_ms,
+                },
+            );
     }
 
     /// Number of recorded samples.
@@ -211,23 +252,40 @@ impl Histogram {
         if let Some(hi) = highest {
             for (i, b) in buckets.iter().enumerate().take(hi + 1) {
                 cum += b;
-                // Bucket i covers [2^(i-1), 2^i) ns; inclusive upper bound.
-                let le = if i == 0 {
-                    0
-                } else if i >= 63 {
-                    u64::MAX
-                } else {
-                    (1u64 << i) - 1
-                };
-                out.push((le, cum));
+                out.push((bucket_le_ns(i), cum));
             }
         }
+        let exemplars = self
+            .exemplars
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            // An exemplar's bucket is non-empty by construction, but the
+            // bucket copy above may have been taken before the exemplar's
+            // own record landed — only emit exemplars whose bucket exists
+            // in this view, keeping the export internally consistent.
+            .filter(|(i, _)| highest.is_some_and(|hi| **i <= hi))
+            .map(|(i, e)| (bucket_le_ns(*i), e.clone()))
+            .collect();
         HistogramExport {
             count,
             sum_ns,
             max_ns,
             buckets: out,
+            exemplars,
         }
+    }
+}
+
+/// Inclusive nanosecond upper bound of bucket `i` (bucket `i` covers
+/// `[2^(i-1), 2^i)` ns; bucket 0 covers `{0}`).
+fn bucket_le_ns(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
     }
 }
 
@@ -262,6 +320,10 @@ pub struct HistogramExport {
     /// bound order, trimmed at the highest non-empty bucket; the implicit
     /// `+Inf` bucket equals `count`.
     pub buckets: Vec<(u64, u64)>,
+    /// `(inclusive_upper_bound_ns, exemplar)` pairs, ascending, at most one
+    /// per exported bucket. Empty unless the exemplar recording path
+    /// ([`Histogram::record_ns_with_exemplar`]) was used.
+    pub exemplars: Vec<(u64, Exemplar)>,
 }
 
 /// Registry of named metrics. Get-or-create on first use; handles are
@@ -478,6 +540,33 @@ mod tests {
         for w in writers {
             w.join().unwrap();
         }
+    }
+
+    #[test]
+    fn exemplars_attach_to_their_bucket_latest_wins() {
+        let h = Histogram::default();
+        h.record_ns(1_000);
+        h.record_ns_with_exemplar(1_500, "trace-a");
+        h.record_ns_with_exemplar(1_900, "trace-b"); // same bucket: replaces a
+        h.record_ns_with_exemplar(1_000_000, "trace-c");
+        let e = h.export();
+        assert_eq!(e.count, 4);
+        assert_eq!(e.exemplars.len(), 2, "one exemplar per bucket");
+        let (le0, ex0) = &e.exemplars[0];
+        assert_eq!(ex0.trace_id, "trace-b");
+        assert_eq!(ex0.value_ns, 1_900);
+        assert!(ex0.value_ns <= *le0, "exemplar value within its bucket");
+        assert_eq!(e.exemplars[1].1.trace_id, "trace-c");
+        assert!(
+            e.exemplars
+                .iter()
+                .all(|(le, _)| e.buckets.iter().any(|(b, _)| b == le)),
+            "every exemplar bound matches an exported bucket"
+        );
+        // Plain recording never creates exemplars.
+        let plain = Histogram::default();
+        plain.record_ns(5);
+        assert!(plain.export().exemplars.is_empty());
     }
 
     #[test]

@@ -12,6 +12,13 @@
 //!
 //! Dotted internal names (`mq.queue.pending.depth`) are sanitized to the
 //! Prometheus grammar (`mq_queue_pending_depth`).
+//!
+//! Histogram buckets that carry an exemplar ([`crate::metrics::Exemplar`])
+//! render it in OpenMetrics form after the sample value:
+//! `name_bucket{le="0.001"} 5 # {trace_id="4bf9..."} 0.00042 1691486400.123`
+//! — linking the bucket to a trace retrievable at `GET /v1/traces/<id>`.
+//! The parser accepts (and surfaces) that trailing section, so a scrape
+//! with exemplars still round-trips through [`parse`]/[`validate_histograms`].
 
 use crate::metrics::Metrics;
 use std::collections::BTreeMap;
@@ -80,13 +87,36 @@ pub fn encode(metrics: &Metrics) -> String {
         let n = format!("{}_seconds", sanitize_name(&name));
         let _ = writeln!(out, "# TYPE {n} histogram");
         for (le_ns, cum) in &export.buckets {
-            let _ = writeln!(out, "{n}_bucket{{le=\"{}\"}} {cum}", secs(*le_ns));
+            let _ = write!(out, "{n}_bucket{{le=\"{}\"}} {cum}", secs(*le_ns));
+            if let Some((_, ex)) = export.exemplars.iter().find(|(le, _)| le == le_ns) {
+                let _ = write!(
+                    out,
+                    " # {{trace_id=\"{}\"}} {} {}.{:03}",
+                    escape_label_value(&ex.trace_id),
+                    secs(ex.value_ns),
+                    ex.unix_ms / 1000,
+                    ex.unix_ms % 1000
+                );
+            }
+            out.push('\n');
         }
         let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", export.count);
         let _ = writeln!(out, "{n}_sum {}", secs(export.sum_ns));
         let _ = writeln!(out, "{n}_count {}", export.count);
     }
     out
+}
+
+/// An exemplar parsed off the end of a sample line (the `# {...} value
+/// [timestamp]` section).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedExemplar {
+    /// Exemplar label pairs in source order (typically just `trace_id`).
+    pub labels: Vec<(String, String)>,
+    /// Exemplar value (seconds for histogram buckets).
+    pub value: f64,
+    /// Optional Unix timestamp, seconds.
+    pub timestamp: Option<f64>,
 }
 
 /// One parsed sample line.
@@ -98,6 +128,8 @@ pub struct Sample {
     pub labels: Vec<(String, String)>,
     /// Sample value.
     pub value: f64,
+    /// Trailing exemplar, when the line carried one.
+    pub exemplar: Option<ParsedExemplar>,
 }
 
 /// Minimal parse of a text-format scrape body: skips `#` comment/metadata
@@ -111,6 +143,17 @@ pub fn parse(body: &str) -> Result<Vec<Sample>, String> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
+        // Split off a trailing exemplar section (`# {...} value [ts]`)
+        // before any brace handling — the exemplar's own `}` would
+        // otherwise confuse the label-set scan below.
+        let (line, exemplar) = match find_unquoted_hash(line) {
+            Some(pos) => {
+                let ex = parse_exemplar(line[pos + 1..].trim())
+                    .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                (line[..pos].trim_end(), Some(ex))
+            }
+            None => (line, None),
+        };
         let (name_part, rest) = match line.find('{') {
             Some(brace) => {
                 let close = line
@@ -157,9 +200,68 @@ pub fn parse(body: &str) -> Result<Vec<Sample>, String> {
             name: name.to_string(),
             labels,
             value,
+            exemplar,
         });
     }
     Ok(samples)
+}
+
+/// Byte offset of the first `#` outside quoted label values, if any. The
+/// leading-`#` comment case is handled by the caller before this runs.
+fn find_unquoted_hash(line: &str) -> Option<usize> {
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_quotes && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_quotes = !in_quotes,
+            '#' if !in_quotes => return Some(i),
+            _ => {}
+        }
+        escaped = false;
+    }
+    None
+}
+
+/// Parse an exemplar section body: `{labels} value [timestamp]`.
+fn parse_exemplar(s: &str) -> Result<ParsedExemplar, String> {
+    let rest = s
+        .strip_prefix('{')
+        .ok_or_else(|| format!("exemplar missing label set: {s:?}"))?;
+    let close = rest
+        .find('}')
+        .ok_or_else(|| format!("exemplar label set unclosed: {s:?}"))?;
+    let mut labels = Vec::new();
+    for pair in split_labels(&rest[..close]) {
+        let (k, v) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("bad exemplar label {pair:?}"))?;
+        let v = v.trim();
+        if !(v.starts_with('"') && v.ends_with('"') && v.len() >= 2) {
+            return Err(format!("unquoted exemplar label value {v:?}"));
+        }
+        labels.push((k.trim().to_string(), unescape_label(&v[1..v.len() - 1])));
+    }
+    let mut tail = rest[close + 1..].split_whitespace();
+    let value = tail
+        .next()
+        .and_then(parse_value)
+        .ok_or_else(|| format!("exemplar missing value: {s:?}"))?;
+    let timestamp = match tail.next() {
+        Some(ts) => Some(parse_value(ts).ok_or_else(|| format!("bad exemplar timestamp {ts:?}"))?),
+        None => None,
+    };
+    if tail.next().is_some() {
+        return Err(format!("trailing junk after exemplar: {s:?}"));
+    }
+    Ok(ParsedExemplar {
+        labels,
+        value,
+        timestamp,
+    })
 }
 
 /// Split a label body on commas that are outside quoted values.
@@ -231,6 +333,19 @@ pub fn validate_histograms(samples: &[Sample]) -> Result<Vec<String>, String> {
                 .ok_or_else(|| format!("{}: _bucket without le label", s.name))?;
             let bound =
                 parse_value(&le.1).ok_or_else(|| format!("{}: bad le {:?}", s.name, le.1))?;
+            if let Some(ex) = &s.exemplar {
+                // An exemplar must be a sample that actually falls in its
+                // bucket: value within the cumulative bound.
+                if ex.value > bound {
+                    return Err(format!(
+                        "{fam}: exemplar value {} above bucket bound {bound}",
+                        ex.value
+                    ));
+                }
+                if !ex.labels.iter().any(|(k, _)| k == "trace_id") {
+                    return Err(format!("{fam}: bucket exemplar without trace_id label"));
+                }
+            }
             buckets
                 .entry(fam.to_string())
                 .or_default()
@@ -353,6 +468,111 @@ mod tests {
         let samples = parse(body).unwrap();
         let err = validate_histograms(&samples).unwrap_err();
         assert!(err.contains("_count"), "{err}");
+    }
+
+    #[test]
+    fn exemplar_encode_parse_roundtrip() {
+        let m = Metrics::default();
+        let h = m.histogram("trace.stage.rts_submit->agent_start");
+        h.record_ns(1_000);
+        h.record_ns_with_exemplar(1_800, "4bf92f3577b34da6a3ce929d0e0e4736");
+        let body = encode(&m);
+        assert!(body.contains("# {trace_id=\"4bf92f3577b34da6a3ce929d0e0e4736\"}"));
+        let samples = parse(&body).expect("scrape with exemplars parses");
+        let with_ex: Vec<_> = samples.iter().filter(|s| s.exemplar.is_some()).collect();
+        assert_eq!(with_ex.len(), 1);
+        let ex = with_ex[0].exemplar.as_ref().unwrap();
+        assert_eq!(
+            ex.labels,
+            vec![(
+                "trace_id".to_string(),
+                "4bf92f3577b34da6a3ce929d0e0e4736".to_string()
+            )]
+        );
+        assert!((ex.value - 1.8e-6).abs() < 1e-12, "value={}", ex.value);
+        assert!(ex.timestamp.is_some(), "encode stamps a timestamp");
+        let fams = validate_histograms(&samples).expect("valid with exemplars");
+        assert_eq!(
+            fams,
+            vec!["trace_stage_rts_submit__agent_start_seconds".to_string()]
+        );
+    }
+
+    #[test]
+    fn exemplar_sections_parse_explicit_forms() {
+        // No timestamp.
+        let s = parse("h_bucket{le=\"0.01\"} 3 # {trace_id=\"abc\"} 0.004\nh_bucket{le=\"+Inf\"} 3\nh_count 3\n")
+            .unwrap();
+        let ex = s[0].exemplar.as_ref().unwrap();
+        assert_eq!(ex.value, 0.004);
+        assert_eq!(ex.timestamp, None);
+        validate_histograms(&s).expect("valid");
+        // A '#' inside a quoted label value is not an exemplar separator.
+        let s = parse("m{k=\"a#b\"} 1\n").unwrap();
+        assert_eq!(s[0].labels[0].1, "a#b");
+        assert!(s[0].exemplar.is_none());
+    }
+
+    #[test]
+    fn exemplar_validation_rejects_out_of_bucket_values() {
+        let s = parse("h_bucket{le=\"0.001\"} 3 # {trace_id=\"abc\"} 0.5\nh_bucket{le=\"+Inf\"} 3\nh_count 3\n")
+            .unwrap();
+        let err = validate_histograms(&s).unwrap_err();
+        assert!(err.contains("above bucket bound"), "{err}");
+        let s = parse("h_bucket{le=\"0.001\"} 3 # {span=\"abc\"} 0.0005\nh_bucket{le=\"+Inf\"} 3\nh_count 3\n")
+            .unwrap();
+        let err = validate_histograms(&s).unwrap_err();
+        assert!(err.contains("trace_id"), "{err}");
+    }
+
+    #[test]
+    fn malformed_exemplars_are_rejected() {
+        for bad in [
+            "h_bucket{le=\"1\"} 1 # 0.5\n",                    // no label set
+            "h_bucket{le=\"1\"} 1 # {trace_id=\"a\"}\n",       // no value
+            "h_bucket{le=\"1\"} 1 # {trace_id=\"a\"} x\n",     // bad value
+            "h_bucket{le=\"1\"} 1 # {trace_id=\"a\"} 1 2 3\n", // trailing junk
+            "h_bucket{le=\"1\"} 1 # {trace_id=a} 1\n",         // unquoted label
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn scrape_racing_concurrent_histogram_mutation_stays_valid() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let m = Arc::new(Metrics::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let h = m.histogram("race.turnaround");
+                    let mut ns = 1u64 + t;
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        if i.is_multiple_of(64) {
+                            h.record_ns_with_exemplar(ns, &format!("trace-{t}-{i}"));
+                        } else {
+                            h.record_ns(ns);
+                        }
+                        ns = ns.wrapping_mul(6364136223846793005).wrapping_add(1) % (1 << 34);
+                        i += 1;
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..100 {
+            let body = encode(&m);
+            let samples = parse(&body).expect("racing scrape parses");
+            validate_histograms(&samples).expect("racing scrape histograms valid");
+        }
+        stop.store(true, Ordering::Relaxed);
+        for w in writers {
+            w.join().unwrap();
+        }
     }
 
     #[test]

@@ -41,6 +41,99 @@ pub mod hops {
     pub const DEQUEUE: &str = "dequeue";
     /// The Synchronizer applied the attempt's settling transition.
     pub const SYNCED: &str = "synced";
+
+    // Wire-side hops, stamped before the task pipeline begins. The gateway
+    // and service prepend these to every task timeline of a submission, so
+    // the CriticalPath decomposition extends from the client's TCP write to
+    // the synced state while the consecutive-pair stage sum still equals
+    // first-hop → last-hop by construction.
+
+    /// The gateway read the request head off the socket.
+    pub const WIRE_RECV: &str = "wire_recv";
+    /// The gateway finished decoding the submit body into a WorkflowSpec.
+    pub const PARSED: &str = "parsed";
+    /// The service's admission control accepted the submission.
+    pub const ADMITTED: &str = "admitted";
+    /// The service's admission control rejected the submission (tail guard /
+    /// draining). Terminal for the wire trace — no task hops follow.
+    pub const SHED: &str = "shed";
+    /// The durable submissions journal appended (and flushed) the record.
+    pub const JOURNAL_APPENDED: &str = "journal_appended";
+}
+
+/// Parse a W3C `traceparent` header, returning the 32-hex-digit trace id.
+///
+/// Accepts `<2 hex version>-<32 hex trace-id>-<16 hex parent-id>-<2 hex
+/// flags>`; rejects the all-zero trace id, the reserved version `ff`, and
+/// anything structurally off. Uppercase hex is rejected per spec.
+pub fn parse_traceparent(header: &str) -> Option<String> {
+    fn lower_hex(s: &str) -> bool {
+        !s.is_empty()
+            && s.bytes()
+                .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+    }
+    let mut parts = header.trim().split('-');
+    let (version, trace_id, parent_id, flags) =
+        (parts.next()?, parts.next()?, parts.next()?, parts.next()?);
+    if version.len() != 2 || !lower_hex(version) || version == "ff" {
+        return None;
+    }
+    // Version 00 has exactly four fields; future versions may append more.
+    if version == "00" && parts.next().is_some() {
+        return None;
+    }
+    if trace_id.len() != 32 || !lower_hex(trace_id) || trace_id.bytes().all(|b| b == b'0') {
+        return None;
+    }
+    if parent_id.len() != 16 || !lower_hex(parent_id) || parent_id.bytes().all(|b| b == b'0') {
+        return None;
+    }
+    if flags.len() != 2 || !lower_hex(flags) {
+        return None;
+    }
+    Some(trace_id.to_string())
+}
+
+/// Render a version-00 `traceparent` for `trace_id` (32 lowercase hex
+/// digits), with a parent span id derived from the trace id. Used to echo
+/// the accepted trace back to the client.
+pub fn format_traceparent(trace_id: &str) -> String {
+    // Derive a non-zero parent id by hashing the trace id; the exact value
+    // only needs to be well-formed, not coordinated.
+    let span = splitmix64(fnv64(trace_id.as_bytes())).max(1);
+    format!("00-{trace_id}-{span:016x}-01")
+}
+
+/// Generate a fresh 32-hex-digit trace id. Deterministically mixes the
+/// caller's seed (e.g. a submission counter) with wall-clock nanoseconds,
+/// so concurrent gateways produce distinct ids without a rand dependency.
+pub fn generate_trace_id(seed: u64) -> String {
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let hi = splitmix64(now ^ seed.rotate_left(32));
+    let mut lo = splitmix64(hi ^ seed);
+    if hi == 0 && lo == 0 {
+        lo = 1; // the all-zero trace id is invalid per spec
+    }
+    format!("{hi:016x}{lo:016x}")
+}
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 /// One boundary crossing: which component, which boundary, when.
@@ -59,11 +152,15 @@ pub struct Hop {
 pub struct TraceCtx {
     /// Task uid the trace belongs to.
     pub uid: String,
+    /// Distributed trace id (32 lowercase hex digits) when the task belongs
+    /// to a wire-submitted workflow; `None` for in-process submissions.
+    /// Every task of one submission shares the submission's trace id.
+    pub trace_id: Option<String>,
     /// Boundary crossings in stamp order.
     pub hops: Vec<Hop>,
 }
 
-/// Escape the wire-format delimiters (`%`, `|`, `;`, `:`) in a field.
+/// Escape the wire-format delimiters (`%`, `|`, `;`, `:`, `@`) in a field.
 fn escape(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
@@ -71,6 +168,7 @@ fn escape(s: &str, out: &mut String) {
             '|' => out.push_str("%7C"),
             ';' => out.push_str("%3B"),
             ':' => out.push_str("%3A"),
+            '@' => out.push_str("%40"),
             _ => out.push(c),
         }
     }
@@ -88,6 +186,7 @@ fn unescape(s: &str) -> String {
                 "7C" => out.push('|'),
                 "3B" => out.push(';'),
                 "3A" => out.push(':'),
+                "40" => out.push('@'),
                 _ => {
                     out.push('%');
                     i += 1;
@@ -108,7 +207,27 @@ impl TraceCtx {
     pub fn new(uid: impl Into<String>) -> Self {
         TraceCtx {
             uid: uid.into(),
+            trace_id: None,
             hops: Vec::new(),
+        }
+    }
+
+    /// Attach the distributed trace id, builder-style.
+    pub fn with_trace_id(mut self, trace_id: impl Into<String>) -> Self {
+        self.trace_id = Some(trace_id.into());
+        self
+    }
+
+    /// Seed a per-task trace from a submission-level wire trace: the new
+    /// trace takes `uid`, inherits the base's trace id, and starts with a
+    /// copy of the base's hops (wire_recv → … → journal_appended), so the
+    /// task timeline extends from the client's TCP write and its
+    /// consecutive-pair stage sum still equals first-hop → last-hop.
+    pub fn from_base(uid: impl Into<String>, base: &TraceCtx) -> Self {
+        TraceCtx {
+            uid: uid.into(),
+            trace_id: base.trace_id.clone(),
+            hops: base.hops.clone(),
         }
     }
 
@@ -140,12 +259,17 @@ impl TraceCtx {
         }
     }
 
-    /// Wire format: `uid|comp:state:t_ns;comp:state:t_ns;...` with the
-    /// delimiters percent-escaped inside fields. Compact enough for a
-    /// message header and stable across journal round-trips.
+    /// Wire format: `uid[@trace_id]|comp:state:t_ns;comp:state:t_ns;...`
+    /// with the delimiters percent-escaped inside fields. Compact enough for
+    /// a message header and stable across journal round-trips; the optional
+    /// `@trace_id` segment keeps pre-existing encodings decodable.
     pub fn encode(&self) -> String {
         let mut out = String::with_capacity(16 + self.hops.len() * 24);
         escape(&self.uid, &mut out);
+        if let Some(id) = &self.trace_id {
+            out.push('@');
+            escape(id, &mut out);
+        }
         out.push('|');
         for (i, h) in self.hops.iter().enumerate() {
             if i > 0 {
@@ -161,8 +285,11 @@ impl TraceCtx {
 
     /// Parse the wire format; `None` on malformed input.
     pub fn decode(s: &str) -> Option<TraceCtx> {
-        let (uid, rest) = s.split_once('|')?;
-        let mut ctx = TraceCtx::new(unescape(uid));
+        let (head, rest) = s.split_once('|')?;
+        let mut ctx = match head.split_once('@') {
+            Some((uid, id)) => TraceCtx::new(unescape(uid)).with_trace_id(unescape(id)),
+            None => TraceCtx::new(unescape(head)),
+        };
         if rest.is_empty() {
             return Some(ctx);
         }
@@ -454,6 +581,82 @@ mod tests {
                 .with_hop("b", "s2", 40),
         );
         assert_eq!(cp.stage("s1->s2").unwrap().total_ns, 0);
+    }
+
+    #[test]
+    fn trace_id_roundtrips_and_legacy_encodings_decode() {
+        let ctx = TraceCtx::new("task.0001")
+            .with_trace_id("4bf92f3577b34da6a3ce929d0e0e4736")
+            .with_hop("gw", hops::WIRE_RECV, 5)
+            .with_hop("enq", hops::ENQUEUE, 10);
+        let back = TraceCtx::decode(&ctx.encode()).expect("decodes");
+        assert_eq!(back, ctx);
+        // Pre-trace-id encodings (no '@' segment) still decode.
+        let legacy = TraceCtx::decode("task.0002|enq:enqueue:7").unwrap();
+        assert_eq!(legacy.trace_id, None);
+        assert_eq!(legacy.uid, "task.0002");
+        // A literal '@' in the uid survives via escaping.
+        let weird = TraceCtx::new("u@x").with_hop("c", "s", 1);
+        assert_eq!(TraceCtx::decode(&weird.encode()).unwrap().uid, "u@x");
+    }
+
+    #[test]
+    fn from_base_prepends_wire_hops_and_inherits_trace_id() {
+        let base = TraceCtx::new("sub.00001")
+            .with_trace_id("4bf92f3577b34da6a3ce929d0e0e4736")
+            .with_hop("gateway", hops::WIRE_RECV, 1)
+            .with_hop("service", hops::ADMITTED, 4);
+        let task = TraceCtx::from_base("task.0007", &base).with_hop("enq", hops::ENQUEUE, 9);
+        assert_eq!(task.uid, "task.0007");
+        assert_eq!(
+            task.trace_id.as_deref(),
+            Some("4bf92f3577b34da6a3ce929d0e0e4736")
+        );
+        assert_eq!(task.hops.len(), 3);
+        assert_eq!(task.hops[0].state, hops::WIRE_RECV);
+        // The stage sum over consecutive pairs still equals end-to-end.
+        let mut cp = CriticalPath::new();
+        cp.add(&task);
+        let sum: u64 = cp.stages().iter().map(|s| s.total_ns).sum();
+        assert_eq!(sum, task.total_ns());
+    }
+
+    #[test]
+    fn traceparent_parses_valid_and_rejects_malformed() {
+        let id = "4bf92f3577b34da6a3ce929d0e0e4736";
+        let header = format!("00-{id}-00f067aa0ba902b7-01");
+        assert_eq!(parse_traceparent(&header).as_deref(), Some(id));
+        for bad in [
+            "",
+            "00-short-00f067aa0ba902b7-01",
+            &format!("00-{}-00f067aa0ba902b7-01", "0".repeat(32)),
+            &format!("00-{id}-0000000000000000-01"),
+            &format!("ff-{id}-00f067aa0ba902b7-01"),
+            &format!("00-{}-00f067aa0ba902b7-01", id.to_uppercase()),
+            &format!("00-{id}-00f067aa0ba902b7-01-extra"),
+            &format!("00-{id}-00f067aa0ba902b7"),
+        ] {
+            assert_eq!(parse_traceparent(bad), None, "accepted {bad:?}");
+        }
+        // Future versions may carry extra fields.
+        assert_eq!(
+            parse_traceparent(&format!("cc-{id}-00f067aa0ba902b7-01-what-ever")).as_deref(),
+            Some(id)
+        );
+    }
+
+    #[test]
+    fn generated_trace_ids_are_valid_and_distinct() {
+        let a = generate_trace_id(1);
+        let b = generate_trace_id(2);
+        assert_ne!(a, b);
+        for id in [&a, &b] {
+            assert_eq!(id.len(), 32);
+            assert_eq!(
+                parse_traceparent(&format_traceparent(id)).as_deref(),
+                Some(id.as_str())
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,524 @@
+//! Bounded in-memory store of settled task timelines with tail-based
+//! sampling — the query plane behind `GET /v1/traces/...`.
+//!
+//! The sampling decision happens at *settle* time, when the timeline's
+//! outcome and total latency are known (tail-based, unlike head sampling
+//! which must guess at admission): SLO-breaching and failed tasks are always
+//! kept, the rest are kept with a configured probability. Kept timelines
+//! land in a fixed-capacity ring (oldest evicted first) indexed by task uid
+//! and by distributed trace id, plus a small top-K-slowest index per
+//! pipeline stage so "what were the worst `rts_submit->agent_start` hops"
+//! is answerable without scanning the ring.
+//!
+//! Like `entk-fail`, the disabled store is a single relaxed boolean load on
+//! the hot path — a 10^5-task run with tracing off pays nothing.
+
+use crate::metrics::Metrics;
+use crate::trace::TraceCtx;
+use std::collections::{HashMap, VecDeque};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Tail-sampling and retention policy for a [`TraceStore`].
+#[derive(Debug, Clone)]
+pub struct TraceStoreConfig {
+    /// Ring capacity: how many kept timelines stay resident. `0` disables
+    /// the store entirely (the zero-cost path).
+    pub capacity: usize,
+    /// Probabilistic keep rate for healthy timelines, in permille
+    /// (`10` = 1%). Breaching and failed timelines bypass this.
+    pub sample_permille: u32,
+    /// Always keep timelines whose first-hop → last-hop total is at or
+    /// above this threshold (the SLO-breach rule). `None` disables the rule.
+    pub slo_threshold_ns: Option<u64>,
+    /// How many slowest entries to retain per pipeline stage.
+    pub top_k: usize,
+}
+
+impl Default for TraceStoreConfig {
+    fn default() -> Self {
+        TraceStoreConfig {
+            capacity: 4096,
+            sample_permille: 10,
+            slo_threshold_ns: None,
+            top_k: 8,
+        }
+    }
+}
+
+/// One kept timeline.
+#[derive(Debug, Clone)]
+pub struct StoredTrace {
+    /// Task (or submission) uid.
+    pub uid: String,
+    /// Distributed trace id, when the timeline came in over the wire.
+    pub trace_id: Option<String>,
+    /// Settled outcome label (`done`, `failed`, `canceled`, `shed`).
+    pub outcome: String,
+    /// First-hop → last-hop nanoseconds.
+    pub total_ns: u64,
+    /// Why the sampler kept it (`failed`, `slo_breach`, `sampled`).
+    pub kept: &'static str,
+    /// The timeline itself.
+    pub trace: TraceCtx,
+}
+
+/// One top-K-slowest index entry. Survives ring eviction (it is a summary,
+/// not a timeline), so the worst outliers of a long run stay visible even
+/// after their full timelines age out.
+#[derive(Debug, Clone)]
+struct SlowEntry {
+    stage: String,
+    dur_ns: u64,
+    uid: String,
+    trace_id: Option<String>,
+}
+
+#[derive(Default)]
+struct StoreInner {
+    /// Kept timelines by uid.
+    by_uid: HashMap<String, StoredTrace>,
+    /// Insertion order for ring eviction.
+    order: VecDeque<String>,
+    /// Per-stage top-K slowest, each list sorted descending by duration.
+    slowest: Vec<(String, Vec<SlowEntry>)>,
+}
+
+/// Bounded, tail-sampled store of settled timelines. Cheap to share
+/// (`Arc<TraceStore>`); all methods take `&self`.
+pub struct TraceStore {
+    enabled: bool,
+    cfg: TraceStoreConfig,
+    inner: Mutex<StoreInner>,
+    offered: AtomicU64,
+    kept: AtomicU64,
+}
+
+impl std::fmt::Debug for TraceStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (offered, kept, resident) = self.stats();
+        f.debug_struct("TraceStore")
+            .field("enabled", &self.enabled)
+            .field("cfg", &self.cfg)
+            .field("offered", &offered)
+            .field("kept", &kept)
+            .field("resident", &resident)
+            .finish()
+    }
+}
+
+impl TraceStore {
+    /// A store with the given policy. `capacity == 0` yields the disabled
+    /// (zero-cost) store.
+    pub fn new(cfg: TraceStoreConfig) -> Self {
+        TraceStore {
+            enabled: cfg.capacity > 0,
+            cfg,
+            inner: Mutex::new(StoreInner::default()),
+            offered: AtomicU64::new(0),
+            kept: AtomicU64::new(0),
+        }
+    }
+
+    /// The disabled store: `offer` is a boolean test and nothing else.
+    pub fn disabled() -> Self {
+        TraceStore::new(TraceStoreConfig {
+            capacity: 0,
+            sample_permille: 0,
+            slo_threshold_ns: None,
+            top_k: 0,
+        })
+    }
+
+    /// Whether timelines are being collected at all.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Offer a settled timeline. `failed` marks a non-success outcome
+    /// (always kept). Returns whether the timeline was kept. When kept and
+    /// `metrics` is given, each consecutive-pair stage duration is recorded
+    /// into a `trace.stage.<from>-><to>` histogram with the timeline's
+    /// trace id (or uid) attached as an exemplar — so `/metrics` p99
+    /// buckets link back to retrievable traces.
+    pub fn offer(&self, trace: &TraceCtx, outcome: &str, metrics: Option<&Metrics>) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        self.offered.fetch_add(1, Ordering::Relaxed);
+        let total_ns = trace.total_ns();
+        let failed = outcome != "done";
+        let kept_reason = if failed {
+            Some("failed")
+        } else if self.cfg.slo_threshold_ns.is_some_and(|t| total_ns >= t) {
+            Some("slo_breach")
+        } else if self.sample_hit(&trace.uid) {
+            Some("sampled")
+        } else {
+            None
+        };
+        let Some(kept) = kept_reason else {
+            return false;
+        };
+        self.kept.fetch_add(1, Ordering::Relaxed);
+        let exemplar = trace.trace_id.as_deref().unwrap_or(&trace.uid).to_string();
+        let stored = StoredTrace {
+            uid: trace.uid.clone(),
+            trace_id: trace.trace_id.clone(),
+            outcome: outcome.to_string(),
+            total_ns,
+            kept,
+            trace: trace.clone(),
+        };
+        {
+            let mut inner = self.inner.lock().unwrap();
+            if inner.by_uid.insert(stored.uid.clone(), stored).is_none() {
+                inner.order.push_back(trace.uid.clone());
+                while inner.order.len() > self.cfg.capacity {
+                    if let Some(old) = inner.order.pop_front() {
+                        inner.by_uid.remove(&old);
+                    }
+                }
+            }
+            for pair in trace.hops.windows(2) {
+                let stage = format!("{}->{}", pair[0].state, pair[1].state);
+                let dur = pair[1].t_ns.saturating_sub(pair[0].t_ns);
+                Self::index_slow(
+                    &mut inner.slowest,
+                    self.cfg.top_k,
+                    SlowEntry {
+                        stage: stage.clone(),
+                        dur_ns: dur,
+                        uid: trace.uid.clone(),
+                        trace_id: trace.trace_id.clone(),
+                    },
+                );
+                if let Some(m) = metrics {
+                    m.histogram(&format!("trace.stage.{stage}"))
+                        .record_ns_with_exemplar(dur, &exemplar);
+                }
+            }
+        }
+        true
+    }
+
+    /// Deterministic probabilistic keep: splitmix over the uid hash, so the
+    /// same uid always decides the same way (stable across re-offers) and no
+    /// rand dependency is needed.
+    fn sample_hit(&self, uid: &str) -> bool {
+        if self.cfg.sample_permille >= 1000 {
+            return true;
+        }
+        if self.cfg.sample_permille == 0 {
+            return false;
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in uid.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^= h >> 31;
+        (h % 1000) < u64::from(self.cfg.sample_permille)
+    }
+
+    fn index_slow(slowest: &mut Vec<(String, Vec<SlowEntry>)>, top_k: usize, entry: SlowEntry) {
+        if top_k == 0 {
+            return;
+        }
+        let list = match slowest.iter_mut().find(|(s, _)| *s == entry.stage) {
+            Some((_, list)) => list,
+            None => {
+                slowest.push((entry.stage.clone(), Vec::new()));
+                &mut slowest.last_mut().unwrap().1
+            }
+        };
+        let pos = list
+            .iter()
+            .position(|e| e.dur_ns < entry.dur_ns)
+            .unwrap_or(list.len());
+        if pos < top_k {
+            list.insert(pos, entry);
+            list.truncate(top_k);
+        }
+    }
+
+    /// Timelines offered / kept / currently resident.
+    pub fn stats(&self) -> (u64, u64, usize) {
+        (
+            self.offered.load(Ordering::Relaxed),
+            self.kept.load(Ordering::Relaxed),
+            self.inner.lock().unwrap().by_uid.len(),
+        )
+    }
+
+    /// Render `GET /v1/traces/<id>`: `id` matches either a distributed
+    /// trace id (returning every task timeline of that submission) or a
+    /// single task uid. `None` when nothing is resident under that id.
+    pub fn lookup_json(&self, id: &str) -> Option<String> {
+        let inner = self.inner.lock().unwrap();
+        let mut rows: Vec<&StoredTrace> = inner
+            .order
+            .iter()
+            .filter_map(|uid| inner.by_uid.get(uid))
+            .filter(|t| t.trace_id.as_deref() == Some(id) || t.uid == id)
+            .collect();
+        if rows.is_empty() {
+            return None;
+        }
+        rows.sort_by_key(|t| t.trace.hops.first().map_or(0, |h| h.t_ns));
+        let mut out = format!("{{\"id\":{},\"tasks\":[", json_str(id));
+        for (i, t) in rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_stored(&mut out, t);
+        }
+        out.push_str("]}");
+        Some(out)
+    }
+
+    /// Render `GET /v1/traces?slowest=N[&stage=<s>]`: the top-N slowest
+    /// stage crossings, optionally restricted to one stage label.
+    pub fn slowest_json(&self, n: usize, stage: Option<&str>) -> String {
+        let inner = self.inner.lock().unwrap();
+        let mut rows: Vec<&SlowEntry> = inner
+            .slowest
+            .iter()
+            .filter(|(s, _)| stage.is_none_or(|want| s == want))
+            .flat_map(|(_, list)| list.iter())
+            .collect();
+        rows.sort_by_key(|e| std::cmp::Reverse(e.dur_ns));
+        rows.truncate(n);
+        let mut out = String::from("{\"slowest\":[");
+        for (i, e) in rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"stage\":{},\"dur_ns\":{},\"uid\":{},\"trace_id\":{}}}",
+                json_str(&e.stage),
+                e.dur_ns,
+                json_str(&e.uid),
+                e.trace_id.as_deref().map_or("null".into(), json_str),
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Route one `GET <prefix>...` request against this store, shared by
+    /// every listener that mounts the trace query plane: `<prefix>/<id>`
+    /// looks up a timeline by trace id or task uid,
+    /// `<prefix>?slowest=N[&stage=<s>]` lists the slow index.
+    pub fn serve(&self, prefix: &str, req: &crate::http::HttpRequest) -> crate::http::HttpResponse {
+        use crate::http::HttpResponse;
+        if req.method != "GET" {
+            return HttpResponse::method_not_allowed();
+        }
+        if !self.enabled {
+            return HttpResponse::error_json(404, "trace capture disabled");
+        }
+        let rest = req.path.strip_prefix(prefix).unwrap_or("");
+        let id = rest.trim_start_matches('/');
+        if id.is_empty() {
+            let n = req
+                .query_param("slowest")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(16);
+            return HttpResponse::ok_json(self.slowest_json(n, req.query_param("stage")));
+        }
+        match self.lookup_json(id) {
+            Some(json) => HttpResponse::ok_json(json),
+            None => HttpResponse::error_json(404, "no trace under that id"),
+        }
+    }
+}
+
+fn json_str(s: &str) -> String {
+    format!("\"{}\"", crate::export::json_escape(s))
+}
+
+fn write_stored(out: &mut String, t: &StoredTrace) {
+    let _ = write!(
+        out,
+        "{{\"uid\":{},\"trace_id\":{},\"outcome\":{},\"kept\":{},\"total_ns\":{},\"hops\":[",
+        json_str(&t.uid),
+        t.trace_id.as_deref().map_or("null".into(), json_str),
+        json_str(&t.outcome),
+        json_str(t.kept),
+        t.total_ns,
+    );
+    for (i, h) in t.trace.hops.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"component\":{},\"state\":{},\"t_ns\":{}}}",
+            json_str(&h.component),
+            json_str(&h.state),
+            h.t_ns
+        );
+    }
+    out.push_str("]}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{self, Json};
+    use crate::trace::hops;
+
+    fn timeline(uid: &str, trace_id: Option<&str>, base: u64, exec: u64) -> TraceCtx {
+        let mut t = TraceCtx::new(uid);
+        t.trace_id = trace_id.map(String::from);
+        t.with_hop("gw", hops::WIRE_RECV, base)
+            .with_hop("enq", hops::ENQUEUE, base + 10)
+            .with_hop("rts", hops::AGENT_START, base + 20)
+            .with_hop("rts", hops::AGENT_END, base + 20 + exec)
+            .with_hop("sync", hops::SYNCED, base + 30 + exec)
+    }
+
+    #[test]
+    fn disabled_store_keeps_nothing() {
+        let s = TraceStore::disabled();
+        assert!(!s.is_enabled());
+        assert!(!s.offer(&timeline("t", None, 0, 5), "failed", None));
+        assert_eq!(s.stats(), (0, 0, 0));
+    }
+
+    #[test]
+    fn failed_and_breaching_always_kept_healthy_sampled() {
+        let s = TraceStore::new(TraceStoreConfig {
+            capacity: 128,
+            sample_permille: 0, // probabilistic keep off: only tail rules
+            slo_threshold_ns: Some(1_000),
+            top_k: 4,
+        });
+        assert!(s.offer(&timeline("task.fail", None, 0, 10), "failed", None));
+        assert!(s.offer(&timeline("task.slow", None, 0, 5_000), "done", None));
+        assert!(!s.offer(&timeline("task.fast", None, 0, 10), "done", None));
+        let (offered, kept, len) = s.stats();
+        assert_eq!((offered, kept, len), (3, 2, 2));
+        assert!(s.lookup_json("task.fail").is_some());
+        assert!(s.lookup_json("task.fast").is_none());
+    }
+
+    #[test]
+    fn ring_evicts_oldest_at_capacity() {
+        let s = TraceStore::new(TraceStoreConfig {
+            capacity: 3,
+            sample_permille: 1000,
+            slo_threshold_ns: None,
+            top_k: 2,
+        });
+        for i in 0..5 {
+            s.offer(&timeline(&format!("t{i}"), None, 0, 10), "done", None);
+        }
+        assert!(s.lookup_json("t0").is_none(), "oldest evicted");
+        assert!(s.lookup_json("t4").is_some());
+        assert_eq!(s.stats().2, 3);
+    }
+
+    #[test]
+    fn lookup_by_trace_id_returns_all_tasks_of_submission() {
+        let s = TraceStore::new(TraceStoreConfig {
+            capacity: 16,
+            sample_permille: 1000,
+            slo_threshold_ns: None,
+            top_k: 2,
+        });
+        let tid = "4bf92f3577b34da6a3ce929d0e0e4736";
+        s.offer(&timeline("task.0001", Some(tid), 100, 10), "done", None);
+        s.offer(&timeline("task.0002", Some(tid), 0, 10), "done", None);
+        s.offer(&timeline("task.0003", None, 0, 10), "done", None);
+        let body = s.lookup_json(tid).expect("trace id resolves");
+        let doc = json::parse(&body).expect("valid JSON");
+        let tasks = doc.get("tasks").and_then(Json::as_array).unwrap();
+        assert_eq!(tasks.len(), 2);
+        // Sorted by first-hop time: task.0002 (base 0) first.
+        assert_eq!(
+            tasks[0].get("uid").and_then(Json::as_str),
+            Some("task.0002")
+        );
+        let hops0 = tasks[0].get("hops").and_then(Json::as_array).unwrap();
+        assert_eq!(
+            hops0[0].get("state").and_then(Json::as_str),
+            Some(hops::WIRE_RECV)
+        );
+    }
+
+    #[test]
+    fn slowest_index_is_topk_and_survives_eviction() {
+        let s = TraceStore::new(TraceStoreConfig {
+            capacity: 2,
+            sample_permille: 1000,
+            slo_threshold_ns: None,
+            top_k: 3,
+        });
+        for (i, exec) in [50u64, 500, 5, 5000].iter().enumerate() {
+            s.offer(&timeline(&format!("t{i}"), None, 0, *exec), "done", None);
+        }
+        let body = s.slowest_json(2, Some("agent_start->agent_end"));
+        let doc = json::parse(&body).unwrap();
+        let rows = doc.get("slowest").and_then(Json::as_array).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("uid").and_then(Json::as_str), Some("t3"));
+        assert_eq!(rows[0].get("dur_ns").and_then(Json::as_f64), Some(5000.0));
+        assert_eq!(rows[1].get("uid").and_then(Json::as_str), Some("t1"));
+        // t3's full timeline may have been evicted from the ring, but the
+        // slow index still names it.
+        assert!(s.lookup_json("t0").is_none());
+        // Unfiltered query merges stages.
+        let all = s.slowest_json(50, None);
+        assert!(all.contains("wire_recv->enqueue"));
+    }
+
+    #[test]
+    fn sampling_rate_is_roughly_honored() {
+        let s = TraceStore::new(TraceStoreConfig {
+            capacity: 100_000,
+            sample_permille: 100, // 10%
+            slo_threshold_ns: None,
+            top_k: 0,
+        });
+        let n = 20_000;
+        for i in 0..n {
+            s.offer(
+                &timeline(&format!("task.{i:05}"), None, 0, 10),
+                "done",
+                None,
+            );
+        }
+        let (_, kept, _) = s.stats();
+        let rate = kept as f64 / n as f64;
+        assert!(
+            (0.07..=0.13).contains(&rate),
+            "10% sampling kept {rate:.3} of timelines"
+        );
+    }
+
+    #[test]
+    fn kept_traces_feed_stage_histograms_with_exemplars() {
+        let m = Metrics::default();
+        let s = TraceStore::new(TraceStoreConfig {
+            capacity: 8,
+            sample_permille: 1000,
+            slo_threshold_ns: None,
+            top_k: 2,
+        });
+        let tid = "4bf92f3577b34da6a3ce929d0e0e4736";
+        s.offer(&timeline("task.0001", Some(tid), 0, 64), "done", Some(&m));
+        let h = m.histogram("trace.stage.agent_start->agent_end");
+        let export = h.export();
+        assert_eq!(export.count, 1);
+        let ex = export.exemplars.first().expect("exemplar recorded");
+        assert_eq!(ex.1.trace_id, tid);
+        assert_eq!(ex.1.value_ns, 64);
+    }
+}

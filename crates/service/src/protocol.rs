@@ -211,6 +211,10 @@ pub enum Request {
         /// Wire-carried fair-share weight override for this tenant
         /// (`None` keeps the tenant's configured weight).
         weight: Option<u32>,
+        /// Wire-side trace hops (gateway receive/parse) the submission
+        /// arrived with; the service stamps admission/journal hops onto it
+        /// and seeds every per-task timeline from the result.
+        trace: Option<Box<entk_observe::TraceCtx>>,
         /// Admission verdict.
         reply: Sender<Result<SubmissionId, SubmitError>>,
     },

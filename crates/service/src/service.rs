@@ -35,8 +35,9 @@ use entk_core::{
 use entk_mq::{Broker, BrokerConfig, MqResult};
 use entk_observe::export::json_escape;
 use entk_observe::{
-    components, CriticalPath, DecisionRing, ObserveConfig, ObserveServer, QueueSample, Recorder,
-    Sampler, SloBurn, SloConfig, SloTracker, Watchdog, WatchdogConfig, WatchdogInput,
+    components, hops, CriticalPath, DecisionRing, ObserveConfig, ObserveServer, QueueSample,
+    Recorder, Sampler, SloBurn, SloConfig, SloTracker, TraceCtx, TraceStore, TraceStoreConfig,
+    Watchdog, WatchdogConfig, WatchdogInput,
 };
 use parking_lot::{Condvar, Mutex};
 use rp_rts::{PilotPool, PilotPoolConfig};
@@ -135,6 +136,10 @@ pub struct ServiceConfig {
     /// the shard pool automatically from the host's core count; `1`
     /// restores the single-broker, single-journal-file layout.
     pub broker_shards: usize,
+    /// Settled-timeline capture policy: tail-sampled per-task timelines
+    /// queryable on `GET /v1/traces/<id>`. `None` (the default) disables
+    /// capture entirely — `offer` degenerates to one boolean test.
+    pub traces: Option<TraceStoreConfig>,
 }
 
 impl ServiceConfig {
@@ -158,6 +163,7 @@ impl ServiceConfig {
             batch_limit: DEFAULT_BATCH_LIMIT,
             journal_dir: None,
             broker_shards: 0,
+            traces: None,
         }
     }
 
@@ -252,6 +258,13 @@ impl ServiceConfig {
         self.broker_shards = n;
         self
     }
+
+    /// Builder: enable settled-timeline capture with the given tail-sampling
+    /// policy (see [`TraceStoreConfig`]).
+    pub fn with_traces(mut self, cfg: TraceStoreConfig) -> Self {
+        self.traces = Some(cfg);
+        self
+    }
 }
 
 /// Internal lifecycle phase of a submission.
@@ -275,6 +288,10 @@ struct Submission {
     result: Option<SubmissionResult>,
     /// The wire spec's JSON, for durable (journaled) submissions only.
     spec_json: Option<String>,
+    /// Wire-side trace (gateway hops + the service's admission/journal
+    /// hops); taken by the worker at dispatch and handed to the run so
+    /// every per-task timeline is seeded from it.
+    trace: Option<TraceCtx>,
 }
 
 #[derive(Default)]
@@ -328,6 +345,13 @@ struct Inner {
     /// Per-stage residency aggregated across every finished run's traced
     /// tasks (served on `/statusz`).
     critical_path: Mutex<CriticalPath>,
+    /// Tail-sampled settled timelines (`GET /v1/traces`); the disabled
+    /// store when [`ServiceConfig::traces`] is unset.
+    trace_store: Arc<TraceStore>,
+    /// Last non-empty per-queue stats snapshot, kept so `/statusz` after a
+    /// short run still shows the queues the service just ran (marked
+    /// `"queues_stale":true`) instead of an empty list.
+    queues_seen: Mutex<Vec<(String, u64, u64)>>,
     ctl: ControlPlane,
     started_at: Instant,
     /// The durability journal (`None` when `journal_dir` is unset).
@@ -403,6 +427,7 @@ impl ServiceClient {
             workflow: Box::new(workflow),
             spec: None,
             weight: None,
+            trace: None,
             reply,
         })
         .unwrap_or(Err(SubmitError::Disconnected))
@@ -419,6 +444,20 @@ impl ServiceClient {
         spec: WorkflowSpec,
         weight: Option<u32>,
     ) -> Result<SubmissionId, SubmitError> {
+        self.submit_spec_traced(tenant, spec, weight, None)
+    }
+
+    /// [`ServiceClient::submit_spec`] with a wire-side trace context: the
+    /// gateway's `wire_recv`/`parsed` hops ride in, the service stamps its
+    /// admission and journal hops onto them, and every task of the run gets
+    /// a timeline seeded from the result (queryable on `/v1/traces`).
+    pub fn submit_spec_traced(
+        &self,
+        tenant: impl Into<String>,
+        spec: WorkflowSpec,
+        weight: Option<u32>,
+        trace: Option<TraceCtx>,
+    ) -> Result<SubmissionId, SubmitError> {
         let workflow = spec
             .build()
             .map_err(|e| SubmitError::Invalid(e.0.clone()))?;
@@ -431,6 +470,7 @@ impl ServiceClient {
             workflow: Box::new(workflow),
             spec: Some(Box::new(spec)),
             weight,
+            trace: trace.map(Box::new),
             reply,
         })
         .unwrap_or(Err(SubmitError::Disconnected))
@@ -611,6 +651,7 @@ impl EnsembleService {
                                 warm_pilot: None,
                             }),
                             spec_json: Some(sub.spec_json),
+                            trace: None,
                         },
                     ));
                 }
@@ -631,6 +672,7 @@ impl EnsembleService {
                             submitted_at: Instant::now(),
                             result: None,
                             spec_json: Some(sub.spec_json),
+                            trace: None,
                         },
                     ));
                 }
@@ -770,6 +812,13 @@ impl EnsembleService {
         for (tenant, id) in &prefill.queued {
             queue.push(tenant, *id);
         }
+        let trace_store = Arc::new(
+            config
+                .traces
+                .clone()
+                .map(TraceStore::new)
+                .unwrap_or_else(TraceStore::disabled),
+        );
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
                 queue,
@@ -788,6 +837,8 @@ impl EnsembleService {
             broker,
             config,
             critical_path: Mutex::new(CriticalPath::new()),
+            trace_store,
+            queues_seen: Mutex::new(Vec::new()),
             ctl,
             started_at: Instant::now(),
             journal,
@@ -821,11 +872,14 @@ impl EnsembleService {
             let statusz: entk_observe::StatuszFn = Arc::new(move || statusz_json(&statusz_inner));
             let ring = Arc::clone(&inner.ctl.ring);
             let decisions: entk_observe::StatuszFn = Arc::new(move || ring.to_json());
-            ObserveServer::start_with_routes(
+            let store = Arc::clone(&inner.trace_store);
+            let traces: entk_observe::Handler = Arc::new(move |req| store.serve("/v1/traces", req));
+            ObserveServer::start_with_handlers(
                 addr,
                 inner.recorder.metrics_arc(),
                 statusz,
                 vec![("/debug/decisions".to_string(), decisions)],
+                vec![("/v1/traces".to_string(), traces)],
             )
             .expect("bind telemetry listener")
         });
@@ -887,6 +941,13 @@ impl EnsembleService {
     /// to publish their own metrics alongside the service's).
     pub fn recorder(&self) -> Recorder {
         self.inner.recorder.clone()
+    }
+
+    /// The service's settled-timeline store (the disabled store unless
+    /// [`ServiceConfig::traces`] was set). Embedders — e.g. the gateway —
+    /// mount their own `/v1/traces` routes on it.
+    pub fn trace_store(&self) -> Arc<TraceStore> {
+        Arc::clone(&self.inner.trace_store)
     }
 
     /// SIGKILL-equivalent stop, for crash/recovery testing: freeze the
@@ -1071,21 +1132,42 @@ fn statusz_json(inner: &Inner) -> String {
         }
         out.push(']');
     }
-    out.push_str(",\"queues\":[");
-    let mut first = true;
-    for name in &inner.broker.queue_names() {
-        let Ok(qs) = inner.broker.queue_stats(name) else {
-            continue;
-        };
-        if !std::mem::take(&mut first) {
+    // Per-queue stats. Session queues are deleted when their run ends, so a
+    // scrape after a short burst would report `[]` — misleading right after
+    // the service demonstrably ran work. Retain the last non-empty snapshot
+    // and serve it marked stale instead.
+    let live: Vec<(String, u64, u64)> = inner
+        .broker
+        .queue_names()
+        .into_iter()
+        .filter_map(|name| {
+            inner
+                .broker
+                .queue_stats(&name)
+                .ok()
+                .map(|qs| (name, qs.depth as u64, qs.unacked as u64))
+        })
+        .collect();
+    let (rows, stale) = {
+        let mut seen = inner.queues_seen.lock();
+        if live.is_empty() {
+            (seen.clone(), !seen.is_empty())
+        } else {
+            *seen = live.clone();
+            (live, false)
+        }
+    };
+    let _ = write!(out, ",\"queues_stale\":{stale},\"queues\":[");
+    for (i, (name, depth, unacked)) in rows.iter().enumerate() {
+        if i > 0 {
             out.push(',');
         }
         let _ = write!(
             out,
             "{{\"name\":\"{}\",\"depth\":{},\"unacked\":{}}}",
             json_escape(name),
-            qs.depth,
-            qs.unacked
+            depth,
+            unacked
         );
     }
     out.push(']');
@@ -1099,6 +1181,68 @@ fn statusz_json(inner: &Inner) -> String {
         ps.returned,
         ps.discarded
     );
+    // Host/topology facts: benchmark artifacts join on these to normalize
+    // results across machines.
+    let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let _ = write!(
+        out,
+        ",\"host\":{{\"cores\":{},\"broker_shards\":{}}}",
+        cores,
+        inner.broker.shard_count()
+    );
+    // Per-shard journal health: fsync latency distribution and writer-lock
+    // contention, keyed by the shard index in the metric name
+    // (`mq.shard.<i>.journal_fsync` / `.journal_lock_wait`).
+    {
+        let m = inner.recorder.metrics();
+        let lock_waits: Vec<(String, u64)> = m
+            .counters()
+            .into_iter()
+            .filter(|(name, _)| {
+                name.starts_with("mq.shard.") && name.ends_with(".journal_lock_wait")
+            })
+            .collect();
+        out.push_str(",\"shard_journals\":[");
+        let mut first = true;
+        for (name, h) in m.histograms() {
+            let Some(shard) = name
+                .strip_prefix("mq.shard.")
+                .and_then(|rest| rest.strip_suffix(".journal_fsync"))
+            else {
+                continue;
+            };
+            if !std::mem::take(&mut first) {
+                out.push(',');
+            }
+            let lock_wait = lock_waits
+                .iter()
+                .find(|(n, _)| n == &format!("mq.shard.{shard}.journal_lock_wait"))
+                .map_or(0, |(_, v)| *v);
+            let _ = write!(
+                out,
+                "{{\"shard\":{},\"fsyncs\":{},\"fsync_p50_us\":{:.1},\"fsync_p99_us\":{:.1},\
+                 \"lock_waits\":{}}}",
+                json_escape(shard),
+                h.count,
+                h.p50_ns as f64 / 1e3,
+                h.p99_ns as f64 / 1e3,
+                lock_wait
+            );
+        }
+        out.push(']');
+    }
+    // Trace query plane occupancy.
+    {
+        let (offered, kept, resident) = inner.trace_store.stats();
+        let _ = write!(
+            out,
+            ",\"traces\":{{\"enabled\":{},\"offered\":{},\"kept\":{},\"resident\":{}}}",
+            inner.trace_store.is_enabled(),
+            offered,
+            kept,
+            resident
+        );
+    }
     // Control plane: declared SLO + live burn, recent alerts, the flight
     // recorder's tail of actuations, and the current knob positions.
     match &inner.ctl.slo {
@@ -1415,9 +1559,10 @@ fn handle_request(inner: &Arc<Inner>, req: Request) {
             workflow,
             spec,
             weight,
+            trace,
             reply,
         } => {
-            let verdict = admit(inner, tenant, workflow, spec, weight);
+            let verdict = admit(inner, tenant, workflow, spec, weight, trace.map(|t| *t));
             let _ = reply.send(verdict);
         }
         Request::List { reply } => {
@@ -1483,15 +1628,28 @@ fn list_sessions(inner: &Arc<Inner>) -> Vec<SessionInfo> {
         .collect()
 }
 
+/// Stamp the shed hop on a refused wire trace and offer the truncated
+/// timeline to the store (shed timelines are always kept: refusals under
+/// pressure are exactly what a postmortem wants to see).
+fn offer_shed(inner: &Inner, trace: Option<TraceCtx>) {
+    let Some(mut trace) = trace else { return };
+    trace.hop(components::SERVICE, hops::SHED, inner.recorder.now_ns());
+    inner
+        .trace_store
+        .offer(&trace, "shed", Some(inner.recorder.metrics()));
+}
+
 fn admit(
     inner: &Arc<Inner>,
     tenant: String,
     workflow: Box<Workflow>,
     spec: Option<Box<WorkflowSpec>>,
     weight: Option<u32>,
+    mut trace: Option<TraceCtx>,
 ) -> Result<SubmissionId, SubmitError> {
     let mut st = inner.state.lock();
     if st.draining {
+        offer_shed(inner, trace);
         return Err(SubmitError::Draining);
     }
     if inner.ctl.shed.load(Ordering::Acquire) {
@@ -1510,6 +1668,7 @@ fn admit(
         inner
             .recorder
             .record(components::SERVICE, "submit_shed", "", tenant);
+        offer_shed(inner, trace);
         return Err(SubmitError::Saturated { retry_after });
     }
     if let Err(retry_after) = st
@@ -1521,7 +1680,11 @@ fn admit(
         inner
             .recorder
             .record(components::SERVICE, "submit_rejected", "", tenant.clone());
+        offer_shed(inner, trace);
         return Err(SubmitError::Saturated { retry_after });
+    }
+    if let Some(trace) = trace.as_mut() {
+        trace.hop(components::SERVICE, hops::ADMITTED, inner.recorder.now_ns());
     }
     let id = SubmissionId(st.next_id);
     // Durable submissions journal their spec BEFORE any state mutation:
@@ -1542,6 +1705,15 @@ fn admit(
                     .record(components::SERVICE, "submit_journal_refused", "", &tenant);
                 return Err(SubmitError::Journal(e.to_string()));
             }
+            // The durable submission record is safely appended (a no-op
+            // append when durability is off still admits the submission).
+            if let Some(trace) = trace.as_mut() {
+                trace.hop(
+                    components::SERVICE,
+                    hops::JOURNAL_APPENDED,
+                    inner.recorder.now_ns(),
+                );
+            }
             Some(json)
         }
         None => None,
@@ -1560,6 +1732,7 @@ fn admit(
             submitted_at: Instant::now(),
             result: None,
             spec_json,
+            trace,
         },
     );
     st.queue.push(&tenant, id);
@@ -1617,6 +1790,8 @@ struct Job {
     /// Whether this submission is journaled (spec-backed): durable jobs get
     /// a `Started` journal record and a per-submission task journal.
     durable: bool,
+    /// Wire-side trace base; seeds every per-task timeline of the run.
+    trace: Option<TraceCtx>,
 }
 
 fn worker_loop(inner: &Arc<Inner>) {
@@ -1624,8 +1799,8 @@ fn worker_loop(inner: &Arc<Inner>) {
         let Some(job) = next_job(inner) else {
             return;
         };
-        let (phase, result) = execute(inner, job);
-        finish(inner, phase, result);
+        let (phase, result, trace_id) = execute(inner, job);
+        finish(inner, phase, result, trace_id);
     }
 }
 
@@ -1648,6 +1823,7 @@ fn next_job(inner: &Arc<Inner>) -> Option<Job> {
                 cancel: sub.cancel.clone(),
                 submitted_at: sub.submitted_at,
                 durable: sub.spec_json.is_some(),
+                trace: sub.trace.take(),
             };
             st.active += 1;
             inner.gauge_sync(&st);
@@ -1659,7 +1835,9 @@ fn next_job(inner: &Arc<Inner>) -> Option<Job> {
 }
 
 /// Run one submission on a leased pilot under its session namespace.
-fn execute(inner: &Arc<Inner>, job: Job) -> (Phase, SubmissionResult) {
+/// Returns the submission's distributed trace id (when it arrived with one)
+/// so `finish` can attach it as the turnaround exemplar.
+fn execute(inner: &Arc<Inner>, job: Job) -> (Phase, SubmissionResult, Option<String>) {
     let Job {
         id,
         tenant,
@@ -1667,6 +1845,7 @@ fn execute(inner: &Arc<Inner>, job: Job) -> (Phase, SubmissionResult) {
         cancel,
         submitted_at,
         durable,
+        trace,
     } = job;
     let session = format!("s{:05}", id.0);
     let ns = QueueNamespace::session(session.clone());
@@ -1710,6 +1889,13 @@ fn execute(inner: &Arc<Inner>, job: Job) -> (Phase, SubmissionResult) {
     if inner.recorder.is_enabled() {
         amgr_cfg = amgr_cfg.with_recorder(inner.recorder.clone());
     }
+    let trace_id = trace.as_ref().and_then(|t| t.trace_id.clone());
+    if let Some(trace) = trace {
+        amgr_cfg = amgr_cfg.with_wire_trace(trace);
+    }
+    if inner.trace_store.is_enabled() {
+        amgr_cfg = amgr_cfg.with_trace_store(Arc::clone(&inner.trace_store));
+    }
     let attachment = SessionAttachment::shared(inner.broker.clone(), ns).with_lease(lease);
     let outcome = AppManager::new(amgr_cfg).run_attached(*workflow, attachment);
     // Error paths inside run_attached can abort before queue deletion;
@@ -1727,6 +1913,7 @@ fn execute(inner: &Arc<Inner>, job: Job) -> (Phase, SubmissionResult) {
             turnaround,
             warm_pilot: Some(warm),
         },
+        trace_id,
     )
 }
 
@@ -1742,12 +1929,20 @@ fn classify(outcome: entk_core::EntkResult<RunReport>) -> (Phase, SubmissionOutc
     }
 }
 
-fn finish(inner: &Arc<Inner>, phase: Phase, result: SubmissionResult) {
+fn finish(inner: &Arc<Inner>, phase: Phase, result: SubmissionResult, trace_id: Option<String>) {
     let id = result.id;
     let tenant = result.tenant.clone();
     let turnaround = result.turnaround;
     let metrics = inner.recorder.metrics();
-    metrics.histogram("service.turnaround").record(turnaround);
+    // Wire-traced submissions link the turnaround sample back to their
+    // retrievable trace: the `/metrics` bucket the sample lands in carries
+    // the trace id as an OpenMetrics exemplar.
+    match &trace_id {
+        Some(tid) => metrics
+            .histogram("service.turnaround")
+            .record_ns_with_exemplar(turnaround.as_nanos() as u64, tid),
+        None => metrics.histogram("service.turnaround").record(turnaround),
+    }
     // Task-level settlement counts for the journal's terminal record (an
     // Error outcome has no report; zeros are honest there).
     let (tasks_done, tasks_failed) = result

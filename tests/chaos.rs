@@ -335,7 +335,7 @@ fn sharded_mid_replay_crashes_recover_every_shard_exactly_once(batched: bool) {
     let payload = |q: usize, i: usize| format!("{q}:{i}");
 
     let mut expected: BTreeSet<String> = BTreeSet::new();
-    let mut max_tag = vec![0u64; QUEUES];
+    let mut max_tag = [0u64; QUEUES];
     {
         let b = Broker::with_config(
             BrokerConfig {
@@ -350,7 +350,7 @@ fn sharded_mid_replay_crashes_recover_every_shard_exactly_once(batched: bool) {
             b.declare_queue(&queue_name(q), QueueConfig::durable())
                 .unwrap();
         }
-        for q in 0..QUEUES {
+        for (q, qmax) in max_tag.iter_mut().enumerate() {
             let name = queue_name(q);
             if batched {
                 for chunk in 0..PER_QUEUE / 64 {
@@ -358,14 +358,14 @@ fn sharded_mid_replay_crashes_recover_every_shard_exactly_once(batched: bool) {
                         .map(|i| Message::persistent(payload(q, i).into_bytes()))
                         .collect();
                     let tags = b.publish_batch(&name, msgs).unwrap();
-                    max_tag[q] = max_tag[q].max(*tags.last().unwrap());
+                    *qmax = (*qmax).max(*tags.last().unwrap());
                 }
             } else {
                 for i in 0..PER_QUEUE {
                     b.publish(&name, Message::persistent(payload(q, i).into_bytes()))
                         .unwrap();
                 }
-                max_tag[q] = PER_QUEUE as u64;
+                *qmax = PER_QUEUE as u64;
             }
             expected.extend((ACKED..PER_QUEUE).map(|i| payload(q, i)));
             // Settle the first ACKED deliveries of each queue.
@@ -409,7 +409,7 @@ fn sharded_mid_replay_crashes_recover_every_shard_exactly_once(batched: bool) {
     assert_eq!(b.shard_count(), SHARDS);
 
     let mut recovered: BTreeSet<String> = BTreeSet::new();
-    for q in 0..QUEUES {
+    for (q, &qmax) in max_tag.iter().enumerate() {
         let name = queue_name(q);
         assert_eq!(
             b.depth(&name).unwrap(),
@@ -431,10 +431,9 @@ fn sharded_mid_replay_crashes_recover_every_shard_exactly_once(batched: bool) {
             .map(|_| b.get(&name).unwrap().expect("fresh delivery"))
             .unwrap();
         assert!(
-            fresh.tag > max_tag[q],
-            "queue {name}: fresh tag {} must exceed journaled max {}",
-            fresh.tag,
-            max_tag[q]
+            fresh.tag > qmax,
+            "queue {name}: fresh tag {} must exceed journaled max {qmax}",
+            fresh.tag
         );
     }
     assert_eq!(

@@ -61,8 +61,22 @@ fn http(
     path: &str,
     body: Option<&str>,
 ) -> (u16, Vec<(String, String)>, String) {
+    http_with_headers(addr, method, path, &[], body)
+}
+
+/// [`http`] with extra request headers (e.g. `traceparent`).
+fn http_with_headers(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    extra: &[(&str, &str)],
+    body: Option<&str>,
+) -> (u16, Vec<(String, String)>, String) {
     let mut stream = TcpStream::connect(addr).expect("connect gateway");
     let mut req = format!("{method} {path} HTTP/1.1\r\nHost: test\r\n");
+    for (k, v) in extra {
+        req.push_str(&format!("{k}: {v}\r\n"));
+    }
     if let Some(b) = body {
         req.push_str(&format!("Content-Length: {}\r\n", b.len()));
     }
@@ -562,4 +576,190 @@ fn killed_service_recovers_every_inflight_workflow_exactly_once() {
     assert_eq!(stats.canceled, 0);
 
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole: wire-to-sync distributed tracing. A client traceparent rides
+// through the gateway into the service, every task timeline carries the
+// wire-side hops, and the settled trace is queryable back out of the
+// gateway under the same trace id.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn traceparent_rides_wire_to_queryable_settled_timeline() {
+    use entk::observe::{Recorder, TraceStoreConfig};
+
+    let service = EnsembleService::start(
+        ServiceConfig::new(ResourceDescription::sim(
+            PlatformId::TestRig,
+            2,
+            1_000_000_000,
+        ))
+        .with_warm_pilots(1)
+        .with_max_active(2)
+        .with_max_pending(64)
+        .with_run_timeout(timeout())
+        .with_recorder(Recorder::new())
+        .with_traces(TraceStoreConfig {
+            sample_permille: 1_000, // keep every settled timeline
+            ..TraceStoreConfig::default()
+        }),
+    );
+    let gw = Gateway::start_with_traces(
+        "127.0.0.1:0".parse().unwrap(),
+        service.client(),
+        service.recorder(),
+        service.trace_store(),
+    )
+    .expect("bind gateway");
+    let addr = gw.local_addr();
+
+    // Submit with a client-minted W3C traceparent; the gateway must adopt
+    // the embedded trace id rather than minting its own.
+    let client_trace = "4bf92f3577b34da6a3ce929d0e0e4736";
+    let traceparent = format!("00-{client_trace}-00f067aa0ba902b7-01");
+    let (status, headers, body) = http_with_headers(
+        addr,
+        "POST",
+        "/v1/workflows",
+        &[("traceparent", &traceparent)],
+        Some(&submit_body("traced", 3, None)),
+    );
+    assert_eq!(status, 202, "submit: {body}");
+    let doc = json::parse(&body).unwrap();
+    let id = doc.get("id").and_then(Json::as_str).unwrap().to_string();
+    assert_eq!(
+        doc.get("trace_id").and_then(Json::as_str),
+        Some(client_trace),
+        "202 body echoes the propagated trace id"
+    );
+    // The response traceparent carries the same trace id back.
+    let echoed = header(&headers, "traceparent").expect("traceparent response header");
+    assert_eq!(echoed.split('-').nth(1), Some(client_trace));
+
+    let done = wait_terminal(addr, &id);
+    assert_eq!(done.get("state").and_then(Json::as_str), Some("done"));
+
+    // The settled timeline is queryable from the gateway under the trace id.
+    let (status, _, body) = http(addr, "GET", &format!("/v1/traces/{client_trace}"), None);
+    assert_eq!(status, 200, "trace lookup: {body}");
+    let doc = json::parse(&body).unwrap();
+    let tasks = doc.get("tasks").and_then(Json::as_array).unwrap();
+    assert_eq!(tasks.len(), 3, "one timeline per task: {body}");
+
+    for task in tasks {
+        assert_eq!(
+            task.get("trace_id").and_then(Json::as_str),
+            Some(client_trace)
+        );
+        assert_eq!(task.get("outcome").and_then(Json::as_str), Some("done"));
+        let hops = task.get("hops").and_then(Json::as_array).unwrap();
+        let states: Vec<&str> = hops
+            .iter()
+            .filter_map(|h| h.get("state").and_then(Json::as_str))
+            .collect();
+        // Wire-side hops precede the in-process pipeline, in order.
+        assert_eq!(
+            &states[..5],
+            &[
+                "wire_recv",
+                "parsed",
+                "admitted",
+                "journal_appended",
+                "enqueue"
+            ],
+            "wire prefix for {states:?}"
+        );
+        assert_eq!(states.last(), Some(&"synced"));
+
+        // Stage decomposition is exact by construction: consecutive-pair
+        // durations sum to end-to-end, timestamps never go backwards.
+        let times: Vec<f64> = hops
+            .iter()
+            .filter_map(|h| h.get("t_ns").and_then(Json::as_f64))
+            .collect();
+        assert!(
+            times.windows(2).all(|w| w[0] <= w[1]),
+            "monotone hop clock: {times:?}"
+        );
+        let stage_sum: f64 = times.windows(2).map(|w| w[1] - w[0]).sum();
+        let total = task.get("total_ns").and_then(Json::as_f64).unwrap();
+        assert_eq!(stage_sum, total, "stage sum == end-to-end");
+    }
+
+    // The slow-stage index serves the ranked view, filterable by stage.
+    let (status, _, body) = http(addr, "GET", "/v1/traces?slowest=4", None);
+    assert_eq!(status, 200);
+    let rows = json::parse(&body)
+        .unwrap()
+        .get("slowest")
+        .and_then(Json::as_array)
+        .unwrap()
+        .len();
+    assert!(rows > 0, "slowest index populated: {body}");
+
+    // Unknown ids are a clean 404, not an empty 200.
+    let (status, _, _) = http(
+        addr,
+        "GET",
+        "/v1/traces/ffffffffffffffffffffffffffffffff",
+        None,
+    );
+    assert_eq!(status, 404);
+
+    gw.stop();
+    service.shutdown();
+}
+
+#[test]
+fn gateway_mints_trace_id_when_client_sends_none() {
+    use entk::observe::{Recorder, TraceStoreConfig};
+
+    let service = EnsembleService::start(
+        ServiceConfig::new(ResourceDescription::sim(
+            PlatformId::TestRig,
+            2,
+            1_000_000_000,
+        ))
+        .with_warm_pilots(1)
+        .with_max_active(2)
+        .with_run_timeout(timeout())
+        .with_recorder(Recorder::new())
+        .with_traces(TraceStoreConfig {
+            sample_permille: 1_000,
+            ..TraceStoreConfig::default()
+        }),
+    );
+    let gw = Gateway::start_with_traces(
+        "127.0.0.1:0".parse().unwrap(),
+        service.client(),
+        service.recorder(),
+        service.trace_store(),
+    )
+    .expect("bind gateway");
+    let addr = gw.local_addr();
+
+    let (status, _, body) = http(
+        addr,
+        "POST",
+        "/v1/workflows",
+        Some(&submit_body("mint", 1, None)),
+    );
+    assert_eq!(status, 202, "submit: {body}");
+    let doc = json::parse(&body).unwrap();
+    let id = doc.get("id").and_then(Json::as_str).unwrap().to_string();
+    let tid = doc
+        .get("trace_id")
+        .and_then(Json::as_str)
+        .expect("gateway mints a trace id")
+        .to_string();
+    assert_eq!(tid.len(), 32, "W3C trace id is 32 hex chars: {tid}");
+    assert!(tid.bytes().all(|b| b.is_ascii_hexdigit()));
+
+    wait_terminal(addr, &id);
+    let (status, _, body) = http(addr, "GET", &format!("/v1/traces/{tid}"), None);
+    assert_eq!(status, 200, "minted trace queryable: {body}");
+
+    gw.stop();
+    service.shutdown();
 }
